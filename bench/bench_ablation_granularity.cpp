@@ -1,0 +1,39 @@
+// GIS granularity ablation (Alg. 2's one hyperparameter): accuracy/time
+// trade-off of the exhaustive ratio grid, demonstrating the O(N·g·F_v)
+// cost LS sidesteps. Run on the arxiv-like GCN cell.
+#include <cstdio>
+
+#include "core/gis.hpp"
+#include "harness/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gsoup;
+  auto scale = bench::Scale::from_env();
+  const int preset = 1;  // arxiv-like
+  const Arch arch = Arch::kGcn;
+
+  const Dataset data = bench::make_dataset(preset, scale);
+  const GnnModel model(bench::cell_model_config(arch, data));
+  const GraphContext ctx(data.graph, arch);
+  const auto ingredients = bench::get_ingredients(model, ctx, data, scale);
+  const SoupContext sctx{model, ctx, data, ingredients};
+
+  Table table("Ablation: GIS granularity g (GCN on arxiv-like) — cost is "
+              "O(N*g*Fv)");
+  table.set_header({"g", "evaluations", "test acc %", "val acc %",
+                    "time (s)"});
+  for (const std::int64_t g : {3LL, 5LL, 10LL, 20LL, 50LL, 100LL}) {
+    GisSouper souper({.granularity = g});
+    const SoupReport report = run_souper(souper, sctx);
+    table.add_row({std::to_string(g), std::to_string(souper.evaluations()),
+                   Table::fmt(report.test_acc * 100),
+                   Table::fmt(report.val_acc * 100),
+                   Table::fmt(report.seconds, 3)});
+  }
+  table.print();
+  std::printf("\nTime grows linearly in g while accuracy saturates — the "
+              "exhaustive-search overhead motivating Learned Souping "
+              "(paper §I, §III-E).\n");
+  return 0;
+}

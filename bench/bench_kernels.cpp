@@ -1,0 +1,148 @@
+// Kernel microbenchmarks (google-benchmark): the primitives every souping
+// strategy is built from — GEMM, SpMM, GAT attention forward/backward,
+// soup mixing, partitioning and subgraph extraction.
+#include <benchmark/benchmark.h>
+
+#include "ag/graph_ops.hpp"
+#include "ag/loss.hpp"
+#include "ag/ops.hpp"
+#include "core/alpha.hpp"
+#include "graph/generator.hpp"
+#include "graph/normalize.hpp"
+#include "graph/subgraph.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/union_subgraph.hpp"
+#include "tensor/init.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace gsoup;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t = Tensor::empty(std::move(shape));
+  init::normal(t, rng, 0.0f, 1.0f);
+  return t;
+}
+
+Dataset bench_graph(std::int64_t n, double deg) {
+  SyntheticSpec spec;
+  spec.num_nodes = n;
+  spec.avg_degree = deg;
+  spec.num_classes = 8;
+  spec.feature_dim = 64;
+  spec.seed = 3;
+  return generate_dataset(spec);
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = state.range(0);
+  const Tensor a = random_tensor({n, n}, 1);
+  const Tensor b = random_tensor({n, n}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Spmm(benchmark::State& state) {
+  const auto n = state.range(0);
+  static Dataset data = bench_graph(8000, 20);
+  const Csr norm = gcn_normalize(data.graph);
+  const Csr norm_t = norm.transpose().graph;
+  auto x = ag::constant(random_tensor({data.num_nodes(), n}, 4));
+  ag::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::spmm(norm, norm_t, x));
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_edges() * n);
+}
+BENCHMARK(BM_Spmm)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_GatAttentionForward(benchmark::State& state) {
+  const auto heads = state.range(0);
+  static Dataset data = bench_graph(8000, 20);
+  static CsrTranspose gt = data.graph.transpose();
+  const std::int64_t d = 16;
+  auto h = ag::constant(random_tensor({data.num_nodes(), heads * d}, 5));
+  auto sd = ag::constant(random_tensor({data.num_nodes(), heads}, 6));
+  auto ss = ag::constant(random_tensor({data.num_nodes(), heads}, 7));
+  ag::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ag::gat_attention(data.graph, gt, h, sd, ss, heads, 0.2f));
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_edges() * heads * d);
+}
+BENCHMARK(BM_GatAttentionForward)->Arg(1)->Arg(4);
+
+void BM_GatAttentionTrainStep(benchmark::State& state) {
+  static Dataset data = bench_graph(4000, 15);
+  static CsrTranspose gt = data.graph.transpose();
+  const std::int64_t heads = 4, d = 16;
+  for (auto _ : state) {
+    auto h = ag::make_leaf(random_tensor({data.num_nodes(), heads * d}, 8),
+                           true);
+    auto sd =
+        ag::make_leaf(random_tensor({data.num_nodes(), heads}, 9), true);
+    auto ss =
+        ag::make_leaf(random_tensor({data.num_nodes(), heads}, 10), true);
+    auto out = ag::gat_attention(data.graph, gt, h, sd, ss, heads, 0.2f);
+    auto loss = ag::sum(out);
+    ag::backward(loss);
+    benchmark::DoNotOptimize(h->grad.data());
+  }
+}
+BENCHMARK(BM_GatAttentionTrainStep);
+
+void BM_SoupMixing(benchmark::State& state) {
+  const auto n_ingredients = state.range(0);
+  // 2-layer GCN-sized parameter set.
+  std::vector<Ingredient> ingredients(n_ingredients);
+  for (std::int64_t i = 0; i < n_ingredients; ++i) {
+    ingredients[i].id = i;
+    ingredients[i].params.add("layers.0.weight",
+                              random_tensor({64, 64}, 20 + i), 0);
+    ingredients[i].params.add("layers.1.weight",
+                              random_tensor({64, 40}, 40 + i), 1);
+  }
+  Rng rng(1);
+  const AlphaSet alphas(ingredients.front().params, n_ingredients,
+                        AlphaGranularity::kLayer, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alphas.build_soup(ingredients));
+  }
+}
+BENCHMARK(BM_SoupMixing)->Arg(8)->Arg(32)->Arg(50);
+
+void BM_MultilevelPartition(benchmark::State& state) {
+  static Dataset data = bench_graph(8000, 15);
+  PartitionOptions opt;
+  opt.num_parts = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        multilevel_partition(data.graph, opt, data.val_mask));
+  }
+}
+BENCHMARK(BM_MultilevelPartition)->Arg(8)->Arg(32);
+
+void BM_PartitionUnionSubgraph(benchmark::State& state) {
+  static Dataset data = bench_graph(8000, 15);
+  PartitionOptions opt;
+  opt.num_parts = 32;
+  static Partitioning parts =
+      multilevel_partition(data.graph, opt, data.val_mask);
+  Rng rng(2);
+  for (auto _ : state) {
+    const auto selected = sample_partitions(32, state.range(0), rng);
+    benchmark::DoNotOptimize(
+        partition_union_subgraph(data, parts, selected));
+  }
+}
+BENCHMARK(BM_PartitionUnionSubgraph)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Table II — test accuracy across datasets and architectures for
+// Ingredients (mean ± std) vs US / GIS / LS / PLS. The paper's headline
+// shape: informed strategies beat US almost everywhere; LS/PLS match or
+// beat GIS on the larger, denser presets; small noisy presets (Flickr-like)
+// are the hard regime for learned souping.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gsoup;
+  const auto scale = bench::Scale::from_env();
+  const auto cells = bench::run_matrix(scale);
+
+  Table table("Table II: Accuracy (%) across datasets [higher is better]");
+  table.set_header({"Model", "Dataset", "Ingredients", "US", "GIS",
+                    "LS (ours)", "PLS (ours)"});
+  for (const auto& cell : cells) {
+    const auto us = cell.summarize("US");
+    const auto gis = cell.summarize("GIS");
+    const auto ls = cell.summarize("LS");
+    const auto pls = cell.summarize("PLS");
+    table.add_row({cell.arch, cell.dataset,
+                   Table::fmt_pm(cell.ingredients_test_mean * 100,
+                                 cell.ingredients_test_std * 100),
+                   Table::fmt_pm(us.test_mean * 100, us.test_std * 100),
+                   Table::fmt_pm(gis.test_mean * 100, gis.test_std * 100),
+                   Table::fmt_pm(ls.test_mean * 100, ls.test_std * 100),
+                   Table::fmt_pm(pls.test_mean * 100, pls.test_std * 100)});
+  }
+  table.print();
+  std::printf("\n%lld ingredients per cell, %lld soups averaged "
+              "(GSOUP_INGREDIENTS / GSOUP_TRIALS to change).\n",
+              static_cast<long long>(scale.ingredients),
+              static_cast<long long>(scale.trials));
+  return 0;
+}

@@ -1,0 +1,262 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/gis.hpp"
+#include "core/learned.hpp"
+#include "core/pls.hpp"
+#include "core/uniform.hpp"
+#include "harness/results_cache.hpp"
+#include "io/ingredient_cache.hpp"
+#include "util/check.hpp"
+#include "util/env.hpp"
+#include "util/logging.hpp"
+
+namespace gsoup::bench {
+
+Scale Scale::from_env() {
+  Scale s;
+  s.ingredients = env_int("GSOUP_INGREDIENTS", 8);
+  s.trials = env_int("GSOUP_TRIALS", 2);
+  s.dataset_scale = env_double("GSOUP_SCALE", 1.0);
+  s.ingredient_epochs = env_int("GSOUP_INGREDIENT_EPOCHS", 40);
+  s.gis_granularity = env_int("GSOUP_GIS_GRANULARITY", 30);
+  s.ls_epochs = env_int("GSOUP_LS_EPOCHS", 40);
+  s.pls_epochs = env_int("GSOUP_PLS_EPOCHS", 60);
+  s.pls_parts = env_int("GSOUP_PLS_PARTS", 32);
+  s.pls_budget = env_int("GSOUP_PLS_BUDGET", 8);
+  s.cache_dir = io::default_cache_dir();
+  return s;
+}
+
+std::string Scale::tag() const {
+  std::ostringstream os;
+  os << "n" << ingredients << "-e" << ingredient_epochs << "-s"
+     << dataset_scale;
+  return os.str();
+}
+
+std::vector<Arch> paper_archs() {
+  return {Arch::kGcn, Arch::kGat, Arch::kSage};
+}
+
+std::string preset_name(int preset) {
+  switch (preset) {
+    case 0: return "flickr-like";
+    case 1: return "arxiv-like";
+    case 2: return "reddit-like";
+    case 3: return "products-like";
+  }
+  GSOUP_CHECK_MSG(false, "preset out of range");
+  return {};
+}
+
+Dataset make_dataset(int preset, const Scale& scale) {
+  const auto specs = paper_dataset_specs(scale.dataset_scale);
+  GSOUP_CHECK_MSG(preset >= 0 && preset < 4, "preset out of range");
+  return generate_dataset(specs[preset]);
+}
+
+ModelConfig cell_model_config(Arch arch, const Dataset& data) {
+  ModelConfig cfg;
+  cfg.arch = arch;
+  cfg.in_dim = data.feature_dim();
+  cfg.out_dim = data.num_classes;
+  cfg.num_layers = 2;
+  cfg.dropout = 0.5f;
+  switch (arch) {
+    case Arch::kGcn:
+      cfg.hidden_dim = 64;
+      break;
+    case Arch::kSage:
+      cfg.hidden_dim = 64;
+      cfg.dropout = 0.3f;  // SAGE's dual path underfits noisy features
+                           // at 0.5 input dropout
+      break;
+    case Arch::kGat:
+      // Smaller hidden per head, 4 concatenated heads (§VI-A notes the
+      // smaller GAT hidden size).
+      cfg.hidden_dim = 16;
+      cfg.heads = 4;
+      cfg.dropout = 0.4f;
+      break;
+  }
+  return cfg;
+}
+
+namespace {
+
+std::string cell_tag(int preset, Arch arch, const Scale& scale) {
+  std::ostringstream os;
+  os << preset_name(preset) << "-" << arch_name(arch) << "-" << scale.tag();
+  return os.str();
+}
+
+TrainConfig ingredient_train_config(const Scale& scale, Arch arch) {
+  TrainConfig tc;
+  tc.epochs = scale.ingredient_epochs;
+  tc.optimizer.kind = OptimizerKind::kAdam;
+  tc.optimizer.weight_decay = 5e-5;
+  tc.schedule.base_lr = 0.01;
+  tc.seed = 1234;
+  tc.keep_best = true;
+  tc.eval_every = 2;
+  if (arch == Arch::kSage) {
+    // SAGE's dual self/neighbour path needs a hotter, longer recipe to
+    // reach its band (cross-validated with tools/calibrate_datasets).
+    tc.schedule.base_lr = 0.05;
+    tc.epochs = scale.ingredient_epochs * 5 / 2;
+  }
+  return tc;
+}
+
+}  // namespace
+
+std::vector<Ingredient> get_ingredients(const GnnModel& model,
+                                        const GraphContext& ctx,
+                                        const Dataset& data,
+                                        const Scale& scale) {
+  std::ostringstream tag;
+  tag << data.name << "-" << arch_name(model.config().arch) << "-"
+      << scale.tag();
+  if (auto cached = io::load_ingredients(scale.cache_dir, tag.str())) {
+    if (static_cast<std::int64_t>(cached->size()) == scale.ingredients) {
+      return std::move(*cached);
+    }
+  }
+  GSOUP_LOG_INFO << "training " << scale.ingredients << " ingredients for "
+                 << tag.str();
+  FarmConfig farm;
+  farm.num_ingredients = scale.ingredients;
+  farm.num_workers = 2;
+  farm.train = ingredient_train_config(scale, model.config().arch);
+  farm.init_seed = 42;
+  FarmResult result = train_ingredients(model, ctx, data, farm);
+  io::save_ingredients(scale.cache_dir, tag.str(), result.ingredients);
+  return std::move(result.ingredients);
+}
+
+CellResult run_cell(int preset, Arch arch, const Scale& scale) {
+  const std::string tag = cell_tag(preset, arch, scale);
+  if (auto cached = load_cell_result(scale.cache_dir, tag)) {
+    return std::move(*cached);
+  }
+
+  const Dataset data = make_dataset(preset, scale);
+  const GnnModel model(cell_model_config(arch, data));
+  const GraphContext ctx(data.graph, arch);
+  const auto ingredients = get_ingredients(model, ctx, data, scale);
+
+  CellResult cell;
+  cell.dataset = data.name;
+  cell.arch = arch_name(arch);
+  cell.num_ingredients = static_cast<std::int64_t>(ingredients.size());
+  {
+    double sum = 0, sum_sq = 0, val_sum = 0;
+    double mn = 1.0, mx = 0.0;
+    for (const auto& ing : ingredients) {
+      sum += ing.test_acc;
+      sum_sq += ing.test_acc * ing.test_acc;
+      val_sum += ing.val_acc;
+      mn = std::min(mn, ing.test_acc);
+      mx = std::max(mx, ing.test_acc);
+    }
+    const double n = static_cast<double>(ingredients.size());
+    cell.ingredients_test_mean = sum / n;
+    cell.ingredients_val_mean = val_sum / n;
+    cell.ingredients_test_std = std::sqrt(
+        std::max(0.0, sum_sq / n - cell.ingredients_test_mean *
+                                       cell.ingredients_test_mean));
+    cell.ingredients_test_min = mn;
+    cell.ingredients_test_max = mx;
+  }
+
+  const SoupContext sctx{model, ctx, data, ingredients};
+  for (std::int64_t trial = 0; trial < scale.trials; ++trial) {
+    const std::uint64_t soup_seed = 1000 + 97 * trial;
+
+    UniformSouper us;
+    GisSouper gis({.granularity = scale.gis_granularity});
+
+    LearnedSoupConfig ls_cfg;
+    ls_cfg.epochs = scale.ls_epochs;
+    ls_cfg.lr = 0.2;
+    ls_cfg.momentum = 0.9;
+    ls_cfg.seed = soup_seed;
+    LearnedSouper ls(ls_cfg);
+
+    PlsConfig pls_cfg;
+    pls_cfg.base = ls_cfg;
+    pls_cfg.base.epochs = scale.pls_epochs;
+    pls_cfg.num_parts = scale.pls_parts;
+    pls_cfg.budget = scale.pls_budget;
+    PartitionLearnedSouper pls(data, pls_cfg);
+
+    Souper* soupers[] = {&us, &gis, &ls, &pls};
+    for (Souper* souper : soupers) {
+      const SoupReport report = run_souper(*souper, sctx);
+      cell.measurements.push_back({report.method, report.val_acc,
+                                   report.test_acc, report.seconds,
+                                   report.peak_bytes,
+                                   report.mix_peak_bytes});
+      GSOUP_LOG_INFO << tag << " trial " << trial << " " << report.method
+                     << ": test " << report.test_acc << ", "
+                     << report.seconds << "s";
+    }
+  }
+
+  save_cell_result(scale.cache_dir, tag, cell);
+  return cell;
+}
+
+std::vector<CellResult> run_matrix(const Scale& scale) {
+  std::vector<CellResult> cells;
+  for (const Arch arch : paper_archs()) {
+    for (int preset = 0; preset < 4; ++preset) {
+      cells.push_back(run_cell(preset, arch, scale));
+    }
+  }
+  return cells;
+}
+
+MethodSummary CellResult::summarize(const std::string& method) const {
+  MethodSummary s;
+  s.method = method;
+  double n = 0;
+  double test_sum = 0, test_sq = 0, sec_sum = 0, sec_sq = 0;
+  for (const auto& m : measurements) {
+    if (m.method != method) continue;
+    ++n;
+    test_sum += m.test_acc;
+    test_sq += m.test_acc * m.test_acc;
+    sec_sum += m.seconds;
+    sec_sq += m.seconds * m.seconds;
+    s.val_mean += m.val_acc;
+    s.peak_bytes_mean += static_cast<double>(m.peak_bytes);
+    s.mix_peak_bytes_mean += static_cast<double>(m.mix_peak_bytes);
+  }
+  GSOUP_CHECK_MSG(n > 0, "no measurements for method " << method);
+  s.test_mean = test_sum / n;
+  s.test_std = std::sqrt(std::max(0.0, test_sq / n - s.test_mean * s.test_mean));
+  s.seconds_mean = sec_sum / n;
+  s.seconds_std =
+      std::sqrt(std::max(0.0, sec_sq / n - s.seconds_mean * s.seconds_mean));
+  s.val_mean /= n;
+  s.peak_bytes_mean /= n;
+  s.mix_peak_bytes_mean /= n;
+  return s;
+}
+
+std::vector<std::string> CellResult::methods() const {
+  std::vector<std::string> out;
+  for (const auto& m : measurements) {
+    if (std::find(out.begin(), out.end(), m.method) == out.end()) {
+      out.push_back(m.method);
+    }
+  }
+  return out;
+}
+
+}  // namespace gsoup::bench

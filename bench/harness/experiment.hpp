@@ -1,0 +1,114 @@
+// Shared experiment runner for the benchmark binaries.
+//
+// The paper's evaluation is a 3-architecture × 4-dataset matrix; every
+// table and figure is a projection of the same runs (accuracy → Table II,
+// time → Table III/Fig. 4a, memory → Fig. 4b, distribution → Fig. 3).
+// This harness trains (or loads cached) ingredients per cell, runs every
+// souping strategy `trials` times, and caches the measurements so each
+// bench binary pays only for what is missing.
+//
+// Scale knobs (environment variables):
+//   GSOUP_INGREDIENTS       ingredient count per cell      (default 8)
+//   GSOUP_TRIALS            soups averaged per cell        (default 2)
+//   GSOUP_SCALE             dataset scale factor           (default 1.0)
+//   GSOUP_INGREDIENT_EPOCHS ingredient training epochs     (default 50)
+//   GSOUP_GIS_GRANULARITY   GIS ratio-grid size            (default 50)
+//   GSOUP_LS_EPOCHS         LS epochs                      (default 60)
+//   GSOUP_PLS_EPOCHS        PLS epochs                     (default 80)
+//   GSOUP_CACHE_DIR         ingredient/result cache        (.gsoup-cache)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/soup.hpp"
+#include "graph/generator.hpp"
+#include "nn/model.hpp"
+#include "train/ingredient_farm.hpp"
+
+namespace gsoup::bench {
+
+/// Experiment-wide scale configuration (from environment).
+struct Scale {
+  std::int64_t ingredients = 8;
+  std::int64_t trials = 2;
+  double dataset_scale = 1.0;
+  std::int64_t ingredient_epochs = 50;
+  std::int64_t gis_granularity = 50;
+  std::int64_t ls_epochs = 60;
+  std::int64_t pls_epochs = 80;
+  std::int64_t pls_parts = 32;   ///< K
+  std::int64_t pls_budget = 8;   ///< R
+  std::string cache_dir;
+
+  static Scale from_env();
+  /// Tag fragment identifying this scale (cache keying).
+  std::string tag() const;
+};
+
+/// One measurement of one souping strategy.
+struct MethodMeasurement {
+  std::string method;
+  double val_acc = 0.0;
+  double test_acc = 0.0;
+  double seconds = 0.0;
+  std::size_t peak_bytes = 0;      ///< ingredients + mixing peak
+  std::size_t mix_peak_bytes = 0;  ///< mixing peak above entry
+};
+
+/// Aggregated mean ± stddev over trials.
+struct MethodSummary {
+  std::string method;
+  double test_mean = 0, test_std = 0;
+  double val_mean = 0;
+  double seconds_mean = 0, seconds_std = 0;
+  double peak_bytes_mean = 0;
+  double mix_peak_bytes_mean = 0;
+};
+
+/// One cell of the experiment matrix.
+struct CellResult {
+  std::string dataset;
+  std::string arch;
+  std::int64_t num_ingredients = 0;
+  double ingredients_test_mean = 0;
+  double ingredients_test_std = 0;
+  double ingredients_val_mean = 0;
+  double ingredients_test_min = 0;
+  double ingredients_test_max = 0;
+  std::vector<MethodMeasurement> measurements;
+
+  MethodSummary summarize(const std::string& method) const;
+  std::vector<std::string> methods() const;
+};
+
+/// Architectures in paper order.
+std::vector<Arch> paper_archs();
+
+/// Model configuration used for (arch, dataset) cells. GAT uses a smaller
+/// hidden size with 4 concatenated heads, mirroring the paper's setup
+/// notes (§VI-A).
+ModelConfig cell_model_config(Arch arch, const Dataset& data);
+
+/// Dataset for preset index 0..3 (Flickr-, arxiv-, Reddit-, products-like)
+/// at the given scale.
+Dataset make_dataset(int preset, const Scale& scale);
+
+/// Ingredients for one cell, loading from the cache when possible.
+std::vector<Ingredient> get_ingredients(const GnnModel& model,
+                                        const GraphContext& ctx,
+                                        const Dataset& data,
+                                        const Scale& scale);
+
+/// Full cell: ingredients + all strategies × trials. Cached on disk.
+/// `methods` selects a subset (empty = US, GIS, LS, PLS).
+CellResult run_cell(int preset, Arch arch, const Scale& scale);
+
+/// All 12 cells (lazy; cached).
+std::vector<CellResult> run_matrix(const Scale& scale);
+
+/// Short names used in tables.
+std::string preset_name(int preset);
+
+}  // namespace gsoup::bench

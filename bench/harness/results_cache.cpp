@@ -1,0 +1,68 @@
+#include "harness/results_cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace gsoup::bench {
+
+namespace fs = std::filesystem;
+
+namespace {
+std::string file_for(const std::string& cache_dir, const std::string& tag) {
+  return (fs::path(cache_dir) / (tag + ".cell")).string();
+}
+}  // namespace
+
+std::optional<CellResult> load_cell_result(const std::string& cache_dir,
+                                           const std::string& tag) {
+  std::ifstream is(file_for(cache_dir, tag));
+  if (!is.good()) return std::nullopt;
+  CellResult cell;
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "cell") {
+      ls >> cell.dataset >> cell.arch >> cell.num_ingredients >>
+          cell.ingredients_test_mean >> cell.ingredients_test_std >>
+          cell.ingredients_val_mean >> cell.ingredients_test_min >>
+          cell.ingredients_test_max;
+    } else if (kind == "m") {
+      MethodMeasurement m;
+      ls >> m.method >> m.val_acc >> m.test_acc >> m.seconds >>
+          m.peak_bytes >> m.mix_peak_bytes;
+      if (!ls.fail()) cell.measurements.push_back(std::move(m));
+    }
+  }
+  if (cell.dataset.empty() || cell.measurements.empty()) return std::nullopt;
+  GSOUP_LOG_INFO << "loaded cached cell " << tag << " ("
+                 << cell.measurements.size() << " measurements)";
+  return cell;
+}
+
+void save_cell_result(const std::string& cache_dir, const std::string& tag,
+                      const CellResult& cell) {
+  std::error_code ec;
+  fs::create_directories(cache_dir, ec);
+  std::ofstream os(file_for(cache_dir, tag));
+  if (!os.good()) {
+    GSOUP_LOG_WARN << "cannot write cell cache for " << tag;
+    return;
+  }
+  os << "cell " << cell.dataset << " " << cell.arch << " "
+     << cell.num_ingredients << " " << cell.ingredients_test_mean << " "
+     << cell.ingredients_test_std << " " << cell.ingredients_val_mean << " "
+     << cell.ingredients_test_min << " " << cell.ingredients_test_max
+     << "\n";
+  for (const auto& m : cell.measurements) {
+    os << "m " << m.method << " " << m.val_acc << " " << m.test_acc << " "
+       << m.seconds << " " << m.peak_bytes << " " << m.mix_peak_bytes
+       << "\n";
+  }
+}
+
+}  // namespace gsoup::bench

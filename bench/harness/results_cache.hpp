@@ -1,0 +1,17 @@
+// Plain-text cache for cell measurements so every bench binary shares one
+// set of souping runs. Format: one whitespace-separated record per line.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "harness/experiment.hpp"
+
+namespace gsoup::bench {
+
+std::optional<CellResult> load_cell_result(const std::string& cache_dir,
+                                           const std::string& tag);
+void save_cell_result(const std::string& cache_dir, const std::string& tag,
+                      const CellResult& cell);
+
+}  // namespace gsoup::bench

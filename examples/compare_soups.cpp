@@ -1,0 +1,105 @@
+// Compare all five souping strategies (US, Greedy, GIS, LS, PLS) on one
+// dataset/architecture pair chosen from the command line.
+//
+// Usage: compare_soups [dataset] [arch]
+//   dataset: flickr | arxiv | reddit | products     (default arxiv)
+//   arch:    gcn | sage | gat                        (default gcn)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/gis.hpp"
+#include "core/greedy.hpp"
+#include "core/learned.hpp"
+#include "core/pls.hpp"
+#include "core/soup.hpp"
+#include "core/uniform.hpp"
+#include "graph/generator.hpp"
+#include "nn/model.hpp"
+#include "train/ingredient_farm.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gsoup;
+
+  const std::string dataset_arg = argc > 1 ? argv[1] : "arxiv";
+  const std::string arch_arg = argc > 2 ? argv[2] : "gcn";
+
+  SyntheticSpec spec;
+  if (dataset_arg == "flickr") {
+    spec = flickr_like_spec(0.5);
+  } else if (dataset_arg == "reddit") {
+    spec = reddit_like_spec(0.3);
+  } else if (dataset_arg == "products") {
+    spec = products_like_spec(0.2);
+  } else {
+    spec = arxiv_like_spec(0.5);
+  }
+  Arch arch = Arch::kGcn;
+  if (arch_arg == "sage") arch = Arch::kSage;
+  if (arch_arg == "gat") arch = Arch::kGat;
+
+  const Dataset data = generate_dataset(spec);
+  std::printf("dataset: %s | architecture: %s\n",
+              dataset_summary(data).c_str(), arch_name(arch));
+
+  ModelConfig cfg;
+  cfg.arch = arch;
+  cfg.in_dim = data.feature_dim();
+  cfg.hidden_dim = arch == Arch::kGat ? 16 : 48;
+  cfg.heads = 4;
+  cfg.out_dim = data.num_classes;
+  const GnnModel model(cfg);
+  const GraphContext ctx(data.graph, arch);
+
+  FarmConfig farm;
+  farm.num_ingredients = 6;
+  farm.num_workers = 2;
+  farm.train.epochs = 40;
+  farm.train.schedule.base_lr = 0.01;
+  std::printf("training %lld ingredients...\n",
+              static_cast<long long>(farm.num_ingredients));
+  const FarmResult ingredients = train_ingredients(model, ctx, data, farm);
+  std::printf("ingredient test acc: mean %.2f%% (min %.2f%%, max %.2f%%)\n\n",
+              ingredients.mean_test_acc * 100,
+              [&] {
+                double mn = 1.0;
+                for (const auto& i : ingredients.ingredients)
+                  mn = std::min(mn, i.test_acc);
+                return mn;
+              }() * 100,
+              [&] {
+                double mx = 0.0;
+                for (const auto& i : ingredients.ingredients)
+                  mx = std::max(mx, i.test_acc);
+                return mx;
+              }() * 100);
+
+  const SoupContext sctx{model, ctx, data, ingredients.ingredients};
+
+  UniformSouper us;
+  GreedySouper greedy;
+  GisSouper gis({.granularity = 30});
+  LearnedSoupConfig ls_cfg;
+  ls_cfg.epochs = 60;
+  ls_cfg.lr = 0.2;
+  LearnedSouper ls(ls_cfg);
+  PlsConfig pls_cfg;
+  pls_cfg.base = ls_cfg;
+  pls_cfg.num_parts = 16;
+  pls_cfg.budget = 4;
+  PartitionLearnedSouper pls(data, pls_cfg);
+
+  Table table("Souping strategies compared");
+  table.set_header({"method", "val acc %", "test acc %", "time (s)",
+                    "mixing peak mem"});
+  Souper* soupers[] = {&us, &greedy, &gis, &ls, &pls};
+  for (Souper* souper : soupers) {
+    const SoupReport r = run_souper(*souper, sctx);
+    table.add_row({r.method, Table::fmt(r.val_acc * 100),
+                   Table::fmt(r.test_acc * 100), Table::fmt(r.seconds, 3),
+                   Table::fmt_bytes(r.mix_peak_bytes)});
+  }
+  table.print();
+  return 0;
+}

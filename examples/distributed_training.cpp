@@ -1,0 +1,75 @@
+// Phase-1 walkthrough (paper §III-A, Fig. 1): distributed
+// zero-communication ingredient training with a dynamic task queue.
+//
+// Demonstrates the cost model of Eq. 1 — T_total ≈ (N/W) · T_single — by
+// training the same ingredient set with different worker counts, and shows
+// that the produced ingredients are bit-identical regardless of W (the
+// whole point of zero-communication training: results don't depend on
+// scheduling).
+#include <cstdio>
+
+#include "graph/generator.hpp"
+#include "nn/model.hpp"
+#include "tensor/ops.hpp"
+#include "train/ingredient_farm.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gsoup;
+
+  const Dataset data = generate_dataset(reddit_like_spec(/*scale=*/0.2));
+  std::printf("dataset: %s\n\n", dataset_summary(data).c_str());
+
+  ModelConfig cfg;
+  cfg.arch = Arch::kSage;
+  cfg.in_dim = data.feature_dim();
+  cfg.hidden_dim = 32;
+  cfg.out_dim = data.num_classes;
+  const GnnModel model(cfg);
+  const GraphContext ctx(data.graph, cfg.arch);
+
+  Table table("Zero-communication ingredient farm: Eq. 1 in practice");
+  table.set_header({"workers W", "wall time (s)", "sum of T_single (s)",
+                    "(N/W)*mean T_single", "mean val acc %"});
+
+  const std::int64_t n_ingredients = 6;
+  std::vector<FarmResult> runs;
+  for (const std::int64_t workers : {1LL, 2LL}) {
+    FarmConfig farm;
+    farm.num_ingredients = n_ingredients;
+    farm.num_workers = workers;
+    farm.train.epochs = 25;
+    farm.train.schedule.base_lr = 0.01;
+    farm.train.seed = 11;
+    farm.init_seed = 5;
+    runs.push_back(train_ingredients(model, ctx, data, farm));
+    const FarmResult& r = runs.back();
+    const double mean_single =
+        r.total_train_seconds / static_cast<double>(n_ingredients);
+    table.add_row({std::to_string(workers), Table::fmt(r.wall_seconds, 2),
+                   Table::fmt(r.total_train_seconds, 2),
+                   Table::fmt(static_cast<double>(n_ingredients) /
+                                  static_cast<double>(workers) * mean_single,
+                              2),
+                   Table::fmt(r.mean_val_acc * 100, 2)});
+  }
+  table.print();
+
+  // Scheduling independence: every ingredient is seeded by its id, so the
+  // artifacts are identical whether one worker trained them all or two
+  // workers raced through the queue.
+  float max_diff = 0.0f;
+  for (std::size_t i = 0; i < runs[0].ingredients.size(); ++i) {
+    for (const auto& e : runs[0].ingredients[i].params.entries()) {
+      max_diff = std::max(
+          max_diff,
+          ops::max_abs_diff(e.tensor,
+                            runs[1].ingredients[i].params.get(e.name)));
+    }
+  }
+  std::printf("\nmax |param difference| between W=1 and W=2 runs: %g "
+              "(identical ingredients — scheduling never changes the "
+              "result)\n",
+              static_cast<double>(max_diff));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: the whole pipeline in ~60 lines.
+//
+//   1. generate a graph dataset,
+//   2. train a handful of GCN "ingredients" in parallel with zero
+//      communication (paper Phase 1),
+//   3. mix them into a single model with Learned Souping (paper Phase 2),
+//   4. compare the soup against its ingredients on the test split.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/learned.hpp"
+#include "core/soup.hpp"
+#include "graph/generator.hpp"
+#include "nn/model.hpp"
+#include "train/ingredient_farm.hpp"
+
+int main() {
+  using namespace gsoup;
+
+  // 1. A synthetic node-classification dataset (arxiv-like, small).
+  SyntheticSpec spec = arxiv_like_spec(/*scale=*/0.25);
+  const Dataset data = generate_dataset(spec);
+  std::printf("dataset: %s\n", dataset_summary(data).c_str());
+
+  // 2. Train 4 ingredient models from one shared initialisation. The farm
+  //    spreads them over worker threads with a dynamic task queue; no
+  //    inter-worker communication happens at any point.
+  ModelConfig cfg;
+  cfg.arch = Arch::kGcn;
+  cfg.in_dim = data.feature_dim();
+  cfg.hidden_dim = 32;
+  cfg.out_dim = data.num_classes;
+  const GnnModel model(cfg);
+  const GraphContext ctx(data.graph, cfg.arch);
+
+  FarmConfig farm;
+  farm.num_ingredients = 4;
+  farm.num_workers = 2;
+  farm.train.epochs = 40;
+  farm.train.schedule.base_lr = 0.01;
+  const FarmResult ingredients = train_ingredients(model, ctx, data, farm);
+  std::printf("ingredients: mean test acc %.2f%% (trained in %.2fs wall)\n",
+              ingredients.mean_test_acc * 100, ingredients.wall_seconds);
+
+  // 3. Learned Souping: treat the per-layer interpolation ratios as
+  //    learnable parameters and optimise them on the validation loss.
+  LearnedSoupConfig ls;
+  ls.epochs = 60;
+  ls.lr = 0.2;
+  LearnedSouper souper(ls);
+  const SoupContext sctx{model, ctx, data, ingredients.ingredients};
+  const SoupReport report = run_souper(souper, sctx);
+
+  // 4. The soup is ONE model — same inference cost as any ingredient.
+  std::printf("learned soup: test acc %.2f%% (souped in %.2fs, peak "
+              "souping memory %.1f MiB)\n",
+              report.test_acc * 100, report.seconds,
+              static_cast<double>(report.peak_bytes) / (1024.0 * 1024.0));
+  std::printf("gain over mean ingredient: %+.2f%%\n",
+              (report.test_acc - ingredients.mean_test_acc) * 100);
+  return 0;
+}

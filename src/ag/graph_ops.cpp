@@ -1,0 +1,301 @@
+#include "ag/graph_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace gsoup::ag {
+
+namespace {
+
+constexpr std::int64_t kParallelRowThreshold = 64;
+
+/// Y += A · X for weighted CSR A (in-edge convention). Row-parallel.
+void spmm_kernel(const Csr& a, const Tensor& x, Tensor& y) {
+  const std::int64_t n = a.num_nodes;
+  const std::int64_t d = x.shape(1);
+  const float* __restrict__ px = x.data();
+  float* __restrict__ py = y.data();
+  const auto* __restrict__ indptr = a.indptr.data();
+  const auto* __restrict__ indices = a.indices.data();
+  const auto* __restrict__ values = a.values.data();
+#pragma omp parallel for schedule(dynamic, 64) \
+    if (n >= kParallelRowThreshold)
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* __restrict__ yrow = py + i * d;
+    for (std::int64_t e = indptr[i]; e < indptr[i + 1]; ++e) {
+      const float w = values[e];
+      const float* __restrict__ xrow = px + indices[e] * d;
+      for (std::int64_t j = 0; j < d; ++j) yrow[j] += w * xrow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Value spmm(const Csr& a, const Csr& a_transpose, const Value& x) {
+  GSOUP_CHECK_MSG(a.weighted() && a_transpose.weighted(),
+                  "spmm operands must carry edge values");
+  GSOUP_CHECK_MSG(x->value.rank() == 2 && x->value.shape(0) == a.num_nodes,
+                  "spmm: X shape " << x->value.shape_str()
+                                   << " incompatible with graph of "
+                                   << a.num_nodes << " nodes");
+  Tensor out = Tensor::zeros({a.num_nodes, x->value.shape(1)});
+  spmm_kernel(a, x->value, out);
+  const Csr* at = &a_transpose;
+  return make_node(
+      std::move(out), {x},
+      [x, at](Node& node) {
+        if (!x->requires_grad) return;
+        spmm_kernel(*at, node.grad, x->ensure_grad());
+      },
+      "spmm");
+}
+
+Value gat_attention(const Csr& graph, const CsrTranspose& graph_t,
+                    const Value& h, const Value& score_dst,
+                    const Value& score_src, std::int64_t heads, float slope) {
+  const std::int64_t n = graph.num_nodes;
+  const std::int64_t e_count = graph.num_edges();
+  GSOUP_CHECK_MSG(h->value.rank() == 2 && h->value.shape(0) == n &&
+                      h->value.shape(1) % heads == 0,
+                  "gat_attention: bad H shape " << h->value.shape_str());
+  GSOUP_CHECK_MSG(score_dst->value.shape(0) == n &&
+                      score_dst->value.shape(1) == heads &&
+                      score_src->value.shape(0) == n &&
+                      score_src->value.shape(1) == heads,
+                  "gat_attention: bad score shapes");
+  const std::int64_t d = h->value.shape(1) / heads;
+
+  // ---- Forward: per-(dst, head) edge softmax, then weighted aggregate. ---
+  Tensor alpha = Tensor::empty({e_count, heads});
+  Tensor out = Tensor::zeros({n, heads * d});
+  {
+    const float* __restrict__ sl = score_dst->value.data();
+    const float* __restrict__ sr = score_src->value.data();
+    const float* __restrict__ ph = h->value.data();
+    float* __restrict__ pa = alpha.data();
+    float* __restrict__ po = out.data();
+    const auto* __restrict__ indptr = graph.indptr.data();
+    const auto* __restrict__ indices = graph.indices.data();
+#pragma omp parallel for schedule(dynamic, 64) \
+    if (n >= kParallelRowThreshold)
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int64_t begin = indptr[i], end = indptr[i + 1];
+      for (std::int64_t head = 0; head < heads; ++head) {
+        // Numerically stable softmax over LeakyReLU(sl_i + sr_j).
+        float mx = -std::numeric_limits<float>::infinity();
+        for (std::int64_t e = begin; e < end; ++e) {
+          const float z = sl[i * heads + head] +
+                          sr[indices[e] * heads + head];
+          const float act = z > 0.0f ? z : slope * z;
+          pa[e * heads + head] = act;
+          mx = std::max(mx, act);
+        }
+        float denom = 0.0f;
+        for (std::int64_t e = begin; e < end; ++e) {
+          const float v = std::exp(pa[e * heads + head] - mx);
+          pa[e * heads + head] = v;
+          denom += v;
+        }
+        const float inv = denom > 0.0f ? 1.0f / denom : 0.0f;
+        for (std::int64_t e = begin; e < end; ++e) {
+          pa[e * heads + head] *= inv;
+        }
+        // Aggregate: out[i, head*d:] = sum_e alpha_e * H[src_e, head*d:].
+        float* __restrict__ orow = po + i * heads * d + head * d;
+        for (std::int64_t e = begin; e < end; ++e) {
+          const float a = pa[e * heads + head];
+          const float* __restrict__ hrow =
+              ph + indices[e] * heads * d + head * d;
+          for (std::int64_t j = 0; j < d; ++j) orow[j] += a * hrow[j];
+        }
+      }
+    }
+  }
+
+  const Csr* g = &graph;
+  const CsrTranspose* gt = &graph_t;
+  return make_node(
+      std::move(out), {h, score_dst, score_src},
+      [h, score_dst, score_src, alpha, g, gt, heads, d, slope](Node& node) {
+        const std::int64_t nn = g->num_nodes;
+        const std::int64_t ee = g->num_edges();
+        const float* __restrict__ grad_out = node.grad.data();
+        const float* __restrict__ pa = alpha.data();
+        const float* __restrict__ ph = h->value.data();
+        const float* __restrict__ sl = score_dst->value.data();
+        const float* __restrict__ sr = score_src->value.data();
+
+        // Pass 1 (parallel over dst): softmax + leaky-relu backward per
+        // (dst, head); writes dz per edge, accumulates dscore_dst.
+        Tensor dz = Tensor::zeros({ee, heads});
+        float* __restrict__ pdz = dz.data();
+        const bool need_sl = score_dst->requires_grad;
+        float* __restrict__ pslg =
+            need_sl ? score_dst->ensure_grad().data() : nullptr;
+        const auto* __restrict__ indptr = g->indptr.data();
+        const auto* __restrict__ indices = g->indices.data();
+#pragma omp parallel for schedule(dynamic, 64) \
+    if (nn >= kParallelRowThreshold)
+        for (std::int64_t i = 0; i < nn; ++i) {
+          const std::int64_t begin = indptr[i], end = indptr[i + 1];
+          for (std::int64_t head = 0; head < heads; ++head) {
+            const float* __restrict__ grow =
+                grad_out + i * heads * d + head * d;
+            // d_alpha_e = <dOut_i, H_src>; inner = Σ alpha * d_alpha.
+            float inner = 0.0f;
+            for (std::int64_t e = begin; e < end; ++e) {
+              const float* __restrict__ hrow =
+                  ph + indices[e] * heads * d + head * d;
+              float dot = 0.0f;
+              for (std::int64_t j = 0; j < d; ++j) dot += grow[j] * hrow[j];
+              pdz[e * heads + head] = dot;  // stash d_alpha temporarily
+              inner += pa[e * heads + head] * dot;
+            }
+            float dsl_acc = 0.0f;
+            for (std::int64_t e = begin; e < end; ++e) {
+              const float a = pa[e * heads + head];
+              const float de = a * (pdz[e * heads + head] - inner);
+              const float z = sl[i * heads + head] +
+                              sr[indices[e] * heads + head];
+              const float dzv = de * (z > 0.0f ? 1.0f : slope);
+              pdz[e * heads + head] = dzv;
+              dsl_acc += dzv;
+            }
+            if (need_sl) pslg[i * heads + head] += dsl_acc;
+          }
+        }
+
+        // Pass 2 (parallel over src via the transpose): scatter dz into
+        // dscore_src and alpha·dOut into dH, race-free because each thread
+        // owns one source row.
+        const bool need_h = h->requires_grad;
+        const bool need_sr = score_src->requires_grad;
+        float* __restrict__ phg = need_h ? h->ensure_grad().data() : nullptr;
+        float* __restrict__ psrg =
+            need_sr ? score_src->ensure_grad().data() : nullptr;
+        const auto* __restrict__ t_indptr = gt->graph.indptr.data();
+        const auto* __restrict__ t_indices = gt->graph.indices.data();
+        const auto* __restrict__ edge_map = gt->edge_map.data();
+#pragma omp parallel for schedule(dynamic, 64) \
+    if (nn >= kParallelRowThreshold)
+        for (std::int64_t j = 0; j < nn; ++j) {
+          for (std::int64_t te = t_indptr[j]; te < t_indptr[j + 1]; ++te) {
+            const std::int64_t i = t_indices[te];   // dst of original edge
+            const std::int64_t e = edge_map[te];    // original edge id
+            for (std::int64_t head = 0; head < heads; ++head) {
+              if (need_sr) {
+                psrg[j * heads + head] += pdz[e * heads + head];
+              }
+              if (need_h) {
+                const float a = pa[e * heads + head];
+                const float* __restrict__ grow =
+                    grad_out + i * heads * d + head * d;
+                float* __restrict__ hgrow =
+                    phg + j * heads * d + head * d;
+                for (std::int64_t jj = 0; jj < d; ++jj) {
+                  hgrow[jj] += a * grow[jj];
+                }
+              }
+            }
+          }
+        }
+      },
+      "gat_attention");
+}
+
+Value block_spmm(const Block& block, const Value& x) {
+  GSOUP_CHECK_MSG(x->value.rank() == 2 &&
+                      x->value.shape(0) == block.num_src(),
+                  "block_spmm: X rows != block src count");
+  const std::int64_t d = x->value.shape(1);
+  Tensor out = Tensor::zeros({block.num_dst, d});
+  {
+    const float* __restrict__ px = x->value.data();
+    float* __restrict__ po = out.data();
+    for (std::int64_t i = 0; i < block.num_dst; ++i) {
+      float* __restrict__ orow = po + i * d;
+      for (std::int64_t e = block.indptr[i]; e < block.indptr[i + 1]; ++e) {
+        const float w = block.values[e];
+        const float* __restrict__ xrow = px + block.indices[e] * d;
+        for (std::int64_t j = 0; j < d; ++j) orow[j] += w * xrow[j];
+      }
+    }
+  }
+  const Block* b = &block;
+  return make_node(
+      std::move(out), {x},
+      [x, b, d](Node& node) {
+        if (!x->requires_grad) return;
+        Tensor& xg = x->ensure_grad();
+        const float* __restrict__ g = node.grad.data();
+        float* __restrict__ dst = xg.data();
+        // Serial scatter (blocks are minibatch-sized).
+        for (std::int64_t i = 0; i < b->num_dst; ++i) {
+          const float* __restrict__ grow = g + i * d;
+          for (std::int64_t e = b->indptr[i]; e < b->indptr[i + 1]; ++e) {
+            float* __restrict__ xrow = dst + b->indices[e] * d;
+            const float w = b->values[e];
+            for (std::int64_t j = 0; j < d; ++j) xrow[j] += w * grow[j];
+          }
+        }
+      },
+      "block_spmm");
+}
+
+Value narrow_rows(const Value& x, std::int64_t rows) {
+  GSOUP_CHECK_MSG(x->value.rank() == 2 && rows >= 0 &&
+                      rows <= x->value.shape(0),
+                  "narrow_rows out of range");
+  const std::int64_t d = x->value.shape(1);
+  Tensor out = Tensor::empty({rows, d});
+  std::memcpy(out.data(), x->value.data(),
+              static_cast<std::size_t>(rows * d) * sizeof(float));
+  return make_node(
+      std::move(out), {x},
+      [x, rows, d](Node& node) {
+        if (!x->requires_grad) return;
+        Tensor& xg = x->ensure_grad();
+        float* __restrict__ dst = xg.data();
+        const float* __restrict__ g = node.grad.data();
+        for (std::int64_t i = 0; i < rows * d; ++i) dst[i] += g[i];
+      },
+      "narrow_rows");
+}
+
+Value gather_rows(const Value& features,
+                  std::span<const std::int64_t> row_ids) {
+  GSOUP_CHECK_MSG(features->value.rank() == 2, "gather_rows needs rank-2");
+  const std::int64_t d = features->value.shape(1);
+  const auto m = static_cast<std::int64_t>(row_ids.size());
+  Tensor out = Tensor::empty({m, d});
+  const float* __restrict__ src = features->value.data();
+  float* __restrict__ dst = out.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    GSOUP_DCHECK(row_ids[i] >= 0 && row_ids[i] < features->value.shape(0));
+    std::memcpy(dst + i * d, src + row_ids[i] * d,
+                static_cast<std::size_t>(d) * sizeof(float));
+  }
+  std::vector<std::int64_t> ids(row_ids.begin(), row_ids.end());
+  return make_node(
+      std::move(out), {features},
+      [features, ids = std::move(ids), d](Node& node) {
+        if (!features->requires_grad) return;
+        Tensor& fg = features->ensure_grad();
+        float* __restrict__ dstg = fg.data();
+        const float* __restrict__ g = node.grad.data();
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          float* row = dstg + ids[i] * d;
+          const float* grow = g + static_cast<std::int64_t>(i) * d;
+          for (std::int64_t j = 0; j < d; ++j) row[j] += grow[j];
+        }
+      },
+      "gather_rows");
+}
+
+}  // namespace gsoup::ag

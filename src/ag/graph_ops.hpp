@@ -1,0 +1,51 @@
+// Differentiable sparse ops over CSR graphs: SpMM (message passing for
+// GCN/SAGE) and the GAT per-edge attention aggregation with edge softmax.
+//
+// The CSR operands are owned by the caller (GraphContext in src/nn) and
+// must outlive the autodiff tape. SpMM takes both the forward matrix and
+// its transpose so the backward pass dX = Aᵀ·dY is a second race-free
+// row-parallel SpMM rather than an atomic scatter.
+#pragma once
+
+#include "ag/value.hpp"
+#include "graph/csr.hpp"
+#include "graph/sampling.hpp"
+
+namespace gsoup::ag {
+
+/// Y = A · X where A is a weighted CSR (in-edge convention: row i of A
+/// holds weights of edges (j -> i)). `a_transpose` must be the weighted
+/// transpose of `a`; both must carry values.
+Value spmm(const Csr& a, const Csr& a_transpose, const Value& x);
+
+/// Multi-head GAT aggregation (Veličković et al.):
+///   z_e      = score_dst[dst_e, h] + score_src[src_e, h]
+///   alpha_e  = softmax over in-edges of dst_e of LeakyReLU(z_e)
+///   out[i,h] = Σ_{e: dst_e = i} alpha_e · h_src[src_e, h]
+///
+/// `h` is [n, heads*dim]; `score_dst`/`score_src` are [n, heads] (the aᵀWh
+/// dot products, computed by matmul so their parameter grads come for
+/// free). `graph` is the unweighted structure (with self loops);
+/// `graph_t` its transpose with edge-id mapping, used by the backward
+/// scatter to sources. Saves the attention coefficients (E × heads) for
+/// the backward pass — the memory signature that makes learned souping
+/// with GAT the most memory-hungry configuration in the paper (Fig. 4b).
+Value gat_attention(const Csr& graph, const CsrTranspose& graph_t,
+                    const Value& h, const Value& score_dst,
+                    const Value& score_src, std::int64_t heads, float slope);
+
+/// Bipartite-block SpMM for minibatch training: Y[i] = Σ_e w_e X[src_e]
+/// over a sampled Block. X rows are block-local (size block.num_src()).
+Value block_spmm(const Block& block, const Value& x);
+
+/// Narrow a block-local matrix to its first `rows` rows (the destination
+/// nodes of a block). Gradient scatters back into the leading rows.
+Value narrow_rows(const Value& x, std::int64_t rows);
+
+/// Gather rows of a constant feature matrix by global index (minibatch
+/// input construction; non-differentiable w.r.t. indices, and `features`
+/// is expected to be a constant).
+Value gather_rows(const Value& features,
+                  std::span<const std::int64_t> row_ids);
+
+}  // namespace gsoup::ag

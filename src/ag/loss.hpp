@@ -1,0 +1,19 @@
+// Masked softmax cross-entropy — the node-classification loss evaluated on
+// a node subset (train mask for ingredient training; validation mask or a
+// partition subgraph's validation mask for learned souping).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "ag/value.hpp"
+
+namespace gsoup::ag {
+
+/// L = -(1/|nodes|) Σ_{v in nodes} log softmax(logits[v])[labels[v]].
+/// Returns a scalar Value. `nodes` must be non-empty; labels are indexed by
+/// absolute node id (same indexing as the logits rows).
+Value cross_entropy(const Value& logits, std::span<const std::int32_t> labels,
+                    std::span<const std::int64_t> nodes);
+
+}  // namespace gsoup::ag

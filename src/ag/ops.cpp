@@ -1,0 +1,324 @@
+#include "ag/ops.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace gsoup::ag {
+
+namespace {
+/// a.grad += g (allocating on first touch). Shared by all backward rules.
+void accumulate(const Value& parent, const Tensor& g) {
+  if (parent->requires_grad) parent->ensure_grad().add_(g);
+}
+}  // namespace
+
+Value matmul(const Value& a, const Value& b) {
+  Tensor out = ops::matmul(a->value, b->value);
+  return make_node(
+      std::move(out), {a, b},
+      [a, b](Node& node) {
+        if (a->requires_grad) {
+          // dA = dC · Bᵀ
+          a->ensure_grad().add_(ops::matmul_nt(node.grad, b->value));
+        }
+        if (b->requires_grad) {
+          // dB = Aᵀ · dC
+          b->ensure_grad().add_(ops::matmul_tn(a->value, node.grad));
+        }
+      },
+      "matmul");
+}
+
+Value add(const Value& a, const Value& b) {
+  Tensor out = ops::add(a->value, b->value);
+  return make_node(
+      std::move(out), {a, b},
+      [a, b](Node& node) {
+        accumulate(a, node.grad);
+        accumulate(b, node.grad);
+      },
+      "add");
+}
+
+Value add_bias(const Value& x, const Value& bias) {
+  Tensor out = ops::add_row_broadcast(x->value, bias->value);
+  return make_node(
+      std::move(out), {x, bias},
+      [x, bias](Node& node) {
+        accumulate(x, node.grad);
+        if (bias->requires_grad) {
+          Tensor& bg = bias->ensure_grad();
+          const std::int64_t m = node.grad.shape(0);
+          const std::int64_t n = node.grad.shape(1);
+          const float* g = node.grad.data();
+          float* pb = bg.data();
+          for (std::int64_t i = 0; i < m; ++i) {
+            for (std::int64_t j = 0; j < n; ++j) pb[j] += g[i * n + j];
+          }
+        }
+      },
+      "add_bias");
+}
+
+Value scale(const Value& x, float s) {
+  Tensor out = ops::scale(x->value, s);
+  return make_node(
+      std::move(out), {x},
+      [x, s](Node& node) {
+        if (x->requires_grad) x->ensure_grad().add_(node.grad, s);
+      },
+      "scale");
+}
+
+Value relu(const Value& x) {
+  Tensor out = ops::relu(x->value);
+  return make_node(
+      std::move(out), {x},
+      [x](Node& node) {
+        if (!x->requires_grad) return;
+        Tensor& xg = x->ensure_grad();
+        const float* xv = x->value.data();
+        const float* g = node.grad.data();
+        float* dst = xg.data();
+        const std::int64_t n = node.grad.numel();
+        for (std::int64_t i = 0; i < n; ++i) {
+          if (xv[i] > 0.0f) dst[i] += g[i];
+        }
+      },
+      "relu");
+}
+
+Value elu(const Value& x) {
+  Tensor out = ops::elu(x->value);
+  // Save the output: d/dx elu(x) = x>0 ? 1 : elu(x)+1.
+  Tensor saved = out;
+  return make_node(
+      std::move(out), {x},
+      [x, saved](Node& node) {
+        if (!x->requires_grad) return;
+        Tensor& xg = x->ensure_grad();
+        const float* xv = x->value.data();
+        const float* ov = saved.data();
+        const float* g = node.grad.data();
+        float* dst = xg.data();
+        const std::int64_t n = node.grad.numel();
+        for (std::int64_t i = 0; i < n; ++i) {
+          dst[i] += g[i] * (xv[i] > 0.0f ? 1.0f : ov[i] + 1.0f);
+        }
+      },
+      "elu");
+}
+
+Value leaky_relu(const Value& x, float slope) {
+  Tensor out = ops::leaky_relu(x->value, slope);
+  return make_node(
+      std::move(out), {x},
+      [x, slope](Node& node) {
+        if (!x->requires_grad) return;
+        Tensor& xg = x->ensure_grad();
+        const float* xv = x->value.data();
+        const float* g = node.grad.data();
+        float* dst = xg.data();
+        const std::int64_t n = node.grad.numel();
+        for (std::int64_t i = 0; i < n; ++i) {
+          dst[i] += g[i] * (xv[i] > 0.0f ? 1.0f : slope);
+        }
+      },
+      "leaky_relu");
+}
+
+Value dropout(const Value& x, float p, Rng& rng, bool training) {
+  if (!training || p <= 0.0f) return x;
+  GSOUP_CHECK_MSG(p < 1.0f, "dropout probability must be < 1");
+  const float keep = 1.0f - p;
+  const float inv_keep = 1.0f / keep;
+  Tensor mask = Tensor::empty(x->value.shape());
+  {
+    float* pm = mask.data();
+    const std::int64_t n = mask.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      pm[i] = rng.bernoulli(keep) ? inv_keep : 0.0f;
+    }
+  }
+  Tensor out = ops::mul(x->value, mask);
+  return make_node(
+      std::move(out), {x},
+      [x, mask](Node& node) {
+        if (x->requires_grad) {
+          x->ensure_grad().add_(ops::mul(node.grad, mask));
+        }
+      },
+      "dropout");
+}
+
+Value head_mean(const Value& x, std::int64_t heads) {
+  GSOUP_CHECK_MSG(x->value.rank() == 2 && heads >= 1 &&
+                      x->value.shape(1) % heads == 0,
+                  "head_mean: bad shape " << x->value.shape_str()
+                                          << " for heads=" << heads);
+  const std::int64_t n = x->value.shape(0);
+  const std::int64_t d = x->value.shape(1) / heads;
+  const float inv = 1.0f / static_cast<float>(heads);
+  Tensor out = Tensor::zeros({n, d});
+  {
+    const float* px = x->value.data();
+    float* po = out.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t h = 0; h < heads; ++h) {
+        const float* row = px + (i * heads + h) * d;
+        float* orow = po + i * d;
+        for (std::int64_t j = 0; j < d; ++j) orow[j] += inv * row[j];
+      }
+    }
+  }
+  return make_node(
+      std::move(out), {x},
+      [x, heads, n, d, inv](Node& node) {
+        if (!x->requires_grad) return;
+        Tensor& xg = x->ensure_grad();
+        const float* g = node.grad.data();
+        float* dst = xg.data();
+        for (std::int64_t i = 0; i < n; ++i) {
+          const float* grow = g + i * d;
+          for (std::int64_t h = 0; h < heads; ++h) {
+            float* drow = dst + (i * heads + h) * d;
+            for (std::int64_t j = 0; j < d; ++j) drow[j] += inv * grow[j];
+          }
+        }
+      },
+      "head_mean");
+}
+
+Value vec_softmax(const Value& x) {
+  Tensor out = ops::vec_softmax(x->value);
+  Tensor saved = out;
+  return make_node(
+      std::move(out), {x},
+      [x, saved](Node& node) {
+        if (!x->requires_grad) return;
+        // dxi = si * (gi - Σ_j gj sj)
+        const float* s = saved.data();
+        const float* g = node.grad.data();
+        const std::int64_t n = saved.numel();
+        float inner = 0.0f;
+        for (std::int64_t j = 0; j < n; ++j) inner += g[j] * s[j];
+        Tensor& xg = x->ensure_grad();
+        float* dst = xg.data();
+        for (std::int64_t i = 0; i < n; ++i) {
+          dst[i] += s[i] * (g[i] - inner);
+        }
+      },
+      "vec_softmax");
+}
+
+Value per_head_dot(const Value& x, const Value& a, std::int64_t heads) {
+  GSOUP_CHECK_MSG(x->value.rank() == 2 && a->value.rank() == 1 &&
+                      x->value.shape(1) == a->value.shape(0) &&
+                      heads >= 1 && x->value.shape(1) % heads == 0,
+                  "per_head_dot: bad shapes " << x->value.shape_str()
+                                              << " / "
+                                              << a->value.shape_str());
+  const std::int64_t n = x->value.shape(0);
+  const std::int64_t d = x->value.shape(1) / heads;
+  Tensor out = Tensor::empty({n, heads});
+  {
+    const float* __restrict__ px = x->value.data();
+    const float* __restrict__ pa = a->value.data();
+    float* __restrict__ po = out.data();
+#pragma omp parallel for schedule(static) if (n >= 256)
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t h = 0; h < heads; ++h) {
+        const float* xrow = px + i * heads * d + h * d;
+        const float* arow = pa + h * d;
+        float acc = 0.0f;
+        for (std::int64_t j = 0; j < d; ++j) acc += xrow[j] * arow[j];
+        po[i * heads + h] = acc;
+      }
+    }
+  }
+  return make_node(
+      std::move(out), {x, a},
+      [x, a, heads, n, d](Node& node) {
+        const float* __restrict__ g = node.grad.data();
+        const float* __restrict__ px = x->value.data();
+        const float* __restrict__ pa = a->value.data();
+        if (x->requires_grad) {
+          float* __restrict__ dst = x->ensure_grad().data();
+          for (std::int64_t i = 0; i < n; ++i) {
+            for (std::int64_t h = 0; h < heads; ++h) {
+              const float gv = g[i * heads + h];
+              const float* arow = pa + h * d;
+              float* drow = dst + i * heads * d + h * d;
+              for (std::int64_t j = 0; j < d; ++j) drow[j] += gv * arow[j];
+            }
+          }
+        }
+        if (a->requires_grad) {
+          float* __restrict__ dst = a->ensure_grad().data();
+          for (std::int64_t i = 0; i < n; ++i) {
+            for (std::int64_t h = 0; h < heads; ++h) {
+              const float gv = g[i * heads + h];
+              const float* xrow = px + i * heads * d + h * d;
+              float* drow = dst + h * d;
+              for (std::int64_t j = 0; j < d; ++j) drow[j] += gv * xrow[j];
+            }
+          }
+        }
+      },
+      "per_head_dot");
+}
+
+Value linear_combination(std::span<const Tensor> ingredients,
+                         const Value& weights) {
+  GSOUP_CHECK_MSG(!ingredients.empty(), "linear_combination needs operands");
+  GSOUP_CHECK_MSG(weights->value.rank() == 1 &&
+                      weights->value.shape(0) ==
+                          static_cast<std::int64_t>(ingredients.size()),
+                  "weights shape " << weights->value.shape_str()
+                                   << " != ingredient count "
+                                   << ingredients.size());
+  for (const auto& t : ingredients) {
+    GSOUP_CHECK_MSG(t.shape() == ingredients.front().shape(),
+                    "ingredient shape mismatch");
+  }
+
+  const auto count = static_cast<std::int64_t>(ingredients.size());
+  Tensor out = Tensor::zeros(ingredients.front().shape());
+  const float* w = weights->value.data();
+  for (std::int64_t i = 0; i < count; ++i) {
+    out.add_(ingredients[i], w[i]);
+  }
+
+  // Keep the ingredient tensors alive in the closure (they are shallow
+  // handles onto shared storage, so this is cheap).
+  std::vector<Tensor> held(ingredients.begin(), ingredients.end());
+  return make_node(
+      std::move(out), {weights},
+      [weights, held = std::move(held)](Node& node) {
+        if (!weights->requires_grad) return;
+        Tensor& wg = weights->ensure_grad();
+        float* dst = wg.data();
+        for (std::size_t i = 0; i < held.size(); ++i) {
+          dst[i] += ops::dot(node.grad, held[i]);
+        }
+      },
+      "linear_combination");
+}
+
+Value sum(const Value& x) {
+  Tensor out = Tensor::full({1}, ops::sum(x->value));
+  return make_node(
+      std::move(out), {x},
+      [x](Node& node) {
+        if (x->requires_grad) {
+          x->ensure_grad().add_(
+              Tensor::full(x->value.shape(), node.grad.at(0)));
+        }
+      },
+      "sum");
+}
+
+}  // namespace gsoup::ag

@@ -1,0 +1,138 @@
+#include "core/alpha.hpp"
+
+#include "ag/ops.hpp"
+#include "tensor/init.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace gsoup {
+
+const char* alpha_granularity_name(AlphaGranularity g) {
+  switch (g) {
+    case AlphaGranularity::kLayer: return "layer";
+    case AlphaGranularity::kTensor: return "tensor";
+    case AlphaGranularity::kGlobal: return "global";
+  }
+  return "?";
+}
+
+AlphaSet::AlphaSet(const ParamStore& reference, std::int64_t num_ingredients,
+                   AlphaGranularity granularity, Rng& rng)
+    : num_ingredients_(num_ingredients) {
+  GSOUP_CHECK_MSG(num_ingredients >= 1, "need at least one ingredient");
+  std::int64_t groups = 0;
+  switch (granularity) {
+    case AlphaGranularity::kLayer:
+      groups = reference.num_layers();
+      for (const auto& e : reference.entries()) {
+        group_index_[e.name] = e.layer;
+      }
+      break;
+    case AlphaGranularity::kTensor:
+      for (const auto& e : reference.entries()) {
+        group_index_[e.name] = groups++;
+      }
+      break;
+    case AlphaGranularity::kGlobal:
+      groups = 1;
+      for (const auto& e : reference.entries()) {
+        group_index_[e.name] = 0;
+      }
+      break;
+  }
+  GSOUP_CHECK_MSG(groups >= 1, "no parameter groups");
+  logits_.reserve(static_cast<std::size_t>(groups));
+  for (std::int64_t gi = 0; gi < groups; ++gi) {
+    Tensor logit = Tensor::empty({num_ingredients});
+    init::xavier_normal(logit, rng);
+    logits_.push_back(ag::make_leaf(std::move(logit), /*requires_grad=*/true));
+  }
+}
+
+std::int64_t AlphaSet::group_of(const std::string& name) const {
+  const auto it = group_index_.find(name);
+  GSOUP_CHECK_MSG(it != group_index_.end(), "unknown parameter " << name);
+  return it->second;
+}
+
+ParamMap AlphaSet::build_soup_values(
+    std::span<const Ingredient> ingredients) const {
+  GSOUP_CHECK_MSG(static_cast<std::int64_t>(ingredients.size()) ==
+                      num_ingredients_,
+                  "ingredient count changed");
+  // One softmax node per group per soup build, shared by every parameter
+  // of the group — so each group's logits get exactly one well-defined
+  // gradient path per parameter use.
+  std::vector<ag::Value> weights;
+  weights.reserve(logits_.size());
+  for (const auto& logit : logits_) {
+    weights.push_back(ag::vec_softmax(logit));
+  }
+
+  ParamMap soup;
+  std::vector<Tensor> stack;
+  for (const auto& e : ingredients.front().params.entries()) {
+    stack.clear();
+    stack.reserve(ingredients.size());
+    for (const auto& ing : ingredients) {
+      stack.push_back(ing.params.get(e.name));
+    }
+    const auto group = group_of(e.name);
+    soup.emplace(e.name,
+                 ag::linear_combination(stack, weights[group]));
+  }
+  return soup;
+}
+
+ParamStore AlphaSet::build_soup(
+    std::span<const Ingredient> ingredients) const {
+  ag::NoGradGuard no_grad;
+  ParamStore store;
+  for (const auto& e : ingredients.front().params.entries()) {
+    const auto group = group_of(e.name);
+    const Tensor w = ops::vec_softmax(logits_[group]->value);
+    Tensor mixed = Tensor::zeros(e.tensor.shape());
+    for (std::size_t i = 0; i < ingredients.size(); ++i) {
+      mixed.add_(ingredients[i].params.get(e.name), w.at(static_cast<std::int64_t>(i)));
+    }
+    store.add(e.name, std::move(mixed), e.layer);
+  }
+  return store;
+}
+
+std::vector<float> AlphaSet::group_weights(std::int64_t group) const {
+  GSOUP_CHECK_MSG(group >= 0 && group < num_groups(), "group out of range");
+  const Tensor w = ops::vec_softmax(logits_[group]->value);
+  return {w.data(), w.data() + w.numel()};
+}
+
+std::int64_t AlphaSet::suppress_below(double fraction_of_uniform) {
+  GSOUP_CHECK_MSG(fraction_of_uniform >= 0.0 && fraction_of_uniform < 1.0,
+                  "suppression fraction must be in [0, 1)");
+  const float threshold = static_cast<float>(
+      fraction_of_uniform / static_cast<double>(num_ingredients_));
+  // A -30 logit offset drives the softmax weight to ~1e-13 of the top
+  // ingredient — numerically zero, which is exactly what plain softmax
+  // cannot reach by gradient descent (paper §V-A).
+  constexpr float kSuppressOffset = 30.0f;
+  std::int64_t suppressed = 0;
+  for (auto& logit : logits_) {
+    const Tensor w = ops::vec_softmax(logit->value);
+    std::int64_t top = 0;
+    for (std::int64_t i = 1; i < num_ingredients_; ++i) {
+      if (w.at(i) > w.at(top)) top = i;
+    }
+    float max_logit = logit->value.at(0);
+    for (std::int64_t i = 1; i < num_ingredients_; ++i) {
+      max_logit = std::max(max_logit, logit->value.at(i));
+    }
+    for (std::int64_t i = 0; i < num_ingredients_; ++i) {
+      if (i == top || w.at(i) >= threshold) continue;
+      logit->value.at(i) = max_logit - kSuppressOffset;
+      ++suppressed;
+    }
+  }
+  return suppressed;
+}
+
+}  // namespace gsoup

@@ -1,0 +1,73 @@
+// Interpolation-parameter ("alpha") machinery shared by Learned Souping
+// and Partition Learned Souping.
+//
+// The paper attaches one interpolation coefficient per ingredient per
+// *layer* (Eq. 3). We represent the coefficients as free logits passed
+// through a softmax over the ingredient axis — the constraint the paper
+// discusses in §V-A ("the softmax function is not able to assign a zero to
+// the interpolation ratio"). Granularity is configurable for the ablation
+// bench: per-layer (paper), per-tensor (finer), or one global vector.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ag/value.hpp"
+#include "nn/param.hpp"
+#include "train/ingredient_farm.hpp"
+#include "util/rng.hpp"
+
+namespace gsoup {
+
+enum class AlphaGranularity { kLayer, kTensor, kGlobal };
+
+const char* alpha_granularity_name(AlphaGranularity g);
+
+/// The learnable mixing state: one logit vector (length = #ingredients)
+/// per parameter group.
+class AlphaSet {
+ public:
+  /// Build logits for the given ingredient template. Logits are
+  /// Xavier-normal initialised (paper Alg. 3: "Initialize Alphas using
+  /// Normal Xavier Initialization").
+  AlphaSet(const ParamStore& reference, std::int64_t num_ingredients,
+           AlphaGranularity granularity, Rng& rng);
+
+  /// Group index for a parameter name.
+  std::int64_t group_of(const std::string& name) const;
+  std::int64_t num_groups() const {
+    return static_cast<std::int64_t>(logits_.size());
+  }
+  std::int64_t num_ingredients() const { return num_ingredients_; }
+
+  /// The trainable leaves (for the optimiser).
+  const std::vector<ag::Value>& logits() const { return logits_; }
+
+  /// Build the soup as autodiff values: for every parameter name,
+  /// Σ_i softmax(logits_group)_i · W_i. Gradients flow to the logits.
+  ParamMap build_soup_values(
+      std::span<const Ingredient> ingredients) const;
+
+  /// Materialise the current soup as plain tensors (no tape).
+  ParamStore build_soup(std::span<const Ingredient> ingredients) const;
+
+  /// Current softmax weights of one group (diagnostics/tests).
+  std::vector<float> group_weights(std::int64_t group) const;
+
+  /// Ingredient drop-out (paper §VIII future work): in every group, push
+  /// the logits of ingredients whose current weight is below
+  /// `fraction_of_uniform`·(1/N) to an effectively-zero softmax weight.
+  /// The strongest ingredient of a group is never suppressed. Returns the
+  /// number of (group, ingredient) entries suppressed by this call.
+  std::int64_t suppress_below(double fraction_of_uniform);
+
+ private:
+  std::int64_t num_ingredients_ = 0;
+  std::map<std::string, std::int64_t> group_index_;
+  std::vector<ag::Value> logits_;
+};
+
+}  // namespace gsoup

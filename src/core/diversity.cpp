@@ -1,0 +1,92 @@
+#include "core/diversity.hpp"
+
+#include <cmath>
+
+#include "ag/value.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace gsoup {
+
+namespace {
+
+double param_l2(const ParamStore& params) {
+  double acc = 0.0;
+  for (const auto& e : params.entries()) {
+    acc += static_cast<double>(ops::dot(e.tensor, e.tensor));
+  }
+  return std::sqrt(acc);
+}
+
+double param_distance(const ParamStore& a, const ParamStore& b) {
+  double acc = 0.0;
+  for (const auto& e : a.entries()) {
+    const Tensor& ta = e.tensor;
+    const Tensor& tb = b.get(e.name);
+    const float* pa = ta.data();
+    const float* pb = tb.data();
+    for (std::int64_t i = 0; i < ta.numel(); ++i) {
+      const double d = static_cast<double>(pa[i]) - pb[i];
+      acc += d * d;
+    }
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+DiversityReport ingredient_diversity(
+    const GnnModel& model, const GraphContext& ctx, const Dataset& data,
+    std::span<const Ingredient> ingredients, Split split) {
+  GSOUP_CHECK_MSG(ingredients.size() >= 2,
+                  "diversity needs at least two ingredients");
+  const auto nodes = data.split_nodes(split);
+  GSOUP_CHECK_MSG(!nodes.empty(), "empty split");
+
+  // Predictions per ingredient (inference mode).
+  std::vector<std::vector<std::int64_t>> predictions;
+  predictions.reserve(ingredients.size());
+  {
+    ag::NoGradGuard no_grad;
+    const ag::Value x = ag::constant(data.features);
+    for (const auto& ing : ingredients) {
+      const ParamMap map = as_leaves(ing.params, false);
+      const ag::Value logits = model.forward(ctx, x, map);
+      predictions.push_back(ops::row_argmax(logits->value));
+    }
+  }
+
+  DiversityReport report;
+  double pairs = 0.0;
+  for (std::size_t a = 0; a < ingredients.size(); ++a) {
+    for (std::size_t b = a + 1; b < ingredients.size(); ++b) {
+      ++pairs;
+      const double na = param_l2(ingredients[a].params);
+      const double nb = param_l2(ingredients[b].params);
+      report.parameter_distance +=
+          param_distance(ingredients[a].params, ingredients[b].params) /
+          (0.5 * (na + nb));
+      std::int64_t disagree = 0;
+      for (const auto v : nodes) {
+        disagree += predictions[a][v] != predictions[b][v] ? 1 : 0;
+      }
+      report.prediction_disagreement +=
+          static_cast<double>(disagree) / static_cast<double>(nodes.size());
+    }
+  }
+  report.parameter_distance /= pairs;
+  report.prediction_disagreement /= pairs;
+
+  double mean = 0.0, sq = 0.0;
+  for (const auto& ing : ingredients) {
+    const double acc = split == Split::kTest ? ing.test_acc : ing.val_acc;
+    mean += acc;
+    sq += acc * acc;
+  }
+  const auto n = static_cast<double>(ingredients.size());
+  mean /= n;
+  report.accuracy_stddev = std::sqrt(std::max(0.0, sq / n - mean * mean));
+  return report;
+}
+
+}  // namespace gsoup

@@ -1,0 +1,39 @@
+// Ingredient diversity metrics — the paper's §VIII closes with "the notion
+// of diversity which is known so well in the field of model ensembles
+// could be useful for the preparation of soups". These utilities quantify
+// it two ways:
+//   * parameter diversity: mean pairwise relative L2 distance between
+//     ingredient weight vectors (how far apart in the loss landscape), and
+//   * functional diversity: mean pairwise prediction disagreement on a
+//     node split (do the ingredients make different mistakes?).
+// §V-A's US-wins-on-Reddit/GAT anomaly was driven by an unusually LOW
+// ingredient diversity (std 0.06%), so the metric is directly actionable.
+#pragma once
+
+#include <span>
+
+#include "graph/dataset.hpp"
+#include "nn/graph_context.hpp"
+#include "nn/model.hpp"
+#include "train/ingredient_farm.hpp"
+
+namespace gsoup {
+
+struct DiversityReport {
+  /// Mean over pairs of ||W_a - W_b|| / (0.5*(||W_a|| + ||W_b||)).
+  double parameter_distance = 0.0;
+  /// Mean over pairs of the fraction of split nodes where the two
+  /// ingredients predict different classes.
+  double prediction_disagreement = 0.0;
+  /// Stddev of ingredient accuracy on the split (the §V-A statistic).
+  double accuracy_stddev = 0.0;
+};
+
+/// Compute all three diversity statistics for an ingredient set.
+DiversityReport ingredient_diversity(const GnnModel& model,
+                                     const GraphContext& ctx,
+                                     const Dataset& data,
+                                     std::span<const Ingredient> ingredients,
+                                     Split split = Split::kTest);
+
+}  // namespace gsoup

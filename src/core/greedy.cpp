@@ -1,0 +1,38 @@
+#include "core/greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "train/metrics.hpp"
+
+namespace gsoup {
+
+ParamStore GreedySouper::mix(const SoupContext& sctx) {
+  // Msorted <- SORT_ValAcc(M), descending.
+  std::vector<std::size_t> order(sctx.ingredients.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return sctx.ingredients[a].val_acc > sctx.ingredients[b].val_acc;
+  });
+
+  selected_.clear();
+  std::vector<const ParamStore*> members;
+  ParamStore soup;
+  double soup_val = -1.0;
+  for (const auto idx : order) {
+    members.push_back(&sctx.ingredients[idx].params);
+    ParamStore candidate = ParamStore::average(members);
+    const double candidate_val = evaluate_split(
+        sctx.model, sctx.ctx, sctx.data, candidate, Split::kVal);
+    if (candidate_val >= soup_val) {
+      soup = std::move(candidate);
+      soup_val = candidate_val;
+      selected_.push_back(sctx.ingredients[idx].id);
+    } else {
+      members.pop_back();
+    }
+  }
+  return soup;
+}
+
+}  // namespace gsoup

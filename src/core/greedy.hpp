@@ -1,0 +1,22 @@
+// Greedy Souping (Algorithm 1 of the paper, after Wortsman et al.):
+// sort ingredients by validation accuracy; iteratively add each to the
+// soup if the running average's validation accuracy does not decrease.
+#pragma once
+
+#include "core/soup.hpp"
+
+namespace gsoup {
+
+class GreedySouper final : public Souper {
+ public:
+  std::string name() const override { return "Greedy"; }
+  ParamStore mix(const SoupContext& sctx) override;
+
+  /// Ingredients kept by the last mix() (ids), for diagnostics/tests.
+  const std::vector<std::int64_t>& selected() const { return selected_; }
+
+ private:
+  std::vector<std::int64_t> selected_;
+};
+
+}  // namespace gsoup

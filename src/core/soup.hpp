@@ -1,0 +1,59 @@
+// Common souping interface and the instrumented runner used by every
+// benchmark: a Souper consumes trained ingredients and produces a single
+// parameter store (the soup); run_souper() wraps the mix with wall-clock
+// and peak-memory instrumentation and evaluates the result — producing
+// exactly the columns of the paper's Tables II/III and Fig. 4.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "graph/dataset.hpp"
+#include "nn/graph_context.hpp"
+#include "nn/model.hpp"
+#include "train/ingredient_farm.hpp"
+
+namespace gsoup {
+
+/// Everything a souping algorithm may need. The graph context wraps the
+/// dataset's full graph for the model's architecture.
+struct SoupContext {
+  const GnnModel& model;
+  const GraphContext& ctx;
+  const Dataset& data;
+  std::span<const Ingredient> ingredients;
+};
+
+/// Abstract souping strategy (US / Greedy / GIS / LS / PLS).
+class Souper {
+ public:
+  virtual ~Souper() = default;
+  virtual std::string name() const = 0;
+  /// Combine the ingredients into a single model. Called inside the timed
+  /// + memory-instrumented region; expensive preprocessing that the paper
+  /// treats as offline (e.g. PLS partitioning) belongs in the constructor.
+  virtual ParamStore mix(const SoupContext& sctx) = 0;
+};
+
+/// Instrumented result of one souping run.
+struct SoupReport {
+  std::string method;
+  double val_acc = 0.0;
+  double test_acc = 0.0;
+  double seconds = 0.0;          ///< souping wall time (mix only)
+  std::size_t peak_bytes = 0;    ///< tensor bytes: ingredients + mixing peak
+  std::size_t mix_peak_bytes = 0;///< peak allocated above entry during mix
+  ParamStore soup;
+};
+
+/// Run one souping strategy under instrumentation and evaluate the soup on
+/// the validation and test splits.
+SoupReport run_souper(Souper& souper, const SoupContext& sctx);
+
+/// Total tensor bytes held by an ingredient set (all must be resident
+/// during souping — the paper's "all candidate ingredients must be present
+/// on the device", §III-B).
+std::size_t ingredients_bytes(std::span<const Ingredient> ingredients);
+
+}  // namespace gsoup

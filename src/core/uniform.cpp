@@ -1,0 +1,14 @@
+#include "core/uniform.hpp"
+
+#include <vector>
+
+namespace gsoup {
+
+ParamStore UniformSouper::mix(const SoupContext& sctx) {
+  std::vector<const ParamStore*> models;
+  models.reserve(sctx.ingredients.size());
+  for (const auto& ing : sctx.ingredients) models.push_back(&ing.params);
+  return ParamStore::average(models);
+}
+
+}  // namespace gsoup

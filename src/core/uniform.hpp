@@ -1,0 +1,18 @@
+// Uniform Souping (US) — the "uninformed" baseline (Wortsman et al.;
+// paper §II-B): average the parameters of all ingredients. No forward
+// passes, so it is the fastest and least memory-hungry strategy, but it
+// cannot down-weight poor ingredients (paper Table II shows it worst on
+// accuracy almost everywhere).
+#pragma once
+
+#include "core/soup.hpp"
+
+namespace gsoup {
+
+class UniformSouper final : public Souper {
+ public:
+  std::string name() const override { return "US"; }
+  ParamStore mix(const SoupContext& sctx) override;
+};
+
+}  // namespace gsoup

@@ -1,0 +1,64 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gsoup {
+
+Csr build_csr(std::int64_t num_nodes, std::vector<Edge> edges,
+              const BuildOptions& options) {
+  GSOUP_CHECK_MSG(num_nodes > 0, "graph needs at least one node");
+  for (const auto& e : edges) {
+    GSOUP_CHECK_MSG(e.src >= 0 && e.src < num_nodes && e.dst >= 0 &&
+                        e.dst < num_nodes,
+                    "edge endpoint out of range");
+  }
+
+  if (options.remove_self_loops_first) {
+    std::erase_if(edges, [](const Edge& e) { return e.src == e.dst; });
+  }
+
+  if (options.symmetrize) {
+    const std::size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (std::size_t i = 0; i < original; ++i) {
+      edges.push_back({edges[i].dst, edges[i].src});
+    }
+  }
+
+  if (options.add_self_loops) {
+    edges.reserve(edges.size() + static_cast<std::size_t>(num_nodes));
+    for (std::int64_t i = 0; i < num_nodes; ++i) {
+      const auto v = static_cast<std::int32_t>(i);
+      edges.push_back({v, v});
+    }
+  }
+
+  // Sort by (dst, src) so each destination's in-edge list is contiguous and
+  // sorted; dedup then removes parallel edges.
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.dst != b.dst ? a.dst < b.dst : a.src < b.src;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const Edge& a, const Edge& b) {
+                            return a.src == b.src && a.dst == b.dst;
+                          }),
+              edges.end());
+
+  Csr csr;
+  csr.num_nodes = num_nodes;
+  csr.indptr.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  csr.indices.reserve(edges.size());
+  for (const auto& e : edges) {
+    ++csr.indptr[static_cast<std::size_t>(e.dst) + 1];
+    csr.indices.push_back(e.src);
+  }
+  for (std::int64_t i = 0; i < num_nodes; ++i) {
+    csr.indptr[i + 1] += csr.indptr[i];
+  }
+  csr.validate();
+  return csr;
+}
+
+}  // namespace gsoup

@@ -1,0 +1,30 @@
+// COO edge-list to CSR conversion with the cleanup passes every real
+// dataset needs: duplicate removal, optional symmetrisation, optional
+// self-loop insertion (GCN's Ã = A + I).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gsoup {
+
+/// A directed edge src -> dst.
+struct Edge {
+  std::int32_t src = 0;
+  std::int32_t dst = 0;
+};
+
+struct BuildOptions {
+  bool symmetrize = true;     ///< add the reverse of every edge
+  bool add_self_loops = true; ///< ensure (i -> i) for every node
+  bool remove_self_loops_first = true;  ///< drop input self loops before add
+};
+
+/// Build a CSR (in-edge convention) from a COO edge list. Duplicates are
+/// always removed; neighbour lists come out sorted by source id.
+Csr build_csr(std::int64_t num_nodes, std::vector<Edge> edges,
+              const BuildOptions& options = {});
+
+}  // namespace gsoup

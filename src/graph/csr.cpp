@@ -1,0 +1,70 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gsoup {
+
+void Csr::validate() const {
+  GSOUP_CHECK_MSG(num_nodes >= 0, "negative node count");
+  GSOUP_CHECK_MSG(static_cast<std::int64_t>(indptr.size()) == num_nodes + 1,
+                  "indptr size " << indptr.size() << " != num_nodes+1");
+  GSOUP_CHECK_MSG(indptr.front() == 0, "indptr must start at 0");
+  for (std::int64_t i = 0; i < num_nodes; ++i) {
+    GSOUP_CHECK_MSG(indptr[i] <= indptr[i + 1],
+                    "indptr not monotone at node " << i);
+  }
+  GSOUP_CHECK_MSG(indptr.back() == num_edges(),
+                  "indptr end " << indptr.back() << " != num_edges "
+                                << num_edges());
+  for (const auto j : indices) {
+    GSOUP_CHECK_MSG(j >= 0 && j < num_nodes, "edge endpoint out of range");
+  }
+  GSOUP_CHECK_MSG(values.empty() || static_cast<std::int64_t>(values.size()) ==
+                                        num_edges(),
+                  "values size mismatch");
+}
+
+bool Csr::is_symmetric() const {
+  for (std::int64_t i = 0; i < num_nodes; ++i) {
+    for (const auto j : neighbors(i)) {
+      const auto nb = neighbors(j);
+      if (!std::binary_search(nb.begin(), nb.end(),
+                              static_cast<std::int32_t>(i))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+CsrTranspose Csr::transpose() const {
+  CsrTranspose out;
+  Csr& t = out.graph;
+  t.num_nodes = num_nodes;
+  t.indptr.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+
+  // Count out-degrees, then prefix-sum into indptr (classic two-pass CSR
+  // transpose).
+  for (const auto j : indices) ++t.indptr[static_cast<std::size_t>(j) + 1];
+  for (std::int64_t i = 0; i < num_nodes; ++i) t.indptr[i + 1] += t.indptr[i];
+
+  t.indices.resize(indices.size());
+  out.edge_map.resize(indices.size());
+  if (!values.empty()) t.values.resize(values.size());
+
+  std::vector<std::int64_t> cursor(t.indptr.begin(), t.indptr.end() - 1);
+  for (std::int64_t dst = 0; dst < num_nodes; ++dst) {
+    for (std::int64_t e = indptr[dst]; e < indptr[dst + 1]; ++e) {
+      const std::int32_t src = indices[e];
+      const std::int64_t pos = cursor[src]++;
+      t.indices[pos] = static_cast<std::int32_t>(dst);
+      out.edge_map[pos] = e;
+      if (!values.empty()) t.values[pos] = values[e];
+    }
+  }
+  return out;
+}
+
+}  // namespace gsoup

@@ -1,0 +1,65 @@
+// Compressed-sparse-row graph storage.
+//
+// Convention: the CSR stores *in-edges*. For destination node i,
+// indices[indptr[i] .. indptr[i+1]) are the source nodes j of edges j→i.
+// Datasets in this library are symmetrised so in- and out-neighbourhoods
+// coincide structurally, but per-edge values (e.g. GCN normalisation
+// weights, GAT attention) are directional, so the transpose carries an
+// edge-id mapping for backward scatters.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gsoup {
+
+struct CsrTranspose;
+
+/// CSR adjacency with optional per-edge weights.
+struct Csr {
+  std::int64_t num_nodes = 0;
+  /// Size num_nodes+1; edge range of node i is [indptr[i], indptr[i+1]).
+  std::vector<std::int64_t> indptr;
+  /// Size num_edges; source node of each in-edge.
+  std::vector<std::int32_t> indices;
+  /// Optional, size num_edges when present: per-edge weight.
+  std::vector<float> values;
+
+  std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(indices.size());
+  }
+  bool weighted() const { return !values.empty(); }
+
+  /// In-degree of node i.
+  std::int64_t degree(std::int64_t i) const {
+    return indptr[i + 1] - indptr[i];
+  }
+  /// Neighbours (sources of in-edges) of node i.
+  std::span<const std::int32_t> neighbors(std::int64_t i) const {
+    return {indices.data() + indptr[i],
+            static_cast<std::size_t>(degree(i))};
+  }
+
+  /// Structural validation: monotone indptr, indices in range, sizes
+  /// consistent. Throws CheckError on violation.
+  void validate() const;
+
+  /// True if for every edge (j -> i) the reverse edge (i -> j) exists.
+  bool is_symmetric() const;
+
+  /// Build the transpose (out-edge view) with an edge-id mapping back into
+  /// this CSR. values are carried through the permutation when present.
+  CsrTranspose transpose() const;
+};
+
+/// Transpose of a Csr: `graph` is the transposed adjacency, and
+/// edge_map[k] gives the edge id in the *original* CSR corresponding to
+/// transposed edge k (needed to look up per-edge quantities saved during a
+/// forward pass when scattering gradients by source).
+struct CsrTranspose {
+  Csr graph;
+  std::vector<std::int64_t> edge_map;
+};
+
+}  // namespace gsoup

@@ -1,0 +1,65 @@
+#include "graph/dataset.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace gsoup {
+
+const std::vector<std::uint8_t>& Dataset::mask(Split split) const {
+  switch (split) {
+    case Split::kTrain: return train_mask;
+    case Split::kVal: return val_mask;
+    case Split::kTest: return test_mask;
+  }
+  GSOUP_CHECK_MSG(false, "invalid split");
+  return train_mask;  // unreachable
+}
+
+std::vector<std::int64_t> Dataset::split_nodes(Split split) const {
+  const auto& m = mask(split);
+  std::vector<std::int64_t> nodes;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m[i] != 0) nodes.push_back(static_cast<std::int64_t>(i));
+  }
+  return nodes;
+}
+
+std::int64_t Dataset::split_size(Split split) const {
+  const auto& m = mask(split);
+  std::int64_t count = 0;
+  for (const auto v : m) count += v != 0 ? 1 : 0;
+  return count;
+}
+
+void Dataset::validate() const {
+  graph.validate();
+  const auto n = static_cast<std::size_t>(graph.num_nodes);
+  GSOUP_CHECK_MSG(features.rank() == 2 &&
+                      features.shape(0) == graph.num_nodes,
+                  "features rows != num_nodes");
+  GSOUP_CHECK_MSG(labels.size() == n, "labels size != num_nodes");
+  GSOUP_CHECK_MSG(train_mask.size() == n && val_mask.size() == n &&
+                      test_mask.size() == n,
+                  "mask size != num_nodes");
+  for (const auto y : labels) {
+    GSOUP_CHECK_MSG(y >= 0 && y < num_classes, "label out of range");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const int members = (train_mask[i] != 0) + (val_mask[i] != 0) +
+                        (test_mask[i] != 0);
+    GSOUP_CHECK_MSG(members <= 1, "node " << i << " in multiple splits");
+  }
+}
+
+std::string dataset_summary(const Dataset& data) {
+  std::ostringstream os;
+  os << data.name << ": " << data.num_nodes() << " nodes, "
+     << data.num_edges() << " edges, " << data.num_classes << " classes, "
+     << "splits " << data.split_size(Split::kTrain) << "/"
+     << data.split_size(Split::kVal) << "/"
+     << data.split_size(Split::kTest);
+  return os.str();
+}
+
+}  // namespace gsoup

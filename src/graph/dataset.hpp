@@ -1,0 +1,45 @@
+// Node-classification dataset container: graph + features + labels +
+// train/val/test masks. This is the only interface the training and
+// souping code sees, which is what makes the synthetic OGB-style
+// substitution (DESIGN.md §1) transparent to the algorithms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gsoup {
+
+/// Which split a node belongs to.
+enum class Split : std::uint8_t { kTrain = 0, kVal = 1, kTest = 2 };
+
+struct Dataset {
+  std::string name;
+  Csr graph;                       ///< symmetrised, with self loops
+  Tensor features;                 ///< [num_nodes, feature_dim]
+  std::vector<std::int32_t> labels;  ///< size num_nodes, in [0, num_classes)
+  std::int64_t num_classes = 0;
+  std::vector<std::uint8_t> train_mask;  ///< size num_nodes, 0/1
+  std::vector<std::uint8_t> val_mask;
+  std::vector<std::uint8_t> test_mask;
+
+  std::int64_t num_nodes() const { return graph.num_nodes; }
+  std::int64_t num_edges() const { return graph.num_edges(); }
+  std::int64_t feature_dim() const { return features.shape(1); }
+
+  const std::vector<std::uint8_t>& mask(Split split) const;
+  /// Node ids belonging to a split, ascending.
+  std::vector<std::int64_t> split_nodes(Split split) const;
+  std::int64_t split_size(Split split) const;
+
+  /// Consistency validation (sizes, label range, mask disjointness).
+  void validate() const;
+};
+
+/// Human-readable summary line matching Table I's columns.
+std::string dataset_summary(const Dataset& data);
+
+}  // namespace gsoup

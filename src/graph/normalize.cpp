@@ -1,0 +1,39 @@
+#include "graph/normalize.hpp"
+
+#include <cmath>
+
+namespace gsoup {
+
+Csr gcn_normalize(const Csr& graph) {
+  Csr out = graph;
+  out.values.resize(graph.indices.size());
+  // For symmetric graphs in-degree == out-degree, so d_j can be read from
+  // the in-degree array as well.
+  std::vector<float> inv_sqrt_deg(static_cast<std::size_t>(graph.num_nodes));
+  for (std::int64_t i = 0; i < graph.num_nodes; ++i) {
+    const auto d = graph.degree(i);
+    inv_sqrt_deg[i] =
+        d > 0 ? 1.0f / std::sqrt(static_cast<float>(d)) : 0.0f;
+  }
+  for (std::int64_t i = 0; i < graph.num_nodes; ++i) {
+    for (std::int64_t e = graph.indptr[i]; e < graph.indptr[i + 1]; ++e) {
+      out.values[e] = inv_sqrt_deg[i] * inv_sqrt_deg[graph.indices[e]];
+    }
+  }
+  return out;
+}
+
+Csr row_normalize(const Csr& graph) {
+  Csr out = graph;
+  out.values.resize(graph.indices.size());
+  for (std::int64_t i = 0; i < graph.num_nodes; ++i) {
+    const auto d = graph.degree(i);
+    const float w = d > 0 ? 1.0f / static_cast<float>(d) : 0.0f;
+    for (std::int64_t e = graph.indptr[i]; e < graph.indptr[i + 1]; ++e) {
+      out.values[e] = w;
+    }
+  }
+  return out;
+}
+
+}  // namespace gsoup

@@ -1,0 +1,22 @@
+// Adjacency normalisations used by the GNN layers.
+//
+// GCN uses the symmetric normalisation D̃^{-1/2} Ã D̃^{-1/2} (Kipf &
+// Welling); GraphSAGE's mean aggregator is the row normalisation D^{-1} A.
+// Both return a *weighted copy* of the structure — the raw CSR stays
+// unweighted so several layers can share it.
+#pragma once
+
+#include "graph/csr.hpp"
+
+namespace gsoup {
+
+/// Fill `values` with symmetric GCN weights 1/sqrt(d_i * d_j) per edge
+/// (j -> i), where degrees are in-degrees of the (self-loop-augmented)
+/// graph. The input graph is expected to already contain self loops.
+Csr gcn_normalize(const Csr& graph);
+
+/// Fill `values` with 1/d_i for every in-edge of node i (mean aggregation).
+/// Isolated nodes get zero rows.
+Csr row_normalize(const Csr& graph);
+
+}  // namespace gsoup

@@ -1,0 +1,91 @@
+#include "graph/sampling.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace gsoup {
+
+namespace {
+
+/// Sample one block: dst = seeds, srcs = dsts ∪ sampled neighbours.
+Block sample_one(const Csr& graph, std::span<const std::int64_t> seeds,
+                 std::int64_t fanout, Rng& rng) {
+  Block block;
+  block.num_dst = static_cast<std::int64_t>(seeds.size());
+  block.src_nodes.assign(seeds.begin(), seeds.end());
+  block.indptr.assign(seeds.size() + 1, 0);
+
+  std::unordered_map<std::int64_t, std::int32_t> local;
+  local.reserve(seeds.size() * 4);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    local.emplace(seeds[i], static_cast<std::int32_t>(i));
+  }
+  auto local_id = [&](std::int64_t global) {
+    const auto [it, inserted] = local.emplace(
+        global, static_cast<std::int32_t>(block.src_nodes.size()));
+    if (inserted) block.src_nodes.push_back(global);
+    return it->second;
+  };
+
+  std::vector<std::int32_t> scratch;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const auto nb = graph.neighbors(seeds[i]);
+    const auto deg = static_cast<std::int64_t>(nb.size());
+    if (fanout < 0 || deg <= fanout) {
+      for (const auto j : nb) block.indices.push_back(local_id(j));
+    } else {
+      // Floyd's algorithm: sample `fanout` distinct positions from [0, deg).
+      scratch.clear();
+      for (std::int64_t k = deg - fanout; k < deg; ++k) {
+        const auto r = static_cast<std::int32_t>(
+            rng.uniform_int(static_cast<std::uint64_t>(k) + 1));
+        if (std::find(scratch.begin(), scratch.end(), r) == scratch.end()) {
+          scratch.push_back(r);
+        } else {
+          scratch.push_back(static_cast<std::int32_t>(k));
+        }
+      }
+      for (const auto pos : scratch) block.indices.push_back(local_id(nb[pos]));
+    }
+    block.indptr[i + 1] = static_cast<std::int64_t>(block.indices.size());
+  }
+
+  // Mean-aggregation weights over the *sampled* degree (GraphSAGE).
+  block.values.resize(block.indices.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const std::int64_t deg = block.indptr[i + 1] - block.indptr[i];
+    const float w = deg > 0 ? 1.0f / static_cast<float>(deg) : 0.0f;
+    for (std::int64_t e = block.indptr[i]; e < block.indptr[i + 1]; ++e) {
+      block.values[e] = w;
+    }
+  }
+  return block;
+}
+
+}  // namespace
+
+std::vector<Block> sample_blocks(const Csr& graph,
+                                 std::span<const std::int64_t> seeds,
+                                 std::span<const std::int64_t> fanouts,
+                                 Rng& rng) {
+  GSOUP_CHECK_MSG(!seeds.empty(), "sample_blocks needs seeds");
+  GSOUP_CHECK_MSG(!fanouts.empty(), "sample_blocks needs fanouts");
+  for (const auto s : seeds) {
+    GSOUP_CHECK_MSG(s >= 0 && s < graph.num_nodes, "seed out of range");
+  }
+
+  // Build outermost layer first (the classification layer's dsts are the
+  // seeds), then walk inwards; return input-most layer first.
+  std::vector<Block> reversed;
+  std::vector<std::int64_t> frontier(seeds.begin(), seeds.end());
+  for (auto it = fanouts.rbegin(); it != fanouts.rend(); ++it) {
+    Block block = sample_one(graph, frontier, *it, rng);
+    frontier = block.src_nodes;
+    reversed.push_back(std::move(block));
+  }
+  return {reversed.rbegin(), reversed.rend()};
+}
+
+}  // namespace gsoup

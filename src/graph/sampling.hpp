@@ -1,0 +1,48 @@
+// GraphSAGE-style neighbour sampling (Hamilton et al.), used by the
+// minibatch ingredient trainer. Produces one bipartite "block" per GNN
+// layer, innermost (input) layer first, following the DGL convention the
+// paper's reference implementation uses: a block's destination nodes are a
+// prefix of its source nodes, so layer outputs can be narrowed in place.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace gsoup {
+
+/// One bipartite message-passing layer.
+struct Block {
+  /// Global node ids feeding this layer. The first `num_dst` entries are
+  /// exactly the destination nodes (in the same order).
+  std::vector<std::int64_t> src_nodes;
+  std::int64_t num_dst = 0;
+  /// In-edge CSR over local ids: for dst i (< num_dst), sampled neighbour
+  /// positions into src_nodes.
+  std::vector<std::int64_t> indptr;
+  std::vector<std::int32_t> indices;
+  /// Mean-aggregation weights (1 / sampled-degree per dst).
+  std::vector<float> values;
+
+  std::int64_t num_src() const {
+    return static_cast<std::int64_t>(src_nodes.size());
+  }
+  std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(indices.size());
+  }
+};
+
+/// Sample a stack of blocks for `seeds`. fanouts[l] limits the sampled
+/// in-neighbours per node at layer l (input-most layer is fanouts[0]); a
+/// fanout of -1 keeps all neighbours. Every destination node is also
+/// connected to itself (self edges survive sampling because datasets carry
+/// self loops; sampling never drops them).
+std::vector<Block> sample_blocks(const Csr& graph,
+                                 std::span<const std::int64_t> seeds,
+                                 std::span<const std::int64_t> fanouts,
+                                 Rng& rng);
+
+}  // namespace gsoup

@@ -1,0 +1,80 @@
+#include "graph/subgraph.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace gsoup {
+
+Subgraph induced_subgraph(const Dataset& parent,
+                          std::span<const std::int64_t> nodes) {
+  const std::int64_t parent_n = parent.num_nodes();
+  GSOUP_CHECK_MSG(!nodes.empty(), "subgraph needs at least one node");
+  GSOUP_CHECK_MSG(std::is_sorted(nodes.begin(), nodes.end()),
+                  "subgraph node list must be sorted");
+  GSOUP_CHECK_MSG(
+      std::adjacent_find(nodes.begin(), nodes.end()) == nodes.end(),
+      "subgraph node list must be unique");
+  GSOUP_CHECK_MSG(nodes.front() >= 0 && nodes.back() < parent_n,
+                  "subgraph node id out of range");
+
+  const auto sub_n = static_cast<std::int64_t>(nodes.size());
+  std::vector<std::int32_t> remap(static_cast<std::size_t>(parent_n), -1);
+  for (std::int64_t i = 0; i < sub_n; ++i) {
+    remap[nodes[i]] = static_cast<std::int32_t>(i);
+  }
+
+  Subgraph out;
+  out.origin.assign(nodes.begin(), nodes.end());
+  Dataset& data = out.data;
+  data.name = parent.name + "/sub" + std::to_string(sub_n);
+  data.num_classes = parent.num_classes;
+
+  // Edges survive iff both endpoints are selected; per-edge values are
+  // dropped (the layers re-normalise the induced graph, matching how PLS
+  // recomputes aggregation weights on each epoch's subgraph).
+  Csr& g = data.graph;
+  g.num_nodes = sub_n;
+  g.indptr.assign(static_cast<std::size_t>(sub_n) + 1, 0);
+  for (std::int64_t i = 0; i < sub_n; ++i) {
+    const std::int64_t p = nodes[i];
+    std::int64_t kept = 0;
+    for (const auto j : parent.graph.neighbors(p)) {
+      if (remap[j] >= 0) ++kept;
+    }
+    g.indptr[i + 1] = g.indptr[i] + kept;
+  }
+  g.indices.resize(static_cast<std::size_t>(g.indptr.back()));
+  for (std::int64_t i = 0; i < sub_n; ++i) {
+    const std::int64_t p = nodes[i];
+    std::int64_t cursor = g.indptr[i];
+    for (const auto j : parent.graph.neighbors(p)) {
+      if (remap[j] >= 0) g.indices[cursor++] = remap[j];
+    }
+  }
+
+  // Gather node payloads.
+  const std::int64_t d = parent.feature_dim();
+  data.features = Tensor::empty({sub_n, d});
+  data.labels.resize(static_cast<std::size_t>(sub_n));
+  data.train_mask.resize(static_cast<std::size_t>(sub_n));
+  data.val_mask.resize(static_cast<std::size_t>(sub_n));
+  data.test_mask.resize(static_cast<std::size_t>(sub_n));
+  const float* src_feat = parent.features.data();
+  float* dst_feat = data.features.data();
+  for (std::int64_t i = 0; i < sub_n; ++i) {
+    const std::int64_t p = nodes[i];
+    std::memcpy(dst_feat + i * d, src_feat + p * d,
+                static_cast<std::size_t>(d) * sizeof(float));
+    data.labels[i] = parent.labels[p];
+    data.train_mask[i] = parent.train_mask[p];
+    data.val_mask[i] = parent.val_mask[p];
+    data.test_mask[i] = parent.test_mask[p];
+  }
+
+  data.validate();
+  return out;
+}
+
+}  // namespace gsoup

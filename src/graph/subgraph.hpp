@@ -1,0 +1,30 @@
+// Induced-subgraph extraction.
+//
+// Used by Partition Learned Souping (Alg. 4): the union of R selected
+// partitions induces a subgraph that *keeps the cut edges between selected
+// partitions* ("preserving the edges cut during partitioning"); only edges
+// to unselected partitions are dropped. Also used by tests and the
+// minibatch pipeline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/dataset.hpp"
+
+namespace gsoup {
+
+/// An induced subgraph of a parent dataset, with the id mapping retained.
+struct Subgraph {
+  Dataset data;                       ///< relabelled, self-contained dataset
+  std::vector<std::int64_t> origin;   ///< new node id -> parent node id
+};
+
+/// Build the subgraph induced by `nodes` (must be sorted, unique, in range).
+/// Features, labels and split masks are carried over; edges survive iff
+/// both endpoints are selected.
+Subgraph induced_subgraph(const Dataset& parent,
+                          std::span<const std::int64_t> nodes);
+
+}  // namespace gsoup

@@ -1,0 +1,76 @@
+#include "io/ingredient_cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "io/serialize.hpp"
+#include "util/env.hpp"
+#include "util/logging.hpp"
+
+namespace gsoup::io {
+
+namespace fs = std::filesystem;
+
+std::string default_cache_dir() {
+  return env_str("GSOUP_CACHE_DIR", ".gsoup-cache");
+}
+
+namespace {
+std::string file_for(const std::string& cache_dir, const std::string& tag) {
+  return (fs::path(cache_dir) / (tag + ".ingredients")).string();
+}
+}  // namespace
+
+std::optional<std::vector<Ingredient>> load_ingredients(
+    const std::string& cache_dir, const std::string& tag) {
+  const std::string path = file_for(cache_dir, tag);
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return std::nullopt;
+  try {
+    std::uint64_t count = 0;
+    is.read(reinterpret_cast<char*>(&count), sizeof(count));
+    if (!is.good() || count == 0 || count > 4096) return std::nullopt;
+    std::vector<Ingredient> out(count);
+    for (auto& ing : out) {
+      is.read(reinterpret_cast<char*>(&ing.id), sizeof(ing.id));
+      is.read(reinterpret_cast<char*>(&ing.val_acc), sizeof(ing.val_acc));
+      is.read(reinterpret_cast<char*>(&ing.test_acc), sizeof(ing.test_acc));
+      is.read(reinterpret_cast<char*>(&ing.train_seconds),
+              sizeof(ing.train_seconds));
+      ing.params = read_params(is);
+    }
+    GSOUP_LOG_INFO << "loaded " << count << " cached ingredients for " << tag;
+    return out;
+  } catch (const std::exception& e) {
+    GSOUP_LOG_WARN << "ingredient cache " << path << " unreadable: "
+                   << e.what();
+    return std::nullopt;
+  }
+}
+
+void save_ingredients(const std::string& cache_dir, const std::string& tag,
+                      const std::vector<Ingredient>& ingredients) {
+  std::error_code ec;
+  fs::create_directories(cache_dir, ec);
+  const std::string path = file_for(cache_dir, tag);
+  std::ofstream os(path, std::ios::binary);
+  if (!os.good()) {
+    GSOUP_LOG_WARN << "cannot write ingredient cache " << path;
+    return;
+  }
+  const std::uint64_t count = ingredients.size();
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& ing : ingredients) {
+    os.write(reinterpret_cast<const char*>(&ing.id), sizeof(ing.id));
+    os.write(reinterpret_cast<const char*>(&ing.val_acc),
+             sizeof(ing.val_acc));
+    os.write(reinterpret_cast<const char*>(&ing.test_acc),
+             sizeof(ing.test_acc));
+    os.write(reinterpret_cast<const char*>(&ing.train_seconds),
+             sizeof(ing.train_seconds));
+    write_params(os, ing.params);
+  }
+  GSOUP_LOG_INFO << "cached " << count << " ingredients for " << tag;
+}
+
+}  // namespace gsoup::io

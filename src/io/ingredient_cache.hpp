@@ -1,0 +1,25 @@
+// Disk cache for trained ingredient sets, keyed by an experiment tag
+// (dataset × architecture × ingredient count × seed). Lets every bench
+// binary share one training pass over the 12-cell experiment matrix.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "train/ingredient_farm.hpp"
+
+namespace gsoup::io {
+
+/// Directory used when GSOUP_CACHE_DIR is unset.
+std::string default_cache_dir();
+
+/// Load a cached ingredient set; nullopt when absent or unreadable.
+std::optional<std::vector<Ingredient>> load_ingredients(
+    const std::string& cache_dir, const std::string& tag);
+
+/// Persist an ingredient set (creates the directory if needed).
+void save_ingredients(const std::string& cache_dir, const std::string& tag,
+                      const std::vector<Ingredient>& ingredients);
+
+}  // namespace gsoup::io

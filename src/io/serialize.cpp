@@ -1,0 +1,178 @@
+#include "io/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace gsoup::io {
+
+namespace {
+
+constexpr std::uint32_t kTensorMagic = 0x47544E53;   // "GTNS"
+constexpr std::uint32_t kParamsMagic = 0x47505253;   // "GPRS"
+constexpr std::uint32_t kDatasetMagic = 0x47445354;  // "GDST"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  GSOUP_CHECK_MSG(is.good(), "unexpected end of stream");
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod<std::uint64_t>(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const auto n = read_pod<std::uint64_t>(is);
+  GSOUP_CHECK_MSG(n < (1ULL << 32), "implausible string length");
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  GSOUP_CHECK_MSG(is.good(), "unexpected end of stream");
+  return s;
+}
+
+template <typename T>
+void write_vector(std::ostream& os, const std::vector<T>& v) {
+  write_pod<std::uint64_t>(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& is) {
+  const auto n = read_pod<std::uint64_t>(is);
+  GSOUP_CHECK_MSG(n < (1ULL << 40) / sizeof(T), "implausible vector length");
+  std::vector<T> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  GSOUP_CHECK_MSG(is.good() || n == 0, "unexpected end of stream");
+  return v;
+}
+
+}  // namespace
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  write_pod(os, kTensorMagic);
+  write_pod(os, kVersion);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(t.rank()));
+  for (const auto d : t.shape()) write_pod<std::int64_t>(os, d);
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.bytes()));
+}
+
+Tensor read_tensor(std::istream& is) {
+  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == kTensorMagic,
+                  "bad tensor magic");
+  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == kVersion,
+                  "unsupported tensor version");
+  const auto rank = read_pod<std::uint32_t>(is);
+  GSOUP_CHECK_MSG(rank <= 8, "implausible tensor rank");
+  Shape shape(rank);
+  for (auto& d : shape) d = read_pod<std::int64_t>(is);
+  Tensor t = Tensor::empty(std::move(shape));
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.bytes()));
+  GSOUP_CHECK_MSG(is.good() || t.numel() == 0, "unexpected end of stream");
+  return t;
+}
+
+void write_params(std::ostream& os, const ParamStore& params) {
+  write_pod(os, kParamsMagic);
+  write_pod(os, kVersion);
+  write_pod<std::uint64_t>(os, params.size());
+  for (const auto& e : params.entries()) {
+    write_string(os, e.name);
+    write_pod<std::int32_t>(os, e.layer);
+    write_tensor(os, e.tensor);
+  }
+}
+
+ParamStore read_params(std::istream& is) {
+  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == kParamsMagic,
+                  "bad params magic");
+  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == kVersion,
+                  "unsupported params version");
+  const auto count = read_pod<std::uint64_t>(is);
+  ParamStore store;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string name = read_string(is);
+    const auto layer = read_pod<std::int32_t>(is);
+    store.add(std::move(name), read_tensor(is), layer);
+  }
+  return store;
+}
+
+void write_dataset(std::ostream& os, const Dataset& data) {
+  write_pod(os, kDatasetMagic);
+  write_pod(os, kVersion);
+  write_string(os, data.name);
+  write_pod<std::int64_t>(os, data.graph.num_nodes);
+  write_vector(os, data.graph.indptr);
+  write_vector(os, data.graph.indices);
+  write_vector(os, data.graph.values);
+  write_tensor(os, data.features);
+  write_vector(os, data.labels);
+  write_pod<std::int64_t>(os, data.num_classes);
+  write_vector(os, data.train_mask);
+  write_vector(os, data.val_mask);
+  write_vector(os, data.test_mask);
+}
+
+Dataset read_dataset(std::istream& is) {
+  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == kDatasetMagic,
+                  "bad dataset magic");
+  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == kVersion,
+                  "unsupported dataset version");
+  Dataset data;
+  data.name = read_string(is);
+  data.graph.num_nodes = read_pod<std::int64_t>(is);
+  data.graph.indptr = read_vector<std::int64_t>(is);
+  data.graph.indices = read_vector<std::int32_t>(is);
+  data.graph.values = read_vector<float>(is);
+  data.features = read_tensor(is);
+  data.labels = read_vector<std::int32_t>(is);
+  data.num_classes = read_pod<std::int64_t>(is);
+  data.train_mask = read_vector<std::uint8_t>(is);
+  data.val_mask = read_vector<std::uint8_t>(is);
+  data.test_mask = read_vector<std::uint8_t>(is);
+  data.validate();
+  return data;
+}
+
+void save_params(const std::string& path, const ParamStore& params) {
+  std::ofstream os(path, std::ios::binary);
+  GSOUP_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  write_params(os, params);
+  GSOUP_CHECK_MSG(os.good(), "write to " << path << " failed");
+}
+
+ParamStore load_params(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  GSOUP_CHECK_MSG(is.good(), "cannot open " << path);
+  return read_params(is);
+}
+
+void save_dataset(const std::string& path, const Dataset& data) {
+  std::ofstream os(path, std::ios::binary);
+  GSOUP_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  write_dataset(os, data);
+  GSOUP_CHECK_MSG(os.good(), "write to " << path << " failed");
+}
+
+Dataset load_dataset(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  GSOUP_CHECK_MSG(is.good(), "cannot open " << path);
+  return read_dataset(is);
+}
+
+}  // namespace gsoup::io

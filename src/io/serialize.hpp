@@ -1,0 +1,31 @@
+// Binary (de)serialisation for tensors, parameter stores and datasets.
+// Little-endian, versioned container with a magic header. Used by the
+// benchmark harness to cache trained ingredients across bench binaries so
+// each table/figure binary doesn't retrain the 12-cell experiment matrix.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/dataset.hpp"
+#include "nn/param.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gsoup::io {
+
+void write_tensor(std::ostream& os, const Tensor& t);
+Tensor read_tensor(std::istream& is);
+
+void write_params(std::ostream& os, const ParamStore& params);
+ParamStore read_params(std::istream& is);
+
+void write_dataset(std::ostream& os, const Dataset& data);
+Dataset read_dataset(std::istream& is);
+
+/// File-level helpers (throw CheckError on I/O failure).
+void save_params(const std::string& path, const ParamStore& params);
+ParamStore load_params(const std::string& path);
+void save_dataset(const std::string& path, const Dataset& data);
+Dataset load_dataset(const std::string& path);
+
+}  // namespace gsoup::io

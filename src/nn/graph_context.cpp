@@ -1,0 +1,60 @@
+#include "nn/graph_context.hpp"
+
+#include "graph/normalize.hpp"
+#include "util/check.hpp"
+
+namespace gsoup {
+
+const char* arch_name(Arch arch) {
+  switch (arch) {
+    case Arch::kGcn: return "GCN";
+    case Arch::kSage: return "GraphSAGE";
+    case Arch::kGat: return "GAT";
+  }
+  return "?";
+}
+
+GraphContext::GraphContext(const Csr& graph, Arch arch)
+    : raw_(graph), arch_(arch) {
+  switch (arch) {
+    case Arch::kGcn: {
+      gcn_ = gcn_normalize(raw_);
+      gcn_t_ = gcn_.transpose().graph;
+      break;
+    }
+    case Arch::kSage: {
+      mean_ = row_normalize(raw_);
+      mean_t_ = mean_.transpose().graph;
+      break;
+    }
+    case Arch::kGat: {
+      raw_t_ = raw_.transpose();
+      break;
+    }
+  }
+}
+
+const Csr& GraphContext::gcn() const {
+  GSOUP_CHECK_MSG(arch_ == Arch::kGcn, "context built without GCN operands");
+  return gcn_;
+}
+const Csr& GraphContext::gcn_t() const {
+  GSOUP_CHECK_MSG(arch_ == Arch::kGcn, "context built without GCN operands");
+  return gcn_t_;
+}
+const Csr& GraphContext::mean() const {
+  GSOUP_CHECK_MSG(arch_ == Arch::kSage,
+                  "context built without SAGE operands");
+  return mean_;
+}
+const Csr& GraphContext::mean_t() const {
+  GSOUP_CHECK_MSG(arch_ == Arch::kSage,
+                  "context built without SAGE operands");
+  return mean_t_;
+}
+const CsrTranspose& GraphContext::raw_t() const {
+  GSOUP_CHECK_MSG(arch_ == Arch::kGat, "context built without GAT operands");
+  return raw_t_;
+}
+
+}  // namespace gsoup

@@ -1,0 +1,44 @@
+// Precomputed per-graph operands shared by every forward pass on a graph:
+// normalised adjacencies and their transposes. Building these once per
+// graph (or once per PLS subgraph) keeps the per-epoch souping loop free
+// of redundant normalisation work.
+#pragma once
+
+#include <memory>
+
+#include "graph/csr.hpp"
+
+namespace gsoup {
+
+enum class Arch { kGcn, kSage, kGat };
+
+const char* arch_name(Arch arch);
+
+/// Normalised views of one graph. The source Csr is copied in (subgraphs
+/// are temporary objects in PLS, so the context must own its structure).
+class GraphContext {
+ public:
+  /// Build the operands needed by `arch` only.
+  GraphContext(const Csr& graph, Arch arch);
+
+  const Csr& raw() const { return raw_; }
+  Arch arch() const { return arch_; }
+
+  // GCN: symmetric-normalised adjacency and transpose.
+  const Csr& gcn() const;
+  const Csr& gcn_t() const;
+  // SAGE: row-normalised (mean) adjacency and transpose.
+  const Csr& mean() const;
+  const Csr& mean_t() const;
+  // GAT: raw structure transpose with edge-id mapping.
+  const CsrTranspose& raw_t() const;
+
+ private:
+  Csr raw_;
+  Arch arch_;
+  Csr gcn_, gcn_t_;
+  Csr mean_, mean_t_;
+  CsrTranspose raw_t_;
+};
+
+}  // namespace gsoup

@@ -1,0 +1,189 @@
+#include "nn/model.hpp"
+
+#include <sstream>
+
+#include "ag/graph_ops.hpp"
+#include "ag/ops.hpp"
+#include "tensor/init.hpp"
+#include "util/check.hpp"
+
+namespace gsoup {
+
+namespace {
+std::string pname(std::int64_t layer, const char* suffix) {
+  std::ostringstream os;
+  os << "layers." << layer << "." << suffix;
+  return os.str();
+}
+}  // namespace
+
+std::string ModelConfig::describe() const {
+  std::ostringstream os;
+  os << arch_name(arch) << "(L=" << num_layers << ", hidden=" << hidden_dim
+     << ", in=" << in_dim << ", out=" << out_dim;
+  if (arch == Arch::kGat) os << ", heads=" << heads;
+  os << ")";
+  return os.str();
+}
+
+GnnModel::GnnModel(ModelConfig config) : config_(config) {
+  GSOUP_CHECK_MSG(config_.in_dim > 0 && config_.out_dim > 0,
+                  "model needs in_dim/out_dim");
+  GSOUP_CHECK_MSG(config_.num_layers >= 1, "model needs >= 1 layer");
+  GSOUP_CHECK_MSG(config_.hidden_dim > 0, "hidden_dim must be positive");
+  GSOUP_CHECK_MSG(config_.heads >= 1, "heads must be positive");
+}
+
+std::int64_t GnnModel::layer_heads(std::int64_t layer) const {
+  if (config_.arch != Arch::kGat) return 1;
+  // Hidden layers concatenate `heads` heads; the output layer uses one.
+  return layer + 1 == config_.num_layers ? 1 : config_.heads;
+}
+
+std::int64_t GnnModel::layer_in_dim(std::int64_t layer) const {
+  if (layer == 0) return config_.in_dim;
+  if (config_.arch == Arch::kGat) return config_.hidden_dim * config_.heads;
+  return config_.hidden_dim;
+}
+
+std::int64_t GnnModel::layer_out_width(std::int64_t layer) const {
+  const std::int64_t base = layer + 1 == config_.num_layers
+                                ? config_.out_dim
+                                : config_.hidden_dim;
+  return base * layer_heads(layer);
+}
+
+ParamStore GnnModel::init_params(Rng& rng) const {
+  ParamStore store;
+  for (std::int64_t l = 0; l < config_.num_layers; ++l) {
+    const auto layer = static_cast<std::int32_t>(l);
+    const std::int64_t in = layer_in_dim(l);
+    const std::int64_t width = layer_out_width(l);
+    switch (config_.arch) {
+      case Arch::kGcn: {
+        Tensor w = Tensor::empty({in, width});
+        init::xavier_uniform(w, rng);
+        store.add(pname(l, "weight"), std::move(w), layer);
+        store.add(pname(l, "bias"), Tensor::zeros({width}), layer);
+        break;
+      }
+      case Arch::kSage: {
+        Tensor w_self = Tensor::empty({in, width});
+        Tensor w_neigh = Tensor::empty({in, width});
+        init::xavier_uniform(w_self, rng);
+        init::xavier_uniform(w_neigh, rng);
+        store.add(pname(l, "weight_self"), std::move(w_self), layer);
+        store.add(pname(l, "weight_neigh"), std::move(w_neigh), layer);
+        store.add(pname(l, "bias"), Tensor::zeros({width}), layer);
+        break;
+      }
+      case Arch::kGat: {
+        Tensor w = Tensor::empty({in, width});
+        Tensor a_dst = Tensor::empty({width});
+        Tensor a_src = Tensor::empty({width});
+        init::xavier_uniform(w, rng);
+        init::xavier_uniform(a_dst, rng);
+        init::xavier_uniform(a_src, rng);
+        store.add(pname(l, "weight"), std::move(w), layer);
+        store.add(pname(l, "attn_dst"), std::move(a_dst), layer);
+        store.add(pname(l, "attn_src"), std::move(a_src), layer);
+        store.add(pname(l, "bias"), Tensor::zeros({width}), layer);
+        break;
+      }
+    }
+  }
+  return store;
+}
+
+ag::Value GnnModel::forward(const GraphContext& ctx,
+                            const ag::Value& features, const ParamMap& params,
+                            bool training, Rng* rng) const {
+  GSOUP_CHECK_MSG(ctx.arch() == config_.arch,
+                  "graph context built for a different architecture");
+  GSOUP_CHECK_MSG(!training || rng != nullptr,
+                  "training forward needs an rng for dropout");
+  GSOUP_CHECK_MSG(features->value.shape(1) == config_.in_dim,
+                  "feature dim " << features->value.shape_str()
+                                 << " != model in_dim " << config_.in_dim);
+
+  ag::Value h = features;
+  for (std::int64_t l = 0; l < config_.num_layers; ++l) {
+    const bool last = l + 1 == config_.num_layers;
+    if (training && config_.dropout > 0.0f) {
+      h = ag::dropout(h, config_.dropout, *rng, true);
+    }
+    switch (config_.arch) {
+      case Arch::kGcn: {
+        // H' = Â (H W) + b
+        ag::Value hw = ag::matmul(h, params.at(pname(l, "weight")));
+        ag::Value agg = ag::spmm(ctx.gcn(), ctx.gcn_t(), hw);
+        h = ag::add_bias(agg, params.at(pname(l, "bias")));
+        if (!last) h = ag::relu(h);
+        break;
+      }
+      case Arch::kSage: {
+        // H' = H W_self + (D⁻¹A H) W_neigh + b
+        ag::Value self_part =
+            ag::matmul(h, params.at(pname(l, "weight_self")));
+        ag::Value agg = ag::spmm(ctx.mean(), ctx.mean_t(), h);
+        ag::Value neigh_part =
+            ag::matmul(agg, params.at(pname(l, "weight_neigh")));
+        h = ag::add_bias(ag::add(self_part, neigh_part),
+                         params.at(pname(l, "bias")));
+        if (!last) h = ag::relu(h);
+        break;
+      }
+      case Arch::kGat: {
+        const std::int64_t heads = layer_heads(l);
+        ag::Value hw = ag::matmul(h, params.at(pname(l, "weight")));
+        ag::Value s_dst =
+            ag::per_head_dot(hw, params.at(pname(l, "attn_dst")), heads);
+        ag::Value s_src =
+            ag::per_head_dot(hw, params.at(pname(l, "attn_src")), heads);
+        ag::Value agg = ag::gat_attention(ctx.raw(), ctx.raw_t(), hw, s_dst,
+                                          s_src, heads, config_.attn_slope);
+        h = ag::add_bias(agg, params.at(pname(l, "bias")));
+        if (!last) h = ag::elu(h);
+        break;
+      }
+    }
+  }
+  return h;
+}
+
+ag::Value GnnModel::forward_blocks(std::span<const Block> blocks,
+                                   const ag::Value& features,
+                                   const ParamMap& params, bool training,
+                                   Rng* rng) const {
+  GSOUP_CHECK_MSG(config_.arch == Arch::kSage,
+                  "minibatch forward is implemented for GraphSAGE");
+  GSOUP_CHECK_MSG(
+      static_cast<std::int64_t>(blocks.size()) == config_.num_layers,
+      "need one block per layer");
+  GSOUP_CHECK_MSG(!training || rng != nullptr,
+                  "training forward needs an rng for dropout");
+
+  ag::Value h = features;  // rows: blocks[0].src_nodes
+  for (std::int64_t l = 0; l < config_.num_layers; ++l) {
+    const Block& block = blocks[l];
+    const bool last = l + 1 == config_.num_layers;
+    GSOUP_CHECK_MSG(h->value.shape(0) == block.num_src(),
+                    "block/source row mismatch at layer " << l);
+    if (training && config_.dropout > 0.0f) {
+      h = ag::dropout(h, config_.dropout, *rng, true);
+    }
+    // Destination rows are a prefix of source rows (DGL block convention).
+    ag::Value h_dst = ag::narrow_rows(h, block.num_dst);
+    ag::Value self_part =
+        ag::matmul(h_dst, params.at(pname(l, "weight_self")));
+    ag::Value agg = ag::block_spmm(block, h);
+    ag::Value neigh_part =
+        ag::matmul(agg, params.at(pname(l, "weight_neigh")));
+    h = ag::add_bias(ag::add(self_part, neigh_part),
+                     params.at(pname(l, "bias")));
+    if (!last) h = ag::relu(h);
+  }
+  return h;
+}
+
+}  // namespace gsoup

@@ -1,0 +1,112 @@
+// Linear Deterministic Greedy streaming partitioner (Stanton & Kliot,
+// KDD'12). Nodes stream in BFS order from a random root; each node joins
+// the part holding most of its already-placed neighbours, scaled by a
+// linear fullness penalty. A hard capacity on both node count and
+// validation-node count enforces the dual balance PLS needs.
+#include <algorithm>
+#include <deque>
+
+#include "partition/partitioner.hpp"
+#include "util/check.hpp"
+
+namespace gsoup {
+
+namespace {
+
+/// BFS order over all nodes (restarting on each unvisited component),
+/// starting from a random root for seed-dependence.
+std::vector<std::int64_t> bfs_order(const Csr& graph, Rng& rng) {
+  const auto n = graph.num_nodes;
+  std::vector<std::int64_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(n), 0);
+  std::deque<std::int64_t> queue;
+  const auto root =
+      static_cast<std::int64_t>(rng.uniform_int(static_cast<std::uint64_t>(n)));
+  for (std::int64_t offset = 0; offset < n; ++offset) {
+    const std::int64_t start = (root + offset) % n;
+    if (seen[start] != 0) continue;
+    seen[start] = 1;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      const auto v = queue.front();
+      queue.pop_front();
+      order.push_back(v);
+      for (const auto j : graph.neighbors(v)) {
+        if (seen[j] == 0) {
+          seen[j] = 1;
+          queue.push_back(j);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+Partitioning ldg_partition(const Csr& graph, const PartitionOptions& opt,
+                           std::span<const std::uint8_t> val_mask) {
+  GSOUP_CHECK_MSG(opt.num_parts >= 1 && opt.num_parts <= graph.num_nodes,
+                  "invalid part count");
+  const auto n = graph.num_nodes;
+  const auto k = opt.num_parts;
+  Rng rng(opt.seed);
+
+  const double node_capacity =
+      (1.0 + opt.epsilon) * static_cast<double>(n) / static_cast<double>(k);
+  std::int64_t total_val = 0;
+  for (const auto m : val_mask) total_val += m != 0 ? 1 : 0;
+  const double val_capacity =
+      (1.0 + opt.epsilon) * static_cast<double>(total_val) /
+          static_cast<double>(k) +
+      1.0;
+
+  Partitioning parts;
+  parts.num_parts = k;
+  parts.assignment.assign(static_cast<std::size_t>(n), -1);
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(k), 0);
+  std::vector<std::int64_t> val_counts(static_cast<std::size_t>(k), 0);
+  std::vector<double> neighbor_count(static_cast<std::size_t>(k), 0.0);
+
+  for (const auto v : bfs_order(graph, rng)) {
+    std::fill(neighbor_count.begin(), neighbor_count.end(), 0.0);
+    for (const auto j : graph.neighbors(v)) {
+      const auto p = parts.assignment[j];
+      if (p >= 0) neighbor_count[p] += 1.0;
+    }
+    const bool is_val = !val_mask.empty() && val_mask[v] != 0;
+
+    double best_score = -1.0;
+    std::int32_t best_part = -1;
+    for (std::int32_t p = 0; p < k; ++p) {
+      if (static_cast<double>(sizes[p]) + 1.0 > node_capacity) continue;
+      if (is_val &&
+          static_cast<double>(val_counts[p]) + 1.0 > val_capacity) {
+        continue;
+      }
+      const double fullness =
+          1.0 - static_cast<double>(sizes[p]) / node_capacity;
+      // +1 keeps the score positive so empty parts are usable; ties are
+      // broken towards emptier parts through the fullness factor.
+      const double score = (neighbor_count[p] + 1.0) * fullness;
+      if (score > best_score) {
+        best_score = score;
+        best_part = p;
+      }
+    }
+    if (best_part < 0) {
+      // All parts at capacity for this node class; fall back to least
+      // loaded to guarantee termination.
+      best_part = static_cast<std::int32_t>(
+          std::min_element(sizes.begin(), sizes.end()) - sizes.begin());
+    }
+    parts.assignment[v] = best_part;
+    ++sizes[best_part];
+    if (is_val) ++val_counts[best_part];
+  }
+  ensure_nonempty_parts(parts);
+  return parts;
+}
+
+}  // namespace gsoup

@@ -1,0 +1,336 @@
+// Multilevel graph partitioner in the METIS family (Karypis & Kumar):
+//   1. coarsen by heavy-edge matching (HEM) until the graph is small,
+//   2. partition the coarsest graph by greedy region growing,
+//   3. uncoarsen, refining at every level with boundary moves that reduce
+//      edge cut subject to node-count AND validation-count balance.
+//
+// Validation balance is the property PLS relies on (paper §III-C): every
+// union of R partitions must carry ≈ R/K of the validation set so the
+// souping loss is representative.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+
+#include "partition/partitioner.hpp"
+#include "util/check.hpp"
+
+namespace gsoup {
+
+namespace {
+
+/// Coarse-level weighted graph. vertex_weight carries how many original
+/// nodes a coarse vertex represents; val_weight how many validation nodes.
+struct Level {
+  std::int64_t n = 0;
+  std::vector<std::int64_t> indptr;
+  std::vector<std::int32_t> indices;
+  std::vector<float> edge_weight;
+  std::vector<std::int32_t> vertex_weight;
+  std::vector<std::int32_t> val_weight;
+  /// Fine node -> coarse node mapping into the *next* level.
+  std::vector<std::int32_t> coarse_map;
+};
+
+Level level_from_csr(const Csr& graph, std::span<const std::uint8_t> val) {
+  Level lv;
+  lv.n = graph.num_nodes;
+  lv.indptr = graph.indptr;
+  lv.indices = graph.indices;
+  lv.edge_weight.assign(graph.indices.size(), 1.0f);
+  lv.vertex_weight.assign(static_cast<std::size_t>(lv.n), 1);
+  lv.val_weight.assign(static_cast<std::size_t>(lv.n), 0);
+  for (std::size_t v = 0; v < val.size(); ++v) {
+    lv.val_weight[v] = val[v] != 0 ? 1 : 0;
+  }
+  // Self loops don't participate in matching/cut; drop them here.
+  std::vector<std::int64_t> new_indptr{0};
+  std::vector<std::int32_t> new_indices;
+  std::vector<float> new_w;
+  new_indptr.reserve(lv.indptr.size());
+  new_indices.reserve(lv.indices.size());
+  for (std::int64_t i = 0; i < lv.n; ++i) {
+    for (std::int64_t e = lv.indptr[i]; e < lv.indptr[i + 1]; ++e) {
+      if (lv.indices[e] != i) {
+        new_indices.push_back(lv.indices[e]);
+        new_w.push_back(1.0f);
+      }
+    }
+    new_indptr.push_back(static_cast<std::int64_t>(new_indices.size()));
+  }
+  lv.indptr = std::move(new_indptr);
+  lv.indices = std::move(new_indices);
+  lv.edge_weight = std::move(new_w);
+  return lv;
+}
+
+/// One round of heavy-edge matching + contraction. Returns the coarser
+/// level and fills `fine.coarse_map`.
+Level coarsen(Level& fine, Rng& rng) {
+  const auto n = fine.n;
+  std::vector<std::int32_t> match(static_cast<std::size_t>(n), -1);
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (std::int64_t i = n - 1; i > 0; --i) {
+    std::swap(order[i],
+              order[rng.uniform_int(static_cast<std::uint64_t>(i) + 1)]);
+  }
+
+  for (const auto v : order) {
+    if (match[v] >= 0) continue;
+    float best_w = -1.0f;
+    std::int32_t best_u = -1;
+    for (std::int64_t e = fine.indptr[v]; e < fine.indptr[v + 1]; ++e) {
+      const auto u = fine.indices[e];
+      if (match[u] >= 0 || u == v) continue;
+      if (fine.edge_weight[e] > best_w) {
+        best_w = fine.edge_weight[e];
+        best_u = u;
+      }
+    }
+    if (best_u >= 0) {
+      match[v] = best_u;
+      match[best_u] = static_cast<std::int32_t>(v);
+    } else {
+      match[v] = static_cast<std::int32_t>(v);  // stays single
+    }
+  }
+
+  // Assign coarse ids (one per matched pair / singleton).
+  fine.coarse_map.assign(static_cast<std::size_t>(n), -1);
+  std::int32_t next_id = 0;
+  for (std::int64_t v = 0; v < n; ++v) {
+    if (fine.coarse_map[v] >= 0) continue;
+    fine.coarse_map[v] = next_id;
+    fine.coarse_map[match[v]] = next_id;
+    ++next_id;
+  }
+
+  Level coarse;
+  coarse.n = next_id;
+  coarse.vertex_weight.assign(static_cast<std::size_t>(next_id), 0);
+  coarse.val_weight.assign(static_cast<std::size_t>(next_id), 0);
+  for (std::int64_t v = 0; v < n; ++v) {
+    coarse.vertex_weight[fine.coarse_map[v]] += fine.vertex_weight[v];
+    coarse.val_weight[fine.coarse_map[v]] += fine.val_weight[v];
+  }
+
+  // Aggregate edges between coarse vertices (hash-combine per vertex).
+  coarse.indptr.assign(static_cast<std::size_t>(next_id) + 1, 0);
+  std::vector<std::unordered_map<std::int32_t, float>> adj(
+      static_cast<std::size_t>(next_id));
+  for (std::int64_t v = 0; v < n; ++v) {
+    const auto cv = fine.coarse_map[v];
+    for (std::int64_t e = fine.indptr[v]; e < fine.indptr[v + 1]; ++e) {
+      const auto cu = fine.coarse_map[fine.indices[e]];
+      if (cu == cv) continue;
+      adj[cv][cu] += fine.edge_weight[e];
+    }
+  }
+  for (std::int32_t c = 0; c < next_id; ++c) {
+    coarse.indptr[static_cast<std::size_t>(c) + 1] =
+        coarse.indptr[c] + static_cast<std::int64_t>(adj[c].size());
+  }
+  coarse.indices.resize(static_cast<std::size_t>(coarse.indptr.back()));
+  coarse.edge_weight.resize(coarse.indices.size());
+  for (std::int32_t c = 0; c < next_id; ++c) {
+    std::int64_t cursor = coarse.indptr[c];
+    for (const auto& [u, w] : adj[c]) {
+      coarse.indices[cursor] = u;
+      coarse.edge_weight[cursor] = w;
+      ++cursor;
+    }
+  }
+  return coarse;
+}
+
+struct BalanceState {
+  std::vector<double> size;       // node weight per part
+  std::vector<double> val;        // val weight per part
+  double size_capacity = 0;
+  double val_capacity = 0;
+
+  bool can_accept(std::int32_t part, std::int32_t vw, std::int32_t valw) const {
+    if (size[part] + vw > size_capacity) return false;
+    if (valw > 0 && val[part] + valw > val_capacity) return false;
+    return true;
+  }
+  void add(std::int32_t part, std::int32_t vw, std::int32_t valw) {
+    size[part] += vw;
+    val[part] += valw;
+  }
+  void remove(std::int32_t part, std::int32_t vw, std::int32_t valw) {
+    size[part] -= vw;
+    val[part] -= valw;
+  }
+};
+
+BalanceState make_balance(const Level& lv, std::int64_t k, double epsilon) {
+  BalanceState bal;
+  bal.size.assign(static_cast<std::size_t>(k), 0.0);
+  bal.val.assign(static_cast<std::size_t>(k), 0.0);
+  double total_size = 0, total_val = 0;
+  for (std::int64_t v = 0; v < lv.n; ++v) {
+    total_size += lv.vertex_weight[v];
+    total_val += lv.val_weight[v];
+  }
+  bal.size_capacity =
+      (1.0 + epsilon) * total_size / static_cast<double>(k) + 1.0;
+  bal.val_capacity =
+      (1.0 + epsilon) * total_val / static_cast<double>(k) + 1.0;
+  return bal;
+}
+
+/// Greedy region growing on the coarsest level.
+std::vector<std::int32_t> initial_partition(const Level& lv, std::int64_t k,
+                                            double epsilon, Rng& rng) {
+  std::vector<std::int32_t> part(static_cast<std::size_t>(lv.n), -1);
+  BalanceState bal = make_balance(lv, k, epsilon);
+  double total_size = 0;
+  for (const auto w : lv.vertex_weight) total_size += w;
+  const double target = total_size / static_cast<double>(k);
+
+  std::vector<std::int64_t> unassigned(static_cast<std::size_t>(lv.n));
+  std::iota(unassigned.begin(), unassigned.end(), 0);
+  for (std::int64_t i = lv.n - 1; i > 0; --i) {
+    std::swap(unassigned[i],
+              unassigned[rng.uniform_int(static_cast<std::uint64_t>(i) + 1)]);
+  }
+  std::size_t scan = 0;
+  auto next_seed = [&]() -> std::int64_t {
+    while (scan < unassigned.size() && part[unassigned[scan]] >= 0) ++scan;
+    return scan < unassigned.size() ? unassigned[scan] : -1;
+  };
+
+  for (std::int32_t p = 0; p < k; ++p) {
+    // Grow part p by repeatedly taking the frontier vertex with the
+    // strongest connection to p (max-heap of (gain, vertex)).
+    std::priority_queue<std::pair<float, std::int64_t>> heap;
+    const auto seed = next_seed();
+    if (seed < 0) break;
+    heap.push({0.0f, seed});
+    while (bal.size[p] < target && !heap.empty()) {
+      const auto [gain, v] = heap.top();
+      heap.pop();
+      (void)gain;
+      if (part[v] >= 0) continue;
+      if (bal.size[p] + lv.vertex_weight[v] > bal.size_capacity) continue;
+      part[v] = p;
+      bal.add(p, lv.vertex_weight[v], lv.val_weight[v]);
+      for (std::int64_t e = lv.indptr[v]; e < lv.indptr[v + 1]; ++e) {
+        const auto u = lv.indices[e];
+        if (part[u] < 0) heap.push({lv.edge_weight[e], u});
+      }
+      if (heap.empty() && bal.size[p] < target) {
+        const auto s = next_seed();
+        if (s < 0) break;
+        heap.push({0.0f, s});
+      }
+    }
+  }
+  // Sweep leftovers to the lightest part that accepts them.
+  for (std::int64_t v = 0; v < lv.n; ++v) {
+    if (part[v] >= 0) continue;
+    std::int32_t best = 0;
+    for (std::int32_t p = 1; p < k; ++p) {
+      if (bal.size[p] < bal.size[best]) best = p;
+    }
+    part[v] = best;
+    bal.add(best, lv.vertex_weight[v], lv.val_weight[v]);
+  }
+  return part;
+}
+
+/// Boundary refinement: greedy single-vertex moves with positive cut gain
+/// that keep both balances. Runs `max_passes` sweeps or until quiescent.
+void refine(const Level& lv, std::vector<std::int32_t>& part, std::int64_t k,
+            double epsilon, int max_passes) {
+  BalanceState bal = make_balance(lv, k, epsilon);
+  for (std::int64_t v = 0; v < lv.n; ++v) {
+    bal.add(part[v], lv.vertex_weight[v], lv.val_weight[v]);
+  }
+  std::vector<float> conn(static_cast<std::size_t>(k), 0.0f);
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool moved = false;
+    for (std::int64_t v = 0; v < lv.n; ++v) {
+      const auto from = part[v];
+      std::fill(conn.begin(), conn.end(), 0.0f);
+      bool boundary = false;
+      for (std::int64_t e = lv.indptr[v]; e < lv.indptr[v + 1]; ++e) {
+        const auto p = part[lv.indices[e]];
+        conn[p] += lv.edge_weight[e];
+        if (p != from) boundary = true;
+      }
+      if (!boundary) continue;
+      float best_gain = 0.0f;
+      std::int32_t best_part = -1;
+      for (std::int32_t p = 0; p < k; ++p) {
+        if (p == from) continue;
+        const float gain = conn[p] - conn[from];
+        if (gain > best_gain &&
+            bal.can_accept(p, lv.vertex_weight[v], lv.val_weight[v])) {
+          best_gain = gain;
+          best_part = p;
+        }
+      }
+      if (best_part >= 0) {
+        bal.remove(from, lv.vertex_weight[v], lv.val_weight[v]);
+        bal.add(best_part, lv.vertex_weight[v], lv.val_weight[v]);
+        part[v] = best_part;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+}  // namespace
+
+Partitioning multilevel_partition(const Csr& graph,
+                                  const PartitionOptions& opt,
+                                  std::span<const std::uint8_t> val_mask) {
+  GSOUP_CHECK_MSG(opt.num_parts >= 1 && opt.num_parts <= graph.num_nodes,
+                  "invalid part count");
+  Rng rng(opt.seed);
+
+  // ---- Coarsening phase. -------------------------------------------------
+  std::vector<Level> levels;
+  levels.push_back(level_from_csr(graph, val_mask));
+  const std::int64_t coarse_target =
+      std::max<std::int64_t>(opt.num_parts * 16, 128);
+  while (levels.back().n > coarse_target) {
+    Level next = coarsen(levels.back(), rng);
+    // Stop when matching stalls (dense cores stop contracting).
+    if (next.n > static_cast<std::int64_t>(
+                     0.95 * static_cast<double>(levels.back().n))) {
+      break;
+    }
+    levels.push_back(std::move(next));
+  }
+
+  // ---- Initial partition on the coarsest level. --------------------------
+  std::vector<std::int32_t> part =
+      initial_partition(levels.back(), opt.num_parts, opt.epsilon, rng);
+  refine(levels.back(), part, opt.num_parts, opt.epsilon, 4);
+
+  // ---- Uncoarsening with refinement at every level. -----------------------
+  for (std::size_t li = levels.size() - 1; li-- > 0;) {
+    const Level& fine = levels[li];
+    std::vector<std::int32_t> fine_part(static_cast<std::size_t>(fine.n));
+    for (std::int64_t v = 0; v < fine.n; ++v) {
+      fine_part[v] = part[fine.coarse_map[v]];
+    }
+    part = std::move(fine_part);
+    refine(fine, part, opt.num_parts, opt.epsilon, 2);
+  }
+
+  Partitioning out;
+  out.num_parts = opt.num_parts;
+  out.assignment = std::move(part);
+  ensure_nonempty_parts(out);
+  out.validate(graph.num_nodes);
+  return out;
+}
+
+}  // namespace gsoup

@@ -1,0 +1,27 @@
+#include "partition/partitioner.hpp"
+#include "util/check.hpp"
+
+namespace gsoup {
+
+Partitioning random_partition(const Csr& graph, const PartitionOptions& opt) {
+  GSOUP_CHECK_MSG(opt.num_parts >= 1, "need at least one part");
+  GSOUP_CHECK_MSG(opt.num_parts <= graph.num_nodes,
+                  "more parts than nodes");
+  Partitioning parts;
+  parts.num_parts = opt.num_parts;
+  parts.assignment.resize(static_cast<std::size_t>(graph.num_nodes));
+  // Balanced random: shuffle a round-robin assignment rather than hashing,
+  // so part sizes differ by at most one node.
+  for (std::size_t v = 0; v < parts.assignment.size(); ++v) {
+    parts.assignment[v] =
+        static_cast<std::int32_t>(v % static_cast<std::size_t>(opt.num_parts));
+  }
+  Rng rng(opt.seed);
+  for (std::size_t v = parts.assignment.size(); v > 1; --v) {
+    const auto u = rng.uniform_int(v);
+    std::swap(parts.assignment[v - 1], parts.assignment[u]);
+  }
+  return parts;
+}
+
+}  // namespace gsoup

@@ -1,0 +1,56 @@
+#include "partition/union_subgraph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gsoup {
+
+std::vector<std::int64_t> partition_union_nodes(
+    const Partitioning& parts, std::span<const std::int32_t> selected) {
+  GSOUP_CHECK_MSG(!selected.empty(), "need at least one selected partition");
+  std::vector<std::uint8_t> keep(static_cast<std::size_t>(parts.num_parts),
+                                 0);
+  for (const auto p : selected) {
+    GSOUP_CHECK_MSG(p >= 0 && p < parts.num_parts,
+                    "selected partition out of range");
+    keep[p] = 1;
+  }
+  std::vector<std::int64_t> nodes;
+  for (std::size_t v = 0; v < parts.assignment.size(); ++v) {
+    if (keep[parts.assignment[v]] != 0) {
+      nodes.push_back(static_cast<std::int64_t>(v));
+    }
+  }
+  return nodes;
+}
+
+Subgraph partition_union_subgraph(const Dataset& data,
+                                  const Partitioning& parts,
+                                  std::span<const std::int32_t> selected) {
+  const auto nodes = partition_union_nodes(parts, selected);
+  GSOUP_CHECK_MSG(!nodes.empty(), "selected partitions are empty");
+  return induced_subgraph(data, nodes);
+}
+
+std::vector<std::int32_t> sample_partitions(std::int64_t num_parts,
+                                            std::int64_t r, Rng& rng) {
+  GSOUP_CHECK_MSG(r >= 1 && r <= num_parts,
+                  "partition budget R must be in [1, K]");
+  // Floyd's algorithm for a uniform R-subset of [0, K).
+  std::vector<std::int32_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(r));
+  for (std::int64_t k = num_parts - r; k < num_parts; ++k) {
+    const auto t = static_cast<std::int32_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(k) + 1));
+    if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+      chosen.push_back(t);
+    } else {
+      chosen.push_back(static_cast<std::int32_t>(k));
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace gsoup

@@ -1,0 +1,32 @@
+// Partition-union subgraphs: the per-epoch sampling step of Partition
+// Learned Souping (Alg. 4 / Eq. 5): select R of K partitions and join them
+// into a subgraph, preserving the cut edges *between selected partitions*.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/subgraph.hpp"
+#include "partition/partitioner.hpp"
+#include "util/rng.hpp"
+
+namespace gsoup {
+
+/// Node ids (sorted) of the union of the given partitions.
+std::vector<std::int64_t> partition_union_nodes(
+    const Partitioning& parts, std::span<const std::int32_t> selected);
+
+/// Induced subgraph over the union of the selected partitions. Edges whose
+/// endpoints both lie in selected partitions survive — including edges cut
+/// between two different selected partitions (Eq. 5's "preserving the edges
+/// cut during partitioning").
+Subgraph partition_union_subgraph(const Dataset& data,
+                                  const Partitioning& parts,
+                                  std::span<const std::int32_t> selected);
+
+/// Sample R distinct partition ids uniformly from [0, num_parts).
+std::vector<std::int32_t> sample_partitions(std::int64_t num_parts,
+                                            std::int64_t r, Rng& rng);
+
+}  // namespace gsoup

@@ -1,0 +1,46 @@
+#include "tensor/init.hpp"
+
+#include <cmath>
+
+namespace gsoup::init {
+
+std::pair<std::int64_t, std::int64_t> fans(const Tensor& t) {
+  if (t.rank() == 2) return {t.shape(0), t.shape(1)};
+  GSOUP_CHECK_MSG(t.rank() == 1, "fans: rank must be 1 or 2");
+  return {t.shape(0), t.shape(0)};
+}
+
+void xavier_uniform(Tensor& t, Rng& rng, float gain) {
+  const auto [fan_in, fan_out] = fans(t);
+  const float a =
+      gain * std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  uniform(t, rng, -a, a);
+}
+
+void xavier_normal(Tensor& t, Rng& rng, float gain) {
+  const auto [fan_in, fan_out] = fans(t);
+  const float stddev =
+      gain * std::sqrt(2.0f / static_cast<float>(fan_in + fan_out));
+  normal(t, rng, 0.0f, stddev);
+}
+
+void kaiming_normal(Tensor& t, Rng& rng) {
+  const auto [fan_in, fan_out] = fans(t);
+  (void)fan_out;
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  normal(t, rng, 0.0f, stddev);
+}
+
+void uniform(Tensor& t, Rng& rng, float lo, float hi) {
+  float* p = t.data();
+  const std::int64_t n = t.numel();
+  for (std::int64_t i = 0; i < n; ++i) p[i] = rng.uniform(lo, hi);
+}
+
+void normal(Tensor& t, Rng& rng, float mean, float stddev) {
+  float* p = t.data();
+  const std::int64_t n = t.numel();
+  for (std::int64_t i = 0; i < n; ++i) p[i] = rng.normal(mean, stddev);
+}
+
+}  // namespace gsoup::init

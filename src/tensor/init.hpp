@@ -1,0 +1,34 @@
+// Parameter initialisation schemes.
+//
+// The paper (§III-B) uses Glorot/Xavier initialisation for model parameters
+// and "Normal Xavier Initialization" for the souping interpolation logits,
+// so both uniform and normal Glorot variants are provided, plus Kaiming for
+// the ReLU-heavy baselines.
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace gsoup::init {
+
+/// Glorot/Xavier uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in+fan_out)).
+void xavier_uniform(Tensor& t, Rng& rng, float gain = 1.0f);
+
+/// Glorot/Xavier normal: N(0, gain^2 * 2 / (fan_in+fan_out)).
+void xavier_normal(Tensor& t, Rng& rng, float gain = 1.0f);
+
+/// Kaiming/He normal for ReLU fan-in: N(0, 2 / fan_in).
+void kaiming_normal(Tensor& t, Rng& rng);
+
+/// Uniform fill in [lo, hi).
+void uniform(Tensor& t, Rng& rng, float lo, float hi);
+
+/// Gaussian fill.
+void normal(Tensor& t, Rng& rng, float mean, float stddev);
+
+/// fan_in/fan_out convention: rank-2 [fan_out? no: rows=fan_in? ] — we use
+/// rows = fan_in, cols = fan_out (weights are applied as X·W). For rank-1
+/// tensors both fans equal the length.
+std::pair<std::int64_t, std::int64_t> fans(const Tensor& t);
+
+}  // namespace gsoup::init

@@ -1,0 +1,299 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace gsoup::ops {
+
+namespace {
+
+// Rows below this threshold run serially; spawning an OpenMP team costs more
+// than the kernel for small graph layers.
+constexpr std::int64_t kParallelRowThreshold = 64;
+
+void check_matmul(const Tensor& a, const Tensor& b, std::int64_t ak,
+                  std::int64_t bk) {
+  GSOUP_CHECK_MSG(a.rank() == 2 && b.rank() == 2,
+                  "matmul requires rank-2 operands, got "
+                      << a.shape_str() << " and " << b.shape_str());
+  GSOUP_CHECK_MSG(ak == bk, "matmul inner-dimension mismatch: "
+                                << a.shape_str() << " vs " << b.shape_str());
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_matmul(a, b, a.shape(1), b.shape(0));
+  Tensor c = Tensor::zeros({a.shape(0), b.shape(1)});
+  matmul_acc(a, b, c);
+  return c;
+}
+
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c) {
+  check_matmul(a, b, a.shape(1), b.shape(0));
+  GSOUP_CHECK_MSG(c.shape(0) == a.shape(0) && c.shape(1) == b.shape(1),
+                  "matmul_acc output shape mismatch");
+  const std::int64_t m = a.shape(0), k = a.shape(1), n = b.shape(1);
+  const float* __restrict__ pa = a.data();
+  const float* __restrict__ pb = b.data();
+  float* __restrict__ pc = c.data();
+
+  // i-k-j loop order: the innermost loop walks both B and C rows
+  // contiguously, so the compiler vectorises it. Parallel over output rows.
+#pragma omp parallel for schedule(static) if (m >= kParallelRowThreshold)
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* __restrict__ crow = pc + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aval = pa[i * k + kk];
+      if (aval == 0.0f) continue;
+      const float* __restrict__ brow = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_matmul(a, b, a.shape(0), b.shape(0));
+  const std::int64_t k = a.shape(0), m = a.shape(1), n = b.shape(1);
+  Tensor c = Tensor::zeros({m, n});
+  const float* __restrict__ pa = a.data();
+  const float* __restrict__ pb = b.data();
+  float* __restrict__ pc = c.data();
+  // C[i,j] = sum_kk A[kk,i] * B[kk,j]. Parallelising over kk would race on
+  // C, so split output rows across threads and stream over kk.
+#pragma omp parallel for schedule(static) if (m >= kParallelRowThreshold)
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* __restrict__ crow = pc + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aval = pa[kk * m + i];
+      if (aval == 0.0f) continue;
+      const float* __restrict__ brow = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_matmul(a, b, a.shape(1), b.shape(1));
+  const std::int64_t m = a.shape(0), k = a.shape(1), n = b.shape(0);
+  Tensor c = Tensor::empty({m, n});
+  const float* __restrict__ pa = a.data();
+  const float* __restrict__ pb = b.data();
+  float* __restrict__ pc = c.data();
+#pragma omp parallel for schedule(static) if (m >= kParallelRowThreshold)
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* __restrict__ arow = pa + i * k;
+    float* __restrict__ crow = pc + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* __restrict__ brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  GSOUP_CHECK_MSG(a.rank() == 2, "transpose requires rank-2");
+  const std::int64_t m = a.shape(0), n = a.shape(1);
+  Tensor t = Tensor::empty({n, m});
+  const float* __restrict__ pa = a.data();
+  float* __restrict__ pt = t.data();
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) pt[j * m + i] = pa[i * n + j];
+  return t;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  GSOUP_CHECK_MSG(same_shape(a, b), "add shape mismatch");
+  Tensor c = a.clone();
+  c.add_(b);
+  return c;
+}
+
+Tensor add_row_broadcast(const Tensor& a, const Tensor& bias) {
+  GSOUP_CHECK_MSG(a.rank() == 2 && bias.rank() == 1 &&
+                      bias.shape(0) == a.shape(1),
+                  "add_row_broadcast: bias " << bias.shape_str()
+                                             << " vs matrix " << a.shape_str());
+  const std::int64_t m = a.shape(0), n = a.shape(1);
+  Tensor c = Tensor::empty({m, n});
+  const float* __restrict__ pa = a.data();
+  const float* __restrict__ pbias = bias.data();
+  float* __restrict__ pc = c.data();
+#pragma omp parallel for schedule(static) if (m >= kParallelRowThreshold)
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j)
+      pc[i * n + j] = pa[i * n + j] + pbias[j];
+  }
+  return c;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  GSOUP_CHECK_MSG(same_shape(a, b), "mul shape mismatch");
+  Tensor c = Tensor::empty(a.shape());
+  const float* __restrict__ pa = a.data();
+  const float* __restrict__ pb = b.data();
+  float* __restrict__ pc = c.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pc[i] = pa[i] * pb[i];
+  return c;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor c = a.clone();
+  c.mul_(s);
+  return c;
+}
+
+Tensor relu(const Tensor& a) {
+  Tensor c = Tensor::empty(a.shape());
+  const float* __restrict__ pa = a.data();
+  float* __restrict__ pc = c.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pc[i] = pa[i] > 0.0f ? pa[i] : 0.0f;
+  return c;
+}
+
+Tensor elu(const Tensor& a) {
+  Tensor c = Tensor::empty(a.shape());
+  const float* __restrict__ pa = a.data();
+  float* __restrict__ pc = c.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i)
+    pc[i] = pa[i] > 0.0f ? pa[i] : std::expm1(pa[i]);
+  return c;
+}
+
+Tensor leaky_relu(const Tensor& a, float slope) {
+  Tensor c = Tensor::empty(a.shape());
+  const float* __restrict__ pa = a.data();
+  float* __restrict__ pc = c.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i)
+    pc[i] = pa[i] > 0.0f ? pa[i] : slope * pa[i];
+  return c;
+}
+
+float sum(const Tensor& a) {
+  // Kahan summation: benchmark datasets reach millions of elements and the
+  // tests compare against double-precision references.
+  double acc = 0.0;
+  const float* pa = a.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) acc += pa[i];
+  return static_cast<float>(acc);
+}
+
+float dot(const Tensor& a, const Tensor& b) {
+  GSOUP_CHECK_MSG(a.numel() == b.numel(), "dot numel mismatch");
+  double acc = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i)
+    acc += static_cast<double>(pa[i]) * pb[i];
+  return static_cast<float>(acc);
+}
+
+Tensor row_softmax(const Tensor& a) {
+  GSOUP_CHECK_MSG(a.rank() == 2, "row_softmax requires rank-2");
+  const std::int64_t m = a.shape(0), n = a.shape(1);
+  Tensor c = Tensor::empty({m, n});
+  const float* __restrict__ pa = a.data();
+  float* __restrict__ pc = c.data();
+#pragma omp parallel for schedule(static) if (m >= kParallelRowThreshold)
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = pa + i * n;
+    float* out = pc + i * n;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t j = 0; j < n; ++j) mx = std::max(mx, row[j]);
+    float denom = 0.0f;
+    for (std::int64_t j = 0; j < n; ++j) {
+      out[j] = std::exp(row[j] - mx);
+      denom += out[j];
+    }
+    const float inv = 1.0f / denom;
+    for (std::int64_t j = 0; j < n; ++j) out[j] *= inv;
+  }
+  return c;
+}
+
+Tensor row_log_softmax(const Tensor& a) {
+  GSOUP_CHECK_MSG(a.rank() == 2, "row_log_softmax requires rank-2");
+  const std::int64_t m = a.shape(0), n = a.shape(1);
+  Tensor c = Tensor::empty({m, n});
+  const float* __restrict__ pa = a.data();
+  float* __restrict__ pc = c.data();
+#pragma omp parallel for schedule(static) if (m >= kParallelRowThreshold)
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = pa + i * n;
+    float* out = pc + i * n;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t j = 0; j < n; ++j) mx = std::max(mx, row[j]);
+    float denom = 0.0f;
+    for (std::int64_t j = 0; j < n; ++j) denom += std::exp(row[j] - mx);
+    const float log_denom = std::log(denom) + mx;
+    for (std::int64_t j = 0; j < n; ++j) out[j] = row[j] - log_denom;
+  }
+  return c;
+}
+
+std::vector<std::int64_t> row_argmax(const Tensor& a) {
+  GSOUP_CHECK_MSG(a.rank() == 2, "row_argmax requires rank-2");
+  const std::int64_t m = a.shape(0), n = a.shape(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(m));
+  const float* pa = a.data();
+#pragma omp parallel for schedule(static) if (m >= kParallelRowThreshold)
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = pa + i * n;
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < n; ++j)
+      if (row[j] > row[best]) best = j;
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+Tensor vec_softmax(const Tensor& a) {
+  GSOUP_CHECK_MSG(a.rank() == 1, "vec_softmax requires rank-1");
+  const std::int64_t n = a.shape(0);
+  Tensor c = Tensor::empty({n});
+  const float* pa = a.data();
+  float* pc = c.data();
+  float mx = -std::numeric_limits<float>::infinity();
+  for (std::int64_t j = 0; j < n; ++j) mx = std::max(mx, pa[j]);
+  float denom = 0.0f;
+  for (std::int64_t j = 0; j < n; ++j) {
+    pc[j] = std::exp(pa[j] - mx);
+    denom += pc[j];
+  }
+  const float inv = 1.0f / denom;
+  for (std::int64_t j = 0; j < n; ++j) pc[j] *= inv;
+  return c;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  GSOUP_CHECK_MSG(same_shape(a, b), "max_abs_diff shape mismatch");
+  float mx = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i)
+    mx = std::max(mx, std::abs(pa[i] - pb[i]));
+  return mx;
+}
+
+bool all_finite(const Tensor& a) {
+  const float* pa = a.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i)
+    if (!std::isfinite(pa[i])) return false;
+  return true;
+}
+
+}  // namespace gsoup::ops

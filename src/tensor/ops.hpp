@@ -1,0 +1,65 @@
+// Dense kernels: GEMM, elementwise maps, reductions, softmax.
+//
+// These are the raw numeric primitives; the autograd layer (src/ag) wraps
+// them with backward rules. Kernels parallelise with OpenMP over rows, the
+// natural decomposition for node-feature matrices.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace gsoup::ops {
+
+// ---- GEMM ---------------------------------------------------------------
+
+/// C = A · B. A is [m,k], B is [k,n], C out [m,n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C = Aᵀ · B. A is [k,m], B is [k,n], C out [m,n]. (Used by matmul backward.)
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// C = A · Bᵀ. A is [m,k], B is [n,k], C out [m,n]. (Used by matmul backward.)
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+/// In-place accumulate: c += A · B.
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Explicit transpose copy of a rank-2 tensor.
+Tensor transpose(const Tensor& a);
+
+// ---- Elementwise --------------------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b);
+/// out[i,j] = a[i,j] + bias[j] (row broadcast).
+Tensor add_row_broadcast(const Tensor& a, const Tensor& bias);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, float s);
+
+Tensor relu(const Tensor& a);
+/// ELU with alpha=1: x>0 ? x : exp(x)-1.
+Tensor elu(const Tensor& a);
+Tensor leaky_relu(const Tensor& a, float slope);
+
+// ---- Reductions / softmax -----------------------------------------------
+
+float sum(const Tensor& a);
+float dot(const Tensor& a, const Tensor& b);
+
+/// Row-wise numerically-stable softmax of a [m,n] tensor.
+Tensor row_softmax(const Tensor& a);
+/// Row-wise log-softmax of a [m,n] tensor.
+Tensor row_log_softmax(const Tensor& a);
+
+/// argmax over each row; out has length m.
+std::vector<std::int64_t> row_argmax(const Tensor& a);
+
+/// Softmax over a flat vector (used for ingredient interpolation logits).
+Tensor vec_softmax(const Tensor& a);
+
+// ---- Comparison helpers (tests) -----------------------------------------
+
+/// max_i |a_i - b_i| over equal-shaped tensors.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+/// True if all elements are finite.
+bool all_finite(const Tensor& a);
+
+}  // namespace gsoup::ops

@@ -1,0 +1,61 @@
+// Phase 1 of the paper's workflow (§III-A): distributed zero-communication
+// ingredient training. N ingredients start from ONE shared initialisation
+// (the Graph Ladling recipe) and train completely independently; W workers
+// drain a dynamic shared task queue, so T_total ≈ (N/W) · T_single (Eq. 1)
+// and, when N ≤ W, T_min = max_i T_single_i (Eq. 2).
+//
+// Workers here are threads standing in for the paper's GPUs — valid
+// because Phase 1 requires no inter-worker communication at all; only the
+// scheduling behaviour matters, and that is reproduced exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dataset.hpp"
+#include "nn/graph_context.hpp"
+#include "nn/model.hpp"
+#include "nn/param.hpp"
+#include "train/minibatch_trainer.hpp"
+#include "train/trainer.hpp"
+
+namespace gsoup {
+
+/// One trained ingredient.
+struct Ingredient {
+  ParamStore params;
+  double val_acc = 0.0;
+  double test_acc = 0.0;
+  double train_seconds = 0.0;
+  std::int64_t id = -1;
+};
+
+struct FarmConfig {
+  std::int64_t num_ingredients = 8;
+  std::int64_t num_workers = 2;
+  /// Base training recipe; each ingredient gets seed = base_seed + id so
+  /// runs differ only through training stochasticity (dropout order), as
+  /// in Graph Ladling's same-initialisation protocol.
+  TrainConfig train;
+  std::uint64_t init_seed = 42;
+  /// Use neighbour-sampling minibatches (GraphSAGE only).
+  bool minibatch = false;
+  MinibatchConfig minibatch_config;
+};
+
+struct FarmResult {
+  std::vector<Ingredient> ingredients;
+  double wall_seconds = 0.0;      ///< elapsed time for the whole farm
+  double total_train_seconds = 0; ///< Σ per-ingredient training time
+  double mean_val_acc = 0.0;
+  double mean_test_acc = 0.0;
+  double stddev_test_acc = 0.0;
+};
+
+/// Train the full ingredient set. The returned ingredients are sorted by
+/// id (deterministic content for a fixed config, regardless of worker
+/// interleaving).
+FarmResult train_ingredients(const GnnModel& model, const GraphContext& ctx,
+                             const Dataset& data, const FarmConfig& config);
+
+}  // namespace gsoup

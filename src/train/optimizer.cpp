@@ -1,0 +1,128 @@
+#include "train/optimizer.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace gsoup {
+
+Optimizer::Optimizer(std::vector<ag::Value> params, OptimizerConfig config)
+    : params_(std::move(params)), config_(config), lr_(config.lr) {
+  for (const auto& p : params_) {
+    GSOUP_CHECK_MSG(p != nullptr && p->requires_grad,
+                    "optimiser parameters must require grad");
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p->clear_grad();
+}
+
+namespace {
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<ag::Value> params, OptimizerConfig config)
+      : Optimizer(std::move(params), config) {
+    velocity_.resize(params_.size());
+  }
+
+  void step() override {
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      auto& p = params_[i];
+      if (!p->grad.defined()) continue;
+      float* w = p->value.data();
+      const float* g = p->grad.data();
+      const std::int64_t n = p->value.numel();
+      const auto wd = static_cast<float>(config_.weight_decay);
+      const auto lr = static_cast<float>(lr_);
+      const auto mu = static_cast<float>(config_.momentum);
+      if (mu == 0.0f) {
+        for (std::int64_t j = 0; j < n; ++j) {
+          w[j] -= lr * (g[j] + wd * w[j]);
+        }
+        continue;
+      }
+      if (!velocity_[i].defined()) {
+        velocity_[i] = Tensor::zeros(p->value.shape());
+      }
+      float* v = velocity_[i].data();
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float grad = g[j] + wd * w[j];
+        v[j] = mu * v[j] + grad;
+        w[j] -= lr * (config_.nesterov ? grad + mu * v[j] : v[j]);
+      }
+    }
+  }
+
+ private:
+  std::vector<Tensor> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<ag::Value> params, OptimizerConfig config, bool decoupled)
+      : Optimizer(std::move(params), config), decoupled_(decoupled) {
+    m_.resize(params_.size());
+    v_.resize(params_.size());
+  }
+
+  void step() override {
+    ++t_;
+    const double bias1 = 1.0 - std::pow(config_.beta1, t_);
+    const double bias2 = 1.0 - std::pow(config_.beta2, t_);
+    const auto b1 = static_cast<float>(config_.beta1);
+    const auto b2 = static_cast<float>(config_.beta2);
+    const auto eps = static_cast<float>(config_.eps);
+    const auto wd = static_cast<float>(config_.weight_decay);
+    const auto lr = static_cast<float>(lr_);
+    const auto corr =
+        static_cast<float>(std::sqrt(bias2) / bias1);
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      auto& p = params_[i];
+      if (!p->grad.defined()) continue;
+      if (!m_[i].defined()) {
+        m_[i] = Tensor::zeros(p->value.shape());
+        v_[i] = Tensor::zeros(p->value.shape());
+      }
+      float* w = p->value.data();
+      const float* g = p->grad.data();
+      float* m = m_[i].data();
+      float* v = v_[i].data();
+      const std::int64_t n = p->value.numel();
+      for (std::int64_t j = 0; j < n; ++j) {
+        // Classic Adam folds weight decay into the gradient; AdamW applies
+        // it directly to the weights (decoupled).
+        const float grad = decoupled_ ? g[j] : g[j] + wd * w[j];
+        m[j] = b1 * m[j] + (1.0f - b1) * grad;
+        v[j] = b2 * v[j] + (1.0f - b2) * grad * grad;
+        if (decoupled_) w[j] -= lr * wd * w[j];
+        w[j] -= lr * corr * m[j] / (std::sqrt(v[j]) + eps);
+      }
+    }
+  }
+
+ private:
+  bool decoupled_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace
+
+std::unique_ptr<Optimizer> make_optimizer(std::vector<ag::Value> params,
+                                          const OptimizerConfig& config) {
+  switch (config.kind) {
+    case OptimizerKind::kSgd:
+      return std::make_unique<Sgd>(std::move(params), config);
+    case OptimizerKind::kAdam:
+      return std::make_unique<Adam>(std::move(params), config, false);
+    case OptimizerKind::kAdamW:
+      return std::make_unique<Adam>(std::move(params), config, true);
+  }
+  GSOUP_CHECK_MSG(false, "unknown optimiser kind");
+  return nullptr;
+}
+
+}  // namespace gsoup

@@ -1,0 +1,56 @@
+// First-order optimisers over autodiff leaves.
+//
+// SGD (+momentum/Nesterov) is what the paper uses for the souping logits
+// (§III-B: "updated using SGD with a cosine annealing learning rate
+// scheduler ... rather than AdamW commonly used in LLMs"); Adam/AdamW are
+// provided for ingredient training and the optimiser ablation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ag/value.hpp"
+
+namespace gsoup {
+
+enum class OptimizerKind { kSgd, kAdam, kAdamW };
+
+struct OptimizerConfig {
+  OptimizerKind kind = OptimizerKind::kAdam;
+  double lr = 1e-2;
+  double weight_decay = 0.0;
+  // SGD
+  double momentum = 0.0;
+  bool nesterov = false;
+  // Adam/AdamW
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+};
+
+/// Base optimiser: owns the parameter list, exposes lr for schedulers.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Value> params, OptimizerConfig config);
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from the accumulated gradients.
+  virtual void step() = 0;
+  /// Reset every parameter's gradient (drops grad storage).
+  void zero_grad();
+
+  double lr() const { return lr_; }
+  void set_lr(double lr) { lr_ = lr; }
+  const OptimizerConfig& config() const { return config_; }
+
+ protected:
+  std::vector<ag::Value> params_;
+  OptimizerConfig config_;
+  double lr_;
+};
+
+std::unique_ptr<Optimizer> make_optimizer(std::vector<ag::Value> params,
+                                          const OptimizerConfig& config);
+
+}  // namespace gsoup

@@ -1,0 +1,33 @@
+#include "train/scheduler.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace gsoup {
+
+double scheduled_lr(const ScheduleConfig& config, std::int64_t epoch,
+                    std::int64_t total_epochs) {
+  GSOUP_CHECK_MSG(epoch >= 0 && total_epochs > 0, "bad schedule arguments");
+  switch (config.kind) {
+    case ScheduleKind::kConstant:
+      return config.base_lr;
+    case ScheduleKind::kCosine: {
+      const double t = static_cast<double>(epoch) /
+                       static_cast<double>(total_epochs);
+      const double cosine = 0.5 * (1.0 + std::cos(3.14159265358979323846 * t));
+      return config.min_lr + (config.base_lr - config.min_lr) * cosine;
+    }
+    case ScheduleKind::kStep: {
+      const auto decays = config.step_every > 0
+                              ? epoch / config.step_every
+                              : 0;
+      return config.base_lr * std::pow(config.gamma,
+                                       static_cast<double>(decays));
+    }
+  }
+  GSOUP_CHECK_MSG(false, "unknown schedule kind");
+  return config.base_lr;
+}
+
+}  // namespace gsoup

@@ -1,0 +1,26 @@
+// Learning-rate schedules. Learned Souping uses cosine annealing
+// (paper §III-B); step decay and constant schedules are provided for
+// ingredient training and ablations.
+#pragma once
+
+#include <cstdint>
+
+namespace gsoup {
+
+enum class ScheduleKind { kConstant, kCosine, kStep };
+
+struct ScheduleConfig {
+  ScheduleKind kind = ScheduleKind::kConstant;
+  double base_lr = 1e-2;
+  /// Cosine: floor learning rate at the end of the horizon.
+  double min_lr = 0.0;
+  /// Step: multiply by `gamma` every `step_every` epochs.
+  double gamma = 0.5;
+  std::int64_t step_every = 50;
+};
+
+/// lr(epoch) for epoch in [0, total_epochs).
+double scheduled_lr(const ScheduleConfig& config, std::int64_t epoch,
+                    std::int64_t total_epochs);
+
+}  // namespace gsoup

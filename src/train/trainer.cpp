@@ -1,0 +1,74 @@
+#include "train/trainer.hpp"
+
+#include "ag/loss.hpp"
+#include "ag/ops.hpp"
+#include "train/metrics.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace gsoup {
+
+TrainResult train_full_batch(const GnnModel& model, const GraphContext& ctx,
+                             const Dataset& data, ParamStore& params,
+                             const TrainConfig& config) {
+  GSOUP_CHECK_MSG(config.epochs > 0, "need at least one epoch");
+  Timer timer;
+  TrainResult result;
+
+  ParamMap leaves = as_leaves(params, /*requires_grad=*/true);
+  std::vector<ag::Value> leaf_list;
+  leaf_list.reserve(leaves.size());
+  for (auto& [name, leaf] : leaves) leaf_list.push_back(leaf);
+
+  OptimizerConfig opt_config = config.optimizer;
+  opt_config.lr = config.schedule.base_lr;
+  auto optimizer = make_optimizer(leaf_list, opt_config);
+
+  Rng dropout_rng(config.seed ^ 0x5eed5eedULL);
+  const ag::Value features = ag::constant(data.features);
+  const auto train_nodes = data.split_nodes(Split::kTrain);
+  GSOUP_CHECK_MSG(!train_nodes.empty(), "dataset has no training nodes");
+
+  ParamStore best;
+  std::int64_t since_best = 0;
+
+  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    optimizer->set_lr(scheduled_lr(config.schedule, epoch, config.epochs));
+
+    const ag::Value logits =
+        model.forward(ctx, features, leaves, /*training=*/true, &dropout_rng);
+    const ag::Value loss = ag::cross_entropy(logits, data.labels, train_nodes);
+    result.train_loss.push_back(static_cast<double>(loss->value.at(0)));
+
+    ag::backward(loss);
+    optimizer->step();
+    optimizer->zero_grad();
+    ++result.epochs_run;
+
+    if (config.eval_every > 0 &&
+        (epoch % config.eval_every == 0 || epoch + 1 == config.epochs)) {
+      const double acc =
+          evaluate_split(model, ctx, data, params, Split::kVal);
+      result.val_acc.push_back(acc);
+      if (acc > result.best_val_acc || result.best_epoch < 0) {
+        result.best_val_acc = acc;
+        result.best_epoch = epoch;
+        since_best = 0;
+        if (config.keep_best) best = params.clone();
+      } else {
+        ++since_best;
+        if (config.patience > 0 && since_best >= config.patience) break;
+      }
+    }
+  }
+
+  if (config.keep_best && best.size() > 0) {
+    for (const auto& e : best.entries()) {
+      params.get_mutable(e.name).copy_(e.tensor);
+    }
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace gsoup

@@ -1,0 +1,53 @@
+// Lightweight runtime-check macros used across the library.
+//
+// GSOUP_CHECK is always active (argument validation on public APIs);
+// GSOUP_DCHECK compiles away in release builds (hot-loop invariants).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gsoup {
+
+/// Error type thrown by all GSOUP_CHECK failures. Deriving from
+/// std::runtime_error keeps it catchable by generic handlers while letting
+/// tests assert on the specific type.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "GSOUP_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace gsoup
+
+#define GSOUP_CHECK(cond)                                               \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::gsoup::detail::check_failed(#cond, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define GSOUP_CHECK_MSG(cond, msg)                                      \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream gsoup_os_;                                     \
+      gsoup_os_ << msg;                                                 \
+      ::gsoup::detail::check_failed(#cond, __FILE__, __LINE__,          \
+                                    gsoup_os_.str());                   \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define GSOUP_DCHECK(cond) ((void)0)
+#else
+#define GSOUP_DCHECK(cond) GSOUP_CHECK(cond)
+#endif

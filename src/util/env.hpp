@@ -1,0 +1,20 @@
+// Environment-variable knobs for the benchmark harness. Experiment scale
+// (ingredient count, trial count, dataset scale factor) is overridable
+// without rebuilding, per the reproduction scaling notes in DESIGN.md §1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gsoup {
+
+/// Read an integer env var, falling back to `fallback` when unset/invalid.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Read a double env var, falling back to `fallback` when unset/invalid.
+double env_double(const char* name, double fallback);
+
+/// Read a string env var, falling back to `fallback` when unset.
+std::string env_str(const char* name, const std::string& fallback);
+
+}  // namespace gsoup

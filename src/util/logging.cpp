@@ -1,0 +1,51 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "util/env.hpp"
+
+namespace gsoup {
+
+namespace {
+
+std::atomic<int>& threshold_storage() {
+  static std::atomic<int> level{[] {
+    const std::string v = env_str("GSOUP_LOG", "info");
+    if (v == "debug") return 0;
+    if (v == "warn") return 2;
+    if (v == "error") return 3;
+    return 1;
+  }()};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() {
+  return static_cast<LogLevel>(threshold_storage().load());
+}
+
+void set_log_threshold(LogLevel level) {
+  threshold_storage().store(static_cast<int>(level));
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < threshold_storage().load()) return;
+  static std::mutex io_mutex;
+  std::lock_guard lock(io_mutex);
+  std::fprintf(stderr, "[gsoup %s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace gsoup

@@ -1,0 +1,41 @@
+// Minimal leveled logging to stderr. Benchmarks keep stdout clean for
+// table output; progress/diagnostics go through here.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gsoup {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+/// Initialised from GSOUP_LOG (debug|info|warn|error), default info.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace gsoup
+
+#define GSOUP_LOG_DEBUG ::gsoup::detail::LogLine(::gsoup::LogLevel::kDebug)
+#define GSOUP_LOG_INFO ::gsoup::detail::LogLine(::gsoup::LogLevel::kInfo)
+#define GSOUP_LOG_WARN ::gsoup::detail::LogLine(::gsoup::LogLevel::kWarn)
+#define GSOUP_LOG_ERROR ::gsoup::detail::LogLine(::gsoup::LogLevel::kError)

@@ -1,0 +1,56 @@
+#include "util/memory_tracker.hpp"
+
+namespace gsoup {
+
+std::atomic<std::size_t> MemoryTracker::current_{0};
+std::atomic<std::size_t> MemoryTracker::peak_{0};
+std::atomic<std::uint64_t> MemoryTracker::allocs_{0};
+
+void MemoryTracker::record_alloc(std::size_t bytes) noexcept {
+  allocs_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t now =
+      current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  // Lock-free watermark update: retry while we hold a larger value than the
+  // stored peak. compare_exchange reloads `prev` on failure.
+  std::size_t prev = peak_.load(std::memory_order_relaxed);
+  while (now > prev &&
+         !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::record_free(std::size_t bytes) noexcept {
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::size_t MemoryTracker::current() noexcept {
+  return current_.load(std::memory_order_relaxed);
+}
+
+std::size_t MemoryTracker::peak() noexcept {
+  return peak_.load(std::memory_order_relaxed);
+}
+
+void MemoryTracker::reset_peak() noexcept {
+  peak_.store(current_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+}
+
+std::uint64_t MemoryTracker::alloc_count() noexcept {
+  return allocs_.load(std::memory_order_relaxed);
+}
+
+PeakMemoryScope::PeakMemoryScope() noexcept
+    : entry_bytes_(MemoryTracker::current()) {
+  MemoryTracker::reset_peak();
+}
+
+std::size_t PeakMemoryScope::peak_bytes() const noexcept {
+  return MemoryTracker::peak();
+}
+
+std::size_t PeakMemoryScope::peak_above_entry() const noexcept {
+  const std::size_t p = MemoryTracker::peak();
+  return p > entry_bytes_ ? p - entry_bytes_ : 0;
+}
+
+}  // namespace gsoup

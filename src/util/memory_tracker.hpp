@@ -1,0 +1,60 @@
+// Byte-accounting allocator instrumentation.
+//
+// Every Tensor allocation in the library reports through MemoryTracker, so
+// peak resident bytes can be measured for a region of code. This is the
+// substitute for the CUDA memory profiler used in the paper's Fig. 4b: the
+// *relative* peak between souping strategies (ingredients + retained
+// activations) is what the figure compares, and that is preserved on CPU.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace gsoup {
+
+/// Global, thread-safe current/peak byte counters.
+///
+/// `current()` tracks live tracked bytes; `peak()` is a high watermark that
+/// can be reset to `current()` at the start of a measured region via
+/// `reset_peak()`. All operations are lock-free.
+class MemoryTracker {
+ public:
+  static void record_alloc(std::size_t bytes) noexcept;
+  static void record_free(std::size_t bytes) noexcept;
+
+  /// Live tracked bytes right now.
+  static std::size_t current() noexcept;
+  /// High watermark since the last reset_peak().
+  static std::size_t peak() noexcept;
+  /// Set the watermark to the current live byte count.
+  static void reset_peak() noexcept;
+
+  /// Total number of tracked allocations since process start (diagnostics).
+  static std::uint64_t alloc_count() noexcept;
+
+ private:
+  static std::atomic<std::size_t> current_;
+  static std::atomic<std::size_t> peak_;
+  static std::atomic<std::uint64_t> allocs_;
+};
+
+/// RAII scope that measures the peak tracked memory *above* the bytes live
+/// at scope entry. Non-reentrant with other concurrent scopes (the peak
+/// counter is global), which matches its use: one souping run at a time.
+class PeakMemoryScope {
+ public:
+  PeakMemoryScope() noexcept;
+  PeakMemoryScope(const PeakMemoryScope&) = delete;
+  PeakMemoryScope& operator=(const PeakMemoryScope&) = delete;
+
+  /// Peak bytes observed since construction (absolute watermark).
+  std::size_t peak_bytes() const noexcept;
+  /// Peak bytes above the live set at scope entry.
+  std::size_t peak_above_entry() const noexcept;
+
+ private:
+  std::size_t entry_bytes_;
+};
+
+}  // namespace gsoup

@@ -1,0 +1,88 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace gsoup {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  GSOUP_CHECK_MSG(header_.empty() || row.size() == header_.size(),
+                  "row width " << row.size() << " != header width "
+                               << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c >= widths.size()) widths.resize(c + 1, 0);
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (auto w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      s += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out;
+  if (!title_.empty()) out += "== " + title_ + " ==\n";
+  out += hline();
+  if (!header_.empty()) {
+    out += render_row(header_);
+    out += hline();
+  }
+  for (const auto& row : rows_) out += render_row(row);
+  out += hline();
+  return out;
+}
+
+void Table::print() const {
+  const std::string s = str();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::fmt_pm(double mean, double stddev, int precision) {
+  return fmt(mean, precision) + " ± " + fmt(stddev, precision);
+}
+
+std::string Table::fmt_bytes(std::size_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 3) {
+    v /= 1024.0;
+    ++u;
+  }
+  return fmt(v, u == 0 ? 0 : 2) + " " + units[u];
+}
+
+}  // namespace gsoup

@@ -1,0 +1,36 @@
+// ASCII table formatting for the benchmark harness. Every bench binary
+// prints paper-style tables (Table I-III, Fig. 3/4 series) through this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gsoup {
+
+/// Column-aligned ASCII table with a title row, header and separator.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Render with box-drawing separators, padded to column widths.
+  std::string str() const;
+  /// Render and write to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Format helpers used by the bench binaries.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_pm(double mean, double stddev, int precision = 2);
+  static std::string fmt_bytes(std::size_t bytes);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gsoup

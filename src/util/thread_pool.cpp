@@ -1,0 +1,61 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+
+#include "util/check.hpp"
+
+namespace gsoup {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  GSOUP_CHECK_MSG(workers >= 1, "thread pool needs at least one worker");
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Dynamic scheduling via a shared atomic index: workers steal the next
+  // iteration when free, the same policy the ingredient farm uses.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  std::vector<std::future<void>> futures;
+  const std::size_t lanes = std::min(n, worker_count());
+  futures.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    futures.push_back(submit([next, n, &fn] {
+      for (;;) {
+        const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace gsoup

@@ -1,0 +1,61 @@
+// Fixed-size worker pool with a shared task queue.
+//
+// This is the substrate for the paper's Phase-1 "distributed
+// zero-communication ingredients training" (§III-A): N ingredient-training
+// jobs are drained by W workers from a shared queue with no inter-worker
+// communication, reproducing the dynamic allocation that yields
+// T_total ≈ (N/W) · T_single (Eq. 1).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gsoup {
+
+/// A minimal thread pool. Tasks are std::function<void()>; submit() returns
+/// a future for the task's completion. The pool joins on destruction.
+class ThreadPool {
+ public:
+  /// Spawn `workers` threads (>= 1).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; returns a future completed when the task finishes.
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submit(F&& fn) {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace gsoup

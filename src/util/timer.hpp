@@ -1,0 +1,46 @@
+// Monotonic wall-clock timers used by the benchmark harness (Table III,
+// Fig. 4a) and the Phase-1 ingredient farm.
+#pragma once
+
+#include <chrono>
+
+namespace gsoup {
+
+/// Simple stopwatch over std::chrono::steady_clock.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across start/stop cycles; used to separate
+/// one-off preprocessing (e.g. PLS partitioning) from per-epoch cost.
+class AccumTimer {
+ public:
+  void start() { running_ = true; t_.reset(); }
+  void stop() {
+    if (running_) total_ += t_.seconds();
+    running_ = false;
+  }
+  double seconds() const { return total_ + (running_ ? t_.seconds() : 0.0); }
+  void reset() { total_ = 0.0; running_ = false; }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace gsoup

@@ -1,0 +1,216 @@
+// Synthetic dataset generator tests: structural invariants, preset
+// conformance with the paper's Table I ratios, and the difficulty knobs
+// (homophily, feature noise) that the substitution argument rests on.
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+
+namespace gsoup {
+namespace {
+
+TEST(Generator, ProducesValidDataset) {
+  SyntheticSpec spec;
+  spec.num_nodes = 300;
+  spec.num_classes = 5;
+  spec.avg_degree = 8;
+  const Dataset data = generate_dataset(spec);
+  data.validate();
+  EXPECT_EQ(data.num_nodes(), 300);
+  EXPECT_EQ(data.num_classes, 5);
+  EXPECT_TRUE(data.graph.is_symmetric());
+}
+
+TEST(Generator, DeterministicForFixedSeed) {
+  SyntheticSpec spec;
+  spec.num_nodes = 200;
+  spec.seed = 99;
+  const Dataset a = generate_dataset(spec);
+  const Dataset b = generate_dataset(spec);
+  EXPECT_EQ(a.graph.indices, b.graph.indices);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.train_mask, b.train_mask);
+  for (std::int64_t i = 0; i < a.features.numel(); ++i) {
+    EXPECT_FLOAT_EQ(a.features.at(i), b.features.at(i));
+  }
+}
+
+TEST(Generator, SeedChangesOutput) {
+  SyntheticSpec spec;
+  spec.num_nodes = 200;
+  spec.seed = 1;
+  const Dataset a = generate_dataset(spec);
+  spec.seed = 2;
+  const Dataset b = generate_dataset(spec);
+  EXPECT_NE(a.graph.indices, b.graph.indices);
+}
+
+TEST(Generator, EveryClassNonEmpty) {
+  SyntheticSpec spec;
+  spec.num_nodes = 100;
+  spec.num_classes = 40;
+  const Dataset data = generate_dataset(spec);
+  std::vector<int> counts(40, 0);
+  for (const auto y : data.labels) ++counts[y];
+  for (const auto c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(Generator, SplitFractionsRespected) {
+  SyntheticSpec spec;
+  spec.num_nodes = 1000;
+  spec.train_frac = 0.54;
+  spec.val_frac = 0.18;
+  const Dataset data = generate_dataset(spec);
+  EXPECT_EQ(data.split_size(Split::kTrain), 540);
+  EXPECT_EQ(data.split_size(Split::kVal), 180);
+  EXPECT_EQ(data.split_size(Split::kTest), 280);
+}
+
+TEST(Generator, HomophilyKnobControlsIntraClassEdges) {
+  SyntheticSpec lo;
+  lo.num_nodes = 800;
+  lo.num_classes = 4;
+  lo.homophily = 0.1;
+  lo.seed = 5;
+  SyntheticSpec hi = lo;
+  hi.homophily = 0.9;
+
+  auto intra_fraction = [](const Dataset& d) {
+    std::int64_t intra = 0, total = 0;
+    for (std::int64_t i = 0; i < d.num_nodes(); ++i) {
+      for (const auto j : d.graph.neighbors(i)) {
+        if (j == i) continue;  // self loops trivially intra
+        ++total;
+        intra += d.labels[i] == d.labels[j] ? 1 : 0;
+      }
+    }
+    return static_cast<double>(intra) / static_cast<double>(total);
+  };
+  const double f_lo = intra_fraction(generate_dataset(lo));
+  const double f_hi = intra_fraction(generate_dataset(hi));
+  EXPECT_LT(f_lo, 0.5);
+  EXPECT_GT(f_hi, 0.8);
+  EXPECT_GT(f_hi, f_lo + 0.3);
+}
+
+TEST(Generator, DegreeSigmaControlsSkew) {
+  SyntheticSpec flat;
+  flat.num_nodes = 600;
+  flat.degree_sigma = 0.0;
+  flat.seed = 6;
+  SyntheticSpec skew = flat;
+  skew.degree_sigma = 1.5;
+
+  auto max_degree = [](const Dataset& d) {
+    std::int64_t mx = 0;
+    for (std::int64_t i = 0; i < d.num_nodes(); ++i) {
+      mx = std::max(mx, d.graph.degree(i));
+    }
+    return mx;
+  };
+  EXPECT_GT(max_degree(generate_dataset(skew)),
+            max_degree(generate_dataset(flat)));
+}
+
+TEST(Generator, AverageDegreeNearTarget) {
+  SyntheticSpec spec;
+  spec.num_nodes = 1000;
+  spec.avg_degree = 12.0;
+  spec.seed = 7;
+  const Dataset data = generate_dataset(spec);
+  // Each undirected edge becomes two directed entries; self loops add one
+  // per node; dedup removes a few duplicates.
+  const double avg =
+      static_cast<double>(data.num_edges() - data.num_nodes()) /
+      static_cast<double>(data.num_nodes());
+  EXPECT_GT(avg, 8.0);
+  EXPECT_LT(avg, 13.0);
+}
+
+// Preset conformance with Table I's shape.
+struct PresetCase {
+  const char* name;
+  SyntheticSpec spec;
+  std::int64_t classes;
+  double train_frac;
+};
+
+class PaperPresets : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaperPresets, MatchesTableOneShape) {
+  const auto specs = paper_dataset_specs();
+  const SyntheticSpec spec = specs[GetParam()];
+  const Dataset data = generate_dataset(spec);
+  data.validate();
+  const std::int64_t expected_classes[] = {7, 40, 41, 47};
+  EXPECT_EQ(data.num_classes, expected_classes[GetParam()]);
+  // Split ratios match the paper.
+  const double train_fracs[] = {0.50, 0.54, 0.66, 0.10};
+  const double got = static_cast<double>(data.split_size(Split::kTrain)) /
+                     static_cast<double>(data.num_nodes());
+  EXPECT_NEAR(got, train_fracs[GetParam()], 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFour, PaperPresets, ::testing::Range(0, 4));
+
+TEST(Generator, ScaleParameterScalesNodes) {
+  const auto big = products_like_spec(0.25);
+  const auto small = products_like_spec(0.1);
+  EXPECT_GT(big.num_nodes, small.num_nodes);
+  EXPECT_EQ(big.num_classes, small.num_classes);
+}
+
+TEST(Generator, FeaturesAreStandardized) {
+  SyntheticSpec spec;
+  spec.num_nodes = 600;
+  spec.feature_noise = 9.0;  // large raw scale; must be normalised away
+  spec.seed = 15;
+  const Dataset data = generate_dataset(spec);
+  const std::int64_t d = data.feature_dim();
+  for (std::int64_t j = 0; j < d; ++j) {
+    double mean = 0, sq = 0;
+    for (std::int64_t i = 0; i < data.num_nodes(); ++i) {
+      mean += data.features.at(i, j);
+      sq += static_cast<double>(data.features.at(i, j)) *
+            data.features.at(i, j);
+    }
+    mean /= static_cast<double>(data.num_nodes());
+    const double var = sq / static_cast<double>(data.num_nodes()) -
+                       mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(Generator, LabelNoiseFlipsExpectedFraction) {
+  SyntheticSpec spec;
+  spec.num_nodes = 4000;
+  spec.num_classes = 10;
+  spec.seed = 16;
+  const Dataset clean = generate_dataset(spec);
+  spec.label_noise = 0.2;
+  const Dataset noisy = generate_dataset(spec);
+  std::int64_t flipped = 0;
+  for (std::size_t i = 0; i < clean.labels.size(); ++i) {
+    flipped += clean.labels[i] != noisy.labels[i] ? 1 : 0;
+  }
+  // A 0.2 flip rate re-draws uniformly, so ~0.2*(1-1/C) labels change.
+  const double expect = 0.2 * (1.0 - 1.0 / 10.0) * 4000;
+  EXPECT_GT(flipped, expect * 0.8);
+  EXPECT_LT(flipped, expect * 1.2);
+  // Graph structure and features are identical — only labels changed.
+  EXPECT_EQ(clean.graph.indices, noisy.graph.indices);
+}
+
+TEST(Generator, RejectsBadSpecs) {
+  SyntheticSpec spec;
+  spec.num_nodes = 5;
+  spec.num_classes = 10;
+  EXPECT_THROW(generate_dataset(spec), CheckError);
+  SyntheticSpec spec2;
+  spec2.train_frac = 0.8;
+  spec2.val_frac = 0.3;
+  EXPECT_THROW(generate_dataset(spec2), CheckError);
+}
+
+}  // namespace
+}  // namespace gsoup

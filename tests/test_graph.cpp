@@ -1,0 +1,141 @@
+// CSR construction, validation, transposition and normalisation tests.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "graph/normalize.hpp"
+#include "test_helpers.hpp"
+
+namespace gsoup {
+namespace {
+
+TEST(Builder, BuildsSortedDedupedCsr) {
+  std::vector<Edge> edges{{0, 1}, {0, 1}, {2, 1}, {1, 0}};
+  const Csr g = build_csr(3, edges,
+                          {.symmetrize = false, .add_self_loops = false});
+  g.validate();
+  EXPECT_EQ(g.num_nodes, 3);
+  // dst 0: src 1; dst 1: src 0, 2 (dedup killed the duplicate 0->1).
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(2), 0);
+  EXPECT_EQ(g.neighbors(1)[0], 0);
+  EXPECT_EQ(g.neighbors(1)[1], 2);
+}
+
+TEST(Builder, SymmetrizeAddsReverseEdges) {
+  std::vector<Edge> edges{{0, 1}, {1, 2}};
+  const Csr g = build_csr(3, edges,
+                          {.symmetrize = true, .add_self_loops = false});
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_EQ(g.num_edges(), 4);
+}
+
+TEST(Builder, SelfLoopsAddedExactlyOnce) {
+  std::vector<Edge> edges{{0, 0}, {0, 1}};
+  const Csr g = build_csr(2, edges);
+  // Input self loop removed, then one self loop per node added.
+  EXPECT_EQ(g.num_edges(), 2 + 2);
+  for (std::int64_t i = 0; i < 2; ++i) {
+    bool has_self = false;
+    for (const auto j : g.neighbors(i)) has_self |= j == i;
+    EXPECT_TRUE(has_self);
+  }
+}
+
+TEST(Builder, RejectsOutOfRangeEndpoints) {
+  std::vector<Edge> edges{{0, 5}};
+  EXPECT_THROW(build_csr(3, edges), CheckError);
+}
+
+TEST(Csr, ValidateCatchesCorruption) {
+  Csr g = testing::tiny_graph();
+  g.validate();
+  Csr bad = g;
+  bad.indices[0] = static_cast<std::int32_t>(bad.num_nodes + 5);
+  EXPECT_THROW(bad.validate(), CheckError);
+  Csr bad2 = g;
+  bad2.indptr.back() += 1;
+  EXPECT_THROW(bad2.validate(), CheckError);
+}
+
+TEST(Csr, TransposeIsInvolutionOnStructure) {
+  const Csr g = testing::tiny_graph();
+  const auto t = g.transpose();
+  t.graph.validate();
+  const auto tt = t.graph.transpose();
+  EXPECT_EQ(tt.graph.indptr, g.indptr);
+  EXPECT_EQ(tt.graph.indices, g.indices);
+}
+
+TEST(Csr, TransposeEdgeMapPointsAtOriginalEdge) {
+  const Csr g = testing::tiny_graph();
+  const auto t = g.transpose();
+  // Transposed edge k is (dst -> src) of original edge edge_map[k]: check
+  // endpoint consistency for every edge.
+  for (std::int64_t j = 0; j < t.graph.num_nodes; ++j) {
+    for (std::int64_t te = t.graph.indptr[j]; te < t.graph.indptr[j + 1];
+         ++te) {
+      const std::int64_t i = t.graph.indices[te];
+      const std::int64_t e = t.edge_map[te];
+      // Original edge e has dst d(e) with src = j.
+      EXPECT_EQ(g.indices[e], j);
+      // And e must lie inside i's in-edge range.
+      EXPECT_GE(e, g.indptr[i]);
+      EXPECT_LT(e, g.indptr[i + 1]);
+    }
+  }
+}
+
+TEST(Csr, TransposeCarriesValues) {
+  Csr g = testing::tiny_graph();
+  g.values.resize(g.indices.size());
+  for (std::size_t e = 0; e < g.values.size(); ++e) {
+    g.values[e] = static_cast<float>(e) + 1.0f;
+  }
+  const auto t = g.transpose();
+  for (std::size_t te = 0; te < t.graph.values.size(); ++te) {
+    EXPECT_FLOAT_EQ(t.graph.values[te],
+                    g.values[static_cast<std::size_t>(t.edge_map[te])]);
+  }
+}
+
+TEST(Normalize, GcnWeightsAreSymmetricInverseSqrtDegrees) {
+  const Csr g = testing::tiny_graph();
+  const Csr norm = gcn_normalize(g);
+  norm.validate();
+  for (std::int64_t i = 0; i < g.num_nodes; ++i) {
+    for (std::int64_t e = g.indptr[i]; e < g.indptr[i + 1]; ++e) {
+      const auto j = g.indices[e];
+      const float expect =
+          1.0f / std::sqrt(static_cast<float>(g.degree(i)) *
+                           static_cast<float>(g.degree(j)));
+      EXPECT_NEAR(norm.values[e], expect, 1e-6f);
+    }
+  }
+}
+
+TEST(Normalize, RowWeightsSumToOne) {
+  const Csr g = testing::tiny_graph();
+  const Csr norm = row_normalize(g);
+  for (std::int64_t i = 0; i < g.num_nodes; ++i) {
+    float total = 0.0f;
+    for (std::int64_t e = g.indptr[i]; e < g.indptr[i + 1]; ++e) {
+      total += norm.values[e];
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-6f);
+  }
+}
+
+TEST(Normalize, IsolatedNodeGetsZeroRow) {
+  std::vector<Edge> edges{{0, 1}};
+  const Csr g = build_csr(3, edges,
+                          {.symmetrize = true, .add_self_loops = false});
+  const Csr norm = row_normalize(g);
+  EXPECT_EQ(norm.degree(2), 0);  // no edges at all, trivially zero
+}
+
+}  // namespace
+}  // namespace gsoup

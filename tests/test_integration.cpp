@@ -1,0 +1,131 @@
+// End-to-end integration: the full paper pipeline (Phase 1 ingredient farm
+// → Phase 2 souping with all five strategies) on a small dataset, for two
+// architectures, with the cross-strategy relations the paper reports.
+#include <gtest/gtest.h>
+
+#include "core/gis.hpp"
+#include "core/greedy.hpp"
+#include "core/learned.hpp"
+#include "core/pls.hpp"
+#include "core/soup.hpp"
+#include "core/uniform.hpp"
+#include "graph/generator.hpp"
+#include "train/ingredient_farm.hpp"
+#include "train/metrics.hpp"
+
+namespace gsoup {
+namespace {
+
+struct PipelineResult {
+  FarmResult farm;
+  SoupReport us, gis, ls, pls;
+};
+
+PipelineResult run_pipeline(Arch arch) {
+  SyntheticSpec spec;
+  spec.num_nodes = 500;
+  spec.num_classes = 5;
+  spec.avg_degree = 12;
+  spec.homophily = 0.8;
+  spec.feature_dim = 16;
+  spec.feature_noise = 0.8;
+  spec.seed = 91;
+  const Dataset data = generate_dataset(spec);
+
+  ModelConfig cfg;
+  cfg.arch = arch;
+  cfg.in_dim = data.feature_dim();
+  cfg.hidden_dim = 8;
+  cfg.out_dim = data.num_classes;
+  cfg.num_layers = 2;
+  cfg.heads = 2;
+  cfg.dropout = 0.4f;
+  const GnnModel model(cfg);
+  const GraphContext ctx(data.graph, arch);
+
+  FarmConfig farm_cfg;
+  farm_cfg.num_ingredients = 4;
+  farm_cfg.num_workers = 2;
+  farm_cfg.train.epochs = 25;
+  farm_cfg.train.schedule.base_lr = 0.02;
+  farm_cfg.train.seed = 10;
+  farm_cfg.init_seed = 23;
+
+  PipelineResult out{train_ingredients(model, ctx, data, farm_cfg),
+                     {}, {}, {}, {}};
+  const SoupContext sctx{model, ctx, data, out.farm.ingredients};
+
+  UniformSouper us;
+  out.us = run_souper(us, sctx);
+
+  GisSouper gis({.granularity = 10});
+  out.gis = run_souper(gis, sctx);
+
+  LearnedSoupConfig ls_cfg;
+  ls_cfg.epochs = 40;
+  ls_cfg.lr = 0.2;
+  LearnedSouper ls(ls_cfg);
+  out.ls = run_souper(ls, sctx);
+
+  PlsConfig pls_cfg;
+  pls_cfg.base = ls_cfg;
+  pls_cfg.num_parts = 8;
+  pls_cfg.budget = 2;
+  PartitionLearnedSouper pls(data, pls_cfg);
+  out.pls = run_souper(pls, sctx);
+  return out;
+}
+
+class PipelineCase : public ::testing::TestWithParam<Arch> {};
+
+TEST_P(PipelineCase, AllStrategiesProduceCompetentSoups) {
+  const PipelineResult r = run_pipeline(GetParam());
+  const double chance = 1.0 / 5.0;
+  // Every strategy must produce a working classifier.
+  for (const SoupReport* report : {&r.us, &r.gis, &r.ls, &r.pls}) {
+    EXPECT_GT(report->test_acc, chance + 0.2)
+        << report->method << " soup is not a working classifier";
+    EXPECT_GE(report->seconds, 0.0);
+    EXPECT_GT(report->peak_bytes, 0u);
+  }
+  // Informed strategies must not fall behind the mean ingredient by more
+  // than noise (they usually beat it; Table II's core claim).
+  const double mean_ing = r.farm.mean_test_acc;
+  EXPECT_GT(r.gis.test_acc, mean_ing - 0.05);
+  EXPECT_GT(r.ls.test_acc, mean_ing - 0.05);
+  EXPECT_GT(r.pls.test_acc, mean_ing - 0.05);
+}
+
+TEST_P(PipelineCase, InformedStrategiesTrackOrBeatBestIngredientOnVal) {
+  const PipelineResult r = run_pipeline(GetParam());
+  double best_val = 0.0;
+  for (const auto& ing : r.farm.ingredients) {
+    best_val = std::max(best_val, ing.val_acc);
+  }
+  EXPECT_GE(r.gis.val_acc + 1e-9, best_val);
+  // LS/PLS are not monotone by construction; allow a small band.
+  EXPECT_GT(r.ls.val_acc, best_val - 0.06);
+  EXPECT_GT(r.pls.val_acc, best_val - 0.06);
+}
+
+TEST_P(PipelineCase, UniformSoupingIsFastest) {
+  const PipelineResult r = run_pipeline(GetParam());
+  // "the uninformed Uniform Souping strategy nearly always performs best
+  // here" (§V-B): no forward passes at all.
+  EXPECT_LT(r.us.seconds, r.gis.seconds);
+  EXPECT_LT(r.us.seconds, r.ls.seconds);
+  EXPECT_LT(r.us.seconds, r.pls.seconds);
+}
+
+TEST_P(PipelineCase, PlsMixMemoryBelowLs) {
+  const PipelineResult r = run_pipeline(GetParam());
+  // Fig. 4b's core ordering: LS has the highest souping footprint; PLS
+  // cuts it by roughly the partition ratio.
+  EXPECT_LT(r.pls.mix_peak_bytes, r.ls.mix_peak_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Archs, PipelineCase,
+                         ::testing::Values(Arch::kGcn, Arch::kSage));
+
+}  // namespace
+}  // namespace gsoup

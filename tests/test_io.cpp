@@ -1,0 +1,156 @@
+// Serialisation round-trip tests: tensors, parameter stores, datasets and
+// the ingredient cache used by the benchmark harness.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+#include "io/ingredient_cache.hpp"
+#include "io/serialize.hpp"
+#include "tensor/init.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace gsoup {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fs::temp_directory_path() /
+            ("gsoup-test-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter_++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path path_;
+};
+
+TEST(Serialize, TensorRoundTrip) {
+  Rng rng(1);
+  Tensor t = Tensor::empty({7, 5});
+  init::normal(t, rng, 0.0f, 2.0f);
+  std::stringstream ss;
+  io::write_tensor(ss, t);
+  const Tensor back = io::read_tensor(ss);
+  EXPECT_EQ(back.shape(), t.shape());
+  EXPECT_FLOAT_EQ(ops::max_abs_diff(back, t), 0.0f);
+}
+
+TEST(Serialize, Rank1TensorRoundTrip) {
+  const Tensor t = Tensor::of({1.5f, -2.5f, 3.5f});
+  std::stringstream ss;
+  io::write_tensor(ss, t);
+  const Tensor back = io::read_tensor(ss);
+  EXPECT_EQ(back.rank(), 1);
+  EXPECT_FLOAT_EQ(ops::max_abs_diff(back, t), 0.0f);
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream ss;
+  ss << "garbage-not-a-tensor";
+  EXPECT_THROW(io::read_tensor(ss), CheckError);
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  Tensor t = Tensor::zeros({100, 100});
+  std::stringstream ss;
+  io::write_tensor(ss, t);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(io::read_tensor(truncated), CheckError);
+}
+
+TEST(Serialize, ParamStoreRoundTrip) {
+  Rng rng(2);
+  ParamStore store;
+  Tensor w = Tensor::empty({4, 3});
+  init::xavier_uniform(w, rng);
+  store.add("layers.0.weight", std::move(w), 0);
+  store.add("layers.0.bias", Tensor::zeros({3}), 0);
+  store.add("layers.1.weight", Tensor::full({3, 2}, 0.5f), 1);
+
+  std::stringstream ss;
+  io::write_params(ss, store);
+  const ParamStore back = io::read_params(ss);
+  EXPECT_TRUE(ParamStore::compatible(store, back));
+  for (const auto& e : store.entries()) {
+    EXPECT_FLOAT_EQ(ops::max_abs_diff(e.tensor, back.get(e.name)), 0.0f);
+    EXPECT_EQ(back.layer_of(e.name), e.layer);
+  }
+}
+
+TEST(Serialize, DatasetRoundTrip) {
+  SyntheticSpec spec;
+  spec.num_nodes = 120;
+  spec.num_classes = 3;
+  spec.seed = 3;
+  const Dataset data = generate_dataset(spec);
+  std::stringstream ss;
+  io::write_dataset(ss, data);
+  const Dataset back = io::read_dataset(ss);
+  EXPECT_EQ(back.name, data.name);
+  EXPECT_EQ(back.graph.indptr, data.graph.indptr);
+  EXPECT_EQ(back.graph.indices, data.graph.indices);
+  EXPECT_EQ(back.labels, data.labels);
+  EXPECT_EQ(back.train_mask, data.train_mask);
+  EXPECT_EQ(back.num_classes, data.num_classes);
+  EXPECT_FLOAT_EQ(ops::max_abs_diff(back.features, data.features), 0.0f);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  TempDir dir;
+  ParamStore store;
+  store.add("w", Tensor::full({2, 2}, 3.25f), 0);
+  const std::string path = dir.str() + "/params.bin";
+  io::save_params(path, store);
+  const ParamStore back = io::load_params(path);
+  EXPECT_FLOAT_EQ(back.get("w").at(0), 3.25f);
+  EXPECT_THROW(io::load_params(dir.str() + "/missing.bin"), CheckError);
+}
+
+TEST(IngredientCache, RoundTripAndMiss) {
+  TempDir dir;
+  std::vector<Ingredient> ingredients(2);
+  for (int i = 0; i < 2; ++i) {
+    ingredients[i].id = i;
+    ingredients[i].val_acc = 0.5 + 0.1 * i;
+    ingredients[i].test_acc = 0.4 + 0.1 * i;
+    ingredients[i].train_seconds = 1.5;
+    ingredients[i].params.add("w", Tensor::full({2}, static_cast<float>(i)),
+                              0);
+  }
+  EXPECT_FALSE(io::load_ingredients(dir.str(), "tag").has_value());
+  io::save_ingredients(dir.str(), "tag", ingredients);
+  const auto back = io::load_ingredients(dir.str(), "tag");
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_DOUBLE_EQ((*back)[1].val_acc, 0.6);
+  EXPECT_FLOAT_EQ((*back)[1].params.get("w").at(0), 1.0f);
+}
+
+TEST(IngredientCache, CorruptFileIsMiss) {
+  TempDir dir;
+  const std::string path = dir.str() + "/bad.ingredients";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "corrupt";
+  }
+  EXPECT_FALSE(io::load_ingredients(dir.str(), "bad").has_value());
+}
+
+}  // namespace
+}  // namespace gsoup

@@ -1,0 +1,225 @@
+// Partitioner tests: balance (nodes and validation nodes), cut quality
+// ordering (multilevel ≤ LDG ≤ random), partition-union subgraphs with
+// cut-edge preservation, and partition sampling — the substrate PLS
+// depends on (§III-C).
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/union_subgraph.hpp"
+#include "test_helpers.hpp"
+
+namespace gsoup {
+namespace {
+
+Dataset community_dataset(std::int64_t n = 1200, std::uint64_t seed = 21) {
+  SyntheticSpec spec;
+  spec.num_nodes = n;
+  spec.num_classes = 8;
+  spec.avg_degree = 12;
+  spec.homophily = 0.8;  // clustered graph: partitioners can find structure
+  spec.seed = seed;
+  return generate_dataset(spec);
+}
+
+TEST(RandomPartition, BalancedAndComplete) {
+  const Dataset data = community_dataset();
+  PartitionOptions opt;
+  opt.num_parts = 16;
+  const Partitioning parts = random_partition(data.graph, opt);
+  parts.validate(data.num_nodes());
+  const auto sizes = parts.part_sizes();
+  const auto mx = *std::max_element(sizes.begin(), sizes.end());
+  const auto mn = *std::min_element(sizes.begin(), sizes.end());
+  EXPECT_LE(mx - mn, 1);  // round-robin + shuffle: near-perfect balance
+}
+
+TEST(LdgPartition, RespectsNodeCapacity) {
+  const Dataset data = community_dataset();
+  PartitionOptions opt;
+  opt.num_parts = 16;
+  opt.epsilon = 0.1;
+  const Partitioning parts = ldg_partition(data.graph, opt, data.val_mask);
+  parts.validate(data.num_nodes());
+  const auto q = evaluate_partitioning(data.graph, parts, data.val_mask);
+  EXPECT_LE(q.node_imbalance, 1.15);
+}
+
+TEST(MultilevelPartition, BalancedWithModerateCut) {
+  const Dataset data = community_dataset();
+  PartitionOptions opt;
+  opt.num_parts = 16;
+  const Partitioning parts =
+      multilevel_partition(data.graph, opt, data.val_mask);
+  parts.validate(data.num_nodes());
+  const auto q = evaluate_partitioning(data.graph, parts, data.val_mask);
+  EXPECT_LE(q.node_imbalance, 1.25);
+  EXPECT_LT(q.edge_cut_fraction, 1.0);
+}
+
+TEST(MultilevelPartition, BeatsRandomOnEdgeCut) {
+  const Dataset data = community_dataset();
+  PartitionOptions opt;
+  opt.num_parts = 8;
+  const auto q_random = evaluate_partitioning(
+      data.graph, random_partition(data.graph, opt), data.val_mask);
+  const auto q_ml = evaluate_partitioning(
+      data.graph, multilevel_partition(data.graph, opt, data.val_mask),
+      data.val_mask);
+  // A clustered graph must partition far better than random hashing.
+  EXPECT_LT(q_ml.edge_cut_fraction, 0.8 * q_random.edge_cut_fraction);
+}
+
+TEST(MultilevelPartition, BalancesValidationNodes) {
+  // The property the paper requires of the METIS substitute: validation
+  // nodes spread across partitions (§III-C).
+  const Dataset data = community_dataset(2000, 77);
+  PartitionOptions opt;
+  opt.num_parts = 8;
+  const Partitioning parts =
+      multilevel_partition(data.graph, opt, data.val_mask);
+  const auto counts = parts.part_mask_counts(data.val_mask);
+  const auto total = data.split_size(Split::kVal);
+  const double ideal = static_cast<double>(total) / 8.0;
+  for (const auto c : counts) {
+    EXPECT_GT(static_cast<double>(c), 0.3 * ideal);
+    EXPECT_LT(static_cast<double>(c), 2.0 * ideal);
+  }
+}
+
+class PartitionerSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PartitionerSweep, AllAlgorithmsProduceValidBalancedParts) {
+  const auto [algo_id, k] = GetParam();
+  const Dataset data = community_dataset(800, 13);
+  PartitionOptions opt;
+  opt.num_parts = k;
+  Partitioning parts;
+  switch (algo_id) {
+    case 0: parts = random_partition(data.graph, opt); break;
+    case 1: parts = ldg_partition(data.graph, opt, data.val_mask); break;
+    case 2:
+      parts = multilevel_partition(data.graph, opt, data.val_mask);
+      break;
+  }
+  parts.validate(data.num_nodes());
+  const auto sizes = parts.part_sizes();
+  for (const auto s : sizes) EXPECT_GT(s, 0);
+  const auto q = evaluate_partitioning(data.graph, parts, data.val_mask);
+  EXPECT_LE(q.node_imbalance, 1.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgoByK, PartitionerSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(2, 4, 8, 32)));
+
+TEST(UnionSubgraph, PreservesCutEdgesBetweenSelectedParts) {
+  const Dataset data = community_dataset(600, 31);
+  PartitionOptions opt;
+  opt.num_parts = 6;
+  const Partitioning parts =
+      multilevel_partition(data.graph, opt, data.val_mask);
+  const std::vector<std::int32_t> selected{1, 3};
+  const Subgraph sub = partition_union_subgraph(data, parts, selected);
+
+  // Manually count parent edges whose endpoints both lie in parts {1,3};
+  // this includes edges CUT between part 1 and part 3 (Eq. 5's guarantee).
+  std::int64_t expected = 0;
+  std::int64_t cross_part = 0;
+  for (std::int64_t i = 0; i < data.num_nodes(); ++i) {
+    const auto pi = parts.assignment[i];
+    if (pi != 1 && pi != 3) continue;
+    for (const auto j : data.graph.neighbors(i)) {
+      const auto pj = parts.assignment[j];
+      if (pj != 1 && pj != 3) continue;
+      ++expected;
+      if (pi != pj) ++cross_part;
+    }
+  }
+  EXPECT_EQ(sub.data.num_edges(), expected);
+  EXPECT_GT(cross_part, 0) << "test graph should have cut edges between "
+                              "the selected partitions";
+}
+
+TEST(UnionSubgraph, NodeUnionIsExact) {
+  const Dataset data = community_dataset(400, 32);
+  PartitionOptions opt;
+  opt.num_parts = 4;
+  const Partitioning parts = random_partition(data.graph, opt);
+  const std::vector<std::int32_t> selected{0, 2};
+  const auto nodes = partition_union_nodes(parts, selected);
+  std::int64_t expected = 0;
+  for (const auto p : parts.assignment) {
+    expected += (p == 0 || p == 2) ? 1 : 0;
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(nodes.size()), expected);
+  EXPECT_TRUE(std::is_sorted(nodes.begin(), nodes.end()));
+}
+
+TEST(SamplePartitions, UniformDistinctSubsets) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sel = sample_partitions(32, 8, rng);
+    EXPECT_EQ(sel.size(), 8u);
+    EXPECT_TRUE(std::is_sorted(sel.begin(), sel.end()));
+    EXPECT_TRUE(std::adjacent_find(sel.begin(), sel.end()) == sel.end());
+    for (const auto p : sel) {
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, 32);
+    }
+  }
+}
+
+TEST(SamplePartitions, FullBudgetSelectsEverything) {
+  Rng rng(4);
+  const auto sel = sample_partitions(8, 8, rng);
+  for (std::int32_t p = 0; p < 8; ++p) EXPECT_EQ(sel[p], p);
+}
+
+TEST(SamplePartitions, CoversAllPartsEventually) {
+  Rng rng(5);
+  std::set<std::int32_t> seen;
+  for (int trial = 0; trial < 200; ++trial) {
+    for (const auto p : sample_partitions(16, 2, rng)) seen.insert(p);
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(MultilevelPartition, NoEmptyPartsOnPaperPresets) {
+  // Regression: flickr-like at K=32 produced empty partitions before the
+  // repair pass, which made PLS's partition sampling throw on subsets
+  // consisting solely of empty parts.
+  const Dataset data = generate_dataset(flickr_like_spec());
+  for (const std::int64_t k : {8LL, 32LL, 64LL}) {
+    PartitionOptions opt;
+    opt.num_parts = k;
+    const Partitioning parts =
+        multilevel_partition(data.graph, opt, data.val_mask);
+    for (const auto s : parts.part_sizes()) {
+      EXPECT_GT(s, 0) << "empty part at K=" << k;
+    }
+    const Partitioning ldg = ldg_partition(data.graph, opt, data.val_mask);
+    for (const auto s : ldg.part_sizes()) {
+      EXPECT_GT(s, 0) << "empty LDG part at K=" << k;
+    }
+  }
+}
+
+TEST(PartitionQuality, PerfectPartitionOfDisconnectedCliques) {
+  // Two disconnected triangles: 2-way partition along components is
+  // discoverable with zero cut.
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}};
+  const Csr g = build_csr(6, edges,
+                          {.symmetrize = true, .add_self_loops = false});
+  PartitionOptions opt;
+  opt.num_parts = 2;
+  const std::vector<std::uint8_t> no_val(6, 0);
+  const Partitioning parts = multilevel_partition(g, opt, no_val);
+  const auto q = evaluate_partitioning(g, parts, no_val);
+  EXPECT_EQ(q.cut_edges, 0);
+}
+
+}  // namespace
+}  // namespace gsoup

@@ -1,0 +1,224 @@
+// Randomised property tests (parameterised over seeds/shapes): algebraic
+// identities of the kernels and structural invariants of the graph and
+// souping machinery that must hold for ANY input, not just the fixtures.
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "ag/graph_ops.hpp"
+#include "ag/ops.hpp"
+#include "graph/builder.hpp"
+#include "graph/generator.hpp"
+#include "graph/normalize.hpp"
+#include "graph/subgraph.hpp"
+#include "nn/param.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/union_subgraph.hpp"
+#include "tensor/init.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace gsoup {
+namespace {
+
+Tensor random_tensor(Shape shape, Rng& rng, float scale = 1.0f) {
+  Tensor t = Tensor::empty(std::move(shape));
+  init::normal(t, rng, 0.0f, scale);
+  return t;
+}
+
+class SeedCase : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeedCase, MatmulDistributesOverAddition) {
+  Rng rng(GetParam());
+  const auto m = 1 + rng.uniform_int(12);
+  const auto k = 1 + rng.uniform_int(12);
+  const auto n = 1 + rng.uniform_int(12);
+  const Tensor a = random_tensor({(std::int64_t)m, (std::int64_t)k}, rng);
+  const Tensor b = random_tensor({(std::int64_t)k, (std::int64_t)n}, rng);
+  const Tensor c = random_tensor({(std::int64_t)k, (std::int64_t)n}, rng);
+  // A(B + C) == AB + AC
+  const Tensor lhs = ops::matmul(a, ops::add(b, c));
+  const Tensor rhs = ops::add(ops::matmul(a, b), ops::matmul(a, c));
+  EXPECT_LT(ops::max_abs_diff(lhs, rhs), 1e-4f * static_cast<float>(k));
+}
+
+TEST_P(SeedCase, TransposeReversesMatmul) {
+  Rng rng(100 + GetParam());
+  const Tensor a = random_tensor({5, 7}, rng);
+  const Tensor b = random_tensor({7, 4}, rng);
+  // (AB)ᵀ == Bᵀ Aᵀ
+  const Tensor lhs = ops::transpose(ops::matmul(a, b));
+  const Tensor rhs = ops::matmul(ops::transpose(b), ops::transpose(a));
+  EXPECT_LT(ops::max_abs_diff(lhs, rhs), 1e-4f);
+}
+
+TEST_P(SeedCase, SoftmaxInvariantToRowShift) {
+  Rng rng(200 + GetParam());
+  Tensor x = random_tensor({6, 9}, rng, 2.0f);
+  Tensor shifted = x.clone();
+  for (std::int64_t i = 0; i < 6; ++i) {
+    const float shift = rng.uniform(-5.0f, 5.0f);
+    for (std::int64_t j = 0; j < 9; ++j) shifted.at(i, j) += shift;
+  }
+  EXPECT_LT(ops::max_abs_diff(ops::row_softmax(x), ops::row_softmax(shifted)),
+            1e-5f);
+}
+
+TEST_P(SeedCase, SpmmIsLinear) {
+  Rng rng(300 + GetParam());
+  SyntheticSpec spec;
+  spec.num_nodes = 60;
+  spec.num_classes = 3;
+  spec.avg_degree = 6;
+  spec.seed = 300 + GetParam();
+  const Dataset data = generate_dataset(spec);
+  const Csr norm = gcn_normalize(data.graph);
+  const Csr norm_t = norm.transpose().graph;
+  auto x = ag::constant(random_tensor({60, 4}, rng));
+  auto y = ag::constant(random_tensor({60, 4}, rng));
+  ag::NoGradGuard guard;
+  // A(2x + y) == 2Ax + Ay
+  const Tensor lhs =
+      ag::spmm(norm, norm_t,
+               ag::constant(ops::add(ops::scale(x->value, 2.0f), y->value)))
+          ->value;
+  const Tensor rhs = ops::add(
+      ops::scale(ag::spmm(norm, norm_t, x)->value, 2.0f),
+      ag::spmm(norm, norm_t, y)->value);
+  EXPECT_LT(ops::max_abs_diff(lhs, rhs), 1e-4f);
+}
+
+TEST_P(SeedCase, BuilderProducesValidSymmetricGraph) {
+  Rng rng(400 + GetParam());
+  const std::int64_t n = 20 + static_cast<std::int64_t>(rng.uniform_int(80));
+  std::vector<Edge> edges;
+  const std::int64_t m = 2 * n;
+  for (std::int64_t e = 0; e < m; ++e) {
+    edges.push_back({static_cast<std::int32_t>(rng.uniform_int(n)),
+                     static_cast<std::int32_t>(rng.uniform_int(n))});
+  }
+  const Csr g = build_csr(n, edges);
+  g.validate();
+  EXPECT_TRUE(g.is_symmetric());
+  // Sorted unique neighbour lists.
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto nb = g.neighbors(i);
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+    EXPECT_TRUE(std::adjacent_find(nb.begin(), nb.end()) == nb.end());
+  }
+}
+
+TEST_P(SeedCase, TransposePreservesEdgeMultiset) {
+  Rng rng(500 + GetParam());
+  SyntheticSpec spec;
+  spec.num_nodes = 80;
+  spec.num_classes = 4;
+  spec.avg_degree = 7;
+  spec.seed = 500 + GetParam();
+  const Dataset data = generate_dataset(spec);
+  const auto t = data.graph.transpose();
+  EXPECT_EQ(t.graph.num_edges(), data.graph.num_edges());
+  // edge_map must be a permutation of [0, E).
+  std::vector<std::uint8_t> seen(t.edge_map.size(), 0);
+  for (const auto e : t.edge_map) {
+    ASSERT_GE(e, 0);
+    ASSERT_LT(e, static_cast<std::int64_t>(seen.size()));
+    EXPECT_EQ(seen[e], 0);
+    seen[e] = 1;
+  }
+}
+
+TEST_P(SeedCase, SubgraphDegreesNeverExceedParent) {
+  Rng rng(600 + GetParam());
+  SyntheticSpec spec;
+  spec.num_nodes = 100;
+  spec.num_classes = 4;
+  spec.seed = 600 + GetParam();
+  const Dataset data = generate_dataset(spec);
+  std::vector<std::int64_t> keep;
+  for (std::int64_t v = 0; v < data.num_nodes(); ++v) {
+    if (rng.bernoulli(0.4)) keep.push_back(v);
+  }
+  if (keep.empty()) keep.push_back(0);
+  const Subgraph sub = induced_subgraph(data, keep);
+  for (std::int64_t i = 0; i < sub.data.num_nodes(); ++i) {
+    EXPECT_LE(sub.data.graph.degree(i),
+              data.graph.degree(sub.origin[i]));
+  }
+}
+
+TEST_P(SeedCase, PartitionUnionOfAllPartsIsWholeGraph) {
+  SyntheticSpec spec;
+  spec.num_nodes = 120;
+  spec.num_classes = 3;
+  spec.seed = 700 + GetParam();
+  const Dataset data = generate_dataset(spec);
+  PartitionOptions opt;
+  opt.num_parts = 5;
+  opt.seed = GetParam();
+  const Partitioning parts =
+      multilevel_partition(data.graph, opt, data.val_mask);
+  std::vector<std::int32_t> all(5);
+  std::iota(all.begin(), all.end(), 0);
+  const Subgraph sub = partition_union_subgraph(data, parts, all);
+  EXPECT_EQ(sub.data.num_nodes(), data.num_nodes());
+  EXPECT_EQ(sub.data.num_edges(), data.num_edges());
+}
+
+TEST_P(SeedCase, InterpolationEndpointsReproduceOperands) {
+  Rng rng(800 + GetParam());
+  ParamStore a, b;
+  a.add("w", random_tensor({4, 4}, rng), 0);
+  b.add("w", random_tensor({4, 4}, rng), 0);
+  const ParamStore at_zero = ParamStore::interpolate(a, b, 0.0f);
+  const ParamStore at_one = ParamStore::interpolate(a, b, 1.0f);
+  EXPECT_FLOAT_EQ(ops::max_abs_diff(at_zero.get("w"), a.get("w")), 0.0f);
+  EXPECT_FLOAT_EQ(ops::max_abs_diff(at_one.get("w"), b.get("w")), 0.0f);
+  // Interpolation of X with itself is X for any alpha.
+  const ParamStore self = ParamStore::interpolate(a, a, 0.37f);
+  EXPECT_LT(ops::max_abs_diff(self.get("w"), a.get("w")), 1e-6f);
+}
+
+TEST_P(SeedCase, AverageIsPermutationInvariant) {
+  Rng rng(900 + GetParam());
+  std::vector<ParamStore> stores(3);
+  for (auto& s : stores) s.add("w", random_tensor({3, 5}, rng), 0);
+  const std::vector<const ParamStore*> fwd{&stores[0], &stores[1],
+                                           &stores[2]};
+  const std::vector<const ParamStore*> rev{&stores[2], &stores[0],
+                                           &stores[1]};
+  EXPECT_LT(ops::max_abs_diff(ParamStore::average(fwd).get("w"),
+                              ParamStore::average(rev).get("w")),
+            1e-6f);
+}
+
+TEST_P(SeedCase, GcnNormalizationIsSymmetricAsAMatrix) {
+  // Â = D^{-1/2} A D^{-1/2} is a symmetric matrix on a symmetric graph:
+  // the weight of edge (j -> i) equals the weight of (i -> j). This is
+  // what lets SpMM's backward reuse the same weighted structure.
+  SyntheticSpec spec;
+  spec.num_nodes = 90;
+  spec.num_classes = 3;
+  spec.seed = 1000 + GetParam();
+  const Dataset data = generate_dataset(spec);
+  const Csr norm = gcn_normalize(data.graph);
+  for (std::int64_t i = 0; i < norm.num_nodes; ++i) {
+    for (std::int64_t e = norm.indptr[i]; e < norm.indptr[i + 1]; ++e) {
+      const std::int64_t j = norm.indices[e];
+      // Find the reverse edge (i -> j) in j's in-edge list.
+      const auto nb = norm.neighbors(j);
+      const auto it = std::lower_bound(nb.begin(), nb.end(),
+                                       static_cast<std::int32_t>(i));
+      ASSERT_TRUE(it != nb.end() && *it == static_cast<std::int32_t>(i));
+      const std::int64_t rev = norm.indptr[j] + (it - nb.begin());
+      EXPECT_NEAR(norm.values[e], norm.values[rev], 1e-7f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedCase, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace gsoup

@@ -1,0 +1,125 @@
+// Neighbour-sampling (GraphSAGE block) tests.
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+#include "graph/sampling.hpp"
+#include "test_helpers.hpp"
+
+namespace gsoup {
+namespace {
+
+TEST(Sampling, DstNodesAreSrcPrefix) {
+  const Csr g = testing::tiny_graph();
+  Rng rng(1);
+  const std::vector<std::int64_t> seeds{2, 5};
+  const std::vector<std::int64_t> fanouts{2, 2};
+  const auto blocks = sample_blocks(g, seeds, fanouts, rng);
+  ASSERT_EQ(blocks.size(), 2u);
+  // Outermost block's dsts are the seeds.
+  const Block& out_block = blocks.back();
+  ASSERT_EQ(out_block.num_dst, 2);
+  EXPECT_EQ(out_block.src_nodes[0], 2);
+  EXPECT_EQ(out_block.src_nodes[1], 5);
+  // Every block: dst list is a prefix of the src list.
+  for (const auto& b : blocks) {
+    EXPECT_LE(b.num_dst, b.num_src());
+  }
+  // Layer chaining: inner block's dsts are the outer block's srcs.
+  for (std::int64_t i = 0; i < blocks[0].num_dst; ++i) {
+    EXPECT_EQ(blocks[0].src_nodes[i], blocks[1].src_nodes[i]);
+  }
+}
+
+TEST(Sampling, FanoutLimitsSampledDegree) {
+  SyntheticSpec spec;
+  spec.num_nodes = 400;
+  spec.avg_degree = 20;
+  spec.seed = 3;
+  const Dataset data = generate_dataset(spec);
+  Rng rng(2);
+  const std::vector<std::int64_t> seeds{0, 10, 20, 30};
+  const std::vector<std::int64_t> fanouts{5};
+  const auto blocks = sample_blocks(data.graph, seeds, fanouts, rng);
+  const Block& b = blocks[0];
+  for (std::int64_t i = 0; i < b.num_dst; ++i) {
+    EXPECT_LE(b.indptr[i + 1] - b.indptr[i], 5);
+  }
+}
+
+TEST(Sampling, FullFanoutKeepsAllNeighbors) {
+  const Csr g = testing::tiny_graph();
+  Rng rng(4);
+  const std::vector<std::int64_t> seeds{1};
+  const std::vector<std::int64_t> fanouts{-1};
+  const auto blocks = sample_blocks(g, seeds, fanouts, rng);
+  EXPECT_EQ(blocks[0].indptr[1] - blocks[0].indptr[0], g.degree(1));
+}
+
+TEST(Sampling, SampledEdgesExistInGraph) {
+  const Csr g = testing::tiny_graph();
+  Rng rng(5);
+  const std::vector<std::int64_t> seeds{0, 3};
+  const std::vector<std::int64_t> fanouts{2, 3};
+  const auto blocks = sample_blocks(g, seeds, fanouts, rng);
+  for (const auto& b : blocks) {
+    for (std::int64_t i = 0; i < b.num_dst; ++i) {
+      const std::int64_t dst_global = b.src_nodes[i];
+      for (std::int64_t e = b.indptr[i]; e < b.indptr[i + 1]; ++e) {
+        const std::int64_t src_global = b.src_nodes[b.indices[e]];
+        const auto nb = g.neighbors(dst_global);
+        EXPECT_TRUE(std::find(nb.begin(), nb.end(),
+                              static_cast<std::int32_t>(src_global)) !=
+                    nb.end());
+      }
+    }
+  }
+}
+
+TEST(Sampling, SampledDistinctNeighbors) {
+  SyntheticSpec spec;
+  spec.num_nodes = 300;
+  spec.avg_degree = 15;
+  spec.seed = 6;
+  const Dataset data = generate_dataset(spec);
+  Rng rng(7);
+  const std::vector<std::int64_t> seeds{1, 2, 3};
+  const std::vector<std::int64_t> fanouts{4};
+  const auto blocks = sample_blocks(data.graph, seeds, fanouts, rng);
+  const Block& b = blocks[0];
+  for (std::int64_t i = 0; i < b.num_dst; ++i) {
+    std::set<std::int32_t> seen;
+    for (std::int64_t e = b.indptr[i]; e < b.indptr[i + 1]; ++e) {
+      EXPECT_TRUE(seen.insert(b.indices[e]).second)
+          << "duplicate sampled neighbour";
+    }
+  }
+}
+
+TEST(Sampling, MeanWeightsSumToOnePerDst) {
+  const Csr g = testing::tiny_graph();
+  Rng rng(8);
+  const std::vector<std::int64_t> seeds{0, 4};
+  const std::vector<std::int64_t> fanouts{3};
+  const auto blocks = sample_blocks(g, seeds, fanouts, rng);
+  const Block& b = blocks[0];
+  for (std::int64_t i = 0; i < b.num_dst; ++i) {
+    float total = 0.0f;
+    for (std::int64_t e = b.indptr[i]; e < b.indptr[i + 1]; ++e) {
+      total += b.values[e];
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-6f);
+  }
+}
+
+TEST(Sampling, RejectsBadInput) {
+  const Csr g = testing::tiny_graph();
+  Rng rng(9);
+  const std::vector<std::int64_t> empty;
+  const std::vector<std::int64_t> fanouts{2};
+  EXPECT_THROW(sample_blocks(g, empty, fanouts, rng), CheckError);
+  const std::vector<std::int64_t> oob{99};
+  EXPECT_THROW(sample_blocks(g, oob, fanouts, rng), CheckError);
+}
+
+}  // namespace
+}  // namespace gsoup

@@ -1,0 +1,243 @@
+// Souping-algorithm semantics: Uniform (US), Greedy (Alg. 1), Greedy
+// Interpolated (Alg. 2) and the AlphaSet machinery shared by LS/PLS.
+#include <gtest/gtest.h>
+
+#include "ag/loss.hpp"
+#include "core/alpha.hpp"
+#include "core/gis.hpp"
+#include "core/greedy.hpp"
+#include "core/soup.hpp"
+#include "core/uniform.hpp"
+#include "graph/generator.hpp"
+#include "tensor/ops.hpp"
+#include "train/ingredient_farm.hpp"
+#include "train/metrics.hpp"
+
+namespace gsoup {
+namespace {
+
+// Shared fixture: a small dataset with a handful of trained ingredients.
+// Built once per test binary (training is the expensive part).
+class SoupFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticSpec spec;
+    spec.num_nodes = 500;
+    spec.num_classes = 4;
+    spec.avg_degree = 10;
+    spec.homophily = 0.75;
+    spec.feature_dim = 16;
+    spec.feature_noise = 0.9;
+    spec.seed = 71;
+    data_ = new Dataset(generate_dataset(spec));
+
+    ModelConfig cfg;
+    cfg.arch = Arch::kGcn;
+    cfg.in_dim = data_->feature_dim();
+    cfg.hidden_dim = 8;
+    cfg.out_dim = data_->num_classes;
+    cfg.dropout = 0.4f;
+    model_ = new GnnModel(cfg);
+    ctx_ = new GraphContext(data_->graph, Arch::kGcn);
+
+    FarmConfig farm;
+    farm.num_ingredients = 5;
+    farm.num_workers = 2;
+    farm.train.epochs = 20;
+    farm.train.schedule.base_lr = 0.02;
+    farm.train.seed = 5;
+    farm.init_seed = 17;
+    result_ = new FarmResult(train_ingredients(*model_, *ctx_, *data_, farm));
+  }
+
+  static void TearDownTestSuite() {
+    delete result_;
+    delete ctx_;
+    delete model_;
+    delete data_;
+    result_ = nullptr;
+    ctx_ = nullptr;
+    model_ = nullptr;
+    data_ = nullptr;
+  }
+
+  SoupContext soup_context() const {
+    return {*model_, *ctx_, *data_, result_->ingredients};
+  }
+
+  static Dataset* data_;
+  static GnnModel* model_;
+  static GraphContext* ctx_;
+  static FarmResult* result_;
+};
+
+Dataset* SoupFixture::data_ = nullptr;
+GnnModel* SoupFixture::model_ = nullptr;
+GraphContext* SoupFixture::ctx_ = nullptr;
+FarmResult* SoupFixture::result_ = nullptr;
+
+TEST_F(SoupFixture, UniformSoupIsExactAverage) {
+  UniformSouper souper;
+  const SoupContext sctx = soup_context();
+  const ParamStore soup = souper.mix(sctx);
+  for (const auto& e : soup.entries()) {
+    Tensor manual = Tensor::zeros(e.tensor.shape());
+    for (const auto& ing : sctx.ingredients) {
+      manual.add_(ing.params.get(e.name),
+                  1.0f / static_cast<float>(sctx.ingredients.size()));
+    }
+    EXPECT_LT(ops::max_abs_diff(e.tensor, manual), 1e-6f) << e.name;
+  }
+}
+
+TEST_F(SoupFixture, GreedySoupNeverBelowBestIngredientOnVal) {
+  GreedySouper souper;
+  const SoupContext sctx = soup_context();
+  const SoupReport report = run_souper(souper, sctx);
+  double best_ing = 0.0;
+  for (const auto& ing : sctx.ingredients) {
+    best_ing = std::max(best_ing, ing.val_acc);
+  }
+  // Greedy only adds ingredients that don't hurt validation accuracy, and
+  // the best ingredient is always admitted first.
+  EXPECT_GE(report.val_acc + 1e-9, best_ing);
+  EXPECT_FALSE(souper.selected().empty());
+}
+
+TEST_F(SoupFixture, GisNeverBelowBestIngredientOnVal) {
+  GisSouper souper({.granularity = 10});
+  const SoupContext sctx = soup_context();
+  const SoupReport report = run_souper(souper, sctx);
+  double best_ing = 0.0;
+  for (const auto& ing : sctx.ingredients) {
+    best_ing = std::max(best_ing, ing.val_acc);
+  }
+  // alpha = 0 keeps the current soup, so accuracy is monotone over steps.
+  EXPECT_GE(report.val_acc + 1e-9, best_ing);
+}
+
+TEST_F(SoupFixture, GisPerformsExactlyNMinusOneTimesGEvaluations) {
+  GisSouper souper({.granularity = 7});
+  const SoupContext sctx = soup_context();
+  (void)souper.mix(sctx);
+  EXPECT_EQ(souper.evaluations(),
+            static_cast<std::int64_t>(sctx.ingredients.size() - 1) * 7);
+}
+
+TEST_F(SoupFixture, ReportFieldsPopulated) {
+  UniformSouper souper;
+  const SoupReport report = run_souper(souper, soup_context());
+  EXPECT_EQ(report.method, "US");
+  EXPECT_GE(report.seconds, 0.0);
+  EXPECT_GT(report.peak_bytes, 0u);
+  EXPECT_GT(report.soup.size(), 0u);
+  EXPECT_GT(report.test_acc, 0.25);  // above 4-class chance
+}
+
+TEST_F(SoupFixture, InformedSoupsBeatWorstIngredient) {
+  const SoupContext sctx = soup_context();
+  double worst = 1.0;
+  for (const auto& ing : sctx.ingredients) {
+    worst = std::min(worst, ing.val_acc);
+  }
+  GreedySouper greedy;
+  GisSouper gis({.granularity = 10});
+  EXPECT_GE(run_souper(greedy, sctx).val_acc + 1e-9, worst);
+  EXPECT_GE(run_souper(gis, sctx).val_acc + 1e-9, worst);
+}
+
+TEST_F(SoupFixture, RunSouperRejectsEmptyIngredients) {
+  UniformSouper souper;
+  SoupContext sctx{*model_, *ctx_, *data_, {}};
+  EXPECT_THROW(run_souper(souper, sctx), CheckError);
+}
+
+// ---- AlphaSet --------------------------------------------------------------
+
+TEST_F(SoupFixture, AlphaSetGroupCountsPerGranularity) {
+  const auto& ings = result_->ingredients;
+  Rng rng(1);
+  const auto n = static_cast<std::int64_t>(ings.size());
+  const AlphaSet per_layer(ings.front().params, n, AlphaGranularity::kLayer,
+                           rng);
+  EXPECT_EQ(per_layer.num_groups(), 2);  // 2-layer GCN
+  const AlphaSet per_tensor(ings.front().params, n,
+                            AlphaGranularity::kTensor, rng);
+  EXPECT_EQ(per_tensor.num_groups(),
+            static_cast<std::int64_t>(ings.front().params.size()));
+  const AlphaSet global(ings.front().params, n, AlphaGranularity::kGlobal,
+                        rng);
+  EXPECT_EQ(global.num_groups(), 1);
+}
+
+TEST_F(SoupFixture, AlphaWeightsArePositiveAndNormalized) {
+  const auto& ings = result_->ingredients;
+  Rng rng(2);
+  const AlphaSet alphas(ings.front().params,
+                        static_cast<std::int64_t>(ings.size()),
+                        AlphaGranularity::kLayer, rng);
+  for (std::int64_t g = 0; g < alphas.num_groups(); ++g) {
+    const auto w = alphas.group_weights(g);
+    float total = 0.0f;
+    for (const auto v : w) {
+      EXPECT_GT(v, 0.0f);  // softmax can't emit exact zeros (paper §V-A)
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST_F(SoupFixture, AlphaBuildSoupMatchesManualMix) {
+  const auto& ings = result_->ingredients;
+  Rng rng(3);
+  const AlphaSet alphas(ings.front().params,
+                        static_cast<std::int64_t>(ings.size()),
+                        AlphaGranularity::kLayer, rng);
+  const ParamStore soup = alphas.build_soup(ings);
+  for (const auto& e : soup.entries()) {
+    const auto w = alphas.group_weights(alphas.group_of(e.name));
+    Tensor manual = Tensor::zeros(e.tensor.shape());
+    for (std::size_t i = 0; i < ings.size(); ++i) {
+      manual.add_(ings[i].params.get(e.name), w[i]);
+    }
+    EXPECT_LT(ops::max_abs_diff(e.tensor, manual), 1e-6f);
+  }
+}
+
+TEST_F(SoupFixture, AlphaSoupValuesAgreeWithBuildSoup) {
+  const auto& ings = result_->ingredients;
+  Rng rng(4);
+  const AlphaSet alphas(ings.front().params,
+                        static_cast<std::int64_t>(ings.size()),
+                        AlphaGranularity::kTensor, rng);
+  const ParamMap values = alphas.build_soup_values(ings);
+  const ParamStore store = alphas.build_soup(ings);
+  for (const auto& e : store.entries()) {
+    EXPECT_LT(ops::max_abs_diff(values.at(e.name)->value, e.tensor), 1e-6f);
+  }
+}
+
+TEST_F(SoupFixture, AlphaGradientsReachLogits) {
+  const auto& ings = result_->ingredients;
+  Rng rng(5);
+  const AlphaSet alphas(ings.front().params,
+                        static_cast<std::int64_t>(ings.size()),
+                        AlphaGranularity::kLayer, rng);
+  const ParamMap soup_values = alphas.build_soup_values(ings);
+  const ag::Value x = ag::constant(data_->features);
+  const ag::Value logits = model_->forward(*ctx_, x, soup_values);
+  const auto val_nodes = data_->split_nodes(Split::kVal);
+  const ag::Value loss = ag::cross_entropy(logits, data_->labels, val_nodes);
+  ag::backward(loss);
+  for (const auto& logit : alphas.logits()) {
+    ASSERT_TRUE(logit->grad.defined());
+    float norm = 0.0f;
+    for (std::int64_t i = 0; i < logit->grad.numel(); ++i) {
+      norm += std::abs(logit->grad.at(i));
+    }
+    EXPECT_GT(norm, 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace gsoup

@@ -1,0 +1,101 @@
+// Induced-subgraph extraction tests — the mechanism behind PLS's per-epoch
+// partition-union subgraphs (Eq. 5).
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+#include "graph/subgraph.hpp"
+#include "test_helpers.hpp"
+
+namespace gsoup {
+namespace {
+
+TEST(Subgraph, KeepsOnlyInternalEdges) {
+  const Dataset parent = testing::tiny_dataset();
+  const std::vector<std::int64_t> keep{0, 1, 2};
+  const Subgraph sub = induced_subgraph(parent, keep);
+  sub.data.validate();
+  EXPECT_EQ(sub.data.num_nodes(), 3);
+  // Every edge in the subgraph maps to a parent edge between kept nodes.
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (const auto j : sub.data.graph.neighbors(i)) {
+      const auto pi = sub.origin[i];
+      const auto pj = sub.origin[j];
+      const auto nb = parent.graph.neighbors(pi);
+      EXPECT_TRUE(std::find(nb.begin(), nb.end(),
+                            static_cast<std::int32_t>(pj)) != nb.end());
+    }
+  }
+}
+
+TEST(Subgraph, EdgeCountMatchesManualFilter) {
+  const Dataset parent = testing::tiny_dataset();
+  const std::vector<std::int64_t> keep{0, 2, 3, 5};
+  const Subgraph sub = induced_subgraph(parent, keep);
+  std::int64_t expected = 0;
+  std::vector<bool> in_set(parent.num_nodes(), false);
+  for (const auto v : keep) in_set[v] = true;
+  for (const auto v : keep) {
+    for (const auto j : parent.graph.neighbors(v)) {
+      if (in_set[j]) ++expected;
+    }
+  }
+  EXPECT_EQ(sub.data.num_edges(), expected);
+}
+
+TEST(Subgraph, CarriesPayloads) {
+  const Dataset parent = testing::tiny_dataset();
+  const std::vector<std::int64_t> keep{1, 4};
+  const Subgraph sub = induced_subgraph(parent, keep);
+  EXPECT_EQ(sub.data.labels[0], parent.labels[1]);
+  EXPECT_EQ(sub.data.labels[1], parent.labels[4]);
+  EXPECT_FLOAT_EQ(sub.data.features.at(0, 0), parent.features.at(1, 0));
+  EXPECT_FLOAT_EQ(sub.data.features.at(1, 1), parent.features.at(4, 1));
+  EXPECT_EQ(sub.data.val_mask[0], parent.val_mask[1]);
+  EXPECT_EQ(sub.data.test_mask[1], parent.test_mask[4]);
+}
+
+TEST(Subgraph, FullNodeSetIsIdentity) {
+  const Dataset parent = testing::tiny_dataset();
+  std::vector<std::int64_t> all(parent.num_nodes());
+  std::iota(all.begin(), all.end(), 0);
+  const Subgraph sub = induced_subgraph(parent, all);
+  EXPECT_EQ(sub.data.num_edges(), parent.num_edges());
+  EXPECT_EQ(sub.data.graph.indices, parent.graph.indices);
+}
+
+TEST(Subgraph, RejectsBadNodeLists) {
+  const Dataset parent = testing::tiny_dataset();
+  const std::vector<std::int64_t> unsorted{3, 1};
+  EXPECT_THROW(induced_subgraph(parent, unsorted), CheckError);
+  const std::vector<std::int64_t> dup{1, 1};
+  EXPECT_THROW(induced_subgraph(parent, dup), CheckError);
+  const std::vector<std::int64_t> oob{0, 99};
+  EXPECT_THROW(induced_subgraph(parent, oob), CheckError);
+  const std::vector<std::int64_t> empty;
+  EXPECT_THROW(induced_subgraph(parent, empty), CheckError);
+}
+
+TEST(Subgraph, LargerGraphRoundTrip) {
+  SyntheticSpec spec;
+  spec.num_nodes = 500;
+  spec.seed = 11;
+  const Dataset parent = generate_dataset(spec);
+  // Keep every third node.
+  std::vector<std::int64_t> keep;
+  for (std::int64_t v = 0; v < parent.num_nodes(); v += 3) keep.push_back(v);
+  const Subgraph sub = induced_subgraph(parent, keep);
+  sub.data.validate();
+  EXPECT_EQ(sub.data.num_nodes(),
+            static_cast<std::int64_t>(keep.size()));
+  // Self loops survive (node kept implies its self edge kept).
+  for (std::int64_t i = 0; i < sub.data.num_nodes(); ++i) {
+    bool has_self = false;
+    for (const auto j : sub.data.graph.neighbors(i)) has_self |= j == i;
+    EXPECT_TRUE(has_self);
+  }
+}
+
+}  // namespace
+}  // namespace gsoup

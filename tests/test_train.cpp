@@ -1,0 +1,321 @@
+// Optimiser step math, LR schedules, metrics, and end-to-end full-batch /
+// minibatch training behaviour for all three architectures.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+#include "nn/model.hpp"
+#include "tensor/ops.hpp"
+#include "test_helpers.hpp"
+#include "train/metrics.hpp"
+#include "train/minibatch_trainer.hpp"
+#include "train/optimizer.hpp"
+#include "train/scheduler.hpp"
+#include "train/trainer.hpp"
+
+namespace gsoup {
+namespace {
+
+ag::Value leaf_with_grad(std::initializer_list<float> value,
+                         std::initializer_list<float> grad) {
+  auto leaf = ag::make_leaf(Tensor::of(value), true);
+  leaf->grad = Tensor::of(grad);
+  return leaf;
+}
+
+TEST(Optimizer, PlainSgdStep) {
+  auto p = leaf_with_grad({1.0f, 2.0f}, {0.5f, -1.0f});
+  OptimizerConfig cfg;
+  cfg.kind = OptimizerKind::kSgd;
+  cfg.lr = 0.1;
+  auto opt = make_optimizer({p}, cfg);
+  opt->step();
+  EXPECT_FLOAT_EQ(p->value.at(0), 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(p->value.at(1), 2.0f + 0.1f * 1.0f);
+}
+
+TEST(Optimizer, SgdWeightDecay) {
+  auto p = leaf_with_grad({2.0f}, {0.0f});
+  OptimizerConfig cfg;
+  cfg.kind = OptimizerKind::kSgd;
+  cfg.lr = 0.1;
+  cfg.weight_decay = 0.5;
+  auto opt = make_optimizer({p}, cfg);
+  opt->step();
+  // w -= lr * (g + wd*w) = 2 - 0.1*(0 + 1.0) = 1.9
+  EXPECT_FLOAT_EQ(p->value.at(0), 1.9f);
+}
+
+TEST(Optimizer, SgdMomentumAccumulates) {
+  auto p = leaf_with_grad({0.0f}, {1.0f});
+  OptimizerConfig cfg;
+  cfg.kind = OptimizerKind::kSgd;
+  cfg.lr = 1.0;
+  cfg.momentum = 0.9;
+  auto opt = make_optimizer({p}, cfg);
+  opt->step();  // v=1, w=-1
+  EXPECT_FLOAT_EQ(p->value.at(0), -1.0f);
+  p->grad = Tensor::of({1.0f});
+  opt->step();  // v=1.9, w=-2.9
+  EXPECT_FLOAT_EQ(p->value.at(0), -2.9f);
+}
+
+TEST(Optimizer, AdamFirstStepIsScaledSign) {
+  auto p = leaf_with_grad({1.0f, 1.0f}, {0.001f, -10.0f});
+  OptimizerConfig cfg;
+  cfg.kind = OptimizerKind::kAdam;
+  cfg.lr = 0.1;
+  auto opt = make_optimizer({p}, cfg);
+  opt->step();
+  // Adam's first step is ~ lr * sign(g) regardless of magnitude.
+  EXPECT_NEAR(p->value.at(0), 1.0f - 0.1f, 2e-2f);
+  EXPECT_NEAR(p->value.at(1), 1.0f + 0.1f, 2e-2f);
+}
+
+TEST(Optimizer, AdamWDecouplesDecay) {
+  auto adam_p = leaf_with_grad({1.0f}, {0.0f});
+  auto adamw_p = leaf_with_grad({1.0f}, {0.0f});
+  OptimizerConfig cfg;
+  cfg.lr = 0.1;
+  cfg.weight_decay = 0.1;
+  cfg.kind = OptimizerKind::kAdam;
+  auto adam = make_optimizer({adam_p}, cfg);
+  cfg.kind = OptimizerKind::kAdamW;
+  auto adamw = make_optimizer({adamw_p}, cfg);
+  adam->step();
+  adamw->step();
+  // AdamW: w -= lr*wd*w exactly (grad is zero): 1 - 0.01 = 0.99.
+  EXPECT_NEAR(adamw_p->value.at(0), 0.99f, 1e-5f);
+  // Adam folds decay into the gradient and normalises by sqrt(v): the step
+  // becomes ~lr regardless of decay size.
+  EXPECT_NEAR(adam_p->value.at(0), 0.9f, 2e-2f);
+}
+
+TEST(Optimizer, ZeroGradClearsAndSkipsStep) {
+  auto p = leaf_with_grad({1.0f}, {1.0f});
+  OptimizerConfig cfg;
+  cfg.kind = OptimizerKind::kSgd;
+  cfg.lr = 0.1;
+  auto opt = make_optimizer({p}, cfg);
+  opt->zero_grad();
+  EXPECT_FALSE(p->grad.defined());
+  opt->step();  // no grad -> no update
+  EXPECT_FLOAT_EQ(p->value.at(0), 1.0f);
+}
+
+TEST(Optimizer, RejectsNonGradParams) {
+  auto constant = ag::constant(Tensor::of({1.0f}));
+  OptimizerConfig cfg;
+  EXPECT_THROW(make_optimizer({constant}, cfg), CheckError);
+}
+
+TEST(Scheduler, CosineEndpoints) {
+  ScheduleConfig cfg;
+  cfg.kind = ScheduleKind::kCosine;
+  cfg.base_lr = 1.0;
+  cfg.min_lr = 0.1;
+  EXPECT_NEAR(scheduled_lr(cfg, 0, 100), 1.0, 1e-9);
+  EXPECT_NEAR(scheduled_lr(cfg, 50, 100), (1.0 + 0.1) / 2.0, 1e-9);
+  EXPECT_NEAR(scheduled_lr(cfg, 100, 100), 0.1, 1e-9);
+  // Monotone decreasing.
+  for (int e = 1; e <= 100; ++e) {
+    EXPECT_LE(scheduled_lr(cfg, e, 100), scheduled_lr(cfg, e - 1, 100));
+  }
+}
+
+TEST(Scheduler, StepDecay) {
+  ScheduleConfig cfg;
+  cfg.kind = ScheduleKind::kStep;
+  cfg.base_lr = 1.0;
+  cfg.gamma = 0.5;
+  cfg.step_every = 10;
+  EXPECT_DOUBLE_EQ(scheduled_lr(cfg, 0, 100), 1.0);
+  EXPECT_DOUBLE_EQ(scheduled_lr(cfg, 9, 100), 1.0);
+  EXPECT_DOUBLE_EQ(scheduled_lr(cfg, 10, 100), 0.5);
+  EXPECT_DOUBLE_EQ(scheduled_lr(cfg, 25, 100), 0.25);
+}
+
+TEST(Scheduler, ConstantIsConstant) {
+  ScheduleConfig cfg;
+  cfg.base_lr = 0.3;
+  EXPECT_DOUBLE_EQ(scheduled_lr(cfg, 77, 100), 0.3);
+}
+
+TEST(Metrics, AccuracyCountsMatches) {
+  Tensor logits = Tensor::zeros({4, 3});
+  logits.at(0, 1) = 1.0f;  // pred 1
+  logits.at(1, 0) = 1.0f;  // pred 0
+  logits.at(2, 2) = 1.0f;  // pred 2
+  logits.at(3, 2) = 1.0f;  // pred 2
+  const std::vector<std::int32_t> labels{1, 1, 2, 0};
+  const std::vector<std::int64_t> all{0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(accuracy(logits, labels, all), 0.5);
+  const std::vector<std::int64_t> subset{0, 2};
+  EXPECT_DOUBLE_EQ(accuracy(logits, labels, subset), 1.0);
+}
+
+// ---- End-to-end training -----------------------------------------------
+
+Dataset train_dataset(std::uint64_t seed = 51) {
+  SyntheticSpec spec;
+  spec.num_nodes = 500;
+  spec.num_classes = 4;
+  spec.avg_degree = 10;
+  spec.homophily = 0.75;
+  spec.feature_noise = 0.8;
+  spec.feature_dim = 16;
+  spec.seed = seed;
+  return generate_dataset(spec);
+}
+
+class TrainArchCase : public ::testing::TestWithParam<Arch> {};
+
+TEST_P(TrainArchCase, FullBatchLearnsAboveChance) {
+  const Arch arch = GetParam();
+  const Dataset data = train_dataset();
+  ModelConfig cfg;
+  cfg.arch = arch;
+  cfg.in_dim = data.feature_dim();
+  cfg.hidden_dim = 16;
+  cfg.out_dim = data.num_classes;
+  cfg.num_layers = 2;
+  cfg.heads = 2;
+  cfg.dropout = 0.3f;
+  const GnnModel model(cfg);
+  const GraphContext ctx(data.graph, arch);
+  Rng rng(1);
+  ParamStore params = model.init_params(rng);
+
+  TrainConfig tc;
+  tc.epochs = 40;
+  tc.optimizer.kind = OptimizerKind::kAdam;
+  tc.schedule.base_lr = 0.01;
+  tc.seed = 7;
+  const TrainResult result = train_full_batch(model, ctx, data, params, tc);
+
+  // Loss decreased substantially and accuracy is far above the 25% chance
+  // level of a 4-class problem.
+  EXPECT_LT(result.train_loss.back(), 0.7 * result.train_loss.front());
+  const double test_acc =
+      evaluate_split(model, ctx, data, params, Split::kTest);
+  EXPECT_GT(test_acc, 0.5);
+  EXPECT_GT(result.best_val_acc, 0.5);
+  EXPECT_EQ(result.epochs_run, 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, TrainArchCase,
+                         ::testing::Values(Arch::kGcn, Arch::kSage,
+                                           Arch::kGat));
+
+TEST(Trainer, KeepBestRestoresBestValidationWeights) {
+  const Dataset data = train_dataset(52);
+  ModelConfig cfg;
+  cfg.arch = Arch::kGcn;
+  cfg.in_dim = data.feature_dim();
+  cfg.hidden_dim = 8;
+  cfg.out_dim = data.num_classes;
+  cfg.dropout = 0.5f;
+  const GnnModel model(cfg);
+  const GraphContext ctx(data.graph, Arch::kGcn);
+  Rng rng(2);
+  ParamStore params = model.init_params(rng);
+  TrainConfig tc;
+  tc.epochs = 30;
+  tc.schedule.base_lr = 0.02;
+  tc.keep_best = true;
+  const TrainResult result = train_full_batch(model, ctx, data, params, tc);
+  const double final_val =
+      evaluate_split(model, ctx, data, params, Split::kVal);
+  EXPECT_NEAR(final_val, result.best_val_acc, 1e-9);
+}
+
+TEST(Trainer, EarlyStoppingHaltsTraining) {
+  const Dataset data = train_dataset(53);
+  ModelConfig cfg;
+  cfg.arch = Arch::kGcn;
+  cfg.in_dim = data.feature_dim();
+  cfg.hidden_dim = 8;
+  cfg.out_dim = data.num_classes;
+  const GnnModel model(cfg);
+  const GraphContext ctx(data.graph, Arch::kGcn);
+  Rng rng(3);
+  ParamStore params = model.init_params(rng);
+  TrainConfig tc;
+  tc.epochs = 500;
+  tc.schedule.base_lr = 0.01;
+  tc.patience = 5;
+  const TrainResult result = train_full_batch(model, ctx, data, params, tc);
+  EXPECT_LT(result.epochs_run, 500);
+}
+
+TEST(Trainer, DeterministicForFixedSeed) {
+  const Dataset data = train_dataset(54);
+  ModelConfig cfg;
+  cfg.arch = Arch::kGcn;
+  cfg.in_dim = data.feature_dim();
+  cfg.hidden_dim = 8;
+  cfg.out_dim = data.num_classes;
+  cfg.dropout = 0.4f;
+  const GnnModel model(cfg);
+  const GraphContext ctx(data.graph, Arch::kGcn);
+
+  auto run = [&] {
+    Rng rng(4);
+    ParamStore params = model.init_params(rng);
+    TrainConfig tc;
+    tc.epochs = 10;
+    tc.schedule.base_lr = 0.01;
+    tc.seed = 99;
+    train_full_batch(model, ctx, data, params, tc);
+    return params;
+  };
+  const ParamStore a = run();
+  const ParamStore b = run();
+  for (const auto& e : a.entries()) {
+    EXPECT_FLOAT_EQ(ops::max_abs_diff(e.tensor, b.get(e.name)), 0.0f)
+        << e.name;
+  }
+}
+
+TEST(MinibatchTrainer, SageLearnsAboveChance) {
+  const Dataset data = train_dataset(55);
+  ModelConfig cfg;
+  cfg.arch = Arch::kSage;
+  cfg.in_dim = data.feature_dim();
+  cfg.hidden_dim = 16;
+  cfg.out_dim = data.num_classes;
+  cfg.num_layers = 2;
+  cfg.dropout = 0.2f;
+  const GnnModel model(cfg);
+  const GraphContext ctx(data.graph, Arch::kSage);
+  Rng rng(5);
+  ParamStore params = model.init_params(rng);
+
+  MinibatchConfig mb;
+  mb.train.epochs = 10;
+  mb.train.optimizer.kind = OptimizerKind::kAdam;
+  mb.train.schedule.base_lr = 0.01;
+  mb.train.seed = 3;
+  mb.batch_size = 64;
+  mb.fanouts = {5, 5};
+  const TrainResult result = train_minibatch(model, ctx, data, params, mb);
+  EXPECT_GT(result.best_val_acc, 0.5);
+}
+
+TEST(MinibatchTrainer, RejectsNonSageArchitectures) {
+  const Dataset data = testing::tiny_dataset();
+  ModelConfig cfg;
+  cfg.arch = Arch::kGcn;
+  cfg.in_dim = 2;
+  cfg.out_dim = 2;
+  const GnnModel model(cfg);
+  const GraphContext ctx(data.graph, Arch::kGcn);
+  Rng rng(6);
+  ParamStore params = model.init_params(rng);
+  MinibatchConfig mb;
+  EXPECT_THROW(train_minibatch(model, ctx, data, params, mb), CheckError);
+}
+
+}  // namespace
+}  // namespace gsoup

@@ -1,0 +1,210 @@
+// Utility-layer tests: memory tracker, RNG, thread pool, table, env.
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/env.hpp"
+#include "util/memory_tracker.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace gsoup {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    GSOUP_CHECK_MSG(1 == 2, "custom detail " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom detail 42"), std::string::npos);
+  }
+}
+
+TEST(MemoryTracker, CurrentAndPeak) {
+  const std::size_t base = MemoryTracker::current();
+  MemoryTracker::record_alloc(1000);
+  EXPECT_EQ(MemoryTracker::current(), base + 1000);
+  MemoryTracker::reset_peak();
+  MemoryTracker::record_alloc(500);
+  MemoryTracker::record_free(500);
+  MemoryTracker::record_alloc(200);
+  EXPECT_GE(MemoryTracker::peak(), base + 1500);
+  MemoryTracker::record_free(200);
+  MemoryTracker::record_free(1000);
+  EXPECT_EQ(MemoryTracker::current(), base);
+}
+
+TEST(MemoryTracker, ConcurrentAccountingBalances) {
+  const std::size_t base = MemoryTracker::current();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 10000; ++i) {
+        MemoryTracker::record_alloc(64);
+        MemoryTracker::record_free(64);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(MemoryTracker::current(), base);
+}
+
+TEST(Rng, DeterministicAndSeedSensitive) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 10; ++i) {
+    if (a2() != c()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const auto k = rng.uniform_int(7);
+    EXPECT_LT(k, 7u);
+  }
+}
+
+TEST(Rng, UniformIntCoversSupport) {
+  Rng rng(2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(3);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ChildStreamsDecorrelated) {
+  Rng parent(7);
+  Rng c1 = parent.child(1);
+  Rng c2 = parent.child(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1() == c2()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(97);
+  pool.parallel_for(97, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.milliseconds(), 15.0);
+  t.reset();
+  EXPECT_LT(t.milliseconds(), 15.0);
+}
+
+TEST(AccumTimer, AccumulatesAcrossSegments) {
+  AccumTimer t;
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.stop();
+  const double first = t.seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_NEAR(t.seconds(), first, 1e-6);
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.stop();
+  EXPECT_GT(t.seconds(), first);
+}
+
+TEST(Table, RendersAlignedCells) {
+  Table table("Demo");
+  table.set_header({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta-long", "2.5"});
+  const std::string s = table.str();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("| alpha"), std::string::npos);
+  EXPECT_NE(s.find("| beta-long"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table table("Demo");
+  table.set_header({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt_pm(1.5, 0.25, 2), "1.50 ± 0.25");
+  EXPECT_EQ(Table::fmt_bytes(512), "512 B");
+  EXPECT_EQ(Table::fmt_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(Table::fmt_bytes(3 * 1024 * 1024), "3.00 MiB");
+}
+
+TEST(Env, ParsesAndFallsBack) {
+  ::setenv("GSOUP_TEST_INT", "123", 1);
+  ::setenv("GSOUP_TEST_DOUBLE", "2.5", 1);
+  ::setenv("GSOUP_TEST_STR", "hello", 1);
+  ::setenv("GSOUP_TEST_BAD", "not-a-number", 1);
+  EXPECT_EQ(env_int("GSOUP_TEST_INT", 7), 123);
+  EXPECT_DOUBLE_EQ(env_double("GSOUP_TEST_DOUBLE", 1.0), 2.5);
+  EXPECT_EQ(env_str("GSOUP_TEST_STR", "x"), "hello");
+  EXPECT_EQ(env_int("GSOUP_TEST_BAD", 7), 7);
+  EXPECT_EQ(env_int("GSOUP_TEST_UNSET_VAR", -2), -2);
+  ::unsetenv("GSOUP_TEST_INT");
+  ::unsetenv("GSOUP_TEST_DOUBLE");
+  ::unsetenv("GSOUP_TEST_STR");
+  ::unsetenv("GSOUP_TEST_BAD");
+}
+
+}  // namespace
+}  // namespace gsoup
