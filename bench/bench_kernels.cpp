@@ -1,19 +1,28 @@
-// Kernel microbenchmarks (google-benchmark): the primitives every souping
-// strategy is built from — GEMM, SpMM, GAT attention forward/backward,
-// soup mixing, partitioning and subgraph extraction.
-#include <benchmark/benchmark.h>
+// Kernel microbenchmarks with a machine-readable artifact.
+//
+// Times the compute primitives every souping strategy is built from —
+// blocked GEMM vs the naive reference, edge-balanced SpMM vs the naive
+// row-parallel loop on a power-law graph, GAT attention, transpose,
+// elementwise maps and reductions — and writes BENCH_kernels.json
+// (schema gsoup-bench-kernels/v1, see README.md). The committed JSON is
+// the perf baseline later PRs are compared against.
+//
+// Usage: bench_kernels [--smoke] [--out PATH]
+//   --smoke   tiny shapes + minimal iterations (CI regression gate)
+//   --out     artifact path (default BENCH_kernels.json in the CWD)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "ag/graph_ops.hpp"
-#include "ag/loss.hpp"
-#include "ag/ops.hpp"
-#include "core/alpha.hpp"
+#include "ag/value.hpp"
 #include "graph/generator.hpp"
 #include "graph/normalize.hpp"
-#include "graph/subgraph.hpp"
-#include "partition/partitioner.hpp"
-#include "partition/union_subgraph.hpp"
+#include "harness/kernel_report.hpp"
 #include "tensor/init.hpp"
 #include "tensor/ops.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -26,123 +35,238 @@ Tensor random_tensor(Shape shape, std::uint64_t seed) {
   return t;
 }
 
-Dataset bench_graph(std::int64_t n, double deg) {
+std::string dense_shape(std::int64_t m, std::int64_t k, std::int64_t n) {
+  return "m=" + std::to_string(m) + ",k=" + std::to_string(k) +
+         ",n=" + std::to_string(n);
+}
+
+struct BenchConfig {
+  bool smoke = false;
+  std::string out = "BENCH_kernels.json";
+  std::int64_t min_iters = 3;
+  double min_seconds = 0.25;
+};
+
+void bench_gemm(const BenchConfig& cfg, bench::KernelReport& report) {
+  const std::vector<std::int64_t> sizes =
+      cfg.smoke ? std::vector<std::int64_t>{32, 64}
+                : std::vector<std::int64_t>{128, 256, 512};
+  for (const auto n : sizes) {
+    const Tensor a = random_tensor({n, n}, 1);
+    const Tensor b = random_tensor({n, n}, 2);
+    Tensor c = Tensor::zeros({n, n});
+    const double flops = 2.0 * n * n * n;
+    const double bytes = 3.0 * n * n * sizeof(float);
+
+    bench::KernelResult naive{"matmul", "naive", dense_shape(n, n, n)};
+    naive.flops = flops;
+    naive.bytes = bytes;
+    bench::time_kernel(
+        naive,
+        [&] {
+          c.zero_();
+          ops::matmul_naive_acc(a, b, c);
+        },
+        cfg.min_iters, cfg.min_seconds);
+    report.add(naive);
+
+    bench::KernelResult blocked{"matmul", "blocked", dense_shape(n, n, n)};
+    blocked.flops = flops;
+    blocked.bytes = bytes;
+    bench::time_kernel(
+        blocked,
+        [&] {
+          c.zero_();
+          ops::matmul_acc(a, b, c);
+        },
+        cfg.min_iters, cfg.min_seconds);
+    report.add(blocked);
+  }
+
+  // Transposed variants (the backward-pass GEMMs) at one mid size.
+  const std::int64_t n = cfg.smoke ? 48 : 256;
+  const Tensor a = random_tensor({n, n}, 3);
+  const Tensor b = random_tensor({n, n}, 4);
+  const double flops = 2.0 * n * n * n;
+  const double bytes = 3.0 * n * n * sizeof(float);
+  for (const bool naive : {true, false}) {
+    bench::KernelResult tn{"matmul_tn", naive ? "naive" : "blocked",
+                           dense_shape(n, n, n)};
+    tn.flops = flops;
+    tn.bytes = bytes;
+    bench::time_kernel(
+        tn,
+        [&] {
+          if (naive) {
+            ops::matmul_tn_naive(a, b);
+          } else {
+            ops::matmul_tn(a, b);
+          }
+        },
+        cfg.min_iters, cfg.min_seconds);
+    report.add(tn);
+
+    bench::KernelResult nt{"matmul_nt", naive ? "naive" : "blocked",
+                           dense_shape(n, n, n)};
+    nt.flops = flops;
+    nt.bytes = bytes;
+    bench::time_kernel(
+        nt,
+        [&] {
+          if (naive) {
+            ops::matmul_nt_naive(a, b);
+          } else {
+            ops::matmul_nt(a, b);
+          }
+        },
+        cfg.min_iters, cfg.min_seconds);
+    report.add(nt);
+  }
+}
+
+void bench_spmm(const BenchConfig& cfg, bench::KernelReport& report) {
+  // Power-law-degree graph: high lognormal sigma gives the skewed indptr
+  // the edge-balanced schedule exists for.
   SyntheticSpec spec;
-  spec.num_nodes = n;
-  spec.avg_degree = deg;
+  spec.num_nodes = cfg.smoke ? 500 : 20000;
+  spec.avg_degree = cfg.smoke ? 8 : 20;
+  spec.degree_sigma = 2.0;
   spec.num_classes = 8;
-  spec.feature_dim = 64;
+  spec.feature_dim = 8;
   spec.seed = 3;
-  return generate_dataset(spec);
-}
-
-void BM_Gemm(benchmark::State& state) {
-  const auto n = state.range(0);
-  const Tensor a = random_tensor({n, n}, 1);
-  const Tensor b = random_tensor({n, n}, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ops::matmul(a, b));
-  }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
-}
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
-
-void BM_Spmm(benchmark::State& state) {
-  const auto n = state.range(0);
-  static Dataset data = bench_graph(8000, 20);
+  const Dataset data = generate_dataset(spec);
   const Csr norm = gcn_normalize(data.graph);
-  const Csr norm_t = norm.transpose().graph;
-  auto x = ag::constant(random_tensor({data.num_nodes(), n}, 4));
+  const std::int64_t e = norm.num_edges();
+
+  const std::vector<std::int64_t> dims =
+      cfg.smoke ? std::vector<std::int64_t>{16}
+                : std::vector<std::int64_t>{16, 32, 64, 128};
+  for (const auto d : dims) {
+    const Tensor x = random_tensor({data.num_nodes(), d}, 5);
+    Tensor y = Tensor::zeros({data.num_nodes(), d});
+    const std::string shape = "n=" + std::to_string(data.num_nodes()) +
+                              ",nnz=" + std::to_string(e) +
+                              ",d=" + std::to_string(d);
+    const double flops = 2.0 * e * d;
+    const double bytes =
+        e * (sizeof(std::int32_t) + sizeof(float))  // indices + values
+        + static_cast<double>(e) * d * sizeof(float)  // gathered X rows
+        + 2.0 * data.num_nodes() * d * sizeof(float);  // Y read+write
+
+    bench::KernelResult naive{"spmm", "naive", shape};
+    naive.flops = flops;
+    naive.bytes = bytes;
+    bench::time_kernel(
+        naive,
+        [&] {
+          y.zero_();
+          ag::spmm_reference(norm, x, y);
+        },
+        cfg.min_iters, cfg.min_seconds);
+    report.add(naive);
+
+    // The production path: edge-balanced schedule + width-specialised
+    // dual-accumulator kernel, fused with output init (so no zero_() —
+    // same end-to-end Y = A·X as the naive zero+accumulate above).
+    bench::KernelResult fused{"spmm", "fused", shape};
+    fused.flops = flops;
+    fused.bytes = bytes;
+    bench::time_kernel(
+        fused, [&] { ag::spmm_overwrite(norm, x, y); }, cfg.min_iters,
+        cfg.min_seconds);
+    report.add(fused);
+  }
+
+  // GAT attention forward on the same skewed graph (no naive twin; tracked
+  // for trajectory only).
+  const std::int64_t heads = 4, hd = 16;
+  const CsrTranspose gt = data.graph.transpose();
+  auto h = ag::constant(random_tensor({data.num_nodes(), heads * hd}, 6));
+  auto sd = ag::constant(random_tensor({data.num_nodes(), heads}, 7));
+  auto ss = ag::constant(random_tensor({data.num_nodes(), heads}, 8));
   ag::NoGradGuard guard;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ag::spmm(norm, norm_t, x));
-  }
-  state.SetItemsProcessed(state.iterations() * data.num_edges() * n);
+  bench::KernelResult gat{"gat_attention", "balanced",
+                          "n=" + std::to_string(data.num_nodes()) +
+                              ",nnz=" + std::to_string(data.num_edges()) +
+                              ",heads=4,d=16"};
+  gat.flops = 2.0 * data.num_edges() * heads * hd;
+  gat.bytes = static_cast<double>(data.num_edges()) * heads * hd *
+              sizeof(float);
+  bench::time_kernel(
+      gat, [&] { ag::gat_attention(data.graph, gt, h, sd, ss, heads, 0.2f); },
+      cfg.min_iters, cfg.min_seconds);
+  report.add(gat);
 }
-BENCHMARK(BM_Spmm)->Arg(16)->Arg(64)->Arg(128);
 
-void BM_GatAttentionForward(benchmark::State& state) {
-  const auto heads = state.range(0);
-  static Dataset data = bench_graph(8000, 20);
-  static CsrTranspose gt = data.graph.transpose();
-  const std::int64_t d = 16;
-  auto h = ag::constant(random_tensor({data.num_nodes(), heads * d}, 5));
-  auto sd = ag::constant(random_tensor({data.num_nodes(), heads}, 6));
-  auto ss = ag::constant(random_tensor({data.num_nodes(), heads}, 7));
-  ag::NoGradGuard guard;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        ag::gat_attention(data.graph, gt, h, sd, ss, heads, 0.2f));
-  }
-  state.SetItemsProcessed(state.iterations() * data.num_edges() * heads * d);
-}
-BENCHMARK(BM_GatAttentionForward)->Arg(1)->Arg(4);
+void bench_elementwise(const BenchConfig& cfg, bench::KernelReport& report) {
+  const std::int64_t numel = cfg.smoke ? (1 << 14) : (1 << 22);
+  const Tensor a = random_tensor({numel}, 9);
+  const Tensor b = random_tensor({numel}, 10);
+  const std::string shape = "numel=" + std::to_string(numel);
 
-void BM_GatAttentionTrainStep(benchmark::State& state) {
-  static Dataset data = bench_graph(4000, 15);
-  static CsrTranspose gt = data.graph.transpose();
-  const std::int64_t heads = 4, d = 16;
-  for (auto _ : state) {
-    auto h = ag::make_leaf(random_tensor({data.num_nodes(), heads * d}, 8),
-                           true);
-    auto sd =
-        ag::make_leaf(random_tensor({data.num_nodes(), heads}, 9), true);
-    auto ss =
-        ag::make_leaf(random_tensor({data.num_nodes(), heads}, 10), true);
-    auto out = ag::gat_attention(data.graph, gt, h, sd, ss, heads, 0.2f);
-    auto loss = ag::sum(out);
-    ag::backward(loss);
-    benchmark::DoNotOptimize(h->grad.data());
-  }
-}
-BENCHMARK(BM_GatAttentionTrainStep);
+  bench::KernelResult relu{"relu", "parallel", shape};
+  relu.bytes = 2.0 * numel * sizeof(float);
+  bench::time_kernel(relu, [&] { ops::relu(a); }, cfg.min_iters,
+                     cfg.min_seconds);
+  report.add(relu);
 
-void BM_SoupMixing(benchmark::State& state) {
-  const auto n_ingredients = state.range(0);
-  // 2-layer GCN-sized parameter set.
-  std::vector<Ingredient> ingredients(n_ingredients);
-  for (std::int64_t i = 0; i < n_ingredients; ++i) {
-    ingredients[i].id = i;
-    ingredients[i].params.add("layers.0.weight",
-                              random_tensor({64, 64}, 20 + i), 0);
-    ingredients[i].params.add("layers.1.weight",
-                              random_tensor({64, 40}, 40 + i), 1);
-  }
-  Rng rng(1);
-  const AlphaSet alphas(ingredients.front().params, n_ingredients,
-                        AlphaGranularity::kLayer, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(alphas.build_soup(ingredients));
-  }
-}
-BENCHMARK(BM_SoupMixing)->Arg(8)->Arg(32)->Arg(50);
+  bench::KernelResult mul{"mul", "parallel", shape};
+  mul.flops = static_cast<double>(numel);
+  mul.bytes = 3.0 * numel * sizeof(float);
+  bench::time_kernel(mul, [&] { ops::mul(a, b); }, cfg.min_iters,
+                     cfg.min_seconds);
+  report.add(mul);
 
-void BM_MultilevelPartition(benchmark::State& state) {
-  static Dataset data = bench_graph(8000, 15);
-  PartitionOptions opt;
-  opt.num_parts = state.range(0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        multilevel_partition(data.graph, opt, data.val_mask));
-  }
-}
-BENCHMARK(BM_MultilevelPartition)->Arg(8)->Arg(32);
+  bench::KernelResult sum{"sum", "compensated", shape};
+  sum.flops = static_cast<double>(numel);
+  sum.bytes = static_cast<double>(numel) * sizeof(float);
+  float sink = 0.0f;
+  bench::time_kernel(sum, [&] { sink += ops::sum(a); }, cfg.min_iters,
+                     cfg.min_seconds);
+  report.add(sum);
 
-void BM_PartitionUnionSubgraph(benchmark::State& state) {
-  static Dataset data = bench_graph(8000, 15);
-  PartitionOptions opt;
-  opt.num_parts = 32;
-  static Partitioning parts =
-      multilevel_partition(data.graph, opt, data.val_mask);
-  Rng rng(2);
-  for (auto _ : state) {
-    const auto selected = sample_partitions(32, state.range(0), rng);
-    benchmark::DoNotOptimize(
-        partition_union_subgraph(data, parts, selected));
-  }
+  bench::KernelResult dot{"dot", "compensated", shape};
+  dot.flops = 2.0 * numel;
+  dot.bytes = 2.0 * numel * sizeof(float);
+  bench::time_kernel(dot, [&] { sink += ops::dot(a, b); }, cfg.min_iters,
+                     cfg.min_seconds);
+  report.add(dot);
+  if (sink == 12345.6789f) std::printf("-");  // keep the sums live
+
+  const std::int64_t t = cfg.smoke ? 128 : 2048;
+  const Tensor m = random_tensor({t, t}, 11);
+  bench::KernelResult tr{"transpose", "tiled",
+                         "m=" + std::to_string(t) + ",n=" + std::to_string(t)};
+  tr.bytes = 2.0 * t * t * sizeof(float);
+  bench::time_kernel(tr, [&] { ops::transpose(m); }, cfg.min_iters,
+                     cfg.min_seconds);
+  report.add(tr);
 }
-BENCHMARK(BM_PartitionUnionSubgraph)->Arg(4)->Arg(8)->Arg(16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      cfg.smoke = true;
+      cfg.min_iters = 2;
+      cfg.min_seconds = 0.0;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      cfg.out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::KernelReport report(cfg.smoke ? "smoke" : "full");
+  bench_gemm(cfg, report);
+  bench_spmm(cfg, report);
+  bench_elementwise(cfg, report);
+  report.compute_speedups();
+  report.print_table();
+  if (!report.write_json(cfg.out)) return 1;
+  std::printf("wrote %s\n", cfg.out.c_str());
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "harness/kernel_report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "util/timer.hpp"
+
+namespace gsoup::bench {
+
+namespace {
+
+int num_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// JSON string escaping for the small identifier strings we emit.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void time_kernel(KernelResult& r, const std::function<void()>& fn,
+                 std::int64_t min_iters, double min_seconds) {
+  // One untimed warm-up pass: page in buffers, prime caches and the OpenMP
+  // thread team so the first timed iteration is not an outlier.
+  fn();
+  double total = 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  std::int64_t iters = 0;
+  while (iters < min_iters || total < min_seconds) {
+    Timer t;
+    fn();
+    const double s = t.seconds();
+    total += s;
+    best = std::min(best, s);
+    ++iters;
+  }
+  r.iterations = iters;
+  r.seconds_min = best;
+  r.seconds_mean = total / static_cast<double>(iters);
+}
+
+void KernelReport::add(KernelResult r) { results_.push_back(std::move(r)); }
+
+void KernelReport::compute_speedups() {
+  for (auto& r : results_) {
+    if (r.variant == "naive") continue;
+    const auto naive = std::find_if(
+        results_.begin(), results_.end(), [&](const KernelResult& o) {
+          return o.kernel == r.kernel && o.shape == r.shape &&
+                 o.variant == "naive";
+        });
+    if (naive != results_.end() && r.seconds_min > 0.0) {
+      r.speedup_vs_naive = naive->seconds_min / r.seconds_min;
+    }
+  }
+}
+
+bool KernelReport::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "kernel_report: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  out << "{\n";
+  out << "  \"schema\": \"gsoup-bench-kernels/v1\",\n";
+  out << "  \"mode\": \"" << json_escape(mode_) << "\",\n";
+  out << "  \"threads\": " << num_threads() << ",\n";
+  out << "  \"kernels\": [\n";
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    const auto& r = results_[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"kernel\": \"%s\", \"variant\": \"%s\", \"shape\": \"%s\", "
+        "\"iterations\": %lld, \"seconds_min\": %.6e, \"seconds_mean\": "
+        "%.6e, \"flops\": %.6e, \"bytes\": %.6e, \"gflops\": %.3f, "
+        "\"gbps\": %.3f, \"speedup_vs_naive\": %.3f}",
+        json_escape(r.kernel).c_str(), json_escape(r.variant).c_str(),
+        json_escape(r.shape).c_str(),
+        static_cast<long long>(r.iterations), r.seconds_min, r.seconds_mean,
+        r.flops, r.bytes, r.gflops(), r.gbps(), r.speedup_vs_naive);
+    out << buf << (i + 1 < results_.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+void KernelReport::print_table() const {
+  std::printf("%-14s %-10s %-28s %10s %10s %8s\n", "kernel", "variant",
+              "shape", "GFLOP/s", "GB/s", "speedup");
+  for (const auto& r : results_) {
+    char speedup[32] = "-";
+    if (r.speedup_vs_naive > 0.0) {
+      std::snprintf(speedup, sizeof(speedup), "%.2fx", r.speedup_vs_naive);
+    }
+    std::printf("%-14s %-10s %-28s %10.2f %10.2f %8s\n", r.kernel.c_str(),
+                r.variant.c_str(), r.shape.c_str(), r.gflops(), r.gbps(),
+                speedup);
+  }
+}
+
+}  // namespace gsoup::bench

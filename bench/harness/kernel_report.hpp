@@ -1,0 +1,68 @@
+// Machine-readable kernel-benchmark reporting.
+//
+// Every scaling PR from here on is judged against `BENCH_kernels.json`, the
+// per-kernel throughput baseline this harness emits. A record is one
+// (kernel, variant, shape) cell with wall-clock stats and derived GFLOP/s
+// and GB/s, plus the speedup over the naive reference variant when both
+// were measured in the same run. Schema documented in README.md and
+// versioned via the top-level "schema" key.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gsoup::bench {
+
+/// One measured (kernel, variant, shape) cell.
+struct KernelResult {
+  std::string kernel;   ///< e.g. "matmul", "spmm"
+  std::string variant;  ///< "blocked", "naive", "balanced", ...
+  std::string shape;    ///< e.g. "m=512,k=512,n=512"
+  std::int64_t iterations = 0;
+  double seconds_min = 0.0;   ///< best iteration (reported throughput basis)
+  double seconds_mean = 0.0;  ///< mean over iterations
+  double flops = 0.0;         ///< useful FLOPs per iteration
+  double bytes = 0.0;         ///< bytes moved per iteration (compulsory)
+  double speedup_vs_naive = 0.0;  ///< 0 when no naive twin was measured
+
+  double gflops() const {
+    return seconds_min > 0.0 ? flops / seconds_min * 1e-9 : 0.0;
+  }
+  double gbps() const {
+    return seconds_min > 0.0 ? bytes / seconds_min * 1e-9 : 0.0;
+  }
+};
+
+/// Repeatedly invoke `fn` until both `min_iters` iterations and
+/// `min_seconds` of accumulated wall-clock have elapsed; fills the timing
+/// fields of `r`. `fn` must do one full kernel invocation per call.
+void time_kernel(KernelResult& r, const std::function<void()>& fn,
+                 std::int64_t min_iters, double min_seconds);
+
+/// Collects results, prints a human table, and writes BENCH_kernels.json.
+class KernelReport {
+ public:
+  explicit KernelReport(std::string mode) : mode_(std::move(mode)) {}
+
+  void add(KernelResult r);
+
+  /// Backfill speedup_vs_naive: for each record, find the record with the
+  /// same kernel+shape and variant == "naive" and divide its seconds_min.
+  void compute_speedups();
+
+  /// Write the JSON artifact. Returns false (and logs) on I/O failure.
+  bool write_json(const std::string& path) const;
+
+  /// Aligned human-readable table on stdout.
+  void print_table() const;
+
+  const std::vector<KernelResult>& results() const { return results_; }
+
+ private:
+  std::string mode_;
+  std::vector<KernelResult> results_;
+};
+
+}  // namespace gsoup::bench

@@ -5,8 +5,13 @@
 #include <cstring>
 #include <limits>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace gsoup::ag {
 
@@ -14,8 +19,138 @@ namespace {
 
 constexpr std::int64_t kParallelRowThreshold = 64;
 
-/// Y += A · X for weighted CSR A (in-edge convention). Row-parallel.
-void spmm_kernel(const Csr& a, const Tensor& x, Tensor& y) {
+// SpMM kernel bodies. Two levers over the naive per-edge loop, each worth
+// measuring (see BENCH_kernels.json):
+//   1. Compile-time feature width D: the naive runtime trip count costs a
+//      vectoriser prologue/epilogue on every edge; common GNN widths get a
+//      dedicated instantiation.
+//   2. Dual accumulators: `y[j] += w*x[j]` per edge is a serial FMA chain
+//      through the row (4-5 cycle latency each). Interleaving even/odd
+//      edges into two register accumulators halves the chain, and the row
+//      is stored once at the end instead of updated per edge.
+// X rows a few edges ahead are software-prefetched to overlap gather
+// latency. Overwrite=true stores `y = acc` (fused Y = A·X, skips the
+// separate zero pass and Y re-read); false adds into existing Y (backward
+// accumulation).
+
+constexpr std::int64_t kSpmmPrefetchDist = 12;
+
+template <int D>
+inline void spmm_prefetch_row(const float* p) {
+  __builtin_prefetch(p, 0, 3);
+  if constexpr (D > 16) __builtin_prefetch(p + 16, 0, 3);
+  if constexpr (D > 32) {
+    __builtin_prefetch(p + 32, 0, 3);
+    __builtin_prefetch(p + 48, 0, 3);
+  }
+  if constexpr (D > 64) {
+    __builtin_prefetch(p + 64, 0, 3);
+    __builtin_prefetch(p + 96, 0, 3);
+  }
+}
+
+template <int D, bool Overwrite>
+void spmm_rows_fixed(const std::int64_t* __restrict__ indptr,
+                     const std::int32_t* __restrict__ indices,
+                     const float* __restrict__ values,
+                     const float* __restrict__ px, float* __restrict__ py,
+                     std::int64_t num_edges, std::int64_t lo,
+                     std::int64_t hi) {
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const std::int64_t begin = indptr[i], end = indptr[i + 1];
+    float* __restrict__ yrow = py + i * D;
+    float acc0[D] = {}, acc1[D] = {};
+    std::int64_t e = begin;
+    for (; e + 1 < end; e += 2) {
+      if (e + kSpmmPrefetchDist + 1 < num_edges) {
+        spmm_prefetch_row<D>(px + indices[e + kSpmmPrefetchDist] * D);
+        spmm_prefetch_row<D>(px + indices[e + kSpmmPrefetchDist + 1] * D);
+      }
+      const float w0 = values[e], w1 = values[e + 1];
+      const float* __restrict__ x0 = px + indices[e] * D;
+      const float* __restrict__ x1 = px + indices[e + 1] * D;
+#pragma omp simd
+      for (int j = 0; j < D; ++j) {
+        acc0[j] += w0 * x0[j];
+        acc1[j] += w1 * x1[j];
+      }
+    }
+    if (e < end) {
+      const float w = values[e];
+      const float* __restrict__ xrow = px + indices[e] * D;
+#pragma omp simd
+      for (int j = 0; j < D; ++j) acc0[j] += w * xrow[j];
+    }
+    if constexpr (Overwrite) {
+#pragma omp simd
+      for (int j = 0; j < D; ++j) yrow[j] = acc0[j] + acc1[j];
+    } else {
+#pragma omp simd
+      for (int j = 0; j < D; ++j) yrow[j] += acc0[j] + acc1[j];
+    }
+  }
+}
+
+/// Fallback for feature widths without a fixed instantiation.
+template <bool Overwrite>
+void spmm_rows_generic(const std::int64_t* __restrict__ indptr,
+                       const std::int32_t* __restrict__ indices,
+                       const float* __restrict__ values,
+                       const float* __restrict__ px, float* __restrict__ py,
+                       std::int64_t d, std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t i = lo; i < hi; ++i) {
+    float* __restrict__ yrow = py + i * d;
+    if constexpr (Overwrite) {
+#pragma omp simd
+      for (std::int64_t j = 0; j < d; ++j) yrow[j] = 0.0f;
+    }
+    for (std::int64_t e = indptr[i]; e < indptr[i + 1]; ++e) {
+      const float w = values[e];
+      const float* __restrict__ xrow = px + indices[e] * d;
+#pragma omp simd
+      for (std::int64_t j = 0; j < d; ++j) yrow[j] += w * xrow[j];
+    }
+  }
+}
+
+template <bool Overwrite>
+void spmm_rows(const std::int64_t* __restrict__ indptr,
+               const std::int32_t* __restrict__ indices,
+               const float* __restrict__ values,
+               const float* __restrict__ px, float* __restrict__ py,
+               std::int64_t d, std::int64_t num_edges, std::int64_t lo,
+               std::int64_t hi) {
+  switch (d) {
+    case 8:
+      spmm_rows_fixed<8, Overwrite>(indptr, indices, values, px, py,
+                                    num_edges, lo, hi);
+      return;
+    case 16:
+      spmm_rows_fixed<16, Overwrite>(indptr, indices, values, px, py,
+                                     num_edges, lo, hi);
+      return;
+    case 32:
+      spmm_rows_fixed<32, Overwrite>(indptr, indices, values, px, py,
+                                     num_edges, lo, hi);
+      return;
+    case 64:
+      spmm_rows_fixed<64, Overwrite>(indptr, indices, values, px, py,
+                                     num_edges, lo, hi);
+      return;
+    case 128:
+      spmm_rows_fixed<128, Overwrite>(indptr, indices, values, px, py,
+                                      num_edges, lo, hi);
+      return;
+    default:
+      spmm_rows_generic<Overwrite>(indptr, indices, values, px, py, d, lo,
+                                   hi);
+  }
+}
+
+/// Shared driver: edge-balanced chunks over rows, then the width-dispatched
+/// body per chunk.
+template <bool Overwrite>
+void spmm_dispatch(const Csr& a, const Tensor& x, Tensor& y) {
   const std::int64_t n = a.num_nodes;
   const std::int64_t d = x.shape(1);
   const float* __restrict__ px = x.data();
@@ -23,6 +158,35 @@ void spmm_kernel(const Csr& a, const Tensor& x, Tensor& y) {
   const auto* __restrict__ indptr = a.indptr.data();
   const auto* __restrict__ indices = a.indices.data();
   const auto* __restrict__ values = a.values.data();
+  const std::int64_t e = a.num_edges();
+  if (n < kParallelRowThreshold) {
+    spmm_rows<Overwrite>(indptr, indices, values, px, py, d, e, 0, n);
+    return;
+  }
+  // Edge-balanced schedule: contiguous row ranges of ~equal nnz, a few per
+  // thread, so hub rows of power-law graphs spread across the team without
+  // per-row dynamic-scheduling overhead.
+  const auto bounds = balanced_row_chunks(a.indptr, balanced_chunk_count(n));
+  const auto chunks = static_cast<std::int64_t>(bounds.size()) - 1;
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    spmm_rows<Overwrite>(indptr, indices, values, px, py, d, e,
+                         bounds[static_cast<std::size_t>(c)],
+                         bounds[static_cast<std::size_t>(c) + 1]);
+  }
+}
+
+}  // namespace
+
+void spmm_reference(const Csr& a, const Tensor& x, Tensor& y) {
+  const std::int64_t n = a.num_nodes;
+  const std::int64_t d = x.shape(1);
+  const float* __restrict__ px = x.data();
+  float* __restrict__ py = y.data();
+  const auto* __restrict__ indptr = a.indptr.data();
+  const auto* __restrict__ indices = a.indices.data();
+  const auto* __restrict__ values = a.values.data();
+  // Seed kernel, verbatim: row-parallel dynamic schedule, no prefetch.
 #pragma omp parallel for schedule(dynamic, 64) \
     if (n >= kParallelRowThreshold)
   for (std::int64_t i = 0; i < n; ++i) {
@@ -35,7 +199,13 @@ void spmm_kernel(const Csr& a, const Tensor& x, Tensor& y) {
   }
 }
 
-}  // namespace
+void spmm_accumulate(const Csr& a, const Tensor& x, Tensor& y) {
+  spmm_dispatch<false>(a, x, y);
+}
+
+void spmm_overwrite(const Csr& a, const Tensor& x, Tensor& y) {
+  spmm_dispatch<true>(a, x, y);
+}
 
 Value spmm(const Csr& a, const Csr& a_transpose, const Value& x) {
   GSOUP_CHECK_MSG(a.weighted() && a_transpose.weighted(),
@@ -44,14 +214,14 @@ Value spmm(const Csr& a, const Csr& a_transpose, const Value& x) {
                   "spmm: X shape " << x->value.shape_str()
                                    << " incompatible with graph of "
                                    << a.num_nodes << " nodes");
-  Tensor out = Tensor::zeros({a.num_nodes, x->value.shape(1)});
-  spmm_kernel(a, x->value, out);
+  Tensor out = Tensor::empty({a.num_nodes, x->value.shape(1)});
+  spmm_overwrite(a, x->value, out);
   const Csr* at = &a_transpose;
   return make_node(
       std::move(out), {x},
       [x, at](Node& node) {
         if (!x->requires_grad) return;
-        spmm_kernel(*at, node.grad, x->ensure_grad());
+        spmm_accumulate(*at, node.grad, x->ensure_grad());
       },
       "spmm");
 }
@@ -82,9 +252,20 @@ Value gat_attention(const Csr& graph, const CsrTranspose& graph_t,
     float* __restrict__ po = out.data();
     const auto* __restrict__ indptr = graph.indptr.data();
     const auto* __restrict__ indices = graph.indices.data();
-#pragma omp parallel for schedule(dynamic, 64) \
+    // Edge-balanced chunks: attention work per row is proportional to
+    // degree, so equal-nnz ranges keep the team busy on power-law graphs.
+    // Below the parallel threshold the loop is serial, so skip the
+    // binary-search pass and use a single chunk.
+    const auto bounds =
+        n < kParallelRowThreshold
+            ? std::vector<std::int64_t>{0, n}
+            : balanced_row_chunks(graph.indptr, balanced_chunk_count(n));
+    const auto chunks = static_cast<std::int64_t>(bounds.size()) - 1;
+#pragma omp parallel for schedule(dynamic, 1) \
     if (n >= kParallelRowThreshold)
-    for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t c = 0; c < chunks; ++c)
+    for (std::int64_t i = bounds[static_cast<std::size_t>(c)];
+         i < bounds[static_cast<std::size_t>(c) + 1]; ++i) {
       const std::int64_t begin = indptr[i], end = indptr[i + 1];
       for (std::int64_t head = 0; head < heads; ++head) {
         // Numerically stable softmax over LeakyReLU(sl_i + sr_j).
@@ -140,9 +321,16 @@ Value gat_attention(const Csr& graph, const CsrTranspose& graph_t,
             need_sl ? score_dst->ensure_grad().data() : nullptr;
         const auto* __restrict__ indptr = g->indptr.data();
         const auto* __restrict__ indices = g->indices.data();
-#pragma omp parallel for schedule(dynamic, 64) \
+        const auto bounds =
+            nn < kParallelRowThreshold
+                ? std::vector<std::int64_t>{0, nn}
+                : balanced_row_chunks(g->indptr, balanced_chunk_count(nn));
+        const auto chunks = static_cast<std::int64_t>(bounds.size()) - 1;
+#pragma omp parallel for schedule(dynamic, 1) \
     if (nn >= kParallelRowThreshold)
-        for (std::int64_t i = 0; i < nn; ++i) {
+        for (std::int64_t c = 0; c < chunks; ++c)
+        for (std::int64_t i = bounds[static_cast<std::size_t>(c)];
+             i < bounds[static_cast<std::size_t>(c) + 1]; ++i) {
           const std::int64_t begin = indptr[i], end = indptr[i + 1];
           for (std::int64_t head = 0; head < heads; ++head) {
             const float* __restrict__ grow =
@@ -182,9 +370,17 @@ Value gat_attention(const Csr& graph, const CsrTranspose& graph_t,
         const auto* __restrict__ t_indptr = gt->graph.indptr.data();
         const auto* __restrict__ t_indices = gt->graph.indices.data();
         const auto* __restrict__ edge_map = gt->edge_map.data();
-#pragma omp parallel for schedule(dynamic, 64) \
+        const auto t_bounds =
+            nn < kParallelRowThreshold
+                ? std::vector<std::int64_t>{0, nn}
+                : balanced_row_chunks(gt->graph.indptr,
+                                      balanced_chunk_count(nn));
+        const auto t_chunks = static_cast<std::int64_t>(t_bounds.size()) - 1;
+#pragma omp parallel for schedule(dynamic, 1) \
     if (nn >= kParallelRowThreshold)
-        for (std::int64_t j = 0; j < nn; ++j) {
+        for (std::int64_t tc = 0; tc < t_chunks; ++tc)
+        for (std::int64_t j = t_bounds[static_cast<std::size_t>(tc)];
+             j < t_bounds[static_cast<std::size_t>(tc) + 1]; ++j) {
           for (std::int64_t te = t_indptr[j]; te < t_indptr[j + 1]; ++te) {
             const std::int64_t i = t_indices[te];   // dst of original edge
             const std::int64_t e = edge_map[te];    // original edge id
@@ -214,17 +410,29 @@ Value block_spmm(const Block& block, const Value& x) {
                       x->value.shape(0) == block.num_src(),
                   "block_spmm: X rows != block src count");
   const std::int64_t d = x->value.shape(1);
-  Tensor out = Tensor::zeros({block.num_dst, d});
+  Tensor out = Tensor::empty({block.num_dst, d});
   {
+    // Same edge-balanced chunking and fused-overwrite kernels as
+    // spmm_overwrite: sampled blocks have bounded fanout, but
+    // union-subgraph blocks inherit the graph's skew.
     const float* __restrict__ px = x->value.data();
     float* __restrict__ po = out.data();
-    for (std::int64_t i = 0; i < block.num_dst; ++i) {
-      float* __restrict__ orow = po + i * d;
-      for (std::int64_t e = block.indptr[i]; e < block.indptr[i + 1]; ++e) {
-        const float w = block.values[e];
-        const float* __restrict__ xrow = px + block.indices[e] * d;
-        for (std::int64_t j = 0; j < d; ++j) orow[j] += w * xrow[j];
-      }
+    const auto* __restrict__ indptr = block.indptr.data();
+    const auto* __restrict__ indices = block.indices.data();
+    const auto* __restrict__ values = block.values.data();
+    const std::int64_t e = block.num_edges();
+    const auto bounds =
+        block.num_dst < kParallelRowThreshold
+            ? std::vector<std::int64_t>{0, block.num_dst}
+            : balanced_row_chunks(block.indptr,
+                                  balanced_chunk_count(block.num_dst));
+    const auto chunks = static_cast<std::int64_t>(bounds.size()) - 1;
+#pragma omp parallel for schedule(dynamic, 1) \
+    if (block.num_dst >= kParallelRowThreshold)
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      spmm_rows<true>(indptr, indices, values, px, po, d, e,
+                      bounds[static_cast<std::size_t>(c)],
+                      bounds[static_cast<std::size_t>(c) + 1]);
     }
   }
   const Block* b = &block;
@@ -235,13 +443,41 @@ Value block_spmm(const Block& block, const Value& x) {
         Tensor& xg = x->ensure_grad();
         const float* __restrict__ g = node.grad.data();
         float* __restrict__ dst = xg.data();
-        // Serial scatter (blocks are minibatch-sized).
-        for (std::int64_t i = 0; i < b->num_dst; ++i) {
-          const float* __restrict__ grow = g + i * d;
-          for (std::int64_t e = b->indptr[i]; e < b->indptr[i + 1]; ++e) {
-            float* __restrict__ xrow = dst + b->indices[e] * d;
-            const float w = b->values[e];
-            for (std::int64_t j = 0; j < d; ++j) xrow[j] += w * grow[j];
+        const auto* __restrict__ indptr = b->indptr.data();
+        const auto* __restrict__ indices = b->indices.data();
+        const auto* __restrict__ values = b->values.data();
+        const std::int64_t num_src = b->num_src();
+        // Race-free parallel scatter: blocks carry no transpose, so each
+        // thread walks every edge but only writes the source rows in its
+        // own range. Every thread re-reads all E indices, so the useful
+        // work per thread is ~d row-update lanes — clamp the team to d
+        // threads or the redundant index walk dominates.
+#ifdef _OPENMP
+        const int scatter_threads = static_cast<int>(std::min<std::int64_t>(
+            omp_get_max_threads(), std::max<std::int64_t>(d, 1)));
+#else
+        const int scatter_threads = 1;
+#endif
+#pragma omp parallel num_threads(scatter_threads) \
+    if (b->num_edges() * d >= 1 << 16)
+        {
+          std::int64_t lo = 0, hi = num_src;
+#ifdef _OPENMP
+          const std::int64_t t = omp_get_thread_num();
+          const std::int64_t nt = omp_get_num_threads();
+          lo = num_src * t / nt;
+          hi = num_src * (t + 1) / nt;
+#endif
+          for (std::int64_t i = 0; i < b->num_dst; ++i) {
+            const float* __restrict__ grow = g + i * d;
+            for (std::int64_t e = indptr[i]; e < indptr[i + 1]; ++e) {
+              const std::int64_t s = indices[e];
+              if (s < lo || s >= hi) continue;
+              float* __restrict__ xrow = dst + s * d;
+              const float w = values[e];
+#pragma omp simd
+              for (std::int64_t j = 0; j < d; ++j) xrow[j] += w * grow[j];
+            }
           }
         }
       },

@@ -13,6 +13,22 @@
 
 namespace gsoup::ag {
 
+/// Y += A · X for weighted CSR A, scheduled over pre-computed row ranges
+/// of approximately equal nnz (binary search over indptr) so power-law
+/// degree distributions do not serialise on the hub rows. Common feature
+/// widths (8/16/32/64/128) run width-specialised dual-accumulator kernels.
+/// Used by the spmm backward pass. X is [n, d], Y is [n, d].
+void spmm_accumulate(const Csr& a, const Tensor& x, Tensor& y);
+
+/// Y = A · X, same kernels but fused with the output initialisation (no
+/// separate zero pass, Y written once per row). Forward-pass workhorse;
+/// Y may be uninitialised storage.
+void spmm_overwrite(const Csr& a, const Tensor& x, Tensor& y);
+
+/// Y += A · X, the seed's naive row-parallel loop. Test oracle and bench
+/// baseline for the kernels above.
+void spmm_reference(const Csr& a, const Tensor& x, Tensor& y);
+
 /// Y = A · X where A is a weighted CSR (in-edge convention: row i of A
 /// holds weights of edges (j -> i)). `a_transpose` must be the weighted
 /// transpose of `a`; both must carry values.

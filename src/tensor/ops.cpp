@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <memory>
+#include <new>
 
 namespace gsoup::ops {
 
@@ -13,6 +15,25 @@ namespace {
 // than the kernel for small graph layers.
 constexpr std::int64_t kParallelRowThreshold = 64;
 
+// GEMM problems below this FLOP count (2*m*n*k) run the naive loop: the
+// packed path's panel copies only amortise on cache-resident-or-larger
+// tiles.
+constexpr std::int64_t kBlockedGemmMinFlops = 2ll * 48 * 48 * 48;
+
+// Blocked-GEMM tile geometry. The micro-kernel holds an MR×NR accumulator
+// block in registers (4×16 floats = 8 YMM / 4 ZMM registers, leaving room
+// for the broadcast A value and the B row). KC×NC is the packed B panel:
+// 256×128 floats = 128 KiB, sized to sit in L2 while an MR×KC strip of A
+// streams through L1.
+constexpr std::int64_t kMR = 4;
+constexpr std::int64_t kNR = 16;
+constexpr std::int64_t kKC = 256;
+constexpr std::int64_t kNC = 128;
+
+// Transpose is done in square tiles so both source rows and destination
+// rows stay cache-resident.
+constexpr std::int64_t kTransposeTile = 32;
+
 void check_matmul(const Tensor& a, const Tensor& b, std::int64_t ak,
                   std::int64_t bk) {
   GSOUP_CHECK_MSG(a.rank() == 2 && b.rank() == 2,
@@ -20,6 +41,98 @@ void check_matmul(const Tensor& a, const Tensor& b, std::int64_t ak,
                       << a.shape_str() << " and " << b.shape_str());
   GSOUP_CHECK_MSG(ak == bk, "matmul inner-dimension mismatch: "
                                 << a.shape_str() << " vs " << b.shape_str());
+}
+
+/// 64-byte-aligned scratch (packed GEMM panels). Not tracked by
+/// MemoryTracker: lifetime is a single kernel invocation.
+struct AlignedBuffer {
+  explicit AlignedBuffer(std::int64_t count)
+      : ptr(static_cast<float*>(::operator new(
+            static_cast<std::size_t>(count) * sizeof(float),
+            std::align_val_t(kTensorAlignment)))) {}
+  ~AlignedBuffer() { ::operator delete(ptr, std::align_val_t(kTensorAlignment)); }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  float* ptr;
+};
+
+/// Full MR×NR register tile: C[0:MR, 0:NR] += A[0:MR, 0:kc] · Bp[0:kc, 0:NR]
+/// where Bp rows are `ldb` apart (the packed panel width).
+void micro_kernel_full(std::int64_t kc, const float* __restrict__ a,
+                       std::int64_t lda, const float* __restrict__ bp,
+                       std::int64_t ldb, float* __restrict__ c,
+                       std::int64_t ldc) {
+  float acc[kMR][kNR] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* __restrict__ brow = bp + p * ldb;
+    for (std::int64_t r = 0; r < kMR; ++r) {
+      const float av = a[r * lda + p];
+#pragma omp simd
+      for (std::int64_t j = 0; j < kNR; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (std::int64_t r = 0; r < kMR; ++r) {
+#pragma omp simd
+    for (std::int64_t j = 0; j < kNR; ++j) c[r * ldc + j] += acc[r][j];
+  }
+}
+
+/// Edge tile (mr < MR and/or nr < NR): same contraction with runtime
+/// bounds.
+void micro_kernel_edge(std::int64_t mr, std::int64_t nr, std::int64_t kc,
+                       const float* __restrict__ a, std::int64_t lda,
+                       const float* __restrict__ bp, std::int64_t ldb,
+                       float* __restrict__ c, std::int64_t ldc) {
+  float acc[kMR][kNR] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* __restrict__ brow = bp + p * ldb;
+    for (std::int64_t r = 0; r < mr; ++r) {
+      const float av = a[r * lda + p];
+      for (std::int64_t j = 0; j < nr; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (std::int64_t r = 0; r < mr; ++r)
+    for (std::int64_t j = 0; j < nr; ++j) c[r * ldc + j] += acc[r][j];
+}
+
+/// C += A · B with A [m,k] row-major, B [k,n] row-major, C [m,n] row-major.
+/// Packs B into KC×NC panels and contracts them against MR-row strips of A
+/// with a register-tiled micro-kernel. Threads split the M dimension, so
+/// the packed panel is shared read-only.
+void gemm_blocked_acc(std::int64_t m, std::int64_t n, std::int64_t k,
+                      const float* __restrict__ pa,
+                      const float* __restrict__ pb, float* __restrict__ pc) {
+  AlignedBuffer panel(kKC * kNC);
+  float* __restrict__ bp = panel.ptr;
+  for (std::int64_t jc = 0; jc < n; jc += kNC) {
+    const std::int64_t nc = std::min(kNC, n - jc);
+    for (std::int64_t kk = 0; kk < k; kk += kKC) {
+      const std::int64_t kc = std::min(kKC, k - kk);
+      for (std::int64_t p = 0; p < kc; ++p) {
+        std::memcpy(bp + p * nc, pb + (kk + p) * n + jc,
+                    static_cast<std::size_t>(nc) * sizeof(float));
+      }
+#pragma omp parallel for schedule(static) if (m >= kParallelRowThreshold)
+      for (std::int64_t i0 = 0; i0 < m; i0 += kMR) {
+        const std::int64_t mr = std::min(kMR, m - i0);
+        const float* __restrict__ astrip = pa + i0 * k + kk;
+        float* __restrict__ cstrip = pc + i0 * n + jc;
+        for (std::int64_t j0 = 0; j0 < nc; j0 += kNR) {
+          const std::int64_t nr = std::min(kNR, nc - j0);
+          if (mr == kMR && nr == kNR) {
+            micro_kernel_full(kc, astrip, k, bp + j0, nc, cstrip + j0, n);
+          } else {
+            micro_kernel_edge(mr, nr, kc, astrip, k, bp + j0, nc,
+                              cstrip + j0, n);
+          }
+        }
+      }
+    }
+  }
+}
+
+bool use_blocked_gemm(std::int64_t m, std::int64_t n, std::int64_t k) {
+  return 2 * m * n * k >= kBlockedGemmMinFlops;
 }
 
 }  // namespace
@@ -36,6 +149,18 @@ void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c) {
   GSOUP_CHECK_MSG(c.shape(0) == a.shape(0) && c.shape(1) == b.shape(1),
                   "matmul_acc output shape mismatch");
   const std::int64_t m = a.shape(0), k = a.shape(1), n = b.shape(1);
+  if (use_blocked_gemm(m, n, k)) {
+    gemm_blocked_acc(m, n, k, a.data(), b.data(), c.data());
+    return;
+  }
+  matmul_naive_acc(a, b, c);
+}
+
+void matmul_naive_acc(const Tensor& a, const Tensor& b, Tensor& c) {
+  check_matmul(a, b, a.shape(1), b.shape(0));
+  GSOUP_CHECK_MSG(c.shape(0) == a.shape(0) && c.shape(1) == b.shape(1),
+                  "matmul_naive_acc output shape mismatch");
+  const std::int64_t m = a.shape(0), k = a.shape(1), n = b.shape(1);
   const float* __restrict__ pa = a.data();
   const float* __restrict__ pb = b.data();
   float* __restrict__ pc = c.data();
@@ -47,14 +172,28 @@ void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c) {
     float* __restrict__ crow = pc + i * n;
     for (std::int64_t kk = 0; kk < k; ++kk) {
       const float aval = pa[i * k + kk];
-      if (aval == 0.0f) continue;
       const float* __restrict__ brow = pb + kk * n;
+#pragma omp simd
       for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
     }
   }
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_matmul(a, b, a.shape(0), b.shape(0));
+  const std::int64_t k = a.shape(0), m = a.shape(1), n = b.shape(1);
+  if (use_blocked_gemm(m, n, k)) {
+    // One tiled-transpose pass (O(mk) traffic) buys the packed kernel's
+    // O(mnk) contraction; always worth it above the FLOP threshold.
+    const Tensor at = transpose(a);
+    Tensor c = Tensor::zeros({m, n});
+    gemm_blocked_acc(m, n, k, at.data(), b.data(), c.data());
+    return c;
+  }
+  return matmul_tn_naive(a, b);
+}
+
+Tensor matmul_tn_naive(const Tensor& a, const Tensor& b) {
   check_matmul(a, b, a.shape(0), b.shape(0));
   const std::int64_t k = a.shape(0), m = a.shape(1), n = b.shape(1);
   Tensor c = Tensor::zeros({m, n});
@@ -68,15 +207,26 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
     float* __restrict__ crow = pc + i * n;
     for (std::int64_t kk = 0; kk < k; ++kk) {
       const float aval = pa[kk * m + i];
-      if (aval == 0.0f) continue;
-      const float* __restrict__ brow = pb + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+#pragma omp simd
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * pb[kk * n + j];
     }
   }
   return c;
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_matmul(a, b, a.shape(1), b.shape(1));
+  const std::int64_t m = a.shape(0), k = a.shape(1), n = b.shape(0);
+  if (use_blocked_gemm(m, n, k)) {
+    const Tensor bt = transpose(b);
+    Tensor c = Tensor::zeros({m, n});
+    gemm_blocked_acc(m, n, k, a.data(), bt.data(), c.data());
+    return c;
+  }
+  return matmul_nt_naive(a, b);
+}
+
+Tensor matmul_nt_naive(const Tensor& a, const Tensor& b) {
   check_matmul(a, b, a.shape(1), b.shape(1));
   const std::int64_t m = a.shape(0), k = a.shape(1), n = b.shape(0);
   Tensor c = Tensor::empty({m, n});
@@ -90,6 +240,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
     for (std::int64_t j = 0; j < n; ++j) {
       const float* __restrict__ brow = pb + j * k;
       float acc = 0.0f;
+#pragma omp simd reduction(+ : acc)
       for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
       crow[j] = acc;
     }
@@ -103,8 +254,18 @@ Tensor transpose(const Tensor& a) {
   Tensor t = Tensor::empty({n, m});
   const float* __restrict__ pa = a.data();
   float* __restrict__ pt = t.data();
-  for (std::int64_t i = 0; i < m; ++i)
-    for (std::int64_t j = 0; j < n; ++j) pt[j * m + i] = pa[i * n + j];
+  // Square tiles keep both the read rows and the (strided) write rows
+  // cache-resident; parallel over tile rows.
+#pragma omp parallel for schedule(static) \
+    if (m >= kParallelRowThreshold && m * n >= kParallelNumelThreshold)
+  for (std::int64_t i0 = 0; i0 < m; i0 += kTransposeTile) {
+    const std::int64_t ilim = std::min(m, i0 + kTransposeTile);
+    for (std::int64_t j0 = 0; j0 < n; j0 += kTransposeTile) {
+      const std::int64_t jlim = std::min(n, j0 + kTransposeTile);
+      for (std::int64_t i = i0; i < ilim; ++i)
+        for (std::int64_t j = j0; j < jlim; ++j) pt[j * m + i] = pa[i * n + j];
+    }
+  }
   return t;
 }
 
@@ -127,6 +288,7 @@ Tensor add_row_broadcast(const Tensor& a, const Tensor& bias) {
   float* __restrict__ pc = c.data();
 #pragma omp parallel for schedule(static) if (m >= kParallelRowThreshold)
   for (std::int64_t i = 0; i < m; ++i) {
+#pragma omp simd
     for (std::int64_t j = 0; j < n; ++j)
       pc[i * n + j] = pa[i * n + j] + pbias[j];
   }
@@ -140,6 +302,8 @@ Tensor mul(const Tensor& a, const Tensor& b) {
   const float* __restrict__ pb = b.data();
   float* __restrict__ pc = c.data();
   const std::int64_t n = a.numel();
+#pragma omp parallel for simd schedule(static) \
+    if (n >= kParallelNumelThreshold)
   for (std::int64_t i = 0; i < n; ++i) pc[i] = pa[i] * pb[i];
   return c;
 }
@@ -155,6 +319,8 @@ Tensor relu(const Tensor& a) {
   const float* __restrict__ pa = a.data();
   float* __restrict__ pc = c.data();
   const std::int64_t n = a.numel();
+#pragma omp parallel for simd schedule(static) \
+    if (n >= kParallelNumelThreshold)
   for (std::int64_t i = 0; i < n; ++i) pc[i] = pa[i] > 0.0f ? pa[i] : 0.0f;
   return c;
 }
@@ -164,6 +330,7 @@ Tensor elu(const Tensor& a) {
   const float* __restrict__ pa = a.data();
   float* __restrict__ pc = c.data();
   const std::int64_t n = a.numel();
+#pragma omp parallel for schedule(static) if (n >= kParallelNumelThreshold)
   for (std::int64_t i = 0; i < n; ++i)
     pc[i] = pa[i] > 0.0f ? pa[i] : std::expm1(pa[i]);
   return c;
@@ -174,30 +341,86 @@ Tensor leaky_relu(const Tensor& a, float slope) {
   const float* __restrict__ pa = a.data();
   float* __restrict__ pc = c.data();
   const std::int64_t n = a.numel();
+#pragma omp parallel for simd schedule(static) \
+    if (n >= kParallelNumelThreshold)
   for (std::int64_t i = 0; i < n; ++i)
     pc[i] = pa[i] > 0.0f ? pa[i] : slope * pa[i];
   return c;
 }
 
+namespace {
+
+// Chunk width for the compensated reductions. Fixed chunk boundaries make
+// the result independent of the thread count.
+constexpr std::int64_t kReductionChunk = 1 << 12;
+
+/// Kahan-combine pre-computed per-chunk partials (serial, deterministic).
+double kahan_combine(const std::vector<double>& partials) {
+  double s = 0.0, comp = 0.0;
+  for (const double p : partials) {
+    const double y = p - comp;
+    const double t = s + y;
+    comp = (t - s) - y;
+    s = t;
+  }
+  return s;
+}
+
+}  // namespace
+
 float sum(const Tensor& a) {
-  // Kahan summation: benchmark datasets reach millions of elements and the
-  // tests compare against double-precision references.
-  double acc = 0.0;
-  const float* pa = a.data();
+  // Chunked compensated reduction: each fixed 4096-element chunk is summed
+  // in double (vectorized, parallel), then chunk partials combine serially
+  // with Kahan compensation — deterministic for any thread count.
+  const float* __restrict__ pa = a.data();
   const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) acc += pa[i];
-  return static_cast<float>(acc);
+  const std::int64_t nchunks = (n + kReductionChunk - 1) / kReductionChunk;
+  if (nchunks <= 1) {
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (std::int64_t i = 0; i < n; ++i) acc += pa[i];
+    return static_cast<float>(acc);
+  }
+  std::vector<double> partials(static_cast<std::size_t>(nchunks));
+#pragma omp parallel for schedule(static) if (n >= kParallelNumelThreshold)
+  for (std::int64_t c = 0; c < nchunks; ++c) {
+    const std::int64_t lo = c * kReductionChunk;
+    const std::int64_t hi = std::min(n, lo + kReductionChunk);
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (std::int64_t i = lo; i < hi; ++i) acc += pa[i];
+    partials[static_cast<std::size_t>(c)] = acc;
+  }
+  return static_cast<float>(kahan_combine(partials));
 }
 
 float dot(const Tensor& a, const Tensor& b) {
   GSOUP_CHECK_MSG(a.numel() == b.numel(), "dot numel mismatch");
-  double acc = 0.0;
-  const float* pa = a.data();
-  const float* pb = b.data();
+  // Same chunked compensated scheme as sum(): double accumulation within
+  // fixed chunks, Kahan across chunk partials.
+  const float* __restrict__ pa = a.data();
+  const float* __restrict__ pb = b.data();
   const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i)
-    acc += static_cast<double>(pa[i]) * pb[i];
-  return static_cast<float>(acc);
+  const std::int64_t nchunks = (n + kReductionChunk - 1) / kReductionChunk;
+  if (nchunks <= 1) {
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (std::int64_t i = 0; i < n; ++i)
+      acc += static_cast<double>(pa[i]) * pb[i];
+    return static_cast<float>(acc);
+  }
+  std::vector<double> partials(static_cast<std::size_t>(nchunks));
+#pragma omp parallel for schedule(static) if (n >= kParallelNumelThreshold)
+  for (std::int64_t c = 0; c < nchunks; ++c) {
+    const std::int64_t lo = c * kReductionChunk;
+    const std::int64_t hi = std::min(n, lo + kReductionChunk);
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (std::int64_t i = lo; i < hi; ++i)
+      acc += static_cast<double>(pa[i]) * pb[i];
+    partials[static_cast<std::size_t>(c)] = acc;
+  }
+  return static_cast<float>(kahan_combine(partials));
 }
 
 Tensor row_softmax(const Tensor& a) {
@@ -218,6 +441,7 @@ Tensor row_softmax(const Tensor& a) {
       denom += out[j];
     }
     const float inv = 1.0f / denom;
+#pragma omp simd
     for (std::int64_t j = 0; j < n; ++j) out[j] *= inv;
   }
   return c;
@@ -238,6 +462,7 @@ Tensor row_log_softmax(const Tensor& a) {
     float denom = 0.0f;
     for (std::int64_t j = 0; j < n; ++j) denom += std::exp(row[j] - mx);
     const float log_denom = std::log(denom) + mx;
+#pragma omp simd
     for (std::int64_t j = 0; j < n; ++j) out[j] = row[j] - log_denom;
   }
   return c;

@@ -23,6 +23,18 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b);
 /// In-place accumulate: c += A · B.
 void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c);
 
+// ---- Naive GEMM references ----------------------------------------------
+// The simple row-parallel loops the packed/blocked kernels above fall back
+// to below the blocking threshold. Exposed so tests can use them as the
+// correctness oracle and the bench harness as the speedup baseline.
+
+/// c += A · B, naive i-k-j loop.
+void matmul_naive_acc(const Tensor& a, const Tensor& b, Tensor& c);
+/// C = Aᵀ · B, naive loop.
+Tensor matmul_tn_naive(const Tensor& a, const Tensor& b);
+/// C = A · Bᵀ, naive dot-product loop.
+Tensor matmul_nt_naive(const Tensor& a, const Tensor& b);
+
 /// Explicit transpose copy of a rank-2 tensor.
 Tensor transpose(const Tensor& a);
 

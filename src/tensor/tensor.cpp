@@ -9,20 +9,16 @@
 
 namespace gsoup {
 
-namespace {
-constexpr std::size_t kAlignment = 64;  // cache line, AVX-512 friendly
-}
-
 Tensor::TrackedStorage::TrackedStorage(std::size_t nbytes) : bytes(nbytes) {
   if (bytes == 0) return;
   ptr = static_cast<float*>(
-      ::operator new(bytes, std::align_val_t(kAlignment)));
+      ::operator new(bytes, std::align_val_t(kTensorAlignment)));
   MemoryTracker::record_alloc(bytes);
 }
 
 Tensor::TrackedStorage::~TrackedStorage() {
   if (ptr != nullptr) {
-    ::operator delete(ptr, std::align_val_t(kAlignment));
+    ::operator delete(ptr, std::align_val_t(kTensorAlignment));
     MemoryTracker::record_free(bytes);
   }
 }
@@ -168,13 +164,17 @@ Tensor& Tensor::add_(const Tensor& other, float alpha) {
                                                 << other.shape_str());
   float* __restrict__ dst = data();
   const float* __restrict__ src = other.data();
-  for (std::int64_t i = 0; i < numel_; ++i) dst[i] += alpha * src[i];
+  const std::int64_t n = numel_;
+#pragma omp parallel for simd schedule(static) if (n >= kParallelNumelThreshold)
+  for (std::int64_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
   return *this;
 }
 
 Tensor& Tensor::mul_(float scalar) {
   float* __restrict__ dst = data();
-  for (std::int64_t i = 0; i < numel_; ++i) dst[i] *= scalar;
+  const std::int64_t n = numel_;
+#pragma omp parallel for simd schedule(static) if (n >= kParallelNumelThreshold)
+  for (std::int64_t i = 0; i < n; ++i) dst[i] *= scalar;
   return *this;
 }
 

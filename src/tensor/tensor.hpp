@@ -22,6 +22,15 @@ namespace gsoup {
 /// exclusively rank-1/rank-2; higher ranks are supported but unoptimised.
 using Shape = std::vector<std::int64_t>;
 
+/// Tensor storage alignment in bytes: one cache line, wide enough for
+/// aligned AVX-512 loads. Kernels may rely on data() being aligned to this.
+inline constexpr std::size_t kTensorAlignment = 64;
+
+/// Flat element count below which elementwise kernels (in tensor.cpp and
+/// tensor/ops.cpp) stay serial: spawning an OpenMP team costs more than
+/// the loop.
+inline constexpr std::int64_t kParallelNumelThreshold = 1 << 15;
+
 class Tensor {
  public:
   /// Default-constructed tensor is "undefined" (no storage, rank 0).

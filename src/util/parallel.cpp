@@ -1,0 +1,46 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "util/check.hpp"
+
+namespace gsoup {
+
+std::vector<std::int64_t> balanced_row_chunks(
+    std::span<const std::int64_t> indptr, std::int64_t num_chunks) {
+  const auto n = static_cast<std::int64_t>(indptr.size()) - 1;
+  if (n <= 0) return {0, 0};
+  num_chunks = std::clamp<std::int64_t>(num_chunks, 1, n);
+  std::vector<std::int64_t> bounds(static_cast<std::size_t>(num_chunks) + 1);
+  bounds.front() = 0;
+  bounds.back() = n;
+  const std::int64_t base = indptr[0];
+  const std::int64_t total = indptr[static_cast<std::size_t>(n)] - base;
+  for (std::int64_t c = 1; c < num_chunks; ++c) {
+    // First row whose cumulative nnz reaches the c-th equal share.
+    const std::int64_t target = base + (total * c) / num_chunks;
+    const auto it = std::lower_bound(indptr.begin(), indptr.end(), target);
+    auto b = static_cast<std::int64_t>(it - indptr.begin());
+    // Keep boundaries monotone even on pathological indptr (all-empty
+    // rows, duplicate prefix values).
+    bounds[static_cast<std::size_t>(c)] =
+        std::clamp(b, bounds[static_cast<std::size_t>(c) - 1], n);
+  }
+  return bounds;
+}
+
+std::int64_t balanced_chunk_count(std::int64_t rows) {
+  if (rows <= 0) return 1;
+#ifdef _OPENMP
+  const std::int64_t threads = omp_get_max_threads();
+#else
+  const std::int64_t threads = 1;
+#endif
+  return std::min<std::int64_t>(rows, 8 * threads);
+}
+
+}  // namespace gsoup

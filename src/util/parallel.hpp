@@ -1,0 +1,30 @@
+// Load-balanced work partitioning for sparse kernels.
+//
+// Row-parallel loops over CSR structures are only balanced when every row
+// has similar degree; real graphs are power-law, so a static row split
+// leaves one thread holding the hub nodes. These helpers pre-compute
+// contiguous row ranges of approximately equal nnz by binary search over
+// the indptr prefix sums — O(chunks · log n) once per kernel launch,
+// instead of per-row `schedule(dynamic)` bookkeeping on every iteration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gsoup {
+
+/// Split the rows [0, n) of a CSR (n = indptr.size() - 1) into at most
+/// `num_chunks` contiguous ranges of approximately equal nnz. Returns
+/// boundaries b of size chunks+1 with b[0] = 0 and b[chunks] = n; chunk c
+/// covers rows [b[c], b[c+1]). Ranges are ordered and may be empty (a
+/// single hub row heavier than the target lands alone in its chunk).
+std::vector<std::int64_t> balanced_row_chunks(
+    std::span<const std::int64_t> indptr, std::int64_t num_chunks);
+
+/// Chunk count for edge-balanced parallel loops: several chunks per
+/// available thread so dynamic scheduling can absorb residual skew,
+/// capped at the row count.
+std::int64_t balanced_chunk_count(std::int64_t rows);
+
+}  // namespace gsoup
