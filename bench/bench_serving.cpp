@@ -1,0 +1,286 @@
+// Serving-path benchmarks with a machine-readable artifact.
+//
+// Measures the inference subsystem the way it is deployed: full-graph
+// forward throughput, single-node query latency, batched (64-way) query
+// throughput and the batching speedup, and the end-to-end batch server
+// under concurrent clients. Writes BENCH_serving.json (schema
+// gsoup-bench-serving/v1, see README.md); the committed artifact is the
+// serving baseline later scaling PRs are compared against with
+// tools/bench_compare.
+//
+// Weights are Glorot-random: accuracy is irrelevant to throughput, and
+// skipping ingredient training keeps the bench deterministic and fast.
+//
+// Usage: bench_serving [--smoke] [--out PATH]
+//   --smoke   tiny graph + few requests (CI artifact)
+//   --out     artifact path (default BENCH_serving.json in the CWD)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "graph/generator.hpp"
+#include "nn/model.hpp"
+#include "serve/engine.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+#include "serve/snapshot.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace gsoup;
+
+struct BenchConfig {
+  bool smoke = false;
+  std::string out = "BENCH_serving.json";
+  std::int64_t single_probes = 512;
+  std::int64_t batch_rounds = 64;
+  std::int64_t server_requests = 4096;
+  double min_seconds = 0.2;
+};
+
+struct Record {
+  std::string bench;    ///< "full_forward" | "engine_query" | "server"
+  std::string arch;
+  std::string shape;    ///< "n=...,nnz=..."
+  std::int64_t batch = 0;
+  std::int64_t workers = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double batching_speedup = 0.0;
+};
+
+
+ModelConfig bench_model_config(Arch arch, const Dataset& data) {
+  ModelConfig cfg;
+  cfg.arch = arch;
+  cfg.in_dim = data.feature_dim();
+  cfg.out_dim = data.num_classes;
+  cfg.num_layers = 2;
+  cfg.hidden_dim = arch == Arch::kGat ? 16 : 64;
+  cfg.heads = 4;
+  return cfg;
+}
+
+void bench_arch(const BenchConfig& cfg, Arch arch, const Dataset& data,
+                std::vector<Record>& records) {
+  const ModelConfig mcfg = bench_model_config(arch, data);
+  const GnnModel model(mcfg);
+  Rng rng(41);
+  const ParamStore params = model.init_params(rng);
+  auto ctx = std::make_shared<const GraphContext>(data.graph, arch);
+  const std::string shape = "n=" + std::to_string(data.num_nodes()) +
+                            ",nnz=" + std::to_string(data.num_edges());
+
+  serve::InferenceEngine engine(mcfg, params, ctx, data.features);
+  Tensor out1 = Tensor::empty({1, mcfg.out_dim});
+  Tensor out64 = Tensor::empty({64, mcfg.out_dim});
+
+  // ---- Full-graph forward throughput (nodes classified per second). ----
+  {
+    engine.full_logits();  // warm-up
+    Timer t;
+    std::int64_t iters = 0;
+    while (iters < 3 || t.seconds() < cfg.min_seconds) {
+      engine.invalidate();
+      engine.full_logits();
+      ++iters;
+    }
+    const double per_pass = t.seconds() / static_cast<double>(iters);
+    Record r{"full_forward", arch_name(arch), shape};
+    r.batch = data.num_nodes();
+    r.qps = static_cast<double>(data.num_nodes()) / per_pass;
+    r.p50_ms = r.p99_ms = per_pass * 1e3;
+    records.push_back(r);
+    std::printf("%-6s full_forward    %9.0f nodes/s (%.2f ms/pass)\n",
+                arch_name(arch), r.qps, per_pass * 1e3);
+  }
+
+  // ---- Single-node queries (exact subgraph path). ----------------------
+  double single_qps = 0.0;
+  {
+    Rng node_rng(7);
+    std::int64_t id =
+        static_cast<std::int64_t>(node_rng.uniform_int(data.num_nodes()));
+    engine.query(std::span<const std::int64_t>(&id, 1), out1);  // warm-up
+    std::vector<double> lat_ms;
+    lat_ms.reserve(static_cast<std::size_t>(cfg.single_probes));
+    Timer wall;
+    for (std::int64_t i = 0; i < cfg.single_probes; ++i) {
+      id = static_cast<std::int64_t>(node_rng.uniform_int(data.num_nodes()));
+      Timer t;
+      engine.query(std::span<const std::int64_t>(&id, 1), out1);
+      lat_ms.push_back(t.milliseconds());
+    }
+    single_qps = static_cast<double>(cfg.single_probes) / wall.seconds();
+    std::sort(lat_ms.begin(), lat_ms.end());
+    Record r{"engine_query", arch_name(arch), shape};
+    r.batch = 1;
+    r.qps = single_qps;
+    r.p50_ms = percentile_sorted(lat_ms, 0.50);
+    r.p99_ms = percentile_sorted(lat_ms, 0.99);
+    records.push_back(r);
+    std::printf("%-6s query batch=1   %9.0f QPS (p50 %.3f ms, p99 %.3f ms)\n",
+                arch_name(arch), r.qps, r.p50_ms, r.p99_ms);
+  }
+
+  // ---- 64-way batched queries: the amortisation the server exploits. ---
+  {
+    Rng node_rng(11);
+    std::vector<std::int64_t> nodes(64);
+    for (auto& n : nodes) {
+      n = static_cast<std::int64_t>(node_rng.uniform_int(data.num_nodes()));
+    }
+    engine.query(nodes, out64);  // warm-up
+    std::vector<double> lat_ms;
+    Timer wall;
+    std::int64_t rounds = 0;
+    while (rounds < cfg.batch_rounds || wall.seconds() < cfg.min_seconds) {
+      for (auto& n : nodes) {
+        n = static_cast<std::int64_t>(
+            node_rng.uniform_int(data.num_nodes()));
+      }
+      Timer t;
+      engine.query(nodes, out64);
+      lat_ms.push_back(t.milliseconds());
+      ++rounds;
+    }
+    const double qps =
+        static_cast<double>(64 * rounds) / wall.seconds();
+    std::sort(lat_ms.begin(), lat_ms.end());
+    Record r{"engine_query", arch_name(arch), shape};
+    r.batch = 64;
+    r.qps = qps;
+    r.p50_ms = percentile_sorted(lat_ms, 0.50);
+    r.p99_ms = percentile_sorted(lat_ms, 0.99);
+    r.batching_speedup = single_qps > 0.0 ? qps / single_qps : 0.0;
+    records.push_back(r);
+    std::printf(
+        "%-6s query batch=64  %9.0f QPS (p50 %.3f ms, %.2fx vs batch=1)\n",
+        arch_name(arch), r.qps, r.p50_ms, r.batching_speedup);
+  }
+
+  // ---- End-to-end batch server under concurrent clients. ---------------
+  {
+    const serve::Snapshot snap =
+        serve::make_snapshot(mcfg, params, data, "bench-random");
+    serve::ServerConfig scfg;
+    scfg.workers = 2;
+    scfg.max_batch = 64;
+    scfg.max_delay_ms = 2.0;
+    serve::BatchServer server(snap, ctx, data.features, scfg);
+
+    constexpr std::int64_t kClients = 4;
+    const double seconds = serve::drive_clients(
+        server, cfg.server_requests, kClients, data.num_nodes());
+    const serve::ServerStats stats = server.stats();
+    Record r{"server", arch_name(arch), shape};
+    r.batch = scfg.max_batch;
+    r.workers = static_cast<std::int64_t>(scfg.workers);
+    r.qps = static_cast<double>(stats.queries) / seconds;
+    r.p50_ms = stats.p50_latency_ms;
+    r.p99_ms = stats.p99_latency_ms;
+    records.push_back(r);
+    std::printf(
+        "%-6s server w=2 b=64 %9.0f QPS (p50 %.3f ms, p99 %.3f ms, mean "
+        "batch %.1f)\n",
+        arch_name(arch), r.qps, r.p50_ms, r.p99_ms, stats.mean_batch);
+  }
+}
+
+bool write_json(const std::string& path, const std::string& mode,
+                const std::vector<Record>& records) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_serving: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  int threads = 1;
+#ifdef _OPENMP
+  threads = omp_get_max_threads();
+#endif
+  out << "{\n";
+  out << "  \"schema\": \"gsoup-bench-serving/v1\",\n";
+  out << "  \"mode\": \"" << mode << "\",\n";
+  out << "  \"threads\": " << threads << ",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"bench\": \"%s\", \"arch\": \"%s\", \"shape\": \"%s\", "
+        "\"batch\": %lld, \"workers\": %lld, \"qps\": %.3f, "
+        "\"p50_ms\": %.6f, \"p99_ms\": %.6f, \"batching_speedup\": %.3f}",
+        r.bench.c_str(), r.arch.c_str(), r.shape.c_str(),
+        static_cast<long long>(r.batch), static_cast<long long>(r.workers),
+        r.qps, r.p50_ms, r.p99_ms, r.batching_speedup);
+    out << buf << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      cfg.smoke = true;
+      cfg.single_probes = 64;
+      cfg.batch_rounds = 8;
+      cfg.server_requests = 512;
+      cfg.min_seconds = 0.0;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      cfg.out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Arxiv-like power-law graph: the regime where batched L-hop expansion
+  // pays (hub-heavy neighbourhoods overlap across queries).
+  SyntheticSpec spec = arxiv_like_spec(cfg.smoke ? 0.1 : 0.5);
+  const Dataset data = generate_dataset(spec);
+  std::printf("serving bench on %s\n", dataset_summary(data).c_str());
+
+  std::vector<Record> records;
+  for (const Arch arch : {Arch::kGcn, Arch::kSage, Arch::kGat}) {
+    bench_arch(cfg, arch, data, records);
+  }
+  if (!write_json(cfg.out, cfg.smoke ? "smoke" : "full", records)) return 1;
+  std::printf("wrote %s\n", cfg.out.c_str());
+
+  // The batching acceptance bar: 64-way batching must at least double
+  // single-query throughput on every architecture. Enforced only for the
+  // full-size run — smoke mode's graph is too small (and its timings too
+  // short) for the ratio to be stable on noisy CI runners.
+  if (!cfg.smoke) {
+    for (const auto& r : records) {
+      if (r.bench == "engine_query" && r.batch == 64 &&
+          r.batching_speedup < 2.0) {
+        std::fprintf(stderr,
+                     "bench_serving: %s batching speedup %.2fx < 2x\n",
+                     r.arch.c_str(), r.batching_speedup);
+        return 1;
+      }
+    }
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <thread>
 
 #include "core/gis.hpp"
 #include "core/learned.hpp"
@@ -27,6 +28,12 @@ Scale Scale::from_env() {
   s.pls_epochs = env_int("GSOUP_PLS_EPOCHS", 60);
   s.pls_parts = env_int("GSOUP_PLS_PARTS", 32);
   s.pls_budget = env_int("GSOUP_PLS_BUDGET", 8);
+  // Default W to the hardware: every core trains an independent ingredient
+  // (zero communication), so oversubscribing buys nothing and
+  // undersubscribing leaves the paper's (N/W) speedup on the table.
+  const auto hw = static_cast<std::int64_t>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  s.workers = std::max<std::int64_t>(1, env_int("GSOUP_WORKERS", hw));
   s.cache_dir = io::default_cache_dir();
   return s;
 }
@@ -130,7 +137,7 @@ std::vector<Ingredient> get_ingredients(const GnnModel& model,
                  << tag.str();
   FarmConfig farm;
   farm.num_ingredients = scale.ingredients;
-  farm.num_workers = 2;
+  farm.num_workers = std::min(scale.workers, scale.ingredients);
   farm.train = ingredient_train_config(scale, model.config().arch);
   farm.init_seed = 42;
   FarmResult result = train_ingredients(model, ctx, data, farm);

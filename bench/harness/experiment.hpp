@@ -15,6 +15,8 @@
 //   GSOUP_GIS_GRANULARITY   GIS ratio-grid size            (default 50)
 //   GSOUP_LS_EPOCHS         LS epochs                      (default 60)
 //   GSOUP_PLS_EPOCHS        PLS epochs                     (default 80)
+//   GSOUP_WORKERS           ingredient-farm worker threads (default:
+//                           hardware concurrency, capped by ingredients)
 //   GSOUP_CACHE_DIR         ingredient/result cache        (.gsoup-cache)
 #pragma once
 
@@ -40,6 +42,9 @@ struct Scale {
   std::int64_t pls_epochs = 80;
   std::int64_t pls_parts = 32;   ///< K
   std::int64_t pls_budget = 8;   ///< R
+  /// Ingredient-farm workers W: Phase 1 drains the N training jobs with W
+  /// threads, realising the paper's T_total ≈ (N/W) · T_single (Eq. 1).
+  std::int64_t workers = 2;
   std::string cache_dir;
 
   static Scale from_env();

@@ -148,17 +148,21 @@ void spmm_rows(const std::int64_t* __restrict__ indptr,
 }
 
 /// Shared driver: edge-balanced chunks over rows, then the width-dispatched
-/// body per chunk.
+/// body per chunk. Spans rather than a Csr so bipartite block-local
+/// structures (serving engine, minibatch blocks) run the same code path.
 template <bool Overwrite>
-void spmm_dispatch(const Csr& a, const Tensor& x, Tensor& y) {
-  const std::int64_t n = a.num_nodes;
+void spmm_dispatch(std::span<const std::int64_t> sp_indptr,
+                   std::span<const std::int32_t> sp_indices,
+                   std::span<const float> sp_values, const Tensor& x,
+                   Tensor& y) {
+  const auto n = static_cast<std::int64_t>(sp_indptr.size()) - 1;
   const std::int64_t d = x.shape(1);
   const float* __restrict__ px = x.data();
   float* __restrict__ py = y.data();
-  const auto* __restrict__ indptr = a.indptr.data();
-  const auto* __restrict__ indices = a.indices.data();
-  const auto* __restrict__ values = a.values.data();
-  const std::int64_t e = a.num_edges();
+  const auto* __restrict__ indptr = sp_indptr.data();
+  const auto* __restrict__ indices = sp_indices.data();
+  const auto* __restrict__ values = sp_values.data();
+  const auto e = static_cast<std::int64_t>(sp_indices.size());
   if (n < kParallelRowThreshold) {
     spmm_rows<Overwrite>(indptr, indices, values, px, py, d, e, 0, n);
     return;
@@ -166,7 +170,7 @@ void spmm_dispatch(const Csr& a, const Tensor& x, Tensor& y) {
   // Edge-balanced schedule: contiguous row ranges of ~equal nnz, a few per
   // thread, so hub rows of power-law graphs spread across the team without
   // per-row dynamic-scheduling overhead.
-  const auto bounds = balanced_row_chunks(a.indptr, balanced_chunk_count(n));
+  const auto bounds = balanced_row_chunks(sp_indptr, balanced_chunk_count(n));
   const auto chunks = static_cast<std::int64_t>(bounds.size()) - 1;
 #pragma omp parallel for schedule(dynamic, 1)
   for (std::int64_t c = 0; c < chunks; ++c) {
@@ -200,11 +204,23 @@ void spmm_reference(const Csr& a, const Tensor& x, Tensor& y) {
 }
 
 void spmm_accumulate(const Csr& a, const Tensor& x, Tensor& y) {
-  spmm_dispatch<false>(a, x, y);
+  spmm_dispatch<false>(a.indptr, a.indices, a.values, x, y);
 }
 
 void spmm_overwrite(const Csr& a, const Tensor& x, Tensor& y) {
-  spmm_dispatch<true>(a, x, y);
+  spmm_dispatch<true>(a.indptr, a.indices, a.values, x, y);
+}
+
+void spmm_spans_overwrite(std::span<const std::int64_t> indptr,
+                          std::span<const std::int32_t> indices,
+                          std::span<const float> values, const Tensor& x,
+                          Tensor& y) {
+  GSOUP_CHECK_MSG(!indptr.empty() && values.size() == indices.size(),
+                  "spmm_spans_overwrite: malformed CSR spans");
+  GSOUP_CHECK_MSG(y.shape(0) + 1 == static_cast<std::int64_t>(indptr.size()) &&
+                      y.shape(1) == x.shape(1),
+                  "spmm_spans_overwrite: bad output shape " << y.shape_str());
+  spmm_dispatch<true>(indptr, indices, values, x, y);
 }
 
 Value spmm(const Csr& a, const Csr& a_transpose, const Value& x) {
@@ -226,44 +242,44 @@ Value spmm(const Csr& a, const Csr& a_transpose, const Value& x) {
       "spmm");
 }
 
-Value gat_attention(const Csr& graph, const CsrTranspose& graph_t,
-                    const Value& h, const Value& score_dst,
-                    const Value& score_src, std::int64_t heads, float slope) {
-  const std::int64_t n = graph.num_nodes;
-  const std::int64_t e_count = graph.num_edges();
-  GSOUP_CHECK_MSG(h->value.rank() == 2 && h->value.shape(0) == n &&
-                      h->value.shape(1) % heads == 0,
-                  "gat_attention: bad H shape " << h->value.shape_str());
-  GSOUP_CHECK_MSG(score_dst->value.shape(0) == n &&
-                      score_dst->value.shape(1) == heads &&
-                      score_src->value.shape(0) == n &&
-                      score_src->value.shape(1) == heads,
-                  "gat_attention: bad score shapes");
-  const std::int64_t d = h->value.shape(1) / heads;
+void gat_attention_forward(std::span<const std::int64_t> sp_indptr,
+                           std::span<const std::int32_t> sp_indices,
+                           const Tensor& h_src, const Tensor& score_dst,
+                           const Tensor& score_src, std::int64_t heads,
+                           float slope, Tensor& alpha, Tensor& out) {
+  const auto n = static_cast<std::int64_t>(sp_indptr.size()) - 1;
+  const auto e_count = static_cast<std::int64_t>(sp_indices.size());
+  GSOUP_CHECK_MSG(h_src.rank() == 2 && h_src.shape(1) % heads == 0,
+                  "gat_attention_forward: bad H shape " << h_src.shape_str());
+  const std::int64_t d = h_src.shape(1) / heads;
+  GSOUP_CHECK_MSG(score_dst.shape(0) == n && score_dst.shape(1) == heads &&
+                      score_src.shape(0) == h_src.shape(0) &&
+                      score_src.shape(1) == heads,
+                  "gat_attention_forward: bad score shapes");
+  GSOUP_CHECK_MSG(alpha.shape(0) == e_count && alpha.shape(1) == heads,
+                  "gat_attention_forward: bad alpha workspace shape");
+  GSOUP_CHECK_MSG(out.shape(0) == n && out.shape(1) == heads * d,
+                  "gat_attention_forward: bad output shape");
 
-  // ---- Forward: per-(dst, head) edge softmax, then weighted aggregate. ---
-  Tensor alpha = Tensor::empty({e_count, heads});
-  Tensor out = Tensor::zeros({n, heads * d});
-  {
-    const float* __restrict__ sl = score_dst->value.data();
-    const float* __restrict__ sr = score_src->value.data();
-    const float* __restrict__ ph = h->value.data();
-    float* __restrict__ pa = alpha.data();
-    float* __restrict__ po = out.data();
-    const auto* __restrict__ indptr = graph.indptr.data();
-    const auto* __restrict__ indices = graph.indices.data();
-    // Edge-balanced chunks: attention work per row is proportional to
-    // degree, so equal-nnz ranges keep the team busy on power-law graphs.
-    // Below the parallel threshold the loop is serial, so skip the
-    // binary-search pass and use a single chunk.
-    const auto bounds =
-        n < kParallelRowThreshold
-            ? std::vector<std::int64_t>{0, n}
-            : balanced_row_chunks(graph.indptr, balanced_chunk_count(n));
-    const auto chunks = static_cast<std::int64_t>(bounds.size()) - 1;
+  const float* __restrict__ sl = score_dst.data();
+  const float* __restrict__ sr = score_src.data();
+  const float* __restrict__ ph = h_src.data();
+  float* __restrict__ pa = alpha.data();
+  float* __restrict__ po = out.data();
+  const auto* __restrict__ indptr = sp_indptr.data();
+  const auto* __restrict__ indices = sp_indices.data();
+  // Edge-balanced chunks: attention work per row is proportional to
+  // degree, so equal-nnz ranges keep the team busy on power-law graphs.
+  // Below the parallel threshold the loop is serial, so skip the
+  // binary-search pass and use a single chunk.
+  const auto bounds =
+      n < kParallelRowThreshold
+          ? std::vector<std::int64_t>{0, n}
+          : balanced_row_chunks(sp_indptr, balanced_chunk_count(n));
+  const auto chunks = static_cast<std::int64_t>(bounds.size()) - 1;
 #pragma omp parallel for schedule(dynamic, 1) \
     if (n >= kParallelRowThreshold)
-    for (std::int64_t c = 0; c < chunks; ++c)
+  for (std::int64_t c = 0; c < chunks; ++c)
     for (std::int64_t i = bounds[static_cast<std::size_t>(c)];
          i < bounds[static_cast<std::size_t>(c) + 1]; ++i) {
       const std::int64_t begin = indptr[i], end = indptr[i + 1];
@@ -289,6 +305,7 @@ Value gat_attention(const Csr& graph, const CsrTranspose& graph_t,
         }
         // Aggregate: out[i, head*d:] = sum_e alpha_e * H[src_e, head*d:].
         float* __restrict__ orow = po + i * heads * d + head * d;
+        for (std::int64_t j = 0; j < d; ++j) orow[j] = 0.0f;
         for (std::int64_t e = begin; e < end; ++e) {
           const float a = pa[e * heads + head];
           const float* __restrict__ hrow =
@@ -297,7 +314,30 @@ Value gat_attention(const Csr& graph, const CsrTranspose& graph_t,
         }
       }
     }
-  }
+}
+
+Value gat_attention(const Csr& graph, const CsrTranspose& graph_t,
+                    const Value& h, const Value& score_dst,
+                    const Value& score_src, std::int64_t heads, float slope) {
+  const std::int64_t n = graph.num_nodes;
+  const std::int64_t e_count = graph.num_edges();
+  GSOUP_CHECK_MSG(h->value.rank() == 2 && h->value.shape(0) == n &&
+                      h->value.shape(1) % heads == 0,
+                  "gat_attention: bad H shape " << h->value.shape_str());
+  GSOUP_CHECK_MSG(score_dst->value.shape(0) == n &&
+                      score_dst->value.shape(1) == heads &&
+                      score_src->value.shape(0) == n &&
+                      score_src->value.shape(1) == heads,
+                  "gat_attention: bad score shapes");
+  const std::int64_t d = h->value.shape(1) / heads;
+
+  // Forward: the shared autograd-free kernel; alpha (E × heads) is
+  // retained for the backward pass.
+  Tensor alpha = Tensor::empty({e_count, heads});
+  Tensor out = Tensor::empty({n, heads * d});
+  gat_attention_forward(graph.indptr, graph.indices, h->value,
+                        score_dst->value, score_src->value, heads, slope,
+                        alpha, out);
 
   const Csr* g = &graph;
   const CsrTranspose* gt = &graph_t;

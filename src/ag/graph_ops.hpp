@@ -29,6 +29,33 @@ void spmm_overwrite(const Csr& a, const Tensor& x, Tensor& y);
 /// baseline for the kernels above.
 void spmm_reference(const Csr& a, const Tensor& x, Tensor& y);
 
+/// Y(0..num_rows) = A · X for a raw CSR given by spans (num_rows =
+/// indptr.size() - 1; indices address rows of X, which may have more rows
+/// than Y — the bipartite-block case). Same edge-balanced schedule and
+/// width-specialised kernels as spmm_overwrite; `spmm_overwrite` itself is
+/// this function applied to a Csr's members. Exposed so the serving
+/// engine can run message passing over block-local CSRs that are not Csr
+/// objects, with bitwise-identical numerics to the training forward.
+void spmm_spans_overwrite(std::span<const std::int64_t> indptr,
+                          std::span<const std::int32_t> indices,
+                          std::span<const float> values, const Tensor& x,
+                          Tensor& y);
+
+/// Autograd-free multi-head GAT attention forward over a raw CSR
+/// (num_dst = indptr.size() - 1; indices address rows of h_src /
+/// score_src, dst i addresses row i of score_dst):
+///   z_e      = score_dst[i, h] + score_src[src_e, h]
+///   alpha_e  = softmax over in-edges of i of LeakyReLU(z_e)
+///   out[i,·] = Σ_e alpha_e · h_src[src_e, ·]   (per head)
+/// `alpha` is an [E, heads] workspace (overwritten; retained by the
+/// training path for backward, scratch for serving); `out` is overwritten.
+/// Shared by ag::gat_attention and the serving engine.
+void gat_attention_forward(std::span<const std::int64_t> indptr,
+                           std::span<const std::int32_t> indices,
+                           const Tensor& h_src, const Tensor& score_dst,
+                           const Tensor& score_src, std::int64_t heads,
+                           float slope, Tensor& alpha, Tensor& out);
+
 /// Y = A · X where A is a weighted CSR (in-edge convention: row i of A
 /// holds weights of edges (j -> i)). `a_transpose` must be the weighted
 /// transpose of `a`; both must carry values.

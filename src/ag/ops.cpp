@@ -224,21 +224,7 @@ Value per_head_dot(const Value& x, const Value& a, std::int64_t heads) {
   const std::int64_t n = x->value.shape(0);
   const std::int64_t d = x->value.shape(1) / heads;
   Tensor out = Tensor::empty({n, heads});
-  {
-    const float* __restrict__ px = x->value.data();
-    const float* __restrict__ pa = a->value.data();
-    float* __restrict__ po = out.data();
-#pragma omp parallel for schedule(static) if (n >= 256)
-    for (std::int64_t i = 0; i < n; ++i) {
-      for (std::int64_t h = 0; h < heads; ++h) {
-        const float* xrow = px + i * heads * d + h * d;
-        const float* arow = pa + h * d;
-        float acc = 0.0f;
-        for (std::int64_t j = 0; j < d; ++j) acc += xrow[j] * arow[j];
-        po[i * heads + h] = acc;
-      }
-    }
-  }
+  ops::per_head_dot_into(x->value, a->value, heads, out);
   return make_node(
       std::move(out), {x, a},
       [x, a, heads, n, d](Node& node) {

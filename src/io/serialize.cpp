@@ -1,30 +1,38 @@
 #include "io/serialize.hpp"
 
-#include <cstring>
 #include <fstream>
+#include <type_traits>
 
 #include "util/check.hpp"
 
 namespace gsoup::io {
 
-namespace {
+namespace detail {
 
-constexpr std::uint32_t kTensorMagic = 0x47544E53;   // "GTNS"
-constexpr std::uint32_t kParamsMagic = 0x47505253;   // "GPRS"
-constexpr std::uint32_t kDatasetMagic = 0x47445354;  // "GDST"
-constexpr std::uint32_t kVersion = 1;
-
-template <typename T>
-void write_pod(std::ostream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+void read_exact(std::istream& is, char* dst, std::size_t bytes) {
+  std::size_t done = 0;
+  while (done < bytes) {
+    const std::size_t take = std::min(bytes - done, kReadChunkBytes);
+    is.read(dst + done, static_cast<std::streamsize>(take));
+    GSOUP_CHECK_MSG(!is.fail() &&
+                        is.gcount() == static_cast<std::streamsize>(take),
+                    "unexpected end of stream");
+    done += take;
+  }
 }
 
-template <typename T>
-T read_pod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  GSOUP_CHECK_MSG(is.good(), "unexpected end of stream");
-  return v;
+void expect_header(std::istream& is, std::uint32_t magic,
+                   std::uint32_t version, const char* what) {
+  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == magic,
+                  "bad " << what << " magic");
+  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == version,
+                  "unsupported " << what << " version");
+}
+
+void write_header(std::ostream& os, std::uint32_t magic,
+                  std::uint32_t version) {
+  write_pod(os, magic);
+  write_pod(os, version);
 }
 
 void write_string(std::ostream& os, const std::string& s) {
@@ -34,36 +42,44 @@ void write_string(std::ostream& os, const std::string& s) {
 
 std::string read_string(std::istream& is) {
   const auto n = read_pod<std::uint64_t>(is);
-  GSOUP_CHECK_MSG(n < (1ULL << 32), "implausible string length");
-  std::string s(n, '\0');
-  is.read(s.data(), static_cast<std::streamsize>(n));
-  GSOUP_CHECK_MSG(is.good(), "unexpected end of stream");
+  GSOUP_CHECK_MSG(n < (1ULL << 20), "implausible string length");
+  std::string s(static_cast<std::size_t>(n), '\0');
+  read_exact(is, s.data(), static_cast<std::size_t>(n));
   return s;
 }
 
-template <typename T>
-void write_vector(std::ostream& os, const std::vector<T>& v) {
-  write_pod<std::uint64_t>(os, v.size());
-  os.write(reinterpret_cast<const char*>(v.data()),
-           static_cast<std::streamsize>(v.size() * sizeof(T)));
-}
+}  // namespace detail
 
-template <typename T>
-std::vector<T> read_vector(std::istream& is) {
-  const auto n = read_pod<std::uint64_t>(is);
-  GSOUP_CHECK_MSG(n < (1ULL << 40) / sizeof(T), "implausible vector length");
-  std::vector<T> v(n);
-  is.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(n * sizeof(T)));
-  GSOUP_CHECK_MSG(is.good() || n == 0, "unexpected end of stream");
-  return v;
+namespace {
+
+using namespace detail;
+
+constexpr std::uint32_t kTensorMagic = 0x47544E53;   // "GTNS"
+constexpr std::uint32_t kParamsMagic = 0x47505253;   // "GPRS"
+constexpr std::uint32_t kDatasetMagic = 0x47445354;  // "GDST"
+constexpr std::uint32_t kVersion = 1;
+
+/// Largest plausible tensor payload (2^31 floats = 8 GiB): anything above
+/// this in a header is treated as corruption rather than attempted.
+constexpr std::int64_t kMaxTensorNumel = 1LL << 31;
+
+/// Bytes left between the stream's read position and its end, or -1 when
+/// the stream is not seekable. Lets readers reject a corrupt header whose
+/// claimed payload exceeds the stream before allocating for it.
+std::int64_t remaining_bytes(std::istream& is) {
+  const auto pos = is.tellg();
+  if (pos == std::istream::pos_type(-1)) return -1;
+  is.seekg(0, std::ios::end);
+  const auto end = is.tellg();
+  is.seekg(pos);
+  if (end == std::istream::pos_type(-1)) return -1;
+  return static_cast<std::int64_t>(end - pos);
 }
 
 }  // namespace
 
 void write_tensor(std::ostream& os, const Tensor& t) {
-  write_pod(os, kTensorMagic);
-  write_pod(os, kVersion);
+  write_header(os, kTensorMagic, kVersion);
   write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(t.rank()));
   for (const auto d : t.shape()) write_pod<std::int64_t>(os, d);
   os.write(reinterpret_cast<const char*>(t.data()),
@@ -71,24 +87,33 @@ void write_tensor(std::ostream& os, const Tensor& t) {
 }
 
 Tensor read_tensor(std::istream& is) {
-  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == kTensorMagic,
-                  "bad tensor magic");
-  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == kVersion,
-                  "unsupported tensor version");
+  expect_header(is, kTensorMagic, kVersion, "tensor");
   const auto rank = read_pod<std::uint32_t>(is);
   GSOUP_CHECK_MSG(rank <= 8, "implausible tensor rank");
   Shape shape(rank);
-  for (auto& d : shape) d = read_pod<std::int64_t>(is);
+  std::int64_t numel = 1;
+  for (auto& d : shape) {
+    d = read_pod<std::int64_t>(is);
+    GSOUP_CHECK_MSG(d >= 0 && d <= kMaxTensorNumel,
+                    "implausible tensor dimension " << d);
+    GSOUP_CHECK_MSG(d == 0 || numel <= kMaxTensorNumel / d,
+                    "implausible tensor element count");
+    numel *= d;
+  }
+  // Check the payload actually exists before allocating for it: a corrupt
+  // header claiming gigabytes must raise CheckError, not bad_alloc.
+  const std::int64_t need = numel * static_cast<std::int64_t>(sizeof(float));
+  const std::int64_t avail = remaining_bytes(is);
+  GSOUP_CHECK_MSG(avail < 0 || avail >= need,
+                  "tensor payload truncated: header claims "
+                      << need << " bytes, stream has " << avail);
   Tensor t = Tensor::empty(std::move(shape));
-  is.read(reinterpret_cast<char*>(t.data()),
-          static_cast<std::streamsize>(t.bytes()));
-  GSOUP_CHECK_MSG(is.good() || t.numel() == 0, "unexpected end of stream");
+  read_exact(is, reinterpret_cast<char*>(t.data()), t.bytes());
   return t;
 }
 
 void write_params(std::ostream& os, const ParamStore& params) {
-  write_pod(os, kParamsMagic);
-  write_pod(os, kVersion);
+  write_header(os, kParamsMagic, kVersion);
   write_pod<std::uint64_t>(os, params.size());
   for (const auto& e : params.entries()) {
     write_string(os, e.name);
@@ -98,11 +123,9 @@ void write_params(std::ostream& os, const ParamStore& params) {
 }
 
 ParamStore read_params(std::istream& is) {
-  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == kParamsMagic,
-                  "bad params magic");
-  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == kVersion,
-                  "unsupported params version");
+  expect_header(is, kParamsMagic, kVersion, "params");
   const auto count = read_pod<std::uint64_t>(is);
+  GSOUP_CHECK_MSG(count < (1ULL << 20), "implausible parameter count");
   ParamStore store;
   for (std::uint64_t i = 0; i < count; ++i) {
     std::string name = read_string(is);
@@ -113,8 +136,7 @@ ParamStore read_params(std::istream& is) {
 }
 
 void write_dataset(std::ostream& os, const Dataset& data) {
-  write_pod(os, kDatasetMagic);
-  write_pod(os, kVersion);
+  write_header(os, kDatasetMagic, kVersion);
   write_string(os, data.name);
   write_pod<std::int64_t>(os, data.graph.num_nodes);
   write_vector(os, data.graph.indptr);
@@ -129,13 +151,13 @@ void write_dataset(std::ostream& os, const Dataset& data) {
 }
 
 Dataset read_dataset(std::istream& is) {
-  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == kDatasetMagic,
-                  "bad dataset magic");
-  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == kVersion,
-                  "unsupported dataset version");
+  expect_header(is, kDatasetMagic, kVersion, "dataset");
   Dataset data;
   data.name = read_string(is);
   data.graph.num_nodes = read_pod<std::int64_t>(is);
+  GSOUP_CHECK_MSG(data.graph.num_nodes >= 0 &&
+                      data.graph.num_nodes <= kMaxTensorNumel,
+                  "implausible node count " << data.graph.num_nodes);
   data.graph.indptr = read_vector<std::int64_t>(is);
   data.graph.indices = read_vector<std::int32_t>(is);
   data.graph.values = read_vector<float>(is);

@@ -1,15 +1,27 @@
 // Binary (de)serialisation for tensors, parameter stores and datasets.
 // Little-endian, versioned container with a magic header. Used by the
 // benchmark harness to cache trained ingredients across bench binaries so
-// each table/figure binary doesn't retrain the 12-cell experiment matrix.
+// each table/figure binary doesn't retrain the 12-cell experiment matrix,
+// and by the serving snapshot format (serve/snapshot).
+//
+// Every reader is hardened against corrupt or truncated input: magic and
+// version headers are checked first, lengths are bounds-checked before any
+// allocation, and payloads are read in bounded chunks so a corrupted
+// length field raises CheckError instead of attempting a multi-gigabyte
+// allocation or returning garbage.
 #pragma once
 
-#include <iosfwd>
+#include <algorithm>
+#include <cstdint>
+#include <istream>
+#include <ostream>
 #include <string>
+#include <vector>
 
 #include "graph/dataset.hpp"
 #include "nn/param.hpp"
 #include "tensor/tensor.hpp"
+#include "util/check.hpp"
 
 namespace gsoup::io {
 
@@ -27,5 +39,77 @@ void save_params(const std::string& path, const ParamStore& params);
 ParamStore load_params(const std::string& path);
 void save_dataset(const std::string& path, const Dataset& data);
 Dataset load_dataset(const std::string& path);
+
+// ---- Bounded binary primitives ------------------------------------------
+// Shared by serialize.cpp and serve/snapshot.cpp so every container format
+// in the library gets the same corruption handling for free.
+namespace detail {
+
+/// Largest payload a single chunked read request touches at once. A
+/// corrupt length field can therefore waste at most ~this much allocation
+/// before the stream runs dry and the reader throws.
+inline constexpr std::size_t kReadChunkBytes = 1 << 20;
+
+/// Read exactly `bytes` bytes into dst in bounded chunks; throws
+/// CheckError on a short read (truncated or corrupt stream).
+void read_exact(std::istream& is, char* dst, std::size_t bytes);
+
+/// Read a fixed magic/version pair, throwing CheckError with the
+/// container name on mismatch.
+void expect_header(std::istream& is, std::uint32_t magic,
+                   std::uint32_t version, const char* what);
+void write_header(std::ostream& os, std::uint32_t magic,
+                  std::uint32_t version);
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  GSOUP_CHECK_MSG(!is.fail() &&
+                      is.gcount() == static_cast<std::streamsize>(sizeof(T)),
+                  "unexpected end of stream");
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s);
+std::string read_string(std::istream& is);
+
+template <typename T>
+void write_vector(std::ostream& os, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_pod<std::uint64_t>(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto n = read_pod<std::uint64_t>(is);
+  GSOUP_CHECK_MSG(n < (1ULL << 40) / sizeof(T), "implausible vector length");
+  // Grow chunk by chunk rather than resizing to n up front: a corrupted
+  // length stops at the first short read instead of allocating terabytes.
+  std::vector<T> v;
+  constexpr std::uint64_t kChunkElems =
+      std::max<std::uint64_t>(1, kReadChunkBytes / sizeof(T));
+  std::uint64_t done = 0;
+  while (done < n) {
+    const std::uint64_t take = std::min(n - done, kChunkElems);
+    v.resize(static_cast<std::size_t>(done + take));
+    read_exact(is, reinterpret_cast<char*>(v.data() + done),
+               static_cast<std::size_t>(take) * sizeof(T));
+    done += take;
+  }
+  return v;
+}
+
+}  // namespace detail
 
 }  // namespace gsoup::io

@@ -62,12 +62,15 @@ class GnnModel {
     return static_cast<std::int32_t>(config_.num_layers);
   }
 
- private:
-  /// Per-layer input/output widths, accounting for GAT head concatenation.
+  // Per-layer input/output widths, accounting for GAT head concatenation.
+  // Public so the autograd-free serving engine (src/serve) can size its
+  // preallocated workspaces and snapshot loading can validate parameter
+  // shapes without re-initialising a model.
   std::int64_t layer_in_dim(std::int64_t layer) const;
   std::int64_t layer_out_width(std::int64_t layer) const;
   std::int64_t layer_heads(std::int64_t layer) const;
 
+ private:
   ModelConfig config_;
 };
 

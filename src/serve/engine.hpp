@@ -1,0 +1,139 @@
+// Autograd-free inference engine.
+//
+// Training and evaluation run the model through the ag:: tape — every
+// forward allocates a Value node, output tensor and closure per op, even
+// under NoGradGuard. Serving cannot afford that: this engine executes the
+// architecture's forward directly on Tensor through the same kernels the
+// tape wraps (blocked GEMM, edge-balanced fused SpMM, shared GAT attention
+// forward), into per-layer workspaces preallocated at construction. After
+// construction, neither full-graph passes nor batched node queries perform
+// any tracked heap allocation — the property tests/test_serve.cpp asserts
+// via MemoryTracker.
+//
+// Two query paths:
+//  - full_logits(): one forward over the whole graph, cached until
+//    invalidate(). Row lookups are then free — the right mode for static
+//    feature serving.
+//  - query(nodes, out): exact L-hop subgraph inference. The engine expands
+//    the queried nodes' full L-hop in-neighbourhood into bipartite
+//    block-local CSRs (destinations are a prefix of sources, the sampling
+//    layer's convention) carrying the architecture's normalisation weights,
+//    then runs the layer stack over just those rows. Exact for all three
+//    architectures — GAT's edge softmax sees every in-edge of each
+//    destination — and far cheaper than a full pass when the batch's
+//    neighbourhood is a fraction of the graph.
+//
+// An engine is deliberately single-threaded (the workspaces are reused
+// mutable state); the batch server owns one engine per worker.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/graph_context.hpp"
+#include "nn/model.hpp"
+#include "nn/param.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gsoup::serve {
+
+/// How query() answers: exact L-hop subgraph recomputation per batch, or
+/// row lookups into the cached full-graph logits.
+enum class QueryMode { kSubgraph, kCachedFull };
+
+class InferenceEngine {
+ public:
+  /// `ctx` must wrap the serving graph for `config.arch` and outlive the
+  /// engine; `features` is the [num_nodes, in_dim] feature matrix (shared
+  /// storage, not copied). `params` tensors are shared, not copied — the
+  /// snapshot (or training run) that produced them must stay alive.
+  InferenceEngine(const ModelConfig& config, const ParamStore& params,
+                  std::shared_ptr<const GraphContext> ctx, Tensor features,
+                  QueryMode mode = QueryMode::kSubgraph);
+
+  const ModelConfig& config() const { return model_.config(); }
+  QueryMode mode() const { return mode_; }
+  std::int64_t num_nodes() const { return num_nodes_; }
+
+  /// Class logits for every node, [num_nodes, out_dim]. Computed on first
+  /// call and cached; invalidate() forces recomputation (e.g. after the
+  /// shared feature storage was mutated in place).
+  const Tensor& full_logits();
+  void invalidate() { full_valid_ = false; }
+
+  /// Logits for a batch of node ids, written to the corresponding rows of
+  /// `out` ([nodes.size(), out_dim], caller-allocated). Duplicate ids are
+  /// fine (they share the computation). Row order matches `nodes`.
+  void query(std::span<const std::int64_t> nodes, Tensor& out);
+
+  /// Argmax class of one node (single-query convenience).
+  std::int32_t predict(std::int64_t node);
+
+  /// Total bytes of preallocated workspace (capacity planning).
+  std::size_t workspace_bytes() const;
+
+ private:
+  /// One bipartite layer of a query's L-hop expansion plan. Destination
+  /// nodes are a prefix of source nodes; indices are positions into the
+  /// layer's own src list. All vectors are reused across queries (cleared,
+  /// never shrunk), so steady-state queries do not allocate.
+  struct LayerPlan {
+    std::vector<std::int64_t> src_nodes;
+    std::int64_t num_dst = 0;
+    std::vector<std::int64_t> indptr;
+    std::vector<std::int32_t> indices;
+    std::vector<float> values;  ///< empty for GAT (weights are learned)
+  };
+
+  /// The weighted adjacency the architecture's message passing reads.
+  const Csr& message_graph() const;
+
+  /// Expand `nodes` into per-layer block plans (exact full-fanout L-hop).
+  void build_plan(std::span<const std::int64_t> nodes);
+
+  /// Run the layer stack. When `plan` is true, executes over the current
+  /// query plan's block CSRs; otherwise over the full graph, writing the
+  /// final layer into logits_.
+  void run_layers(bool use_plan);
+
+  /// One GNN layer over an explicit CSR; h_in rows are sources, the
+  /// written view covers destinations. Returns the output view.
+  Tensor run_layer(std::int64_t layer, std::span<const std::int64_t> indptr,
+                   std::span<const std::int32_t> indices,
+                   std::span<const float> values, const Tensor& h_in,
+                   std::int64_t num_dst, Tensor* final_out);
+
+  /// Carve a [rows, cols] view out of workspace buffer `idx`.
+  Tensor ws(int idx, std::int64_t rows, std::int64_t cols);
+
+  GnnModel model_;
+  ParamStore params_;
+  std::shared_ptr<const GraphContext> ctx_;
+  Tensor features_;
+  QueryMode mode_;
+  std::int64_t num_nodes_ = 0;
+  std::int64_t max_width_ = 0;
+
+  // Workspaces: three ping-pong layer buffers (input / scratch / output),
+  // GAT score and attention-coefficient buffers, the cached full-graph
+  // logits, and a one-row scratch for predict().
+  Tensor buf_[3];
+  Tensor score_dst_ws_;
+  Tensor score_src_ws_;
+  Tensor alpha_ws_;
+  Tensor logits_;
+  Tensor single_out_;
+  bool full_valid_ = false;
+
+  // Query-plan state (reused across queries).
+  std::vector<LayerPlan> plan_;
+  std::vector<std::int64_t> seed_row_;   ///< query slot -> local dst row
+  std::vector<std::int64_t> visit_epoch_;
+  std::vector<std::int32_t> local_id_;
+  std::int64_t epoch_ = 0;
+  Tensor plan_out_;  ///< final-layer view of the last plan execution
+};
+
+}  // namespace gsoup::serve

@@ -1,0 +1,66 @@
+#include "serve/loadgen.hpp"
+
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace gsoup::serve {
+
+double drive_clients(BatchServer& server, std::int64_t requests,
+                     std::int64_t clients, std::int64_t num_nodes,
+                     std::uint64_t seed) {
+  GSOUP_CHECK_MSG(requests >= 1 && clients >= 1 && num_nodes >= 1,
+                  "drive_clients: requests (" << requests << "), clients ("
+                                              << clients
+                                              << ") and num_nodes ("
+                                              << num_nodes
+                                              << ") must all be >= 1");
+  const std::int64_t per = requests / clients;
+  const std::int64_t rem = requests % clients;
+  // Failed answers must surface as a CheckError from drive_clients, not
+  // escape a client thread (an uncaught exception in a std::thread is
+  // std::terminate).
+  std::atomic<std::uint64_t> failures{0};
+  std::mutex error_mutex;
+  std::string first_error;
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (std::int64_t c = 0; c < clients; ++c) {
+    const std::int64_t mine = per + (c < rem ? 1 : 0);
+    threads.emplace_back([&, c, mine] {
+      Rng rng(seed + static_cast<std::uint64_t>(c));
+      std::vector<std::future<Prediction>> futures;
+      futures.reserve(static_cast<std::size_t>(mine));
+      for (std::int64_t i = 0; i < mine; ++i) {
+        futures.push_back(server.submit(static_cast<std::int64_t>(
+            rng.uniform_int(static_cast<std::uint64_t>(num_nodes)))));
+      }
+      for (auto& fut : futures) {
+        try {
+          fut.get();
+        } catch (const std::exception& e) {
+          if (failures.fetch_add(1) == 0) {
+            std::lock_guard lock(error_mutex);
+            first_error = e.what();
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = wall.seconds();
+  GSOUP_CHECK_MSG(failures.load() == 0,
+                  failures.load() << " of " << requests
+                                  << " queries failed; first error: "
+                                  << first_error);
+  return seconds;
+}
+
+}  // namespace gsoup::serve

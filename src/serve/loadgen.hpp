@@ -1,0 +1,23 @@
+// Shared load generator for the batch server: `clients` threads issue
+// `requests` uniform-random node queries in total and block on every
+// answer. One implementation drives both serve_cli's load test and
+// bench_serving's server section, so the request mix and the
+// remainder-distribution behaviour can never drift between them.
+#pragma once
+
+#include <cstdint>
+
+#include "serve/server.hpp"
+
+namespace gsoup::serve {
+
+/// Drive `server` with `clients` concurrent threads submitting `requests`
+/// queries in total over nodes [0, num_nodes) (the remainder of
+/// requests/clients is spread over the first threads, so exactly
+/// `requests` queries are issued). Client c seeds its Rng with seed + c.
+/// Blocks until every answer has arrived; returns wall-clock seconds.
+double drive_clients(BatchServer& server, std::int64_t requests,
+                     std::int64_t clients, std::int64_t num_nodes,
+                     std::uint64_t seed = 100);
+
+}  // namespace gsoup::serve

@@ -1,0 +1,221 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace gsoup::serve {
+
+BatchServer::BatchServer(const Snapshot& snapshot,
+                         std::shared_ptr<const GraphContext> ctx,
+                         Tensor features, ServerConfig config)
+    : config_(config),
+      out_dim_(snapshot.config.out_dim),
+      num_nodes_(snapshot.graph.num_nodes) {
+  GSOUP_CHECK_MSG(config_.workers >= 1, "server needs >= 1 worker");
+  GSOUP_CHECK_MSG(config_.max_batch >= 1, "server needs max_batch >= 1");
+  snapshot.validate();
+  GSOUP_CHECK_MSG(
+      snapshot.matches_graph(ctx->raw()),
+      "snapshot was souped on a "
+          << snapshot.graph.num_nodes << "-node/" << snapshot.graph.num_edges
+          << "-edge graph; the serving graph has " << ctx->raw().num_nodes
+          << " nodes/" << ctx->raw().num_edges() << " edges");
+
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    auto engine = std::make_unique<InferenceEngine>(
+        snapshot.config, snapshot.params, ctx, features, config_.mode);
+    auto worker = std::make_unique<Worker>(std::move(engine));
+    worker->node_ids.reserve(static_cast<std::size_t>(config_.max_batch));
+    worker->logits = Tensor::empty({config_.max_batch, out_dim_});
+    free_workers_.push_back(worker.get());
+    workers_.push_back(std::move(worker));
+  }
+  pool_ = std::make_unique<ThreadPool>(config_.workers);
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+BatchServer::~BatchServer() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // ThreadPool's destructor drains any batches already dispatched.
+  pool_.reset();
+}
+
+std::future<Prediction> BatchServer::submit(std::int64_t node) {
+  // Reject bad ids at the door: a batch is shared by many clients, and an
+  // out-of-range id that only failed inside the engine would poison every
+  // other query coalesced with it.
+  GSOUP_CHECK_MSG(node >= 0 && node < num_nodes_,
+                  "submit node " << node << " out of range [0, " << num_nodes_
+                                 << ")");
+  Pending p;
+  p.node = node;
+  p.enqueued = Clock::now();
+  std::future<Prediction> fut = p.promise.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    GSOUP_CHECK_MSG(!stop_, "submit on a stopped server");
+    pending_.push_back(std::move(p));
+    ++submitted_;
+  }
+  cv_.notify_all();
+  return fut;
+}
+
+void BatchServer::dispatcher_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (pending_.empty()) {
+      if (stop_) return;
+      cv_.wait(lock);
+      continue;
+    }
+    // Coalesce: flush when a full batch is ready, the oldest query's
+    // latency budget has elapsed, a drain() asked for an immediate flush,
+    // or the server is shutting down.
+    if (static_cast<std::int64_t>(pending_.size()) < config_.max_batch &&
+        !stop_ && !flush_) {
+      const auto deadline =
+          pending_.front().enqueued +
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double, std::milli>(
+                  config_.max_delay_ms));
+      if (Clock::now() < deadline) {
+        cv_.wait_until(lock, deadline);
+        continue;  // re-evaluate: more arrivals, stop, or budget elapsed
+      }
+    }
+    const std::size_t take = std::min<std::size_t>(
+        pending_.size(), static_cast<std::size_t>(config_.max_batch));
+    std::vector<Pending> batch;
+    batch.reserve(take);
+    std::move(pending_.begin(),
+              pending_.begin() + static_cast<std::ptrdiff_t>(take),
+              std::back_inserter(batch));
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(take));
+    lock.unlock();
+    pool_->submit(
+        [this, b = std::make_shared<std::vector<Pending>>(
+                   std::move(batch))]() mutable { run_batch(std::move(*b)); });
+    lock.lock();
+  }
+}
+
+BatchServer::Worker* BatchServer::acquire_worker() {
+  std::unique_lock lock(worker_mutex_);
+  worker_cv_.wait(lock, [this] { return !free_workers_.empty(); });
+  Worker* w = free_workers_.front();
+  free_workers_.pop_front();
+  return w;
+}
+
+void BatchServer::release_worker(Worker* w) {
+  {
+    std::lock_guard lock(worker_mutex_);
+    free_workers_.push_back(w);
+  }
+  worker_cv_.notify_one();
+}
+
+void BatchServer::run_batch(std::vector<Pending> batch) {
+  Worker* w = acquire_worker();
+  const auto n = static_cast<std::int64_t>(batch.size());
+  w->node_ids.clear();
+  for (const auto& p : batch) w->node_ids.push_back(p.node);
+  Tensor out = w->logits.view_prefix({n, out_dim_});
+
+  bool failed = false;
+  std::string error;
+  try {
+    w->engine->query(w->node_ids, out);
+  } catch (const std::exception& e) {
+    failed = true;
+    error = e.what();
+  }
+
+  const auto done = Clock::now();
+  // Record stats BEFORE fulfilling promises: a client woken by its future
+  // must see this batch reflected in stats(). Failed batches are excluded
+  // entirely — queries that got an exception were not answered, and
+  // counting them would inflate QPS and pollute the latency percentiles.
+  if (!failed) {
+    std::lock_guard lock(stats_mutex_);
+    ++batches_;
+    for (const auto& p : batch) {
+      const double ms =
+          std::chrono::duration<double, std::milli>(done - p.enqueued)
+              .count();
+      ++queries_answered_;
+      max_latency_ms_ = std::max(max_latency_ms_, ms);
+      if (latencies_ms_.size() < kLatencyWindow) {
+        latencies_ms_.push_back(ms);
+      } else {
+        latencies_ms_[latency_next_] = ms;
+        latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    Pending& p = batch[static_cast<std::size_t>(i)];
+    if (failed) {
+      p.promise.set_exception(
+          std::make_exception_ptr(CheckError("batch failed: " + error)));
+      continue;
+    }
+    const float* row = out.data() + i * out_dim_;
+    Prediction pred;
+    pred.node = p.node;
+    pred.label = static_cast<std::int32_t>(ops::argmax_row(row, out_dim_));
+    pred.score = row[pred.label];
+    p.promise.set_value(pred);
+  }
+  release_worker(w);
+
+  {
+    std::lock_guard lock(mutex_);
+    completed_ += static_cast<std::uint64_t>(n);
+  }
+  drained_cv_.notify_all();
+}
+
+void BatchServer::drain() {
+  std::unique_lock lock(mutex_);
+  // The caller has declared no more work is coming: dispatch any waiting
+  // partial batch immediately instead of letting it sit out the latency
+  // budget.
+  flush_ = true;
+  cv_.notify_all();
+  drained_cv_.wait(lock, [this] { return completed_ == submitted_; });
+  flush_ = false;
+}
+
+ServerStats BatchServer::stats() const {
+  ServerStats s;
+  std::lock_guard lock(stats_mutex_);
+  s.batches = batches_;
+  s.queries = queries_answered_;
+  if (s.batches > 0) {
+    s.mean_batch = static_cast<double>(s.queries) /
+                   static_cast<double>(s.batches);
+  }
+  if (!latencies_ms_.empty()) {
+    std::vector<double> sorted = latencies_ms_;  // ≤ kLatencyWindow samples
+    std::sort(sorted.begin(), sorted.end());
+    s.p50_latency_ms = percentile_sorted(sorted, 0.50);
+    s.p99_latency_ms = percentile_sorted(sorted, 0.99);
+    s.max_latency_ms = max_latency_ms_;
+  }
+  return s;
+}
+
+}  // namespace gsoup::serve

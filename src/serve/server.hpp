@@ -1,0 +1,147 @@
+// Batched request server: many client threads submit single-node
+// classification queries; a dispatcher coalesces them into batches under a
+// latency budget and drains the batches on util/thread_pool workers, each
+// owning a private InferenceEngine (engines hold mutable workspaces and
+// are single-threaded by design — the graph, features and souped weights
+// are shared read-only across all of them).
+//
+// This is the serving half of the paper's economics: Phase 1/2 produce ONE
+// souped model, so the request path is pure inference — batching exists to
+// amortise the per-query L-hop neighbourhood expansion (overlapping
+// neighbourhoods are computed once per batch instead of once per query).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "serve/snapshot.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gsoup::serve {
+
+struct ServerConfig {
+  /// Worker threads (and private engines) draining batches.
+  std::size_t workers = 2;
+  /// Maximum queries coalesced into one batch.
+  std::int64_t max_batch = 64;
+  /// Latency budget: a partial batch is flushed once its oldest query has
+  /// waited this long.
+  double max_delay_ms = 2.0;
+  QueryMode mode = QueryMode::kSubgraph;
+};
+
+/// One answered query.
+struct Prediction {
+  std::int64_t node = -1;
+  std::int32_t label = -1;  ///< argmax class
+  float score = 0.0f;       ///< logit of the argmax class
+};
+
+/// Aggregate serving statistics. Counts and max latency cover the
+/// server's whole lifetime; the percentiles are computed over a bounded
+/// window of the most recent queries (kLatencyWindow) so a long-lived
+/// server's stats stay O(1) in memory and stats() stays cheap.
+struct ServerStats {
+  std::uint64_t queries = 0;
+  std::uint64_t batches = 0;
+  double mean_batch = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+};
+
+class BatchServer {
+ public:
+  /// The snapshot provides config + weights; `ctx` must wrap the serving
+  /// graph for the snapshot's architecture; `features` is the node feature
+  /// matrix (shared across workers, never copied per engine).
+  BatchServer(const Snapshot& snapshot,
+              std::shared_ptr<const GraphContext> ctx, Tensor features,
+              ServerConfig config = {});
+  ~BatchServer();
+
+  BatchServer(const BatchServer&) = delete;
+  BatchServer& operator=(const BatchServer&) = delete;
+
+  /// Enqueue one node query; the future resolves when its batch drains.
+  /// Out-of-range ids throw CheckError here, synchronously, so one bad
+  /// request can never fail the batch it would have been coalesced into.
+  std::future<Prediction> submit(std::int64_t node);
+
+  /// Block until every query submitted so far has been answered. Any
+  /// waiting partial batch is dispatched immediately rather than sitting
+  /// out its latency budget.
+  void drain();
+
+  ServerStats stats() const;
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    std::int64_t node;
+    std::promise<Prediction> promise;
+    Clock::time_point enqueued;
+  };
+
+  /// Per-worker context: a private engine plus reusable batch buffers so
+  /// steady-state batches perform no tracked allocation.
+  struct Worker {
+    explicit Worker(std::unique_ptr<InferenceEngine> e)
+        : engine(std::move(e)) {}
+    std::unique_ptr<InferenceEngine> engine;
+    std::vector<std::int64_t> node_ids;
+    Tensor logits;  ///< [max_batch, out_dim]
+  };
+
+  void dispatcher_loop();
+  void run_batch(std::vector<Pending> batch);
+  Worker* acquire_worker();
+  void release_worker(Worker* w);
+
+  ServerConfig config_;
+  std::int64_t out_dim_ = 0;
+  std::int64_t num_nodes_ = 0;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::deque<Worker*> free_workers_;
+  std::mutex worker_mutex_;
+  std::condition_variable worker_cv_;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread dispatcher_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  /// Deque, not vector: batches are dispatched from the front while
+  /// clients append at the back; popping the front of a long backlog must
+  /// not shift every queued promise under the submit mutex.
+  std::deque<Pending> pending_;
+  bool stop_ = false;
+  bool flush_ = false;  ///< drain() in progress: dispatch partial batches
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::condition_variable drained_cv_;
+
+  /// Latency samples kept for the percentile window (~512 KiB at 8 B
+  /// each); older samples are overwritten ring-buffer style.
+  static constexpr std::size_t kLatencyWindow = 1 << 16;
+
+  mutable std::mutex stats_mutex_;
+  std::uint64_t batches_ = 0;
+  std::uint64_t queries_answered_ = 0;
+  double max_latency_ms_ = 0.0;
+  std::vector<double> latencies_ms_;  ///< ring buffer, ≤ kLatencyWindow
+  std::size_t latency_next_ = 0;      ///< overwrite cursor once full
+};
+
+}  // namespace gsoup::serve

@@ -1,0 +1,169 @@
+#include "serve/snapshot.hpp"
+
+#include <fstream>
+#include <string_view>
+
+#include "io/serialize.hpp"
+#include "util/check.hpp"
+
+namespace gsoup::serve {
+
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x47534E50;  // "GSNP"
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+const char* const* param_suffixes(Arch arch, std::size_t& count) {
+  // Names each architecture stores per layer, in ParamStore order.
+  static const char* const kGcn[] = {"weight", "bias"};
+  static const char* const kSage[] = {"weight_self", "weight_neigh", "bias"};
+  static const char* const kGat[] = {"weight", "attn_dst", "attn_src",
+                                     "bias"};
+  switch (arch) {
+    case Arch::kGcn: count = 2; return kGcn;
+    case Arch::kSage: count = 3; return kSage;
+    case Arch::kGat: count = 4; return kGat;
+  }
+  count = 0;
+  return nullptr;
+}
+
+}  // namespace
+
+const char* Snapshot::arch_normalization(Arch arch) {
+  switch (arch) {
+    case Arch::kGcn: return "sym";
+    case Arch::kSage: return "row";
+    case Arch::kGat: return "none";
+  }
+  return "none";
+}
+
+void Snapshot::validate() const {
+  GSOUP_CHECK_MSG(graph.normalization == arch_normalization(config.arch),
+                  "snapshot normalization '"
+                      << graph.normalization << "' does not match arch "
+                      << arch_name(config.arch));
+  GSOUP_CHECK_MSG(graph.num_nodes >= 0 && graph.num_edges >= 0,
+                  "snapshot graph metadata is negative");
+
+  // Rebuild the expected parameter inventory from the config and compare
+  // name-by-name, shape-by-shape.
+  const GnnModel model(config);  // validates the config itself
+  std::size_t per_layer = 0;
+  const char* const* suffixes = param_suffixes(config.arch, per_layer);
+  GSOUP_CHECK_MSG(params.size() ==
+                      per_layer * static_cast<std::size_t>(config.num_layers),
+                  "snapshot has " << params.size() << " parameters, config "
+                                  << config.describe() << " implies "
+                                  << per_layer * static_cast<std::size_t>(
+                                                     config.num_layers));
+  for (std::int64_t l = 0; l < config.num_layers; ++l) {
+    const std::int64_t in = model.layer_in_dim(l);
+    const std::int64_t width = model.layer_out_width(l);
+    for (std::size_t s = 0; s < per_layer; ++s) {
+      const std::string name =
+          "layers." + std::to_string(l) + "." + suffixes[s];
+      GSOUP_CHECK_MSG(params.contains(name),
+                      "snapshot is missing parameter " << name);
+      GSOUP_CHECK_MSG(params.layer_of(name) == static_cast<std::int32_t>(l),
+                      "snapshot parameter " << name << " tagged with layer "
+                                            << params.layer_of(name));
+      const Tensor& t = params.get(name);
+      const std::string_view suffix = suffixes[s];
+      if (suffix == "bias" || suffix == "attn_dst" || suffix == "attn_src") {
+        GSOUP_CHECK_MSG(t.rank() == 1 && t.shape(0) == width,
+                        "snapshot parameter " << name << " has shape "
+                                              << t.shape_str() << ", expected ["
+                                              << width << "]");
+      } else {
+        GSOUP_CHECK_MSG(t.rank() == 2 && t.shape(0) == in &&
+                            t.shape(1) == width,
+                        "snapshot parameter "
+                            << name << " has shape " << t.shape_str()
+                            << ", expected [" << in << ", " << width << "]");
+      }
+    }
+  }
+}
+
+bool Snapshot::matches_graph(const Csr& csr) const {
+  return graph.num_nodes == csr.num_nodes &&
+         graph.num_edges == csr.num_edges();
+}
+
+Snapshot make_snapshot(const ModelConfig& config, const ParamStore& soup,
+                       const Dataset& data, const std::string& method) {
+  Snapshot snap;
+  snap.config = config;
+  snap.graph.normalization = Snapshot::arch_normalization(config.arch);
+  snap.graph.self_loops = true;
+  snap.graph.num_nodes = data.num_nodes();
+  snap.graph.num_edges = data.num_edges();
+  snap.graph.dataset = data.name;
+  snap.method = method;
+  snap.params = soup.clone();
+  snap.validate();
+  return snap;
+}
+
+void write_snapshot(std::ostream& os, const Snapshot& snap) {
+  using namespace io::detail;
+  write_header(os, kSnapshotMagic, kSnapshotVersion);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(snap.config.arch));
+  write_pod<std::int64_t>(os, snap.config.in_dim);
+  write_pod<std::int64_t>(os, snap.config.hidden_dim);
+  write_pod<std::int64_t>(os, snap.config.out_dim);
+  write_pod<std::int64_t>(os, snap.config.num_layers);
+  write_pod<std::int64_t>(os, snap.config.heads);
+  write_pod<float>(os, snap.config.dropout);
+  write_pod<float>(os, snap.config.attn_slope);
+  write_string(os, snap.graph.normalization);
+  write_pod<std::uint8_t>(os, snap.graph.self_loops ? 1 : 0);
+  write_pod<std::int64_t>(os, snap.graph.num_nodes);
+  write_pod<std::int64_t>(os, snap.graph.num_edges);
+  write_string(os, snap.graph.dataset);
+  write_string(os, snap.method);
+  io::write_params(os, snap.params);
+}
+
+Snapshot read_snapshot(std::istream& is) {
+  using namespace io::detail;
+  expect_header(is, kSnapshotMagic, kSnapshotVersion, "snapshot");
+  Snapshot snap;
+  const auto arch = read_pod<std::uint32_t>(is);
+  GSOUP_CHECK_MSG(arch <= static_cast<std::uint32_t>(Arch::kGat),
+                  "snapshot has unknown architecture id " << arch);
+  snap.config.arch = static_cast<Arch>(arch);
+  snap.config.in_dim = read_pod<std::int64_t>(is);
+  snap.config.hidden_dim = read_pod<std::int64_t>(is);
+  snap.config.out_dim = read_pod<std::int64_t>(is);
+  snap.config.num_layers = read_pod<std::int64_t>(is);
+  snap.config.heads = read_pod<std::int64_t>(is);
+  snap.config.dropout = read_pod<float>(is);
+  snap.config.attn_slope = read_pod<float>(is);
+  snap.graph.normalization = read_string(is);
+  snap.graph.self_loops = read_pod<std::uint8_t>(is) != 0;
+  snap.graph.num_nodes = read_pod<std::int64_t>(is);
+  snap.graph.num_edges = read_pod<std::int64_t>(is);
+  snap.graph.dataset = read_string(is);
+  snap.method = read_string(is);
+  snap.params = io::read_params(is);
+  snap.validate();
+  return snap;
+}
+
+void save_snapshot(const std::string& path, const Snapshot& snap) {
+  std::ofstream os(path, std::ios::binary);
+  GSOUP_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  write_snapshot(os, snap);
+  GSOUP_CHECK_MSG(os.good(), "write to " << path << " failed");
+}
+
+Snapshot load_snapshot(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  GSOUP_CHECK_MSG(is.good(), "cannot open " << path);
+  return read_snapshot(is);
+}
+
+}  // namespace gsoup::serve

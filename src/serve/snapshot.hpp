@@ -1,0 +1,68 @@
+// Versioned model-snapshot container: everything needed to serve a souped
+// model, in one file.
+//
+// The paper's payoff is that a soup is ONE model with the inference cost
+// of a single ingredient; a snapshot is that model made portable. It
+// bundles (a) the architecture config, (b) the souped parameter store, and
+// (c) the graph-normalisation metadata the forward pass assumes (which
+// adjacency normalisation, whether self loops are expected, the graph the
+// soup was trained against), so a serving process can validate at load
+// time that the graph it is about to answer queries over matches what the
+// soup saw in training. Built on the hardened io::serialize primitives —
+// corrupt or truncated snapshots throw CheckError, never deserialise
+// garbage weights.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/dataset.hpp"
+#include "nn/model.hpp"
+#include "nn/param.hpp"
+
+namespace gsoup::serve {
+
+/// How the forward pass expects the adjacency to be normalised. Implied by
+/// the architecture but recorded explicitly so a reader can detect a
+/// mismatched (or future, differently-normalised) snapshot without
+/// guessing.
+struct GraphMeta {
+  std::string normalization;  ///< "sym" (GCN), "row" (SAGE), "none" (GAT)
+  bool self_loops = true;     ///< forward assumes self loops in the graph
+  std::int64_t num_nodes = 0; ///< graph the soup was trained on
+  std::int64_t num_edges = 0;
+  std::string dataset;        ///< training dataset name (diagnostics)
+};
+
+struct Snapshot {
+  ModelConfig config;
+  GraphMeta graph;
+  std::string method;  ///< souping method that produced `params`
+  ParamStore params;
+
+  /// The normalisation string implied by an architecture.
+  static const char* arch_normalization(Arch arch);
+
+  /// Cross-field validation: normalisation matches the architecture, and
+  /// every parameter the architecture requires is present with the shape
+  /// the config implies. Throws CheckError on violation — a snapshot that
+  /// passes validate() is safe to hand to the inference engine.
+  void validate() const;
+
+  /// True if `graph` (node/edge counts) matches the serving graph.
+  bool matches_graph(const Csr& csr) const;
+};
+
+/// Assemble a snapshot from a souped model. `soup` is deep-copied so the
+/// snapshot owns its weights independently of the training run.
+Snapshot make_snapshot(const ModelConfig& config, const ParamStore& soup,
+                       const Dataset& data, const std::string& method);
+
+void write_snapshot(std::ostream& os, const Snapshot& snap);
+Snapshot read_snapshot(std::istream& is);
+
+/// File-level helpers (throw CheckError on I/O failure or corruption).
+void save_snapshot(const std::string& path, const Snapshot& snap);
+Snapshot load_snapshot(const std::string& path);
+
+}  // namespace gsoup::serve

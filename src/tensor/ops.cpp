@@ -502,6 +502,33 @@ Tensor vec_softmax(const Tensor& a) {
   return c;
 }
 
+void per_head_dot_into(const Tensor& x, const Tensor& a, std::int64_t heads,
+                       Tensor& out) {
+  GSOUP_CHECK_MSG(x.rank() == 2 && a.rank() == 1 &&
+                      x.shape(1) == a.shape(0) && heads >= 1 &&
+                      x.shape(1) % heads == 0,
+                  "per_head_dot_into: bad shapes " << x.shape_str() << " / "
+                                                   << a.shape_str());
+  const std::int64_t n = x.shape(0);
+  const std::int64_t d = x.shape(1) / heads;
+  GSOUP_CHECK_MSG(out.rank() == 2 && out.shape(0) == n &&
+                      out.shape(1) == heads,
+                  "per_head_dot_into: bad output shape " << out.shape_str());
+  const float* __restrict__ px = x.data();
+  const float* __restrict__ pa = a.data();
+  float* __restrict__ po = out.data();
+#pragma omp parallel for schedule(static) if (n >= 256)
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t h = 0; h < heads; ++h) {
+      const float* xrow = px + i * heads * d + h * d;
+      const float* arow = pa + h * d;
+      float acc = 0.0f;
+      for (std::int64_t j = 0; j < d; ++j) acc += xrow[j] * arow[j];
+      po[i * heads + h] = acc;
+    }
+  }
+}
+
 float max_abs_diff(const Tensor& a, const Tensor& b) {
   GSOUP_CHECK_MSG(same_shape(a, b), "max_abs_diff shape mismatch");
   float mx = 0.0f;

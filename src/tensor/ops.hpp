@@ -67,6 +67,24 @@ std::vector<std::int64_t> row_argmax(const Tensor& a);
 /// Softmax over a flat vector (used for ingredient interpolation logits).
 Tensor vec_softmax(const Tensor& a);
 
+/// Index of the largest element in a raw row of length n (first wins on
+/// ties). Allocation-free counterpart of row_argmax for the serving hot
+/// paths, shared so tie-breaking stays consistent everywhere.
+inline std::int64_t argmax_row(const float* row, std::int64_t n) {
+  std::int64_t best = 0;
+  for (std::int64_t j = 1; j < n; ++j) {
+    if (row[j] > row[best]) best = j;
+  }
+  return best;
+}
+
+/// Per-head inner product into a preallocated output: out[i,h] =
+/// Σ_j x[i, h*d+j] · a[h*d+j] for x [n, heads*d], a rank-1 [heads*d],
+/// out [n, heads]. Shared by the GAT training forward (ag::per_head_dot)
+/// and the autograd-free serving engine so both produce identical scores.
+void per_head_dot_into(const Tensor& x, const Tensor& a, std::int64_t heads,
+                       Tensor& out);
+
 // ---- Comparison helpers (tests) -----------------------------------------
 
 /// max_i |a_i - b_i| over equal-shaped tensors.

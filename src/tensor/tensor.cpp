@@ -201,4 +201,16 @@ Tensor Tensor::reshape(Shape new_shape) const {
   return t;
 }
 
+Tensor Tensor::view_prefix(Shape shape) const {
+  const std::int64_t wanted = shape_numel(shape);
+  GSOUP_CHECK_MSG(defined(), "view_prefix on undefined tensor");
+  GSOUP_CHECK_MSG(wanted <= numel_, "view_prefix: " << wanted
+                                        << " elements requested from a "
+                                        << numel_ << "-element tensor");
+  Tensor t = *this;
+  t.shape_ = std::move(shape);
+  t.numel_ = wanted;
+  return t;
+}
+
 }  // namespace gsoup

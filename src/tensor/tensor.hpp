@@ -82,6 +82,11 @@ class Tensor {
   Tensor clone() const;
   /// Same storage viewed with a different (equal-numel) shape.
   Tensor reshape(Shape new_shape) const;
+  /// Same storage viewed as a (possibly smaller) tensor occupying the
+  /// leading shape_numel(shape) elements. No copy, no allocation — this is
+  /// how the serving engine carves per-layer working views out of its
+  /// preallocated workspaces without touching the heap per request.
+  Tensor view_prefix(Shape shape) const;
 
   /// True if the two tensors share the same underlying buffer.
   bool shares_storage_with(const Tensor& other) const {

@@ -1,0 +1,20 @@
+// Small statistics helpers shared by the serving stats path and the
+// benchmark reports, so quantities like "p50" mean the same thing in
+// every artifact that prints one.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gsoup {
+
+/// Nearest-rank percentile over an ascending-sorted sample: q in [0, 1],
+/// index q·(n−1) truncated. Returns 0 for an empty sample.
+inline double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx =
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace gsoup

@@ -13,6 +13,7 @@
 #include "io/serialize.hpp"
 #include "tensor/init.hpp"
 #include "tensor/ops.hpp"
+#include "util/memory_tracker.hpp"
 #include "util/rng.hpp"
 
 namespace gsoup {
@@ -72,6 +73,86 @@ TEST(Serialize, TruncatedStreamThrows) {
   const std::string full = ss.str();
   std::stringstream truncated(full.substr(0, full.size() / 2));
   EXPECT_THROW(io::read_tensor(truncated), CheckError);
+}
+
+TEST(Serialize, WrongVersionThrows) {
+  // A valid tensor header with its version word bumped must be rejected.
+  Tensor t = Tensor::of({1.0f, 2.0f});
+  std::stringstream ss;
+  io::write_tensor(ss, t);
+  std::string bytes = ss.str();
+  bytes[4] = 0x7f;  // version field follows the 4-byte magic
+  std::stringstream patched(bytes);
+  EXPECT_THROW(io::read_tensor(patched), CheckError);
+}
+
+TEST(Serialize, NegativeTensorDimThrows) {
+  std::stringstream ss;
+  io::detail::write_header(ss, 0x47544E53 /*GTNS*/, 1);
+  io::detail::write_pod<std::uint32_t>(ss, 2);  // rank
+  io::detail::write_pod<std::int64_t>(ss, -4);  // corrupt dimension
+  io::detail::write_pod<std::int64_t>(ss, 8);
+  EXPECT_THROW(io::read_tensor(ss), CheckError);
+}
+
+TEST(Serialize, HugeTensorDimThrowsInsteadOfAllocating) {
+  std::stringstream ss;
+  io::detail::write_header(ss, 0x47544E53 /*GTNS*/, 1);
+  io::detail::write_pod<std::uint32_t>(ss, 2);
+  io::detail::write_pod<std::int64_t>(ss, 1LL << 40);  // ~4 TiB of floats
+  io::detail::write_pod<std::int64_t>(ss, 1LL << 40);
+  EXPECT_THROW(io::read_tensor(ss), CheckError);
+}
+
+TEST(Serialize, PlausibleTruncatedTensorHeaderThrowsBeforeAllocating) {
+  // Dims small enough to pass the per-dimension plausibility checks
+  // (30000 × 30000 ≈ 3.6 GB of floats) but with no payload behind them:
+  // the stream-size probe must reject before Tensor::empty ever runs, so
+  // no tensor storage is allocated for the phantom payload.
+  std::stringstream ss;
+  io::detail::write_header(ss, 0x47544E53 /*GTNS*/, 1);
+  io::detail::write_pod<std::uint32_t>(ss, 2);
+  io::detail::write_pod<std::int64_t>(ss, 30000);
+  io::detail::write_pod<std::int64_t>(ss, 30000);
+  const std::uint64_t allocs = MemoryTracker::alloc_count();
+  EXPECT_THROW(io::read_tensor(ss), CheckError);
+  EXPECT_EQ(MemoryTracker::alloc_count(), allocs);
+}
+
+TEST(Serialize, HugeVectorLengthThrowsInsteadOfAllocating) {
+  // A dataset whose indptr length field claims ~10^12 entries must raise
+  // CheckError once the stream runs dry — not std::bad_alloc.
+  std::stringstream ss;
+  io::detail::write_header(ss, 0x47445354 /*GDST*/, 1);
+  io::detail::write_string(ss, "corrupt");
+  io::detail::write_pod<std::int64_t>(ss, 100);            // num_nodes
+  io::detail::write_pod<std::uint64_t>(ss, 1ULL << 36);    // indptr length
+  EXPECT_THROW(io::read_dataset(ss), CheckError);
+}
+
+TEST(Serialize, EmptyStreamThrows) {
+  std::stringstream empty;
+  EXPECT_THROW(io::read_params(empty), CheckError);
+  std::stringstream empty2;
+  EXPECT_THROW(io::read_dataset(empty2), CheckError);
+}
+
+TEST(Serialize, ParamsBadMagicThrows) {
+  std::stringstream ss;
+  ss << "GARBAGEGARBAGEGARBAGE";
+  EXPECT_THROW(io::read_params(ss), CheckError);
+}
+
+TEST(Serialize, TruncatedParamsThrows) {
+  ParamStore store;
+  store.add("layers.0.weight", Tensor::full({16, 16}, 1.0f), 0);
+  store.add("layers.1.weight", Tensor::full({16, 16}, 2.0f), 1);
+  std::stringstream ss;
+  io::write_params(ss, store);
+  const std::string full = ss.str();
+  // Cut mid-way through the second entry.
+  std::stringstream truncated(full.substr(0, full.size() - 100));
+  EXPECT_THROW(io::read_params(truncated), CheckError);
 }
 
 TEST(Serialize, ParamStoreRoundTrip) {

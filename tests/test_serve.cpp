@@ -1,0 +1,364 @@
+// Serving subsystem tests: snapshot round-trip and corruption handling,
+// inference-engine parity with the training-path forward (all three
+// architectures, full-graph and exact-subgraph batch queries), the
+// zero-allocation-per-request property, and end-to-end batch serving.
+#include <future>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ag/value.hpp"
+#include "graph/generator.hpp"
+#include "nn/model.hpp"
+#include "serve/engine.hpp"
+#include "serve/server.hpp"
+#include "serve/snapshot.hpp"
+#include "tensor/ops.hpp"
+#include "util/memory_tracker.hpp"
+#include "util/rng.hpp"
+
+namespace gsoup {
+namespace {
+
+constexpr float kParityTol = 1e-5f;
+
+Dataset test_dataset() {
+  SyntheticSpec spec;
+  spec.num_nodes = 220;
+  spec.avg_degree = 8.0;
+  spec.num_classes = 5;
+  spec.feature_dim = 12;
+  spec.degree_sigma = 1.2;
+  spec.seed = 7;
+  return generate_dataset(spec);
+}
+
+ModelConfig test_config(Arch arch, const Dataset& data) {
+  ModelConfig cfg;
+  cfg.arch = arch;
+  cfg.in_dim = data.feature_dim();
+  cfg.out_dim = data.num_classes;
+  cfg.num_layers = 2;
+  cfg.hidden_dim = arch == Arch::kGat ? 6 : 16;
+  cfg.heads = 3;
+  return cfg;
+}
+
+/// Reference logits through the training path (tape + NoGradGuard).
+Tensor training_logits(const GnnModel& model, const GraphContext& ctx,
+                       const Dataset& data, const ParamStore& params) {
+  ag::NoGradGuard guard;
+  const ag::Value features = ag::constant(data.features);
+  const ParamMap pm = as_leaves(params, /*requires_grad=*/false);
+  return model.forward(ctx, features, pm)->value.clone();
+}
+
+std::vector<Arch> all_archs() {
+  return {Arch::kGcn, Arch::kSage, Arch::kGat};
+}
+
+TEST(Snapshot, RoundTripAllArchitectures) {
+  const Dataset data = test_dataset();
+  for (const Arch arch : all_archs()) {
+    const ModelConfig cfg = test_config(arch, data);
+    const GnnModel model(cfg);
+    Rng rng(11);
+    const ParamStore params = model.init_params(rng);
+    const serve::Snapshot snap =
+        serve::make_snapshot(cfg, params, data, "uniform");
+
+    std::stringstream ss;
+    serve::write_snapshot(ss, snap);
+    const serve::Snapshot back = serve::read_snapshot(ss);
+
+    EXPECT_EQ(back.config.arch, cfg.arch);
+    EXPECT_EQ(back.config.in_dim, cfg.in_dim);
+    EXPECT_EQ(back.config.hidden_dim, cfg.hidden_dim);
+    EXPECT_EQ(back.config.out_dim, cfg.out_dim);
+    EXPECT_EQ(back.config.num_layers, cfg.num_layers);
+    EXPECT_EQ(back.config.heads, cfg.heads);
+    EXPECT_EQ(back.graph.normalization,
+              serve::Snapshot::arch_normalization(arch));
+    EXPECT_EQ(back.graph.num_nodes, data.num_nodes());
+    EXPECT_EQ(back.graph.num_edges, data.num_edges());
+    EXPECT_EQ(back.graph.dataset, data.name);
+    EXPECT_EQ(back.method, "uniform");
+    ASSERT_TRUE(ParamStore::compatible(params, back.params));
+    for (const auto& e : params.entries()) {
+      EXPECT_FLOAT_EQ(ops::max_abs_diff(e.tensor, back.params.get(e.name)),
+                      0.0f)
+          << arch_name(arch) << " " << e.name;
+    }
+  }
+}
+
+TEST(Snapshot, RejectsCorruptionAndTruncation) {
+  const Dataset data = test_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const GnnModel model(cfg);
+  Rng rng(3);
+  const serve::Snapshot snap =
+      serve::make_snapshot(cfg, model.init_params(rng), data, "gis");
+  std::stringstream ss;
+  serve::write_snapshot(ss, snap);
+  const std::string bytes = ss.str();
+
+  {
+    std::string bad = bytes;
+    bad[0] ^= 0x5a;  // corrupt magic
+    std::stringstream is(bad);
+    EXPECT_THROW(serve::read_snapshot(is), CheckError);
+  }
+  {
+    std::stringstream is(bytes.substr(0, bytes.size() / 3));  // truncated
+    EXPECT_THROW(serve::read_snapshot(is), CheckError);
+  }
+  {
+    std::stringstream empty;
+    EXPECT_THROW(serve::read_snapshot(empty), CheckError);
+  }
+}
+
+TEST(Snapshot, ValidateCatchesMismatchedParams) {
+  const Dataset data = test_dataset();
+  const ModelConfig gcn = test_config(Arch::kGcn, data);
+  const GnnModel model(gcn);
+  Rng rng(5);
+  const ParamStore params = model.init_params(rng);
+
+  // Weights from a different hidden size must be rejected.
+  ModelConfig wider = gcn;
+  wider.hidden_dim = 32;
+  EXPECT_THROW(serve::make_snapshot(wider, params, data, "uniform"),
+               CheckError);
+
+  // Normalisation string inconsistent with the architecture.
+  serve::Snapshot snap = serve::make_snapshot(gcn, params, data, "uniform");
+  snap.graph.normalization = "row";
+  EXPECT_THROW(snap.validate(), CheckError);
+}
+
+TEST(InferenceEngine, FullGraphParityAllArchitectures) {
+  const Dataset data = test_dataset();
+  for (const Arch arch : all_archs()) {
+    const ModelConfig cfg = test_config(arch, data);
+    const GnnModel model(cfg);
+    Rng rng(13);
+    const ParamStore params = model.init_params(rng);
+    auto ctx = std::make_shared<const GraphContext>(data.graph, arch);
+    const Tensor expected = training_logits(model, *ctx, data, params);
+
+    serve::InferenceEngine engine(cfg, params, ctx, data.features);
+    const Tensor& logits = engine.full_logits();
+    EXPECT_LE(ops::max_abs_diff(logits, expected), kParityTol)
+        << "full-graph parity failed for " << arch_name(arch);
+  }
+}
+
+TEST(InferenceEngine, SubgraphBatchParityAllArchitectures) {
+  const Dataset data = test_dataset();
+  // Mixed batch: hubs, leaves, repeats, first and last node.
+  const std::vector<std::int64_t> nodes = {0, 5, 13, 5, 100, 219, 42, 0};
+  for (const Arch arch : all_archs()) {
+    const ModelConfig cfg = test_config(arch, data);
+    const GnnModel model(cfg);
+    Rng rng(17);
+    const ParamStore params = model.init_params(rng);
+    auto ctx = std::make_shared<const GraphContext>(data.graph, arch);
+    const Tensor expected = training_logits(model, *ctx, data, params);
+
+    serve::InferenceEngine engine(cfg, params, ctx, data.features);
+    Tensor out = Tensor::empty(
+        {static_cast<std::int64_t>(nodes.size()), cfg.out_dim});
+    engine.query(nodes, out);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      for (std::int64_t j = 0; j < cfg.out_dim; ++j) {
+        EXPECT_NEAR(out.at(static_cast<std::int64_t>(i), j),
+                    expected.at(nodes[i], j), kParityTol)
+            << arch_name(arch) << " node " << nodes[i] << " class " << j;
+      }
+    }
+  }
+}
+
+TEST(InferenceEngine, CachedFullModeMatchesSubgraphMode) {
+  const Dataset data = test_dataset();
+  const ModelConfig cfg = test_config(Arch::kSage, data);
+  const GnnModel model(cfg);
+  Rng rng(19);
+  const ParamStore params = model.init_params(rng);
+  auto ctx = std::make_shared<const GraphContext>(data.graph, Arch::kSage);
+
+  serve::InferenceEngine sub(cfg, params, ctx, data.features,
+                             serve::QueryMode::kSubgraph);
+  serve::InferenceEngine cached(cfg, params, ctx, data.features,
+                                serve::QueryMode::kCachedFull);
+  const std::vector<std::int64_t> nodes = {3, 77, 3, 219};
+  Tensor a = Tensor::empty({4, cfg.out_dim});
+  Tensor b = Tensor::empty({4, cfg.out_dim});
+  sub.query(nodes, a);
+  cached.query(nodes, b);
+  EXPECT_LE(ops::max_abs_diff(a, b), kParityTol);
+  EXPECT_EQ(sub.predict(77), cached.predict(77));
+}
+
+TEST(InferenceEngine, RejectsOutOfRangeNodesInBothModes) {
+  const Dataset data = test_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const GnnModel model(cfg);
+  Rng rng(29);
+  const ParamStore params = model.init_params(rng);
+  auto ctx = std::make_shared<const GraphContext>(data.graph, Arch::kGcn);
+  for (const auto mode :
+       {serve::QueryMode::kSubgraph, serve::QueryMode::kCachedFull}) {
+    serve::InferenceEngine engine(cfg, params, ctx, data.features, mode);
+    Tensor out = Tensor::empty({1, cfg.out_dim});
+    const std::vector<std::int64_t> past_end = {data.num_nodes()};
+    const std::vector<std::int64_t> negative = {-1};
+    EXPECT_THROW(engine.query(past_end, out), CheckError);
+    EXPECT_THROW(engine.query(negative, out), CheckError);
+  }
+}
+
+TEST(InferenceEngine, ZeroTrackedAllocationsAfterWarmup) {
+  const Dataset data = test_dataset();
+  for (const Arch arch : all_archs()) {
+    const ModelConfig cfg = test_config(arch, data);
+    const GnnModel model(cfg);
+    Rng rng(23);
+    const ParamStore params = model.init_params(rng);
+    auto ctx = std::make_shared<const GraphContext>(data.graph, arch);
+    serve::InferenceEngine engine(cfg, params, ctx, data.features);
+
+    Tensor out = Tensor::empty({16, cfg.out_dim});
+    std::vector<std::int64_t> nodes(16);
+
+    // Warm-up: one full pass and two batches (plan vectors reach their
+    // steady-state capacity).
+    engine.full_logits();
+    for (int rep = 0; rep < 2; ++rep) {
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        nodes[i] = static_cast<std::int64_t>((i * 13 + rep) % 220);
+      }
+      engine.query(nodes, out);
+    }
+
+    const std::uint64_t allocs = MemoryTracker::alloc_count();
+    for (int rep = 0; rep < 25; ++rep) {
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        nodes[i] = static_cast<std::int64_t>((i * 7 + rep * 31) % 220);
+      }
+      engine.query(nodes, out);
+    }
+    engine.full_logits();  // cached — must also be free
+    (void)engine.predict(9);
+    EXPECT_EQ(MemoryTracker::alloc_count(), allocs)
+        << arch_name(arch) << ": serving requests allocated tensors";
+  }
+}
+
+TEST(BatchServer, AnswersMatchTrainingForward) {
+  const Dataset data = test_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const GnnModel model(cfg);
+  Rng rng(29);
+  const ParamStore params = model.init_params(rng);
+  auto ctx = std::make_shared<const GraphContext>(data.graph, Arch::kGcn);
+  const Tensor expected = training_logits(model, *ctx, data, params);
+  const auto expected_labels = ops::row_argmax(expected);
+
+  const serve::Snapshot snap =
+      serve::make_snapshot(cfg, params, data, "uniform");
+  serve::ServerConfig server_cfg;
+  server_cfg.workers = 2;
+  server_cfg.max_batch = 8;
+  server_cfg.max_delay_ms = 5.0;
+  serve::BatchServer server(snap, ctx, data.features, server_cfg);
+
+  // Three client threads, 60 queries each.
+  constexpr int kClients = 3, kPerClient = 60;
+  std::vector<std::vector<std::future<serve::Prediction>>> futures(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::int64_t node = (c * 71 + i * 3) % data.num_nodes();
+        futures[static_cast<std::size_t>(c)].push_back(server.submit(node));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.drain();
+
+  for (auto& client_futures : futures) {
+    for (auto& fut : client_futures) {
+      const serve::Prediction pred = fut.get();
+      EXPECT_EQ(pred.label,
+                static_cast<std::int32_t>(
+                    expected_labels[static_cast<std::size_t>(pred.node)]))
+          << "node " << pred.node;
+      EXPECT_FLOAT_EQ(pred.score, expected.at(pred.node, pred.label));
+    }
+  }
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries, kClients * kPerClient);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_LE(stats.p50_latency_ms, stats.p99_latency_ms);
+}
+
+TEST(BatchServer, CoalescesUnderLatencyBudget) {
+  const Dataset data = test_dataset();
+  const ModelConfig cfg = test_config(Arch::kSage, data);
+  const GnnModel model(cfg);
+  Rng rng(31);
+  const serve::Snapshot snap =
+      serve::make_snapshot(cfg, model.init_params(rng), data, "uniform");
+  auto ctx = std::make_shared<const GraphContext>(data.graph, Arch::kSage);
+
+  serve::ServerConfig server_cfg;
+  server_cfg.workers = 1;
+  server_cfg.max_batch = 8;
+  server_cfg.max_delay_ms = 20.0;  // generous budget: queries pile up
+  serve::BatchServer server(snap, ctx, data.features, server_cfg);
+
+  std::vector<std::future<serve::Prediction>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(server.submit(i % data.num_nodes()));
+  }
+  server.drain();
+  for (auto& fut : futures) EXPECT_GE(fut.get().label, 0);
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries, 32u);
+  // 32 rapid-fire queries against an 8-wide batch and a 20 ms budget must
+  // coalesce; even with scheduler noise the batch count stays well under
+  // one-batch-per-query.
+  EXPECT_LE(stats.batches, 16u);
+  EXPECT_GE(stats.mean_batch, 2.0);
+}
+
+TEST(BatchServer, RejectsOutOfRangeSubmitSynchronously) {
+  const Dataset data = test_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const GnnModel model(cfg);
+  Rng rng(37);
+  const serve::Snapshot snap =
+      serve::make_snapshot(cfg, model.init_params(rng), data, "uniform");
+  auto ctx = std::make_shared<const GraphContext>(data.graph, Arch::kGcn);
+  serve::BatchServer server(snap, ctx, data.features);
+
+  // Bad ids throw at submit() and never reach a batch, so a concurrent
+  // valid query is unaffected.
+  EXPECT_THROW(server.submit(-1), CheckError);
+  EXPECT_THROW(server.submit(data.num_nodes()), CheckError);
+  auto fut = server.submit(0);
+  server.drain();
+  EXPECT_GE(fut.get().label, 0);
+  EXPECT_EQ(server.stats().queries, 1u);
+}
+
+}  // namespace
+}  // namespace gsoup

@@ -1,0 +1,406 @@
+// Benchmark regression gate: compare a candidate BENCH_*.json against the
+// committed baseline and fail (exit 1) when any matched record's metric
+// regresses beyond the tolerance.
+//
+//   bench_compare --baseline BENCH_kernels.json --candidate bench-ci.json
+//                 [--metric speedup_vs_naive] [--tolerance 0.10]
+//                 [--min-metric X] [--min-matches 1]
+//
+// --min-metric X additionally fails any matched higher-is-better record
+// whose candidate value is below X, regardless of the relative delta —
+// e.g. --min-metric 1.15 on speedup_vs_naive catches a blocked kernel
+// silently falling back to its ~1.0x naive path even when the relative
+// tolerance is sized generously for noisy CI runners.
+//
+// Understands both artifact schemas:
+//   gsoup-bench-kernels/v1  records under "kernels", keyed by
+//                           kernel|variant|shape. Default metric
+//                           "speedup_vs_naive" — a *relative* number
+//                           (blocked vs naive measured in the same run on
+//                           the same machine), so the gate is meaningful
+//                           even when baseline and CI hardware differ.
+//                           "gflops"/"gbps" (higher-better) and
+//                           "seconds_min" (lower-better) are available for
+//                           same-machine comparisons.
+//   gsoup-bench-serving/v1  records under "results", keyed by
+//                           bench|arch|shape|batch|workers. Default
+//                           metric "qps".
+//
+// Records whose baseline metric is <= 0 are skipped (no twin measured).
+// Baseline records absent from the candidate FAIL the run — a variant
+// that stopped being measured is a regression, not a skip.
+// Exit codes: 0 ok, 1 regression/missing, 2 usage/parse error, 3 too few
+// matches.
+//
+// Self-contained (tiny recursive-descent JSON parser, no gsoup/library
+// dependency) so the gate itself cannot be broken by the code it polices.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---- Minimal JSON value -------------------------------------------------
+
+struct Json;
+using JsonPtr = std::shared_ptr<Json>;
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonPtr> array;
+  std::map<std::string, JsonPtr> object;
+
+  const Json* get(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : it->second.get();
+  }
+  double num_or(double fallback) const {
+    return type == Type::kNumber ? number : fallback;
+  }
+  std::string str_or(const std::string& fallback) const {
+    return type == Type::kString ? str : fallback;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string text) : text_(std::move(text)) {}
+
+  JsonPtr parse() {
+    JsonPtr v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  void fail(const std::string& why) {
+    if (error_.empty()) {
+      error_ = why + " at byte " + std::to_string(pos_);
+      pos_ = text_.size();  // stop consuming
+    }
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  JsonPtr value() {
+    auto v = std::make_shared<Json>();
+    const char c = peek();
+    if (c == '{') return object_value();
+    if (c == '[') return array_value();
+    if (c == '"') {
+      v->type = Json::Type::kString;
+      v->str = string_value();
+      return v;
+    }
+    if (c == 't' || c == 'f') {
+      const bool is_true = c == 't';
+      const char* word = is_true ? "true" : "false";
+      if (text_.compare(pos_, std::strlen(word), word) != 0) fail("bad literal");
+      pos_ += std::strlen(word);
+      v->type = Json::Type::kBool;
+      v->boolean = is_true;
+      return v;
+    }
+    if (c == 'n') {
+      if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
+      pos_ += 4;
+      return v;
+    }
+    // number
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            std::strchr("+-.eE", text_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("unexpected character");
+      return v;
+    }
+    v->type = Json::Type::kNumber;
+    v->number = std::atof(text_.substr(start, pos_ - start).c_str());
+    return v;
+  }
+
+  std::string string_value() {
+    std::string out;
+    if (!consume('"')) {
+      fail("expected string");
+      return out;
+    }
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u':
+            pos_ += 4;  // keep it simple: skip the code point
+            c = '?';
+            break;
+          default: c = esc;
+        }
+      }
+      out.push_back(c);
+    }
+    if (!consume('"')) fail("unterminated string");
+    return out;
+  }
+
+  JsonPtr array_value() {
+    auto v = std::make_shared<Json>();
+    v->type = Json::Type::kArray;
+    consume('[');
+    if (consume(']')) return v;
+    do {
+      v->array.push_back(value());
+    } while (consume(','));
+    if (!consume(']')) fail("expected ]");
+    return v;
+  }
+
+  JsonPtr object_value() {
+    auto v = std::make_shared<Json>();
+    v->type = Json::Type::kObject;
+    consume('{');
+    if (consume('}')) return v;
+    do {
+      const std::string key = string_value();
+      if (!consume(':')) fail("expected :");
+      v->object[key] = value();
+    } while (consume(','));
+    if (!consume('}')) fail("expected }");
+    return v;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---- Schema handling ----------------------------------------------------
+
+struct Artifact {
+  std::string schema;
+  /// key -> metric-name -> value
+  std::map<std::string, std::map<std::string, double>> records;
+};
+
+bool load_artifact(const std::string& path, Artifact& out,
+                   std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  Parser parser(buf.str());
+  const JsonPtr root = parser.parse();
+  if (!parser.ok()) {
+    error = path + ": " + parser.error();
+    return false;
+  }
+  if (root->type != Json::Type::kObject) {
+    error = path + ": top level is not an object";
+    return false;
+  }
+  const Json* schema = root->get("schema");
+  out.schema = schema ? schema->str_or("") : "";
+
+  const char* list_key = nullptr;
+  std::vector<const char*> key_fields;
+  if (out.schema == "gsoup-bench-kernels/v1") {
+    list_key = "kernels";
+    key_fields = {"kernel", "variant", "shape"};
+  } else if (out.schema == "gsoup-bench-serving/v1") {
+    list_key = "results";
+    // workers is part of the identity: the same bench at different worker
+    // counts must not collide into one record.
+    key_fields = {"bench", "arch", "shape", "batch", "workers"};
+  } else {
+    error = path + ": unknown schema '" + out.schema + "'";
+    return false;
+  }
+
+  const Json* list = root->get(list_key);
+  if (!list || list->type != Json::Type::kArray) {
+    error = path + ": missing '" + std::string(list_key) + "' array";
+    return false;
+  }
+  for (const auto& rec : list->array) {
+    if (rec->type != Json::Type::kObject) continue;
+    std::string key;
+    for (const char* field : key_fields) {
+      const Json* f = rec->get(field);
+      if (!key.empty()) key += "|";
+      if (f == nullptr) {
+        key += "-";
+      } else if (f->type == Json::Type::kNumber) {
+        std::ostringstream os;
+        os << f->number;
+        key += os.str();
+      } else {
+        key += f->str_or("-");
+      }
+    }
+    auto& metrics = out.records[key];
+    for (const auto& [name, val] : rec->object) {
+      if (val->type == Json::Type::kNumber) metrics[name] = val->number;
+    }
+  }
+  return true;
+}
+
+bool lower_is_better(const std::string& metric) {
+  return metric.find("seconds") != std::string::npos ||
+         metric.find("_ms") != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, candidate_path, metric;
+  double tolerance = 0.10;
+  double min_metric = 0.0;
+  int min_matches = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* v = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--baseline" && v) { baseline_path = v; ++i; }
+    else if (flag == "--candidate" && v) { candidate_path = v; ++i; }
+    else if (flag == "--metric" && v) { metric = v; ++i; }
+    else if (flag == "--tolerance" && v) { tolerance = std::atof(v); ++i; }
+    else if (flag == "--min-metric" && v) { min_metric = std::atof(v); ++i; }
+    else if (flag == "--min-matches" && v) { min_matches = std::atoi(v); ++i; }
+    else {
+      std::fprintf(stderr,
+                   "usage: %s --baseline PATH --candidate PATH "
+                   "[--metric NAME] [--tolerance 0.10] [--min-metric X] "
+                   "[--min-matches 1]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || candidate_path.empty()) {
+    std::fprintf(stderr, "bench_compare: --baseline and --candidate are required\n");
+    return 2;
+  }
+
+  Artifact baseline, candidate;
+  std::string error;
+  if (!load_artifact(baseline_path, baseline, error) ||
+      !load_artifact(candidate_path, candidate, error)) {
+    std::fprintf(stderr, "bench_compare: %s\n", error.c_str());
+    return 2;
+  }
+  if (baseline.schema != candidate.schema) {
+    std::fprintf(stderr, "bench_compare: schema mismatch (%s vs %s)\n",
+                 baseline.schema.c_str(), candidate.schema.c_str());
+    return 2;
+  }
+  if (metric.empty()) {
+    metric = baseline.schema == "gsoup-bench-serving/v1" ? "qps"
+                                                         : "speedup_vs_naive";
+  }
+  const bool lower = lower_is_better(metric);
+
+  std::printf("comparing '%s' (%s, tolerance %.0f%%)\n", metric.c_str(),
+              lower ? "lower is better" : "higher is better",
+              tolerance * 100);
+  std::printf("%-52s %12s %12s %8s  %s\n", "record", "baseline", "candidate",
+              "delta", "status");
+
+  int matches = 0, regressions = 0, missing = 0;
+  for (const auto& [key, base_metrics] : baseline.records) {
+    const auto base_it = base_metrics.find(metric);
+    if (base_it == base_metrics.end() || base_it->second <= 0.0) continue;
+    const auto cand_rec = candidate.records.find(key);
+    double cand = 0.0;
+    bool found = false;
+    if (cand_rec != candidate.records.end()) {
+      const auto cand_it = cand_rec->second.find(metric);
+      if (cand_it != cand_rec->second.end()) {
+        cand = cand_it->second;
+        found = true;
+      }
+    }
+    if (!found) {
+      // A vanished record is the worst regression class this gate exists
+      // for (a variant that silently stopped being measured at all), so it
+      // fails the run rather than being skipped.
+      ++missing;
+      std::printf("%-52s %12.4f %12s %8s  MISSING\n", key.c_str(),
+                  base_it->second, "-", "-");
+      continue;
+    }
+
+    ++matches;
+    const double base = base_it->second;
+    const double delta = (cand - base) / base;
+    // The absolute floor exists for relative metrics like
+    // speedup_vs_naive: a candidate at ~1.0x means the optimised path
+    // stopped running at all, which a generous relative tolerance (sized
+    // for noisy CI runners) might not catch on weak baselines.
+    const bool below_floor = min_metric > 0.0 && !lower && cand < min_metric;
+    const bool regressed =
+        (lower ? delta > tolerance : delta < -tolerance) || below_floor;
+    if (regressed) ++regressions;
+    std::printf("%-52s %12.4f %12.4f %+7.1f%%  %s\n", key.c_str(), base,
+                cand, delta * 100,
+                below_floor ? "BELOW-FLOOR"
+                            : (regressed ? "REGRESSED" : "ok"));
+  }
+
+  if (matches < min_matches) {
+    std::fprintf(stderr,
+                 "bench_compare: only %d matched record(s); need %d — are "
+                 "the artifacts from comparable runs?\n",
+                 matches, min_matches);
+    return 3;
+  }
+  if (missing > 0) {
+    std::fprintf(stderr,
+                 "bench_compare: %d baseline record(s) missing from the "
+                 "candidate\n",
+                 missing);
+    return 1;
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr, "bench_compare: %d regression(s) beyond %.0f%%\n",
+                 regressions, tolerance * 100);
+    return 1;
+  }
+  std::printf("bench_compare: %d record(s) within tolerance\n", matches);
+  return 0;
+}

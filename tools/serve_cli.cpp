@@ -1,0 +1,337 @@
+// Serving command-line tool: train a soup and freeze it into a snapshot,
+// inspect snapshots, answer node queries, and load-test the batch server.
+//
+//   serve_cli save  --out soup.gsnp --data graph.gds [--arch gcn|sage|gat]
+//                   [--preset flickr|arxiv|reddit|products] [--scale 0.25]
+//                   [--ingredients 4] [--epochs 30] [--workers 2]
+//                   [--method uniform|learned]
+//       Generate a dataset, train ingredients, soup them, and write both
+//       the dataset and the model snapshot.
+//
+//   serve_cli info  --snapshot soup.gsnp
+//       Print a snapshot's architecture, graph metadata and parameters.
+//
+//   serve_cli query --snapshot soup.gsnp --data graph.gds --nodes 0,5,17
+//                   [--mode subgraph|full]
+//       Answer node-classification queries through the inference engine.
+//
+//   serve_cli bench --snapshot soup.gsnp --data graph.gds [--requests 2000]
+//                   [--batch 64] [--workers 2] [--clients 4]
+//                   [--delay-ms 2.0] [--mode subgraph|full]
+//       Drive the batch server from concurrent clients and report
+//       p50/p99 latency and QPS, plus the unbatched single-query baseline.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/learned.hpp"
+#include "core/soup.hpp"
+#include "core/uniform.hpp"
+#include "graph/generator.hpp"
+#include "io/serialize.hpp"
+#include "nn/model.hpp"
+#include "serve/engine.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+#include "serve/snapshot.hpp"
+#include "tensor/ops.hpp"
+#include "train/ingredient_farm.hpp"
+#include "train/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace gsoup;
+
+struct Args {
+  std::string cmd;
+  std::string snapshot_path;
+  std::string data_path;
+  std::string out_path;
+  std::string arch = "gcn";
+  std::string preset = "arxiv";
+  std::string method = "uniform";
+  std::string mode = "subgraph";
+  std::string nodes;
+  double scale = 0.25;
+  double delay_ms = 2.0;
+  std::int64_t ingredients = 4;
+  std::int64_t epochs = 30;
+  std::int64_t workers = 2;
+  std::int64_t requests = 2000;
+  std::int64_t batch = 64;
+  std::int64_t clients = 4;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s save|info|query|bench [options]\n"
+               "see the header of tools/serve_cli.cpp for details\n",
+               argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  if (argc < 2) return false;
+  args.cmd = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--snapshot" && (v = next())) args.snapshot_path = v;
+    else if (flag == "--data" && (v = next())) args.data_path = v;
+    else if (flag == "--out" && (v = next())) args.out_path = v;
+    else if (flag == "--arch" && (v = next())) args.arch = v;
+    else if (flag == "--preset" && (v = next())) args.preset = v;
+    else if (flag == "--method" && (v = next())) args.method = v;
+    else if (flag == "--mode" && (v = next())) args.mode = v;
+    else if (flag == "--nodes" && (v = next())) args.nodes = v;
+    else if (flag == "--scale" && (v = next())) args.scale = std::atof(v);
+    else if (flag == "--delay-ms" && (v = next())) args.delay_ms = std::atof(v);
+    else if (flag == "--ingredients" && (v = next())) args.ingredients = std::atoll(v);
+    else if (flag == "--epochs" && (v = next())) args.epochs = std::atoll(v);
+    else if (flag == "--workers" && (v = next())) args.workers = std::atoll(v);
+    else if (flag == "--requests" && (v = next())) args.requests = std::atoll(v);
+    else if (flag == "--batch" && (v = next())) args.batch = std::atoll(v);
+    else if (flag == "--clients" && (v = next())) args.clients = std::atoll(v);
+    else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Arch parse_arch(const std::string& name) {
+  if (name == "gcn") return Arch::kGcn;
+  if (name == "sage") return Arch::kSage;
+  if (name == "gat") return Arch::kGat;
+  GSOUP_CHECK_MSG(false, "unknown arch '" << name << "'");
+  return Arch::kGcn;
+}
+
+serve::QueryMode parse_mode(const std::string& name) {
+  if (name == "subgraph") return serve::QueryMode::kSubgraph;
+  if (name == "full") return serve::QueryMode::kCachedFull;
+  GSOUP_CHECK_MSG(false, "unknown query mode '" << name << "'");
+  return serve::QueryMode::kSubgraph;
+}
+
+SyntheticSpec preset_spec(const std::string& preset, double scale) {
+  if (preset == "flickr") return flickr_like_spec(scale);
+  if (preset == "arxiv") return arxiv_like_spec(scale);
+  if (preset == "reddit") return reddit_like_spec(scale);
+  if (preset == "products") return products_like_spec(scale);
+  GSOUP_CHECK_MSG(false, "unknown preset '" << preset << "'");
+  return {};
+}
+
+/// A snapshot answers queries correctly only over the graph it was souped
+/// on; the engine constructor can't tell (dims may match across datasets),
+/// so every serving entry point checks the snapshot's graph metadata.
+void check_snapshot_graph(const serve::Snapshot& snap, const Dataset& data) {
+  GSOUP_CHECK_MSG(snap.matches_graph(data.graph),
+                  "snapshot was souped on '"
+                      << snap.graph.dataset << "' (" << snap.graph.num_nodes
+                      << " nodes, " << snap.graph.num_edges
+                      << " edges); --data has " << data.num_nodes()
+                      << " nodes, " << data.num_edges() << " edges");
+}
+
+std::vector<std::int64_t> parse_node_list(const std::string& csv) {
+  std::vector<std::int64_t> nodes;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    char* end = nullptr;
+    const long long v = std::strtoll(item.c_str(), &end, 10);
+    GSOUP_CHECK_MSG(end != item.c_str() && *end == '\0',
+                    "--nodes: '" << item << "' is not an integer");
+    nodes.push_back(v);
+  }
+  return nodes;
+}
+
+int cmd_save(const Args& args) {
+  GSOUP_CHECK_MSG(!args.out_path.empty() && !args.data_path.empty(),
+                  "save needs --out and --data");
+  const Dataset data = generate_dataset(preset_spec(args.preset, args.scale));
+  std::printf("dataset: %s\n", dataset_summary(data).c_str());
+  io::save_dataset(args.data_path, data);
+
+  ModelConfig cfg;
+  cfg.arch = parse_arch(args.arch);
+  cfg.in_dim = data.feature_dim();
+  cfg.out_dim = data.num_classes;
+  cfg.num_layers = 2;
+  cfg.hidden_dim = cfg.arch == Arch::kGat ? 16 : 64;
+  cfg.heads = 4;
+  cfg.dropout = 0.5f;
+  const GnnModel model(cfg);
+  const GraphContext ctx(data.graph, cfg.arch);
+
+  FarmConfig farm;
+  farm.num_ingredients = args.ingredients;
+  farm.num_workers = args.workers;
+  farm.train.epochs = args.epochs;
+  farm.train.schedule.base_lr = cfg.arch == Arch::kSage ? 0.05 : 0.01;
+  farm.train.optimizer.kind = OptimizerKind::kAdam;
+  std::printf("training %lld ingredients (%lld workers, %lld epochs)...\n",
+              static_cast<long long>(farm.num_ingredients),
+              static_cast<long long>(farm.num_workers),
+              static_cast<long long>(args.epochs));
+  const FarmResult ingredients = train_ingredients(model, ctx, data, farm);
+  std::printf("ingredients: mean test acc %.2f%% in %.1fs wall\n",
+              ingredients.mean_test_acc * 100, ingredients.wall_seconds);
+
+  const SoupContext sctx{model, ctx, data, ingredients.ingredients};
+  std::unique_ptr<Souper> souper;
+  if (args.method == "uniform") {
+    souper = std::make_unique<UniformSouper>();
+  } else if (args.method == "learned") {
+    souper = std::make_unique<LearnedSouper>();
+  } else {
+    GSOUP_CHECK_MSG(false, "unknown souping method '" << args.method << "'");
+  }
+  const SoupReport report = run_souper(*souper, sctx);
+  std::printf("%s soup: test acc %.2f%% (souped in %.2fs)\n",
+              report.method.c_str(), report.test_acc * 100, report.seconds);
+
+  const serve::Snapshot snap =
+      serve::make_snapshot(cfg, report.soup, data, report.method);
+  serve::save_snapshot(args.out_path, snap);
+  std::printf("wrote snapshot %s (%zu params, %lld weights) and dataset %s\n",
+              args.out_path.c_str(), snap.params.size(),
+              static_cast<long long>(snap.params.total_params()),
+              args.data_path.c_str());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  GSOUP_CHECK_MSG(!args.snapshot_path.empty(), "info needs --snapshot");
+  const serve::Snapshot snap = serve::load_snapshot(args.snapshot_path);
+  std::printf("model:    %s\n", snap.config.describe().c_str());
+  std::printf("method:   %s\n", snap.method.c_str());
+  std::printf("graph:    %s (%lld nodes, %lld edges, norm=%s, self_loops=%d)\n",
+              snap.graph.dataset.c_str(),
+              static_cast<long long>(snap.graph.num_nodes),
+              static_cast<long long>(snap.graph.num_edges),
+              snap.graph.normalization.c_str(),
+              snap.graph.self_loops ? 1 : 0);
+  std::printf("params:   %zu tensors, %lld weights, %.2f MiB\n",
+              snap.params.size(),
+              static_cast<long long>(snap.params.total_params()),
+              static_cast<double>(snap.params.bytes()) / (1024.0 * 1024.0));
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  GSOUP_CHECK_MSG(!args.snapshot_path.empty() && !args.data_path.empty(),
+                  "query needs --snapshot and --data");
+  const serve::Snapshot snap = serve::load_snapshot(args.snapshot_path);
+  const Dataset data = io::load_dataset(args.data_path);
+  check_snapshot_graph(snap, data);
+  const std::vector<std::int64_t> nodes = parse_node_list(args.nodes);
+  GSOUP_CHECK_MSG(!nodes.empty(), "query needs --nodes id[,id...]");
+
+  auto ctx =
+      std::make_shared<const GraphContext>(data.graph, snap.config.arch);
+  serve::InferenceEngine engine(snap.config, snap.params, ctx, data.features,
+                                parse_mode(args.mode));
+  Tensor out = Tensor::empty(
+      {static_cast<std::int64_t>(nodes.size()), snap.config.out_dim});
+  Timer t;
+  engine.query(nodes, out);
+  const double ms = t.milliseconds();
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const float* row = out.data() +
+                       static_cast<std::int64_t>(i) * snap.config.out_dim;
+    const std::int64_t best = ops::argmax_row(row, snap.config.out_dim);
+    std::printf("node %lld -> class %lld (logit %.4f, true %d)\n",
+                static_cast<long long>(nodes[i]),
+                static_cast<long long>(best), row[best],
+                data.labels[static_cast<std::size_t>(nodes[i])]);
+  }
+  std::printf("batch of %zu answered in %.3f ms (%s mode)\n", nodes.size(),
+              ms, args.mode.c_str());
+  return 0;
+}
+
+int cmd_bench(const Args& args) {
+  GSOUP_CHECK_MSG(!args.snapshot_path.empty() && !args.data_path.empty(),
+                  "bench needs --snapshot and --data");
+  const serve::Snapshot snap = serve::load_snapshot(args.snapshot_path);
+  const Dataset data = io::load_dataset(args.data_path);
+  check_snapshot_graph(snap, data);
+  auto ctx =
+      std::make_shared<const GraphContext>(data.graph, snap.config.arch);
+
+  // Unbatched baseline: one engine, one query at a time.
+  {
+    serve::InferenceEngine engine(snap.config, snap.params, ctx,
+                                  data.features, parse_mode(args.mode));
+    Tensor out = Tensor::empty({1, snap.config.out_dim});
+    Rng rng(1);
+    const std::int64_t probes = std::min<std::int64_t>(args.requests, 256);
+    std::int64_t id = rng.uniform_int(data.num_nodes());
+    engine.query(std::span<const std::int64_t>(&id, 1), out);  // warm-up
+    Timer t;
+    for (std::int64_t i = 0; i < probes; ++i) {
+      id = rng.uniform_int(data.num_nodes());
+      engine.query(std::span<const std::int64_t>(&id, 1), out);
+    }
+    std::printf("single-query baseline: %.0f QPS (%.3f ms/query)\n",
+                probes / t.seconds(), t.milliseconds() / probes);
+  }
+
+  serve::ServerConfig cfg;
+  GSOUP_CHECK_MSG(args.clients >= 1, "--clients must be >= 1");
+  GSOUP_CHECK_MSG(args.requests >= 1, "--requests must be >= 1");
+  GSOUP_CHECK_MSG(args.workers >= 1 && args.workers <= 256,
+                  "--workers must be in [1, 256]");
+  cfg.workers = static_cast<std::size_t>(args.workers);
+  cfg.max_batch = args.batch;
+  cfg.max_delay_ms = args.delay_ms;
+  cfg.mode = parse_mode(args.mode);
+  serve::BatchServer server(snap, ctx, data.features, cfg);
+
+  const double seconds = serve::drive_clients(server, args.requests,
+                                              args.clients, data.num_nodes());
+  const serve::ServerStats stats = server.stats();
+  std::printf(
+      "server: %llu queries in %.2fs -> %.0f QPS | batches %llu (mean %.1f) "
+      "| latency p50 %.3f ms, p99 %.3f ms, max %.3f ms\n",
+      static_cast<unsigned long long>(stats.queries), seconds,
+      static_cast<double>(stats.queries) / seconds,
+      static_cast<unsigned long long>(stats.batches), stats.mean_batch,
+      stats.p50_latency_ms, stats.p99_latency_ms, stats.max_latency_ms);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage(argv[0]);
+  try {
+    if (args.cmd == "save") return cmd_save(args);
+    if (args.cmd == "info") return cmd_info(args);
+    if (args.cmd == "query") return cmd_query(args);
+    if (args.cmd == "bench") return cmd_bench(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage(argv[0]);
+}
