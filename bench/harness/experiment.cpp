@@ -34,6 +34,12 @@ Scale Scale::from_env() {
   const auto hw = static_cast<std::int64_t>(
       std::max(1u, std::thread::hardware_concurrency()));
   s.workers = std::max<std::int64_t>(1, env_int("GSOUP_WORKERS", hw));
+  const std::string reorder = env_str("GSOUP_REORDER", "none");
+  const auto parsed = graph::reorder_from_name(reorder);
+  GSOUP_CHECK_MSG(parsed.has_value(),
+                  "GSOUP_REORDER must be none|degree|rcm, got '" << reorder
+                                                                 << "'");
+  s.reorder = *parsed;
   s.cache_dir = io::default_cache_dir();
   return s;
 }
@@ -42,6 +48,11 @@ std::string Scale::tag() const {
   std::ostringstream os;
   os << "n" << ingredients << "-e" << ingredient_epochs << "-s"
      << dataset_scale;
+  // Reordering permutes the dropout-mask-to-node assignment, so cached
+  // accuracies are not interchangeable with the unreordered runs.
+  if (reorder != graph::Reorder::kNone) {
+    os << "-" << graph::reorder_name(reorder);
+  }
   return os.str();
 }
 
@@ -151,9 +162,17 @@ CellResult run_cell(int preset, Arch arch, const Scale& scale) {
     return std::move(*cached);
   }
 
-  const Dataset data = make_dataset(preset, scale);
+  // The locality layer, applied once per cell: build the GraphPlan from
+  // the generated graph, move the whole dataset into plan space, and hand
+  // the plan to the context so every ingredient epoch, soup evaluation
+  // and PLS pass reuses the same cached SpMM layout. All reported metrics
+  // are split aggregates, which are permutation-invariant.
+  Dataset data = make_dataset(preset, scale);
+  const auto plan =
+      std::make_shared<const graph::GraphPlan>(data.graph, scale.reorder);
+  if (plan->active()) data = plan->apply(data);
   const GnnModel model(cell_model_config(arch, data));
-  const GraphContext ctx(data.graph, arch);
+  const GraphContext ctx(plan, arch);
   const auto ingredients = get_ingredients(model, ctx, data, scale);
 
   CellResult cell;

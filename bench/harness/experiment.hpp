@@ -17,6 +17,8 @@
 //   GSOUP_PLS_EPOCHS        PLS epochs                     (default 80)
 //   GSOUP_WORKERS           ingredient-farm worker threads (default:
 //                           hardware concurrency, capped by ingredients)
+//   GSOUP_REORDER           graph locality reordering for every cell:
+//                           none|degree|rcm                (default none)
 //   GSOUP_CACHE_DIR         ingredient/result cache        (.gsoup-cache)
 #pragma once
 
@@ -26,6 +28,7 @@
 
 #include "core/soup.hpp"
 #include "graph/generator.hpp"
+#include "graph/locality.hpp"
 #include "nn/model.hpp"
 #include "train/ingredient_farm.hpp"
 
@@ -45,6 +48,10 @@ struct Scale {
   /// Ingredient-farm workers W: Phase 1 drains the N training jobs with W
   /// threads, realising the paper's T_total ≈ (N/W) · T_single (Eq. 1).
   std::int64_t workers = 2;
+  /// Graph locality reordering (GraphPlan) applied to every cell's
+  /// dataset + context before training. Accuracy aggregates are
+  /// permutation-invariant; this is purely a kernel-locality knob.
+  graph::Reorder reorder = graph::Reorder::kNone;
   std::string cache_dir;
 
   static Scale from_env();

@@ -60,15 +60,21 @@ void time_kernel(KernelResult& r, const std::function<void()>& fn,
 void KernelReport::add(KernelResult r) { results_.push_back(std::move(r)); }
 
 void KernelReport::compute_speedups() {
+  const auto twin = [this](const KernelResult& r, const char* variant) {
+    return std::find_if(results_.begin(), results_.end(),
+                        [&](const KernelResult& o) {
+                          return o.kernel == r.kernel && o.shape == r.shape &&
+                                 o.variant == variant;
+                        });
+  };
   for (auto& r : results_) {
-    if (r.variant == "naive") continue;
-    const auto naive = std::find_if(
-        results_.begin(), results_.end(), [&](const KernelResult& o) {
-          return o.kernel == r.kernel && o.shape == r.shape &&
-                 o.variant == "naive";
-        });
-    if (naive != results_.end() && r.seconds_min > 0.0) {
+    if (r.variant == "naive" || r.seconds_min <= 0.0) continue;
+    if (const auto naive = twin(r, "naive"); naive != results_.end()) {
       r.speedup_vs_naive = naive->seconds_min / r.seconds_min;
+    }
+    if (r.variant == "fused") continue;
+    if (const auto fused = twin(r, "fused"); fused != results_.end()) {
+      r.speedup_vs_fused = fused->seconds_min / r.seconds_min;
     }
   }
 }
@@ -93,11 +99,13 @@ bool KernelReport::write_json(const std::string& path) const {
         "    {\"kernel\": \"%s\", \"variant\": \"%s\", \"shape\": \"%s\", "
         "\"iterations\": %lld, \"seconds_min\": %.6e, \"seconds_mean\": "
         "%.6e, \"flops\": %.6e, \"bytes\": %.6e, \"gflops\": %.3f, "
-        "\"gbps\": %.3f, \"speedup_vs_naive\": %.3f}",
+        "\"gbps\": %.3f, \"speedup_vs_naive\": %.3f, "
+        "\"speedup_vs_fused\": %.3f}",
         json_escape(r.kernel).c_str(), json_escape(r.variant).c_str(),
         json_escape(r.shape).c_str(),
         static_cast<long long>(r.iterations), r.seconds_min, r.seconds_mean,
-        r.flops, r.bytes, r.gflops(), r.gbps(), r.speedup_vs_naive);
+        r.flops, r.bytes, r.gflops(), r.gbps(), r.speedup_vs_naive,
+        r.speedup_vs_fused);
     out << buf << (i + 1 < results_.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -105,16 +113,20 @@ bool KernelReport::write_json(const std::string& path) const {
 }
 
 void KernelReport::print_table() const {
-  std::printf("%-14s %-10s %-28s %10s %10s %8s\n", "kernel", "variant",
-              "shape", "GFLOP/s", "GB/s", "speedup");
+  std::printf("%-14s %-10s %-28s %10s %10s %8s %9s\n", "kernel", "variant",
+              "shape", "GFLOP/s", "GB/s", "speedup", "vs-fused");
   for (const auto& r : results_) {
     char speedup[32] = "-";
     if (r.speedup_vs_naive > 0.0) {
       std::snprintf(speedup, sizeof(speedup), "%.2fx", r.speedup_vs_naive);
     }
-    std::printf("%-14s %-10s %-28s %10.2f %10.2f %8s\n", r.kernel.c_str(),
+    char vs_fused[32] = "-";
+    if (r.speedup_vs_fused > 0.0) {
+      std::snprintf(vs_fused, sizeof(vs_fused), "%.2fx", r.speedup_vs_fused);
+    }
+    std::printf("%-14s %-10s %-28s %10.2f %10.2f %8s %9s\n", r.kernel.c_str(),
                 r.variant.c_str(), r.shape.c_str(), r.gflops(), r.gbps(),
-                speedup);
+                speedup, vs_fused);
   }
 }
 

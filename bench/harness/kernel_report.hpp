@@ -26,6 +26,11 @@ struct KernelResult {
   double flops = 0.0;         ///< useful FLOPs per iteration
   double bytes = 0.0;         ///< bytes moved per iteration (compulsory)
   double speedup_vs_naive = 0.0;  ///< 0 when no naive twin was measured
+  /// Speedup over the "fused" variant of the same kernel+shape, filled for
+  /// the locality variants ("cached", "reordered") so the gain of the
+  /// graph locality layer is gated separately from the naive baseline.
+  /// 0 when no fused twin was measured (or for naive/fused records).
+  double speedup_vs_fused = 0.0;
 
   double gflops() const {
     return seconds_min > 0.0 ? flops / seconds_min * 1e-9 : 0.0;
@@ -50,6 +55,8 @@ class KernelReport {
 
   /// Backfill speedup_vs_naive: for each record, find the record with the
   /// same kernel+shape and variant == "naive" and divide its seconds_min.
+  /// Likewise speedup_vs_fused against the "fused" twin for every other
+  /// non-naive variant.
   void compute_speedups();
 
   /// Write the JSON artifact. Returns false (and logs) on I/O failure.

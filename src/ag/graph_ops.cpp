@@ -9,6 +9,7 @@
 #include <omp.h>
 #endif
 
+#include "graph/locality.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
@@ -49,9 +50,14 @@ inline void spmm_prefetch_row(const float* p) {
   }
 }
 
-template <int D, bool Overwrite>
+// The kernel bodies are additionally templated on the column-index type
+// Idx: int32 for raw CSR spans, uint16 for cached graph::BlockedCsr
+// layouts on graphs whose source-id domain fits 16 bits (half the index
+// traffic per edge). The float operations are identical for every Idx, so
+// layout and span paths agree bit-for-bit.
+template <int D, bool Overwrite, typename Idx>
 void spmm_rows_fixed(const std::int64_t* __restrict__ indptr,
-                     const std::int32_t* __restrict__ indices,
+                     const Idx* __restrict__ indices,
                      const float* __restrict__ values,
                      const float* __restrict__ px, float* __restrict__ py,
                      std::int64_t num_edges, std::int64_t lo,
@@ -63,12 +69,19 @@ void spmm_rows_fixed(const std::int64_t* __restrict__ indptr,
     std::int64_t e = begin;
     for (; e + 1 < end; e += 2) {
       if (e + kSpmmPrefetchDist + 1 < num_edges) {
-        spmm_prefetch_row<D>(px + indices[e + kSpmmPrefetchDist] * D);
-        spmm_prefetch_row<D>(px + indices[e + kSpmmPrefetchDist + 1] * D);
+        spmm_prefetch_row<D>(
+            px + static_cast<std::int64_t>(indices[e + kSpmmPrefetchDist]) *
+                     D);
+        spmm_prefetch_row<D>(
+            px +
+            static_cast<std::int64_t>(indices[e + kSpmmPrefetchDist + 1]) *
+                D);
       }
       const float w0 = values[e], w1 = values[e + 1];
-      const float* __restrict__ x0 = px + indices[e] * D;
-      const float* __restrict__ x1 = px + indices[e + 1] * D;
+      const float* __restrict__ x0 =
+          px + static_cast<std::int64_t>(indices[e]) * D;
+      const float* __restrict__ x1 =
+          px + static_cast<std::int64_t>(indices[e + 1]) * D;
 #pragma omp simd
       for (int j = 0; j < D; ++j) {
         acc0[j] += w0 * x0[j];
@@ -77,7 +90,8 @@ void spmm_rows_fixed(const std::int64_t* __restrict__ indptr,
     }
     if (e < end) {
       const float w = values[e];
-      const float* __restrict__ xrow = px + indices[e] * D;
+      const float* __restrict__ xrow =
+          px + static_cast<std::int64_t>(indices[e]) * D;
 #pragma omp simd
       for (int j = 0; j < D; ++j) acc0[j] += w * xrow[j];
     }
@@ -92,9 +106,9 @@ void spmm_rows_fixed(const std::int64_t* __restrict__ indptr,
 }
 
 /// Fallback for feature widths without a fixed instantiation.
-template <bool Overwrite>
+template <bool Overwrite, typename Idx>
 void spmm_rows_generic(const std::int64_t* __restrict__ indptr,
-                       const std::int32_t* __restrict__ indices,
+                       const Idx* __restrict__ indices,
                        const float* __restrict__ values,
                        const float* __restrict__ px, float* __restrict__ py,
                        std::int64_t d, std::int64_t lo, std::int64_t hi) {
@@ -106,16 +120,17 @@ void spmm_rows_generic(const std::int64_t* __restrict__ indptr,
     }
     for (std::int64_t e = indptr[i]; e < indptr[i + 1]; ++e) {
       const float w = values[e];
-      const float* __restrict__ xrow = px + indices[e] * d;
+      const float* __restrict__ xrow =
+          px + static_cast<std::int64_t>(indices[e]) * d;
 #pragma omp simd
       for (std::int64_t j = 0; j < d; ++j) yrow[j] += w * xrow[j];
     }
   }
 }
 
-template <bool Overwrite>
+template <bool Overwrite, typename Idx>
 void spmm_rows(const std::int64_t* __restrict__ indptr,
-               const std::int32_t* __restrict__ indices,
+               const Idx* __restrict__ indices,
                const float* __restrict__ values,
                const float* __restrict__ px, float* __restrict__ py,
                std::int64_t d, std::int64_t num_edges, std::int64_t lo,
@@ -180,6 +195,44 @@ void spmm_dispatch(std::span<const std::int64_t> sp_indptr,
   }
 }
 
+/// Driver for cached graph::BlockedCsr layouts: the edge-balanced row
+/// blocks were pre-computed at layout build time (no binary search per
+/// launch) and the gather loop runs at the layout's index width.
+template <bool Overwrite>
+void spmm_blocked_dispatch(const graph::BlockedCsr& a, const Tensor& x,
+                           Tensor& y) {
+  GSOUP_CHECK_MSG(x.rank() == 2 && y.rank() == 2 &&
+                      y.shape(0) == a.num_rows && y.shape(1) == x.shape(1),
+                  "blocked spmm: bad shapes " << x.shape_str() << " -> "
+                                              << y.shape_str());
+  const std::int64_t d = x.shape(1);
+  const std::int64_t e = a.num_edges();
+  const float* __restrict__ px = x.data();
+  float* __restrict__ py = y.data();
+  const auto* __restrict__ indptr = a.indptr.data();
+  const auto* __restrict__ values = a.values.data();
+  const auto run = [&](auto* indices) {
+    if (a.num_rows < kParallelRowThreshold) {
+      spmm_rows<Overwrite>(indptr, indices, values, px, py, d, e, 0,
+                           a.num_rows);
+      return;
+    }
+    const auto chunks =
+        static_cast<std::int64_t>(a.row_blocks.size()) - 1;
+#pragma omp parallel for schedule(dynamic, 1)
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      spmm_rows<Overwrite>(indptr, indices, values, px, py, d, e,
+                           a.row_blocks[static_cast<std::size_t>(c)],
+                           a.row_blocks[static_cast<std::size_t>(c) + 1]);
+    }
+  };
+  if (a.narrow()) {
+    run(a.idx16.data());
+  } else {
+    run(a.idx32.data());
+  }
+}
+
 }  // namespace
 
 void spmm_reference(const Csr& a, const Tensor& x, Tensor& y) {
@@ -211,6 +264,16 @@ void spmm_overwrite(const Csr& a, const Tensor& x, Tensor& y) {
   spmm_dispatch<true>(a.indptr, a.indices, a.values, x, y);
 }
 
+void spmm_blocked_accumulate(const graph::BlockedCsr& a, const Tensor& x,
+                             Tensor& y) {
+  spmm_blocked_dispatch<false>(a, x, y);
+}
+
+void spmm_blocked_overwrite(const graph::BlockedCsr& a, const Tensor& x,
+                            Tensor& y) {
+  spmm_blocked_dispatch<true>(a, x, y);
+}
+
 void spmm_spans_overwrite(std::span<const std::int64_t> indptr,
                           std::span<const std::int32_t> indices,
                           std::span<const float> values, const Tensor& x,
@@ -224,20 +287,41 @@ void spmm_spans_overwrite(std::span<const std::int64_t> indptr,
 }
 
 Value spmm(const Csr& a, const Csr& a_transpose, const Value& x) {
+  return spmm(a, a_transpose, x, nullptr, nullptr);
+}
+
+Value spmm(const Csr& a, const Csr& a_transpose, const Value& x,
+           const graph::BlockedCsr* layout,
+           const graph::BlockedCsr* layout_t) {
   GSOUP_CHECK_MSG(a.weighted() && a_transpose.weighted(),
                   "spmm operands must carry edge values");
   GSOUP_CHECK_MSG(x->value.rank() == 2 && x->value.shape(0) == a.num_nodes,
                   "spmm: X shape " << x->value.shape_str()
                                    << " incompatible with graph of "
                                    << a.num_nodes << " nodes");
+  GSOUP_CHECK_MSG(layout == nullptr || (layout->num_rows == a.num_nodes &&
+                                        layout->num_edges() == a.num_edges()),
+                  "spmm: layout does not match the forward adjacency");
+  GSOUP_CHECK_MSG(layout_t == nullptr ||
+                      (layout_t->num_rows == a_transpose.num_nodes &&
+                       layout_t->num_edges() == a_transpose.num_edges()),
+                  "spmm: layout_t does not match the transpose adjacency");
   Tensor out = Tensor::empty({a.num_nodes, x->value.shape(1)});
-  spmm_overwrite(a, x->value, out);
+  if (layout != nullptr) {
+    spmm_blocked_overwrite(*layout, x->value, out);
+  } else {
+    spmm_overwrite(a, x->value, out);
+  }
   const Csr* at = &a_transpose;
   return make_node(
       std::move(out), {x},
-      [x, at](Node& node) {
+      [x, at, layout_t](Node& node) {
         if (!x->requires_grad) return;
-        spmm_accumulate(*at, node.grad, x->ensure_grad());
+        if (layout_t != nullptr) {
+          spmm_blocked_accumulate(*layout_t, node.grad, x->ensure_grad());
+        } else {
+          spmm_accumulate(*at, node.grad, x->ensure_grad());
+        }
       },
       "spmm");
 }

@@ -11,6 +11,10 @@
 #include "graph/csr.hpp"
 #include "graph/sampling.hpp"
 
+namespace gsoup::graph {
+struct BlockedCsr;
+}
+
 namespace gsoup::ag {
 
 /// Y += A · X for weighted CSR A, scheduled over pre-computed row ranges
@@ -41,6 +45,17 @@ void spmm_spans_overwrite(std::span<const std::int64_t> indptr,
                           std::span<const float> values, const Tensor& x,
                           Tensor& y);
 
+/// Y = A · X (and Y += A · X) over a cached graph::BlockedCsr layout: the
+/// same width-specialised dual-accumulator kernels, but the edge-balanced
+/// row blocks come pre-computed from the layout (no binary search per
+/// launch) and the gather loop runs at the layout's column-index width
+/// (16-bit on graphs under 2^16 nodes). Bit-identical results to
+/// spmm_overwrite/spmm_accumulate over the CSR the layout was built from.
+void spmm_blocked_overwrite(const graph::BlockedCsr& a, const Tensor& x,
+                            Tensor& y);
+void spmm_blocked_accumulate(const graph::BlockedCsr& a, const Tensor& x,
+                             Tensor& y);
+
 /// Autograd-free multi-head GAT attention forward over a raw CSR
 /// (num_dst = indptr.size() - 1; indices address rows of h_src /
 /// score_src, dst i addresses row i of score_dst):
@@ -60,6 +75,14 @@ void gat_attention_forward(std::span<const std::int64_t> indptr,
 /// holds weights of edges (j -> i)). `a_transpose` must be the weighted
 /// transpose of `a`; both must carry values.
 Value spmm(const Csr& a, const Csr& a_transpose, const Value& x);
+
+/// spmm with optional cached layouts (see GraphContext::spmm_layout()):
+/// the forward runs over `layout` and the backward over `layout_t` when
+/// non-null, falling back to the CSRs otherwise. The layouts must have
+/// been built from `a` / `a_transpose` respectively.
+Value spmm(const Csr& a, const Csr& a_transpose, const Value& x,
+           const graph::BlockedCsr* layout,
+           const graph::BlockedCsr* layout_t);
 
 /// Multi-head GAT aggregation (Veličković et al.):
 ///   z_e      = score_dst[dst_e, h] + score_src[src_e, h]

@@ -1,0 +1,243 @@
+#include "graph/locality.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace gsoup::graph {
+
+const char* reorder_name(Reorder strategy) {
+  switch (strategy) {
+    case Reorder::kNone: return "none";
+    case Reorder::kDegree: return "degree";
+    case Reorder::kRcm: return "rcm";
+  }
+  return "?";
+}
+
+std::optional<Reorder> reorder_from_name(std::string_view name) {
+  if (name == "none") return Reorder::kNone;
+  if (name == "degree") return Reorder::kDegree;
+  if (name == "rcm") return Reorder::kRcm;
+  return std::nullopt;
+}
+
+bool Permutation::is_identity() const {
+  for (std::int64_t i = 0; i < size(); ++i) {
+    if (order[static_cast<std::size_t>(i)] != i) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void fill_rank(Permutation& p) {
+  p.rank.resize(p.order.size());
+  for (std::size_t i = 0; i < p.order.size(); ++i) {
+    p.rank[static_cast<std::size_t>(p.order[i])] =
+        static_cast<std::int32_t>(i);
+  }
+}
+
+}  // namespace
+
+Permutation identity_permutation(std::int64_t num_nodes) {
+  Permutation p;
+  p.order.resize(static_cast<std::size_t>(num_nodes));
+  std::iota(p.order.begin(), p.order.end(), 0);
+  p.rank = p.order;
+  return p;
+}
+
+Permutation degree_permutation(const Csr& graph) {
+  Permutation p = identity_permutation(graph.num_nodes);
+  std::stable_sort(p.order.begin(), p.order.end(),
+                   [&graph](std::int32_t a, std::int32_t b) {
+                     return graph.degree(a) > graph.degree(b);
+                   });
+  fill_rank(p);
+  return p;
+}
+
+Permutation rcm_permutation(const Csr& graph) {
+  const std::int64_t n = graph.num_nodes;
+  Permutation p;
+  p.order.reserve(static_cast<std::size_t>(n));
+  // Component seeds in ascending-degree order (the classic pseudo-
+  // peripheral heuristic, cheap version).
+  std::vector<std::int32_t> seeds(static_cast<std::size_t>(n));
+  std::iota(seeds.begin(), seeds.end(), 0);
+  std::stable_sort(seeds.begin(), seeds.end(),
+                   [&graph](std::int32_t a, std::int32_t b) {
+                     return graph.degree(a) < graph.degree(b);
+                   });
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(n), 0);
+  std::vector<std::int32_t> frontier;
+  std::queue<std::int32_t> queue;
+  for (const std::int32_t seed : seeds) {
+    if (seen[static_cast<std::size_t>(seed)]) continue;
+    seen[static_cast<std::size_t>(seed)] = 1;
+    queue.push(seed);
+    while (!queue.empty()) {
+      const std::int32_t v = queue.front();
+      queue.pop();
+      p.order.push_back(v);
+      frontier.clear();
+      for (const std::int32_t s : graph.neighbors(v)) {
+        if (!seen[static_cast<std::size_t>(s)]) {
+          seen[static_cast<std::size_t>(s)] = 1;
+          frontier.push_back(s);
+        }
+      }
+      std::sort(frontier.begin(), frontier.end(),
+                [&graph](std::int32_t a, std::int32_t b) {
+                  const auto da = graph.degree(a), db = graph.degree(b);
+                  return da != db ? da < db : a < b;
+                });
+      for (const std::int32_t s : frontier) queue.push(s);
+    }
+  }
+  std::reverse(p.order.begin(), p.order.end());
+  fill_rank(p);
+  return p;
+}
+
+Permutation make_permutation(const Csr& graph, Reorder strategy) {
+  switch (strategy) {
+    case Reorder::kNone: return identity_permutation(graph.num_nodes);
+    case Reorder::kDegree: return degree_permutation(graph);
+    case Reorder::kRcm: return rcm_permutation(graph);
+  }
+  return identity_permutation(graph.num_nodes);
+}
+
+Csr permute_csr(const Csr& csr, const Permutation& perm) {
+  GSOUP_CHECK_MSG(perm.size() == csr.num_nodes,
+                  "permute_csr: permutation over " << perm.size()
+                                                   << " nodes, graph has "
+                                                   << csr.num_nodes);
+  const std::int64_t n = csr.num_nodes;
+  Csr out;
+  out.num_nodes = n;
+  out.indptr.resize(static_cast<std::size_t>(n) + 1);
+  out.indptr[0] = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    out.indptr[static_cast<std::size_t>(i) + 1] =
+        out.indptr[static_cast<std::size_t>(i)] +
+        csr.degree(perm.order[static_cast<std::size_t>(i)]);
+  }
+  out.indices.resize(csr.indices.size());
+  if (csr.weighted()) out.values.resize(csr.values.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t old = perm.order[static_cast<std::size_t>(i)];
+    std::int64_t w = out.indptr[static_cast<std::size_t>(i)];
+    for (std::int64_t e = csr.indptr[static_cast<std::size_t>(old)];
+         e < csr.indptr[static_cast<std::size_t>(old) + 1]; ++e, ++w) {
+      out.indices[static_cast<std::size_t>(w)] =
+          perm.rank[static_cast<std::size_t>(
+              csr.indices[static_cast<std::size_t>(e)])];
+      if (csr.weighted()) {
+        out.values[static_cast<std::size_t>(w)] =
+            csr.values[static_cast<std::size_t>(e)];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor permute_rows(const Tensor& rows, const Permutation& perm) {
+  GSOUP_CHECK_MSG(rows.rank() == 2 && rows.shape(0) == perm.size(),
+                  "permute_rows: " << rows.shape_str() << " vs permutation of "
+                                   << perm.size());
+  Tensor out = Tensor::empty(rows.shape());
+  ops::gather_rows_into(rows, perm.order, out);
+  return out;
+}
+
+Tensor unpermute_rows(const Tensor& rows, const Permutation& perm) {
+  GSOUP_CHECK_MSG(rows.rank() == 2 && rows.shape(0) == perm.size(),
+                  "unpermute_rows: " << rows.shape_str()
+                                     << " vs permutation of " << perm.size());
+  Tensor out = Tensor::empty(rows.shape());
+  ops::gather_rows_into(rows, perm.rank, out);
+  return out;
+}
+
+BlockedCsr build_blocked_csr(const Csr& weighted, bool force_wide) {
+  GSOUP_CHECK_MSG(weighted.weighted() || weighted.num_edges() == 0,
+                  "build_blocked_csr needs a weighted CSR (SpMM operand)");
+  BlockedCsr out;
+  out.num_rows = weighted.num_nodes;
+  out.num_cols = weighted.num_nodes;
+  if (force_wide) out.num_cols = std::max(out.num_cols, kNarrowIndexLimit + 1);
+  out.indptr = weighted.indptr;
+  out.values = weighted.values;
+  if (out.narrow()) {
+    out.idx16.assign(weighted.indices.begin(), weighted.indices.end());
+  } else {
+    out.idx32 = weighted.indices;
+  }
+  out.row_blocks = balanced_row_chunks(
+      out.indptr, balanced_chunk_count(out.num_rows));
+  return out;
+}
+
+GraphPlan::GraphPlan(const Csr& graph, Reorder strategy)
+    : strategy_(strategy), perm_(make_permutation(graph, strategy)) {
+  graph_ = active() ? permute_csr(graph, perm_) : graph;
+}
+
+Csr GraphPlan::apply(const Csr& csr) const {
+  return active() ? permute_csr(csr, perm_) : csr;
+}
+
+Dataset GraphPlan::apply(const Dataset& data) const {
+  GSOUP_CHECK_MSG(data.num_nodes() == num_nodes() &&
+                      data.num_edges() == graph_.num_edges(),
+                  "GraphPlan::apply: dataset graph ("
+                      << data.num_nodes() << " nodes, " << data.num_edges()
+                      << " edges) does not match the plan's source graph");
+  if (!active()) return data;
+  Dataset out;
+  out.name = data.name;
+  // The plan was built from this dataset's graph (checked above), so its
+  // already-permuted structure is reused instead of permuting again.
+  out.graph = graph_;
+  out.features = graph::permute_rows(data.features, perm_);
+  out.num_classes = data.num_classes;
+  const auto n = static_cast<std::size_t>(num_nodes());
+  out.labels.resize(n);
+  out.train_mask.resize(n);
+  out.val_mask.resize(n);
+  out.test_mask.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto old = static_cast<std::size_t>(perm_.order[i]);
+    out.labels[i] = data.labels[old];
+    out.train_mask[i] = data.train_mask[old];
+    out.val_mask[i] = data.val_mask[old];
+    out.test_mask[i] = data.test_mask[old];
+  }
+  return out;
+}
+
+Tensor GraphPlan::permute_rows(const Tensor& rows) const {
+  return active() ? graph::permute_rows(rows, perm_) : rows;
+}
+
+Tensor GraphPlan::unpermute_rows(const Tensor& rows) const {
+  return active() ? graph::unpermute_rows(rows, perm_) : rows;
+}
+
+void GraphPlan::unpermute_rows_into(const Tensor& rows, Tensor& out) const {
+  if (!active()) {
+    out.copy_(rows);
+    return;
+  }
+  ops::gather_rows_into(rows, perm_.rank, out);
+}
+
+}  // namespace gsoup::graph

@@ -1,0 +1,163 @@
+// Graph locality layer: vertex reordering and a cached SpMM layout.
+//
+// The fused SpMM kernels are gather-bandwidth-bound at the larger feature
+// widths: every edge reads a full X row whose address is a function of the
+// graph's (arbitrary) vertex numbering. This layer attacks that from the
+// data side, once per graph instead of once per kernel launch:
+//
+//  - `Permutation` + `degree_permutation`/`rcm_permutation`: relabel
+//    vertices so frequently-gathered rows are clustered (hubs first for
+//    degree ordering, bandwidth-minimised BFS levels for reverse
+//    Cuthill-McKee). The inverse mapping is kept so per-node answers can
+//    be routed back to the caller's numbering.
+//  - `BlockedCsr`: the layout the SpMM hot loop actually reads — the
+//    edge-balanced row blocks pre-computed once (instead of a binary
+//    search per kernel launch) and column indices narrowed to 16 bits
+//    when the source-id domain fits (halves index traffic on every graph
+//    below 65 536 nodes, which covers every synthetic preset at default
+//    scale).
+//  - `GraphPlan`: the per-graph handle bundling both. Training
+//    (`GraphContext` + `GnnModel::forward`), the experiment harness and
+//    `serve::InferenceEngine` all hold one so the permutation and layout
+//    are built exactly once per graph and reused across every epoch,
+//    evaluation and query.
+//
+// Numerics: `permute_csr` preserves the relative edge order inside every
+// row, so an SpMM over the permuted operands performs the *same float
+// operations per output row* as the fused kernel over the original
+// operands — results round-trip through the permutation bit-exactly
+// (asserted by tests/test_locality.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/dataset.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gsoup::graph {
+
+/// Vertex-reordering strategy for a GraphPlan.
+enum class Reorder {
+  kNone,    ///< keep the caller's numbering (layout caching still applies)
+  kDegree,  ///< descending degree: hub rows clustered at the front of X
+  kRcm,     ///< reverse Cuthill-McKee: BFS levels, minimised bandwidth
+};
+
+const char* reorder_name(Reorder strategy);
+/// Parse "none" / "degree" / "rcm" (exact, lowercase); nullopt otherwise.
+std::optional<Reorder> reorder_from_name(std::string_view name);
+
+/// A vertex relabelling and its inverse. `order[new_id] = old_id` (gather
+/// direction: row new_id of a permuted matrix is row old_id of the
+/// original) and `rank[old_id] = new_id`.
+struct Permutation {
+  std::vector<std::int32_t> order;
+  std::vector<std::int32_t> rank;
+
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(order.size());
+  }
+  bool is_identity() const;
+};
+
+Permutation identity_permutation(std::int64_t num_nodes);
+/// Stable sort by descending degree (ties keep the original order).
+Permutation degree_permutation(const Csr& graph);
+/// Reverse Cuthill-McKee: BFS from a minimum-degree seed per component,
+/// neighbours visited in ascending-degree order, final order reversed.
+Permutation rcm_permutation(const Csr& graph);
+Permutation make_permutation(const Csr& graph, Reorder strategy);
+
+/// Relabel a CSR by `perm`: row rank[i] of the result is row i of the
+/// input with sources mapped through rank[], preserving the relative edge
+/// order within the row (the bit-exactness contract above). Edge values
+/// ride along when present.
+Csr permute_csr(const Csr& csr, const Permutation& perm);
+
+/// Reordered copies of per-node data: out[i] = in[order[i]].
+Tensor permute_rows(const Tensor& rows, const Permutation& perm);
+/// Inverse: out[order[i]] = in[i], returning plan-space rows to the
+/// original numbering.
+Tensor unpermute_rows(const Tensor& rows, const Permutation& perm);
+
+/// Maximum source-id domain for 16-bit column indices.
+inline constexpr std::int64_t kNarrowIndexLimit = 1 << 16;
+
+/// The cached layout the width-specialised SpMM kernels read: same
+/// indptr/values as the source CSR, column indices stored at the narrowest
+/// width that fits, and the edge-balanced row blocks pre-computed once and
+/// reused by every kernel launch (training runs one binary search per
+/// SpMM per epoch without this; serving one per query).
+struct BlockedCsr {
+  std::int64_t num_rows = 0;
+  /// Source-id domain (== num_rows for square adjacencies). Decides the
+  /// index width: 16-bit iff num_cols <= kNarrowIndexLimit.
+  std::int64_t num_cols = 0;
+  std::vector<std::int64_t> indptr;
+  std::vector<std::uint16_t> idx16;  ///< populated iff narrow()
+  std::vector<std::int32_t> idx32;   ///< populated iff !narrow()
+  std::vector<float> values;
+  /// Cached balanced_row_chunks boundaries (size blocks+1).
+  std::vector<std::int64_t> row_blocks;
+
+  bool narrow() const { return num_cols <= kNarrowIndexLimit; }
+  std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(values.size());
+  }
+};
+
+/// Build the cached layout for a weighted CSR. `force_wide` keeps 32-bit
+/// indices even when the graph fits 16 (used by the width-parity tests).
+BlockedCsr build_blocked_csr(const Csr& weighted, bool force_wide = false);
+
+/// The per-graph locality handle: a reordering of one graph's vertices
+/// plus everything needed to move data in and out of plan space. Build it
+/// once per graph, share it (`std::shared_ptr`) between the dataset
+/// pipeline, the GraphContext and the serving engine.
+class GraphPlan {
+ public:
+  GraphPlan(const Csr& graph, Reorder strategy);
+
+  Reorder strategy() const { return strategy_; }
+  /// True when vertex ids differ from the caller's numbering (i.e. any
+  /// strategy but kNone): per-node data and ids must be mapped.
+  bool active() const { return strategy_ != Reorder::kNone; }
+  const Permutation& perm() const { return perm_; }
+  /// The reordered structure (== the input graph when not active).
+  const Csr& graph() const { return graph_; }
+  std::int64_t num_nodes() const { return graph_.num_nodes; }
+
+  /// Map a node id between the original and plan numbering.
+  std::int64_t to_plan(std::int64_t node) const {
+    return active() ? perm_.rank[static_cast<std::size_t>(node)] : node;
+  }
+  std::int64_t to_original(std::int64_t node) const {
+    return active() ? perm_.order[static_cast<std::size_t>(node)] : node;
+  }
+
+  /// Permute any CSR over the same node set (e.g. a normalised adjacency).
+  Csr apply(const Csr& csr) const;
+  /// Permute a whole dataset: graph, features, labels and split masks.
+  /// The dataset must be the one this plan was built from (its permuted
+  /// graph is reused, not recomputed). Aggregate metrics (loss,
+  /// accuracy) are invariant under this; only per-node outputs need
+  /// `to_original`/`unpermute_rows` mapping.
+  Dataset apply(const Dataset& data) const;
+
+  Tensor permute_rows(const Tensor& rows) const;
+  Tensor unpermute_rows(const Tensor& rows) const;
+  /// Allocation-free inverse permute into a preallocated tensor (serving
+  /// hot path; `out` must match `rows` in shape).
+  void unpermute_rows_into(const Tensor& rows, Tensor& out) const;
+
+ private:
+  Reorder strategy_;
+  Permutation perm_;
+  Csr graph_;
+};
+
+}  // namespace gsoup::graph

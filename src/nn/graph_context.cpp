@@ -15,23 +15,71 @@ const char* arch_name(Arch arch) {
 }
 
 GraphContext::GraphContext(const Csr& graph, Arch arch)
-    : raw_(graph), arch_(arch) {
-  switch (arch) {
+    : raw_owned_(graph), raw_(&raw_owned_), arch_(arch) {
+  build_operands();
+}
+
+GraphContext::GraphContext(std::shared_ptr<const graph::GraphPlan> plan,
+                           Arch arch)
+    : arch_(arch), plan_(std::move(plan)) {
+  GSOUP_CHECK_MSG(plan_ != nullptr, "GraphContext needs a non-null plan");
+  raw_ = &plan_->graph();
+  build_operands();
+  // The locality layer's cached forward layout: built once here, reused
+  // by every spmm forward through this context (training epochs, full
+  // serving passes). The backward (transpose) layout is deferred to the
+  // first spmm_layout_t() call; GAT's aggregation is not an SpMM, so it
+  // has neither.
+  switch (arch_) {
+    case Arch::kGcn:
+      spmm_layout_ = std::make_unique<const graph::BlockedCsr>(
+          graph::build_blocked_csr(gcn_));
+      break;
+    case Arch::kSage:
+      spmm_layout_ = std::make_unique<const graph::BlockedCsr>(
+          graph::build_blocked_csr(mean_));
+      break;
+    case Arch::kGat:
+      break;
+  }
+}
+
+const graph::BlockedCsr* GraphContext::spmm_layout_t() const {
+  if (spmm_layout_ == nullptr) return nullptr;  // plain context or GAT
+  std::call_once(spmm_layout_t_once_, [this] {
+    spmm_layout_t_ = std::make_unique<const graph::BlockedCsr>(
+        graph::build_blocked_csr(arch_ == Arch::kGcn ? gcn_t_ : mean_t_));
+  });
+  return spmm_layout_t_.get();
+}
+
+void GraphContext::build_operands() {
+  switch (arch_) {
     case Arch::kGcn: {
-      gcn_ = gcn_normalize(raw_);
+      gcn_ = gcn_normalize(*raw_);
       gcn_t_ = gcn_.transpose().graph;
       break;
     }
     case Arch::kSage: {
-      mean_ = row_normalize(raw_);
+      mean_ = row_normalize(*raw_);
       mean_t_ = mean_.transpose().graph;
       break;
     }
     case Arch::kGat: {
-      raw_t_ = raw_.transpose();
+      raw_t_ = raw_->transpose();
       break;
     }
   }
+}
+
+void GraphContext::check_plan_space(const Csr& data_graph) const {
+  if (plan_ == nullptr || !plan_->active()) return;
+  // indices too, not just indptr: on degree-regular graphs every
+  // permutation shares the same degree prefix-sum.
+  GSOUP_CHECK_MSG(data_graph.indptr == raw_->indptr &&
+                      data_graph.indices == raw_->indices,
+                  "dataset is not in this context's plan space — pass "
+                  "GraphPlan::apply(data)");
 }
 
 const Csr& GraphContext::gcn() const {

@@ -1,12 +1,16 @@
 // Precomputed per-graph operands shared by every forward pass on a graph:
-// normalised adjacencies and their transposes. Building these once per
+// normalised adjacencies and their transposes, plus (optionally) the graph
+// locality layer — a GraphPlan vertex reordering and the cached BlockedCsr
+// SpMM layouts built from the normalised operands. Building these once per
 // graph (or once per PLS subgraph) keeps the per-epoch souping loop free
-// of redundant normalisation work.
+// of redundant normalisation and layout work.
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "graph/csr.hpp"
+#include "graph/locality.hpp"
 
 namespace gsoup {
 
@@ -18,11 +22,48 @@ const char* arch_name(Arch arch);
 /// are temporary objects in PLS, so the context must own its structure).
 class GraphContext {
  public:
-  /// Build the operands needed by `arch` only.
+  /// Build the operands needed by `arch` only (no locality layer — the
+  /// seed behaviour, and the right call for throwaway subgraph contexts).
   GraphContext(const Csr& graph, Arch arch);
 
-  const Csr& raw() const { return raw_; }
+  /// Build over a GraphPlan: raw() becomes the plan's (reordered) graph,
+  /// and for the SpMM architectures (GCN/SAGE) the normalised adjacency
+  /// and its transpose additionally get cached BlockedCsr layouts that
+  /// every forward/backward pass reuses. Callers must feed per-node data
+  /// in plan space (see GraphPlan::apply) or use a consumer that maps ids
+  /// itself (serve::InferenceEngine does).
+  GraphContext(std::shared_ptr<const graph::GraphPlan> plan, Arch arch);
+
+  // raw() may point into the shared plan (no copy), so the context is
+  // pinned: moving/copying would dangle the owned-graph case's pointer.
+  GraphContext(const GraphContext&) = delete;
+  GraphContext& operator=(const GraphContext&) = delete;
+
+  const Csr& raw() const { return *raw_; }
   Arch arch() const { return arch_; }
+
+  /// The locality plan this context was built over; nullptr for the plain
+  /// constructor. A non-null inactive plan still carries cached layouts.
+  const graph::GraphPlan* plan() const { return plan_.get(); }
+  std::shared_ptr<const graph::GraphPlan> shared_plan() const {
+    return plan_;
+  }
+
+  /// Guard for consumers that read per-node data by id (trainers,
+  /// evaluators): throws CheckError unless `data_graph` is structurally
+  /// identical to raw() when this context reorders vertices — i.e. the
+  /// caller forgot GraphPlan::apply(data) and every label/mask would
+  /// land on the wrong node. No-op on plan-free/inactive contexts.
+  void check_plan_space(const Csr& data_graph) const;
+
+  /// Cached SpMM layouts of the message adjacency (gcn()/mean()) and its
+  /// transpose; nullptr when built without a plan or for GAT (whose
+  /// aggregation reads the raw structure, not an SpMM operand). The
+  /// transpose layout feeds only the spmm backward, so it is built
+  /// lazily on first access (thread-safe) — inference-only consumers
+  /// like serve::InferenceEngine never pay for it.
+  const graph::BlockedCsr* spmm_layout() const { return spmm_layout_.get(); }
+  const graph::BlockedCsr* spmm_layout_t() const;
 
   // GCN: symmetric-normalised adjacency and transpose.
   const Csr& gcn() const;
@@ -34,11 +75,21 @@ class GraphContext {
   const CsrTranspose& raw_t() const;
 
  private:
-  Csr raw_;
+  void build_operands();
+
+  /// The plain constructor copies into raw_owned_; the plan constructor
+  /// aliases the plan's graph instead (plan_ keeps it alive), so a
+  /// GraphPlan context never duplicates the structure.
+  Csr raw_owned_;
+  const Csr* raw_ = nullptr;
   Arch arch_;
+  std::shared_ptr<const graph::GraphPlan> plan_;
   Csr gcn_, gcn_t_;
   Csr mean_, mean_t_;
   CsrTranspose raw_t_;
+  std::unique_ptr<const graph::BlockedCsr> spmm_layout_;
+  mutable std::once_flag spmm_layout_t_once_;
+  mutable std::unique_ptr<const graph::BlockedCsr> spmm_layout_t_;
 };
 
 }  // namespace gsoup

@@ -114,9 +114,11 @@ ag::Value GnnModel::forward(const GraphContext& ctx,
     }
     switch (config_.arch) {
       case Arch::kGcn: {
-        // H' = Â (H W) + b
+        // H' = Â (H W) + b; the spmm runs over the context's cached
+        // locality layout when one was built (GraphPlan contexts).
         ag::Value hw = ag::matmul(h, params.at(pname(l, "weight")));
-        ag::Value agg = ag::spmm(ctx.gcn(), ctx.gcn_t(), hw);
+        ag::Value agg = ag::spmm(ctx.gcn(), ctx.gcn_t(), hw,
+                                 ctx.spmm_layout(), ctx.spmm_layout_t());
         h = ag::add_bias(agg, params.at(pname(l, "bias")));
         if (!last) h = ag::relu(h);
         break;
@@ -125,7 +127,8 @@ ag::Value GnnModel::forward(const GraphContext& ctx,
         // H' = H W_self + (D⁻¹A H) W_neigh + b
         ag::Value self_part =
             ag::matmul(h, params.at(pname(l, "weight_self")));
-        ag::Value agg = ag::spmm(ctx.mean(), ctx.mean_t(), h);
+        ag::Value agg = ag::spmm(ctx.mean(), ctx.mean_t(), h,
+                                 ctx.spmm_layout(), ctx.spmm_layout_t());
         ag::Value neigh_part =
             ag::matmul(agg, params.at(pname(l, "weight_neigh")));
         h = ag::add_bias(ag::add(self_part, neigh_part),

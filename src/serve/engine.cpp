@@ -51,26 +51,13 @@ void elu_inplace(Tensor& x) {
     p[i] = p[i] > 0.0f ? p[i] : std::expm1(p[i]);
 }
 
-/// Copy selected rows of `src` into the leading rows of `dst`.
-void gather_rows_into(const Tensor& src, std::span<const std::int64_t> rows,
-                      Tensor& dst) {
-  const std::int64_t d = src.shape(1);
-  const float* __restrict__ ps = src.data();
-  float* __restrict__ pd = dst.data();
-  const auto m = static_cast<std::int64_t>(rows.size());
-#pragma omp parallel for schedule(static) if (m * d >= (1 << 15))
-  for (std::int64_t i = 0; i < m; ++i) {
-    std::memcpy(pd + i * d, ps + rows[i] * d,
-                static_cast<std::size_t>(d) * sizeof(float));
-  }
-}
-
 }  // namespace
 
 InferenceEngine::InferenceEngine(const ModelConfig& config,
                                  const ParamStore& params,
                                  std::shared_ptr<const GraphContext> ctx,
-                                 Tensor features, QueryMode mode)
+                                 Tensor features, QueryMode mode,
+                                 FeatureSpace feature_space)
     : model_(config),
       params_(params),
       ctx_(std::move(ctx)),
@@ -85,6 +72,23 @@ InferenceEngine::InferenceEngine(const ModelConfig& config,
                       features_.shape(1) == config.in_dim,
                   "feature matrix " << features_.shape_str()
                                     << " does not match graph/model");
+  // Active GraphPlan: the graph in ctx is vertex-reordered, so the
+  // forward needs plan-ordered feature rows — permute a private copy
+  // once unless the caller already shares a plan-space tensor. Queries
+  // and results keep the caller's numbering either way (ids are
+  // translated per query, logits unpermuted per full pass).
+  if (ctx_->plan() != nullptr && ctx_->plan()->active()) {
+    if (feature_space == FeatureSpace::kOriginal) {
+      features_ = ctx_->plan()->permute_rows(features_);
+    }
+    // plan_space_logits_ is allocated lazily by the first full_logits()
+    // call: kSubgraph engines never run a full pass and should not hold
+    // a whole-graph buffer.
+  } else {
+    GSOUP_CHECK_MSG(feature_space == FeatureSpace::kOriginal,
+                    "plan-space features need a context with an active "
+                    "GraphPlan");
+  }
 
   for (std::int64_t l = 0; l < config.num_layers; ++l) {
     max_width_ = std::max({max_width_, model_.layer_in_dim(l),
@@ -123,6 +127,7 @@ Tensor InferenceEngine::ws(int idx, std::int64_t rows, std::int64_t cols) {
 
 std::size_t InferenceEngine::workspace_bytes() const {
   std::size_t total = logits_.bytes() + single_out_.bytes();
+  if (plan_space_logits_.defined()) total += plan_space_logits_.bytes();
   for (const auto& buf : buf_) total += buf.bytes();
   if (score_dst_ws_.defined()) {
     total += score_dst_ws_.bytes() + score_src_ws_.bytes() +
@@ -136,7 +141,8 @@ Tensor InferenceEngine::run_layer(std::int64_t layer,
                                   std::span<const std::int32_t> indices,
                                   std::span<const float> values,
                                   const Tensor& h_in, std::int64_t num_dst,
-                                  Tensor* final_out) {
+                                  Tensor* final_out,
+                                  const graph::BlockedCsr* layout) {
   const ModelConfig& cfg = model_.config();
   const bool last = layer + 1 == cfg.num_layers;
   const std::int64_t in_w = model_.layer_in_dim(layer);
@@ -164,7 +170,11 @@ Tensor InferenceEngine::run_layer(std::int64_t layer,
       // H' = Â (H W) + b
       Tensor hw = ws(scratch_idx, num_src, width);
       linear_into(h_in, params_.get(pname(layer, "weight")), hw);
-      ag::spmm_spans_overwrite(indptr, indices, values, hw, out);
+      if (layout != nullptr) {
+        ag::spmm_blocked_overwrite(*layout, hw, out);
+      } else {
+        ag::spmm_spans_overwrite(indptr, indices, values, hw, out);
+      }
       add_bias_inplace(out, params_.get(pname(layer, "bias")));
       if (!last) relu_inplace(out);
       break;
@@ -176,7 +186,11 @@ Tensor InferenceEngine::run_layer(std::int64_t layer,
       out.zero_();
       ops::matmul_acc(h_dst, params_.get(pname(layer, "weight_self")), out);
       Tensor agg = ws(scratch_idx, num_dst, in_w);
-      ag::spmm_spans_overwrite(indptr, indices, values, h_in, agg);
+      if (layout != nullptr) {
+        ag::spmm_blocked_overwrite(*layout, h_in, agg);
+      } else {
+        ag::spmm_spans_overwrite(indptr, indices, values, h_in, agg);
+      }
       ops::matmul_acc(agg, params_.get(pname(layer, "weight_neigh")), out);
       add_bias_inplace(out, params_.get(pname(layer, "bias")));
       if (!last) relu_inplace(out);
@@ -213,20 +227,23 @@ void InferenceEngine::run_layers(bool use_plan) {
   if (use_plan) {
     const auto& input = plan_.front();
     h = ws(0, static_cast<std::int64_t>(input.src_nodes.size()), cfg.in_dim);
-    gather_rows_into(features_, input.src_nodes, h);
+    ops::gather_rows_into(features_, input.src_nodes, h);
   } else {
     h = features_;
   }
 
+  const bool reordered = plan_space_logits_.defined();
   for (std::int64_t l = 0; l < cfg.num_layers; ++l) {
     const bool last = l + 1 == cfg.num_layers;
     if (use_plan) {
       const LayerPlan& P = plan_[static_cast<std::size_t>(l)];
-      h = run_layer(l, P.indptr, P.indices, P.values, h, P.num_dst, nullptr);
+      h = run_layer(l, P.indptr, P.indices, P.values, h, P.num_dst, nullptr,
+                    nullptr);
     } else {
-      Tensor* final_out = last ? &logits_ : nullptr;
+      Tensor* final_out =
+          last ? (reordered ? &plan_space_logits_ : &logits_) : nullptr;
       h = run_layer(l, g.indptr, g.indices, g.values, h, num_nodes_,
-                    final_out);
+                    final_out, ctx_->spmm_layout());
     }
   }
   if (use_plan) plan_out_ = h;
@@ -234,7 +251,20 @@ void InferenceEngine::run_layers(bool use_plan) {
 
 const Tensor& InferenceEngine::full_logits() {
   if (!full_valid_) {
+    // First full pass on a reordered context: allocate the plan-space
+    // staging buffer now (kSubgraph engines never pay for it). Part of
+    // warm-up, so the zero-alloc-after-warmup contract holds.
+    if (ctx_->plan() != nullptr && ctx_->plan()->active() &&
+        !plan_space_logits_.defined()) {
+      plan_space_logits_ =
+          Tensor::empty({num_nodes_, model_.config().out_dim});
+    }
     run_layers(/*use_plan=*/false);
+    // Plan-space rows back to the caller's numbering, once per cache
+    // fill; row lookups stay free afterwards.
+    if (plan_space_logits_.defined()) {
+      ctx_->plan()->unpermute_rows_into(plan_space_logits_, logits_);
+    }
     full_valid_ = true;
   }
   return logits_;
@@ -322,10 +352,20 @@ void InferenceEngine::query(std::span<const std::int64_t> nodes,
 
   if (mode_ == QueryMode::kCachedFull) {
     const Tensor& logits = full_logits();
-    gather_rows_into(logits, nodes, out);
+    ops::gather_rows_into(logits, nodes, out);
     return;
   }
 
+  // Subgraph expansion walks the context's graph, which is in plan space
+  // when the plan is active: translate the query ids once, here at the
+  // boundary (plan_ids_ keeps its capacity across queries).
+  if (ctx_->plan() != nullptr && ctx_->plan()->active()) {
+    plan_ids_.clear();
+    for (const std::int64_t node : nodes) {
+      plan_ids_.push_back(ctx_->plan()->to_plan(node));
+    }
+    nodes = plan_ids_;
+  }
   build_plan(nodes);
   run_layers(/*use_plan=*/true);
   // Route plan rows back to query slots (duplicates share a row).

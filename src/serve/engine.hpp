@@ -43,15 +43,30 @@ namespace gsoup::serve {
 /// row lookups into the cached full-graph logits.
 enum class QueryMode { kSubgraph, kCachedFull };
 
+/// Which vertex numbering the constructor's `features` rows use.
+/// kOriginal (the default) is the caller's numbering; on an active
+/// GraphPlan context the engine then permutes a private copy. kPlan says
+/// the rows are already plan-ordered — the BatchServer permutes once and
+/// shares that copy across all of its workers' engines.
+enum class FeatureSpace { kOriginal, kPlan };
+
 class InferenceEngine {
  public:
   /// `ctx` must wrap the serving graph for `config.arch` and outlive the
   /// engine; `features` is the [num_nodes, in_dim] feature matrix (shared
   /// storage, not copied). `params` tensors are shared, not copied — the
   /// snapshot (or training run) that produced them must stay alive.
+  ///
+  /// Locality: when `ctx` carries an active GraphPlan (reordered vertex
+  /// numbering), the engine is the translation boundary — `features`,
+  /// query node ids and all returned logits stay in the caller's original
+  /// numbering. The engine permutes a private feature copy once at
+  /// construction, runs every forward in plan space over the context's
+  /// cached layouts, and maps ids/rows at the edges.
   InferenceEngine(const ModelConfig& config, const ParamStore& params,
                   std::shared_ptr<const GraphContext> ctx, Tensor features,
-                  QueryMode mode = QueryMode::kSubgraph);
+                  QueryMode mode = QueryMode::kSubgraph,
+                  FeatureSpace feature_space = FeatureSpace::kOriginal);
 
   const ModelConfig& config() const { return model_.config(); }
   QueryMode mode() const { return mode_; }
@@ -99,11 +114,14 @@ class InferenceEngine {
   void run_layers(bool use_plan);
 
   /// One GNN layer over an explicit CSR; h_in rows are sources, the
-  /// written view covers destinations. Returns the output view.
+  /// written view covers destinations. Returns the output view. `layout`
+  /// (full-graph passes only) routes the SpMM through the context's
+  /// cached BlockedCsr instead of the raw spans.
   Tensor run_layer(std::int64_t layer, std::span<const std::int64_t> indptr,
                    std::span<const std::int32_t> indices,
                    std::span<const float> values, const Tensor& h_in,
-                   std::int64_t num_dst, Tensor* final_out);
+                   std::int64_t num_dst, Tensor* final_out,
+                   const graph::BlockedCsr* layout);
 
   /// Carve a [rows, cols] view out of workspace buffer `idx`.
   Tensor ws(int idx, std::int64_t rows, std::int64_t cols);
@@ -118,16 +136,24 @@ class InferenceEngine {
 
   // Workspaces: three ping-pong layer buffers (input / scratch / output),
   // GAT score and attention-coefficient buffers, the cached full-graph
-  // logits, and a one-row scratch for predict().
+  // logits, and a one-row scratch for predict(). With an active GraphPlan
+  // the full pass lands in plan_space_logits_ first and is unpermuted
+  // into logits_ (always caller numbering) once per cache fill.
   Tensor buf_[3];
   Tensor score_dst_ws_;
   Tensor score_src_ws_;
   Tensor alpha_ws_;
   Tensor logits_;
+  /// Plan-space staging for the full pass; allocated by the first
+  /// full_logits() on an active-plan context (kSubgraph engines never
+  /// pay for it), undefined otherwise.
+  Tensor plan_space_logits_;
   Tensor single_out_;
   bool full_valid_ = false;
 
-  // Query-plan state (reused across queries).
+  // Query-plan state (reused across queries). plan_ids_ holds query node
+  // ids translated to plan space (cleared, never shrunk).
+  std::vector<std::int64_t> plan_ids_;
   std::vector<LayerPlan> plan_;
   std::vector<std::int64_t> seed_row_;   ///< query slot -> local dst row
   std::vector<std::int64_t> visit_epoch_;

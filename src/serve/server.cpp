@@ -25,15 +25,35 @@ BatchServer::BatchServer(const Snapshot& snapshot,
           << "-edge graph; the serving graph has " << ctx->raw().num_nodes
           << " nodes/" << ctx->raw().num_edges() << " edges");
 
-  workers_.reserve(config_.workers);
-  for (std::size_t i = 0; i < config_.workers; ++i) {
-    auto engine = std::make_unique<InferenceEngine>(
-        snapshot.config, snapshot.params, ctx, features, config_.mode);
-    auto worker = std::make_unique<Worker>(std::move(engine));
-    worker->node_ids.reserve(static_cast<std::size_t>(config_.max_batch));
-    worker->logits = Tensor::empty({config_.max_batch, out_dim_});
-    free_workers_.push_back(worker.get());
-    workers_.push_back(std::move(worker));
+  if (config_.mode == QueryMode::kCachedFull) {
+    // One full-graph pass, one shared read-only answer table. The engine
+    // and its workspaces are scoped to this block — workers only ever
+    // read cached_logits_, so W workers cost no extra workspace at all.
+    InferenceEngine engine(snapshot.config, snapshot.params, ctx, features,
+                           QueryMode::kCachedFull);
+    cached_logits_ = engine.full_logits();  // shares storage, outlives engine
+  } else {
+    // On a reordered (GraphPlan) context, permute the feature rows ONCE
+    // here and share the plan-space tensor read-only across every
+    // worker's engine — W private permuted copies would defeat the
+    // "features shared, never copied per engine" contract.
+    Tensor worker_features = features;
+    FeatureSpace space = FeatureSpace::kOriginal;
+    if (ctx->plan() != nullptr && ctx->plan()->active()) {
+      worker_features = ctx->plan()->permute_rows(features);
+      space = FeatureSpace::kPlan;
+    }
+    workers_.reserve(config_.workers);
+    for (std::size_t i = 0; i < config_.workers; ++i) {
+      auto engine = std::make_unique<InferenceEngine>(
+          snapshot.config, snapshot.params, ctx, worker_features,
+          config_.mode, space);
+      auto worker = std::make_unique<Worker>(std::move(engine));
+      worker->node_ids.reserve(static_cast<std::size_t>(config_.max_batch));
+      worker->logits = Tensor::empty({config_.max_batch, out_dim_});
+      free_workers_.push_back(worker.get());
+      workers_.push_back(std::move(worker));
+    }
   }
   pool_ = std::make_unique<ThreadPool>(config_.workers);
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
@@ -128,20 +148,28 @@ void BatchServer::release_worker(Worker* w) {
 }
 
 void BatchServer::run_batch(std::vector<Pending> batch) {
-  Worker* w = acquire_worker();
   const auto n = static_cast<std::int64_t>(batch.size());
-  w->node_ids.clear();
-  for (const auto& p : batch) w->node_ids.push_back(p.node);
-  Tensor out = w->logits.view_prefix({n, out_dim_});
+  const bool cached = config_.mode == QueryMode::kCachedFull;
 
+  Worker* w = nullptr;
+  const float* batch_rows = nullptr;  // subgraph mode: worker output
   bool failed = false;
   std::string error;
-  try {
-    w->engine->query(w->node_ids, out);
-  } catch (const std::exception& e) {
-    failed = true;
-    error = e.what();
+  if (!cached) {
+    w = acquire_worker();
+    w->node_ids.clear();
+    for (const auto& p : batch) w->node_ids.push_back(p.node);
+    Tensor out = w->logits.view_prefix({n, out_dim_});
+    try {
+      w->engine->query(w->node_ids, out);
+    } catch (const std::exception& e) {
+      failed = true;
+      error = e.what();
+    }
+    batch_rows = out.data();
   }
+  // Cached mode needs no engine and no workspace: every answer is a
+  // read-only row of the shared table, indexed by the query's node id.
 
   const auto done = Clock::now();
   // Record stats BEFORE fulfilling promises: a client woken by its future
@@ -172,14 +200,15 @@ void BatchServer::run_batch(std::vector<Pending> batch) {
           std::make_exception_ptr(CheckError("batch failed: " + error)));
       continue;
     }
-    const float* row = out.data() + i * out_dim_;
+    const float* row = cached ? cached_logits_.data() + p.node * out_dim_
+                              : batch_rows + i * out_dim_;
     Prediction pred;
     pred.node = p.node;
     pred.label = static_cast<std::int32_t>(ops::argmax_row(row, out_dim_));
     pred.score = row[pred.label];
     p.promise.set_value(pred);
   }
-  release_worker(w);
+  if (w != nullptr) release_worker(w);
 
   {
     std::lock_guard lock(mutex_);

@@ -112,6 +112,12 @@ class BatchServer {
   std::int64_t out_dim_ = 0;
   std::int64_t num_nodes_ = 0;
 
+  /// kCachedFull mode: the full-graph logits, computed ONCE at
+  /// construction by a throwaway engine and shared immutably by every
+  /// batch worker (a query is then a row lookup). Per-worker engines —
+  /// and their duplicated workspaces — exist only in kSubgraph mode.
+  Tensor cached_logits_;
+
   std::vector<std::unique_ptr<Worker>> workers_;
   std::deque<Worker*> free_workers_;
   std::mutex worker_mutex_;

@@ -529,6 +529,46 @@ void per_head_dot_into(const Tensor& x, const Tensor& a, std::int64_t heads,
   }
 }
 
+namespace {
+
+template <typename Idx>
+void gather_rows_into_impl(const Tensor& src, std::span<const Idx> row_ids,
+                           Tensor& out) {
+  GSOUP_CHECK_MSG(src.rank() == 2 && out.rank() == 2 &&
+                      out.shape(1) == src.shape(1) &&
+                      out.shape(0) ==
+                          static_cast<std::int64_t>(row_ids.size()),
+                  "gather_rows_into: bad shapes " << src.shape_str() << " / "
+                                                  << out.shape_str());
+  const std::int64_t d = src.shape(1);
+  const std::int64_t m = out.shape(0);
+  const float* __restrict__ ps = src.data();
+  float* __restrict__ pd = out.data();
+#pragma omp parallel for schedule(static) \
+    if (m * d >= kParallelNumelThreshold)
+  for (std::int64_t i = 0; i < m; ++i) {
+    GSOUP_DCHECK(row_ids[static_cast<std::size_t>(i)] >= 0 &&
+                 row_ids[static_cast<std::size_t>(i)] < src.shape(0));
+    std::memcpy(pd + i * d,
+                ps + static_cast<std::int64_t>(
+                         row_ids[static_cast<std::size_t>(i)]) *
+                         d,
+                static_cast<std::size_t>(d) * sizeof(float));
+  }
+}
+
+}  // namespace
+
+void gather_rows_into(const Tensor& src,
+                      std::span<const std::int32_t> row_ids, Tensor& out) {
+  gather_rows_into_impl(src, row_ids, out);
+}
+
+void gather_rows_into(const Tensor& src,
+                      std::span<const std::int64_t> row_ids, Tensor& out) {
+  gather_rows_into_impl(src, row_ids, out);
+}
+
 float max_abs_diff(const Tensor& a, const Tensor& b) {
   GSOUP_CHECK_MSG(same_shape(a, b), "max_abs_diff shape mismatch");
   float mx = 0.0f;

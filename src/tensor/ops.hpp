@@ -85,6 +85,16 @@ inline std::int64_t argmax_row(const float* row, std::int64_t n) {
 void per_head_dot_into(const Tensor& x, const Tensor& a, std::int64_t heads,
                        Tensor& out);
 
+/// out[i] = src[row_ids[i]] for rank-2 src, preallocated out
+/// ([row_ids.size(), src.cols]). Allocation-free row gather shared by the
+/// graph locality layer (permuting features/logits between the caller's
+/// and a GraphPlan's vertex numbering) and the serving engine's batch
+/// row lookups.
+void gather_rows_into(const Tensor& src,
+                      std::span<const std::int32_t> row_ids, Tensor& out);
+void gather_rows_into(const Tensor& src,
+                      std::span<const std::int64_t> row_ids, Tensor& out);
+
 // ---- Comparison helpers (tests) -----------------------------------------
 
 /// max_i |a_i - b_i| over equal-shaped tensors.

@@ -21,6 +21,9 @@ TrainResult train_minibatch(const GnnModel& model, const GraphContext& ctx,
           model.config().num_layers,
       "need one fanout per layer");
   GSOUP_CHECK_MSG(config.batch_size > 0, "batch size must be positive");
+  // Sampling and supervision read per-node data by id; a reordered
+  // context needs the dataset in the same plan space.
+  ctx.check_plan_space(data.graph);
 
   Timer timer;
   TrainResult result;

@@ -12,6 +12,9 @@ TrainResult train_full_batch(const GnnModel& model, const GraphContext& ctx,
                              const Dataset& data, ParamStore& params,
                              const TrainConfig& config) {
   GSOUP_CHECK_MSG(config.epochs > 0, "need at least one epoch");
+  // This loop reads labels/masks by node id; a reordered context needs
+  // the dataset in the same plan space. Caught here once, not per epoch.
+  ctx.check_plan_space(data.graph);
   Timer timer;
   TrainResult result;
 

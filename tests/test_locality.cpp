@@ -1,0 +1,469 @@
+// Graph locality layer tests: permutation validity and round-trips (the
+// reorder → SpMM → inverse pipeline must restore logits bit-exactly
+// against the fused kernel), 16-bit vs 32-bit index parity on the cached
+// BlockedCsr layout, degenerate graphs (empty, single-node, star), the
+// GraphPlan dataset pipeline, and plan-aware serving (engine id
+// translation plus the BatchServer's shared cached-logits table).
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ag/graph_ops.hpp"
+#include "ag/value.hpp"
+#include "graph/builder.hpp"
+#include "graph/generator.hpp"
+#include "graph/locality.hpp"
+#include "graph/normalize.hpp"
+#include "nn/graph_context.hpp"
+#include "nn/model.hpp"
+#include "serve/engine.hpp"
+#include "serve/server.hpp"
+#include "serve/snapshot.hpp"
+#include "tensor/init.hpp"
+#include "tensor/ops.hpp"
+#include "util/memory_tracker.hpp"
+#include "util/rng.hpp"
+
+namespace gsoup {
+namespace {
+
+using graph::BlockedCsr;
+using graph::GraphPlan;
+using graph::Permutation;
+using graph::Reorder;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t = Tensor::empty(std::move(shape));
+  init::normal(t, rng, 0.0f, 1.0f);
+  return t;
+}
+
+Dataset powerlaw_dataset(std::int64_t nodes = 300) {
+  SyntheticSpec spec;
+  spec.num_nodes = nodes;
+  spec.avg_degree = 8.0;
+  spec.num_classes = 5;
+  spec.feature_dim = 12;
+  spec.degree_sigma = 1.6;
+  spec.seed = 17;
+  return generate_dataset(spec);
+}
+
+/// Hub-and-spokes graph: node 0 connected to every other node,
+/// symmetrised with self loops (the degree extreme the edge-balanced
+/// schedule and the hub-first orderings exist for).
+Csr star_graph(std::int32_t leaves) {
+  std::vector<Edge> edges;
+  for (std::int32_t i = 1; i <= leaves; ++i) edges.push_back({0, i});
+  return build_csr(leaves + 1, edges);
+}
+
+void expect_valid_permutation(const Permutation& p, std::int64_t n) {
+  ASSERT_EQ(p.size(), n);
+  std::vector<bool> hit(static_cast<std::size_t>(n), false);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t old = p.order[static_cast<std::size_t>(i)];
+    ASSERT_GE(old, 0);
+    ASSERT_LT(old, n);
+    EXPECT_FALSE(hit[static_cast<std::size_t>(old)]) << "duplicate " << old;
+    hit[static_cast<std::size_t>(old)] = true;
+    EXPECT_EQ(p.rank[static_cast<std::size_t>(old)], i);
+  }
+}
+
+// ---- Permutations ---------------------------------------------------------
+
+TEST(Locality, PermutationsAreBijections) {
+  const Dataset data = powerlaw_dataset();
+  for (const Reorder strategy : {Reorder::kDegree, Reorder::kRcm}) {
+    const Permutation p = graph::make_permutation(data.graph, strategy);
+    expect_valid_permutation(p, data.num_nodes());
+  }
+  EXPECT_TRUE(
+      graph::make_permutation(data.graph, Reorder::kNone).is_identity());
+}
+
+TEST(Locality, DegreeOrderIsDescending) {
+  const Dataset data = powerlaw_dataset();
+  const Permutation p = graph::degree_permutation(data.graph);
+  for (std::int64_t i = 0; i + 1 < p.size(); ++i) {
+    EXPECT_GE(data.graph.degree(p.order[static_cast<std::size_t>(i)]),
+              data.graph.degree(p.order[static_cast<std::size_t>(i) + 1]));
+  }
+}
+
+TEST(Locality, PermuteCsrRelabelsStructure) {
+  const Dataset data = powerlaw_dataset();
+  const Csr norm = gcn_normalize(data.graph);
+  const Permutation p = graph::rcm_permutation(data.graph);
+  const Csr perm = graph::permute_csr(norm, p);
+  perm.validate();
+  ASSERT_EQ(perm.num_edges(), norm.num_edges());
+  // Row rank[i] must hold exactly row i's edges — same relative order,
+  // sources relabelled, values carried through.
+  for (std::int64_t i = 0; i < norm.num_nodes; ++i) {
+    const auto ni = static_cast<std::int64_t>(
+        p.rank[static_cast<std::size_t>(i)]);
+    ASSERT_EQ(perm.degree(ni), norm.degree(i));
+    for (std::int64_t k = 0; k < norm.degree(i); ++k) {
+      const auto e = norm.indptr[static_cast<std::size_t>(i)] + k;
+      const auto pe = perm.indptr[static_cast<std::size_t>(ni)] + k;
+      EXPECT_EQ(perm.indices[static_cast<std::size_t>(pe)],
+                p.rank[static_cast<std::size_t>(
+                    norm.indices[static_cast<std::size_t>(e)])]);
+      EXPECT_EQ(perm.values[static_cast<std::size_t>(pe)],
+                norm.values[static_cast<std::size_t>(e)]);
+    }
+  }
+}
+
+// ---- SpMM round trips -----------------------------------------------------
+
+TEST(Locality, ReorderedSpmmRoundTripsBitExactly) {
+  const Dataset data = powerlaw_dataset();
+  const Csr norm = gcn_normalize(data.graph);
+  for (const Reorder strategy : {Reorder::kDegree, Reorder::kRcm}) {
+    const GraphPlan plan(data.graph, strategy);
+    const BlockedCsr layout = graph::build_blocked_csr(plan.apply(norm));
+    for (const std::int64_t d : {3, 16, 64}) {
+      const Tensor x = random_tensor({data.num_nodes(), d}, 29);
+      Tensor y_fused = Tensor::empty({data.num_nodes(), d});
+      ag::spmm_overwrite(norm, x, y_fused);
+
+      const Tensor px = plan.permute_rows(x);
+      Tensor y_plan = Tensor::empty({data.num_nodes(), d});
+      ag::spmm_blocked_overwrite(layout, px, y_plan);
+      const Tensor y_back = plan.unpermute_rows(y_plan);
+
+      // permute_csr preserves per-row edge order, so the permuted kernel
+      // performs the identical float ops per output row: bit-exact.
+      EXPECT_EQ(ops::max_abs_diff(y_back, y_fused), 0.0f)
+          << graph::reorder_name(strategy) << " d=" << d;
+
+      // And the whole pipeline agrees with the seed reference kernel up
+      // to summation-order rounding.
+      Tensor y_ref = Tensor::zeros({data.num_nodes(), d});
+      ag::spmm_reference(norm, x, y_ref);
+      EXPECT_LE(ops::max_abs_diff(y_back, y_ref), 1e-4f);
+    }
+  }
+}
+
+TEST(Locality, NarrowAndWideIndicesAgreeBitExactly) {
+  const Dataset data = powerlaw_dataset();
+  const Csr norm = gcn_normalize(data.graph);
+  ASSERT_LE(norm.num_nodes, graph::kNarrowIndexLimit);
+  const BlockedCsr narrow = graph::build_blocked_csr(norm);
+  const BlockedCsr wide =
+      graph::build_blocked_csr(norm, /*force_wide=*/true);
+  ASSERT_TRUE(narrow.narrow());
+  ASSERT_FALSE(wide.narrow());
+  for (const std::int64_t d : {5, 32}) {
+    const Tensor x = random_tensor({data.num_nodes(), d}, 31);
+    Tensor y16 = Tensor::empty({data.num_nodes(), d});
+    Tensor y32 = Tensor::empty({data.num_nodes(), d});
+    ag::spmm_blocked_overwrite(narrow, x, y16);
+    ag::spmm_blocked_overwrite(wide, x, y32);
+    EXPECT_EQ(ops::max_abs_diff(y16, y32), 0.0f) << "d=" << d;
+
+    // Accumulate path too (the backward kernels).
+    y16.fill_(0.5f);
+    y32.fill_(0.5f);
+    ag::spmm_blocked_accumulate(narrow, x, y16);
+    ag::spmm_blocked_accumulate(wide, x, y32);
+    EXPECT_EQ(ops::max_abs_diff(y16, y32), 0.0f) << "d=" << d;
+  }
+}
+
+// ---- Degenerate graphs ----------------------------------------------------
+
+TEST(Locality, DegenerateGraphs) {
+  // Empty graph: no nodes, no edges.
+  {
+    Csr empty;
+    empty.num_nodes = 0;
+    empty.indptr = {0};
+    for (const Reorder strategy :
+         {Reorder::kNone, Reorder::kDegree, Reorder::kRcm}) {
+      const GraphPlan plan(empty, strategy);
+      EXPECT_EQ(plan.graph().num_nodes, 0);
+      const BlockedCsr layout = graph::build_blocked_csr(plan.graph());
+      Tensor x = Tensor::empty({0, 4});
+      Tensor y = Tensor::empty({0, 4});
+      ag::spmm_blocked_overwrite(layout, x, y);  // must not crash
+    }
+  }
+  // Single node with a self loop.
+  {
+    const Csr one = build_csr(1, {});
+    const Csr norm = gcn_normalize(one);
+    for (const Reorder strategy : {Reorder::kDegree, Reorder::kRcm}) {
+      const GraphPlan plan(one, strategy);
+      EXPECT_TRUE(plan.perm().is_identity());
+      const BlockedCsr layout = graph::build_blocked_csr(plan.apply(norm));
+      const Tensor x = random_tensor({1, 8}, 37);
+      Tensor y_plan = Tensor::empty({1, 8});
+      ag::spmm_blocked_overwrite(layout, plan.permute_rows(x), y_plan);
+      Tensor y = Tensor::empty({1, 8});
+      ag::spmm_overwrite(norm, x, y);
+      EXPECT_EQ(ops::max_abs_diff(plan.unpermute_rows(y_plan), y), 0.0f);
+    }
+  }
+  // Star: one hub, 40 leaves — the maximal-skew case.
+  {
+    const Csr star = star_graph(40);
+    const Csr norm = gcn_normalize(star);
+    for (const Reorder strategy : {Reorder::kDegree, Reorder::kRcm}) {
+      const GraphPlan plan(star, strategy);
+      expect_valid_permutation(plan.perm(), star.num_nodes);
+      const BlockedCsr layout = graph::build_blocked_csr(plan.apply(norm));
+      const Tensor x = random_tensor({star.num_nodes, 16}, 41);
+      Tensor y_plan = Tensor::empty({star.num_nodes, 16});
+      ag::spmm_blocked_overwrite(layout, plan.permute_rows(x), y_plan);
+      Tensor y = Tensor::empty({star.num_nodes, 16});
+      ag::spmm_overwrite(norm, x, y);
+      EXPECT_EQ(ops::max_abs_diff(plan.unpermute_rows(y_plan), y), 0.0f)
+          << graph::reorder_name(strategy);
+    }
+  }
+}
+
+// ---- Dataset pipeline -----------------------------------------------------
+
+TEST(Locality, DatasetApplyMovesEverythingConsistently) {
+  const Dataset data = powerlaw_dataset();
+  const auto plan = std::make_shared<const GraphPlan>(data.graph,
+                                                      Reorder::kDegree);
+  const Dataset pd = plan->apply(data);
+  pd.validate();
+  EXPECT_EQ(pd.num_nodes(), data.num_nodes());
+  EXPECT_EQ(pd.num_edges(), data.num_edges());
+  EXPECT_EQ(pd.num_classes, data.num_classes);
+  for (std::int64_t v = 0; v < data.num_nodes(); ++v) {
+    const std::int64_t nv = plan->to_plan(v);
+    EXPECT_EQ(plan->to_original(nv), v);
+    EXPECT_EQ(pd.labels[static_cast<std::size_t>(nv)],
+              data.labels[static_cast<std::size_t>(v)]);
+    EXPECT_EQ(pd.train_mask[static_cast<std::size_t>(nv)],
+              data.train_mask[static_cast<std::size_t>(v)]);
+    EXPECT_EQ(pd.features.at(nv, 0), data.features.at(v, 0));
+  }
+  // Split sizes (and therefore every aggregate metric) are invariant.
+  EXPECT_EQ(pd.split_size(Split::kTrain), data.split_size(Split::kTrain));
+  EXPECT_EQ(pd.split_size(Split::kVal), data.split_size(Split::kVal));
+  EXPECT_EQ(pd.split_size(Split::kTest), data.split_size(Split::kTest));
+  // Features round-trip through the row permutation bit-exactly.
+  EXPECT_EQ(
+      ops::max_abs_diff(plan->unpermute_rows(pd.features), data.features),
+      0.0f);
+}
+
+TEST(Locality, TrainingForwardMatchesOnPlanContext) {
+  // The full training forward over a GraphPlan context (cached layouts,
+  // reordered operands, plan-space data) must agree with the plain
+  // context row-for-row after the inverse permutation.
+  const Dataset data = powerlaw_dataset(160);
+  for (const Arch arch : {Arch::kGcn, Arch::kSage, Arch::kGat}) {
+    ModelConfig cfg;
+    cfg.arch = arch;
+    cfg.in_dim = data.feature_dim();
+    cfg.out_dim = data.num_classes;
+    cfg.num_layers = 2;
+    cfg.hidden_dim = arch == Arch::kGat ? 6 : 16;
+    cfg.heads = 3;
+    const GnnModel model(cfg);
+    Rng rng(47);
+    const ParamStore params = model.init_params(rng);
+    const ParamMap pm = as_leaves(params, /*requires_grad=*/false);
+    ag::NoGradGuard guard;
+
+    const GraphContext plain(data.graph, arch);
+    const Tensor ref =
+        model.forward(plain, ag::constant(data.features), pm)->value;
+
+    const auto plan =
+        std::make_shared<const GraphPlan>(data.graph, Reorder::kRcm);
+    const Dataset pd = plan->apply(data);
+    const GraphContext ctx(plan, arch);
+    const Tensor out =
+        model.forward(ctx, ag::constant(pd.features), pm)->value;
+    EXPECT_LE(ops::max_abs_diff(plan->unpermute_rows(out), ref), 2e-5f)
+        << arch_name(arch);
+  }
+}
+
+// ---- Serving --------------------------------------------------------------
+
+TEST(Locality, EngineTranslatesIdsOnReorderedContext) {
+  const Dataset data = powerlaw_dataset();
+  for (const Arch arch : {Arch::kGcn, Arch::kSage, Arch::kGat}) {
+    ModelConfig cfg;
+    cfg.arch = arch;
+    cfg.in_dim = data.feature_dim();
+    cfg.out_dim = data.num_classes;
+    cfg.num_layers = 2;
+    cfg.hidden_dim = arch == Arch::kGat ? 6 : 16;
+    cfg.heads = 3;
+    const GnnModel model(cfg);
+    Rng rng(53);
+    const ParamStore params = model.init_params(rng);
+
+    auto plain_ctx = std::make_shared<const GraphContext>(data.graph, arch);
+    auto plan =
+        std::make_shared<const GraphPlan>(data.graph, Reorder::kDegree);
+    auto reordered_ctx = std::make_shared<const GraphContext>(plan, arch);
+
+    // Both engines take features and ids in the ORIGINAL numbering; the
+    // reordered engine translates internally.
+    serve::InferenceEngine plain(cfg, params, plain_ctx, data.features);
+    serve::InferenceEngine reordered(cfg, params, reordered_ctx,
+                                     data.features);
+    EXPECT_LE(ops::max_abs_diff(plain.full_logits(),
+                                reordered.full_logits()),
+              2e-5f)
+        << arch_name(arch);
+
+    const std::vector<std::int64_t> nodes = {0, 7, 123, 7, 299};
+    Tensor a = Tensor::empty({5, cfg.out_dim});
+    Tensor b = Tensor::empty({5, cfg.out_dim});
+    plain.query(nodes, a);
+    reordered.query(nodes, b);
+    EXPECT_LE(ops::max_abs_diff(a, b), 2e-5f) << arch_name(arch);
+    EXPECT_EQ(plain.predict(123), reordered.predict(123));
+  }
+}
+
+TEST(Locality, ReorderedEngineStaysAllocationFreeAfterWarmup) {
+  const Dataset data = powerlaw_dataset();
+  ModelConfig cfg;
+  cfg.arch = Arch::kGcn;
+  cfg.in_dim = data.feature_dim();
+  cfg.out_dim = data.num_classes;
+  cfg.num_layers = 2;
+  cfg.hidden_dim = 16;
+  const GnnModel model(cfg);
+  Rng rng(59);
+  const ParamStore params = model.init_params(rng);
+  auto plan = std::make_shared<const GraphPlan>(data.graph, Reorder::kRcm);
+  auto ctx = std::make_shared<const GraphContext>(plan, Arch::kGcn);
+  serve::InferenceEngine engine(cfg, params, ctx, data.features);
+
+  Tensor out = Tensor::empty({8, cfg.out_dim});
+  std::vector<std::int64_t> nodes(8);
+  engine.full_logits();
+  for (int rep = 0; rep < 2; ++rep) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      nodes[i] = static_cast<std::int64_t>((i * 13 + rep) % 300);
+    }
+    engine.query(nodes, out);
+  }
+  const std::uint64_t allocs = MemoryTracker::alloc_count();
+  for (int rep = 0; rep < 20; ++rep) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      nodes[i] = static_cast<std::int64_t>((i * 7 + rep * 31) % 300);
+    }
+    engine.query(nodes, out);
+  }
+  engine.full_logits();
+  EXPECT_EQ(MemoryTracker::alloc_count(), allocs)
+      << "plan-space translation allocated per query";
+}
+
+TEST(Locality, SubgraphServerOnReorderedContextSharesPlanFeatures) {
+  // kSubgraph workers on a GraphPlan context share ONE plan-space feature
+  // tensor (permuted once by the server); answers must still come back in
+  // the caller's numbering.
+  const Dataset data = powerlaw_dataset();
+  ModelConfig cfg;
+  cfg.arch = Arch::kSage;
+  cfg.in_dim = data.feature_dim();
+  cfg.out_dim = data.num_classes;
+  cfg.num_layers = 2;
+  cfg.hidden_dim = 16;
+  const GnnModel model(cfg);
+  Rng rng(67);
+  const ParamStore params = model.init_params(rng);
+  const serve::Snapshot snap =
+      serve::make_snapshot(cfg, params, data, "uniform");
+
+  auto plain_ctx =
+      std::make_shared<const GraphContext>(data.graph, Arch::kSage);
+  serve::InferenceEngine oracle(cfg, params, plain_ctx, data.features);
+
+  auto plan = std::make_shared<const GraphPlan>(data.graph, Reorder::kRcm);
+  auto ctx = std::make_shared<const GraphContext>(plan, Arch::kSage);
+  serve::ServerConfig server_cfg;
+  server_cfg.workers = 2;
+  server_cfg.max_batch = 8;
+  serve::BatchServer server(snap, ctx, data.features, server_cfg);
+
+  std::vector<std::future<serve::Prediction>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(server.submit((i * 11) % data.num_nodes()));
+  }
+  server.drain();
+  Tensor one = Tensor::empty({1, cfg.out_dim});
+  for (auto& fut : futures) {
+    const serve::Prediction pred = fut.get();
+    const std::int64_t ids[1] = {pred.node};
+    oracle.query(std::span<const std::int64_t>(ids, 1), one);
+    EXPECT_EQ(pred.label, static_cast<std::int32_t>(
+                              ops::argmax_row(one.data(), cfg.out_dim)))
+        << "node " << pred.node;
+  }
+}
+
+TEST(Locality, CachedFullServerSharesOneLogitsTable) {
+  // kCachedFull servers answer from one shared immutable logits buffer
+  // (no per-worker engines); answers must match the training forward for
+  // every worker that touches the table.
+  const Dataset data = powerlaw_dataset();
+  ModelConfig cfg;
+  cfg.arch = Arch::kGcn;
+  cfg.in_dim = data.feature_dim();
+  cfg.out_dim = data.num_classes;
+  cfg.num_layers = 2;
+  cfg.hidden_dim = 16;
+  const GnnModel model(cfg);
+  Rng rng(61);
+  const ParamStore params = model.init_params(rng);
+  auto ctx = std::make_shared<const GraphContext>(data.graph, Arch::kGcn);
+
+  Tensor expected;
+  {
+    ag::NoGradGuard guard;
+    const ParamMap pm = as_leaves(params, /*requires_grad=*/false);
+    expected = model.forward(*ctx, ag::constant(data.features), pm)->value;
+  }
+  const auto expected_labels = ops::row_argmax(expected);
+
+  const serve::Snapshot snap =
+      serve::make_snapshot(cfg, params, data, "uniform");
+  serve::ServerConfig server_cfg;
+  server_cfg.workers = 3;
+  server_cfg.max_batch = 16;
+  server_cfg.mode = serve::QueryMode::kCachedFull;
+  serve::BatchServer server(snap, ctx, data.features, server_cfg);
+
+  std::vector<std::future<serve::Prediction>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(server.submit((i * 7) % data.num_nodes()));
+  }
+  server.drain();
+  for (auto& fut : futures) {
+    const serve::Prediction pred = fut.get();
+    EXPECT_EQ(pred.label,
+              static_cast<std::int32_t>(
+                  expected_labels[static_cast<std::size_t>(pred.node)]));
+    EXPECT_FLOAT_EQ(pred.score, expected.at(pred.node, pred.label));
+  }
+  EXPECT_EQ(server.stats().queries, 200u);
+}
+
+}  // namespace
+}  // namespace gsoup

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Markdown link checker for the docs suite (CI docs job).
+#
+# Scans README.md, ROADMAP.md, CHANGES.md and docs/*.md for inline
+# markdown links/images `[text](target)` and verifies every relative
+# target exists in the repository (anchors are stripped; http(s)/mailto
+# targets are skipped). Exits 1 listing each broken link.
+#
+# Usage: tools/check_docs_links.sh [repo-root]
+set -u
+
+root="${1:-.}"
+cd "$root" || exit 2
+
+files=()
+for f in README.md ROADMAP.md CHANGES.md docs/*.md; do
+  [ -f "$f" ] && files+=("$f")
+done
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "check_docs_links: no markdown files found under $root" >&2
+  exit 2
+fi
+
+broken=0
+checked=0
+for f in "${files[@]}"; do
+  # Inline links only, one per line; code fences are filtered by
+  # requiring the ](...) form and skipping targets with spaces.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+      *" "*) continue ;;
+      "") continue ;;
+    esac
+    path="${target%%#*}"            # strip anchor
+    [ -z "$path" ] && continue
+    checked=$((checked + 1))
+    # Relative to the linking file's directory, falling back to repo root.
+    dir="$(dirname "$f")"
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "BROKEN: $f -> $target"
+      broken=$((broken + 1))
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+echo "check_docs_links: $checked relative link(s) checked across ${#files[@]} file(s), $broken broken"
+[ "$broken" -eq 0 ] || exit 1
+exit 0
