@@ -18,8 +18,6 @@ namespace gsoup::ag {
 
 namespace {
 
-constexpr std::int64_t kParallelRowThreshold = 64;
-
 // SpMM kernel bodies. Two levers over the naive per-edge loop, each worth
 // measuring (see BENCH_kernels.json):
 //   1. Compile-time feature width D: the naive runtime trip count costs a
@@ -65,7 +63,44 @@ void spmm_rows_fixed(const std::int64_t* __restrict__ indptr,
   for (std::int64_t i = lo; i < hi; ++i) {
     const std::int64_t begin = indptr[i], end = indptr[i + 1];
     float* __restrict__ yrow = py + i * D;
-    float acc0[D] = {}, acc1[D] = {};
+    if constexpr (!Overwrite) {
+      // Short-row fast path for accumulation: backward gathers over
+      // block/graph transposes average only a handful of edges per row,
+      // where the dual-accumulator setup/merge costs more than the
+      // latency chain it hides. A single register accumulator seeded
+      // from yrow and stored once is cheaper.
+      if (end - begin <= 4) {
+        float acc[D];
+#pragma omp simd
+        for (int j = 0; j < D; ++j) acc[j] = yrow[j];
+        for (std::int64_t e = begin; e < end; ++e) {
+          if (e + kSpmmPrefetchDist < num_edges) {
+            spmm_prefetch_row<D>(
+                px +
+                static_cast<std::int64_t>(indices[e + kSpmmPrefetchDist]) *
+                    D);
+          }
+          const float w = values[e];
+          const float* __restrict__ xrow =
+              px + static_cast<std::int64_t>(indices[e]) * D;
+#pragma omp simd
+          for (int j = 0; j < D; ++j) acc[j] += w * xrow[j];
+        }
+#pragma omp simd
+        for (int j = 0; j < D; ++j) yrow[j] = acc[j];
+        continue;
+      }
+    }
+    float acc0[D], acc1[D] = {};
+    if constexpr (Overwrite) {
+#pragma omp simd
+      for (int j = 0; j < D; ++j) acc0[j] = 0.0f;
+    } else {
+      // Fold the existing row into the even accumulator: one array pass
+      // instead of a zero pass plus a read-modify-write epilogue.
+#pragma omp simd
+      for (int j = 0; j < D; ++j) acc0[j] = yrow[j];
+    }
     std::int64_t e = begin;
     for (; e + 1 < end; e += 2) {
       if (e + kSpmmPrefetchDist + 1 < num_edges) {
@@ -95,13 +130,8 @@ void spmm_rows_fixed(const std::int64_t* __restrict__ indptr,
 #pragma omp simd
       for (int j = 0; j < D; ++j) acc0[j] += w * xrow[j];
     }
-    if constexpr (Overwrite) {
 #pragma omp simd
-      for (int j = 0; j < D; ++j) yrow[j] = acc0[j] + acc1[j];
-    } else {
-#pragma omp simd
-      for (int j = 0; j < D; ++j) yrow[j] += acc0[j] + acc1[j];
-    }
+    for (int j = 0; j < D; ++j) yrow[j] = acc0[j] + acc1[j];
   }
 }
 
@@ -170,7 +200,6 @@ void spmm_dispatch(std::span<const std::int64_t> sp_indptr,
                    std::span<const std::int32_t> sp_indices,
                    std::span<const float> sp_values, const Tensor& x,
                    Tensor& y) {
-  const auto n = static_cast<std::int64_t>(sp_indptr.size()) - 1;
   const std::int64_t d = x.shape(1);
   const float* __restrict__ px = x.data();
   float* __restrict__ py = y.data();
@@ -178,21 +207,12 @@ void spmm_dispatch(std::span<const std::int64_t> sp_indptr,
   const auto* __restrict__ indices = sp_indices.data();
   const auto* __restrict__ values = sp_values.data();
   const auto e = static_cast<std::int64_t>(sp_indices.size());
-  if (n < kParallelRowThreshold) {
-    spmm_rows<Overwrite>(indptr, indices, values, px, py, d, e, 0, n);
-    return;
-  }
   // Edge-balanced schedule: contiguous row ranges of ~equal nnz, a few per
   // thread, so hub rows of power-law graphs spread across the team without
   // per-row dynamic-scheduling overhead.
-  const auto bounds = balanced_row_chunks(sp_indptr, balanced_chunk_count(n));
-  const auto chunks = static_cast<std::int64_t>(bounds.size()) - 1;
-#pragma omp parallel for schedule(dynamic, 1)
-  for (std::int64_t c = 0; c < chunks; ++c) {
-    spmm_rows<Overwrite>(indptr, indices, values, px, py, d, e,
-                         bounds[static_cast<std::size_t>(c)],
-                         bounds[static_cast<std::size_t>(c) + 1]);
-  }
+  for_each_balanced_row(sp_indptr, [&](std::int64_t lo, std::int64_t hi) {
+    spmm_rows<Overwrite>(indptr, indices, values, px, py, d, e, lo, hi);
+  });
 }
 
 /// Driver for cached graph::BlockedCsr layouts: the edge-balanced row
@@ -205,32 +225,532 @@ void spmm_blocked_dispatch(const graph::BlockedCsr& a, const Tensor& x,
                       y.shape(0) == a.num_rows && y.shape(1) == x.shape(1),
                   "blocked spmm: bad shapes " << x.shape_str() << " -> "
                                               << y.shape_str());
+  GSOUP_CHECK_MSG(a.weighted() || a.num_edges() == 0,
+                  "blocked spmm needs a weighted layout (SpMM operand), "
+                  "not a structure-only attention layout");
   const std::int64_t d = x.shape(1);
   const std::int64_t e = a.num_edges();
   const float* __restrict__ px = x.data();
   float* __restrict__ py = y.data();
   const auto* __restrict__ indptr = a.indptr.data();
   const auto* __restrict__ values = a.values.data();
-  const auto run = [&](auto* indices) {
-    if (a.num_rows < kParallelRowThreshold) {
-      spmm_rows<Overwrite>(indptr, indices, values, px, py, d, e, 0,
-                           a.num_rows);
-      return;
-    }
-    const auto chunks =
-        static_cast<std::int64_t>(a.row_blocks.size()) - 1;
-#pragma omp parallel for schedule(dynamic, 1)
-    for (std::int64_t c = 0; c < chunks; ++c) {
-      spmm_rows<Overwrite>(indptr, indices, values, px, py, d, e,
-                           a.row_blocks[static_cast<std::size_t>(c)],
-                           a.row_blocks[static_cast<std::size_t>(c) + 1]);
-    }
+  const auto run = [&](const auto* indices) {
+    for_each_row_block(a.row_blocks, a.num_rows,
+                       [&](std::int64_t lo, std::int64_t hi) {
+                         spmm_rows<Overwrite>(indptr, indices, values, px,
+                                              py, d, e, lo, hi);
+                       });
   };
   if (a.narrow()) {
     run(a.idx16.data());
   } else {
     run(a.idx32.data());
   }
+}
+
+// ---- GAT attention kernels ------------------------------------------------
+//
+// The seed kernel walked every destination row four times *per head*
+// (activation+max, exp+sum, normalise, aggregate), with the aggregate's
+// inner loop at a runtime trip count. The fused kernels process all heads
+// of an edge in one sweep — the [E, heads] alpha layout makes the per-edge
+// head lane contiguous — and visit each row's edges twice:
+//   pass 1: z = sl+sr, LeakyReLU, per-head running max        (stores act)
+//   pass 2: p = exp(act-max), denom += p, acc += p·H[src]     (stores p)
+// followed by two short epilogues: scale the accumulated row by 1/denom
+// (the softmax normalisation commuted past the aggregation) and scale the
+// stored p's into normalised attention coefficients for the backward.
+// This keeps the exp count at one per edge-lane — libm expf is the most
+// expensive instruction here, so the usual online-softmax rescale (which
+// re-exponentiates in the second pass) loses more than the saved
+// max-walk gains. The aggregate inner loop is
+// width-specialised on the per-head dim d like spmm_rows.
+//
+// Per-row softmax state lives in fixed stack arrays of kGatHeadTile
+// lanes; rows with more heads than that run multiple tiles (each tile
+// re-walks the row, degrading gracefully toward the seed's per-head cost
+// — 16 covers every configuration in the paper with one tile).
+
+constexpr std::int64_t kGatHeadTile = 16;
+constexpr std::int64_t kGatPrefetchDist = 8;
+
+
+/// Specialised forward row body: D (per-head dim) and H (head count) are
+/// compile-time, so every inner loop fully unrolls, hd = H·D addressing
+/// folds into constants, and the unnormalised aggregate lives in an
+/// H·D-float register/stack accumulator written to the output row once.
+/// Measured against the runtime-heads fallback below, this is where most
+/// of the fused kernel's speedup comes from: the per-edge head loops are
+/// 1-8 iterations, far too short to amortise runtime trip counts.
+template <int D, int H, typename Idx>
+void gat_forward_rows(const std::int64_t* __restrict__ indptr,
+                      const Idx* __restrict__ indices,
+                      const float* __restrict__ sl,
+                      const float* __restrict__ sr,
+                      const float* __restrict__ ph, float* __restrict__ pa,
+                      float* __restrict__ po, float slope, std::int64_t lo,
+                      std::int64_t hi) {
+  constexpr std::int64_t HD = static_cast<std::int64_t>(H) * D;
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const std::int64_t begin = indptr[i], end = indptr[i + 1];
+    const float* __restrict__ sli = sl + i * H;
+    float* __restrict__ orow = po + i * HD;
+    float mx[H];
+    float denom[H] = {};
+    for (int h = 0; h < H; ++h) {
+      mx[h] = -std::numeric_limits<float>::infinity();
+    }
+    // Pass 1: LeakyReLU activations + per-head maxima, all lanes per edge.
+    for (std::int64_t e = begin; e < end; ++e) {
+      const float* __restrict__ srj =
+          sr + static_cast<std::int64_t>(indices[e]) * H;
+      float* __restrict__ ae = pa + e * H;
+      for (int h = 0; h < H; ++h) {
+        const float z = sli[h] + srj[h];
+        // LeakyReLU(z) == max(z, slope*z) for 0 < slope < 1: branchless,
+        // where the data-dependent select mispredicts half the time.
+        const float act = std::max(z, slope * z);
+        ae[h] = act;
+        mx[h] = std::max(mx[h], act);
+      }
+    }
+    // Pass 2a: exponentiate the row's alpha block in one stream,
+    // accumulating the per-head denominators.
+    for (std::int64_t e = begin; e < end; ++e) {
+      float* __restrict__ ae = pa + e * H;
+#pragma omp simd
+      for (int h = 0; h < H; ++h) {
+        const float p = std::exp(ae[h] - mx[h]);
+        ae[h] = p;
+        denom[h] += p;
+      }
+    }
+    // Pass 2b: unnormalised aggregate acc += p·H[src] over the full H·D
+    // row (contiguous gather, unlike the seed's per-head segments).
+    float acc[HD] = {};
+    for (std::int64_t e = begin; e < end; ++e) {
+      if (e + kGatPrefetchDist < end) {
+        spmm_prefetch_row<HD>(
+            ph +
+            static_cast<std::int64_t>(indices[e + kGatPrefetchDist]) * HD);
+      }
+      const float* __restrict__ ae = pa + e * H;
+      const float* __restrict__ hrow =
+          ph + static_cast<std::int64_t>(indices[e]) * HD;
+      for (int h = 0; h < H; ++h) {
+        const float p = ae[h];
+#pragma omp simd
+        for (int j = 0; j < D; ++j) acc[h * D + j] += p * hrow[h * D + j];
+      }
+    }
+    // Normalise: the accumulated row once (the softmax normalisation
+    // commuted past the aggregation), then the stored p's into attention
+    // coefficients for the backward.
+    float inv[H];
+    for (int h = 0; h < H; ++h) {
+      inv[h] = denom[h] > 0.0f ? 1.0f / denom[h] : 0.0f;
+    }
+    for (int h = 0; h < H; ++h) {
+#pragma omp simd
+      for (int j = 0; j < D; ++j) orow[h * D + j] = acc[h * D + j] * inv[h];
+    }
+    for (std::int64_t e = begin; e < end; ++e) {
+      float* __restrict__ ae = pa + e * H;
+      for (int h = 0; h < H; ++h) ae[h] *= inv[h];
+    }
+  }
+}
+
+/// Runtime-shape fallback (uncommon head counts or per-head dims): same
+/// pass structure, head-tiled so per-row softmax state stays in fixed
+/// stack arrays, aggregate accumulated in the output row directly.
+template <typename Idx>
+void gat_forward_rows_generic(const std::int64_t* __restrict__ indptr,
+                              const Idx* __restrict__ indices,
+                              const float* __restrict__ sl,
+                              const float* __restrict__ sr,
+                              const float* __restrict__ ph,
+                              float* __restrict__ pa, float* __restrict__ po,
+                              std::int64_t heads, std::int64_t d, float slope,
+                              std::int64_t lo, std::int64_t hi) {
+  const std::int64_t hd = heads * d;
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const std::int64_t begin = indptr[i], end = indptr[i + 1];
+    const float* __restrict__ sli = sl + i * heads;
+    float* __restrict__ orow = po + i * hd;
+#pragma omp simd
+    for (std::int64_t j = 0; j < hd; ++j) orow[j] = 0.0f;
+    for (std::int64_t hb = 0; hb < heads; hb += kGatHeadTile) {
+      const std::int64_t hw = std::min(kGatHeadTile, heads - hb);
+      float mx[kGatHeadTile];
+      float denom[kGatHeadTile] = {};
+      for (std::int64_t h = 0; h < hw; ++h) {
+        mx[h] = -std::numeric_limits<float>::infinity();
+      }
+      for (std::int64_t e = begin; e < end; ++e) {
+        const float* __restrict__ srj =
+            sr + static_cast<std::int64_t>(indices[e]) * heads + hb;
+        float* __restrict__ ae = pa + e * heads + hb;
+        for (std::int64_t h = 0; h < hw; ++h) {
+          const float z = sli[hb + h] + srj[h];
+          const float act = std::max(z, slope * z);  // branchless LeakyReLU
+          ae[h] = act;
+          mx[h] = std::max(mx[h], act);
+        }
+      }
+      for (std::int64_t e = begin; e < end; ++e) {
+        const float* __restrict__ hrow =
+            ph + static_cast<std::int64_t>(indices[e]) * hd + hb * d;
+        float* __restrict__ ae = pa + e * heads + hb;
+        for (std::int64_t h = 0; h < hw; ++h) {
+          const float p = std::exp(ae[h] - mx[h]);
+          ae[h] = p;
+          denom[h] += p;
+          const float* __restrict__ hseg = hrow + h * d;
+          float* __restrict__ oseg = orow + (hb + h) * d;
+#pragma omp simd
+          for (std::int64_t j = 0; j < d; ++j) oseg[j] += p * hseg[j];
+        }
+      }
+      float inv[kGatHeadTile];
+      for (std::int64_t h = 0; h < hw; ++h) {
+        inv[h] = denom[h] > 0.0f ? 1.0f / denom[h] : 0.0f;
+      }
+      for (std::int64_t h = 0; h < hw; ++h) {
+        float* __restrict__ oseg = orow + (hb + h) * d;
+        const float s = inv[h];
+#pragma omp simd
+        for (std::int64_t j = 0; j < d; ++j) oseg[j] *= s;
+      }
+      for (std::int64_t e = begin; e < end; ++e) {
+        float* __restrict__ ae = pa + e * heads + hb;
+        for (std::int64_t h = 0; h < hw; ++h) ae[h] *= inv[h];
+      }
+    }
+  }
+}
+
+/// Backward pass 1, head-fused: over destination rows of the forward
+/// structure. Stashes per-edge dz (the gradient of the pre-activation
+/// attention logit) in `pdz` and accumulates dscore_dst when `pslg` is
+/// non-null.
+/// Specialised backward pass-1 row body (compile-time D and H, like the
+/// forward).
+template <int D, int H, typename Idx>
+void gat_backward_dst_rows(const std::int64_t* __restrict__ indptr,
+                           const Idx* __restrict__ indices,
+                           const float* __restrict__ grad_out,
+                           const float* __restrict__ pa,
+                           const float* __restrict__ ph,
+                           const float* __restrict__ sl,
+                           const float* __restrict__ sr,
+                           float* __restrict__ pdz, float* __restrict__ pslg,
+                           float slope, std::int64_t lo, std::int64_t hi) {
+  constexpr std::int64_t HD = static_cast<std::int64_t>(H) * D;
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const std::int64_t begin = indptr[i], end = indptr[i + 1];
+    const float* __restrict__ grow = grad_out + i * HD;
+    const float* __restrict__ sli = sl + i * H;
+    float inner[H] = {};
+    // Walk 1: d_alpha_e = <dOut_i, H_src> per lane; inner = Σ alpha·d_alpha.
+    for (std::int64_t e = begin; e < end; ++e) {
+      if (e + kGatPrefetchDist < end) {
+        spmm_prefetch_row<HD>(
+            ph +
+            static_cast<std::int64_t>(indices[e + kGatPrefetchDist]) * HD);
+      }
+      const float* __restrict__ hrow =
+          ph + static_cast<std::int64_t>(indices[e]) * HD;
+      float* __restrict__ dze = pdz + e * H;
+      const float* __restrict__ ae = pa + e * H;
+      for (int h = 0; h < H; ++h) {
+        float dot = 0.0f;
+#pragma omp simd reduction(+ : dot)
+        for (int j = 0; j < D; ++j) dot += grow[h * D + j] * hrow[h * D + j];
+        dze[h] = dot;
+        inner[h] += ae[h] * dot;
+      }
+    }
+    // Walk 2: softmax + LeakyReLU backward, all lanes per edge.
+    float dsl_acc[H] = {};
+    for (std::int64_t e = begin; e < end; ++e) {
+      const float* __restrict__ srj =
+          sr + static_cast<std::int64_t>(indices[e]) * H;
+      float* __restrict__ dze = pdz + e * H;
+      const float* __restrict__ ae = pa + e * H;
+      for (int h = 0; h < H; ++h) {
+        const float de = ae[h] * (dze[h] - inner[h]);
+        const float z = sli[h] + srj[h];
+        // Branchless LeakyReLU derivative: gate is a 0/1 float (compare +
+        // mask), so no data-dependent branch on the sign of z.
+        const float gate = static_cast<float>(z > 0.0f);
+        const float dzv = de * (slope + (1.0f - slope) * gate);
+        dze[h] = dzv;
+        dsl_acc[h] += dzv;
+      }
+    }
+    if (pslg != nullptr) {
+      for (int h = 0; h < H; ++h) pslg[i * H + h] += dsl_acc[h];
+    }
+  }
+}
+
+/// Runtime-shape fallback for backward pass 1, head-tiled.
+template <typename Idx>
+void gat_backward_dst_rows_generic(
+    const std::int64_t* __restrict__ indptr, const Idx* __restrict__ indices,
+    const float* __restrict__ grad_out, const float* __restrict__ pa,
+    const float* __restrict__ ph, const float* __restrict__ sl,
+    const float* __restrict__ sr, float* __restrict__ pdz,
+    float* __restrict__ pslg, std::int64_t heads, std::int64_t d, float slope,
+    std::int64_t lo, std::int64_t hi) {
+  const std::int64_t hd = heads * d;
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const std::int64_t begin = indptr[i], end = indptr[i + 1];
+    const float* __restrict__ grow = grad_out + i * hd;
+    const float* __restrict__ sli = sl + i * heads;
+    for (std::int64_t hb = 0; hb < heads; hb += kGatHeadTile) {
+      const std::int64_t hw = std::min(kGatHeadTile, heads - hb);
+      float inner[kGatHeadTile] = {};
+      for (std::int64_t e = begin; e < end; ++e) {
+        const float* __restrict__ hrow =
+            ph + static_cast<std::int64_t>(indices[e]) * hd + hb * d;
+        float* __restrict__ dze = pdz + e * heads + hb;
+        const float* __restrict__ ae = pa + e * heads + hb;
+        for (std::int64_t h = 0; h < hw; ++h) {
+          const float* __restrict__ hseg = hrow + h * d;
+          const float* __restrict__ gseg = grow + (hb + h) * d;
+          float dot = 0.0f;
+#pragma omp simd reduction(+ : dot)
+          for (std::int64_t j = 0; j < d; ++j) dot += gseg[j] * hseg[j];
+          dze[h] = dot;
+          inner[h] += ae[h] * dot;
+        }
+      }
+      float dsl_acc[kGatHeadTile] = {};
+      for (std::int64_t e = begin; e < end; ++e) {
+        const float* __restrict__ srj =
+            sr + static_cast<std::int64_t>(indices[e]) * heads + hb;
+        float* __restrict__ dze = pdz + e * heads + hb;
+        const float* __restrict__ ae = pa + e * heads + hb;
+        for (std::int64_t h = 0; h < hw; ++h) {
+          const float de = ae[h] * (dze[h] - inner[h]);
+          const float z = sli[hb + h] + srj[h];
+          const float dzv = de * (z > 0.0f ? 1.0f : slope);
+          dze[h] = dzv;
+          dsl_acc[h] += dzv;
+        }
+      }
+      if (pslg != nullptr) {
+        for (std::int64_t h = 0; h < hw; ++h) {
+          pslg[i * heads + hb + h] += dsl_acc[h];
+        }
+      }
+    }
+  }
+}
+
+/// Backward pass 2, head-fused: over *source* rows of the transpose.
+/// Gathers the stashed dz into dscore_src and alpha·dOut into dH —
+/// race-free because each iteration owns one source row. `t_indices`
+/// holds the destination of each transposed edge, `epos` its position in
+/// the forward CSR (where alpha/dz live).
+/// Specialised backward pass-2 row body (compile-time D and H).
+template <int D, int H, typename IdxT, typename EposT>
+void gat_backward_src_rows(const std::int64_t* __restrict__ t_indptr,
+                           const IdxT* __restrict__ t_indices,
+                           const EposT* __restrict__ epos,
+                           const float* __restrict__ grad_out,
+                           const float* __restrict__ pa,
+                           const float* __restrict__ pdz,
+                           float* __restrict__ phg, float* __restrict__ psrg,
+                           std::int64_t lo, std::int64_t hi) {
+  constexpr std::int64_t HD = static_cast<std::int64_t>(H) * D;
+  for (std::int64_t j = lo; j < hi; ++j) {
+    const std::int64_t begin = t_indptr[j], end = t_indptr[j + 1];
+    float* __restrict__ hgrow = phg != nullptr ? phg + j * HD : nullptr;
+    float dsr[H] = {};
+    for (std::int64_t te = begin; te < end; ++te) {
+      if (te + kGatPrefetchDist < end) {
+        spmm_prefetch_row<HD>(
+            grad_out +
+            static_cast<std::int64_t>(t_indices[te + kGatPrefetchDist]) * HD);
+      }
+      const auto i = static_cast<std::int64_t>(t_indices[te]);
+      const auto e = static_cast<std::int64_t>(epos[te]);
+      if (psrg != nullptr) {
+        const float* __restrict__ dze = pdz + e * H;
+        for (int h = 0; h < H; ++h) dsr[h] += dze[h];
+      }
+      if (hgrow != nullptr) {
+        const float* __restrict__ grow = grad_out + i * HD;
+        const float* __restrict__ ae = pa + e * H;
+        for (int h = 0; h < H; ++h) {
+          const float a = ae[h];
+#pragma omp simd
+          for (int j2 = 0; j2 < D; ++j2) {
+            hgrow[h * D + j2] += a * grow[h * D + j2];
+          }
+        }
+      }
+    }
+    if (psrg != nullptr) {
+      for (int h = 0; h < H; ++h) psrg[j * H + h] += dsr[h];
+    }
+  }
+}
+
+/// Runtime-shape fallback for backward pass 2.
+template <typename IdxT, typename EposT>
+void gat_backward_src_rows_generic(
+    const std::int64_t* __restrict__ t_indptr,
+    const IdxT* __restrict__ t_indices, const EposT* __restrict__ epos,
+    const float* __restrict__ grad_out, const float* __restrict__ pa,
+    const float* __restrict__ pdz, float* __restrict__ phg,
+    float* __restrict__ psrg, std::int64_t heads, std::int64_t d,
+    std::int64_t lo, std::int64_t hi) {
+  const std::int64_t hd = heads * d;
+  for (std::int64_t j = lo; j < hi; ++j) {
+    const std::int64_t begin = t_indptr[j], end = t_indptr[j + 1];
+    float* __restrict__ hgrow = phg != nullptr ? phg + j * hd : nullptr;
+    for (std::int64_t te = begin; te < end; ++te) {
+      const auto i = static_cast<std::int64_t>(t_indices[te]);
+      const auto e = static_cast<std::int64_t>(epos[te]);
+      if (psrg != nullptr) {
+        const float* __restrict__ dze = pdz + e * heads;
+        float* __restrict__ srow = psrg + j * heads;
+        for (std::int64_t h = 0; h < heads; ++h) srow[h] += dze[h];
+      }
+      if (hgrow != nullptr) {
+        const float* __restrict__ grow = grad_out + i * hd;
+        const float* __restrict__ ae = pa + e * heads;
+        for (std::int64_t h = 0; h < heads; ++h) {
+          const float a = ae[h];
+          const float* __restrict__ gseg = grow + h * d;
+          float* __restrict__ hseg = hgrow + h * d;
+#pragma omp simd
+          for (std::int64_t j2 = 0; j2 < d; ++j2) {
+            hseg[j2] += a * gseg[j2];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Shape dispatch for the attention kernels: specialise the common GAT
+/// shapes (heads 1/2/4/8 × per-head dim 8/16/32/64/128, every
+/// configuration the paper's models produce); anything else runs the
+/// head-tiled generic body. `spec` is invoked as spec<D, H>().
+template <int H, typename F>
+bool gat_dispatch_d(std::int64_t d, F&& spec) {
+  switch (d) {
+    case 8: spec.template operator()<8, H>(); return true;
+    case 16: spec.template operator()<16, H>(); return true;
+    case 32: spec.template operator()<32, H>(); return true;
+    case 64: spec.template operator()<64, H>(); return true;
+    case 128: spec.template operator()<128, H>(); return true;
+    default: return false;
+  }
+}
+
+template <typename F, typename G>
+void gat_dispatch(std::int64_t heads, std::int64_t d, F&& spec,
+                  G&& generic) {
+  bool hit = false;
+  switch (heads) {
+    case 1: hit = gat_dispatch_d<1>(d, spec); break;
+    case 2: hit = gat_dispatch_d<2>(d, spec); break;
+    case 4: hit = gat_dispatch_d<4>(d, spec); break;
+    case 8: hit = gat_dispatch_d<8>(d, spec); break;
+    default: break;
+  }
+  if (!hit) generic();
+}
+
+template <typename Idx>
+void run_gat_forward(const std::int64_t* indptr, const Idx* indices,
+                     const float* sl, const float* sr, const float* ph,
+                     float* pa, float* po, std::int64_t heads, std::int64_t d,
+                     float slope, std::int64_t lo, std::int64_t hi) {
+  gat_dispatch(
+      heads, d,
+      [&]<int D, int H>() {
+        gat_forward_rows<D, H>(indptr, indices, sl, sr, ph, pa, po, slope,
+                               lo, hi);
+      },
+      [&] {
+        gat_forward_rows_generic(indptr, indices, sl, sr, ph, pa, po, heads,
+                                 d, slope, lo, hi);
+      });
+}
+
+template <typename Idx>
+void run_gat_backward_dst(const std::int64_t* indptr, const Idx* indices,
+                          const float* grad_out, const float* pa,
+                          const float* ph, const float* sl, const float* sr,
+                          float* pdz, float* pslg, std::int64_t heads,
+                          std::int64_t d, float slope, std::int64_t lo,
+                          std::int64_t hi) {
+  gat_dispatch(
+      heads, d,
+      [&]<int D, int H>() {
+        gat_backward_dst_rows<D, H>(indptr, indices, grad_out, pa, ph, sl,
+                                    sr, pdz, pslg, slope, lo, hi);
+      },
+      [&] {
+        gat_backward_dst_rows_generic(indptr, indices, grad_out, pa, ph, sl,
+                                      sr, pdz, pslg, heads, d, slope, lo,
+                                      hi);
+      });
+}
+
+template <typename IdxT, typename EposT>
+void run_gat_backward_src(const std::int64_t* t_indptr,
+                          const IdxT* t_indices, const EposT* epos,
+                          const float* grad_out, const float* pa,
+                          const float* pdz, float* phg, float* psrg,
+                          std::int64_t heads, std::int64_t d,
+                          std::int64_t lo, std::int64_t hi) {
+  gat_dispatch(
+      heads, d,
+      [&]<int D, int H>() {
+        gat_backward_src_rows<D, H>(t_indptr, t_indices, epos, grad_out, pa,
+                                    pdz, phg, psrg, lo, hi);
+      },
+      [&] {
+        gat_backward_src_rows_generic(t_indptr, t_indices, epos, grad_out,
+                                      pa, pdz, phg, psrg, heads, d, lo, hi);
+      });
+}
+
+void gat_check_shapes(std::int64_t n, std::int64_t e_count,
+                      const Tensor& h_src, const Tensor& score_dst,
+                      const Tensor& score_src, std::int64_t heads,
+                      const Tensor& alpha, const Tensor& out) {
+  GSOUP_CHECK_MSG(h_src.rank() == 2 && h_src.shape(1) % heads == 0,
+                  "gat_attention_forward: bad H shape " << h_src.shape_str());
+  const std::int64_t d = h_src.shape(1) / heads;
+  GSOUP_CHECK_MSG(score_dst.shape(0) == n && score_dst.shape(1) == heads &&
+                      score_src.shape(0) == h_src.shape(0) &&
+                      score_src.shape(1) == heads,
+                  "gat_attention_forward: bad score shapes");
+  GSOUP_CHECK_MSG(alpha.shape(0) == e_count && alpha.shape(1) == heads,
+                  "gat_attention_forward: bad alpha workspace shape");
+  GSOUP_CHECK_MSG(out.shape(0) == n && out.shape(1) == heads * d,
+                  "gat_attention_forward: bad output shape");
+}
+
+/// Reusable [E, heads] backward scratch, one per thread so concurrent
+/// ingredient-farm backwards never race; grows monotonically, so the GAT
+/// backward allocates nothing once warm (the contents are fully
+/// overwritten by pass 1 before pass 2 reads them — no zeroing either).
+float* gat_dz_workspace(std::int64_t numel) {
+  thread_local Tensor ws;
+  if (!ws.defined() || ws.numel() < numel) {
+    ws = Tensor::empty({std::max<std::int64_t>(numel, 1)});
+  }
+  return ws.data();
 }
 
 }  // namespace
@@ -333,18 +853,61 @@ void gat_attention_forward(std::span<const std::int64_t> sp_indptr,
                            float slope, Tensor& alpha, Tensor& out) {
   const auto n = static_cast<std::int64_t>(sp_indptr.size()) - 1;
   const auto e_count = static_cast<std::int64_t>(sp_indices.size());
-  GSOUP_CHECK_MSG(h_src.rank() == 2 && h_src.shape(1) % heads == 0,
-                  "gat_attention_forward: bad H shape " << h_src.shape_str());
+  gat_check_shapes(n, e_count, h_src, score_dst, score_src, heads, alpha,
+                   out);
   const std::int64_t d = h_src.shape(1) / heads;
-  GSOUP_CHECK_MSG(score_dst.shape(0) == n && score_dst.shape(1) == heads &&
-                      score_src.shape(0) == h_src.shape(0) &&
-                      score_src.shape(1) == heads,
-                  "gat_attention_forward: bad score shapes");
-  GSOUP_CHECK_MSG(alpha.shape(0) == e_count && alpha.shape(1) == heads,
-                  "gat_attention_forward: bad alpha workspace shape");
-  GSOUP_CHECK_MSG(out.shape(0) == n && out.shape(1) == heads * d,
-                  "gat_attention_forward: bad output shape");
+  const float* sl = score_dst.data();
+  const float* sr = score_src.data();
+  const float* ph = h_src.data();
+  float* pa = alpha.data();
+  float* po = out.data();
+  const auto* indptr = sp_indptr.data();
+  const auto* indices = sp_indices.data();
+  for_each_balanced_row(sp_indptr, [&](std::int64_t lo, std::int64_t hi) {
+    run_gat_forward(indptr, indices, sl, sr, ph, pa, po, heads, d, slope, lo,
+                    hi);
+  });
+}
 
+void gat_attention_forward(const graph::BlockedCsr& layout,
+                           const Tensor& h_src, const Tensor& score_dst,
+                           const Tensor& score_src, std::int64_t heads,
+                           float slope, Tensor& alpha, Tensor& out) {
+  gat_check_shapes(layout.num_rows, layout.num_edges(), h_src, score_dst,
+                   score_src, heads, alpha, out);
+  const std::int64_t d = h_src.shape(1) / heads;
+  const float* sl = score_dst.data();
+  const float* sr = score_src.data();
+  const float* ph = h_src.data();
+  float* pa = alpha.data();
+  float* po = out.data();
+  const auto* indptr = layout.indptr.data();
+  const auto run = [&](const auto* indices) {
+    for_each_row_block(layout.row_blocks, layout.num_rows,
+                       [&](std::int64_t lo, std::int64_t hi) {
+                         run_gat_forward(indptr, indices, sl, sr, ph, pa, po,
+                                         heads, d, slope, lo, hi);
+                       });
+  };
+  if (layout.narrow()) {
+    run(layout.idx16.data());
+  } else {
+    run(layout.idx32.data());
+  }
+}
+
+void gat_attention_forward_reference(std::span<const std::int64_t> sp_indptr,
+                                     std::span<const std::int32_t> sp_indices,
+                                     const Tensor& h_src,
+                                     const Tensor& score_dst,
+                                     const Tensor& score_src,
+                                     std::int64_t heads, float slope,
+                                     Tensor& alpha, Tensor& out) {
+  const auto n = static_cast<std::int64_t>(sp_indptr.size()) - 1;
+  const auto e_count = static_cast<std::int64_t>(sp_indices.size());
+  gat_check_shapes(n, e_count, h_src, score_dst, score_src, heads, alpha,
+                   out);
+  const std::int64_t d = h_src.shape(1) / heads;
   const float* __restrict__ sl = score_dst.data();
   const float* __restrict__ sr = score_src.data();
   const float* __restrict__ ph = h_src.data();
@@ -352,20 +915,8 @@ void gat_attention_forward(std::span<const std::int64_t> sp_indptr,
   float* __restrict__ po = out.data();
   const auto* __restrict__ indptr = sp_indptr.data();
   const auto* __restrict__ indices = sp_indices.data();
-  // Edge-balanced chunks: attention work per row is proportional to
-  // degree, so equal-nnz ranges keep the team busy on power-law graphs.
-  // Below the parallel threshold the loop is serial, so skip the
-  // binary-search pass and use a single chunk.
-  const auto bounds =
-      n < kParallelRowThreshold
-          ? std::vector<std::int64_t>{0, n}
-          : balanced_row_chunks(sp_indptr, balanced_chunk_count(n));
-  const auto chunks = static_cast<std::int64_t>(bounds.size()) - 1;
-#pragma omp parallel for schedule(dynamic, 1) \
-    if (n >= kParallelRowThreshold)
-  for (std::int64_t c = 0; c < chunks; ++c)
-    for (std::int64_t i = bounds[static_cast<std::size_t>(c)];
-         i < bounds[static_cast<std::size_t>(c) + 1]; ++i) {
+  for_each_balanced_row(sp_indptr, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
       const std::int64_t begin = indptr[i], end = indptr[i + 1];
       for (std::int64_t head = 0; head < heads; ++head) {
         // Numerically stable softmax over LeakyReLU(sl_i + sr_j).
@@ -398,11 +949,210 @@ void gat_attention_forward(std::span<const std::int64_t> sp_indptr,
         }
       }
     }
+  });
+}
+
+void gat_attention_backward(std::span<const std::int64_t> indptr,
+                            std::span<const std::int32_t> indices,
+                            const CsrTranspose& graph_t, const Tensor& h_src,
+                            const Tensor& score_dst, const Tensor& score_src,
+                            const Tensor& alpha, const Tensor& grad_out,
+                            std::int64_t heads, float slope, Tensor* dh,
+                            Tensor* dscore_dst, Tensor* dscore_src) {
+  const auto e_count = static_cast<std::int64_t>(indices.size());
+  gat_check_shapes(static_cast<std::int64_t>(indptr.size()) - 1, e_count,
+                   h_src, score_dst, score_src, heads, alpha, grad_out);
+  if (e_count == 0 || (dh == nullptr && dscore_dst == nullptr &&
+                       dscore_src == nullptr)) {
+    return;
+  }
+  const std::int64_t d = h_src.shape(1) / heads;
+  float* pdz = gat_dz_workspace(e_count * heads);
+  const auto* f_indptr = indptr.data();
+  const auto* f_indices = indices.data();
+  for_each_balanced_row(indptr, [&](std::int64_t lo, std::int64_t hi) {
+    run_gat_backward_dst(f_indptr, f_indices, grad_out.data(), alpha.data(),
+                         h_src.data(), score_dst.data(), score_src.data(),
+                         pdz,
+                         dscore_dst != nullptr ? dscore_dst->data() : nullptr,
+                         heads, d, slope, lo, hi);
+  });
+  if (dh == nullptr && dscore_src == nullptr) return;
+  const auto* t_indptr = graph_t.graph.indptr.data();
+  const auto* t_indices = graph_t.graph.indices.data();
+  const auto* edge_map = graph_t.edge_map.data();
+  for_each_balanced_row(graph_t.graph.indptr,
+                        [&](std::int64_t lo, std::int64_t hi) {
+                          run_gat_backward_src(
+                              t_indptr, t_indices, edge_map, grad_out.data(),
+                              alpha.data(), pdz,
+                              dh != nullptr ? dh->data() : nullptr,
+                              dscore_src != nullptr ? dscore_src->data()
+                                                    : nullptr,
+                              heads, d, lo, hi);
+                        });
+}
+
+void gat_attention_backward(const graph::BlockedCsr& layout,
+                            const graph::BlockedCsr& layout_t,
+                            const Tensor& h_src, const Tensor& score_dst,
+                            const Tensor& score_src, const Tensor& alpha,
+                            const Tensor& grad_out, std::int64_t heads,
+                            float slope, Tensor* dh, Tensor* dscore_dst,
+                            Tensor* dscore_src) {
+  const std::int64_t e_count = layout.num_edges();
+  gat_check_shapes(layout.num_rows, e_count, h_src, score_dst, score_src,
+                   heads, alpha, grad_out);
+  if (e_count == 0 || (dh == nullptr && dscore_dst == nullptr &&
+                       dscore_src == nullptr)) {
+    return;  // zero-edge graphs have no epos and nothing to do
+  }
+  GSOUP_CHECK_MSG(layout_t.num_edges() == e_count &&
+                      !layout_t.epos.empty(),
+                  "gat_attention_backward: layout_t must be a cached "
+                  "transpose with edge positions");
+  const std::int64_t d = h_src.shape(1) / heads;
+  float* pdz = gat_dz_workspace(e_count * heads);
+  const auto* f_indptr = layout.indptr.data();
+  const auto run_dst = [&](const auto* f_indices) {
+    for_each_row_block(
+        layout.row_blocks, layout.num_rows,
+        [&](std::int64_t lo, std::int64_t hi) {
+          run_gat_backward_dst(
+              f_indptr, f_indices, grad_out.data(), alpha.data(),
+              h_src.data(), score_dst.data(), score_src.data(), pdz,
+              dscore_dst != nullptr ? dscore_dst->data() : nullptr, heads, d,
+              slope, lo, hi);
+        });
+  };
+  if (layout.narrow()) {
+    run_dst(layout.idx16.data());
+  } else {
+    run_dst(layout.idx32.data());
+  }
+  if (dh == nullptr && dscore_src == nullptr) return;
+  const auto* t_indptr = layout_t.indptr.data();
+  const auto* epos = layout_t.epos.data();
+  const auto run_src = [&](const auto* t_indices) {
+    for_each_row_block(
+        layout_t.row_blocks, layout_t.num_rows,
+        [&](std::int64_t lo, std::int64_t hi) {
+          run_gat_backward_src(t_indptr, t_indices, epos, grad_out.data(),
+                               alpha.data(), pdz,
+                               dh != nullptr ? dh->data() : nullptr,
+                               dscore_src != nullptr ? dscore_src->data()
+                                                     : nullptr,
+                               heads, d, lo, hi);
+        });
+  };
+  if (layout_t.narrow()) {
+    run_src(layout_t.idx16.data());
+  } else {
+    run_src(layout_t.idx32.data());
+  }
+}
+
+void gat_attention_backward_reference(
+    std::span<const std::int64_t> sp_indptr,
+    std::span<const std::int32_t> sp_indices, const CsrTranspose& graph_t,
+    const Tensor& h_src, const Tensor& score_dst, const Tensor& score_src,
+    const Tensor& alpha, const Tensor& grad_out, std::int64_t heads,
+    float slope, Tensor* dh, Tensor* dscore_dst, Tensor* dscore_src) {
+  const auto ee = static_cast<std::int64_t>(sp_indices.size());
+  const std::int64_t d = h_src.shape(1) / heads;
+  const float* __restrict__ grad = grad_out.data();
+  const float* __restrict__ pa = alpha.data();
+  const float* __restrict__ ph = h_src.data();
+  const float* __restrict__ sl = score_dst.data();
+  const float* __restrict__ sr = score_src.data();
+
+  // Pass 1 (parallel over dst): softmax + leaky-relu backward per
+  // (dst, head); writes dz per edge, accumulates dscore_dst. The seed
+  // allocates the dz scratch fresh on every call.
+  Tensor dz = Tensor::zeros({std::max<std::int64_t>(ee, 1), heads});
+  float* __restrict__ pdz = dz.data();
+  float* __restrict__ pslg = dscore_dst != nullptr ? dscore_dst->data()
+                                                   : nullptr;
+  const auto* __restrict__ indptr = sp_indptr.data();
+  const auto* __restrict__ indices = sp_indices.data();
+  for_each_balanced_row(sp_indptr, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const std::int64_t begin = indptr[i], end = indptr[i + 1];
+      for (std::int64_t head = 0; head < heads; ++head) {
+        const float* __restrict__ grow = grad + i * heads * d + head * d;
+        // d_alpha_e = <dOut_i, H_src>; inner = Σ alpha * d_alpha.
+        float inner = 0.0f;
+        for (std::int64_t e = begin; e < end; ++e) {
+          const float* __restrict__ hrow =
+              ph + indices[e] * heads * d + head * d;
+          float dot = 0.0f;
+          for (std::int64_t j = 0; j < d; ++j) dot += grow[j] * hrow[j];
+          pdz[e * heads + head] = dot;  // stash d_alpha temporarily
+          inner += pa[e * heads + head] * dot;
+        }
+        float dsl_acc = 0.0f;
+        for (std::int64_t e = begin; e < end; ++e) {
+          const float a = pa[e * heads + head];
+          const float de = a * (pdz[e * heads + head] - inner);
+          const float z = sl[i * heads + head] +
+                          sr[indices[e] * heads + head];
+          const float dzv = de * (z > 0.0f ? 1.0f : slope);
+          pdz[e * heads + head] = dzv;
+          dsl_acc += dzv;
+        }
+        if (pslg != nullptr) pslg[i * heads + head] += dsl_acc;
+      }
+    }
+  });
+
+  // Pass 2 (parallel over src via the transpose): scatter dz into
+  // dscore_src and alpha·dOut into dH, race-free because each thread
+  // owns one source row.
+  float* __restrict__ phg = dh != nullptr ? dh->data() : nullptr;
+  float* __restrict__ psrg = dscore_src != nullptr ? dscore_src->data()
+                                                   : nullptr;
+  if (phg == nullptr && psrg == nullptr) return;
+  const auto* __restrict__ t_indptr = graph_t.graph.indptr.data();
+  const auto* __restrict__ t_indices = graph_t.graph.indices.data();
+  const auto* __restrict__ edge_map = graph_t.edge_map.data();
+  for_each_balanced_row(
+      graph_t.graph.indptr, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t j = lo; j < hi; ++j) {
+          for (std::int64_t te = t_indptr[j]; te < t_indptr[j + 1]; ++te) {
+            const std::int64_t i = t_indices[te];  // dst of original edge
+            const std::int64_t e = edge_map[te];   // original edge id
+            for (std::int64_t head = 0; head < heads; ++head) {
+              if (psrg != nullptr) {
+                psrg[j * heads + head] += pdz[e * heads + head];
+              }
+              if (phg != nullptr) {
+                const float a = pa[e * heads + head];
+                const float* __restrict__ grow =
+                    grad + i * heads * d + head * d;
+                float* __restrict__ hgrow =
+                    phg + j * heads * d + head * d;
+                for (std::int64_t jj = 0; jj < d; ++jj) {
+                  hgrow[jj] += a * grow[jj];
+                }
+              }
+            }
+          }
+        }
+      });
 }
 
 Value gat_attention(const Csr& graph, const CsrTranspose& graph_t,
                     const Value& h, const Value& score_dst,
                     const Value& score_src, std::int64_t heads, float slope) {
+  return gat_attention(graph, graph_t, h, score_dst, score_src, heads, slope,
+                       nullptr, nullptr);
+}
+
+Value gat_attention(const Csr& graph, const CsrTranspose& graph_t,
+                    const Value& h, const Value& score_dst,
+                    const Value& score_src, std::int64_t heads, float slope,
+                    const graph::BlockedCsr* layout,
+                    const graph::BlockedCsr* layout_t) {
   const std::int64_t n = graph.num_nodes;
   const std::int64_t e_count = graph.num_edges();
   GSOUP_CHECK_MSG(h->value.rank() == 2 && h->value.shape(0) == n &&
@@ -413,117 +1163,55 @@ Value gat_attention(const Csr& graph, const CsrTranspose& graph_t,
                       score_src->value.shape(0) == n &&
                       score_src->value.shape(1) == heads,
                   "gat_attention: bad score shapes");
+  GSOUP_CHECK_MSG(layout == nullptr || (layout->num_rows == n &&
+                                        layout->num_edges() == e_count),
+                  "gat_attention: layout does not match the graph");
+  GSOUP_CHECK_MSG(layout_t == nullptr ||
+                      (layout_t->num_rows == n &&
+                       layout_t->num_edges() == e_count &&
+                       (e_count == 0 || !layout_t->epos.empty())),
+                  "gat_attention: layout_t must be a cached transpose with "
+                  "edge positions over the same graph");
   const std::int64_t d = h->value.shape(1) / heads;
 
   // Forward: the shared autograd-free kernel; alpha (E × heads) is
   // retained for the backward pass.
   Tensor alpha = Tensor::empty({e_count, heads});
   Tensor out = Tensor::empty({n, heads * d});
-  gat_attention_forward(graph.indptr, graph.indices, h->value,
-                        score_dst->value, score_src->value, heads, slope,
-                        alpha, out);
+  if (layout != nullptr) {
+    gat_attention_forward(*layout, h->value, score_dst->value,
+                          score_src->value, heads, slope, alpha, out);
+  } else {
+    gat_attention_forward(graph.indptr, graph.indices, h->value,
+                          score_dst->value, score_src->value, heads, slope,
+                          alpha, out);
+  }
 
   const Csr* g = &graph;
   const CsrTranspose* gt = &graph_t;
   return make_node(
       std::move(out), {h, score_dst, score_src},
-      [h, score_dst, score_src, alpha, g, gt, heads, d, slope](Node& node) {
-        const std::int64_t nn = g->num_nodes;
-        const std::int64_t ee = g->num_edges();
-        const float* __restrict__ grad_out = node.grad.data();
-        const float* __restrict__ pa = alpha.data();
-        const float* __restrict__ ph = h->value.data();
-        const float* __restrict__ sl = score_dst->value.data();
-        const float* __restrict__ sr = score_src->value.data();
-
-        // Pass 1 (parallel over dst): softmax + leaky-relu backward per
-        // (dst, head); writes dz per edge, accumulates dscore_dst.
-        Tensor dz = Tensor::zeros({ee, heads});
-        float* __restrict__ pdz = dz.data();
-        const bool need_sl = score_dst->requires_grad;
-        float* __restrict__ pslg =
-            need_sl ? score_dst->ensure_grad().data() : nullptr;
-        const auto* __restrict__ indptr = g->indptr.data();
-        const auto* __restrict__ indices = g->indices.data();
-        const auto bounds =
-            nn < kParallelRowThreshold
-                ? std::vector<std::int64_t>{0, nn}
-                : balanced_row_chunks(g->indptr, balanced_chunk_count(nn));
-        const auto chunks = static_cast<std::int64_t>(bounds.size()) - 1;
-#pragma omp parallel for schedule(dynamic, 1) \
-    if (nn >= kParallelRowThreshold)
-        for (std::int64_t c = 0; c < chunks; ++c)
-        for (std::int64_t i = bounds[static_cast<std::size_t>(c)];
-             i < bounds[static_cast<std::size_t>(c) + 1]; ++i) {
-          const std::int64_t begin = indptr[i], end = indptr[i + 1];
-          for (std::int64_t head = 0; head < heads; ++head) {
-            const float* __restrict__ grow =
-                grad_out + i * heads * d + head * d;
-            // d_alpha_e = <dOut_i, H_src>; inner = Σ alpha * d_alpha.
-            float inner = 0.0f;
-            for (std::int64_t e = begin; e < end; ++e) {
-              const float* __restrict__ hrow =
-                  ph + indices[e] * heads * d + head * d;
-              float dot = 0.0f;
-              for (std::int64_t j = 0; j < d; ++j) dot += grow[j] * hrow[j];
-              pdz[e * heads + head] = dot;  // stash d_alpha temporarily
-              inner += pa[e * heads + head] * dot;
-            }
-            float dsl_acc = 0.0f;
-            for (std::int64_t e = begin; e < end; ++e) {
-              const float a = pa[e * heads + head];
-              const float de = a * (pdz[e * heads + head] - inner);
-              const float z = sl[i * heads + head] +
-                              sr[indices[e] * heads + head];
-              const float dzv = de * (z > 0.0f ? 1.0f : slope);
-              pdz[e * heads + head] = dzv;
-              dsl_acc += dzv;
-            }
-            if (need_sl) pslg[i * heads + head] += dsl_acc;
-          }
-        }
-
-        // Pass 2 (parallel over src via the transpose): scatter dz into
-        // dscore_src and alpha·dOut into dH, race-free because each thread
-        // owns one source row.
-        const bool need_h = h->requires_grad;
-        const bool need_sr = score_src->requires_grad;
-        float* __restrict__ phg = need_h ? h->ensure_grad().data() : nullptr;
-        float* __restrict__ psrg =
-            need_sr ? score_src->ensure_grad().data() : nullptr;
-        const auto* __restrict__ t_indptr = gt->graph.indptr.data();
-        const auto* __restrict__ t_indices = gt->graph.indices.data();
-        const auto* __restrict__ edge_map = gt->edge_map.data();
-        const auto t_bounds =
-            nn < kParallelRowThreshold
-                ? std::vector<std::int64_t>{0, nn}
-                : balanced_row_chunks(gt->graph.indptr,
-                                      balanced_chunk_count(nn));
-        const auto t_chunks = static_cast<std::int64_t>(t_bounds.size()) - 1;
-#pragma omp parallel for schedule(dynamic, 1) \
-    if (nn >= kParallelRowThreshold)
-        for (std::int64_t tc = 0; tc < t_chunks; ++tc)
-        for (std::int64_t j = t_bounds[static_cast<std::size_t>(tc)];
-             j < t_bounds[static_cast<std::size_t>(tc) + 1]; ++j) {
-          for (std::int64_t te = t_indptr[j]; te < t_indptr[j + 1]; ++te) {
-            const std::int64_t i = t_indices[te];   // dst of original edge
-            const std::int64_t e = edge_map[te];    // original edge id
-            for (std::int64_t head = 0; head < heads; ++head) {
-              if (need_sr) {
-                psrg[j * heads + head] += pdz[e * heads + head];
-              }
-              if (need_h) {
-                const float a = pa[e * heads + head];
-                const float* __restrict__ grow =
-                    grad_out + i * heads * d + head * d;
-                float* __restrict__ hgrow =
-                    phg + j * heads * d + head * d;
-                for (std::int64_t jj = 0; jj < d; ++jj) {
-                  hgrow[jj] += a * grow[jj];
-                }
-              }
-            }
-          }
+      [h, score_dst, score_src, alpha, g, gt, layout, layout_t, heads,
+       slope](Node& node) {
+        Tensor* dh = h->requires_grad ? &h->ensure_grad() : nullptr;
+        Tensor* dsl =
+            score_dst->requires_grad ? &score_dst->ensure_grad() : nullptr;
+        Tensor* dsr =
+            score_src->requires_grad ? &score_src->ensure_grad() : nullptr;
+        // heads == 1 takes the span kernels even when layouts exist:
+        // the single-head layout instantiation measures ~30% slower than
+        // its span twin on the baseline box (BENCH_kernels.json,
+        // gat_attention_bwd plan vs fused at heads=1) — a codegen
+        // artifact of the narrow-index specialisation, not a data
+        // effect; multi-head shapes favour the layouts.
+        if (layout != nullptr && layout_t != nullptr && heads > 1) {
+          gat_attention_backward(*layout, *layout_t, h->value,
+                                 score_dst->value, score_src->value, alpha,
+                                 node.grad, heads, slope, dh, dsl, dsr);
+        } else {
+          gat_attention_backward(g->indptr, g->indices, *gt, h->value,
+                                 score_dst->value, score_src->value, alpha,
+                                 node.grad, heads, slope, dh, dsl, dsr);
         }
       },
       "gat_attention");
@@ -545,67 +1233,80 @@ Value block_spmm(const Block& block, const Value& x) {
     const auto* __restrict__ indices = block.indices.data();
     const auto* __restrict__ values = block.values.data();
     const std::int64_t e = block.num_edges();
-    const auto bounds =
-        block.num_dst < kParallelRowThreshold
-            ? std::vector<std::int64_t>{0, block.num_dst}
-            : balanced_row_chunks(block.indptr,
-                                  balanced_chunk_count(block.num_dst));
-    const auto chunks = static_cast<std::int64_t>(bounds.size()) - 1;
-#pragma omp parallel for schedule(dynamic, 1) \
-    if (block.num_dst >= kParallelRowThreshold)
-    for (std::int64_t c = 0; c < chunks; ++c) {
-      spmm_rows<true>(indptr, indices, values, px, po, d, e,
-                      bounds[static_cast<std::size_t>(c)],
-                      bounds[static_cast<std::size_t>(c) + 1]);
-    }
+    for_each_balanced_row(block.indptr,
+                          [&](std::int64_t lo, std::int64_t hi) {
+                            spmm_rows<true>(indptr, indices, values, px, po,
+                                            d, e, lo, hi);
+                          });
   }
-  const Block* b = &block;
+  // The backward dX = Bᵀ·dY runs as an edge-balanced SpMM gather over the
+  // block's cached transpose (race-free by source row, no team clamp),
+  // built once here — blocks carry no transpose of their own, and the
+  // O(E) counting sort is amortised against the multiple gather walks the
+  // seed's every-thread-scans-every-edge scatter needed.
+  std::shared_ptr<const graph::BlockedCsr> bt;
+  if (grad_enabled() && x->requires_grad) {
+    bt = std::make_shared<const graph::BlockedCsr>(
+        graph::build_blocked_transpose_spans(block.indptr, block.indices,
+                                             block.values, block.num_src(),
+                                             /*force_wide=*/false,
+                                             /*with_epos=*/false));
+  }
   return make_node(
       std::move(out), {x},
-      [x, b, d](Node& node) {
+      [x, bt = std::move(bt)](Node& node) {
         if (!x->requires_grad) return;
-        Tensor& xg = x->ensure_grad();
-        const float* __restrict__ g = node.grad.data();
-        float* __restrict__ dst = xg.data();
-        const auto* __restrict__ indptr = b->indptr.data();
-        const auto* __restrict__ indices = b->indices.data();
-        const auto* __restrict__ values = b->values.data();
-        const std::int64_t num_src = b->num_src();
-        // Race-free parallel scatter: blocks carry no transpose, so each
-        // thread walks every edge but only writes the source rows in its
-        // own range. Every thread re-reads all E indices, so the useful
-        // work per thread is ~d row-update lanes — clamp the team to d
-        // threads or the redundant index walk dominates.
-#ifdef _OPENMP
-        const int scatter_threads = static_cast<int>(std::min<std::int64_t>(
-            omp_get_max_threads(), std::max<std::int64_t>(d, 1)));
-#else
-        const int scatter_threads = 1;
-#endif
-#pragma omp parallel num_threads(scatter_threads) \
-    if (b->num_edges() * d >= 1 << 16)
-        {
-          std::int64_t lo = 0, hi = num_src;
-#ifdef _OPENMP
-          const std::int64_t t = omp_get_thread_num();
-          const std::int64_t nt = omp_get_num_threads();
-          lo = num_src * t / nt;
-          hi = num_src * (t + 1) / nt;
-#endif
-          for (std::int64_t i = 0; i < b->num_dst; ++i) {
-            const float* __restrict__ grow = g + i * d;
-            for (std::int64_t e = indptr[i]; e < indptr[i + 1]; ++e) {
-              const std::int64_t s = indices[e];
-              if (s < lo || s >= hi) continue;
-              float* __restrict__ xrow = dst + s * d;
-              const float w = values[e];
-#pragma omp simd
-              for (std::int64_t j = 0; j < d; ++j) xrow[j] += w * grow[j];
-            }
-          }
-        }
+        spmm_blocked_accumulate(*bt, node.grad, x->ensure_grad());
       },
       "block_spmm");
+}
+
+void block_spmm_backward_scatter(const Block& block, const Tensor& grad_out,
+                                 Tensor& x_grad) {
+  const std::int64_t d = grad_out.shape(1);
+  GSOUP_CHECK_MSG(grad_out.shape(0) == block.num_dst &&
+                      x_grad.shape(0) == block.num_src() &&
+                      x_grad.shape(1) == d,
+                  "block_spmm_backward_scatter: bad gradient shapes");
+  const float* __restrict__ g = grad_out.data();
+  float* __restrict__ dst = x_grad.data();
+  const auto* __restrict__ indptr = block.indptr.data();
+  const auto* __restrict__ indices = block.indices.data();
+  const auto* __restrict__ values = block.values.data();
+  const std::int64_t num_src = block.num_src();
+  // Race-free parallel scatter (the seed backward): blocks carry no
+  // transpose, so each thread walks every edge but only writes the source
+  // rows in its own range. Every thread re-reads all E indices, so the
+  // useful work per thread is ~d row-update lanes — clamp the team to d
+  // threads or the redundant index walk dominates.
+#ifdef _OPENMP
+  const int scatter_threads = static_cast<int>(std::min<std::int64_t>(
+      omp_get_max_threads(), std::max<std::int64_t>(d, 1)));
+#else
+  const int scatter_threads = 1;
+#endif
+#pragma omp parallel num_threads(scatter_threads) \
+    if (block.num_edges() * d >= 1 << 16)
+  {
+    std::int64_t lo = 0, hi = num_src;
+#ifdef _OPENMP
+    const std::int64_t t = omp_get_thread_num();
+    const std::int64_t nt = omp_get_num_threads();
+    lo = num_src * t / nt;
+    hi = num_src * (t + 1) / nt;
+#endif
+    for (std::int64_t i = 0; i < block.num_dst; ++i) {
+      const float* __restrict__ grow = g + i * d;
+      for (std::int64_t e = indptr[i]; e < indptr[i + 1]; ++e) {
+        const std::int64_t s = indices[e];
+        if (s < lo || s >= hi) continue;
+        float* __restrict__ xrow = dst + s * d;
+        const float w = values[e];
+#pragma omp simd
+        for (std::int64_t j = 0; j < d; ++j) xrow[j] += w * grow[j];
+      }
+    }
+  }
 }
 
 Value narrow_rows(const Value& x, std::int64_t rows) {

@@ -4,7 +4,10 @@
 // The CSR operands are owned by the caller (GraphContext in src/nn) and
 // must outlive the autodiff tape. SpMM takes both the forward matrix and
 // its transpose so the backward pass dX = Aᵀ·dY is a second race-free
-// row-parallel SpMM rather than an atomic scatter.
+// row-parallel SpMM rather than an atomic scatter; GAT attention and the
+// minibatch block SpMM get the same treatment through cached
+// graph::BlockedCsr transposes that carry per-edge positions back into
+// the forward CSR.
 #pragma once
 
 #include "ag/value.hpp"
@@ -51,6 +54,7 @@ void spmm_spans_overwrite(std::span<const std::int64_t> indptr,
 /// launch) and the gather loop runs at the layout's column-index width
 /// (16-bit on graphs under 2^16 nodes). Bit-identical results to
 /// spmm_overwrite/spmm_accumulate over the CSR the layout was built from.
+/// The layout must carry values (be an SpMM operand, not structure-only).
 void spmm_blocked_overwrite(const graph::BlockedCsr& a, const Tensor& x,
                             Tensor& y);
 void spmm_blocked_accumulate(const graph::BlockedCsr& a, const Tensor& x,
@@ -62,14 +66,82 @@ void spmm_blocked_accumulate(const graph::BlockedCsr& a, const Tensor& x,
 ///   z_e      = score_dst[i, h] + score_src[src_e, h]
 ///   alpha_e  = softmax over in-edges of i of LeakyReLU(z_e)
 ///   out[i,·] = Σ_e alpha_e · h_src[src_e, ·]   (per head)
-/// `alpha` is an [E, heads] workspace (overwritten; retained by the
-/// training path for backward, scratch for serving); `out` is overwritten.
-/// Shared by ag::gat_attention and the serving engine.
+/// `alpha` is an [E, heads] workspace (overwritten with the normalised
+/// attention coefficients; retained by the training path for backward,
+/// scratch for serving); `out` is overwritten.
+///
+/// Head-fused: every edge is visited twice per row — one sweep computing
+/// the LeakyReLU activations and per-head maxima for all heads at once,
+/// one sweep exponentiating and accumulating the (unnormalised) weighted
+/// aggregate with a d-width-specialised SIMD body — instead of the seed's
+/// four per-head walks. Shared by ag::gat_attention and the serving
+/// engine.
 void gat_attention_forward(std::span<const std::int64_t> indptr,
                            std::span<const std::int32_t> indices,
                            const Tensor& h_src, const Tensor& score_dst,
                            const Tensor& score_src, std::int64_t heads,
                            float slope, Tensor& alpha, Tensor& out);
+
+/// Plan-aware forward: the same head-fused kernels over a cached
+/// structure layout (graph::build_blocked_csr of the raw adjacency) —
+/// pre-computed edge-balanced row blocks instead of a binary search per
+/// launch, and the gather runs at the layout's index width (16-bit under
+/// 2^16 nodes). Bit-identical to the span overload above.
+void gat_attention_forward(const graph::BlockedCsr& layout,
+                           const Tensor& h_src, const Tensor& score_dst,
+                           const Tensor& score_src, std::int64_t heads,
+                           float slope, Tensor& alpha, Tensor& out);
+
+/// The seed attention kernel (three softmax passes plus an aggregate walk
+/// per (dst, head), serial in the head dimension), kept verbatim as the
+/// parity oracle and the bench baseline the fused kernels are gated
+/// against.
+void gat_attention_forward_reference(std::span<const std::int64_t> indptr,
+                                     std::span<const std::int32_t> indices,
+                                     const Tensor& h_src,
+                                     const Tensor& score_dst,
+                                     const Tensor& score_src,
+                                     std::int64_t heads, float slope,
+                                     Tensor& alpha, Tensor& out);
+
+/// Autograd-free GAT attention backward: given the forward's normalised
+/// `alpha` and the output gradient, accumulate (+=) into any non-null
+/// gradient tensors (dh is [n, heads*d], dscore_dst/dscore_src are
+/// [n, heads]; all must be preallocated, typically Node::ensure_grad()).
+/// Pass 1 walks destination rows head-fused (softmax + LeakyReLU
+/// backward, stashing per-edge dz); pass 2 gathers dz/alpha·dOut by
+/// *source* row over `graph_t`, race-free without the seed's per-head
+/// serial walks. The [E, heads] dz scratch is a reusable thread-local
+/// workspace — zero heap allocations once warm (one growth per thread).
+void gat_attention_backward(std::span<const std::int64_t> indptr,
+                            std::span<const std::int32_t> indices,
+                            const CsrTranspose& graph_t, const Tensor& h_src,
+                            const Tensor& score_dst, const Tensor& score_src,
+                            const Tensor& alpha, const Tensor& grad_out,
+                            std::int64_t heads, float slope, Tensor* dh,
+                            Tensor* dscore_dst, Tensor* dscore_src);
+
+/// Plan-aware backward: pass 1 over the cached structure layout, pass 2
+/// over the cached transpose layout (graph::build_blocked_transpose),
+/// whose 16-bit indices, 32-bit edge positions and pre-computed row
+/// blocks replace the CsrTranspose's int64 edge_map and the per-call
+/// chunking pass.
+void gat_attention_backward(const graph::BlockedCsr& layout,
+                            const graph::BlockedCsr& layout_t,
+                            const Tensor& h_src, const Tensor& score_dst,
+                            const Tensor& score_src, const Tensor& alpha,
+                            const Tensor& grad_out, std::int64_t heads,
+                            float slope, Tensor* dh, Tensor* dscore_dst,
+                            Tensor* dscore_src);
+
+/// The seed backward (per-(dst, head) serial walks, fresh [E, heads] dz
+/// allocation per call), kept as the gradient oracle and bench baseline.
+void gat_attention_backward_reference(
+    std::span<const std::int64_t> indptr,
+    std::span<const std::int32_t> indices, const CsrTranspose& graph_t,
+    const Tensor& h_src, const Tensor& score_dst, const Tensor& score_src,
+    const Tensor& alpha, const Tensor& grad_out, std::int64_t heads,
+    float slope, Tensor* dh, Tensor* dscore_dst, Tensor* dscore_src);
 
 /// Y = A · X where A is a weighted CSR (in-edge convention: row i of A
 /// holds weights of edges (j -> i)). `a_transpose` must be the weighted
@@ -100,9 +172,30 @@ Value gat_attention(const Csr& graph, const CsrTranspose& graph_t,
                     const Value& h, const Value& score_dst,
                     const Value& score_src, std::int64_t heads, float slope);
 
+/// gat_attention with optional cached layouts (see
+/// GraphContext::attn_layout()/attn_layout_t()): the forward gathers over
+/// `layout` and the backward over both when non-null, falling back to the
+/// CSR/CsrTranspose otherwise. Must be built from `graph`/its transpose.
+Value gat_attention(const Csr& graph, const CsrTranspose& graph_t,
+                    const Value& h, const Value& score_dst,
+                    const Value& score_src, std::int64_t heads, float slope,
+                    const graph::BlockedCsr* layout,
+                    const graph::BlockedCsr* layout_t);
+
 /// Bipartite-block SpMM for minibatch training: Y[i] = Σ_e w_e X[src_e]
 /// over a sampled Block. X rows are block-local (size block.num_src()).
+/// When gradients are being recorded the forward builds a cached
+/// graph::BlockedCsr transpose of the block once, so the backward
+/// dX = Bᵀ·dY runs as a race-free edge-balanced SpMM gather instead of
+/// the seed's every-thread-walks-every-edge scatter.
 Value block_spmm(const Block& block, const Value& x);
+
+/// The seed block_spmm backward (each thread walks all E edges, writing
+/// only the source rows in its range; team clamped to ~d threads), kept
+/// as the parity oracle and bench baseline for the transpose-gather
+/// backward. Accumulates dX += Bᵀ·dY into `x_grad` ([num_src, d]).
+void block_spmm_backward_scatter(const Block& block, const Tensor& grad_out,
+                                 Tensor& x_grad);
 
 /// Narrow a block-local matrix to its first `rows` rows (the destination
 /// nodes of a block). Gradient scatters back into the leading rows.

@@ -1,6 +1,7 @@
 #include "graph/locality.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <queue>
 
@@ -167,23 +168,102 @@ Tensor unpermute_rows(const Tensor& rows, const Permutation& perm) {
   return out;
 }
 
-BlockedCsr build_blocked_csr(const Csr& weighted, bool force_wide) {
-  GSOUP_CHECK_MSG(weighted.weighted() || weighted.num_edges() == 0,
-                  "build_blocked_csr needs a weighted CSR (SpMM operand)");
+BlockedCsr build_blocked_csr(const Csr& csr, bool force_wide) {
   BlockedCsr out;
-  out.num_rows = weighted.num_nodes;
-  out.num_cols = weighted.num_nodes;
+  out.num_rows = csr.num_nodes;
+  out.num_cols = csr.num_nodes;
   if (force_wide) out.num_cols = std::max(out.num_cols, kNarrowIndexLimit + 1);
-  out.indptr = weighted.indptr;
-  out.values = weighted.values;
+  out.indptr = csr.indptr;
+  out.values = csr.values;  // empty for structure-only (attention) layouts
   if (out.narrow()) {
-    out.idx16.assign(weighted.indices.begin(), weighted.indices.end());
+    out.idx16.assign(csr.indices.begin(), csr.indices.end());
   } else {
-    out.idx32 = weighted.indices;
+    out.idx32 = csr.indices;
   }
   out.row_blocks = balanced_row_chunks(
       out.indptr, balanced_chunk_count(out.num_rows));
   return out;
+}
+
+namespace {
+
+/// Counting-sort transpose shared by the Csr and span entry points. Edges
+/// of result row s come out in ascending destination order — the same
+/// per-source edge order a destination-major scatter visits, so gathers
+/// over this layout see each row's contributions in the scatter's order.
+/// (The float sequence still differs: the SpMM kernels split edges across
+/// dual accumulators, so scatter/gather parity is to rounding, ~1e-5 —
+/// not bit-exact.)
+BlockedCsr blocked_transpose_impl(std::span<const std::int64_t> indptr,
+                                  std::span<const std::int32_t> indices,
+                                  std::span<const float> values,
+                                  std::int64_t num_src, bool force_wide,
+                                  bool with_epos) {
+  const auto num_dst = static_cast<std::int64_t>(indptr.size()) - 1;
+  const auto e = static_cast<std::int64_t>(indices.size());
+  GSOUP_CHECK_MSG(values.empty() ||
+                      static_cast<std::int64_t>(values.size()) == e,
+                  "blocked transpose: values/indices size mismatch");
+  GSOUP_CHECK_MSG(
+      e <= std::numeric_limits<std::int32_t>::max(),
+      "blocked transpose: edge count overflows 32-bit edge positions");
+  BlockedCsr out;
+  out.num_rows = num_src;
+  out.num_cols = num_dst;
+  if (force_wide) out.num_cols = std::max(out.num_cols, kNarrowIndexLimit + 1);
+  out.indptr.assign(static_cast<std::size_t>(num_src) + 1, 0);
+  for (std::int64_t k = 0; k < e; ++k) {
+    ++out.indptr[static_cast<std::size_t>(indices[static_cast<std::size_t>(
+                     k)]) +
+                 1];
+  }
+  for (std::int64_t s = 0; s < num_src; ++s) {
+    out.indptr[static_cast<std::size_t>(s) + 1] +=
+        out.indptr[static_cast<std::size_t>(s)];
+  }
+  const bool narrow = out.narrow();
+  if (narrow) {
+    out.idx16.resize(static_cast<std::size_t>(e));
+  } else {
+    out.idx32.resize(static_cast<std::size_t>(e));
+  }
+  if (with_epos) out.epos.resize(static_cast<std::size_t>(e));
+  if (!values.empty()) out.values.resize(static_cast<std::size_t>(e));
+  std::vector<std::int64_t> cursor(out.indptr.begin(), out.indptr.end() - 1);
+  for (std::int64_t i = 0; i < num_dst; ++i) {
+    for (std::int64_t k = indptr[static_cast<std::size_t>(i)];
+         k < indptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const auto s =
+          static_cast<std::size_t>(indices[static_cast<std::size_t>(k)]);
+      const auto slot = static_cast<std::size_t>(cursor[s]++);
+      if (narrow) {
+        out.idx16[slot] = static_cast<std::uint16_t>(i);
+      } else {
+        out.idx32[slot] = static_cast<std::int32_t>(i);
+      }
+      if (with_epos) out.epos[slot] = static_cast<std::int32_t>(k);
+      if (!values.empty()) out.values[slot] = values[static_cast<std::size_t>(k)];
+    }
+  }
+  out.row_blocks =
+      balanced_row_chunks(out.indptr, balanced_chunk_count(num_src));
+  return out;
+}
+
+}  // namespace
+
+BlockedCsr build_blocked_transpose(const Csr& csr, bool force_wide,
+                                   bool with_epos) {
+  return blocked_transpose_impl(csr.indptr, csr.indices, csr.values,
+                                csr.num_nodes, force_wide, with_epos);
+}
+
+BlockedCsr build_blocked_transpose_spans(
+    std::span<const std::int64_t> indptr,
+    std::span<const std::int32_t> indices, std::span<const float> values,
+    std::int64_t num_src, bool force_wide, bool with_epos) {
+  return blocked_transpose_impl(indptr, indices, values, num_src, force_wide,
+                                with_epos);
 }
 
 GraphPlan::GraphPlan(const Csr& graph, Reorder strategy)

@@ -10,12 +10,15 @@
 //    degree ordering, bandwidth-minimised BFS levels for reverse
 //    Cuthill-McKee). The inverse mapping is kept so per-node answers can
 //    be routed back to the caller's numbering.
-//  - `BlockedCsr`: the layout the SpMM hot loop actually reads — the
-//    edge-balanced row blocks pre-computed once (instead of a binary
-//    search per kernel launch) and column indices narrowed to 16 bits
-//    when the source-id domain fits (halves index traffic on every graph
-//    below 65 536 nodes, which covers every synthetic preset at default
-//    scale).
+//  - `BlockedCsr`: the layout the SpMM and GAT-attention hot loops
+//    actually read — the edge-balanced row blocks pre-computed once
+//    (instead of a binary search per kernel launch) and column indices
+//    narrowed to 16 bits when the column-id domain fits (halves index
+//    traffic on every graph below 65 536 nodes, which covers every
+//    synthetic preset at default scale). Transpose builds additionally
+//    record per-edge positions into the source CSR, turning backward
+//    scatters (GAT dH/dscore_src, minibatch block_spmm dX) into race-free
+//    parallel gathers.
 //  - `GraphPlan`: the per-graph handle bundling both. Training
 //    (`GraphContext` + `GnnModel::forward`), the experiment harness and
 //    `serve::InferenceEngine` all hold one so the permutation and layout
@@ -87,32 +90,65 @@ Tensor unpermute_rows(const Tensor& rows, const Permutation& perm);
 /// Maximum source-id domain for 16-bit column indices.
 inline constexpr std::int64_t kNarrowIndexLimit = 1 << 16;
 
-/// The cached layout the width-specialised SpMM kernels read: same
-/// indptr/values as the source CSR, column indices stored at the narrowest
-/// width that fits, and the edge-balanced row blocks pre-computed once and
+/// The cached layout the width-specialised sparse kernels read: same
+/// indptr as the source CSR, column indices stored at the narrowest width
+/// that fits, and the edge-balanced row blocks pre-computed once and
 /// reused by every kernel launch (training runs one binary search per
-/// SpMM per epoch without this; serving one per query).
+/// SpMM per epoch without this; serving one per query). SpMM operands
+/// carry `values`; attention layouts are structure-only (values empty).
+/// Transpose layouts (build_blocked_transpose*) additionally carry `epos`,
+/// the edge position in the *source* CSR of every layout edge, so backward
+/// passes can look up per-edge forward quantities (attention coefficients,
+/// stashed dz) while gathering race-free by source row.
 struct BlockedCsr {
   std::int64_t num_rows = 0;
-  /// Source-id domain (== num_rows for square adjacencies). Decides the
+  /// Column-id domain (== num_rows for square adjacencies). Decides the
   /// index width: 16-bit iff num_cols <= kNarrowIndexLimit.
   std::int64_t num_cols = 0;
   std::vector<std::int64_t> indptr;
   std::vector<std::uint16_t> idx16;  ///< populated iff narrow()
   std::vector<std::int32_t> idx32;   ///< populated iff !narrow()
-  std::vector<float> values;
+  std::vector<float> values;  ///< empty for structure-only (attention) use
+  /// Edge position in the source CSR per layout edge; populated only by
+  /// the transpose builders. 32-bit (half the traffic of CsrTranspose's
+  /// int64 edge_map) — checked against overflow at build time.
+  std::vector<std::int32_t> epos;
   /// Cached balanced_row_chunks boundaries (size blocks+1).
   std::vector<std::int64_t> row_blocks;
 
   bool narrow() const { return num_cols <= kNarrowIndexLimit; }
+  bool weighted() const { return !values.empty(); }
   std::int64_t num_edges() const {
-    return static_cast<std::int64_t>(values.size());
+    return static_cast<std::int64_t>(narrow() ? idx16.size() : idx32.size());
   }
 };
 
-/// Build the cached layout for a weighted CSR. `force_wide` keeps 32-bit
+/// Build the cached layout for a CSR: weighted (SpMM operand) or
+/// structure-only (GAT attention gather). `force_wide` keeps 32-bit
 /// indices even when the graph fits 16 (used by the width-parity tests).
-BlockedCsr build_blocked_csr(const Csr& weighted, bool force_wide = false);
+BlockedCsr build_blocked_csr(const Csr& csr, bool force_wide = false);
+
+/// Build the cached layout of a CSR's *transpose*: row j of the result
+/// lists the in-edges (j -> i) of the source CSR by destination i, in
+/// ascending-destination order. Values ride along when present; with
+/// `with_epos` (the default) each edge's position in the source CSR is
+/// recorded too. Serves the race-free backward gathers of GAT attention
+/// (alpha/dz lookups by epos) at the layout's index width; pure SpMM
+/// backwards (block_spmm) skip epos — they only need the transposed
+/// values.
+BlockedCsr build_blocked_transpose(const Csr& csr, bool force_wide = false,
+                                   bool with_epos = true);
+
+/// Span variant of build_blocked_transpose for bipartite block-local CSRs
+/// (minibatch Blocks, serving layer plans) that are not Csr objects:
+/// `indptr`/`indices`/`values` describe num_dst = indptr.size()-1 rows
+/// whose indices address [0, num_src). The result has num_src rows and a
+/// num_dst column domain. The transposed `values` make the minibatch
+/// block_spmm backward dX = Bᵀ·dY a plain blocked SpMM accumulate.
+BlockedCsr build_blocked_transpose_spans(
+    std::span<const std::int64_t> indptr,
+    std::span<const std::int32_t> indices, std::span<const float> values,
+    std::int64_t num_src, bool force_wide = false, bool with_epos = true);
 
 /// The per-graph locality handle: a reordering of one graph's vertices
 /// plus everything needed to move data in and out of plan space. Build it

@@ -25,11 +25,11 @@ GraphContext::GraphContext(std::shared_ptr<const graph::GraphPlan> plan,
   GSOUP_CHECK_MSG(plan_ != nullptr, "GraphContext needs a non-null plan");
   raw_ = &plan_->graph();
   build_operands();
-  // The locality layer's cached forward layout: built once here, reused
-  // by every spmm forward through this context (training epochs, full
-  // serving passes). The backward (transpose) layout is deferred to the
-  // first spmm_layout_t() call; GAT's aggregation is not an SpMM, so it
-  // has neither.
+  // The locality layer's cached forward layouts: built once here, reused
+  // by every forward through this context (training epochs, full serving
+  // passes). GCN/SAGE cache their SpMM operand; GAT caches the raw
+  // structure its attention gather reads. The backward (transpose)
+  // layouts are deferred to the first *_layout_t() call.
   switch (arch_) {
     case Arch::kGcn:
       spmm_layout_ = std::make_unique<const graph::BlockedCsr>(
@@ -40,6 +40,8 @@ GraphContext::GraphContext(std::shared_ptr<const graph::GraphPlan> plan,
           graph::build_blocked_csr(mean_));
       break;
     case Arch::kGat:
+      attn_layout_ = std::make_unique<const graph::BlockedCsr>(
+          graph::build_blocked_csr(*raw_));
       break;
   }
 }
@@ -51,6 +53,15 @@ const graph::BlockedCsr* GraphContext::spmm_layout_t() const {
         graph::build_blocked_csr(arch_ == Arch::kGcn ? gcn_t_ : mean_t_));
   });
   return spmm_layout_t_.get();
+}
+
+const graph::BlockedCsr* GraphContext::attn_layout_t() const {
+  if (attn_layout_ == nullptr) return nullptr;  // plain context or SpMM arch
+  std::call_once(attn_layout_t_once_, [this] {
+    attn_layout_t_ = std::make_unique<const graph::BlockedCsr>(
+        graph::build_blocked_transpose(*raw_));
+  });
+  return attn_layout_t_.get();
 }
 
 void GraphContext::build_operands() {

@@ -65,6 +65,16 @@ class GraphContext {
   const graph::BlockedCsr* spmm_layout() const { return spmm_layout_.get(); }
   const graph::BlockedCsr* spmm_layout_t() const;
 
+  /// Cached attention layouts for GAT plan contexts: a structure-only
+  /// BlockedCsr of raw() serving the forward gather (16-bit indices,
+  /// pre-computed edge-balanced blocks), and its transpose with per-edge
+  /// positions serving the backward's race-free source-row gathers.
+  /// nullptr when built without a plan or for the SpMM architectures.
+  /// Like spmm_layout_t(), the transpose is built lazily on first access
+  /// (thread-safe) so forward-only consumers never pay for it.
+  const graph::BlockedCsr* attn_layout() const { return attn_layout_.get(); }
+  const graph::BlockedCsr* attn_layout_t() const;
+
   // GCN: symmetric-normalised adjacency and transpose.
   const Csr& gcn() const;
   const Csr& gcn_t() const;
@@ -90,6 +100,9 @@ class GraphContext {
   std::unique_ptr<const graph::BlockedCsr> spmm_layout_;
   mutable std::once_flag spmm_layout_t_once_;
   mutable std::unique_ptr<const graph::BlockedCsr> spmm_layout_t_;
+  std::unique_ptr<const graph::BlockedCsr> attn_layout_;
+  mutable std::once_flag attn_layout_t_once_;
+  mutable std::unique_ptr<const graph::BlockedCsr> attn_layout_t_;
 };
 
 }  // namespace gsoup

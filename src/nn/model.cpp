@@ -143,8 +143,15 @@ ag::Value GnnModel::forward(const GraphContext& ctx,
             ag::per_head_dot(hw, params.at(pname(l, "attn_dst")), heads);
         ag::Value s_src =
             ag::per_head_dot(hw, params.at(pname(l, "attn_src")), heads);
-        ag::Value agg = ag::gat_attention(ctx.raw(), ctx.raw_t(), hw, s_dst,
-                                          s_src, heads, config_.attn_slope);
+        // The attention gather and backward run over the context's cached
+        // locality layouts when present (GraphPlan contexts), like spmm.
+        // The transpose layout only feeds the backward, so forward-only
+        // passes (inference, evaluation sweeps) must not force its lazy
+        // build — that is the laziness contract attn_layout_t() documents.
+        ag::Value agg = ag::gat_attention(
+            ctx.raw(), ctx.raw_t(), hw, s_dst, s_src, heads,
+            config_.attn_slope, ctx.attn_layout(),
+            ag::grad_enabled() ? ctx.attn_layout_t() : nullptr);
         h = ag::add_bias(agg, params.at(pname(l, "bias")));
         if (!last) h = ag::elu(h);
         break;

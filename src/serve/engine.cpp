@@ -209,8 +209,13 @@ Tensor InferenceEngine::run_layer(std::int64_t layer,
                              heads, s_dst);
       Tensor alpha = alpha_ws_.view_prefix(
           {static_cast<std::int64_t>(indices.size()), heads});
-      ag::gat_attention_forward(indptr, indices, hw, s_dst, s_src, heads,
-                                cfg.attn_slope, alpha, out);
+      if (layout != nullptr) {
+        ag::gat_attention_forward(*layout, hw, s_dst, s_src, heads,
+                                  cfg.attn_slope, alpha, out);
+      } else {
+        ag::gat_attention_forward(indptr, indices, hw, s_dst, s_src, heads,
+                                  cfg.attn_slope, alpha, out);
+      }
       add_bias_inplace(out, params_.get(pname(layer, "bias")));
       if (!last) elu_inplace(out);
       break;
@@ -242,8 +247,13 @@ void InferenceEngine::run_layers(bool use_plan) {
     } else {
       Tensor* final_out =
           last ? (reordered ? &plan_space_logits_ : &logits_) : nullptr;
+      // Full-graph passes read the context's cached layout: the SpMM
+      // operand for GCN/SAGE, the attention structure for GAT.
+      const graph::BlockedCsr* layout = cfg.arch == Arch::kGat
+                                            ? ctx_->attn_layout()
+                                            : ctx_->spmm_layout();
       h = run_layer(l, g.indptr, g.indices, g.values, h, num_nodes_,
-                    final_out, ctx_->spmm_layout());
+                    final_out, layout);
     }
   }
   if (use_plan) plan_out_ = h;

@@ -27,4 +27,51 @@ std::vector<std::int64_t> balanced_row_chunks(
 /// capped at the row count.
 std::int64_t balanced_chunk_count(std::int64_t rows);
 
+/// Row count below which edge-balanced loops stay serial (and skip the
+/// chunking pass entirely): the binary search plus OpenMP team dispatch
+/// costs more than the loop.
+inline constexpr std::int64_t kParallelRowThreshold = 64;
+
+/// Run `body(lo, hi)` over pre-computed contiguous row-range boundaries
+/// (e.g. graph::BlockedCsr::row_blocks), one chunk per dynamic-scheduled
+/// task. Below kParallelRowThreshold the whole range runs as one serial
+/// call. `bounds` must satisfy the balanced_row_chunks contract
+/// (bounds.front() == 0, bounds.back() == num_rows).
+template <typename Body>
+void for_each_row_block(std::span<const std::int64_t> bounds,
+                        std::int64_t num_rows, Body&& body) {
+  if (num_rows < kParallelRowThreshold) {
+    body(std::int64_t{0}, num_rows);
+    return;
+  }
+  const auto chunks = static_cast<std::int64_t>(bounds.size()) - 1;
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    body(bounds[static_cast<std::size_t>(c)],
+         bounds[static_cast<std::size_t>(c) + 1]);
+  }
+}
+
+/// Run `body(lo, hi)` over contiguous row ranges of approximately equal
+/// nnz for the CSR described by `indptr` (rows = indptr.size() - 1): the
+/// shared driver for every edge-balanced sparse kernel. Computes the
+/// chunk boundaries per call — prefer for_each_row_block with a cached
+/// layout's pre-computed blocks on hot paths.
+template <typename Body>
+void for_each_balanced_row(std::span<const std::int64_t> indptr,
+                           Body&& body) {
+  const auto n = static_cast<std::int64_t>(indptr.size()) - 1;
+  if (n < kParallelRowThreshold) {
+    body(std::int64_t{0}, n);
+    return;
+  }
+  const auto bounds = balanced_row_chunks(indptr, balanced_chunk_count(n));
+  const auto chunks = static_cast<std::int64_t>(bounds.size()) - 1;
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    body(bounds[static_cast<std::size_t>(c)],
+         bounds[static_cast<std::size_t>(c) + 1]);
+  }
+}
+
 }  // namespace gsoup

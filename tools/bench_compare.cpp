@@ -4,13 +4,20 @@
 //
 //   bench_compare --baseline BENCH_kernels.json --candidate bench-ci.json
 //                 [--metric speedup_vs_naive] [--tolerance 0.10]
-//                 [--min-metric X] [--min-matches 1]
+//                 [--min-metric X] [--min-matches 1] [--summary PATH]
 //
 // --min-metric X additionally fails any matched higher-is-better record
 // whose candidate value is below X, regardless of the relative delta —
 // e.g. --min-metric 1.15 on speedup_vs_naive catches a blocked kernel
 // silently falling back to its ~1.0x naive path even when the relative
 // tolerance is sized generously for noisy CI runners.
+//
+// --summary PATH appends a markdown table of every per-record delta (not
+// just the pass/fail verdict) to PATH; when the flag is absent and the
+// GITHUB_STEP_SUMMARY environment variable is set (GitHub Actions), the
+// table goes to the job summary automatically. This is the data trail
+// for tightening the CI tolerance: runner-noise statistics accumulate in
+// the summaries instead of vanishing into step logs.
 //
 // Understands both artifact schemas:
 //   gsoup-bench-kernels/v1  records under "kernels", keyed by
@@ -37,6 +44,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -290,7 +298,7 @@ bool lower_is_better(const std::string& metric) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string baseline_path, candidate_path, metric;
+  std::string baseline_path, candidate_path, metric, summary_path;
   double tolerance = 0.10;
   double min_metric = 0.0;
   int min_matches = 1;
@@ -303,13 +311,19 @@ int main(int argc, char** argv) {
     else if (flag == "--tolerance" && v) { tolerance = std::atof(v); ++i; }
     else if (flag == "--min-metric" && v) { min_metric = std::atof(v); ++i; }
     else if (flag == "--min-matches" && v) { min_matches = std::atoi(v); ++i; }
+    else if (flag == "--summary" && v) { summary_path = v; ++i; }
     else {
       std::fprintf(stderr,
                    "usage: %s --baseline PATH --candidate PATH "
                    "[--metric NAME] [--tolerance 0.10] [--min-metric X] "
-                   "[--min-matches 1]\n",
+                   "[--min-matches 1] [--summary PATH]\n",
                    argv[0]);
       return 2;
+    }
+  }
+  if (summary_path.empty()) {
+    if (const char* env = std::getenv("GITHUB_STEP_SUMMARY")) {
+      summary_path = env;
     }
   }
   if (baseline_path.empty() || candidate_path.empty()) {
@@ -341,6 +355,13 @@ int main(int argc, char** argv) {
   std::printf("%-52s %12s %12s %8s  %s\n", "record", "baseline", "candidate",
               "delta", "status");
 
+  struct SummaryRow {
+    std::string key;
+    double base = 0.0, cand = 0.0, delta = 0.0;
+    std::string status;
+  };
+  std::vector<SummaryRow> rows;
+
   int matches = 0, regressions = 0, missing = 0;
   for (const auto& [key, base_metrics] : baseline.records) {
     const auto base_it = base_metrics.find(metric);
@@ -362,6 +383,7 @@ int main(int argc, char** argv) {
       ++missing;
       std::printf("%-52s %12.4f %12s %8s  MISSING\n", key.c_str(),
                   base_it->second, "-", "-");
+      rows.push_back({key, base_it->second, 0.0, 0.0, "MISSING"});
       continue;
     }
 
@@ -376,10 +398,45 @@ int main(int argc, char** argv) {
     const bool regressed =
         (lower ? delta > tolerance : delta < -tolerance) || below_floor;
     if (regressed) ++regressions;
+    const char* status = below_floor ? "BELOW-FLOOR"
+                                     : (regressed ? "REGRESSED" : "ok");
     std::printf("%-52s %12.4f %12.4f %+7.1f%%  %s\n", key.c_str(), base,
-                cand, delta * 100,
-                below_floor ? "BELOW-FLOOR"
-                            : (regressed ? "REGRESSED" : "ok"));
+                cand, delta * 100, status);
+    rows.push_back({key, base, cand, delta, status});
+  }
+
+  // Per-record deltas into the job summary (GitHub renders markdown):
+  // append-mode so multiple gate invocations in one job stack up.
+  if (!summary_path.empty()) {
+    std::ofstream summary(summary_path, std::ios::app);
+    if (summary) {
+      summary << "### bench_compare: `" << metric << "` ("
+              << (lower ? "lower" : "higher") << " is better, tolerance "
+              << std::lround(tolerance * 100) << "%, baseline `"
+              << baseline_path << "`)\n\n";
+      summary << "| record | baseline | candidate | delta | status |\n";
+      summary << "|---|---:|---:|---:|---|\n";
+      char line[512];
+      for (const auto& row : rows) {
+        if (row.status == "MISSING") {
+          std::snprintf(line, sizeof(line),
+                        "| `%s` | %.4f | - | - | **MISSING** |\n",
+                        row.key.c_str(), row.base);
+        } else {
+          std::snprintf(line, sizeof(line),
+                        "| `%s` | %.4f | %.4f | %+.1f%% | %s%s%s |\n",
+                        row.key.c_str(), row.base, row.cand,
+                        row.delta * 100, row.status == "ok" ? "" : "**",
+                        row.status.c_str(), row.status == "ok" ? "" : "**");
+        }
+        summary << line;
+      }
+      summary << "\n" << matches << " matched, " << regressions
+              << " regression(s), " << missing << " missing\n\n";
+    } else {
+      std::fprintf(stderr, "bench_compare: cannot append summary to %s\n",
+                   summary_path.c_str());
+    }
   }
 
   if (matches < min_matches) {
