@@ -28,6 +28,7 @@
 #include <omp.h>
 #endif
 
+#include "ag/value.hpp"
 #include "graph/generator.hpp"
 #include "nn/model.hpp"
 #include "serve/engine.hpp"
@@ -106,6 +107,34 @@ void bench_arch(const BenchConfig& cfg, Arch arch, const Dataset& data,
     r.p50_ms = r.p99_ms = per_pass * 1e3;
     records.push_back(r);
     std::printf("%-6s full_forward    %9.0f nodes/s (%.2f ms/pass)\n",
+                arch_name(arch), r.qps, per_pass * 1e3);
+  }
+
+  // ---- Tape forward under NoGradGuard: what the engine's executor mode
+  // replaces. Committed alongside full_forward so the executor-vs-tape
+  // delta is inspectable in same-machine baseline runs (the kernel-level
+  // twin records live in BENCH_kernels.json and are CI-gated there).
+  {
+    const ag::Value fvalue = ag::constant(data.features);
+    const ParamMap leaves = as_leaves(params, /*requires_grad=*/false);
+    const auto tape_pass = [&] {
+      ag::NoGradGuard guard;
+      return model.forward(*ctx, fvalue, leaves);
+    };
+    tape_pass();  // warm-up
+    Timer t;
+    std::int64_t iters = 0;
+    while (iters < 3 || t.seconds() < cfg.min_seconds) {
+      tape_pass();
+      ++iters;
+    }
+    const double per_pass = t.seconds() / static_cast<double>(iters);
+    Record r{"full_forward_tape", arch_name(arch), shape};
+    r.batch = data.num_nodes();
+    r.qps = static_cast<double>(data.num_nodes()) / per_pass;
+    r.p50_ms = r.p99_ms = per_pass * 1e3;
+    records.push_back(r);
+    std::printf("%-6s full_fwd_tape   %9.0f nodes/s (%.2f ms/pass)\n",
                 arch_name(arch), r.qps, per_pass * 1e3);
   }
 

@@ -430,6 +430,145 @@ void gat_forward_rows_generic(const std::int64_t* __restrict__ indptr,
   }
 }
 
+/// Inference-only forward row body (compile-time D and H): the exact
+/// pass structure of gat_forward_rows — same walks, same float-operation
+/// order per output element, hence bit-identical results — but the
+/// per-edge activations/exponentials live in a reusable thread-local
+/// scratch (`pa`) instead of a caller-retained alpha tensor, and the
+/// final walk that rescales the stored p's into normalised attention
+/// coefficients is gone: inference never reads alpha, so that E x heads
+/// read-modify-write pass (and the engine-side [E, heads] workspace) is
+/// pure overhead. Keeping the exp pass separate from the aggregate pass
+/// is deliberate: fusing them interleaves a libm call into the SIMD
+/// accumulate loop and spills the H·D-float accumulator every edge
+/// (measured ~30% slower than the fused training kernel).
+template <int D, int H, typename Idx>
+void gat_infer_rows(const std::int64_t* __restrict__ indptr,
+                    const Idx* __restrict__ indices,
+                    const float* __restrict__ sl,
+                    const float* __restrict__ sr,
+                    const float* __restrict__ ph, float* __restrict__ pa,
+                    float* __restrict__ po, float slope, std::int64_t lo,
+                    std::int64_t hi) {
+  constexpr std::int64_t HD = static_cast<std::int64_t>(H) * D;
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const std::int64_t begin = indptr[i], end = indptr[i + 1];
+    const float* __restrict__ sli = sl + i * H;
+    float* __restrict__ orow = po + i * HD;
+    float mx[H];
+    float denom[H] = {};
+    for (int h = 0; h < H; ++h) {
+      mx[h] = -std::numeric_limits<float>::infinity();
+    }
+    // Pass 1: LeakyReLU activations + per-head maxima (scratch store).
+    for (std::int64_t e = begin; e < end; ++e) {
+      const float* __restrict__ srj =
+          sr + static_cast<std::int64_t>(indices[e]) * H;
+      float* __restrict__ ae = pa + e * H;
+      for (int h = 0; h < H; ++h) {
+        const float z = sli[h] + srj[h];
+        const float act = std::max(z, slope * z);
+        ae[h] = act;
+        mx[h] = std::max(mx[h], act);
+      }
+    }
+    // Pass 2a: exponentiate, accumulating the per-head denominators.
+    for (std::int64_t e = begin; e < end; ++e) {
+      float* __restrict__ ae = pa + e * H;
+#pragma omp simd
+      for (int h = 0; h < H; ++h) {
+        const float p = std::exp(ae[h] - mx[h]);
+        ae[h] = p;
+        denom[h] += p;
+      }
+    }
+    // Pass 2b: unnormalised aggregate, then normalise the output row.
+    // (The training kernel additionally rescales every stored p — the
+    // walk this kernel exists to skip.)
+    float acc[HD] = {};
+    for (std::int64_t e = begin; e < end; ++e) {
+      if (e + kGatPrefetchDist < end) {
+        spmm_prefetch_row<HD>(
+            ph +
+            static_cast<std::int64_t>(indices[e + kGatPrefetchDist]) * HD);
+      }
+      const float* __restrict__ ae = pa + e * H;
+      const float* __restrict__ hrow =
+          ph + static_cast<std::int64_t>(indices[e]) * HD;
+      for (int h = 0; h < H; ++h) {
+        const float p = ae[h];
+#pragma omp simd
+        for (int j = 0; j < D; ++j) acc[h * D + j] += p * hrow[h * D + j];
+      }
+    }
+    for (int h = 0; h < H; ++h) {
+      const float inv = denom[h] > 0.0f ? 1.0f / denom[h] : 0.0f;
+#pragma omp simd
+      for (int j = 0; j < D; ++j) orow[h * D + j] = acc[h * D + j] * inv;
+    }
+  }
+}
+
+/// Runtime-shape infer fallback, head-tiled like the training generic;
+/// same structure minus the alpha-normalisation walk.
+template <typename Idx>
+void gat_infer_rows_generic(const std::int64_t* __restrict__ indptr,
+                            const Idx* __restrict__ indices,
+                            const float* __restrict__ sl,
+                            const float* __restrict__ sr,
+                            const float* __restrict__ ph,
+                            float* __restrict__ pa, float* __restrict__ po,
+                            std::int64_t heads, std::int64_t d, float slope,
+                            std::int64_t lo, std::int64_t hi) {
+  const std::int64_t hd = heads * d;
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const std::int64_t begin = indptr[i], end = indptr[i + 1];
+    const float* __restrict__ sli = sl + i * heads;
+    float* __restrict__ orow = po + i * hd;
+#pragma omp simd
+    for (std::int64_t j = 0; j < hd; ++j) orow[j] = 0.0f;
+    for (std::int64_t hb = 0; hb < heads; hb += kGatHeadTile) {
+      const std::int64_t hw = std::min(kGatHeadTile, heads - hb);
+      float mx[kGatHeadTile];
+      float denom[kGatHeadTile] = {};
+      for (std::int64_t h = 0; h < hw; ++h) {
+        mx[h] = -std::numeric_limits<float>::infinity();
+      }
+      for (std::int64_t e = begin; e < end; ++e) {
+        const float* __restrict__ srj =
+            sr + static_cast<std::int64_t>(indices[e]) * heads + hb;
+        float* __restrict__ ae = pa + e * heads + hb;
+        for (std::int64_t h = 0; h < hw; ++h) {
+          const float z = sli[hb + h] + srj[h];
+          const float act = std::max(z, slope * z);
+          ae[h] = act;
+          mx[h] = std::max(mx[h], act);
+        }
+      }
+      for (std::int64_t e = begin; e < end; ++e) {
+        const float* __restrict__ hrow =
+            ph + static_cast<std::int64_t>(indices[e]) * hd + hb * d;
+        float* __restrict__ ae = pa + e * heads + hb;
+        for (std::int64_t h = 0; h < hw; ++h) {
+          const float p = std::exp(ae[h] - mx[h]);
+          ae[h] = p;
+          denom[h] += p;
+          const float* __restrict__ hseg = hrow + h * d;
+          float* __restrict__ oseg = orow + (hb + h) * d;
+#pragma omp simd
+          for (std::int64_t j = 0; j < d; ++j) oseg[j] += p * hseg[j];
+        }
+      }
+      for (std::int64_t h = 0; h < hw; ++h) {
+        float* __restrict__ oseg = orow + (hb + h) * d;
+        const float s = denom[h] > 0.0f ? 1.0f / denom[h] : 0.0f;
+#pragma omp simd
+        for (std::int64_t j = 0; j < d; ++j) oseg[j] *= s;
+      }
+    }
+  }
+}
+
 /// Backward pass 1, head-fused: over destination rows of the forward
 /// structure. Stashes per-edge dz (the gradient of the pre-activation
 /// attention logit) in `pdz` and accumulates dscore_dst when `pslg` is
@@ -686,6 +825,23 @@ void run_gat_forward(const std::int64_t* indptr, const Idx* indices,
 }
 
 template <typename Idx>
+void run_gat_infer(const std::int64_t* indptr, const Idx* indices,
+                   const float* sl, const float* sr, const float* ph,
+                   float* pa, float* po, std::int64_t heads, std::int64_t d,
+                   float slope, std::int64_t lo, std::int64_t hi) {
+  gat_dispatch(
+      heads, d,
+      [&]<int D, int H>() {
+        gat_infer_rows<D, H>(indptr, indices, sl, sr, ph, pa, po, slope, lo,
+                             hi);
+      },
+      [&] {
+        gat_infer_rows_generic(indptr, indices, sl, sr, ph, pa, po, heads, d,
+                               slope, lo, hi);
+      });
+}
+
+template <typename Idx>
 void run_gat_backward_dst(const std::int64_t* indptr, const Idx* indices,
                           const float* grad_out, const float* pa,
                           const float* ph, const float* sl, const float* sr,
@@ -739,6 +895,20 @@ void gat_check_shapes(std::int64_t n, std::int64_t e_count,
                   "gat_attention_forward: bad alpha workspace shape");
   GSOUP_CHECK_MSG(out.shape(0) == n && out.shape(1) == heads * d,
                   "gat_attention_forward: bad output shape");
+}
+
+/// Shape checks for the alpha-free infer entry points.
+void gat_check_shapes_infer(std::int64_t n, const Tensor& h_src,
+                            const Tensor& score_dst, const Tensor& score_src,
+                            std::int64_t heads, const Tensor& out) {
+  GSOUP_CHECK_MSG(h_src.rank() == 2 && h_src.shape(1) % heads == 0,
+                  "gat_attention_infer: bad H shape " << h_src.shape_str());
+  GSOUP_CHECK_MSG(score_dst.shape(0) == n && score_dst.shape(1) == heads &&
+                      score_src.shape(0) == h_src.shape(0) &&
+                      score_src.shape(1) == heads,
+                  "gat_attention_infer: bad score shapes");
+  GSOUP_CHECK_MSG(out.shape(0) == n && out.shape(1) == h_src.shape(1),
+                  "gat_attention_infer: bad output shape");
 }
 
 /// Reusable [E, heads] backward scratch, one per thread so concurrent
@@ -887,6 +1057,57 @@ void gat_attention_forward(const graph::BlockedCsr& layout,
                        [&](std::int64_t lo, std::int64_t hi) {
                          run_gat_forward(indptr, indices, sl, sr, ph, pa, po,
                                          heads, d, slope, lo, hi);
+                       });
+  };
+  if (layout.narrow()) {
+    run(layout.idx16.data());
+  } else {
+    run(layout.idx32.data());
+  }
+}
+
+void gat_attention_infer(std::span<const std::int64_t> sp_indptr,
+                         std::span<const std::int32_t> sp_indices,
+                         const Tensor& h_src, const Tensor& score_dst,
+                         const Tensor& score_src, std::int64_t heads,
+                         float slope, Tensor& out) {
+  const auto n = static_cast<std::int64_t>(sp_indptr.size()) - 1;
+  gat_check_shapes_infer(n, h_src, score_dst, score_src, heads, out);
+  const std::int64_t d = h_src.shape(1) / heads;
+  const float* sl = score_dst.data();
+  const float* sr = score_src.data();
+  const float* ph = h_src.data();
+  // Per-edge act/p scratch: the reusable thread-local workspace the
+  // backward also uses (disjoint row ranges index disjoint edge slices,
+  // so one shared buffer is race-free) — no caller-visible alpha tensor.
+  float* pa = gat_dz_workspace(
+      static_cast<std::int64_t>(sp_indices.size()) * heads);
+  float* po = out.data();
+  const auto* indptr = sp_indptr.data();
+  const auto* indices = sp_indices.data();
+  for_each_balanced_row(sp_indptr, [&](std::int64_t lo, std::int64_t hi) {
+    run_gat_infer(indptr, indices, sl, sr, ph, pa, po, heads, d, slope, lo,
+                  hi);
+  });
+}
+
+void gat_attention_infer(const graph::BlockedCsr& layout, const Tensor& h_src,
+                         const Tensor& score_dst, const Tensor& score_src,
+                         std::int64_t heads, float slope, Tensor& out) {
+  gat_check_shapes_infer(layout.num_rows, h_src, score_dst, score_src, heads,
+                         out);
+  const std::int64_t d = h_src.shape(1) / heads;
+  const float* sl = score_dst.data();
+  const float* sr = score_src.data();
+  const float* ph = h_src.data();
+  float* pa = gat_dz_workspace(layout.num_edges() * heads);
+  float* po = out.data();
+  const auto* indptr = layout.indptr.data();
+  const auto run = [&](const auto* indices) {
+    for_each_row_block(layout.row_blocks, layout.num_rows,
+                       [&](std::int64_t lo, std::int64_t hi) {
+                         run_gat_infer(indptr, indices, sl, sr, ph, pa, po,
+                                       heads, d, slope, lo, hi);
                        });
   };
   if (layout.narrow()) {
@@ -1198,13 +1419,11 @@ Value gat_attention(const Csr& graph, const CsrTranspose& graph_t,
             score_dst->requires_grad ? &score_dst->ensure_grad() : nullptr;
         Tensor* dsr =
             score_src->requires_grad ? &score_src->ensure_grad() : nullptr;
-        // heads == 1 takes the span kernels even when layouts exist:
-        // the single-head layout instantiation measures ~30% slower than
-        // its span twin on the baseline box (BENCH_kernels.json,
-        // gat_attention_bwd plan vs fused at heads=1) — a codegen
-        // artifact of the narrow-index specialisation, not a data
-        // effect; multi-head shapes favour the layouts.
-        if (layout != nullptr && layout_t != nullptr && heads > 1) {
+        // Layout-vs-span routing is the caller's (plan compiler's)
+        // decision: exec::LayerStep passes layout_t = nullptr for
+        // single-head steps, whose narrow-index instantiation measures
+        // ~0.7x of its span twin (docs/BENCHMARKS.md).
+        if (layout != nullptr && layout_t != nullptr) {
           gat_attention_backward(*layout, *layout_t, h->value,
                                  score_dst->value, score_src->value, alpha,
                                  node.grad, heads, slope, dh, dsl, dsr);
@@ -1240,12 +1459,13 @@ Value block_spmm(const Block& block, const Value& x) {
                           });
   }
   // The backward dX = Bᵀ·dY runs as an edge-balanced SpMM gather over the
-  // block's cached transpose (race-free by source row, no team clamp),
-  // built once here — blocks carry no transpose of their own, and the
-  // O(E) counting sort is amortised against the multiple gather walks the
-  // seed's every-thread-scans-every-edge scatter needed.
-  std::shared_ptr<const graph::BlockedCsr> bt;
-  if (grad_enabled() && x->requires_grad) {
+  // block's cached transpose (race-free by source row, no team clamp).
+  // Blocks sampled with BlockTranspose::kBuild already carry it — the
+  // counting sort ran (threaded, one task per layer) inside
+  // sample_blocks, off this forward's critical path. The fallback build
+  // here covers blocks from other producers (union subgraphs, tests).
+  std::shared_ptr<const graph::BlockedCsr> bt = block.transpose;
+  if (bt == nullptr && grad_enabled() && x->requires_grad) {
     bt = std::make_shared<const graph::BlockedCsr>(
         graph::build_blocked_transpose_spans(block.indptr, block.indices,
                                              block.values, block.num_src(),

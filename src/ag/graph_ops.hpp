@@ -92,6 +92,34 @@ void gat_attention_forward(const graph::BlockedCsr& layout,
                            const Tensor& score_src, std::int64_t heads,
                            float slope, Tensor& alpha, Tensor& out);
 
+/// Inference-only attention forward: identical output to
+/// gat_attention_forward — bit for bit — with no caller-visible `alpha`
+/// tensor. Same pass structure as the training kernel (activations and
+/// exponentials staged in a reusable thread-local [E, heads] scratch —
+/// fusing exp into the aggregate loop measured ~30% slower, see the
+/// kernel body), except the final walk that rescales the stored p's into
+/// normalised attention coefficients is skipped: inference never reads
+/// alpha. The float operations feeding `out` are performed in exactly
+/// the training kernel's order, which is what makes exec-mode infer
+/// logits bit-identical to the tape forward (tests/test_exec.cpp).
+/// Selected by infer-mode plan lowering (exec::Executor). Measured
+/// honestly: 1.00-1.06x over gat_attention_forward single-thread at
+/// d=16 (the skipped walk is a small traffic fraction next to the H·D
+/// gathers); the concrete wins are the retired engine-side [E, heads]
+/// workspace and the unchanged-output guarantee.
+void gat_attention_infer(std::span<const std::int64_t> indptr,
+                         std::span<const std::int32_t> indices,
+                         const Tensor& h_src, const Tensor& score_dst,
+                         const Tensor& score_src, std::int64_t heads,
+                         float slope, Tensor& out);
+
+/// Plan-aware infer forward over a cached structure layout (pre-computed
+/// row blocks, narrow indices), bit-identical to the span overload.
+void gat_attention_infer(const graph::BlockedCsr& layout,
+                         const Tensor& h_src, const Tensor& score_dst,
+                         const Tensor& score_src, std::int64_t heads,
+                         float slope, Tensor& out);
+
 /// The seed attention kernel (three softmax passes plus an aggregate walk
 /// per (dst, head), serial in the head dimension), kept verbatim as the
 /// parity oracle and the bench baseline the fused kernels are gated
@@ -176,6 +204,10 @@ Value gat_attention(const Csr& graph, const CsrTranspose& graph_t,
 /// GraphContext::attn_layout()/attn_layout_t()): the forward gathers over
 /// `layout` and the backward over both when non-null, falling back to the
 /// CSR/CsrTranspose otherwise. Must be built from `graph`/its transpose.
+/// Which layouts to pass is a plan-compile decision (exec::LayerStep):
+/// single-head backwards keep the span kernels — the narrow-index
+/// instantiation anomaly documented in docs/BENCHMARKS.md — so callers
+/// pass layout_t = nullptr for heads == 1.
 Value gat_attention(const Csr& graph, const CsrTranspose& graph_t,
                     const Value& h, const Value& score_dst,
                     const Value& score_src, std::int64_t heads, float slope,
@@ -184,10 +216,12 @@ Value gat_attention(const Csr& graph, const CsrTranspose& graph_t,
 
 /// Bipartite-block SpMM for minibatch training: Y[i] = Σ_e w_e X[src_e]
 /// over a sampled Block. X rows are block-local (size block.num_src()).
-/// When gradients are being recorded the forward builds a cached
-/// graph::BlockedCsr transpose of the block once, so the backward
-/// dX = Bᵀ·dY runs as a race-free edge-balanced SpMM gather instead of
-/// the seed's every-thread-walks-every-edge scatter.
+/// The backward dX = Bᵀ·dY runs as a race-free edge-balanced SpMM gather
+/// over the block's cached graph::BlockedCsr transpose instead of the
+/// seed's every-thread-walks-every-edge scatter. Blocks sampled with
+/// BlockTranspose::kBuild already carry that transpose (built, threaded,
+/// at sample time); otherwise the forward builds it here once when
+/// gradients are being recorded.
 Value block_spmm(const Block& block, const Value& x);
 
 /// The seed block_spmm backward (each thread walks all E edges, writing

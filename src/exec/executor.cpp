@@ -1,0 +1,338 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ag/graph_ops.hpp"
+#include "ag/ops.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace gsoup::exec {
+
+namespace {
+
+// In-place building blocks for infer mode: identical numerics to the
+// tape ops (ag::matmul is zeros + matmul_acc; ag::add_bias / relu / elu
+// apply the same scalar expressions) without the per-op allocation.
+
+/// out = x · w into a preallocated view.
+void linear_into(const Tensor& x, const Tensor& w, Tensor& out) {
+  out.zero_();
+  ops::matmul_acc(x, w, out);
+}
+
+void add_bias_inplace(Tensor& x, const Tensor& bias) {
+  const std::int64_t m = x.shape(0), n = x.shape(1);
+  GSOUP_CHECK_MSG(bias.numel() == n, "bias width mismatch");
+  float* __restrict__ px = x.data();
+  const float* __restrict__ pb = bias.data();
+#pragma omp parallel for schedule(static) if (m * n >= (1 << 15))
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* __restrict__ row = px + i * n;
+#pragma omp simd
+    for (std::int64_t j = 0; j < n; ++j) row[j] += pb[j];
+  }
+}
+
+void relu_inplace(Tensor& x) {
+  float* __restrict__ p = x.data();
+  const std::int64_t n = x.numel();
+#pragma omp parallel for simd schedule(static) if (n >= (1 << 15))
+  for (std::int64_t i = 0; i < n; ++i) p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+}
+
+void elu_inplace(Tensor& x) {
+  float* __restrict__ p = x.data();
+  const std::int64_t n = x.numel();
+#pragma omp parallel for schedule(static) if (n >= (1 << 15))
+  for (std::int64_t i = 0; i < n; ++i)
+    p[i] = p[i] > 0.0f ? p[i] : std::expm1(p[i]);
+}
+
+}  // namespace
+
+// ---- Train mode -----------------------------------------------------------
+
+ag::Value run_train(const LayerPlan& plan, const ag::Value& features,
+                    const ParamMap& params, bool training, Rng* rng) {
+  const ModelConfig& cfg = plan.config();
+  const GraphContext& ctx = plan.ctx();
+  GSOUP_CHECK_MSG(!training || rng != nullptr,
+                  "training forward needs an rng for dropout");
+  GSOUP_CHECK_MSG(features->value.shape(1) == cfg.in_dim,
+                  "feature dim " << features->value.shape_str()
+                                 << " != model in_dim " << cfg.in_dim);
+
+  ag::Value h = features;
+  for (const LayerStep& step : plan.steps()) {
+    if (training && cfg.dropout > 0.0f) {
+      h = ag::dropout(h, cfg.dropout, *rng, true);
+    }
+    switch (cfg.arch) {
+      case Arch::kGcn: {
+        // H' = Â (H W) + b over the context's cached layout when one was
+        // compiled in. The transpose layout only feeds the backward, so
+        // no-grad passes never trigger its lazy build.
+        ag::Value hw = ag::matmul(h, params.at(step.weight));
+        ag::Value agg = ag::spmm(
+            ctx.gcn(), ctx.gcn_t(), hw, step.spmm_layout,
+            ag::grad_enabled() ? ctx.spmm_layout_t() : nullptr);
+        h = ag::add_bias(agg, params.at(step.bias));
+        if (!step.last) h = ag::relu(h);
+        break;
+      }
+      case Arch::kSage: {
+        // H' = H W_self + (D⁻¹A H) W_neigh + b
+        ag::Value self_part = ag::matmul(h, params.at(step.weight_self));
+        ag::Value agg = ag::spmm(
+            ctx.mean(), ctx.mean_t(), h, step.spmm_layout,
+            ag::grad_enabled() ? ctx.spmm_layout_t() : nullptr);
+        ag::Value neigh_part = ag::matmul(agg, params.at(step.weight_neigh));
+        h = ag::add_bias(ag::add(self_part, neigh_part),
+                         params.at(step.bias));
+        if (!step.last) h = ag::relu(h);
+        break;
+      }
+      case Arch::kGat: {
+        ag::Value hw = ag::matmul(h, params.at(step.weight));
+        ag::Value s_dst =
+            ag::per_head_dot(hw, params.at(step.attn_dst), step.heads);
+        ag::Value s_src =
+            ag::per_head_dot(hw, params.at(step.attn_src), step.heads);
+        // Backward routing was decided at compile time
+        // (step.attn_layout_backward): single-head steps keep the span
+        // kernels, and forward-only passes never force the lazy
+        // transpose build.
+        const graph::BlockedCsr* layout_t =
+            ag::grad_enabled() && step.attn_layout_backward
+                ? ctx.attn_layout_t()
+                : nullptr;
+        ag::Value agg = ag::gat_attention(ctx.raw(), ctx.raw_t(), hw, s_dst,
+                                          s_src, step.heads, cfg.attn_slope,
+                                          step.attn_layout, layout_t);
+        h = ag::add_bias(agg, params.at(step.bias));
+        if (!step.last) h = ag::elu(h);
+        break;
+      }
+    }
+  }
+  return h;
+}
+
+ag::Value run_train_blocks(const ModelConfig& cfg,
+                           std::span<const Block> blocks,
+                           const ag::Value& features, const ParamMap& params,
+                           bool training, Rng* rng) {
+  GSOUP_CHECK_MSG(cfg.arch == Arch::kSage,
+                  "minibatch forward is implemented for GraphSAGE");
+  GSOUP_CHECK_MSG(
+      static_cast<std::int64_t>(blocks.size()) == cfg.num_layers,
+      "need one block per layer");
+  GSOUP_CHECK_MSG(!training || rng != nullptr,
+                  "training forward needs an rng for dropout");
+
+  ag::Value h = features;  // rows: blocks[0].src_nodes
+  for (std::int64_t l = 0; l < cfg.num_layers; ++l) {
+    const Block& block = blocks[static_cast<std::size_t>(l)];
+    const bool last = l + 1 == cfg.num_layers;
+    GSOUP_CHECK_MSG(h->value.shape(0) == block.num_src(),
+                    "block/source row mismatch at layer " << l);
+    if (training && cfg.dropout > 0.0f) {
+      h = ag::dropout(h, cfg.dropout, *rng, true);
+    }
+    // Destination rows are a prefix of source rows (DGL block convention).
+    ag::Value h_dst = ag::narrow_rows(h, block.num_dst);
+    ag::Value self_part =
+        ag::matmul(h_dst, params.at(layer_param_name(l, "weight_self")));
+    ag::Value agg = ag::block_spmm(block, h);
+    ag::Value neigh_part =
+        ag::matmul(agg, params.at(layer_param_name(l, "weight_neigh")));
+    h = ag::add_bias(ag::add(self_part, neigh_part),
+                     params.at(layer_param_name(l, "bias")));
+    if (!last) h = ag::relu(h);
+  }
+  return h;
+}
+
+// ---- Infer mode -----------------------------------------------------------
+
+Executor::Executor(const LayerPlan& plan, const ParamStore& params)
+    : plan_(plan) {
+  step_params_.reserve(plan.steps().size());
+  for (const LayerStep& step : plan.steps()) {
+    StepParams p;
+    const auto resolve = [&](const std::string& name) -> const Tensor* {
+      return name.empty() ? nullptr : &params.get(name);
+    };
+    p.weight = resolve(step.weight);
+    p.weight_self = resolve(step.weight_self);
+    p.weight_neigh = resolve(step.weight_neigh);
+    p.bias = resolve(step.bias);
+    p.attn_dst = resolve(step.attn_dst);
+    p.attn_src = resolve(step.attn_src);
+    step_params_.push_back(p);
+  }
+
+  // Everything any run_* call will ever touch, allocated once from the
+  // plan's declared geometry.
+  for (auto& buf : buf_) buf = Tensor::empty({plan.layer_slab_numel()});
+  if (plan.score_slab_numel() > 0) {
+    score_dst_ws_ = Tensor::empty({plan.score_slab_numel()});
+    score_src_ws_ = Tensor::empty({plan.score_slab_numel()});
+  }
+}
+
+Tensor Executor::ws(int idx, std::int64_t rows, std::int64_t cols) {
+  return buf_[idx].view_prefix({rows, cols});
+}
+
+std::size_t Executor::workspace_bytes() const {
+  std::size_t total = 0;
+  for (const auto& buf : buf_) total += buf.bytes();
+  if (score_dst_ws_.defined()) {
+    total += score_dst_ws_.bytes() + score_src_ws_.bytes();
+  }
+  return total;
+}
+
+Tensor Executor::run_layer(const LayerStep& step, const StepParams& p,
+                           std::span<const std::int64_t> indptr,
+                           std::span<const std::int32_t> indices,
+                           std::span<const float> values, const Tensor& h_in,
+                           std::int64_t num_dst, Tensor* final_out,
+                           const graph::BlockedCsr* spmm_layout,
+                           const graph::BlockedCsr* attn_layout) {
+  const ModelConfig& cfg = plan_.config();
+  const std::int64_t num_src = h_in.shape(0);
+
+  // Buffer discipline: h_in occupies one of the three buffers (or is the
+  // external feature storage); `scratch` and `out` are the other two.
+  // Identity is tracked by storage, not index.
+  int in_idx = -1;
+  for (int b = 0; b < 3; ++b) {
+    if (h_in.shares_storage_with(buf_[b])) in_idx = b;
+  }
+  const int out_idx = (in_idx + 1) % 3;  // in_idx == -1 maps to 0
+  const int scratch_idx = (out_idx + 1) % 3;
+  Tensor out = (step.last && final_out != nullptr)
+                   ? *final_out
+                   : ws(out_idx, num_dst, step.out_width);
+
+  switch (cfg.arch) {
+    case Arch::kGcn: {
+      // H' = Â (H W) + b
+      Tensor hw = ws(scratch_idx, num_src, step.out_width);
+      linear_into(h_in, *p.weight, hw);
+      if (spmm_layout != nullptr) {
+        ag::spmm_blocked_overwrite(*spmm_layout, hw, out);
+      } else {
+        ag::spmm_spans_overwrite(indptr, indices, values, hw, out);
+      }
+      add_bias_inplace(out, *p.bias);
+      if (!step.last) relu_inplace(out);
+      break;
+    }
+    case Arch::kSage: {
+      // H' = H_dst W_self + (D⁻¹A H) W_neigh + b; destinations are a
+      // prefix of sources, so H_dst is a leading-rows view of H. The two
+      // GEMMs land in separate buffers and are combined elementwise as
+      // (self + neigh) + bias — the tape's exact operation order
+      // (matmul, matmul, add, add_bias) — rather than accumulating the
+      // second GEMM into the first's output, whose different partial-sum
+      // order would break the bit-exact train/infer parity contract.
+      // After agg and self are computed h_in is dead, so its buffer (or
+      // the third buffer when the input is external) holds neigh.
+      Tensor h_dst = h_in.view_prefix({num_dst, step.in_dim});
+      Tensor agg = ws(scratch_idx, num_dst, step.in_dim);
+      if (spmm_layout != nullptr) {
+        ag::spmm_blocked_overwrite(*spmm_layout, h_in, agg);
+      } else {
+        ag::spmm_spans_overwrite(indptr, indices, values, h_in, agg);
+      }
+      linear_into(h_dst, *p.weight_self, out);
+      const int neigh_idx = in_idx >= 0 ? in_idx : 2;
+      Tensor neigh = ws(neigh_idx, num_dst, step.out_width);
+      linear_into(agg, *p.weight_neigh, neigh);
+      {
+        const std::int64_t m = out.shape(0), w = out.shape(1);
+        float* __restrict__ po = out.data();
+        const float* __restrict__ pn = neigh.data();
+        const float* __restrict__ pb = p.bias->data();
+#pragma omp parallel for schedule(static) if (m * w >= (1 << 15))
+        for (std::int64_t i = 0; i < m; ++i) {
+          float* __restrict__ orow = po + i * w;
+          const float* __restrict__ nrow = pn + i * w;
+#pragma omp simd
+          for (std::int64_t j = 0; j < w; ++j) {
+            orow[j] = (orow[j] + nrow[j]) + pb[j];
+          }
+        }
+      }
+      if (!step.last) relu_inplace(out);
+      break;
+    }
+    case Arch::kGat: {
+      Tensor hw = ws(scratch_idx, num_src, step.out_width);
+      linear_into(h_in, *p.weight, hw);
+      Tensor s_src = score_src_ws_.view_prefix({num_src, step.heads});
+      ops::per_head_dot_into(hw, *p.attn_src, step.heads, s_src);
+      Tensor s_dst = score_dst_ws_.view_prefix({num_dst, step.heads});
+      Tensor hw_dst = hw.view_prefix({num_dst, step.out_width});
+      ops::per_head_dot_into(hw_dst, *p.attn_dst, step.heads, s_dst);
+      // Infer lowering: the alpha-skip kernel — no [E, heads] store, no
+      // normalisation walk; bit-identical output to the training forward.
+      if (attn_layout != nullptr) {
+        ag::gat_attention_infer(*attn_layout, hw, s_dst, s_src, step.heads,
+                                cfg.attn_slope, out);
+      } else {
+        ag::gat_attention_infer(indptr, indices, hw, s_dst, s_src,
+                                step.heads, cfg.attn_slope, out);
+      }
+      add_bias_inplace(out, *p.bias);
+      if (!step.last) elu_inplace(out);
+      break;
+    }
+  }
+  return out;
+}
+
+void Executor::run_full(const Tensor& features, Tensor& out) {
+  const std::int64_t n = plan_.num_nodes();
+  GSOUP_CHECK_MSG(features.rank() == 2 && features.shape(0) == n &&
+                      features.shape(1) == plan_.config().in_dim,
+                  "run_full: feature matrix " << features.shape_str()
+                                              << " does not match the plan");
+  GSOUP_CHECK_MSG(out.rank() == 2 && out.shape(0) == n &&
+                      out.shape(1) == plan_.config().out_dim,
+                  "run_full: bad output shape " << out.shape_str());
+  const Csr& g = plan_.message_graph();
+  Tensor h = features;
+  for (std::size_t l = 0; l < plan_.steps().size(); ++l) {
+    const LayerStep& step = plan_.steps()[l];
+    Tensor* final_out = step.last ? &out : nullptr;
+    h = run_layer(step, step_params_[l], g.indptr, g.indices, g.values, h, n,
+                  final_out, step.spmm_layout, step.attn_layout);
+  }
+}
+
+const Tensor& Executor::run_subgraph(const SubgraphPlan& sp,
+                                     const Tensor& features) {
+  GSOUP_CHECK_MSG(
+      static_cast<std::int64_t>(sp.layers.size()) == plan_.num_layers(),
+      "run_subgraph: plan has " << sp.layers.size() << " layers, model "
+                                << plan_.num_layers());
+  const SubgraphLayer& input = sp.layers.front();
+  Tensor h = ws(0, input.num_src(), plan_.config().in_dim);
+  ops::gather_rows_into(features, input.src_nodes, h);
+  for (std::size_t l = 0; l < plan_.steps().size(); ++l) {
+    const LayerStep& step = plan_.steps()[l];
+    const SubgraphLayer& P = sp.layers[l];
+    h = run_layer(step, step_params_[l], P.indptr, P.indices, P.values, h,
+                  P.num_dst, nullptr, nullptr, nullptr);
+  }
+  subgraph_out_ = h;
+  return subgraph_out_;
+}
+
+}  // namespace gsoup::exec

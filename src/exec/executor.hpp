@@ -1,0 +1,119 @@
+// Executes a compiled LayerPlan in the three modes the system needs:
+//
+//  - train       records the autograd tape (ingredient training, learned
+//                souping, evaluation sweeps under NoGradGuard);
+//  - minibatch   tape over sampled bipartite blocks (GraphSAGE), the
+//                block transposes having been built at sample time;
+//  - infer       autograd-free, into workspaces declared by the plan and
+//                allocated once at Executor construction — the serving
+//                hot path, zero tracked allocation once warm. Infer
+//                lowering picks inference-only kernels where they exist:
+//                GAT steps run `ag::gat_attention_infer`, which skips
+//                the alpha normalisation walk and replaces the
+//                engine-owned [E, heads] alpha tensor with the kernel's
+//                reusable thread-local scratch.
+//
+// Train/minibatch modes are free functions (the tape owns all memory);
+// infer mode is a stateful Executor (single-threaded by design — the
+// workspaces are reused mutable state; concurrency lives one level up,
+// in serve::BatchServer's per-worker engines).
+//
+// All three modes execute the same LayerStep sequence through the same
+// kernels, which is what makes train and infer logits bit-identical
+// (asserted per arch x reorder x index width in tests/test_exec.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "ag/value.hpp"
+#include "exec/layer_plan.hpp"
+#include "exec/subgraph.hpp"
+#include "graph/sampling.hpp"
+#include "nn/param.hpp"
+#include "util/rng.hpp"
+
+namespace gsoup::exec {
+
+/// Train mode: the tape-recorded full-graph forward. `features` rows are
+/// in the plan's (context's) vertex numbering; returns class logits
+/// [n, out_dim] on the tape. `training` enables dropout (needs rng).
+ag::Value run_train(const LayerPlan& plan, const ag::Value& features,
+                    const ParamMap& params, bool training, Rng* rng);
+
+/// Minibatch mode: tape forward over sampled blocks (GraphSAGE only) —
+/// features are rows for blocks[0].src_nodes, output rows are the seeds.
+/// Blocks sampled with `BlockTranspose::kBuild` carry their cached
+/// backward transpose, so the block_spmm forward pays no build.
+ag::Value run_train_blocks(const ModelConfig& config,
+                           std::span<const Block> blocks,
+                           const ag::Value& features, const ParamMap& params,
+                           bool training, Rng* rng);
+
+/// Infer mode: a LayerPlan plus plan-declared workspace slabs, allocated
+/// once here. The parameter tensors are resolved per step at construction
+/// (the store — typically a serve::Snapshot's — must outlive the
+/// executor, as must the plan).
+class Executor {
+ public:
+  Executor(const LayerPlan& plan, const ParamStore& params);
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  const LayerPlan& plan() const { return plan_; }
+
+  /// Full-graph forward: `features` is [n, in_dim] in plan space, `out`
+  /// a caller-owned [n, out_dim]. No allocation.
+  void run_full(const Tensor& features, Tensor& out);
+
+  /// Forward over a subgraph plan's block sequence; gathers the input
+  /// rows from `features` itself. Returns a view (into a workspace or
+  /// directly into a layer output) of the final layer, valid until the
+  /// next run_* call. No allocation.
+  const Tensor& run_subgraph(const SubgraphPlan& sp, const Tensor& features);
+
+  /// Total bytes of preallocated workspace (capacity planning).
+  std::size_t workspace_bytes() const;
+
+ private:
+  /// Parameter tensors of one step, resolved once.
+  struct StepParams {
+    const Tensor* weight = nullptr;
+    const Tensor* weight_self = nullptr;
+    const Tensor* weight_neigh = nullptr;
+    const Tensor* bias = nullptr;
+    const Tensor* attn_dst = nullptr;
+    const Tensor* attn_src = nullptr;
+  };
+
+  /// One layer over an explicit CSR (spans) or, when `spmm_layout` /
+  /// `attn_layout` is non-null, the step's cached layout. h_in rows are
+  /// sources; the written view covers destinations. Returns the output
+  /// view (== *final_out for the last layer when provided).
+  Tensor run_layer(const LayerStep& step, const StepParams& p,
+                   std::span<const std::int64_t> indptr,
+                   std::span<const std::int32_t> indices,
+                   std::span<const float> values, const Tensor& h_in,
+                   std::int64_t num_dst, Tensor* final_out,
+                   const graph::BlockedCsr* spmm_layout,
+                   const graph::BlockedCsr* attn_layout);
+
+  /// Carve a [rows, cols] view out of workspace buffer `idx`.
+  Tensor ws(int idx, std::int64_t rows, std::int64_t cols);
+
+  const LayerPlan& plan_;
+  std::vector<StepParams> step_params_;
+
+  // Plan-declared slabs: three ping-pong layer buffers (input / scratch /
+  // output) and the GAT attention-score buffers. The executor owns no
+  // per-edge slab: the [E, heads] alpha tensor the pre-exec engine
+  // carried is replaced by the infer kernel's reusable thread-local
+  // scratch (shared with the backward's dz workspace).
+  Tensor buf_[3];
+  Tensor score_dst_ws_;
+  Tensor score_src_ws_;
+  Tensor subgraph_out_;  ///< final-layer view of the last run_subgraph
+};
+
+}  // namespace gsoup::exec

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "graph/locality.hpp"
 #include "util/check.hpp"
 
 namespace gsoup {
@@ -69,7 +70,7 @@ Block sample_one(const Csr& graph, std::span<const std::int64_t> seeds,
 std::vector<Block> sample_blocks(const Csr& graph,
                                  std::span<const std::int64_t> seeds,
                                  std::span<const std::int64_t> fanouts,
-                                 Rng& rng) {
+                                 Rng& rng, BlockTranspose transpose) {
   GSOUP_CHECK_MSG(!seeds.empty(), "sample_blocks needs seeds");
   GSOUP_CHECK_MSG(!fanouts.empty(), "sample_blocks needs fanouts");
   for (const auto s : seeds) {
@@ -85,7 +86,27 @@ std::vector<Block> sample_blocks(const Csr& graph,
     frontier = block.src_nodes;
     reversed.push_back(std::move(block));
   }
-  return {reversed.rbegin(), reversed.rend()};
+  std::vector<Block> blocks(std::make_move_iterator(reversed.rbegin()),
+                            std::make_move_iterator(reversed.rend()));
+
+  if (transpose == BlockTranspose::kBuild) {
+    // The backward-gather transposes, off the forward's critical path:
+    // sampling itself is sequential (each layer's frontier feeds the
+    // next), but the counting sorts are independent per layer, so they
+    // run as one parallel task each. Without edge positions — the SpMM
+    // gather never reads them.
+    const auto count = static_cast<std::int64_t>(blocks.size());
+#pragma omp parallel for schedule(dynamic, 1) if (count > 1)
+    for (std::int64_t l = 0; l < count; ++l) {
+      Block& b = blocks[static_cast<std::size_t>(l)];
+      b.transpose = std::make_shared<const graph::BlockedCsr>(
+          graph::build_blocked_transpose_spans(b.indptr, b.indices, b.values,
+                                               b.num_src(),
+                                               /*force_wide=*/false,
+                                               /*with_epos=*/false));
+    }
+  }
+  return blocks;
 }
 
 }  // namespace gsoup

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -13,6 +14,10 @@
 #include "util/rng.hpp"
 
 namespace gsoup {
+
+namespace graph {
+struct BlockedCsr;
+}
 
 /// One bipartite message-passing layer.
 struct Block {
@@ -26,6 +31,12 @@ struct Block {
   std::vector<std::int32_t> indices;
   /// Mean-aggregation weights (1 / sampled-degree per dst).
   std::vector<float> values;
+  /// Cached BlockedCsr transpose for the block_spmm backward gather
+  /// (dX = Bᵀ·dY), built at sample time when the caller asked for it
+  /// (BlockTranspose::kBuild) so the training forward pays no build.
+  /// Null for inference-only or externally constructed blocks —
+  /// ag::block_spmm falls back to building it on first grad-recorded use.
+  std::shared_ptr<const graph::BlockedCsr> transpose;
 
   std::int64_t num_src() const {
     return static_cast<std::int64_t>(src_nodes.size());
@@ -35,6 +46,11 @@ struct Block {
   }
 };
 
+/// Whether sample_blocks should also build each block's cached backward
+/// transpose (one parallel task per layer, overlapping the layers'
+/// counting sorts). Training wants kBuild; forward-only consumers skip it.
+enum class BlockTranspose { kNone, kBuild };
+
 /// Sample a stack of blocks for `seeds`. fanouts[l] limits the sampled
 /// in-neighbours per node at layer l (input-most layer is fanouts[0]); a
 /// fanout of -1 keeps all neighbours. Every destination node is also
@@ -43,6 +59,7 @@ struct Block {
 std::vector<Block> sample_blocks(const Csr& graph,
                                  std::span<const std::int64_t> seeds,
                                  std::span<const std::int64_t> fanouts,
-                                 Rng& rng);
+                                 Rng& rng,
+                                 BlockTranspose transpose = BlockTranspose::kNone);
 
 }  // namespace gsoup

@@ -1,5 +1,10 @@
 #include "nn/graph_context.hpp"
 
+#include <bit>
+#include <cstdint>
+#include <sstream>
+
+#include "exec/layer_plan.hpp"
 #include "graph/normalize.hpp"
 #include "util/check.hpp"
 
@@ -62,6 +67,28 @@ const graph::BlockedCsr* GraphContext::attn_layout_t() const {
         graph::build_blocked_transpose(*raw_));
   });
   return attn_layout_t_.get();
+}
+
+const exec::LayerPlan& GraphContext::layer_plan(
+    const ModelConfig& config) const {
+  // Every field the lowering *or* plan-stored execution config reads is
+  // part of the key — two models differing only in dropout or attention
+  // slope must not share a plan. The floats go in by bit pattern:
+  // decimal formatting would collapse values that differ below its
+  // print precision into one key and silently substitute the first
+  // model's hyperparameters for the second's.
+  std::ostringstream key;
+  key << static_cast<int>(config.arch) << '|' << config.in_dim << '|'
+      << config.hidden_dim << '|' << config.out_dim << '|'
+      << config.num_layers << '|' << config.heads << '|'
+      << std::bit_cast<std::uint32_t>(config.dropout) << '|'
+      << std::bit_cast<std::uint32_t>(config.attn_slope);
+  std::lock_guard lock(plan_mutex_);
+  auto& slot = plan_cache_[key.str()];
+  if (slot == nullptr) {
+    slot = std::make_shared<const exec::LayerPlan>(config, *this);
+  }
+  return *slot;
 }
 
 void GraphContext::build_operands() {

@@ -8,11 +8,18 @@
 
 #include <memory>
 #include <mutex>
+#include <string>
+#include <unordered_map>
 
 #include "graph/csr.hpp"
 #include "graph/locality.hpp"
 
 namespace gsoup {
+
+namespace exec {
+class LayerPlan;
+}
+struct ModelConfig;
 
 enum class Arch { kGcn, kSage, kGat };
 
@@ -75,6 +82,14 @@ class GraphContext {
   const graph::BlockedCsr* attn_layout() const { return attn_layout_.get(); }
   const graph::BlockedCsr* attn_layout_t() const;
 
+  /// The compiled execution plan for `config` over this context — the
+  /// "compile once per (Arch, GraphContext) pair" memo (see
+  /// exec/layer_plan.hpp). Compiled on first request per model geometry,
+  /// then shared: trainers, evaluation sweeps and serving engines on the
+  /// same context all execute the same plan. Thread-safe; the returned
+  /// reference lives as long as this context. `config.arch` must match.
+  const exec::LayerPlan& layer_plan(const ModelConfig& config) const;
+
   // GCN: symmetric-normalised adjacency and transpose.
   const Csr& gcn() const;
   const Csr& gcn_t() const;
@@ -103,6 +118,11 @@ class GraphContext {
   std::unique_ptr<const graph::BlockedCsr> attn_layout_;
   mutable std::once_flag attn_layout_t_once_;
   mutable std::unique_ptr<const graph::BlockedCsr> attn_layout_t_;
+  /// Compiled LayerPlans, keyed by model geometry (layer_plan()).
+  mutable std::mutex plan_mutex_;
+  mutable std::unordered_map<std::string,
+                             std::shared_ptr<const exec::LayerPlan>>
+      plan_cache_;
 };
 
 }  // namespace gsoup

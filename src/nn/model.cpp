@@ -2,18 +2,16 @@
 
 #include <sstream>
 
-#include "ag/graph_ops.hpp"
-#include "ag/ops.hpp"
+#include "exec/executor.hpp"
 #include "tensor/init.hpp"
 #include "util/check.hpp"
 
 namespace gsoup {
 
 namespace {
+// The canonical naming authority lives with the plan compiler.
 std::string pname(std::int64_t layer, const char* suffix) {
-  std::ostringstream os;
-  os << "layers." << layer << "." << suffix;
-  return os.str();
+  return exec::layer_param_name(layer, suffix);
 }
 }  // namespace
 
@@ -100,100 +98,19 @@ ag::Value GnnModel::forward(const GraphContext& ctx,
                             bool training, Rng* rng) const {
   GSOUP_CHECK_MSG(ctx.arch() == config_.arch,
                   "graph context built for a different architecture");
-  GSOUP_CHECK_MSG(!training || rng != nullptr,
-                  "training forward needs an rng for dropout");
-  GSOUP_CHECK_MSG(features->value.shape(1) == config_.in_dim,
-                  "feature dim " << features->value.shape_str()
-                                 << " != model in_dim " << config_.in_dim);
-
-  ag::Value h = features;
-  for (std::int64_t l = 0; l < config_.num_layers; ++l) {
-    const bool last = l + 1 == config_.num_layers;
-    if (training && config_.dropout > 0.0f) {
-      h = ag::dropout(h, config_.dropout, *rng, true);
-    }
-    switch (config_.arch) {
-      case Arch::kGcn: {
-        // H' = Â (H W) + b; the spmm runs over the context's cached
-        // locality layout when one was built (GraphPlan contexts).
-        ag::Value hw = ag::matmul(h, params.at(pname(l, "weight")));
-        ag::Value agg = ag::spmm(ctx.gcn(), ctx.gcn_t(), hw,
-                                 ctx.spmm_layout(), ctx.spmm_layout_t());
-        h = ag::add_bias(agg, params.at(pname(l, "bias")));
-        if (!last) h = ag::relu(h);
-        break;
-      }
-      case Arch::kSage: {
-        // H' = H W_self + (D⁻¹A H) W_neigh + b
-        ag::Value self_part =
-            ag::matmul(h, params.at(pname(l, "weight_self")));
-        ag::Value agg = ag::spmm(ctx.mean(), ctx.mean_t(), h,
-                                 ctx.spmm_layout(), ctx.spmm_layout_t());
-        ag::Value neigh_part =
-            ag::matmul(agg, params.at(pname(l, "weight_neigh")));
-        h = ag::add_bias(ag::add(self_part, neigh_part),
-                         params.at(pname(l, "bias")));
-        if (!last) h = ag::relu(h);
-        break;
-      }
-      case Arch::kGat: {
-        const std::int64_t heads = layer_heads(l);
-        ag::Value hw = ag::matmul(h, params.at(pname(l, "weight")));
-        ag::Value s_dst =
-            ag::per_head_dot(hw, params.at(pname(l, "attn_dst")), heads);
-        ag::Value s_src =
-            ag::per_head_dot(hw, params.at(pname(l, "attn_src")), heads);
-        // The attention gather and backward run over the context's cached
-        // locality layouts when present (GraphPlan contexts), like spmm.
-        // The transpose layout only feeds the backward, so forward-only
-        // passes (inference, evaluation sweeps) must not force its lazy
-        // build — that is the laziness contract attn_layout_t() documents.
-        ag::Value agg = ag::gat_attention(
-            ctx.raw(), ctx.raw_t(), hw, s_dst, s_src, heads,
-            config_.attn_slope, ctx.attn_layout(),
-            ag::grad_enabled() ? ctx.attn_layout_t() : nullptr);
-        h = ag::add_bias(agg, params.at(pname(l, "bias")));
-        if (!last) h = ag::elu(h);
-        break;
-      }
-    }
-  }
-  return h;
+  // The per-arch layer sequence is stated exactly once, in the exec
+  // layer: this compiles (or fetches the memoised) LayerPlan for this
+  // (model geometry, context) pair and records the tape through it.
+  return exec::run_train(ctx.layer_plan(config_), features, params, training,
+                         rng);
 }
 
 ag::Value GnnModel::forward_blocks(std::span<const Block> blocks,
                                    const ag::Value& features,
                                    const ParamMap& params, bool training,
                                    Rng* rng) const {
-  GSOUP_CHECK_MSG(config_.arch == Arch::kSage,
-                  "minibatch forward is implemented for GraphSAGE");
-  GSOUP_CHECK_MSG(
-      static_cast<std::int64_t>(blocks.size()) == config_.num_layers,
-      "need one block per layer");
-  GSOUP_CHECK_MSG(!training || rng != nullptr,
-                  "training forward needs an rng for dropout");
-
-  ag::Value h = features;  // rows: blocks[0].src_nodes
-  for (std::int64_t l = 0; l < config_.num_layers; ++l) {
-    const Block& block = blocks[l];
-    const bool last = l + 1 == config_.num_layers;
-    GSOUP_CHECK_MSG(h->value.shape(0) == block.num_src(),
-                    "block/source row mismatch at layer " << l);
-    if (training && config_.dropout > 0.0f) {
-      h = ag::dropout(h, config_.dropout, *rng, true);
-    }
-    // Destination rows are a prefix of source rows (DGL block convention).
-    ag::Value h_dst = ag::narrow_rows(h, block.num_dst);
-    ag::Value self_part =
-        ag::matmul(h_dst, params.at(pname(l, "weight_self")));
-    ag::Value agg = ag::block_spmm(block, h);
-    ag::Value neigh_part =
-        ag::matmul(agg, params.at(pname(l, "weight_neigh")));
-    h = ag::add_bias(ag::add(self_part, neigh_part),
-                     params.at(pname(l, "bias")));
-    if (!last) h = ag::relu(h);
-  }
-  return h;
+  return exec::run_train_blocks(config_, blocks, features, params, training,
+                                rng);
 }
 
 }  // namespace gsoup

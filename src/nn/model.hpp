@@ -46,13 +46,18 @@ class GnnModel {
   ParamStore init_params(Rng& rng) const;
 
   /// Full-graph forward returning class logits [n, out_dim].
-  /// `training` enables dropout (requires rng).
+  /// `training` enables dropout (requires rng). A thin shim: the layer
+  /// sequence itself is compiled once per (model geometry, context) into
+  /// an exec::LayerPlan (ctx.layer_plan) and recorded on the tape by
+  /// exec::run_train — the same plan serving executes autograd-free.
   ag::Value forward(const GraphContext& ctx, const ag::Value& features,
                     const ParamMap& params, bool training = false,
                     Rng* rng = nullptr) const;
 
   /// Minibatch forward over sampled blocks (GraphSAGE only): features are
-  /// rows for blocks[0].src_nodes; output rows are the seeds.
+  /// rows for blocks[0].src_nodes; output rows are the seeds. Delegates
+  /// to exec::run_train_blocks; sample with BlockTranspose::kBuild so the
+  /// block_spmm backward transposes are prebuilt.
   ag::Value forward_blocks(std::span<const Block> blocks,
                            const ag::Value& features, const ParamMap& params,
                            bool training = false, Rng* rng = nullptr) const;

@@ -1,68 +1,23 @@
 #include "serve/engine.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <cstring>
 
-#include "ag/graph_ops.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
 
 namespace gsoup::serve {
-
-namespace {
-
-std::string pname(std::int64_t layer, const char* suffix) {
-  return "layers." + std::to_string(layer) + "." + suffix;
-}
-
-/// out = x · w into a preallocated view: identical numerics to
-/// ops::matmul (which is zeros + matmul_acc) without the allocation.
-void linear_into(const Tensor& x, const Tensor& w, Tensor& out) {
-  out.zero_();
-  ops::matmul_acc(x, w, out);
-}
-
-void add_bias_inplace(Tensor& x, const Tensor& bias) {
-  const std::int64_t m = x.shape(0), n = x.shape(1);
-  GSOUP_CHECK_MSG(bias.numel() == n, "bias width mismatch");
-  float* __restrict__ px = x.data();
-  const float* __restrict__ pb = bias.data();
-#pragma omp parallel for schedule(static) if (m * n >= (1 << 15))
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* __restrict__ row = px + i * n;
-#pragma omp simd
-    for (std::int64_t j = 0; j < n; ++j) row[j] += pb[j];
-  }
-}
-
-void relu_inplace(Tensor& x) {
-  float* __restrict__ p = x.data();
-  const std::int64_t n = x.numel();
-#pragma omp parallel for simd schedule(static) if (n >= (1 << 15))
-  for (std::int64_t i = 0; i < n; ++i) p[i] = p[i] > 0.0f ? p[i] : 0.0f;
-}
-
-void elu_inplace(Tensor& x) {
-  float* __restrict__ p = x.data();
-  const std::int64_t n = x.numel();
-#pragma omp parallel for schedule(static) if (n >= (1 << 15))
-  for (std::int64_t i = 0; i < n; ++i)
-    p[i] = p[i] > 0.0f ? p[i] : std::expm1(p[i]);
-}
-
-}  // namespace
 
 InferenceEngine::InferenceEngine(const ModelConfig& config,
                                  const ParamStore& params,
                                  std::shared_ptr<const GraphContext> ctx,
                                  Tensor features, QueryMode mode,
                                  FeatureSpace feature_space)
-    : model_(config),
-      params_(params),
+    : params_(params),
       ctx_(std::move(ctx)),
       features_(std::move(features)),
-      mode_(mode) {
+      mode_(mode),
+      builder_(ctx_ != nullptr ? ctx_->raw().num_nodes : 0,
+               config.num_layers) {
   GSOUP_CHECK_MSG(ctx_ != nullptr, "engine needs a graph context");
   GSOUP_CHECK_MSG(ctx_->arch() == config.arch,
                   "graph context built for a different architecture");
@@ -90,189 +45,37 @@ InferenceEngine::InferenceEngine(const ModelConfig& config,
                     "GraphPlan");
   }
 
-  for (std::int64_t l = 0; l < config.num_layers; ++l) {
-    max_width_ = std::max({max_width_, model_.layer_in_dim(l),
-                           model_.layer_out_width(l)});
-  }
+  // The compiled forward: the same LayerPlan the tape records through
+  // (bit-identical logits), executed here autograd-free with infer-mode
+  // kernel lowering into plan-declared workspace slabs.
+  plan_ = &ctx_->layer_plan(config);
+  exec_ = std::make_unique<exec::Executor>(*plan_, params_);
 
-  // Everything the forward will ever touch, allocated once. The three
-  // layer buffers are flat; per-layer views are carved with view_prefix.
-  for (auto& buf : buf_) buf = Tensor::empty({num_nodes_ * max_width_});
-  if (config.arch == Arch::kGat) {
-    const std::int64_t e = ctx_->raw().num_edges();
-    score_dst_ws_ = Tensor::empty({num_nodes_ * config.heads});
-    score_src_ws_ = Tensor::empty({num_nodes_ * config.heads});
-    alpha_ws_ = Tensor::empty({std::max<std::int64_t>(e, 1) * config.heads});
-  }
   logits_ = Tensor::empty({num_nodes_, config.out_dim});
   single_out_ = Tensor::empty({1, config.out_dim});
-
-  plan_.resize(static_cast<std::size_t>(config.num_layers));
-  visit_epoch_.assign(static_cast<std::size_t>(num_nodes_), 0);
-  local_id_.assign(static_cast<std::size_t>(num_nodes_), 0);
-}
-
-const Csr& InferenceEngine::message_graph() const {
-  switch (model_.config().arch) {
-    case Arch::kGcn: return ctx_->gcn();
-    case Arch::kSage: return ctx_->mean();
-    case Arch::kGat: return ctx_->raw();
-  }
-  return ctx_->raw();
-}
-
-Tensor InferenceEngine::ws(int idx, std::int64_t rows, std::int64_t cols) {
-  return buf_[idx].view_prefix({rows, cols});
 }
 
 std::size_t InferenceEngine::workspace_bytes() const {
-  std::size_t total = logits_.bytes() + single_out_.bytes();
+  std::size_t total =
+      exec_->workspace_bytes() + logits_.bytes() + single_out_.bytes();
   if (plan_space_logits_.defined()) total += plan_space_logits_.bytes();
-  for (const auto& buf : buf_) total += buf.bytes();
-  if (score_dst_ws_.defined()) {
-    total += score_dst_ws_.bytes() + score_src_ws_.bytes() +
-             alpha_ws_.bytes();
-  }
   return total;
-}
-
-Tensor InferenceEngine::run_layer(std::int64_t layer,
-                                  std::span<const std::int64_t> indptr,
-                                  std::span<const std::int32_t> indices,
-                                  std::span<const float> values,
-                                  const Tensor& h_in, std::int64_t num_dst,
-                                  Tensor* final_out,
-                                  const graph::BlockedCsr* layout) {
-  const ModelConfig& cfg = model_.config();
-  const bool last = layer + 1 == cfg.num_layers;
-  const std::int64_t in_w = model_.layer_in_dim(layer);
-  const std::int64_t width = model_.layer_out_width(layer);
-  const std::int64_t num_src = h_in.shape(0);
-
-  // Buffer discipline: h_in occupies one of the three buffers (or is the
-  // external feature/logit storage); `scratch` and `out` are the other
-  // two. Identity is tracked by storage, not index.
-  int in_idx = -1;
-  for (int b = 0; b < 3; ++b) {
-    if (h_in.shares_storage_with(buf_[b])) in_idx = b;
-  }
-  const int out_idx = (in_idx + 1) % 3;  // in_idx == -1 maps to 0
-  // The three indices are distinct by construction: out is one past in,
-  // scratch one past out, and with in_idx >= 0 the cycle closes after
-  // three steps (for in_idx == -1 they are -1/0/1 — also distinct).
-  const int scratch_idx = (out_idx + 1) % 3;
-  Tensor out = (last && final_out != nullptr)
-                   ? *final_out
-                   : ws(out_idx, num_dst, width);
-
-  switch (cfg.arch) {
-    case Arch::kGcn: {
-      // H' = Â (H W) + b
-      Tensor hw = ws(scratch_idx, num_src, width);
-      linear_into(h_in, params_.get(pname(layer, "weight")), hw);
-      if (layout != nullptr) {
-        ag::spmm_blocked_overwrite(*layout, hw, out);
-      } else {
-        ag::spmm_spans_overwrite(indptr, indices, values, hw, out);
-      }
-      add_bias_inplace(out, params_.get(pname(layer, "bias")));
-      if (!last) relu_inplace(out);
-      break;
-    }
-    case Arch::kSage: {
-      // H' = H_dst W_self + (D⁻¹A H) W_neigh + b; destinations are a
-      // prefix of sources, so H_dst is a leading-rows view of H.
-      Tensor h_dst = h_in.view_prefix({num_dst, in_w});
-      out.zero_();
-      ops::matmul_acc(h_dst, params_.get(pname(layer, "weight_self")), out);
-      Tensor agg = ws(scratch_idx, num_dst, in_w);
-      if (layout != nullptr) {
-        ag::spmm_blocked_overwrite(*layout, h_in, agg);
-      } else {
-        ag::spmm_spans_overwrite(indptr, indices, values, h_in, agg);
-      }
-      ops::matmul_acc(agg, params_.get(pname(layer, "weight_neigh")), out);
-      add_bias_inplace(out, params_.get(pname(layer, "bias")));
-      if (!last) relu_inplace(out);
-      break;
-    }
-    case Arch::kGat: {
-      const std::int64_t heads = model_.layer_heads(layer);
-      Tensor hw = ws(scratch_idx, num_src, width);
-      linear_into(h_in, params_.get(pname(layer, "weight")), hw);
-      Tensor s_src = score_src_ws_.view_prefix({num_src, heads});
-      ops::per_head_dot_into(hw, params_.get(pname(layer, "attn_src")),
-                             heads, s_src);
-      Tensor s_dst = score_dst_ws_.view_prefix({num_dst, heads});
-      Tensor hw_dst = hw.view_prefix({num_dst, width});
-      ops::per_head_dot_into(hw_dst, params_.get(pname(layer, "attn_dst")),
-                             heads, s_dst);
-      Tensor alpha = alpha_ws_.view_prefix(
-          {static_cast<std::int64_t>(indices.size()), heads});
-      if (layout != nullptr) {
-        ag::gat_attention_forward(*layout, hw, s_dst, s_src, heads,
-                                  cfg.attn_slope, alpha, out);
-      } else {
-        ag::gat_attention_forward(indptr, indices, hw, s_dst, s_src, heads,
-                                  cfg.attn_slope, alpha, out);
-      }
-      add_bias_inplace(out, params_.get(pname(layer, "bias")));
-      if (!last) elu_inplace(out);
-      break;
-    }
-  }
-  return out;
-}
-
-void InferenceEngine::run_layers(bool use_plan) {
-  const ModelConfig& cfg = model_.config();
-  const Csr& g = message_graph();
-
-  Tensor h;
-  if (use_plan) {
-    const auto& input = plan_.front();
-    h = ws(0, static_cast<std::int64_t>(input.src_nodes.size()), cfg.in_dim);
-    ops::gather_rows_into(features_, input.src_nodes, h);
-  } else {
-    h = features_;
-  }
-
-  const bool reordered = plan_space_logits_.defined();
-  for (std::int64_t l = 0; l < cfg.num_layers; ++l) {
-    const bool last = l + 1 == cfg.num_layers;
-    if (use_plan) {
-      const LayerPlan& P = plan_[static_cast<std::size_t>(l)];
-      h = run_layer(l, P.indptr, P.indices, P.values, h, P.num_dst, nullptr,
-                    nullptr);
-    } else {
-      Tensor* final_out =
-          last ? (reordered ? &plan_space_logits_ : &logits_) : nullptr;
-      // Full-graph passes read the context's cached layout: the SpMM
-      // operand for GCN/SAGE, the attention structure for GAT.
-      const graph::BlockedCsr* layout = cfg.arch == Arch::kGat
-                                            ? ctx_->attn_layout()
-                                            : ctx_->spmm_layout();
-      h = run_layer(l, g.indptr, g.indices, g.values, h, num_nodes_,
-                    final_out, layout);
-    }
-  }
-  if (use_plan) plan_out_ = h;
 }
 
 const Tensor& InferenceEngine::full_logits() {
   if (!full_valid_) {
+    const bool reordered = ctx_->plan() != nullptr && ctx_->plan()->active();
     // First full pass on a reordered context: allocate the plan-space
     // staging buffer now (kSubgraph engines never pay for it). Part of
     // warm-up, so the zero-alloc-after-warmup contract holds.
-    if (ctx_->plan() != nullptr && ctx_->plan()->active() &&
-        !plan_space_logits_.defined()) {
+    if (reordered && !plan_space_logits_.defined()) {
       plan_space_logits_ =
-          Tensor::empty({num_nodes_, model_.config().out_dim});
+          Tensor::empty({num_nodes_, plan_->config().out_dim});
     }
-    run_layers(/*use_plan=*/false);
+    exec_->run_full(features_, reordered ? plan_space_logits_ : logits_);
     // Plan-space rows back to the caller's numbering, once per cache
     // fill; row lookups stay free afterwards.
-    if (plan_space_logits_.defined()) {
+    if (reordered) {
       ctx_->plan()->unpermute_rows_into(plan_space_logits_, logits_);
     }
     full_valid_ = true;
@@ -280,120 +83,90 @@ const Tensor& InferenceEngine::full_logits() {
   return logits_;
 }
 
-void InferenceEngine::build_plan(std::span<const std::int64_t> nodes) {
-  const Csr& g = message_graph();
-  const std::int64_t layers = model_.config().num_layers;
-  const bool weighted = g.weighted();
-
-  // Destination set of the output layer: the (deduplicated) queried nodes.
-  seed_row_.clear();
-  LayerPlan& top = plan_[static_cast<std::size_t>(layers - 1)];
-  top.src_nodes.clear();
-  ++epoch_;
-  for (const std::int64_t node : nodes) {
+std::span<const std::int64_t> InferenceEngine::translate_ids(
+    std::span<const std::int64_t> nodes) {
+  for (const auto node : nodes) {
     GSOUP_CHECK_MSG(node >= 0 && node < num_nodes_,
                     "query node " << node << " out of range [0, "
                                   << num_nodes_ << ")");
-    if (visit_epoch_[static_cast<std::size_t>(node)] != epoch_) {
-      visit_epoch_[static_cast<std::size_t>(node)] = epoch_;
-      local_id_[static_cast<std::size_t>(node)] =
-          static_cast<std::int32_t>(top.src_nodes.size());
-      top.src_nodes.push_back(node);
-    }
-    seed_row_.push_back(local_id_[static_cast<std::size_t>(node)]);
   }
+  // Subgraph expansion walks the context's graph, which is in plan space
+  // when the plan is active: translate the query ids once, here at the
+  // boundary (plan_ids_ keeps its capacity across queries).
+  if (ctx_->plan() == nullptr || !ctx_->plan()->active()) return nodes;
+  plan_ids_.clear();
+  for (const std::int64_t node : nodes) {
+    plan_ids_.push_back(ctx_->plan()->to_plan(node));
+  }
+  return plan_ids_;
+}
 
-  // Expand outward: layer l's sources become layer l-1's destinations,
-  // each layer pulling in the full (unsampled) in-neighbourhood so the
-  // computation is exact — GAT's edge softmax sees every in-edge.
-  for (std::int64_t l = layers - 1; l >= 0; --l) {
-    LayerPlan& P = plan_[static_cast<std::size_t>(l)];
-    if (l < layers - 1) {
-      const LayerPlan& above = plan_[static_cast<std::size_t>(l + 1)];
-      P.src_nodes.assign(above.src_nodes.begin(), above.src_nodes.end());
-      ++epoch_;
-      for (std::size_t i = 0; i < P.src_nodes.size(); ++i) {
-        const auto node = static_cast<std::size_t>(P.src_nodes[i]);
-        visit_epoch_[node] = epoch_;
-        local_id_[node] = static_cast<std::int32_t>(i);
-      }
-    }
-    P.num_dst = static_cast<std::int64_t>(P.src_nodes.size());
-    P.indptr.clear();
-    P.indices.clear();
-    P.values.clear();
-    P.indptr.push_back(0);
-    for (std::int64_t i = 0; i < P.num_dst; ++i) {
-      const std::int64_t dst = P.src_nodes[static_cast<std::size_t>(i)];
-      for (std::int64_t e = g.indptr[dst]; e < g.indptr[dst + 1]; ++e) {
-        const std::int32_t src = g.indices[static_cast<std::size_t>(e)];
-        const auto s = static_cast<std::size_t>(src);
-        if (visit_epoch_[s] != epoch_) {
-          visit_epoch_[s] = epoch_;
-          local_id_[s] = static_cast<std::int32_t>(P.src_nodes.size());
-          P.src_nodes.push_back(src);
-        }
-        P.indices.push_back(local_id_[s]);
-        if (weighted) {
-          P.values.push_back(g.values[static_cast<std::size_t>(e)]);
-        }
-      }
-      P.indptr.push_back(static_cast<std::int64_t>(P.indices.size()));
-    }
+void InferenceEngine::scatter_rows(const exec::SubgraphPlan& plan,
+                                   const Tensor& rows, Tensor& out) const {
+  // Route plan rows back to query slots (duplicates share a row).
+  const std::int64_t d = out.shape(1);
+  const float* __restrict__ src = rows.data();
+  float* __restrict__ dst = out.data();
+  for (std::size_t i = 0; i < plan.seed_row.size(); ++i) {
+    std::memcpy(dst + static_cast<std::int64_t>(i) * d,
+                src + plan.seed_row[i] * d,
+                static_cast<std::size_t>(d) * sizeof(float));
   }
 }
 
 void InferenceEngine::query(std::span<const std::int64_t> nodes,
                             Tensor& out) {
-  const std::int64_t out_dim = model_.config().out_dim;
+  const std::int64_t out_dim = plan_->config().out_dim;
   const auto batch = static_cast<std::int64_t>(nodes.size());
   GSOUP_CHECK_MSG(batch > 0, "query needs at least one node");
   GSOUP_CHECK_MSG(out.rank() == 2 && out.shape(0) == batch &&
                       out.shape(1) == out_dim,
                   "query output " << out.shape_str() << " != [" << batch
                                   << ", " << out_dim << "]");
-  // Validate here, not just in build_plan: the cached-full path gathers
-  // rows straight out of logits_ and must never index past it.
-  for (const auto node : nodes) {
-    GSOUP_CHECK_MSG(node >= 0 && node < num_nodes_,
-                    "query node " << node << " out of range [0, "
-                                  << num_nodes_ << ")");
-  }
 
   if (mode_ == QueryMode::kCachedFull) {
+    // Validate before gathering straight out of logits_ — translate_ids
+    // covers the subgraph path only.
+    for (const auto node : nodes) {
+      GSOUP_CHECK_MSG(node >= 0 && node < num_nodes_,
+                      "query node " << node << " out of range [0, "
+                                    << num_nodes_ << ")");
+    }
     const Tensor& logits = full_logits();
     ops::gather_rows_into(logits, nodes, out);
     return;
   }
 
-  // Subgraph expansion walks the context's graph, which is in plan space
-  // when the plan is active: translate the query ids once, here at the
-  // boundary (plan_ids_ keeps its capacity across queries).
-  if (ctx_->plan() != nullptr && ctx_->plan()->active()) {
-    plan_ids_.clear();
-    for (const std::int64_t node : nodes) {
-      plan_ids_.push_back(ctx_->plan()->to_plan(node));
-    }
-    nodes = plan_ids_;
-  }
-  build_plan(nodes);
-  run_layers(/*use_plan=*/true);
-  // Route plan rows back to query slots (duplicates share a row).
-  const std::int64_t d = out_dim;
-  const float* __restrict__ src = plan_out_.data();
-  float* __restrict__ dst = out.data();
-  for (std::int64_t i = 0; i < batch; ++i) {
-    std::memcpy(dst + i * d,
-                src + seed_row_[static_cast<std::size_t>(i)] * d,
-                static_cast<std::size_t>(d) * sizeof(float));
-  }
+  builder_.build(plan_->message_graph(), translate_ids(nodes),
+                 scratch_plan_);
+  const Tensor& rows = exec_->run_subgraph(scratch_plan_, features_);
+  scatter_rows(scratch_plan_, rows, out);
+}
+
+std::shared_ptr<const exec::SubgraphPlan> InferenceEngine::compile_query_plan(
+    std::span<const std::int64_t> nodes) {
+  GSOUP_CHECK_MSG(!nodes.empty(), "query plan needs at least one node");
+  auto plan = std::make_shared<exec::SubgraphPlan>();
+  builder_.build(plan_->message_graph(), translate_ids(nodes), *plan);
+  return plan;
+}
+
+void InferenceEngine::query(const exec::SubgraphPlan& plan, Tensor& out) {
+  GSOUP_CHECK_MSG(mode_ == QueryMode::kSubgraph,
+                  "prebuilt plans are for kSubgraph engines");
+  GSOUP_CHECK_MSG(out.rank() == 2 && out.shape(0) == plan.num_queries() &&
+                      out.shape(1) == plan_->config().out_dim,
+                  "query output " << out.shape_str()
+                                  << " does not match the plan");
+  const Tensor& rows = exec_->run_subgraph(plan, features_);
+  scatter_rows(plan, rows, out);
 }
 
 std::int32_t InferenceEngine::predict(std::int64_t node) {
   const std::int64_t ids[1] = {node};
   query(std::span<const std::int64_t>(ids, 1), single_out_);
   return static_cast<std::int32_t>(
-      ops::argmax_row(single_out_.data(), model_.config().out_dim));
+      ops::argmax_row(single_out_.data(), plan_->config().out_dim));
 }
 
 }  // namespace gsoup::serve

@@ -1,30 +1,38 @@
-// Autograd-free inference engine.
+// Autograd-free inference engine: the serving boundary around the exec
+// layer's compiled forward.
 //
 // Training and evaluation run the model through the ag:: tape — every
 // forward allocates a Value node, output tensor and closure per op, even
-// under NoGradGuard. Serving cannot afford that: this engine executes the
-// architecture's forward directly on Tensor through the same kernels the
-// tape wraps (blocked GEMM, edge-balanced fused SpMM, shared GAT attention
-// forward), into per-layer workspaces preallocated at construction. After
-// construction, neither full-graph passes nor batched node queries perform
-// any tracked heap allocation — the property tests/test_serve.cpp asserts
-// via MemoryTracker.
+// under NoGradGuard. Serving cannot afford that. Since the exec refactor
+// the engine no longer re-implements the forward either: it fetches the
+// context's compiled exec::LayerPlan (the same plan the tape records
+// through, so logits are bit-identical to training) and executes it with
+// an exec::Executor in infer mode — plan-declared workspace slabs
+// allocated once at construction, inference-only kernel lowering (the GAT
+// alpha-skip forward: no [E, heads] attention-coefficient workspace at
+// all), zero tracked heap allocation once warm (asserted by
+// tests/test_serve.cpp and tests/test_exec.cpp via MemoryTracker).
+//
+// What remains in the engine is exactly the serving-boundary work:
+//  - snapshot/feature validation and the GraphPlan translation boundary
+//    (caller ids/features/logits stay in the caller's numbering; plan
+//    space is an implementation detail of the context);
+//  - the cached full-graph logits table (full_logits/invalidate);
+//  - per-query L-hop expansion via exec::SubgraphPlanBuilder, plus
+//    standalone compiled query plans (compile_query_plan) that the
+//    BatchServer's LRU shares across workers for repeated hot batches.
 //
 // Two query paths:
 //  - full_logits(): one forward over the whole graph, cached until
 //    invalidate(). Row lookups are then free — the right mode for static
 //    feature serving.
-//  - query(nodes, out): exact L-hop subgraph inference. The engine expands
-//    the queried nodes' full L-hop in-neighbourhood into bipartite
-//    block-local CSRs (destinations are a prefix of sources, the sampling
-//    layer's convention) carrying the architecture's normalisation weights,
-//    then runs the layer stack over just those rows. Exact for all three
-//    architectures — GAT's edge softmax sees every in-edge of each
-//    destination — and far cheaper than a full pass when the batch's
-//    neighbourhood is a fraction of the graph.
+//  - query(nodes, out): exact L-hop subgraph inference — expansion is
+//    exact for all three architectures (GAT's edge softmax sees every
+//    in-edge of each destination), and far cheaper than a full pass when
+//    the batch's neighbourhood is a fraction of the graph.
 //
-// An engine is deliberately single-threaded (the workspaces are reused
-// mutable state); the batch server owns one engine per worker.
+// An engine is deliberately single-threaded (the executor workspaces are
+// reused mutable state); the batch server owns one engine per worker.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +40,8 @@
 #include <span>
 #include <vector>
 
+#include "exec/executor.hpp"
+#include "exec/subgraph.hpp"
 #include "nn/graph_context.hpp"
 #include "nn/model.hpp"
 #include "nn/param.hpp"
@@ -68,7 +78,7 @@ class InferenceEngine {
                   QueryMode mode = QueryMode::kSubgraph,
                   FeatureSpace feature_space = FeatureSpace::kOriginal);
 
-  const ModelConfig& config() const { return model_.config(); }
+  const ModelConfig& config() const { return plan_->config(); }
   QueryMode mode() const { return mode_; }
   std::int64_t num_nodes() const { return num_nodes_; }
 
@@ -83,6 +93,19 @@ class InferenceEngine {
   /// fine (they share the computation). Row order matches `nodes`.
   void query(std::span<const std::int64_t> nodes, Tensor& out);
 
+  /// Build a standalone, immutable L-hop plan for `nodes` (caller
+  /// numbering; ids are translated here). The plan is tied to this
+  /// engine's graph/architecture but NOT to this engine: any worker
+  /// engine over the same context can execute it — the BatchServer's
+  /// plan LRU relies on that. Allocates (it is a cache fill, not the
+  /// steady-state path).
+  std::shared_ptr<const exec::SubgraphPlan> compile_query_plan(
+      std::span<const std::int64_t> nodes);
+
+  /// Execute a prebuilt plan from compile_query_plan. `out` rows follow
+  /// the node order the plan was compiled from. kSubgraph engines only.
+  void query(const exec::SubgraphPlan& plan, Tensor& out);
+
   /// Argmax class of one node (single-query convenience).
   std::int32_t predict(std::int64_t node);
 
@@ -90,76 +113,42 @@ class InferenceEngine {
   std::size_t workspace_bytes() const;
 
  private:
-  /// One bipartite layer of a query's L-hop expansion plan. Destination
-  /// nodes are a prefix of source nodes; indices are positions into the
-  /// layer's own src list. All vectors are reused across queries (cleared,
-  /// never shrunk), so steady-state queries do not allocate.
-  struct LayerPlan {
-    std::vector<std::int64_t> src_nodes;
-    std::int64_t num_dst = 0;
-    std::vector<std::int64_t> indptr;
-    std::vector<std::int32_t> indices;
-    std::vector<float> values;  ///< empty for GAT (weights are learned)
-  };
+  /// Map caller-numbering query ids into plan space when the context
+  /// reorders vertices; returns the span to expand (plan_ids_ is reused,
+  /// cleared but never shrunk).
+  std::span<const std::int64_t> translate_ids(
+      std::span<const std::int64_t> nodes);
 
-  /// The weighted adjacency the architecture's message passing reads.
-  const Csr& message_graph() const;
+  /// Scatter the executor's subgraph output rows into `out` by seed_row.
+  void scatter_rows(const exec::SubgraphPlan& plan, const Tensor& rows,
+                    Tensor& out) const;
 
-  /// Expand `nodes` into per-layer block plans (exact full-fanout L-hop).
-  void build_plan(std::span<const std::int64_t> nodes);
-
-  /// Run the layer stack. When `plan` is true, executes over the current
-  /// query plan's block CSRs; otherwise over the full graph, writing the
-  /// final layer into logits_.
-  void run_layers(bool use_plan);
-
-  /// One GNN layer over an explicit CSR; h_in rows are sources, the
-  /// written view covers destinations. Returns the output view. `layout`
-  /// (full-graph passes only) routes the SpMM through the context's
-  /// cached BlockedCsr instead of the raw spans.
-  Tensor run_layer(std::int64_t layer, std::span<const std::int64_t> indptr,
-                   std::span<const std::int32_t> indices,
-                   std::span<const float> values, const Tensor& h_in,
-                   std::int64_t num_dst, Tensor* final_out,
-                   const graph::BlockedCsr* layout);
-
-  /// Carve a [rows, cols] view out of workspace buffer `idx`.
-  Tensor ws(int idx, std::int64_t rows, std::int64_t cols);
-
-  GnnModel model_;
   ParamStore params_;
   std::shared_ptr<const GraphContext> ctx_;
   Tensor features_;
   QueryMode mode_;
   std::int64_t num_nodes_ = 0;
-  std::int64_t max_width_ = 0;
 
-  // Workspaces: three ping-pong layer buffers (input / scratch / output),
-  // GAT score and attention-coefficient buffers, the cached full-graph
-  // logits, and a one-row scratch for predict(). With an active GraphPlan
-  // the full pass lands in plan_space_logits_ first and is unpermuted
-  // into logits_ (always caller numbering) once per cache fill.
-  Tensor buf_[3];
-  Tensor score_dst_ws_;
-  Tensor score_src_ws_;
-  Tensor alpha_ws_;
+  /// The compiled forward (owned by ctx_, memoised there) and its
+  /// infer-mode executor with plan-declared workspaces.
+  const exec::LayerPlan* plan_ = nullptr;
+  std::unique_ptr<exec::Executor> exec_;
+
+  // The cached full-graph logits (always caller numbering) and a one-row
+  // scratch for predict(). With an active GraphPlan the full pass lands
+  // in plan_space_logits_ first and is unpermuted once per cache fill;
+  // that staging buffer is allocated lazily by the first full_logits()
+  // (kSubgraph engines never pay for it).
   Tensor logits_;
-  /// Plan-space staging for the full pass; allocated by the first
-  /// full_logits() on an active-plan context (kSubgraph engines never
-  /// pay for it), undefined otherwise.
   Tensor plan_space_logits_;
   Tensor single_out_;
   bool full_valid_ = false;
 
-  // Query-plan state (reused across queries). plan_ids_ holds query node
-  // ids translated to plan space (cleared, never shrunk).
+  // Steady-state query scratch (reused across queries, cleared but never
+  // shrunk): translated ids, the expansion builder, and the plan object.
   std::vector<std::int64_t> plan_ids_;
-  std::vector<LayerPlan> plan_;
-  std::vector<std::int64_t> seed_row_;   ///< query slot -> local dst row
-  std::vector<std::int64_t> visit_epoch_;
-  std::vector<std::int32_t> local_id_;
-  std::int64_t epoch_ = 0;
-  Tensor plan_out_;  ///< final-layer view of the last plan execution
+  exec::SubgraphPlanBuilder builder_;
+  exec::SubgraphPlan scratch_plan_;
 };
 
 }  // namespace gsoup::serve

@@ -147,6 +147,31 @@ void BatchServer::release_worker(Worker* w) {
   worker_cv_.notify_one();
 }
 
+std::shared_ptr<const exec::SubgraphPlan> BatchServer::lookup_plan(
+    const std::vector<std::int64_t>& key) {
+  std::lock_guard lock(plan_cache_mutex_);
+  const auto it = plan_cache_.find(key);
+  if (it == plan_cache_.end()) {
+    ++plan_cache_misses_;
+    return nullptr;
+  }
+  ++plan_cache_hits_;
+  plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);  // touch
+  return it->second->second;
+}
+
+void BatchServer::store_plan(const std::vector<std::int64_t>& key,
+                             std::shared_ptr<const exec::SubgraphPlan> plan) {
+  std::lock_guard lock(plan_cache_mutex_);
+  if (plan_cache_.count(key) != 0) return;  // another worker raced us in
+  plan_lru_.emplace_front(key, std::move(plan));
+  plan_cache_.emplace(key, plan_lru_.begin());
+  while (plan_cache_.size() > config_.plan_cache_capacity) {
+    plan_cache_.erase(plan_lru_.back().first);
+    plan_lru_.pop_back();
+  }
+}
+
 void BatchServer::run_batch(std::vector<Pending> batch) {
   const auto n = static_cast<std::int64_t>(batch.size());
   const bool cached = config_.mode == QueryMode::kCachedFull;
@@ -161,7 +186,20 @@ void BatchServer::run_batch(std::vector<Pending> batch) {
     for (const auto& p : batch) w->node_ids.push_back(p.node);
     Tensor out = w->logits.view_prefix({n, out_dim_});
     try {
-      w->engine->query(w->node_ids, out);
+      if (config_.plan_cache_capacity > 0) {
+        // Plan LRU: a repeated batch (skewed distributions) reuses its
+        // compiled L-hop expansion; a miss compiles it on this worker's
+        // engine and publishes it for every worker.
+        std::shared_ptr<const exec::SubgraphPlan> plan =
+            lookup_plan(w->node_ids);
+        if (plan == nullptr) {
+          plan = w->engine->compile_query_plan(w->node_ids);
+          store_plan(w->node_ids, plan);
+        }
+        w->engine->query(*plan, out);
+      } else {
+        w->engine->query(w->node_ids, out);
+      }
     } catch (const std::exception& e) {
       failed = true;
       error = e.what();
@@ -243,6 +281,11 @@ ServerStats BatchServer::stats() const {
     s.p50_latency_ms = percentile_sorted(sorted, 0.50);
     s.p99_latency_ms = percentile_sorted(sorted, 0.99);
     s.max_latency_ms = max_latency_ms_;
+  }
+  {
+    std::lock_guard cache_lock(plan_cache_mutex_);
+    s.plan_cache_hits = plan_cache_hits_;
+    s.plan_cache_misses = plan_cache_misses_;
   }
   return s;
 }

@@ -16,9 +16,11 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/engine.hpp"
@@ -36,6 +38,14 @@ struct ServerConfig {
   /// waited this long.
   double max_delay_ms = 2.0;
   QueryMode mode = QueryMode::kSubgraph;
+  /// kSubgraph mode: number of per-batch L-hop subgraph plans kept in an
+  /// LRU, keyed by the batch's node-id sequence. Skewed query
+  /// distributions repeat batches (hot nodes, retry storms, single-node
+  /// batches of celebrities), and a hit skips the whole expansion — the
+  /// worker executes the cached plan directly. 0 disables the cache
+  /// (plans can hold an L-hop neighbourhood each, so capacity is an
+  /// explicit memory decision; hit/miss counters are in ServerStats).
+  std::size_t plan_cache_capacity = 0;
 };
 
 /// One answered query.
@@ -56,6 +66,10 @@ struct ServerStats {
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
   double max_latency_ms = 0.0;
+  /// Subgraph-plan LRU counters (plan_cache_capacity > 0): a hit means a
+  /// batch reused a cached L-hop expansion instead of rebuilding it.
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
 };
 
 class BatchServer {
@@ -108,6 +122,13 @@ class BatchServer {
   Worker* acquire_worker();
   void release_worker(Worker* w);
 
+  /// LRU lookup for a batch's node sequence; counts a hit or miss.
+  /// Returns nullptr on miss (the caller compiles and store_plan()s).
+  std::shared_ptr<const exec::SubgraphPlan> lookup_plan(
+      const std::vector<std::int64_t>& key);
+  void store_plan(const std::vector<std::int64_t>& key,
+                  std::shared_ptr<const exec::SubgraphPlan> plan);
+
   ServerConfig config_;
   std::int64_t out_dim_ = 0;
   std::int64_t num_nodes_ = 0;
@@ -148,6 +169,30 @@ class BatchServer {
   double max_latency_ms_ = 0.0;
   std::vector<double> latencies_ms_;  ///< ring buffer, ≤ kLatencyWindow
   std::size_t latency_next_ = 0;      ///< overwrite cursor once full
+
+  /// Subgraph-plan LRU (plan_cache_capacity > 0, kSubgraph mode):
+  /// most-recent at the list front, keyed by the exact node-id sequence
+  /// of the batch (seed_row mapping depends on order, so sequence — not
+  /// set — identity is required for correctness anyway). Plans are
+  /// immutable and engine-independent, so any worker executes a hit.
+  struct PlanKeyHash {
+    std::size_t operator()(const std::vector<std::int64_t>& key) const {
+      std::size_t h = 1469598103934665603ull;  // FNV-1a
+      for (const auto v : key) {
+        h = (h ^ static_cast<std::size_t>(v)) * 1099511628211ull;
+      }
+      return h;
+    }
+  };
+  using PlanLru = std::list<std::pair<std::vector<std::int64_t>,
+                                      std::shared_ptr<const exec::SubgraphPlan>>>;
+  mutable std::mutex plan_cache_mutex_;
+  PlanLru plan_lru_;
+  std::unordered_map<std::vector<std::int64_t>, PlanLru::iterator,
+                     PlanKeyHash>
+      plan_cache_;
+  std::uint64_t plan_cache_hits_ = 0;
+  std::uint64_t plan_cache_misses_ = 0;
 };
 
 }  // namespace gsoup::serve

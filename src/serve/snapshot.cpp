@@ -3,6 +3,7 @@
 #include <fstream>
 #include <string_view>
 
+#include "exec/layer_plan.hpp"
 #include "io/serialize.hpp"
 #include "util/check.hpp"
 
@@ -62,8 +63,7 @@ void Snapshot::validate() const {
     const std::int64_t in = model.layer_in_dim(l);
     const std::int64_t width = model.layer_out_width(l);
     for (std::size_t s = 0; s < per_layer; ++s) {
-      const std::string name =
-          "layers." + std::to_string(l) + "." + suffixes[s];
+      const std::string name = exec::layer_param_name(l, suffixes[s]);
       GSOUP_CHECK_MSG(params.contains(name),
                       "snapshot is missing parameter " << name);
       GSOUP_CHECK_MSG(params.layer_of(name) == static_cast<std::int32_t>(l),

@@ -59,8 +59,10 @@ TrainResult train_minibatch(const GnnModel& model, const GraphContext& ctx,
           train_nodes.size(), start + static_cast<std::size_t>(config.batch_size));
       const std::span<const std::int64_t> seeds(train_nodes.data() + start,
                                                 end - start);
-      const auto blocks =
-          sample_blocks(ctx.raw(), seeds, config.fanouts, rng);
+      // kBuild: the block_spmm backward transposes are built (threaded)
+      // here at sample time, not inside the forward's hot path.
+      const auto blocks = sample_blocks(ctx.raw(), seeds, config.fanouts,
+                                        rng, BlockTranspose::kBuild);
 
       const ag::Value x =
           ag::gather_rows(features, blocks.front().src_nodes);
