@@ -1,5 +1,6 @@
 #include "io/serialize.hpp"
 
+#include <array>
 #include <fstream>
 #include <type_traits>
 
@@ -19,6 +20,28 @@ void read_exact(std::istream& is, char* dst, std::size_t bytes) {
                     "unexpected end of stream");
     done += take;
   }
+}
+
+std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t seed) {
+  // Table-driven, one table built once. ~0.4 GB/s — snapshots are MBs and
+  // written/read once per process, so portability beats a SIMD variant.
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
 }
 
 void expect_header(std::istream& is, std::uint32_t magic,

@@ -54,6 +54,12 @@ inline constexpr std::size_t kReadChunkBytes = 1 << 20;
 /// CheckError on a short read (truncated or corrupt stream).
 void read_exact(std::istream& is, char* dst, std::size_t bytes);
 
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). `seed` chains
+/// incremental computations: crc32(b, n2, crc32(a, n1)) == crc of a||b.
+/// Used by the snapshot v2 container for per-section integrity checks.
+std::uint32_t crc32(const void* data, std::size_t bytes,
+                    std::uint32_t seed = 0);
+
 /// Read a fixed magic/version pair, throwing CheckError with the
 /// container name on mismatch.
 void expect_header(std::istream& is, std::uint32_t magic,

@@ -4,6 +4,7 @@
 
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 
 namespace gsoup::serve {
 
@@ -116,6 +117,7 @@ void InferenceEngine::scatter_rows(const exec::SubgraphPlan& plan,
 
 void InferenceEngine::query(std::span<const std::int64_t> nodes,
                             Tensor& out) {
+  FAILPOINT("engine.query");
   const std::int64_t out_dim = plan_->config().out_dim;
   const auto batch = static_cast<std::int64_t>(nodes.size());
   GSOUP_CHECK_MSG(batch > 0, "query needs at least one node");
@@ -152,6 +154,7 @@ std::shared_ptr<const exec::SubgraphPlan> InferenceEngine::compile_query_plan(
 }
 
 void InferenceEngine::query(const exec::SubgraphPlan& plan, Tensor& out) {
+  FAILPOINT("engine.query");
   GSOUP_CHECK_MSG(mode_ == QueryMode::kSubgraph,
                   "prebuilt plans are for kSubgraph engines");
   GSOUP_CHECK_MSG(out.rank() == 2 && out.shape(0) == plan.num_queries() &&

@@ -1,6 +1,8 @@
 #include "serve/loadgen.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -12,55 +14,149 @@
 
 namespace gsoup::serve {
 
-double drive_clients(BatchServer& server, std::int64_t requests,
-                     std::int64_t clients, std::int64_t num_nodes,
-                     std::uint64_t seed) {
-  GSOUP_CHECK_MSG(requests >= 1 && clients >= 1 && num_nodes >= 1,
-                  "drive_clients: requests (" << requests << "), clients ("
-                                              << clients
-                                              << ") and num_nodes ("
-                                              << num_nodes
-                                              << ") must all be >= 1");
-  const std::int64_t per = requests / clients;
-  const std::int64_t rem = requests % clients;
-  // Failed answers must surface as a CheckError from drive_clients, not
-  // escape a client thread (an uncaught exception in a std::thread is
-  // std::terminate).
+namespace {
+
+bool retryable(ServeErrorCode code) {
+  // Shutdown is terminal by definition; everything else is transient —
+  // overload clears, deadlines were load-induced, a failed batch's worker
+  // has been rebuilt by the time the backoff elapses.
+  return code != ServeErrorCode::kShutdown;
+}
+
+}  // namespace
+
+LoadReport drive_load(BatchServer& server, const LoadgenOptions& options) {
+  GSOUP_CHECK_MSG(
+      options.requests >= 1 && options.clients >= 1 && options.num_nodes >= 1,
+      "drive_load: requests (" << options.requests << "), clients ("
+                               << options.clients << ") and num_nodes ("
+                               << options.num_nodes << ") must all be >= 1");
+  GSOUP_CHECK_MSG(options.max_retries >= 0 && options.retry_backoff_ms >= 0.0,
+                  "drive_load: max_retries and retry_backoff_ms must be >= 0");
+  const std::int64_t per = options.requests / options.clients;
+  const std::int64_t rem = options.requests % options.clients;
+
+  std::atomic<std::uint64_t> ok{0};
   std::atomic<std::uint64_t> failures{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> overloaded{0};
+  std::atomic<std::uint64_t> deadline_expired{0};
+  std::atomic<std::uint64_t> exec_failed{0};
+  std::atomic<std::uint64_t> shutdown{0};
+  // Budget is drawn down with a CAS loop so concurrent clients can never
+  // overspend it; 0 from the caller means unlimited.
+  std::atomic<std::uint64_t> budget_left{
+      options.retry_budget == 0 ? ~0ull : options.retry_budget};
   std::mutex error_mutex;
   std::string first_error;
+
+  auto submit_one = [&](std::int64_t node) {
+    return options.deadline_ms > 0.0 ? server.submit(node, options.deadline_ms)
+                                     : server.submit(node);
+  };
+  auto record_error = [&](const ServeError& err) {
+    switch (err.code) {
+      case ServeErrorCode::kOverloaded: ++overloaded; break;
+      case ServeErrorCode::kDeadlineExceeded: ++deadline_expired; break;
+      case ServeErrorCode::kExecFailed: ++exec_failed; break;
+      case ServeErrorCode::kShutdown: ++shutdown; break;
+    }
+    std::lock_guard lock(error_mutex);
+    if (first_error.empty()) {
+      first_error = std::string(serve_error_name(err.code)) + ": " +
+                    err.message;
+    }
+  };
+  auto take_budget = [&]() {
+    std::uint64_t cur = budget_left.load(std::memory_order_relaxed);
+    while (cur > 0) {
+      if (budget_left.compare_exchange_weak(cur, cur - 1,
+                                            std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
   Timer wall;
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(clients));
-  for (std::int64_t c = 0; c < clients; ++c) {
+  threads.reserve(static_cast<std::size_t>(options.clients));
+  for (std::int64_t c = 0; c < options.clients; ++c) {
     const std::int64_t mine = per + (c < rem ? 1 : 0);
     threads.emplace_back([&, c, mine] {
-      Rng rng(seed + static_cast<std::uint64_t>(c));
-      std::vector<std::future<Prediction>> futures;
-      futures.reserve(static_cast<std::size_t>(mine));
+      Rng rng(options.seed + static_cast<std::uint64_t>(c));
+      // Wave 0 is the initial submission; wave w > 0 resubmits wave w-1's
+      // retryable failures after a jittered exponential backoff. All of a
+      // wave's queries are in flight together, so retrying keeps the
+      // pipelining that makes the generator saturate the server.
+      std::vector<std::int64_t> wave;
+      wave.reserve(static_cast<std::size_t>(mine));
       for (std::int64_t i = 0; i < mine; ++i) {
-        futures.push_back(server.submit(static_cast<std::int64_t>(
-            rng.uniform_int(static_cast<std::uint64_t>(num_nodes)))));
+        wave.push_back(static_cast<std::int64_t>(
+            rng.uniform_int(static_cast<std::uint64_t>(options.num_nodes))));
       }
-      for (auto& fut : futures) {
-        try {
-          fut.get();
-        } catch (const std::exception& e) {
-          if (failures.fetch_add(1) == 0) {
-            std::lock_guard lock(error_mutex);
-            first_error = e.what();
+      for (int w = 0; !wave.empty(); ++w) {
+        if (w > 0) {
+          const double base =
+              options.retry_backoff_ms * static_cast<double>(1 << (w - 1));
+          const double jitter = 0.5 + rng.uniform();  // [0.5, 1.5)
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(base * jitter));
+        }
+        std::vector<std::future<QueryResult>> futures;
+        futures.reserve(wave.size());
+        for (const auto node : wave) futures.push_back(submit_one(node));
+        std::vector<std::int64_t> next;
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+          const QueryResult r = futures[i].get();
+          if (r.ok()) {
+            ++ok;
+            continue;
+          }
+          record_error(r.error());
+          if (w < options.max_retries && retryable(r.error().code) &&
+              take_budget()) {
+            ++retries;
+            next.push_back(wave[i]);
+          } else {
+            ++failures;
           }
         }
+        wave = std::move(next);
       }
     });
   }
   for (auto& t : threads) t.join();
-  const double seconds = wall.seconds();
-  GSOUP_CHECK_MSG(failures.load() == 0,
-                  failures.load() << " of " << requests
+
+  LoadReport report;
+  report.seconds = wall.seconds();
+  report.requests = options.requests;
+  report.ok = ok.load();
+  report.failures = failures.load();
+  report.retries = retries.load();
+  report.overloaded = overloaded.load();
+  report.deadline_expired = deadline_expired.load();
+  report.exec_failed = exec_failed.load();
+  report.shutdown = shutdown.load();
+  report.first_error = std::move(first_error);
+  if (report.retries > 0) server.record_retries(report.retries);
+  return report;
+}
+
+double drive_clients(BatchServer& server, std::int64_t requests,
+                     std::int64_t clients, std::int64_t num_nodes,
+                     std::uint64_t seed) {
+  LoadgenOptions options;
+  options.requests = requests;
+  options.clients = clients;
+  options.num_nodes = num_nodes;
+  options.seed = seed;
+  const LoadReport report = drive_load(server, options);
+  GSOUP_CHECK_MSG(report.failures == 0,
+                  report.failures << " of " << requests
                                   << " queries failed; first error: "
-                                  << first_error);
-  return seconds;
+                                  << report.first_error);
+  return report.seconds;
 }
 
 }  // namespace gsoup::serve

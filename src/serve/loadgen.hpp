@@ -3,19 +3,73 @@
 // answer. One implementation drives both serve_cli's load test and
 // bench_serving's server section, so the request mix and the
 // remainder-distribution behaviour can never drift between them.
+//
+// The generator is failure-aware: queries resolve to QueryResult, and a
+// shed / expired / failed answer is a value, not an exception. Clients can
+// propagate a per-query deadline and retry retryable failures (overload,
+// deadline, exec) in jittered exponential-backoff waves under a global
+// retry budget; whatever still fails is reported, per error code, in the
+// LoadReport — the caller decides whether a nonzero failure count is a
+// test failure (bench steady state) or the expected outcome (overload and
+// fault-injection experiments).
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "serve/server.hpp"
 
 namespace gsoup::serve {
 
-/// Drive `server` with `clients` concurrent threads submitting `requests`
-/// queries in total over nodes [0, num_nodes) (the remainder of
-/// requests/clients is spread over the first threads, so exactly
-/// `requests` queries are issued). Client c seeds its Rng with seed + c.
-/// Blocks until every answer has arrived; returns wall-clock seconds.
+struct LoadgenOptions {
+  std::int64_t requests = 1000;
+  std::int64_t clients = 4;
+  /// Queries are uniform over [0, num_nodes). Required (>= 1).
+  std::int64_t num_nodes = 0;
+  /// Client c seeds its Rng with seed + c.
+  std::uint64_t seed = 100;
+  /// Per-query deadline propagated to submit(); <= 0 uses the server's
+  /// default_deadline_ms.
+  double deadline_ms = 0.0;
+  /// Retry waves per query for retryable failures (kOverloaded,
+  /// kDeadlineExceeded, kExecFailed — never kShutdown). 0 disables.
+  int max_retries = 0;
+  /// Global cap on retries across the whole run (all clients); 0 means
+  /// unlimited. A budget keeps a hard-down server from turning the
+  /// generator into a retry storm against itself.
+  std::uint64_t retry_budget = 0;
+  /// Backoff before retry wave w is retry_backoff_ms * 2^w, jittered
+  /// uniformly in [0.5x, 1.5x) per client — decorrelated clients don't
+  /// re-converge into the same burst that shed them.
+  double retry_backoff_ms = 1.0;
+};
+
+struct LoadReport {
+  double seconds = 0.0;      ///< wall clock, submit of first to last answer
+  std::int64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t failures = 0;  ///< queries still failed after all retries
+  std::uint64_t retries = 0;   ///< resubmissions performed
+  /// Error observations by code, INCLUDING ones later retried to success
+  /// (they describe what the server did under load, not just the residue).
+  std::uint64_t overloaded = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t exec_failed = 0;
+  std::uint64_t shutdown = 0;
+  std::string first_error;  ///< first failure message seen (diagnostics)
+};
+
+/// Drive `server` with options.clients concurrent threads submitting
+/// options.requests queries in total (the remainder of requests/clients is
+/// spread over the first threads, so exactly `requests` queries are
+/// issued). Blocks until every query has either succeeded or exhausted its
+/// retries. Retries performed are reported to the server via
+/// record_retries(). Never throws on query failure — read the report.
+LoadReport drive_load(BatchServer& server, const LoadgenOptions& options);
+
+/// Legacy strict driver: uniform load, no deadlines, no retries; throws
+/// CheckError if ANY query fails. Returns wall-clock seconds. Steady-state
+/// benchmarks use this so a fault can never silently deflate a QPS number.
 double drive_clients(BatchServer& server, std::int64_t requests,
                      std::int64_t clients, std::int64_t num_nodes,
                      std::uint64_t seed = 100);

@@ -2,34 +2,63 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 #include "util/stats.hpp"
 
 namespace gsoup::serve {
+
+const char* serve_error_name(ServeErrorCode code) {
+  switch (code) {
+    case ServeErrorCode::kOverloaded: return "Overloaded";
+    case ServeErrorCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case ServeErrorCode::kExecFailed: return "ExecFailed";
+    case ServeErrorCode::kShutdown: return "Shutdown";
+  }
+  return "Unknown";
+}
+
+const Prediction& QueryResult::value() const {
+  GSOUP_CHECK_MSG(ok_, "QueryResult::value() on error result: "
+                           << serve_error_name(error_.code) << " ("
+                           << error_.message << ")");
+  return pred_;
+}
+
+const ServeError& QueryResult::error() const {
+  GSOUP_CHECK_MSG(!ok_, "QueryResult::error() on success result");
+  return error_;
+}
 
 BatchServer::BatchServer(const Snapshot& snapshot,
                          std::shared_ptr<const GraphContext> ctx,
                          Tensor features, ServerConfig config)
     : config_(config),
       out_dim_(snapshot.config.out_dim),
-      num_nodes_(snapshot.graph.num_nodes) {
+      num_nodes_(snapshot.graph.num_nodes),
+      snap_config_(snapshot.config),
+      snap_params_(snapshot.params),
+      ctx_(std::move(ctx)),
+      worker_features_(features) {
   GSOUP_CHECK_MSG(config_.workers >= 1, "server needs >= 1 worker");
   GSOUP_CHECK_MSG(config_.max_batch >= 1, "server needs max_batch >= 1");
+  GSOUP_CHECK_MSG(config_.max_pending >= 1, "server needs max_pending >= 1");
   snapshot.validate();
   GSOUP_CHECK_MSG(
-      snapshot.matches_graph(ctx->raw()),
+      snapshot.matches_graph(ctx_->raw()),
       "snapshot was souped on a "
           << snapshot.graph.num_nodes << "-node/" << snapshot.graph.num_edges
-          << "-edge graph; the serving graph has " << ctx->raw().num_nodes
-          << " nodes/" << ctx->raw().num_edges() << " edges");
+          << "-edge graph; the serving graph has " << ctx_->raw().num_nodes
+          << " nodes/" << ctx_->raw().num_edges() << " edges");
 
   if (config_.mode == QueryMode::kCachedFull) {
     // One full-graph pass, one shared read-only answer table. The engine
     // and its workspaces are scoped to this block — workers only ever
     // read cached_logits_, so W workers cost no extra workspace at all.
-    InferenceEngine engine(snapshot.config, snapshot.params, ctx, features,
+    InferenceEngine engine(snap_config_, snap_params_, ctx_, features,
                            QueryMode::kCachedFull);
     cached_logits_ = engine.full_logits();  // shares storage, outlives engine
   } else {
@@ -37,18 +66,13 @@ BatchServer::BatchServer(const Snapshot& snapshot,
     // here and share the plan-space tensor read-only across every
     // worker's engine — W private permuted copies would defeat the
     // "features shared, never copied per engine" contract.
-    Tensor worker_features = features;
-    FeatureSpace space = FeatureSpace::kOriginal;
-    if (ctx->plan() != nullptr && ctx->plan()->active()) {
-      worker_features = ctx->plan()->permute_rows(features);
-      space = FeatureSpace::kPlan;
+    if (ctx_->plan() != nullptr && ctx_->plan()->active()) {
+      worker_features_ = ctx_->plan()->permute_rows(features);
+      feature_space_ = FeatureSpace::kPlan;
     }
     workers_.reserve(config_.workers);
     for (std::size_t i = 0; i < config_.workers; ++i) {
-      auto engine = std::make_unique<InferenceEngine>(
-          snapshot.config, snapshot.params, ctx, worker_features,
-          config_.mode, space);
-      auto worker = std::make_unique<Worker>(std::move(engine));
+      auto worker = std::make_unique<Worker>(build_worker_engine());
       worker->node_ids.reserve(static_cast<std::size_t>(config_.max_batch));
       worker->logits = Tensor::empty({config_.max_batch, out_dim_});
       free_workers_.push_back(worker.get());
@@ -60,35 +84,139 @@ BatchServer::BatchServer(const Snapshot& snapshot,
 }
 
 BatchServer::~BatchServer() {
+  // Two-phase shutdown. Phase 1: close intake — stop_ makes every further
+  // submit resolve kShutdown immediately. Phase 2: the dispatcher either
+  // drains the queue into batches (drain_on_shutdown) or fails everything
+  // pending; the ThreadPool destructor then runs every dispatched batch to
+  // completion, so by the time members are destroyed every promise a
+  // client holds a future for has been resolved.
   {
     std::lock_guard lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
   if (dispatcher_.joinable()) dispatcher_.join();
-  // ThreadPool's destructor drains any batches already dispatched.
   pool_.reset();
 }
 
-std::future<Prediction> BatchServer::submit(std::int64_t node) {
-  // Reject bad ids at the door: a batch is shared by many clients, and an
-  // out-of-range id that only failed inside the engine would poison every
-  // other query coalesced with it.
+std::unique_ptr<InferenceEngine> BatchServer::build_worker_engine() const {
+  return std::make_unique<InferenceEngine>(snap_config_, snap_params_, ctx_,
+                                           worker_features_, config_.mode,
+                                           feature_space_);
+}
+
+std::future<QueryResult> BatchServer::submit(std::int64_t node) {
+  return submit(node, config_.default_deadline_ms);
+}
+
+std::future<QueryResult> BatchServer::submit(std::int64_t node,
+                                             double deadline_ms) {
+  // Reject bad ids at the door, synchronously: a batch is shared by many
+  // clients, and an out-of-range id that only failed inside the engine
+  // would poison every other query coalesced with it. This is a caller
+  // bug, not load, so it is the one submit failure that still throws.
   GSOUP_CHECK_MSG(node >= 0 && node < num_nodes_,
                   "submit node " << node << " out of range [0, " << num_nodes_
                                  << ")");
   Pending p;
   p.node = node;
   p.enqueued = Clock::now();
-  std::future<Prediction> fut = p.promise.get_future();
+  if (deadline_ms > 0.0) {
+    p.has_deadline = true;
+    p.deadline = p.enqueued + std::chrono::duration_cast<Clock::duration>(
+                                  std::chrono::duration<double, std::milli>(
+                                      deadline_ms));
+  }
+  std::future<QueryResult> fut = p.promise.get_future();
+
+  Pending shed;       // kShedOldest victim, resolved outside the lock
+  bool have_shed = false;
+  bool rejected = false;
+  bool shutdown = false;
   {
     std::lock_guard lock(mutex_);
-    GSOUP_CHECK_MSG(!stop_, "submit on a stopped server");
-    pending_.push_back(std::move(p));
-    ++submitted_;
+    if (stop_) {
+      shutdown = true;
+    } else if (pending_.size() >= config_.max_pending) {
+      if (config_.admission == AdmissionPolicy::kRejectNew) {
+        rejected = true;
+      } else {
+        shed = std::move(pending_.front());
+        pending_.pop_front();
+        have_shed = true;
+        pending_.push_back(std::move(p));
+        ++submitted_;
+      }
+    } else {
+      pending_.push_back(std::move(p));
+      ++submitted_;
+    }
+  }
+  if (shutdown) {
+    shutdown_failed_.fetch_add(1, std::memory_order_relaxed);
+    p.promise.set_value(QueryResult::failure(ServeErrorCode::kShutdown,
+                                             "server is shutting down"));
+    return fut;
+  }
+  if (rejected) {
+    // Refused at the door: never admitted, so it is NOT in submitted_ and
+    // needs no completion accounting — only the rejected counter.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    p.promise.set_value(QueryResult::failure(
+        ServeErrorCode::kOverloaded,
+        "pending queue full (max_pending=" +
+            std::to_string(config_.max_pending) + ")"));
+    return fut;
+  }
+  if (have_shed) {
+    // The evicted query WAS admitted earlier, so resolve it through the
+    // normal completion path to keep drain()'s submitted==completed
+    // invariant exact.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    finish_query(shed, QueryResult::failure(ServeErrorCode::kOverloaded,
+                                            "shed by a newer query "
+                                            "(kShedOldest)"));
   }
   cv_.notify_all();
   return fut;
+}
+
+void BatchServer::record_retries(std::uint64_t n) {
+  retries_observed_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void BatchServer::finish_query(Pending& p, QueryResult result) {
+  p.resolved = true;
+  p.promise.set_value(std::move(result));
+  {
+    std::lock_guard lock(mutex_);
+    ++completed_;
+  }
+  drained_cv_.notify_all();
+}
+
+void BatchServer::fail_queries(std::vector<Pending>& batch,
+                               ServeErrorCode code, const char* message) {
+  std::uint64_t n = 0;
+  for (auto& p : batch) {
+    if (p.resolved) continue;
+    p.resolved = true;
+    p.promise.set_value(QueryResult::failure(code, message));
+    ++n;
+  }
+  if (n == 0) return;
+  if (code == ServeErrorCode::kShutdown) {
+    shutdown_failed_.fetch_add(n, std::memory_order_relaxed);
+  } else if (code == ServeErrorCode::kDeadlineExceeded) {
+    deadline_expired_.fetch_add(n, std::memory_order_relaxed);
+  } else {
+    failed_queries_.fetch_add(n, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard lock(mutex_);
+    completed_ += n;
+  }
+  drained_cv_.notify_all();
 }
 
 void BatchServer::dispatcher_loop() {
@@ -97,6 +225,19 @@ void BatchServer::dispatcher_loop() {
     if (pending_.empty()) {
       if (stop_) return;
       cv_.wait(lock);
+      continue;
+    }
+    if (stop_ && !config_.drain_on_shutdown) {
+      // Fail-fast teardown: resolve everything still queued without
+      // touching an engine.
+      std::vector<Pending> doomed;
+      doomed.reserve(pending_.size());
+      std::move(pending_.begin(), pending_.end(), std::back_inserter(doomed));
+      pending_.clear();
+      lock.unlock();
+      fail_queries(doomed, ServeErrorCode::kShutdown,
+                   "server shut down before dispatch");
+      lock.lock();
       continue;
     }
     // Coalesce: flush when a full batch is ready, the oldest query's
@@ -114,19 +255,44 @@ void BatchServer::dispatcher_loop() {
         continue;  // re-evaluate: more arrivals, stop, or budget elapsed
       }
     }
-    const std::size_t take = std::min<std::size_t>(
-        pending_.size(), static_cast<std::size_t>(config_.max_batch));
+    // Form a batch from the front of the queue, sweeping out queries whose
+    // deadline already passed — they are failed kDeadlineExceeded without
+    // consuming a batch slot or an engine cycle (shed load is cheap load).
+    const auto now = Clock::now();
     std::vector<Pending> batch;
-    batch.reserve(take);
-    std::move(pending_.begin(),
-              pending_.begin() + static_cast<std::ptrdiff_t>(take),
-              std::back_inserter(batch));
-    pending_.erase(pending_.begin(),
-                   pending_.begin() + static_cast<std::ptrdiff_t>(take));
+    std::vector<Pending> expired;
+    batch.reserve(static_cast<std::size_t>(config_.max_batch));
+    while (!pending_.empty() &&
+           static_cast<std::int64_t>(batch.size()) < config_.max_batch) {
+      Pending p = std::move(pending_.front());
+      pending_.pop_front();
+      if (p.has_deadline && now >= p.deadline) {
+        expired.push_back(std::move(p));
+      } else {
+        batch.push_back(std::move(p));
+      }
+    }
     lock.unlock();
-    pool_->submit(
-        [this, b = std::make_shared<std::vector<Pending>>(
-                   std::move(batch))]() mutable { run_batch(std::move(*b)); });
+    if (!expired.empty()) {
+      fail_queries(expired, ServeErrorCode::kDeadlineExceeded,
+                   "deadline expired before dispatch");
+    }
+    if (!batch.empty()) {
+      // Bound in-flight batches to the worker count before handing the
+      // batch to the pool: its task queue is unbounded, and parking the
+      // whole backlog there would empty pending_ and blind admission
+      // control and the deadline sweep to the server's real queue.
+      {
+        std::unique_lock inflight_lock(inflight_mutex_);
+        inflight_cv_.wait(inflight_lock,
+                          [this] { return inflight_ < config_.workers; });
+        ++inflight_;
+      }
+      auto task = std::make_shared<BatchTask>();
+      task->server = this;
+      task->batch = std::move(batch);
+      pool_->submit([task] { task->server->run_batch(task->batch); });
+    }
     lock.lock();
   }
 }
@@ -172,7 +338,38 @@ void BatchServer::store_plan(const std::vector<std::int64_t>& key,
   }
 }
 
-void BatchServer::run_batch(std::vector<Pending> batch) {
+void BatchServer::batch_done() {
+  {
+    std::lock_guard lock(inflight_mutex_);
+    --inflight_;
+  }
+  inflight_cv_.notify_one();
+}
+
+void BatchServer::run_batch(std::vector<Pending>& batch) {
+  // Second deadline sweep, now that the batch has actually reached an
+  // engine: under a slow or faulty worker a query can expire between
+  // dispatch and execution, and computing it anyway would burn engine
+  // time on an answer nobody is waiting for.
+  {
+    const auto now = Clock::now();
+    std::vector<Pending> expired;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].has_deadline && now >= batch[i].deadline) {
+        expired.push_back(std::move(batch[i]));
+      } else {
+        if (keep != i) batch[keep] = std::move(batch[i]);
+        ++keep;
+      }
+    }
+    batch.resize(keep);
+    if (!expired.empty()) {
+      fail_queries(expired, ServeErrorCode::kDeadlineExceeded,
+                   "deadline expired before execution");
+    }
+    if (batch.empty()) return;
+  }
   const auto n = static_cast<std::int64_t>(batch.size());
   const bool cached = config_.mode == QueryMode::kCachedFull;
 
@@ -180,12 +377,13 @@ void BatchServer::run_batch(std::vector<Pending> batch) {
   const float* batch_rows = nullptr;  // subgraph mode: worker output
   bool failed = false;
   std::string error;
-  if (!cached) {
-    w = acquire_worker();
-    w->node_ids.clear();
-    for (const auto& p : batch) w->node_ids.push_back(p.node);
-    Tensor out = w->logits.view_prefix({n, out_dim_});
-    try {
+  try {
+    FAILPOINT("serve.batch_exec");
+    if (!cached) {
+      w = acquire_worker();
+      w->node_ids.clear();
+      for (const auto& p : batch) w->node_ids.push_back(p.node);
+      Tensor out = w->logits.view_prefix({n, out_dim_});
       if (config_.plan_cache_capacity > 0) {
         // Plan LRU: a repeated batch (skewed distributions) reuses its
         // compiled L-hop expansion; a miss compiles it on this worker's
@@ -200,21 +398,42 @@ void BatchServer::run_batch(std::vector<Pending> batch) {
       } else {
         w->engine->query(w->node_ids, out);
       }
-    } catch (const std::exception& e) {
-      failed = true;
-      error = e.what();
+      batch_rows = out.data();
     }
-    batch_rows = out.data();
+    // Cached mode needs no engine and no workspace: every answer is a
+    // read-only row of the shared table, indexed by the query's node id.
+  } catch (const std::exception& e) {
+    failed = true;
+    error = e.what();
   }
-  // Cached mode needs no engine and no workspace: every answer is a
-  // read-only row of the shared table, indexed by the query's node id.
+
+  if (failed) {
+    // Worker isolation: only this batch's queries fail, and the engine
+    // that threw never serves another batch — its half-mutated executor
+    // workspaces are discarded and a fresh engine is rebuilt from the
+    // retained snapshot state (parameters are storage-shared, so this is
+    // a workspace reallocation, not a weight copy). If even the rebuild
+    // throws the old engine is kept: the worker stays in rotation and the
+    // next batch gets its own isolated verdict.
+    failed_batches_.fetch_add(1, std::memory_order_relaxed);
+    if (w != nullptr) {
+      try {
+        w->engine = build_worker_engine();
+      } catch (const std::exception&) {
+      }
+    }
+    fail_queries(batch, ServeErrorCode::kExecFailed,
+                 ("batch execution failed: " + error).c_str());
+    if (w != nullptr) release_worker(w);
+    return;
+  }
 
   const auto done = Clock::now();
   // Record stats BEFORE fulfilling promises: a client woken by its future
   // must see this batch reflected in stats(). Failed batches are excluded
-  // entirely — queries that got an exception were not answered, and
+  // entirely — queries that got a ServeError were not answered, and
   // counting them would inflate QPS and pollute the latency percentiles.
-  if (!failed) {
+  {
     std::lock_guard lock(stats_mutex_);
     ++batches_;
     for (const auto& p : batch) {
@@ -233,18 +452,14 @@ void BatchServer::run_batch(std::vector<Pending> batch) {
   }
   for (std::int64_t i = 0; i < n; ++i) {
     Pending& p = batch[static_cast<std::size_t>(i)];
-    if (failed) {
-      p.promise.set_exception(
-          std::make_exception_ptr(CheckError("batch failed: " + error)));
-      continue;
-    }
     const float* row = cached ? cached_logits_.data() + p.node * out_dim_
                               : batch_rows + i * out_dim_;
     Prediction pred;
     pred.node = p.node;
     pred.label = static_cast<std::int32_t>(ops::argmax_row(row, out_dim_));
     pred.score = row[pred.label];
-    p.promise.set_value(pred);
+    p.resolved = true;
+    p.promise.set_value(QueryResult::success(pred));
   }
   if (w != nullptr) release_worker(w);
 
@@ -268,19 +483,31 @@ void BatchServer::drain() {
 
 ServerStats BatchServer::stats() const {
   ServerStats s;
-  std::lock_guard lock(stats_mutex_);
-  s.batches = batches_;
-  s.queries = queries_answered_;
-  if (s.batches > 0) {
-    s.mean_batch = static_cast<double>(s.queries) /
-                   static_cast<double>(s.batches);
+  {
+    std::lock_guard lock(mutex_);
+    s.submitted = submitted_;
   }
-  if (!latencies_ms_.empty()) {
-    std::vector<double> sorted = latencies_ms_;  // ≤ kLatencyWindow samples
-    std::sort(sorted.begin(), sorted.end());
-    s.p50_latency_ms = percentile_sorted(sorted, 0.50);
-    s.p99_latency_ms = percentile_sorted(sorted, 0.99);
-    s.max_latency_ms = max_latency_ms_;
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  s.failed_batches = failed_batches_.load(std::memory_order_relaxed);
+  s.failed_queries = failed_queries_.load(std::memory_order_relaxed);
+  s.shutdown_failed = shutdown_failed_.load(std::memory_order_relaxed);
+  s.retries_observed = retries_observed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(stats_mutex_);
+    s.batches = batches_;
+    s.queries = queries_answered_;
+    if (s.batches > 0) {
+      s.mean_batch =
+          static_cast<double>(s.queries) / static_cast<double>(s.batches);
+    }
+    if (!latencies_ms_.empty()) {
+      std::vector<double> sorted = latencies_ms_;  // ≤ kLatencyWindow samples
+      std::sort(sorted.begin(), sorted.end());
+      s.p50_latency_ms = percentile_sorted(sorted, 0.50);
+      s.p99_latency_ms = percentile_sorted(sorted, 0.99);
+      s.max_latency_ms = max_latency_ms_;
+    }
   }
   {
     std::lock_guard cache_lock(plan_cache_mutex_);

@@ -9,6 +9,27 @@
 // souped model, so the request path is pure inference — batching exists to
 // amortise the per-query L-hop neighbourhood expansion (overlapping
 // neighbourhoods are computed once per batch instead of once per query).
+//
+// Failure semantics (see docs/ARCHITECTURE.md "Failure semantics &
+// overload"): every submit resolves to a QueryResult — either a Prediction
+// or a ServeError — and the server degrades explicitly instead of
+// degrading silently:
+//  - admission control: the pending queue is bounded (max_pending); a
+//    burst beyond it either rejects the new query (kRejectNew) or sheds
+//    the oldest queued one (kShedOldest), both surfaced as kOverloaded
+//    and counted in ServerStats::rejected, so overload costs O(1) memory;
+//  - deadlines: a query carrying a deadline (server default or per-submit
+//    override) that expires before dispatch is failed kDeadlineExceeded
+//    without touching an engine — shed load is cheap load;
+//  - worker isolation: an engine that throws mid-batch fails only that
+//    batch's queries (kExecFailed), increments failed_batches, and the
+//    worker's engine is rebuilt from the retained snapshot state before
+//    the worker re-enters the free pool — a poisoned workspace can't leak
+//    into the next batch;
+//  - two-phase shutdown: the destructor first closes intake (submits
+//    resolve kShutdown immediately), then either drains the queue
+//    (drain_on_shutdown, default) or fails pending queries fast — every
+//    promise is always resolved, never a broken-promise abort.
 #pragma once
 
 #include <chrono>
@@ -29,6 +50,12 @@
 
 namespace gsoup::serve {
 
+/// What the server does with a submit that finds the pending queue full.
+enum class AdmissionPolicy {
+  kRejectNew,   ///< fail the incoming query with kOverloaded
+  kShedOldest,  ///< evict the oldest queued query, admit the new one
+};
+
 struct ServerConfig {
   /// Worker threads (and private engines) draining batches.
   std::size_t workers = 2;
@@ -46,6 +73,17 @@ struct ServerConfig {
   /// (plans can hold an L-hop neighbourhood each, so capacity is an
   /// explicit memory decision; hit/miss counters are in ServerStats).
   std::size_t plan_cache_capacity = 0;
+  /// Admission control: the pending queue never grows past this many
+  /// queries; beyond it, `admission` decides who pays. Must be >= 1.
+  std::size_t max_pending = 4096;
+  AdmissionPolicy admission = AdmissionPolicy::kRejectNew;
+  /// Deadline applied to every submit that does not carry its own
+  /// override. <= 0 disables. Expiry is enforced at dispatch: an expired
+  /// query is failed kDeadlineExceeded instead of computed.
+  double default_deadline_ms = 0.0;
+  /// Destructor behaviour for queries still queued when intake closes:
+  /// true drains them through the engines, false fails them kShutdown.
+  bool drain_on_shutdown = true;
 };
 
 /// One answered query.
@@ -55,17 +93,87 @@ struct Prediction {
   float score = 0.0f;       ///< logit of the argmax class
 };
 
+/// Why a query did NOT produce a Prediction.
+enum class ServeErrorCode : std::uint8_t {
+  kOverloaded,        ///< admission control shed it (queue full)
+  kDeadlineExceeded,  ///< its deadline passed before dispatch
+  kExecFailed,        ///< its batch's engine threw; batch isolated
+  kShutdown,          ///< server stopped before it could be answered
+};
+
+const char* serve_error_name(ServeErrorCode code);
+
+struct ServeError {
+  ServeErrorCode code = ServeErrorCode::kExecFailed;
+  std::string message;
+};
+
+/// Value-or-error result every submitted query resolves to. Shed load and
+/// failed execution are ordinary values — futures never carry exceptions,
+/// so one poisoned batch cannot terminate a client that forgot a try.
+class QueryResult {
+ public:
+  QueryResult() = default;  ///< error state, "unresolved"
+
+  static QueryResult success(const Prediction& pred) {
+    QueryResult r;
+    r.ok_ = true;
+    r.pred_ = pred;
+    return r;
+  }
+  static QueryResult failure(ServeErrorCode code, std::string message) {
+    QueryResult r;
+    r.ok_ = false;
+    r.error_ = ServeError{code, std::move(message)};
+    return r;
+  }
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+
+  /// The prediction; throws CheckError if this is an error result (the
+  /// caller skipped the ok() check).
+  const Prediction& value() const;
+  /// The error; throws CheckError if this is a success result.
+  const ServeError& error() const;
+
+ private:
+  bool ok_ = false;
+  Prediction pred_;
+  ServeError error_{ServeErrorCode::kShutdown, "unresolved"};
+};
+
 /// Aggregate serving statistics. Counts and max latency cover the
 /// server's whole lifetime; the percentiles are computed over a bounded
 /// window of the most recent queries (kLatencyWindow) so a long-lived
 /// server's stats stay O(1) in memory and stats() stays cheap.
+///
+/// Accounting: every query admitted to the queue (`submitted`) resolves
+/// into exactly one of queries / deadline_expired / failed_queries /
+/// shutdown_failed / the shed share of rejected. Queries refused at the
+/// door (kRejectNew) appear in `rejected` only.
 struct ServerStats {
-  std::uint64_t queries = 0;
+  std::uint64_t submitted = 0;  ///< admitted to the pending queue
+  std::uint64_t queries = 0;    ///< answered with a Prediction
   std::uint64_t batches = 0;
   double mean_batch = 0.0;
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
   double max_latency_ms = 0.0;
+  /// Queries shed by admission control (rejected at the door or evicted
+  /// by kShedOldest) — all resolved kOverloaded.
+  std::uint64_t rejected = 0;
+  /// Queries failed kDeadlineExceeded at dispatch.
+  std::uint64_t deadline_expired = 0;
+  /// Batches whose execution threw (engine rebuilt afterwards).
+  std::uint64_t failed_batches = 0;
+  /// Queries resolved kExecFailed (members of failed batches).
+  std::uint64_t failed_queries = 0;
+  /// Queries resolved kShutdown (intake closed / fail-fast teardown).
+  std::uint64_t shutdown_failed = 0;
+  /// Client-side retries reported via record_retries (e.g. by
+  /// serve::loadgen) — degradation visible from the server's own stats.
+  std::uint64_t retries_observed = 0;
   /// Subgraph-plan LRU counters (plan_cache_capacity > 0): a hit means a
   /// batch reused a cached L-hop expansion instead of rebuilding it.
   std::uint64_t plan_cache_hits = 0;
@@ -76,7 +184,9 @@ class BatchServer {
  public:
   /// The snapshot provides config + weights; `ctx` must wrap the serving
   /// graph for the snapshot's architecture; `features` is the node feature
-  /// matrix (shared across workers, never copied per engine).
+  /// matrix (shared across workers, never copied per engine). The server
+  /// retains the snapshot's config and (storage-shared) parameters so a
+  /// poisoned worker engine can be rebuilt without the caller's Snapshot.
   BatchServer(const Snapshot& snapshot,
               std::shared_ptr<const GraphContext> ctx, Tensor features,
               ServerConfig config = {});
@@ -85,15 +195,25 @@ class BatchServer {
   BatchServer(const BatchServer&) = delete;
   BatchServer& operator=(const BatchServer&) = delete;
 
-  /// Enqueue one node query; the future resolves when its batch drains.
-  /// Out-of-range ids throw CheckError here, synchronously, so one bad
-  /// request can never fail the batch it would have been coalesced into.
-  std::future<Prediction> submit(std::int64_t node);
+  /// Enqueue one node query under the server's default deadline; the
+  /// future resolves when its batch drains (or it is shed / expired /
+  /// failed — always to a QueryResult, never an exception). Out-of-range
+  /// ids still throw CheckError here, synchronously: a malformed id is a
+  /// caller bug, not load. After shutdown begins, returns an
+  /// already-resolved kShutdown result.
+  std::future<QueryResult> submit(std::int64_t node);
 
-  /// Block until every query submitted so far has been answered. Any
-  /// waiting partial batch is dispatched immediately rather than sitting
-  /// out its latency budget.
+  /// Same, with a per-query deadline override (milliseconds from now;
+  /// <= 0 means no deadline, ignoring the server default).
+  std::future<QueryResult> submit(std::int64_t node, double deadline_ms);
+
+  /// Block until every admitted query has been resolved. Any waiting
+  /// partial batch is dispatched immediately rather than sitting out its
+  /// latency budget.
   void drain();
+
+  /// Client-side retry telemetry (see ServerStats::retries_observed).
+  void record_retries(std::uint64_t n);
 
   ServerStats stats() const;
   const ServerConfig& config() const { return config_; }
@@ -102,9 +222,28 @@ class BatchServer {
   using Clock = std::chrono::steady_clock;
 
   struct Pending {
-    std::int64_t node;
-    std::promise<Prediction> promise;
+    std::int64_t node = 0;
+    std::promise<QueryResult> promise;
     Clock::time_point enqueued;
+    Clock::time_point deadline;  ///< meaningful iff has_deadline
+    bool has_deadline = false;
+    bool resolved = false;  ///< promise satisfied (exactly-once guard)
+  };
+
+  /// Shared ownership wrapper for a dispatched batch: if the pool task is
+  /// destroyed without running (a pool.task failpoint fired, or teardown
+  /// raced), the destructor fails every unresolved promise instead of
+  /// breaking it.
+  struct BatchTask {
+    BatchServer* server = nullptr;
+    std::vector<Pending> batch;
+    ~BatchTask() {
+      if (server != nullptr) {
+        server->fail_queries(batch, ServeErrorCode::kExecFailed,
+                             "batch aborted before completion");
+        server->batch_done();
+      }
+    }
   };
 
   /// Per-worker context: a private engine plus reusable batch buffers so
@@ -118,9 +257,19 @@ class BatchServer {
   };
 
   void dispatcher_loop();
-  void run_batch(std::vector<Pending> batch);
+  void run_batch(std::vector<Pending>& batch);
+  /// One dispatched batch finished (or aborted); frees an in-flight slot.
+  void batch_done();
   Worker* acquire_worker();
   void release_worker(Worker* w);
+  std::unique_ptr<InferenceEngine> build_worker_engine() const;
+
+  /// Resolve one admitted query with `result` and account it completed.
+  void finish_query(Pending& p, QueryResult result);
+  /// Resolve every unresolved entry with a `code` error (batch-abort and
+  /// fail-fast-shutdown path; counts per code).
+  void fail_queries(std::vector<Pending>& batch, ServeErrorCode code,
+                    const char* message);
 
   /// LRU lookup for a batch's node sequence; counts a hit or miss.
   /// Returns nullptr on miss (the caller compiles and store_plan()s).
@@ -132,6 +281,17 @@ class BatchServer {
   ServerConfig config_;
   std::int64_t out_dim_ = 0;
   std::int64_t num_nodes_ = 0;
+
+  /// Worker-engine rebuild state: the snapshot's config and parameter
+  /// store (tensors storage-shared with the source snapshot), the shared
+  /// (possibly plan-space) feature tensor and its space tag, and the
+  /// context. Together these are exactly the InferenceEngine constructor
+  /// arguments, so isolation can replace a poisoned engine in place.
+  ModelConfig snap_config_;
+  ParamStore snap_params_;
+  std::shared_ptr<const GraphContext> ctx_;
+  Tensor worker_features_;
+  FeatureSpace feature_space_ = FeatureSpace::kOriginal;
 
   /// kCachedFull mode: the full-graph logits, computed ONCE at
   /// construction by a throwaway engine and shared immutably by every
@@ -147,17 +307,35 @@ class BatchServer {
   std::unique_ptr<ThreadPool> pool_;
   std::thread dispatcher_;
 
+  /// In-flight (dispatched, unfinished) batch count, bounded to the
+  /// worker count by the dispatcher. Without this bound the dispatcher
+  /// would instantly park the whole backlog in the pool's unbounded task
+  /// queue, emptying pending_ and making max_pending meaningless —
+  /// admission control has to see the queue the server actually has.
+  std::mutex inflight_mutex_;
+  std::condition_variable inflight_cv_;
+  std::size_t inflight_ = 0;
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   /// Deque, not vector: batches are dispatched from the front while
   /// clients append at the back; popping the front of a long backlog must
   /// not shift every queued promise under the submit mutex.
   std::deque<Pending> pending_;
-  bool stop_ = false;
+  bool stop_ = false;  ///< intake closed; dispatcher winding down
   bool flush_ = false;  ///< drain() in progress: dispatch partial batches
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::condition_variable drained_cv_;
+
+  /// Degradation counters: atomics, not stats_mutex_, so admission and
+  /// failure paths never contend with the latency bookkeeping.
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> failed_batches_{0};
+  std::atomic<std::uint64_t> failed_queries_{0};
+  std::atomic<std::uint64_t> shutdown_failed_{0};
+  std::atomic<std::uint64_t> retries_observed_{0};
 
   /// Latency samples kept for the percentile window (~512 KiB at 8 B
   /// each); older samples are overwritten ring-buffer style.

@@ -1,18 +1,39 @@
 #include "serve/snapshot.hpp"
 
+#include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string_view>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "exec/layer_plan.hpp"
 #include "io/serialize.hpp"
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 
 namespace gsoup::serve {
 
 namespace {
 
+using namespace io::detail;
+
 constexpr std::uint32_t kSnapshotMagic = 0x47534E50;  // "GSNP"
-constexpr std::uint32_t kSnapshotVersion = 1;
+constexpr std::uint32_t kSnapshotVersionV1 = 1;
+constexpr std::uint32_t kSnapshotVersion = 2;
+
+// v2 framing: each section is `magic, u64 length, u32 crc, payload`; the
+// file ends with `footer magic, u32 crc` over the per-section CRCs, so a
+// complete-looking prefix of a torn file still fails the read.
+constexpr std::uint32_t kMetaSectionMagic = 0x47534D31;    // "GSM1"
+constexpr std::uint32_t kParamsSectionMagic = 0x47535031;  // "GSP1"
+constexpr std::uint32_t kFooterMagic = 0x47534654;         // "GSFT"
+
+/// Largest plausible section payload. A corrupted length field beyond
+/// this is rejected before any allocation happens.
+constexpr std::uint64_t kMaxSectionBytes = 1ULL << 40;
 
 const char* const* param_suffixes(Arch arch, std::size_t& count) {
   // Names each architecture stores per layer, in ParamStore order.
@@ -27,6 +48,112 @@ const char* const* param_suffixes(Arch arch, std::size_t& count) {
   }
   count = 0;
   return nullptr;
+}
+
+/// Config + graph metadata + method: the non-parameter body, identical in
+/// v1 (inline) and v2 (inside the CRC-framed meta section).
+void write_meta_body(std::ostream& os, const Snapshot& snap) {
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(snap.config.arch));
+  write_pod<std::int64_t>(os, snap.config.in_dim);
+  write_pod<std::int64_t>(os, snap.config.hidden_dim);
+  write_pod<std::int64_t>(os, snap.config.out_dim);
+  write_pod<std::int64_t>(os, snap.config.num_layers);
+  write_pod<std::int64_t>(os, snap.config.heads);
+  write_pod<float>(os, snap.config.dropout);
+  write_pod<float>(os, snap.config.attn_slope);
+  write_string(os, snap.graph.normalization);
+  write_pod<std::uint8_t>(os, snap.graph.self_loops ? 1 : 0);
+  write_pod<std::int64_t>(os, snap.graph.num_nodes);
+  write_pod<std::int64_t>(os, snap.graph.num_edges);
+  write_string(os, snap.graph.dataset);
+  write_string(os, snap.method);
+}
+
+void read_meta_body(std::istream& is, Snapshot& snap) {
+  const auto arch = read_pod<std::uint32_t>(is);
+  GSOUP_CHECK_MSG(arch <= static_cast<std::uint32_t>(Arch::kGat),
+                  "snapshot has unknown architecture id " << arch);
+  snap.config.arch = static_cast<Arch>(arch);
+  snap.config.in_dim = read_pod<std::int64_t>(is);
+  snap.config.hidden_dim = read_pod<std::int64_t>(is);
+  snap.config.out_dim = read_pod<std::int64_t>(is);
+  snap.config.num_layers = read_pod<std::int64_t>(is);
+  snap.config.heads = read_pod<std::int64_t>(is);
+  snap.config.dropout = read_pod<float>(is);
+  snap.config.attn_slope = read_pod<float>(is);
+  snap.graph.normalization = read_string(is);
+  snap.graph.self_loops = read_pod<std::uint8_t>(is) != 0;
+  snap.graph.num_nodes = read_pod<std::int64_t>(is);
+  snap.graph.num_edges = read_pod<std::int64_t>(is);
+  snap.graph.dataset = read_string(is);
+  snap.method = read_string(is);
+}
+
+/// Frame `payload` as a v2 section and return its CRC (for the footer).
+std::uint32_t write_section(std::ostream& os, std::uint32_t magic,
+                            const std::string& payload) {
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
+  write_pod<std::uint32_t>(os, magic);
+  write_pod<std::uint64_t>(os, payload.size());
+  write_pod<std::uint32_t>(os, crc);
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  return crc;
+}
+
+/// Read and verify one v2 section; returns (payload, crc). The payload is
+/// read in bounded chunks so a corrupted length field stops at the first
+/// short read instead of allocating terabytes.
+std::pair<std::string, std::uint32_t> read_section(std::istream& is,
+                                                   std::uint32_t magic,
+                                                   const char* what) {
+  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == magic,
+                  "bad snapshot " << what << " section magic");
+  const auto len = read_pod<std::uint64_t>(is);
+  GSOUP_CHECK_MSG(len < kMaxSectionBytes,
+                  "implausible snapshot " << what << " section length "
+                                          << len);
+  const auto stored_crc = read_pod<std::uint32_t>(is);
+  std::string payload;
+  std::uint64_t done = 0;
+  while (done < len) {
+    const std::uint64_t take = std::min<std::uint64_t>(len - done,
+                                                       kReadChunkBytes);
+    payload.resize(static_cast<std::size_t>(done + take));
+    read_exact(is, payload.data() + done, static_cast<std::size_t>(take));
+    done += take;
+  }
+  GSOUP_CHECK_MSG(crc32(payload.data(), payload.size()) == stored_crc,
+                  "snapshot " << what << " section failed its CRC check");
+  return {std::move(payload), stored_crc};
+}
+
+Snapshot read_snapshot_v1(std::istream& is) {
+  Snapshot snap;
+  read_meta_body(is, snap);
+  snap.params = io::read_params(is);
+  return snap;
+}
+
+Snapshot read_snapshot_v2(std::istream& is) {
+  Snapshot snap;
+  const auto [meta_bytes, meta_crc] = read_section(is, kMetaSectionMagic,
+                                                   "meta");
+  {
+    std::istringstream meta(meta_bytes);
+    read_meta_body(meta, snap);
+  }
+  const auto [param_bytes, param_crc] = read_section(is, kParamsSectionMagic,
+                                                     "params");
+  {
+    std::istringstream params(param_bytes);
+    snap.params = io::read_params(params);
+  }
+  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == kFooterMagic,
+                  "snapshot footer missing (truncated file?)");
+  const std::uint32_t crcs[2] = {meta_crc, param_crc};
+  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == crc32(crcs, sizeof(crcs)),
+                  "snapshot footer failed its CRC check");
+  return snap;
 }
 
 }  // namespace
@@ -108,56 +235,74 @@ Snapshot make_snapshot(const ModelConfig& config, const ParamStore& soup,
 }
 
 void write_snapshot(std::ostream& os, const Snapshot& snap) {
-  using namespace io::detail;
+  FAILPOINT("snapshot.write");
   write_header(os, kSnapshotMagic, kSnapshotVersion);
-  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(snap.config.arch));
-  write_pod<std::int64_t>(os, snap.config.in_dim);
-  write_pod<std::int64_t>(os, snap.config.hidden_dim);
-  write_pod<std::int64_t>(os, snap.config.out_dim);
-  write_pod<std::int64_t>(os, snap.config.num_layers);
-  write_pod<std::int64_t>(os, snap.config.heads);
-  write_pod<float>(os, snap.config.dropout);
-  write_pod<float>(os, snap.config.attn_slope);
-  write_string(os, snap.graph.normalization);
-  write_pod<std::uint8_t>(os, snap.graph.self_loops ? 1 : 0);
-  write_pod<std::int64_t>(os, snap.graph.num_nodes);
-  write_pod<std::int64_t>(os, snap.graph.num_edges);
-  write_string(os, snap.graph.dataset);
-  write_string(os, snap.method);
+  std::ostringstream meta(std::ios::binary);
+  write_meta_body(meta, snap);
+  std::ostringstream params(std::ios::binary);
+  io::write_params(params, snap.params);
+  const std::uint32_t crcs[2] = {
+      write_section(os, kMetaSectionMagic, meta.str()),
+      write_section(os, kParamsSectionMagic, params.str()),
+  };
+  write_pod<std::uint32_t>(os, kFooterMagic);
+  write_pod<std::uint32_t>(os, crc32(crcs, sizeof(crcs)));
+}
+
+void write_snapshot_v1(std::ostream& os, const Snapshot& snap) {
+  write_header(os, kSnapshotMagic, kSnapshotVersionV1);
+  write_meta_body(os, snap);
   io::write_params(os, snap.params);
 }
 
 Snapshot read_snapshot(std::istream& is) {
-  using namespace io::detail;
-  expect_header(is, kSnapshotMagic, kSnapshotVersion, "snapshot");
+  FAILPOINT("snapshot.read");
+  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == kSnapshotMagic,
+                  "bad snapshot magic");
+  const auto version = read_pod<std::uint32_t>(is);
   Snapshot snap;
-  const auto arch = read_pod<std::uint32_t>(is);
-  GSOUP_CHECK_MSG(arch <= static_cast<std::uint32_t>(Arch::kGat),
-                  "snapshot has unknown architecture id " << arch);
-  snap.config.arch = static_cast<Arch>(arch);
-  snap.config.in_dim = read_pod<std::int64_t>(is);
-  snap.config.hidden_dim = read_pod<std::int64_t>(is);
-  snap.config.out_dim = read_pod<std::int64_t>(is);
-  snap.config.num_layers = read_pod<std::int64_t>(is);
-  snap.config.heads = read_pod<std::int64_t>(is);
-  snap.config.dropout = read_pod<float>(is);
-  snap.config.attn_slope = read_pod<float>(is);
-  snap.graph.normalization = read_string(is);
-  snap.graph.self_loops = read_pod<std::uint8_t>(is) != 0;
-  snap.graph.num_nodes = read_pod<std::int64_t>(is);
-  snap.graph.num_edges = read_pod<std::int64_t>(is);
-  snap.graph.dataset = read_string(is);
-  snap.method = read_string(is);
-  snap.params = io::read_params(is);
+  if (version == kSnapshotVersionV1) {
+    snap = read_snapshot_v1(is);
+  } else if (version == kSnapshotVersion) {
+    snap = read_snapshot_v2(is);
+  } else {
+    GSOUP_CHECK_MSG(false, "unsupported snapshot version " << version);
+  }
   snap.validate();
   return snap;
 }
 
 void save_snapshot(const std::string& path, const Snapshot& snap) {
-  std::ofstream os(path, std::ios::binary);
-  GSOUP_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
-  write_snapshot(os, snap);
-  GSOUP_CHECK_MSG(os.good(), "write to " << path << " failed");
+  // Serialise fully in memory first: if write_snapshot throws (validation,
+  // failpoint), no file — not even a temp — is touched.
+  std::ostringstream buf(std::ios::binary);
+  write_snapshot(buf, snap);
+  const std::string bytes = buf.str();
+
+  // Temp file in the same directory (rename() must not cross filesystems),
+  // name salted with the pid so concurrent savers never share it.
+  std::string tmp = path + ".tmp";
+#if defined(__unix__) || defined(__APPLE__)
+  tmp += "." + std::to_string(::getpid());
+#endif
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  GSOUP_CHECK_MSG(f != nullptr, "cannot open " << tmp << " for writing");
+  bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
+            std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  // Data must be durable BEFORE the rename publishes it: a crash after
+  // rename but before writeback would otherwise leave a torn "new" file.
+  if (ok) ok = ::fsync(::fileno(f)) == 0;
+#endif
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    GSOUP_CHECK_MSG(false, "write to " << tmp << " failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    GSOUP_CHECK_MSG(false, "cannot rename " << tmp << " over " << path);
+  }
 }
 
 Snapshot load_snapshot(const std::string& path) {

@@ -11,6 +11,20 @@
 // soup saw in training. Built on the hardened io::serialize primitives —
 // corrupt or truncated snapshots throw CheckError, never deserialise
 // garbage weights.
+//
+// On-disk format (.gsnp): magic + version, then version-specific body.
+//  - v2 (written by write_snapshot): two CRC32-framed sections — config/
+//    graph metadata, then the parameter store — each stored as
+//    `section-magic, u64 length, u32 crc, payload`, closed by a footer
+//    (`footer-magic, u32 crc-of-section-crcs`). A truncation anywhere
+//    loses the footer, a bit flip anywhere breaks a CRC or a magic; both
+//    raise CheckError (fuzz-tested in tests/test_serve.cpp).
+//  - v1 (legacy, unframed): still readable; write_snapshot_v1 is kept so
+//    the compatibility path stays pinned by tests.
+// save_snapshot is crash-safe: it serialises to a temp file in the target
+// directory, flushes and fsyncs it, then atomically renames it over the
+// destination — a crash mid-save leaves either the old file or the new
+// one, never a torn hybrid.
 #pragma once
 
 #include <iosfwd>
@@ -58,10 +72,19 @@ struct Snapshot {
 Snapshot make_snapshot(const ModelConfig& config, const ParamStore& soup,
                        const Dataset& data, const std::string& method);
 
+/// Write the current (v2, CRC-framed) snapshot format.
 void write_snapshot(std::ostream& os, const Snapshot& snap);
+
+/// Write the legacy v1 (unframed) format. Kept only so tests can pin the
+/// v1 compatibility path of read_snapshot; new code writes v2.
+void write_snapshot_v1(std::ostream& os, const Snapshot& snap);
+
+/// Read either format (dispatches on the version field). Corrupt or
+/// truncated input throws CheckError — never returns garbage weights.
 Snapshot read_snapshot(std::istream& is);
 
 /// File-level helpers (throw CheckError on I/O failure or corruption).
+/// save_snapshot writes tmp-file → flush+fsync → atomic rename.
 void save_snapshot(const std::string& path, const Snapshot& snap);
 Snapshot load_snapshot(const std::string& path);
 

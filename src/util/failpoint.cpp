@@ -1,0 +1,231 @@
+#include "util/failpoint.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gsoup::failpoint {
+
+namespace {
+
+struct Counters {
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, Spec> armed;
+  /// Counters live separately from the armed specs so a `once` spec's
+  /// self-disarm (and an explicit disarm) leaves its history readable.
+  std::unordered_map<std::string, Counters> counters;
+  Rng rng{0x6661696c70740aULL};  // reproducible probability draws
+
+  Registry() {
+    if (const char* seed = std::getenv("GSOUP_FAILPOINT_SEED")) {
+      rng.reseed(static_cast<std::uint64_t>(std::strtoull(seed, nullptr, 10)));
+    }
+    // Env arming happens here, inside the registry constructor, so the
+    // first eval() from any thread sees a fully armed table.
+    if (const char* env = std::getenv("GSOUP_FAILPOINTS")) {
+      arm_env_string(env);
+    }
+  }
+
+  /// Env path: malformed entries warn and are skipped — a typo in a
+  /// deployment environment must not turn into a startup crash.
+  void arm_env_string(const std::string& config);
+};
+
+Registry& registry() {
+  static Registry r;  // intentionally never destroyed (threads outlive main)
+  return r;
+}
+
+/// Parse one `name=action[:arg][:once]` entry into (name, spec).
+/// Throws CheckError on malformed input.
+std::pair<std::string, Spec> parse_entry(const std::string& entry) {
+  const auto eq = entry.find('=');
+  GSOUP_CHECK_MSG(eq != std::string::npos && eq > 0,
+                  "failpoint spec '" << entry << "' is not name=action");
+  std::string name = entry.substr(0, eq);
+  std::string action = entry.substr(eq + 1);
+
+  Spec spec;
+  // Split the action on ':' into at most 3 tokens: kind[:arg][:once].
+  std::string tokens[3];
+  std::size_t ntok = 0;
+  std::size_t start = 0;
+  for (;;) {
+    const auto colon = action.find(':', start);
+    GSOUP_CHECK_MSG(ntok < 3,
+                    "failpoint spec '" << entry << "' has too many fields");
+    tokens[ntok++] = action.substr(start, colon - start);
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  GSOUP_CHECK_MSG(!tokens[0].empty(),
+                  "failpoint spec '" << entry << "' has an empty action");
+
+  // Trailing `once` modifier applies to either action kind.
+  if (ntok > 1 && tokens[ntok - 1] == "once") {
+    spec.once = true;
+    --ntok;
+  }
+
+  const std::string& kind = tokens[0];
+  if (kind == "error") {
+    spec.action = Action::kError;
+    if (ntok > 1) {
+      char* end = nullptr;
+      spec.probability = std::strtod(tokens[1].c_str(), &end);
+      GSOUP_CHECK_MSG(end != tokens[1].c_str() && *end == '\0' &&
+                          spec.probability > 0.0 && spec.probability <= 1.0,
+                      "failpoint spec '" << entry
+                                         << "': probability must be in (0, 1]");
+    }
+  } else if (kind == "delay") {
+    spec.action = Action::kDelay;
+    GSOUP_CHECK_MSG(ntok > 1,
+                    "failpoint spec '" << entry << "': delay needs :MS");
+    char* end = nullptr;
+    spec.delay_ms = std::strtoll(tokens[1].c_str(), &end, 10);
+    GSOUP_CHECK_MSG(end != tokens[1].c_str() && *end == '\0' &&
+                        spec.delay_ms >= 0,
+                    "failpoint spec '" << entry << "': bad delay");
+  } else {
+    GSOUP_CHECK_MSG(false, "failpoint spec '" << entry << "': unknown action '"
+                                              << kind << "'");
+  }
+  return {std::move(name), spec};
+}
+
+/// Split `config` on ';' (or ',') and hand each non-empty entry to `fn`.
+template <typename Fn>
+void for_each_entry(const std::string& config, Fn&& fn) {
+  std::size_t start = 0;
+  while (start <= config.size()) {
+    std::size_t end = config.find_first_of(";,", start);
+    if (end == std::string::npos) end = config.size();
+    const std::string entry = config.substr(start, end - start);
+    if (!entry.empty()) fn(entry);
+    start = end + 1;
+  }
+}
+
+void arm_locked(Registry& reg, const std::string& name, const Spec& spec) {
+  auto [it, inserted] = reg.armed.try_emplace(name, spec);
+  if (inserted) {
+    detail::g_armed.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    it->second = spec;
+  }
+}
+
+void Registry::arm_env_string(const std::string& config) {
+  for_each_entry(config, [this](const std::string& entry) {
+    try {
+      auto [name, spec] = parse_entry(entry);
+      std::lock_guard lock(mutex);
+      arm_locked(*this, name, spec);
+    } catch (const CheckError& e) {
+      std::fprintf(stderr, "GSOUP_FAILPOINTS: ignoring bad entry: %s\n",
+                   e.what());
+    }
+  });
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> g_armed{0};
+
+void evaluate(const char* name) {
+  Spec fired;
+  {
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    const auto it = reg.armed.find(name);
+    if (it == reg.armed.end()) return;
+    Counters& c = reg.counters[name];
+    ++c.hits;
+    if (it->second.probability < 1.0 &&
+        !reg.rng.bernoulli(it->second.probability)) {
+      return;
+    }
+    ++c.fires;
+    fired = it->second;
+    if (it->second.once) {
+      reg.armed.erase(it);
+      g_armed.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  switch (fired.action) {
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(fired.delay_ms));
+      return;
+    case Action::kError:
+      throw CheckError(std::string("failpoint ") + name + " fired");
+  }
+}
+
+}  // namespace detail
+
+void arm(const std::string& name, const Spec& spec) {
+  GSOUP_CHECK_MSG(!name.empty(), "failpoint name must be non-empty");
+  GSOUP_CHECK_MSG(spec.probability > 0.0 && spec.probability <= 1.0,
+                  "failpoint probability must be in (0, 1]");
+  GSOUP_CHECK_MSG(spec.delay_ms >= 0, "failpoint delay must be >= 0");
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  arm_locked(reg, name, spec);
+}
+
+bool disarm(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  const auto it = reg.armed.find(name);
+  if (it == reg.armed.end()) return false;
+  reg.armed.erase(it);
+  detail::g_armed.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void disarm_all() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  detail::g_armed.fetch_sub(static_cast<int>(reg.armed.size()),
+                            std::memory_order_relaxed);
+  reg.armed.clear();
+  reg.counters.clear();
+}
+
+std::uint64_t hit_count(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  const auto it = reg.counters.find(name);
+  return it == reg.counters.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t fire_count(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  const auto it = reg.counters.find(name);
+  return it == reg.counters.end() ? 0 : it->second.fires;
+}
+
+void arm_from_string(const std::string& config) {
+  for_each_entry(config, [](const std::string& entry) {
+    auto [name, spec] = parse_entry(entry);
+    arm(name, spec);
+  });
+}
+
+}  // namespace gsoup::failpoint

@@ -1,0 +1,109 @@
+// Named fault-injection points for robustness testing.
+//
+// A failpoint is a named hook compiled into a production code path:
+//
+//   FAILPOINT("serve.batch_exec");
+//
+// Disarmed (the default), the macro costs one relaxed atomic load and a
+// predictable branch — nothing is looked up, nothing allocates, so the
+// hooks can live on serving hot paths permanently. Armed, the hook
+// executes its configured action: throw a CheckError (optionally with a
+// probability < 1), or sleep for a fixed delay (to widen race windows in
+// shutdown/drain tests). A spec marked `once` disarms itself after its
+// first firing.
+//
+// Arming happens two ways:
+//  - programmatically from tests: failpoint::arm("snapshot.read", spec)
+//    (tests should pair with failpoint::disarm_all() in teardown, or use
+//    the ScopedFailpoint RAII helper);
+//  - from the environment at process start: GSOUP_FAILPOINTS holds a
+//    `;`-separated list of `name=action` entries, where action is
+//    `error`, `error:P` (P in (0,1]), `delay:MS`, each optionally
+//    suffixed with `:once` — e.g.
+//      GSOUP_FAILPOINTS="snapshot.read=error;serve.batch_exec=error:0.2;pool.task=delay:5:once"
+//    Malformed env entries are reported on stderr and skipped (a typo
+//    must not take down a serving binary at startup); the programmatic
+//    arm_from_string throws CheckError instead so tests catch typos.
+//
+// Probability draws use a private deterministic RNG (seedable via
+// GSOUP_FAILPOINT_SEED) so fault-injection runs are reproducible.
+//
+// Registered failpoint catalog (kept current in docs/ARCHITECTURE.md):
+//   snapshot.write     serve/snapshot.cpp  before serialising a snapshot
+//   snapshot.read      serve/snapshot.cpp  before parsing a snapshot
+//   engine.query       serve/engine.cpp    per engine batch execution
+//   serve.batch_exec   serve/server.cpp    per server batch, inside the
+//                                          isolation try-block
+//   pool.task          util/thread_pool    inside every pooled task
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace gsoup::failpoint {
+
+/// What an armed failpoint does when evaluated.
+enum class Action : std::uint8_t {
+  kError,  ///< throw CheckError("failpoint <name> fired")
+  kDelay,  ///< sleep delay_ms, then continue
+};
+
+struct Spec {
+  Action action = Action::kError;
+  double probability = 1.0;   ///< kError/kDelay fire with this probability
+  std::int64_t delay_ms = 0;  ///< kDelay: sleep duration
+  bool once = false;          ///< disarm after the first firing
+};
+
+/// Arm `name` with `spec` (replaces any existing spec for that name).
+void arm(const std::string& name, const Spec& spec);
+
+/// Disarm one failpoint; returns false if it was not armed.
+bool disarm(const std::string& name);
+
+/// Disarm everything (test teardown).
+void disarm_all();
+
+/// Times `name` was evaluated while armed (before the probability draw).
+std::uint64_t hit_count(const std::string& name);
+
+/// Times `name` actually fired (threw or delayed).
+std::uint64_t fire_count(const std::string& name);
+
+/// Parse a GSOUP_FAILPOINTS-style config string and arm every entry.
+/// Throws CheckError on a malformed entry (entries before the bad one
+/// stay armed).
+void arm_from_string(const std::string& config);
+
+namespace detail {
+/// Number of currently armed failpoints; the macro's fast path.
+extern std::atomic<int> g_armed;
+/// Slow path: look up `name`, count the hit, run the action.
+void evaluate(const char* name);
+}  // namespace detail
+
+/// Evaluate a failpoint by name. Inline so the disarmed case is a single
+/// load+branch at the call site.
+inline void eval(const char* name) {
+  if (detail::g_armed.load(std::memory_order_relaxed) == 0) return;
+  detail::evaluate(name);
+}
+
+/// RAII arming for tests: arms on construction, disarms on destruction.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, const Spec& spec) : name_(std::move(name)) {
+    arm(name_, spec);
+  }
+  ~ScopedFailpoint() { disarm(name_); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace gsoup::failpoint
+
+#define FAILPOINT(name) ::gsoup::failpoint::eval(name)

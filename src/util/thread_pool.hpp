@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/failpoint.hpp"
+
 namespace gsoup {
 
 /// A minimal thread pool. Tasks are std::function<void()>; submit() returns
@@ -30,10 +32,16 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task; returns a future completed when the task finishes.
+  /// A task that throws (including via the `pool.task` failpoint) parks
+  /// its exception in the future — it never unwinds a worker thread.
   template <typename F>
   std::future<std::invoke_result_t<F>> submit(F&& fn) {
     using R = std::invoke_result_t<F>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<F>(fn)]() mutable -> R {
+          FAILPOINT("pool.task");
+          return fn();
+        });
     std::future<R> fut = task->get_future();
     {
       std::lock_guard lock(mutex_);

@@ -1,0 +1,154 @@
+// Failpoint subsystem tests: disarmed no-op, error/delay/probability/once
+// actions, hit/fire counters, config-string parsing, RAII scoping, and the
+// pool.task hook's exception containment inside ThreadPool.
+#include <chrono>
+#include <future>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/failpoint.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gsoup {
+namespace {
+
+using failpoint::Action;
+using failpoint::ScopedFailpoint;
+using failpoint::Spec;
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::disarm_all(); }
+  void TearDown() override { failpoint::disarm_all(); }
+};
+
+TEST_F(FailpointTest, DisarmedIsANoop) {
+  EXPECT_NO_THROW(FAILPOINT("test.noop"));
+  EXPECT_EQ(failpoint::hit_count("test.noop"), 0u);
+  EXPECT_EQ(failpoint::fire_count("test.noop"), 0u);
+}
+
+TEST_F(FailpointTest, ErrorActionThrowsCheckErrorNamingThePoint) {
+  failpoint::arm("test.err", Spec{});
+  try {
+    FAILPOINT("test.err");
+    FAIL() << "armed error failpoint did not throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("test.err"), std::string::npos);
+  }
+  EXPECT_EQ(failpoint::hit_count("test.err"), 1u);
+  EXPECT_EQ(failpoint::fire_count("test.err"), 1u);
+  // Other names stay disarmed even while the registry is hot.
+  EXPECT_NO_THROW(FAILPOINT("test.other"));
+}
+
+TEST_F(FailpointTest, DisarmRestoresTheNoop) {
+  failpoint::arm("test.err", Spec{});
+  EXPECT_THROW(FAILPOINT("test.err"), CheckError);
+  EXPECT_TRUE(failpoint::disarm("test.err"));
+  EXPECT_FALSE(failpoint::disarm("test.err"));  // second disarm: not armed
+  EXPECT_NO_THROW(FAILPOINT("test.err"));
+  // History survives disarm so tests can assert after the fact.
+  EXPECT_EQ(failpoint::fire_count("test.err"), 1u);
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnceAndSelfDisarms) {
+  Spec spec;
+  spec.once = true;
+  failpoint::arm("test.once", spec);
+  EXPECT_THROW(FAILPOINT("test.once"), CheckError);
+  for (int i = 0; i < 10; ++i) EXPECT_NO_THROW(FAILPOINT("test.once"));
+  EXPECT_EQ(failpoint::fire_count("test.once"), 1u);
+}
+
+TEST_F(FailpointTest, ProbabilityFiresAFractionDeterministically) {
+  Spec spec;
+  spec.probability = 0.3;
+  failpoint::arm("test.prob", spec);
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    try {
+      FAILPOINT("test.prob");
+    } catch (const CheckError&) {
+      ++fired;
+    }
+  }
+  EXPECT_EQ(failpoint::hit_count("test.prob"), 1000u);
+  EXPECT_EQ(failpoint::fire_count("test.prob"), static_cast<unsigned>(fired));
+  // Seeded RNG: ~300 expected; a generous band still catches p being
+  // ignored (0 or 1000 would both fail).
+  EXPECT_GT(fired, 150);
+  EXPECT_LT(fired, 450);
+}
+
+TEST_F(FailpointTest, DelayActionSleepsAndContinues) {
+  Spec spec;
+  spec.action = Action::kDelay;
+  spec.delay_ms = 30;
+  failpoint::arm("test.delay", spec);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_NO_THROW(FAILPOINT("test.delay"));
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_GE(ms, 25.0);
+  EXPECT_EQ(failpoint::fire_count("test.delay"), 1u);
+}
+
+TEST_F(FailpointTest, ArmFromStringParsesEveryForm) {
+  failpoint::arm_from_string(
+      "a.err=error;b.frac=error:0.5;c.slow=delay:20;d.one=error:once");
+  EXPECT_THROW(FAILPOINT("a.err"), CheckError);
+  EXPECT_NO_THROW(FAILPOINT("c.slow"));
+  EXPECT_THROW(FAILPOINT("d.one"), CheckError);
+  EXPECT_NO_THROW(FAILPOINT("d.one"));  // once: self-disarmed
+  int fired = 0;
+  for (int i = 0; i < 200; ++i) {
+    try {
+      FAILPOINT("b.frac");
+    } catch (const CheckError&) {
+      ++fired;
+    }
+  }
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 200);
+}
+
+TEST_F(FailpointTest, ArmFromStringRejectsMalformedEntries) {
+  EXPECT_THROW(failpoint::arm_from_string("noequals"), CheckError);
+  EXPECT_THROW(failpoint::arm_from_string("x=explode"), CheckError);
+  EXPECT_THROW(failpoint::arm_from_string("x=error:0"), CheckError);
+  EXPECT_THROW(failpoint::arm_from_string("x=error:1.5"), CheckError);
+  EXPECT_THROW(failpoint::arm_from_string("x=delay:-3"), CheckError);
+  EXPECT_THROW(failpoint::arm_from_string("=error"), CheckError);
+}
+
+TEST_F(FailpointTest, ScopedFailpointDisarmsOnExit) {
+  {
+    ScopedFailpoint guard("test.scoped", Spec{});
+    EXPECT_THROW(FAILPOINT("test.scoped"), CheckError);
+  }
+  EXPECT_NO_THROW(FAILPOINT("test.scoped"));
+}
+
+TEST_F(FailpointTest, PoolTaskFailpointParksInFutureNotInWorker) {
+  // A pool.task error must surface through the task's future, never unwind
+  // (and kill) the worker thread — the pool keeps executing later tasks.
+  ThreadPool pool(2);
+  {
+    ScopedFailpoint guard("pool.task", Spec{});
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(pool.submit([i] { return i; }));
+    }
+    for (auto& f : futures) EXPECT_THROW(f.get(), CheckError);
+  }
+  // Disarmed again: same workers, tasks now succeed.
+  EXPECT_EQ(pool.submit([] { return 21 * 2; }).get(), 42);
+}
+
+}  // namespace
+}  // namespace gsoup

@@ -402,14 +402,16 @@ TEST(Locality, SubgraphServerOnReorderedContextSharesPlanFeatures) {
   server_cfg.max_batch = 8;
   serve::BatchServer server(snap, ctx, data.features, server_cfg);
 
-  std::vector<std::future<serve::Prediction>> futures;
+  std::vector<std::future<serve::QueryResult>> futures;
   for (int i = 0; i < 64; ++i) {
     futures.push_back(server.submit((i * 11) % data.num_nodes()));
   }
   server.drain();
   Tensor one = Tensor::empty({1, cfg.out_dim});
   for (auto& fut : futures) {
-    const serve::Prediction pred = fut.get();
+    const serve::QueryResult result = fut.get();
+    ASSERT_TRUE(result.ok());
+    const serve::Prediction pred = result.value();
     const std::int64_t ids[1] = {pred.node};
     oracle.query(std::span<const std::int64_t>(ids, 1), one);
     EXPECT_EQ(pred.label, static_cast<std::int32_t>(
@@ -450,13 +452,15 @@ TEST(Locality, CachedFullServerSharesOneLogitsTable) {
   server_cfg.mode = serve::QueryMode::kCachedFull;
   serve::BatchServer server(snap, ctx, data.features, server_cfg);
 
-  std::vector<std::future<serve::Prediction>> futures;
+  std::vector<std::future<serve::QueryResult>> futures;
   for (int i = 0; i < 200; ++i) {
     futures.push_back(server.submit((i * 7) % data.num_nodes()));
   }
   server.drain();
   for (auto& fut : futures) {
-    const serve::Prediction pred = fut.get();
+    const serve::QueryResult result = fut.get();
+    ASSERT_TRUE(result.ok());
+    const serve::Prediction pred = result.value();
     EXPECT_EQ(pred.label,
               static_cast<std::int32_t>(
                   expected_labels[static_cast<std::size_t>(pred.node)]));

@@ -1,7 +1,13 @@
-// Serving subsystem tests: snapshot round-trip and corruption handling,
+// Serving subsystem tests: snapshot round-trip and corruption handling
+// (including a randomized corruption fuzz over the CRC-framed v2 format),
 // inference-engine parity with the training-path forward (all three
 // architectures, full-graph and exact-subgraph batch queries), the
-// zero-allocation-per-request property, and end-to-end batch serving.
+// zero-allocation-per-request property, end-to-end batch serving, and the
+// failure semantics: admission control, deadlines, fault-injected worker
+// isolation, retry-aware load generation and shutdown/drain races.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <future>
 #include <sstream>
 #include <thread>
@@ -13,9 +19,11 @@
 #include "graph/generator.hpp"
 #include "nn/model.hpp"
 #include "serve/engine.hpp"
+#include "serve/loadgen.hpp"
 #include "serve/server.hpp"
 #include "serve/snapshot.hpp"
 #include "tensor/ops.hpp"
+#include "util/failpoint.hpp"
 #include "util/memory_tracker.hpp"
 #include "util/rng.hpp"
 
@@ -279,7 +287,7 @@ TEST(BatchServer, AnswersMatchTrainingForward) {
 
   // Three client threads, 60 queries each.
   constexpr int kClients = 3, kPerClient = 60;
-  std::vector<std::vector<std::future<serve::Prediction>>> futures(kClients);
+  std::vector<std::vector<std::future<serve::QueryResult>>> futures(kClients);
   std::vector<std::thread> clients;
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c] {
@@ -294,7 +302,9 @@ TEST(BatchServer, AnswersMatchTrainingForward) {
 
   for (auto& client_futures : futures) {
     for (auto& fut : client_futures) {
-      const serve::Prediction pred = fut.get();
+      const serve::QueryResult result = fut.get();
+      ASSERT_TRUE(result.ok());
+      const serve::Prediction pred = result.value();
       EXPECT_EQ(pred.label,
                 static_cast<std::int32_t>(
                     expected_labels[static_cast<std::size_t>(pred.node)]))
@@ -324,12 +334,12 @@ TEST(BatchServer, CoalescesUnderLatencyBudget) {
   server_cfg.max_delay_ms = 20.0;  // generous budget: queries pile up
   serve::BatchServer server(snap, ctx, data.features, server_cfg);
 
-  std::vector<std::future<serve::Prediction>> futures;
+  std::vector<std::future<serve::QueryResult>> futures;
   for (int i = 0; i < 32; ++i) {
     futures.push_back(server.submit(i % data.num_nodes()));
   }
   server.drain();
-  for (auto& fut : futures) EXPECT_GE(fut.get().label, 0);
+  for (auto& fut : futures) EXPECT_GE(fut.get().value().label, 0);
 
   const serve::ServerStats stats = server.stats();
   EXPECT_EQ(stats.queries, 32u);
@@ -363,14 +373,16 @@ TEST(BatchServer, PlanCacheHitsRepeatedBatchesAndStaysExact) {
   // sighting of a node must hit its cached plan (capacity 4 > 3 keys).
   const std::int64_t hot[3] = {7, 42, 7 % data.num_nodes()};
   constexpr int kRounds = 20;
-  std::vector<std::future<serve::Prediction>> futures;
+  std::vector<std::future<serve::QueryResult>> futures;
   for (int i = 0; i < kRounds; ++i) {
     futures.push_back(server.submit(hot[i % 3]));
     if (i % 5 == 4) server.drain();  // force single-node batches through
   }
   server.drain();
   for (auto& fut : futures) {
-    const serve::Prediction pred = fut.get();
+    const serve::QueryResult result = fut.get();
+    ASSERT_TRUE(result.ok());
+    const serve::Prediction pred = result.value();
     EXPECT_EQ(pred.label,
               static_cast<std::int32_t>(
                   expected_labels[static_cast<std::size_t>(pred.node)]))
@@ -429,8 +441,577 @@ TEST(BatchServer, RejectsOutOfRangeSubmitSynchronously) {
   EXPECT_THROW(server.submit(data.num_nodes()), CheckError);
   auto fut = server.submit(0);
   server.drain();
-  EXPECT_GE(fut.get().label, 0);
+  EXPECT_GE(fut.get().value().label, 0);
   EXPECT_EQ(server.stats().queries, 1u);
+}
+
+// ---- Failure semantics ---------------------------------------------------
+
+using failpoint::ScopedFailpoint;
+
+/// RAII teardown so a failing assertion can't leave a failpoint armed for
+/// the rest of the binary.
+struct FailpointCleanup {
+  ~FailpointCleanup() { failpoint::disarm_all(); }
+};
+
+serve::Snapshot quick_snapshot(const Dataset& data, const ModelConfig& cfg,
+                               std::uint64_t seed) {
+  const GnnModel model(cfg);
+  Rng rng(seed);
+  return serve::make_snapshot(cfg, model.init_params(rng), data, "uniform");
+}
+
+TEST(Snapshot, V1FormatStillReadable) {
+  const Dataset data = test_dataset();
+  const ModelConfig cfg = test_config(Arch::kSage, data);
+  const GnnModel model(cfg);
+  Rng rng(47);
+  const ParamStore params = model.init_params(rng);
+  const serve::Snapshot snap =
+      serve::make_snapshot(cfg, params, data, "uniform");
+
+  std::stringstream ss;
+  serve::write_snapshot_v1(ss, snap);
+  const serve::Snapshot back = serve::read_snapshot(ss);
+  EXPECT_EQ(back.config.arch, cfg.arch);
+  EXPECT_EQ(back.graph.num_nodes, data.num_nodes());
+  ASSERT_TRUE(ParamStore::compatible(params, back.params));
+  for (const auto& e : params.entries()) {
+    EXPECT_FLOAT_EQ(ops::max_abs_diff(e.tensor, back.params.get(e.name)),
+                    0.0f);
+  }
+}
+
+TEST(Snapshot, FuzzedCorruptionAlwaysThrowsCheckError) {
+  // The acceptance bar for the v2 CRC-framed format: ANY single-byte
+  // corruption or truncation must raise CheckError — never a crash, never
+  // silently-deserialised garbage weights.
+  const Dataset data = test_dataset();
+  const serve::Snapshot snap =
+      quick_snapshot(data, test_config(Arch::kGcn, data), 53);
+  std::stringstream ss;
+  serve::write_snapshot(ss, snap);
+  const std::string bytes = ss.str();
+  ASSERT_GT(bytes.size(), 64u);
+
+  Rng rng(1234);
+  constexpr int kRounds = 1200;
+  for (int round = 0; round < kRounds; ++round) {
+    std::string bad = bytes;
+    if (round % 3 == 0) {
+      // Truncate at a random point (strictly shorter than the original).
+      bad.resize(static_cast<std::size_t>(rng.uniform_int(bytes.size())));
+    } else {
+      // Flip one random byte to a guaranteed-different value.
+      const auto pos =
+          static_cast<std::size_t>(rng.uniform_int(bytes.size()));
+      const auto mask =
+          static_cast<char>(1 + rng.uniform_int(255));  // never 0
+      bad[pos] = static_cast<char>(bad[pos] ^ mask);
+    }
+    std::stringstream is(bad);
+    EXPECT_THROW(serve::read_snapshot(is), CheckError)
+        << "corruption round " << round << " was not detected";
+  }
+}
+
+TEST(Snapshot, SaveIsCrashSafeUnderWriteFailpoint) {
+  const Dataset data = test_dataset();
+  const serve::Snapshot snap =
+      quick_snapshot(data, test_config(Arch::kGcn, data), 59);
+  const std::string path = "test_snapshot_atomic.gsnp";
+
+  // Seed the destination with a valid snapshot, then make the next write
+  // fail: the old file must survive byte-for-byte (tmp+rename semantics —
+  // a failed save never tears the published file).
+  serve::save_snapshot(path, snap);
+  std::string before;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    before = buf.str();
+  }
+  {
+    FailpointCleanup cleanup;
+    ScopedFailpoint guard("snapshot.write", failpoint::Spec{});
+    EXPECT_THROW(serve::save_snapshot(path, snap), CheckError);
+  }
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), before);
+  }
+  // And the survivor still loads.
+  EXPECT_NO_THROW(serve::load_snapshot(path));
+  std::remove(path.c_str());
+}
+
+TEST(BatchServer, RejectNewSurfacesOverloadAndAccountsEveryQuery) {
+  const Dataset data = test_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const serve::Snapshot snap = quick_snapshot(data, cfg, 61);
+  auto ctx = std::make_shared<const GraphContext>(data.graph, Arch::kGcn);
+
+  serve::ServerConfig server_cfg;
+  server_cfg.workers = 1;
+  server_cfg.max_batch = 1;
+  server_cfg.max_delay_ms = 0.0;
+  server_cfg.max_pending = 2;
+  server_cfg.admission = serve::AdmissionPolicy::kRejectNew;
+
+  FailpointCleanup cleanup;
+  // Slow every batch down so the rapid-fire burst finds the queue full.
+  failpoint::Spec slow;
+  slow.action = failpoint::Action::kDelay;
+  slow.delay_ms = 10;
+  ScopedFailpoint guard("serve.batch_exec", slow);
+
+  serve::BatchServer server(snap, ctx, data.features, server_cfg);
+  constexpr int kBurst = 40;
+  std::vector<std::future<serve::QueryResult>> futures;
+  futures.reserve(kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    futures.push_back(server.submit(i % data.num_nodes()));
+  }
+  server.drain();
+
+  std::uint64_t ok = 0, overloaded = 0;
+  for (auto& fut : futures) {
+    const serve::QueryResult r = fut.get();
+    if (r.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.error().code, serve::ServeErrorCode::kOverloaded);
+      ++overloaded;
+    }
+  }
+  // A 40-query instantaneous burst against a 2-deep queue and 10 ms
+  // batches must shed most of its load — and lose nothing.
+  EXPECT_GT(overloaded, 0u);
+  EXPECT_GT(ok, 0u);
+  EXPECT_EQ(ok + overloaded, static_cast<std::uint64_t>(kBurst));
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.rejected, overloaded);
+  EXPECT_EQ(stats.queries, ok);
+  // Rejected-at-the-door queries are not admitted; every admitted query
+  // was answered (no faults, no deadlines in this run).
+  EXPECT_EQ(stats.submitted, ok);
+  EXPECT_EQ(stats.submitted + stats.rejected,
+            static_cast<std::uint64_t>(kBurst));
+}
+
+TEST(BatchServer, ShedOldestEvictsFromTheFrontOfTheQueue) {
+  const Dataset data = test_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const serve::Snapshot snap = quick_snapshot(data, cfg, 67);
+  auto ctx = std::make_shared<const GraphContext>(data.graph, Arch::kGcn);
+
+  serve::ServerConfig server_cfg;
+  server_cfg.workers = 1;
+  server_cfg.max_batch = 1;
+  server_cfg.max_delay_ms = 0.0;
+  server_cfg.max_pending = 2;
+  server_cfg.admission = serve::AdmissionPolicy::kShedOldest;
+
+  FailpointCleanup cleanup;
+  failpoint::Spec slow;
+  slow.action = failpoint::Action::kDelay;
+  slow.delay_ms = 10;
+  ScopedFailpoint guard("serve.batch_exec", slow);
+
+  serve::BatchServer server(snap, ctx, data.features, server_cfg);
+  constexpr int kBurst = 40;
+  std::vector<std::future<serve::QueryResult>> futures;
+  futures.reserve(kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    futures.push_back(server.submit(i % data.num_nodes()));
+  }
+  server.drain();
+
+  std::uint64_t ok = 0, shed = 0;
+  for (auto& fut : futures) {
+    const serve::QueryResult r = fut.get();
+    if (r.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.error().code, serve::ServeErrorCode::kOverloaded);
+      ++shed;
+    }
+  }
+  EXPECT_GT(shed, 0u);
+  EXPECT_EQ(ok + shed, static_cast<std::uint64_t>(kBurst));
+
+  const serve::ServerStats stats = server.stats();
+  // Every query was admitted under kShedOldest; drain() returning proves
+  // completed caught up with submitted even with evictions in flight.
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kBurst));
+  EXPECT_EQ(stats.rejected, shed);
+  EXPECT_EQ(stats.queries, ok);
+}
+
+TEST(BatchServer, DeadlineExpiryFailsQueriesWithoutComputingThem) {
+  const Dataset data = test_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const serve::Snapshot snap = quick_snapshot(data, cfg, 71);
+  auto ctx = std::make_shared<const GraphContext>(data.graph, Arch::kGcn);
+
+  serve::ServerConfig server_cfg;
+  server_cfg.workers = 1;
+  server_cfg.max_batch = 1;
+  server_cfg.max_delay_ms = 0.0;
+
+  FailpointCleanup cleanup;
+  failpoint::Spec slow;
+  slow.action = failpoint::Action::kDelay;
+  slow.delay_ms = 30;
+  ScopedFailpoint guard("serve.batch_exec", slow);
+
+  serve::BatchServer server(snap, ctx, data.features, server_cfg);
+  // Head-of-line query with a generous deadline occupies the worker...
+  auto head = server.submit(0, /*deadline_ms=*/5000.0);
+  // ...so queries with tight deadlines expire while queued behind it.
+  std::vector<std::future<serve::QueryResult>> tight;
+  for (int i = 0; i < 10; ++i) {
+    tight.push_back(server.submit(i % data.num_nodes(), /*deadline_ms=*/1.0));
+  }
+  server.drain();
+
+  EXPECT_TRUE(head.get().ok());
+  std::uint64_t expired = 0, ok = 0;
+  for (auto& fut : tight) {
+    const serve::QueryResult r = fut.get();
+    if (r.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.error().code, serve::ServeErrorCode::kDeadlineExceeded);
+      ++expired;
+    }
+  }
+  EXPECT_GT(expired, 0u);
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.deadline_expired, expired);
+  EXPECT_EQ(stats.submitted, 11u);
+  EXPECT_EQ(stats.queries + stats.deadline_expired, 11u);
+}
+
+TEST(BatchServer, ExecFailureIsolatesBatchesAndRebuildsWorkers) {
+  const Dataset data = test_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const GnnModel model(cfg);
+  Rng rng(73);
+  const ParamStore params = model.init_params(rng);
+  auto ctx = std::make_shared<const GraphContext>(data.graph, Arch::kGcn);
+  const Tensor expected = training_logits(model, *ctx, data, params);
+  const auto expected_labels = ops::row_argmax(expected);
+  const serve::Snapshot snap =
+      serve::make_snapshot(cfg, params, data, "uniform");
+
+  serve::ServerConfig server_cfg;
+  server_cfg.workers = 2;
+  server_cfg.max_batch = 4;
+  server_cfg.max_delay_ms = 0.5;
+  serve::BatchServer server(snap, ctx, data.features, server_cfg);
+
+  constexpr int kQueries = 200;
+  std::vector<std::future<serve::QueryResult>> futures;
+  futures.reserve(kQueries);
+  {
+    FailpointCleanup cleanup;
+    // ~30% of batches have their engine throw mid-execution.
+    failpoint::Spec flaky;
+    flaky.probability = 0.3;
+    ScopedFailpoint guard("engine.query", flaky);
+    for (int i = 0; i < kQueries; ++i) {
+      futures.push_back(server.submit((i * 13) % data.num_nodes()));
+    }
+    server.drain();
+  }
+
+  // Evaluate AFTER disarming so the oracle comparisons below can't trip
+  // the failpoint themselves.
+  std::uint64_t ok = 0, failed = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    const serve::QueryResult r = futures[static_cast<std::size_t>(i)].get();
+    const std::int64_t node = (i * 13) % data.num_nodes();
+    if (!r.ok()) {
+      ASSERT_EQ(r.error().code, serve::ServeErrorCode::kExecFailed);
+      ++failed;
+      continue;
+    }
+    ++ok;
+    // Worker isolation: queries in unfaulted batches must be bit-identical
+    // to the clean forward, fault storms notwithstanding.
+    EXPECT_EQ(r.value().label,
+              static_cast<std::int32_t>(
+                  expected_labels[static_cast<std::size_t>(node)]))
+        << "node " << node;
+    EXPECT_FLOAT_EQ(r.value().score, expected.at(node, r.value().label));
+  }
+  ASSERT_GT(failed, 0u) << "fault injection never fired (p=0.3, 200 queries)";
+  ASSERT_GT(ok, 0u);
+
+  serve::ServerStats stats = server.stats();
+  EXPECT_GE(stats.failed_batches, 1u);
+  EXPECT_EQ(stats.failed_queries, failed);
+  EXPECT_EQ(stats.queries, ok);
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kQueries));
+  EXPECT_EQ(stats.queries + stats.failed_queries,
+            static_cast<std::uint64_t>(kQueries));
+
+  // Disarmed, the rebuilt workers serve correct answers again.
+  std::vector<std::future<serve::QueryResult>> after;
+  for (int i = 0; i < 50; ++i) {
+    after.push_back(server.submit((i * 7) % data.num_nodes()));
+  }
+  server.drain();
+  for (auto& fut : after) {
+    const serve::QueryResult r = fut.get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().label,
+              static_cast<std::int32_t>(expected_labels[static_cast<
+                  std::size_t>(r.value().node)]));
+  }
+}
+
+TEST(BatchServer, PoolTaskDeathResolvesPromisesInsteadOfBreakingThem) {
+  const Dataset data = test_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const serve::Snapshot snap = quick_snapshot(data, cfg, 79);
+  auto ctx = std::make_shared<const GraphContext>(data.graph, Arch::kGcn);
+  serve::BatchServer server(snap, ctx, data.features);
+
+  FailpointCleanup cleanup;
+  {
+    // The pooled task itself dies before run_batch executes: the batch
+    // guard must resolve the promise (kExecFailed), never leave a broken
+    // promise for the client to std::future_error on.
+    failpoint::Spec once;
+    once.once = true;
+    ScopedFailpoint guard("pool.task", once);
+    auto fut = server.submit(3);
+    server.drain();
+    const serve::QueryResult r = fut.get();  // must not throw
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, serve::ServeErrorCode::kExecFailed);
+  }
+  // The server survives; the next query succeeds.
+  auto fut = server.submit(4);
+  server.drain();
+  EXPECT_TRUE(fut.get().ok());
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.failed_queries, 1u);
+  EXPECT_EQ(stats.queries, 1u);
+}
+
+TEST(BatchServer, DrainRacingConcurrentSubmitsTerminates) {
+  const Dataset data = test_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const serve::Snapshot snap = quick_snapshot(data, cfg, 83);
+  auto ctx = std::make_shared<const GraphContext>(data.graph, Arch::kGcn);
+  serve::ServerConfig server_cfg;
+  server_cfg.workers = 2;
+  server_cfg.max_batch = 8;
+  server_cfg.max_delay_ms = 0.2;
+  serve::BatchServer server(snap, ctx, data.features, server_cfg);
+
+  constexpr int kClients = 4, kPerClient = 50;
+  std::vector<std::vector<std::future<serve::QueryResult>>> futures(kClients);
+  std::atomic<int> live{kClients};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        futures[static_cast<std::size_t>(c)].push_back(
+            server.submit((c * 31 + i) % data.num_nodes()));
+      }
+      --live;
+    });
+  }
+  // drain() repeatedly while submits are still arriving: every call must
+  // return (it waits for the queries admitted so far, not forever).
+  while (live.load() > 0) server.drain();
+  for (auto& t : clients) t.join();
+  server.drain();
+
+  for (auto& per_client : futures) {
+    for (auto& fut : per_client) EXPECT_TRUE(fut.get().ok());
+  }
+  EXPECT_EQ(server.stats().queries,
+            static_cast<std::uint64_t>(kClients * kPerClient));
+}
+
+TEST(BatchServer, FailFastDestructorResolvesAFullPendingQueue) {
+  const Dataset data = test_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const serve::Snapshot snap = quick_snapshot(data, cfg, 89);
+  auto ctx = std::make_shared<const GraphContext>(data.graph, Arch::kGcn);
+
+  serve::ServerConfig server_cfg;
+  server_cfg.workers = 1;
+  server_cfg.max_batch = 1;
+  server_cfg.max_delay_ms = 0.0;
+  server_cfg.max_pending = 64;
+  server_cfg.drain_on_shutdown = false;
+
+  FailpointCleanup cleanup;
+  failpoint::Spec slow;
+  slow.action = failpoint::Action::kDelay;
+  slow.delay_ms = 25;
+  ScopedFailpoint guard("serve.batch_exec", slow);
+
+  std::vector<std::future<serve::QueryResult>> futures;
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    serve::BatchServer server(snap, ctx, data.features, server_cfg);
+    for (int i = 0; i < 40; ++i) {
+      futures.push_back(server.submit(i % data.num_nodes()));
+    }
+    // Destructor runs with a deep pending queue and a delayed batch in
+    // flight: it must fail-fast the queue, not serve it out.
+  }
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  // Serving all 40 at 25 ms each would take a second; fail-fast shutdown
+  // only finishes the dispatched handful.
+  EXPECT_LT(ms, 500.0);
+
+  std::uint64_t ok = 0, shutdown = 0;
+  for (auto& fut : futures) {
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    const serve::QueryResult r = fut.get();  // never a broken promise
+    if (r.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.error().code, serve::ServeErrorCode::kShutdown);
+      ++shutdown;
+    }
+  }
+  EXPECT_GT(shutdown, 0u);
+  EXPECT_EQ(ok + shutdown, 40u);
+}
+
+TEST(BatchServer, DrainingDestructorAnswersEverythingQueued) {
+  const Dataset data = test_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const serve::Snapshot snap = quick_snapshot(data, cfg, 97);
+  auto ctx = std::make_shared<const GraphContext>(data.graph, Arch::kGcn);
+
+  serve::ServerConfig server_cfg;
+  server_cfg.workers = 2;
+  server_cfg.max_batch = 4;
+  server_cfg.max_delay_ms = 5.0;  // queue builds up before the dtor
+
+  std::vector<std::future<serve::QueryResult>> futures;
+  {
+    serve::BatchServer server(snap, ctx, data.features, server_cfg);
+    for (int i = 0; i < 30; ++i) {
+      futures.push_back(server.submit(i % data.num_nodes()));
+    }
+  }  // default drain_on_shutdown: everything queued is served
+  for (auto& fut : futures) EXPECT_TRUE(fut.get().ok());
+}
+
+TEST(BatchServer, DestructorWhileFailpointDelayedBatchInFlight) {
+  const Dataset data = test_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const serve::Snapshot snap = quick_snapshot(data, cfg, 101);
+  auto ctx = std::make_shared<const GraphContext>(data.graph, Arch::kGcn);
+
+  FailpointCleanup cleanup;
+  failpoint::Spec slow;
+  slow.action = failpoint::Action::kDelay;
+  slow.delay_ms = 100;
+  slow.once = true;
+  ScopedFailpoint guard("serve.batch_exec", slow);
+
+  serve::ServerConfig server_cfg;
+  server_cfg.workers = 1;
+  server_cfg.max_batch = 1;
+  server_cfg.max_delay_ms = 0.0;
+  std::future<serve::QueryResult> fut;
+  {
+    serve::BatchServer server(snap, ctx, data.features, server_cfg);
+    fut = server.submit(0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    // The batch is mid-delay on a pool worker; the destructor must wait
+    // for it (never abandon a running batch) and the promise resolves.
+  }
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_TRUE(fut.get().ok());
+}
+
+TEST(Loadgen, RetriesRecoverFromTransientFaults) {
+  const Dataset data = test_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const serve::Snapshot snap = quick_snapshot(data, cfg, 103);
+  auto ctx = std::make_shared<const GraphContext>(data.graph, Arch::kGcn);
+  serve::ServerConfig server_cfg;
+  server_cfg.workers = 2;
+  server_cfg.max_batch = 8;
+  server_cfg.max_delay_ms = 0.5;
+  serve::BatchServer server(snap, ctx, data.features, server_cfg);
+
+  FailpointCleanup cleanup;
+  // The first batch fails; everything after (including retries) succeeds.
+  failpoint::Spec once;
+  once.once = true;
+  failpoint::arm("serve.batch_exec", once);
+
+  serve::LoadgenOptions options;
+  options.requests = 60;
+  options.clients = 2;
+  options.num_nodes = data.num_nodes();
+  options.max_retries = 3;
+  options.retry_backoff_ms = 1.0;
+  const serve::LoadReport report = serve::drive_load(server, options);
+
+  EXPECT_EQ(report.ok, 60u);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_GE(report.retries, 1u);
+  EXPECT_GE(report.exec_failed, 1u);  // the observation that drove retries
+  EXPECT_EQ(server.stats().retries_observed, report.retries);
+}
+
+TEST(Loadgen, ReportsPersistentFailuresWithoutThrowingAndHonoursBudget) {
+  const Dataset data = test_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const serve::Snapshot snap = quick_snapshot(data, cfg, 107);
+  auto ctx = std::make_shared<const GraphContext>(data.graph, Arch::kGcn);
+  serve::ServerConfig server_cfg;
+  server_cfg.workers = 2;
+  server_cfg.max_batch = 8;
+  server_cfg.max_delay_ms = 0.2;
+  serve::BatchServer server(snap, ctx, data.features, server_cfg);
+
+  FailpointCleanup cleanup;
+  failpoint::arm("engine.query", failpoint::Spec{});  // hard-down engines
+
+  serve::LoadgenOptions options;
+  options.requests = 30;
+  options.clients = 3;
+  options.num_nodes = data.num_nodes();
+  options.max_retries = 4;
+  options.retry_budget = 10;  // global cap across all clients
+  options.retry_backoff_ms = 0.5;
+  const serve::LoadReport report = serve::drive_load(server, options);
+
+  EXPECT_EQ(report.ok, 0u);
+  EXPECT_EQ(report.failures, 30u);
+  EXPECT_LE(report.retries, 10u);  // the budget held
+  EXPECT_GE(report.exec_failed, 30u);
+  EXPECT_FALSE(report.first_error.empty());
+
+  // The strict legacy driver must turn the same situation into a throw.
+  EXPECT_THROW(serve::drive_clients(server, 10, 2, data.num_nodes()),
+               CheckError);
 }
 
 }  // namespace

@@ -18,8 +18,20 @@
 //   serve_cli bench --snapshot soup.gsnp --data graph.gds [--requests 2000]
 //                   [--batch 64] [--workers 2] [--clients 4]
 //                   [--delay-ms 2.0] [--mode subgraph|full]
+//                   [--max-pending 4096] [--admission reject|shed]
+//                   [--deadline-ms 0] [--retries 0] [--retry-budget 0]
+//                   [--backoff-ms 1.0] [--allow-failures]
 //       Drive the batch server from concurrent clients and report
-//       p50/p99 latency and QPS, plus the unbatched single-query baseline.
+//       p50/p99 latency and QPS, plus the unbatched single-query baseline,
+//       plus the failure/degradation counters (rejected, expired, failed,
+//       retried). Overload and fault experiments pass --allow-failures;
+//       without it any failed query makes the run exit non-zero.
+//
+//   Any command accepts --failpoints "name=error[:p]|delay:ms[:once],..."
+//   to arm fault injection (see util/failpoint.hpp) before it runs.
+//
+// Exit codes: 0 success; 2 bad arguments/usage; 3 unreadable or corrupt
+// snapshot/dataset input; 4 query or load-test failure; 1 anything else.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,12 +55,25 @@
 #include "tensor/ops.hpp"
 #include "train/ingredient_farm.hpp"
 #include "train/metrics.hpp"
+#include "util/failpoint.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace {
 
 using namespace gsoup;
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitBadInput = 3;    // unreadable/corrupt snapshot or dataset
+constexpr int kExitQueryFailed = 4;
+
+/// Thrown by commands to request a specific exit code; main() prints the
+/// message to stderr as a one-line diagnostic and returns the code.
+struct ExitError : std::runtime_error {
+  ExitError(int c, const std::string& msg) : std::runtime_error(msg), code(c) {}
+  int code;
+};
 
 struct Args {
   std::string cmd;
@@ -60,14 +85,22 @@ struct Args {
   std::string method = "uniform";
   std::string mode = "subgraph";
   std::string nodes;
+  std::string admission = "reject";
+  std::string failpoints;
   double scale = 0.25;
   double delay_ms = 2.0;
+  double deadline_ms = 0.0;
+  double backoff_ms = 1.0;
   std::int64_t ingredients = 4;
   std::int64_t epochs = 30;
   std::int64_t workers = 2;
   std::int64_t requests = 2000;
   std::int64_t batch = 64;
   std::int64_t clients = 4;
+  std::int64_t max_pending = 4096;
+  std::int64_t retries = 0;
+  std::int64_t retry_budget = 0;
+  bool allow_failures = false;
 };
 
 int usage(const char* argv0) {
@@ -103,6 +136,14 @@ bool parse_args(int argc, char** argv, Args& args) {
     else if (flag == "--requests" && (v = next())) args.requests = std::atoll(v);
     else if (flag == "--batch" && (v = next())) args.batch = std::atoll(v);
     else if (flag == "--clients" && (v = next())) args.clients = std::atoll(v);
+    else if (flag == "--max-pending" && (v = next())) args.max_pending = std::atoll(v);
+    else if (flag == "--admission" && (v = next())) args.admission = v;
+    else if (flag == "--deadline-ms" && (v = next())) args.deadline_ms = std::atof(v);
+    else if (flag == "--retries" && (v = next())) args.retries = std::atoll(v);
+    else if (flag == "--retry-budget" && (v = next())) args.retry_budget = std::atoll(v);
+    else if (flag == "--backoff-ms" && (v = next())) args.backoff_ms = std::atof(v);
+    else if (flag == "--failpoints" && (v = next())) args.failpoints = v;
+    else if (flag == "--allow-failures") args.allow_failures = true;
     else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return false;
@@ -135,6 +176,32 @@ SyntheticSpec preset_spec(const std::string& preset, double scale) {
   return {};
 }
 
+/// Missing/invalid flags are usage errors (exit 2), not internal errors.
+void require(bool ok, const std::string& message) {
+  if (!ok) throw ExitError(kExitUsage, message);
+}
+
+/// Unreadable or corrupt serving inputs exit 3, distinct from bad flags
+/// (2) and from queries that failed at runtime (4): a deployment script
+/// can tell "re-save the snapshot" apart from "fix the command line".
+serve::Snapshot load_snapshot_checked(const std::string& path) {
+  try {
+    return serve::load_snapshot(path);
+  } catch (const std::exception& e) {
+    throw ExitError(kExitBadInput,
+                    std::string("bad snapshot ") + path + ": " + e.what());
+  }
+}
+
+Dataset load_dataset_checked(const std::string& path) {
+  try {
+    return io::load_dataset(path);
+  } catch (const std::exception& e) {
+    throw ExitError(kExitBadInput,
+                    std::string("bad dataset ") + path + ": " + e.what());
+  }
+}
+
 /// A snapshot answers queries correctly only over the graph it was souped
 /// on; the engine constructor can't tell (dims may match across datasets),
 /// so every serving entry point checks the snapshot's graph metadata.
@@ -163,8 +230,8 @@ std::vector<std::int64_t> parse_node_list(const std::string& csv) {
 }
 
 int cmd_save(const Args& args) {
-  GSOUP_CHECK_MSG(!args.out_path.empty() && !args.data_path.empty(),
-                  "save needs --out and --data");
+  require(!args.out_path.empty() && !args.data_path.empty(),
+          "save needs --out and --data");
   const Dataset data = generate_dataset(preset_spec(args.preset, args.scale));
   std::printf("dataset: %s\n", dataset_summary(data).c_str());
   io::save_dataset(args.data_path, data);
@@ -218,8 +285,8 @@ int cmd_save(const Args& args) {
 }
 
 int cmd_info(const Args& args) {
-  GSOUP_CHECK_MSG(!args.snapshot_path.empty(), "info needs --snapshot");
-  const serve::Snapshot snap = serve::load_snapshot(args.snapshot_path);
+  require(!args.snapshot_path.empty(), "info needs --snapshot");
+  const serve::Snapshot snap = load_snapshot_checked(args.snapshot_path);
   std::printf("model:    %s\n", snap.config.describe().c_str());
   std::printf("method:   %s\n", snap.method.c_str());
   std::printf("graph:    %s (%lld nodes, %lld edges, norm=%s, self_loops=%d)\n",
@@ -236,13 +303,13 @@ int cmd_info(const Args& args) {
 }
 
 int cmd_query(const Args& args) {
-  GSOUP_CHECK_MSG(!args.snapshot_path.empty() && !args.data_path.empty(),
-                  "query needs --snapshot and --data");
-  const serve::Snapshot snap = serve::load_snapshot(args.snapshot_path);
-  const Dataset data = io::load_dataset(args.data_path);
+  require(!args.snapshot_path.empty() && !args.data_path.empty(),
+          "query needs --snapshot and --data");
+  const serve::Snapshot snap = load_snapshot_checked(args.snapshot_path);
+  const Dataset data = load_dataset_checked(args.data_path);
   check_snapshot_graph(snap, data);
   const std::vector<std::int64_t> nodes = parse_node_list(args.nodes);
-  GSOUP_CHECK_MSG(!nodes.empty(), "query needs --nodes id[,id...]");
+  require(!nodes.empty(), "query needs --nodes id[,id...]");
 
   auto ctx =
       std::make_shared<const GraphContext>(data.graph, snap.config.arch);
@@ -251,7 +318,12 @@ int cmd_query(const Args& args) {
   Tensor out = Tensor::empty(
       {static_cast<std::int64_t>(nodes.size()), snap.config.out_dim});
   Timer t;
-  engine.query(nodes, out);
+  try {
+    engine.query(nodes, out);
+  } catch (const std::exception& e) {
+    throw ExitError(kExitQueryFailed,
+                    std::string("query failed: ") + e.what());
+  }
   const double ms = t.milliseconds();
 
   for (std::size_t i = 0; i < nodes.size(); ++i) {
@@ -269,10 +341,10 @@ int cmd_query(const Args& args) {
 }
 
 int cmd_bench(const Args& args) {
-  GSOUP_CHECK_MSG(!args.snapshot_path.empty() && !args.data_path.empty(),
-                  "bench needs --snapshot and --data");
-  const serve::Snapshot snap = serve::load_snapshot(args.snapshot_path);
-  const Dataset data = io::load_dataset(args.data_path);
+  require(!args.snapshot_path.empty() && !args.data_path.empty(),
+          "bench needs --snapshot and --data");
+  const serve::Snapshot snap = load_snapshot_checked(args.snapshot_path);
+  const Dataset data = load_dataset_checked(args.data_path);
   check_snapshot_graph(snap, data);
   auto ctx =
       std::make_shared<const GraphContext>(data.graph, snap.config.arch);
@@ -285,38 +357,78 @@ int cmd_bench(const Args& args) {
     Rng rng(1);
     const std::int64_t probes = std::min<std::int64_t>(args.requests, 256);
     std::int64_t id = rng.uniform_int(data.num_nodes());
-    engine.query(std::span<const std::int64_t>(&id, 1), out);  // warm-up
     Timer t;
-    for (std::int64_t i = 0; i < probes; ++i) {
-      id = rng.uniform_int(data.num_nodes());
-      engine.query(std::span<const std::int64_t>(&id, 1), out);
+    try {
+      engine.query(std::span<const std::int64_t>(&id, 1), out);  // warm-up
+      t.reset();
+      for (std::int64_t i = 0; i < probes; ++i) {
+        id = rng.uniform_int(data.num_nodes());
+        engine.query(std::span<const std::int64_t>(&id, 1), out);
+      }
+    } catch (const std::exception& e) {
+      throw ExitError(kExitQueryFailed,
+                      std::string("baseline query failed: ") + e.what());
     }
     std::printf("single-query baseline: %.0f QPS (%.3f ms/query)\n",
                 probes / t.seconds(), t.milliseconds() / probes);
   }
 
   serve::ServerConfig cfg;
-  GSOUP_CHECK_MSG(args.clients >= 1, "--clients must be >= 1");
-  GSOUP_CHECK_MSG(args.requests >= 1, "--requests must be >= 1");
-  GSOUP_CHECK_MSG(args.workers >= 1 && args.workers <= 256,
-                  "--workers must be in [1, 256]");
+  require(args.clients >= 1, "--clients must be >= 1");
+  require(args.requests >= 1, "--requests must be >= 1");
+  require(args.workers >= 1 && args.workers <= 256,
+          "--workers must be in [1, 256]");
+  require(args.max_pending >= 1, "--max-pending must be >= 1");
+  require(args.admission == "reject" || args.admission == "shed",
+          "--admission must be reject or shed");
   cfg.workers = static_cast<std::size_t>(args.workers);
   cfg.max_batch = args.batch;
   cfg.max_delay_ms = args.delay_ms;
   cfg.mode = parse_mode(args.mode);
+  cfg.max_pending = static_cast<std::size_t>(args.max_pending);
+  cfg.admission = args.admission == "shed"
+                      ? serve::AdmissionPolicy::kShedOldest
+                      : serve::AdmissionPolicy::kRejectNew;
   serve::BatchServer server(snap, ctx, data.features, cfg);
 
-  const double seconds = serve::drive_clients(server, args.requests,
-                                              args.clients, data.num_nodes());
+  serve::LoadgenOptions load;
+  load.requests = args.requests;
+  load.clients = args.clients;
+  load.num_nodes = data.num_nodes();
+  load.deadline_ms = args.deadline_ms;
+  load.max_retries = static_cast<int>(args.retries);
+  load.retry_budget = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, args.retry_budget));
+  load.retry_backoff_ms = args.backoff_ms;
+  const serve::LoadReport report = serve::drive_load(server, load);
   const serve::ServerStats stats = server.stats();
   std::printf(
       "server: %llu queries in %.2fs -> %.0f QPS | batches %llu (mean %.1f) "
       "| latency p50 %.3f ms, p99 %.3f ms, max %.3f ms\n",
-      static_cast<unsigned long long>(stats.queries), seconds,
-      static_cast<double>(stats.queries) / seconds,
+      static_cast<unsigned long long>(stats.queries), report.seconds,
+      static_cast<double>(stats.queries) / report.seconds,
       static_cast<unsigned long long>(stats.batches), stats.mean_batch,
       stats.p50_latency_ms, stats.p99_latency_ms, stats.max_latency_ms);
-  return 0;
+  std::printf(
+      "failures: %llu of %lld (retries %llu) | rejected %llu, "
+      "deadline-expired %llu, exec-failed %llu (batches %llu), shutdown "
+      "%llu\n",
+      static_cast<unsigned long long>(report.failures),
+      static_cast<long long>(report.requests),
+      static_cast<unsigned long long>(report.retries),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.deadline_expired),
+      static_cast<unsigned long long>(stats.failed_queries),
+      static_cast<unsigned long long>(stats.failed_batches),
+      static_cast<unsigned long long>(stats.shutdown_failed));
+  if (report.failures > 0 && !args.allow_failures) {
+    throw ExitError(kExitQueryFailed,
+                    std::to_string(report.failures) +
+                        " queries failed (first: " + report.first_error +
+                        "); pass --allow-failures for overload/fault "
+                        "experiments");
+  }
+  return kExitOk;
 }
 
 }  // namespace
@@ -325,10 +437,22 @@ int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, args)) return usage(argv[0]);
   try {
+    if (!args.failpoints.empty()) {
+      // Malformed specs are usage errors; arm_from_string throws.
+      try {
+        gsoup::failpoint::arm_from_string(args.failpoints);
+      } catch (const std::exception& e) {
+        throw ExitError(kExitUsage,
+                        std::string("bad --failpoints: ") + e.what());
+      }
+    }
     if (args.cmd == "save") return cmd_save(args);
     if (args.cmd == "info") return cmd_info(args);
     if (args.cmd == "query") return cmd_query(args);
     if (args.cmd == "bench") return cmd_bench(args);
+  } catch (const ExitError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return e.code;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
