@@ -31,6 +31,8 @@
 #include "ag/value.hpp"
 #include "graph/generator.hpp"
 #include "nn/model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/engine.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/server.hpp"
@@ -323,6 +325,83 @@ void bench_overload(const BenchConfig& cfg, const Dataset& data,
   }
 }
 
+// ---- Instrumentation overhead pair. ---------------------------------------
+//
+// Re-runs the gcn full-forward and server benches with the whole
+// observability stack ON (per-stage exec profiling, metrics mirrors, trace
+// spans) and records them as "full_forward_obs" / "server_obs" next to
+// their instrumentation-off twins. Both sides are committed and gated by
+// bench_compare: a regression in the on-path cost shows up in the _obs
+// records, and creep in the disabled-hook cost shows up in the originals.
+void bench_obs_overhead(const BenchConfig& cfg, const Dataset& data,
+                        std::vector<Record>& records) {
+  const ModelConfig mcfg = bench_model_config(Arch::kGcn, data);
+  const GnnModel model(mcfg);
+  Rng rng(47);
+  const ParamStore params = model.init_params(rng);
+  auto ctx = std::make_shared<const GraphContext>(data.graph, Arch::kGcn);
+  const std::string shape = "n=" + std::to_string(data.num_nodes()) +
+                            ",nnz=" + std::to_string(data.num_edges());
+  // The instrumentation-off twins record under the display arch name.
+  const auto baseline_qps = [&](const char* bench) {
+    for (const auto& r : records) {
+      if (r.bench == bench && r.arch == arch_name(Arch::kGcn)) return r.qps;
+    }
+    return 0.0;
+  };
+
+  obs::set_profiling(true);
+  obs::trace::set_enabled(true);
+
+  {
+    serve::InferenceEngine engine(mcfg, params, ctx, data.features);
+    engine.full_logits();  // warm-up
+    Timer t;
+    std::int64_t iters = 0;
+    while (iters < 3 || t.seconds() < cfg.min_seconds) {
+      engine.invalidate();
+      engine.full_logits();
+      ++iters;
+    }
+    const double per_pass = t.seconds() / static_cast<double>(iters);
+    Record r{"full_forward_obs", "gcn", shape};
+    r.batch = data.num_nodes();
+    r.qps = static_cast<double>(data.num_nodes()) / per_pass;
+    r.p50_ms = r.p99_ms = per_pass * 1e3;
+    records.push_back(r);
+    const double off = baseline_qps("full_forward");
+    std::printf("gcn    full_fwd obs-on %9.0f nodes/s (%.3fx of obs-off)\n",
+                r.qps, off > 0.0 ? r.qps / off : 0.0);
+  }
+
+  {
+    const serve::Snapshot snap =
+        serve::make_snapshot(mcfg, params, data, "bench-obs");
+    serve::ServerConfig scfg;
+    scfg.workers = 2;
+    scfg.max_batch = 64;
+    scfg.max_delay_ms = 2.0;
+    serve::BatchServer server(snap, ctx, data.features, scfg);
+    constexpr std::int64_t kClients = 4;
+    const double seconds = serve::drive_clients(
+        server, cfg.server_requests, kClients, data.num_nodes());
+    const serve::ServerStats stats = server.stats();
+    Record r{"server_obs", "gcn", shape};
+    r.batch = scfg.max_batch;
+    r.workers = static_cast<std::int64_t>(scfg.workers);
+    r.qps = static_cast<double>(stats.queries) / seconds;
+    r.p50_ms = stats.p50_latency_ms;
+    r.p99_ms = stats.p99_latency_ms;
+    records.push_back(r);
+    const double off = baseline_qps("server");
+    std::printf("gcn    server obs-on  %9.0f QPS (%.3fx of obs-off)\n",
+                r.qps, off > 0.0 ? r.qps / off : 0.0);
+  }
+
+  obs::set_profiling(false);
+  obs::trace::set_enabled(false);
+}
+
 bool write_json(const std::string& path, const std::string& mode,
                 const std::vector<Record>& records) {
   std::ofstream out(path);
@@ -387,6 +466,7 @@ int main(int argc, char** argv) {
     bench_arch(cfg, arch, data, records);
   }
   bench_overload(cfg, data, records);
+  bench_obs_overhead(cfg, data, records);
   if (!write_json(cfg.out, cfg.smoke ? "smoke" : "full", records)) return 1;
   std::printf("wrote %s\n", cfg.out.c_str());
 

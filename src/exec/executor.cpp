@@ -1,10 +1,13 @@
 #include "exec/executor.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <string>
 
 #include "ag/graph_ops.hpp"
 #include "ag/ops.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
 
@@ -48,6 +51,45 @@ void elu_inplace(Tensor& x) {
 #pragma omp parallel for schedule(static) if (n >= (1 << 15))
   for (std::int64_t i = 0; i < n; ++i)
     p[i] = p[i] > 0.0f ? p[i] : std::expm1(p[i]);
+}
+
+/// Times the enclosing block into one of the executor's pre-resolved
+/// stage histograms. Profiling off — the default — construction is a
+/// single relaxed atomic load and a branch, no clock read (the same
+/// discipline as util/failpoint's disarmed path).
+class StageTimer {
+ public:
+  StageTimer(obs::Histogram* const* hists, Stage stage) noexcept {
+    if (obs::profiling_enabled()) {
+      hist_ = hists[static_cast<int>(stage)];
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~StageTimer() {
+    if (hist_ != nullptr) {
+      hist_->observe(std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count());
+    }
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  obs::Histogram* hist_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Lowercase arch tag for metric labels. arch_name() is the display
+/// name ("GraphSAGE"); labels follow the lowercase convention from the
+/// observability naming scheme.
+const char* arch_label(Arch arch) {
+  switch (arch) {
+    case Arch::kGcn: return "gcn";
+    case Arch::kSage: return "sage";
+    case Arch::kGat: return "gat";
+  }
+  return "unknown";
 }
 
 }  // namespace
@@ -174,6 +216,17 @@ Executor::Executor(const LayerPlan& plan, const ParamStore& params)
     step_params_.push_back(p);
   }
 
+  // Stage histograms resolved once per executor — registry lookups (and
+  // their string building) stay out of every run_* call.
+  for (int s = 0; s < kNumStages; ++s) {
+    const std::string labels =
+        std::string("arch=\"") + arch_label(plan.config().arch) +
+        "\",stage=\"" + stage_name(static_cast<Stage>(s)) + "\"";
+    stage_hist_[s] = &obs::histogram(
+        "exec.stage_ms", labels, {},
+        "Per-stage infer execution time in milliseconds");
+  }
+
   // Everything any run_* call will ever touch, allocated once from the
   // plan's declared geometry.
   for (auto& buf : buf_) buf = Tensor::empty({plan.layer_slab_numel()});
@@ -223,12 +276,19 @@ Tensor Executor::run_layer(const LayerStep& step, const StepParams& p,
     case Arch::kGcn: {
       // H' = Â (H W) + b
       Tensor hw = ws(scratch_idx, num_src, step.out_width);
-      linear_into(h_in, *p.weight, hw);
-      if (spmm_layout != nullptr) {
-        ag::spmm_blocked_overwrite(*spmm_layout, hw, out);
-      } else {
-        ag::spmm_spans_overwrite(indptr, indices, values, hw, out);
+      {
+        StageTimer t(stage_hist_, Stage::kGemm);
+        linear_into(h_in, *p.weight, hw);
       }
+      {
+        StageTimer t(stage_hist_, Stage::kSpmm);
+        if (spmm_layout != nullptr) {
+          ag::spmm_blocked_overwrite(*spmm_layout, hw, out);
+        } else {
+          ag::spmm_spans_overwrite(indptr, indices, values, hw, out);
+        }
+      }
+      StageTimer t(stage_hist_, Stage::kEpilogue);
       add_bias_inplace(out, *p.bias);
       if (!step.last) relu_inplace(out);
       break;
@@ -245,15 +305,22 @@ Tensor Executor::run_layer(const LayerStep& step, const StepParams& p,
       // the third buffer when the input is external) holds neigh.
       Tensor h_dst = h_in.view_prefix({num_dst, step.in_dim});
       Tensor agg = ws(scratch_idx, num_dst, step.in_dim);
-      if (spmm_layout != nullptr) {
-        ag::spmm_blocked_overwrite(*spmm_layout, h_in, agg);
-      } else {
-        ag::spmm_spans_overwrite(indptr, indices, values, h_in, agg);
+      {
+        StageTimer t(stage_hist_, Stage::kSpmm);
+        if (spmm_layout != nullptr) {
+          ag::spmm_blocked_overwrite(*spmm_layout, h_in, agg);
+        } else {
+          ag::spmm_spans_overwrite(indptr, indices, values, h_in, agg);
+        }
       }
-      linear_into(h_dst, *p.weight_self, out);
       const int neigh_idx = in_idx >= 0 ? in_idx : 2;
       Tensor neigh = ws(neigh_idx, num_dst, step.out_width);
-      linear_into(agg, *p.weight_neigh, neigh);
+      {
+        StageTimer t(stage_hist_, Stage::kGemm);
+        linear_into(h_dst, *p.weight_self, out);
+        linear_into(agg, *p.weight_neigh, neigh);
+      }
+      StageTimer epilogue_timer(stage_hist_, Stage::kEpilogue);
       {
         const std::int64_t m = out.shape(0), w = out.shape(1);
         float* __restrict__ po = out.data();
@@ -274,21 +341,28 @@ Tensor Executor::run_layer(const LayerStep& step, const StepParams& p,
     }
     case Arch::kGat: {
       Tensor hw = ws(scratch_idx, num_src, step.out_width);
-      linear_into(h_in, *p.weight, hw);
       Tensor s_src = score_src_ws_.view_prefix({num_src, step.heads});
-      ops::per_head_dot_into(hw, *p.attn_src, step.heads, s_src);
       Tensor s_dst = score_dst_ws_.view_prefix({num_dst, step.heads});
-      Tensor hw_dst = hw.view_prefix({num_dst, step.out_width});
-      ops::per_head_dot_into(hw_dst, *p.attn_dst, step.heads, s_dst);
+      {
+        StageTimer t(stage_hist_, Stage::kGemm);
+        linear_into(h_in, *p.weight, hw);
+        ops::per_head_dot_into(hw, *p.attn_src, step.heads, s_src);
+        Tensor hw_dst = hw.view_prefix({num_dst, step.out_width});
+        ops::per_head_dot_into(hw_dst, *p.attn_dst, step.heads, s_dst);
+      }
       // Infer lowering: the alpha-skip kernel — no [E, heads] store, no
       // normalisation walk; bit-identical output to the training forward.
-      if (attn_layout != nullptr) {
-        ag::gat_attention_infer(*attn_layout, hw, s_dst, s_src, step.heads,
-                                cfg.attn_slope, out);
-      } else {
-        ag::gat_attention_infer(indptr, indices, hw, s_dst, s_src,
-                                step.heads, cfg.attn_slope, out);
+      {
+        StageTimer t(stage_hist_, Stage::kAttention);
+        if (attn_layout != nullptr) {
+          ag::gat_attention_infer(*attn_layout, hw, s_dst, s_src, step.heads,
+                                  cfg.attn_slope, out);
+        } else {
+          ag::gat_attention_infer(indptr, indices, hw, s_dst, s_src,
+                                  step.heads, cfg.attn_slope, out);
+        }
       }
+      StageTimer t(stage_hist_, Stage::kEpilogue);
       add_bias_inplace(out, *p.bias);
       if (!step.last) elu_inplace(out);
       break;
@@ -324,7 +398,10 @@ const Tensor& Executor::run_subgraph(const SubgraphPlan& sp,
                                 << plan_.num_layers());
   const SubgraphLayer& input = sp.layers.front();
   Tensor h = ws(0, input.num_src(), plan_.config().in_dim);
-  ops::gather_rows_into(features, input.src_nodes, h);
+  {
+    StageTimer t(stage_hist_, Stage::kGather);
+    ops::gather_rows_into(features, input.src_nodes, h);
+  }
   for (std::size_t l = 0; l < plan_.steps().size(); ++l) {
     const LayerStep& step = plan_.steps()[l];
     const SubgraphLayer& P = sp.layers[l];

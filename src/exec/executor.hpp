@@ -33,6 +33,10 @@
 #include "nn/param.hpp"
 #include "util/rng.hpp"
 
+namespace gsoup::obs {
+class Histogram;
+}  // namespace gsoup::obs
+
 namespace gsoup::exec {
 
 /// Train mode: the tape-recorded full-graph forward. `features` rows are
@@ -104,6 +108,12 @@ class Executor {
 
   const LayerPlan& plan_;
   std::vector<StepParams> step_params_;
+
+  // Per-stage duration histograms ("exec.stage_ms", labelled with this
+  // plan's arch and the stage name), resolved once here so the hot path
+  // never touches the registry. When obs profiling is off, the per-stage
+  // timers cost one relaxed atomic load each (failpoint discipline).
+  obs::Histogram* stage_hist_[kNumStages] = {};
 
   // Plan-declared slabs: three ping-pong layer buffers (input / scratch /
   // output) and the GAT attention-score buffers. The executor owns no

@@ -10,6 +10,17 @@ std::string layer_param_name(std::int64_t layer, const char* suffix) {
   return "layers." + std::to_string(layer) + "." + suffix;
 }
 
+const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kGather: return "gather";
+    case Stage::kSpmm: return "spmm";
+    case Stage::kGemm: return "gemm";
+    case Stage::kAttention: return "attention";
+    case Stage::kEpilogue: return "epilogue";
+  }
+  return "unknown";
+}
+
 LayerPlan::LayerPlan(const ModelConfig& config, const GraphContext& ctx)
     : config_(config), ctx_(&ctx) {
   GSOUP_CHECK_MSG(ctx.arch() == config.arch,
@@ -31,11 +42,13 @@ LayerPlan::LayerPlan(const ModelConfig& config, const GraphContext& ctx)
       case Arch::kGcn:
         step.weight = layer_param_name(l, "weight");
         step.spmm_layout = ctx.spmm_layout();
+        step.stages = {Stage::kGemm, Stage::kSpmm, Stage::kEpilogue};
         break;
       case Arch::kSage:
         step.weight_self = layer_param_name(l, "weight_self");
         step.weight_neigh = layer_param_name(l, "weight_neigh");
         step.spmm_layout = ctx.spmm_layout();
+        step.stages = {Stage::kSpmm, Stage::kGemm, Stage::kEpilogue};
         break;
       case Arch::kGat:
         step.weight = layer_param_name(l, "weight");
@@ -47,6 +60,7 @@ LayerPlan::LayerPlan(const ModelConfig& config, const GraphContext& ctx)
         // (and thereby trigger its lazy build).
         step.attn_layout_backward =
             step.attn_layout != nullptr && step.heads > 1;
+        step.stages = {Stage::kGemm, Stage::kAttention, Stage::kEpilogue};
         break;
     }
     max_width_ = std::max({max_width_, step.in_dim, step.out_width});

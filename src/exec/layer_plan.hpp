@@ -36,6 +36,24 @@ namespace gsoup::exec {
 /// The single naming authority — snapshots, plans and stores must agree.
 std::string layer_param_name(std::int64_t layer, const char* suffix);
 
+/// The stage vocabulary for per-stage execution profiling. A LayerStep
+/// declares which stages its lowering runs (in order); the Executor
+/// times each one into the `exec.stage_ms` histogram family when
+/// obs::profiling_enabled(). kGather covers subgraph input-row
+/// gathering, kEpilogue the bias + activation (+ SAGE combine) tail.
+enum class Stage : std::uint8_t {
+  kGather = 0,
+  kSpmm = 1,
+  kGemm = 2,
+  kAttention = 3,
+  kEpilogue = 4,
+};
+inline constexpr int kNumStages = 5;
+
+/// Stable lowercase stage name ("gather", "spmm", ...): the `stage`
+/// label value in exported metrics.
+const char* stage_name(Stage stage);
+
 /// One lowered GNN layer: widths, resolved parameter names, and the kernel
 /// routing decided at compile time. Layout pointers alias the owning
 /// GraphContext's caches (nullptr -> raw CSR/span kernel path).
@@ -66,6 +84,12 @@ struct LayerStep {
   /// twin — see docs/BENCHMARKS.md), so train-mode execution only asks
   /// the context for the lazy transpose layout when this is set.
   bool attn_layout_backward = false;
+
+  /// The stages this step's infer lowering executes, in program order —
+  /// declared at compile time so profiling instrumentation never guesses
+  /// (gcn: gemm,spmm,epilogue; sage: spmm,gemm,epilogue; gat:
+  /// gemm,attention,epilogue).
+  std::vector<Stage> stages;
 };
 
 /// A per-(ModelConfig, GraphContext) lowered op sequence plus the

@@ -1,0 +1,457 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/failpoint.hpp"
+
+namespace gsoup::obs {
+
+namespace detail {
+
+std::atomic<bool> g_profiling{false};
+
+std::size_t this_thread_stripe() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+  return stripe;
+}
+
+}  // namespace detail
+
+void set_profiling(bool on) noexcept {
+  detail::g_profiling.store(on, std::memory_order_relaxed);
+}
+
+// ---- HistogramSpec --------------------------------------------------------
+
+double HistogramSpec::upper_bound(int b) const {
+  if (b >= decades * per_decade) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return min_upper *
+         std::pow(10.0, static_cast<double>(b) / static_cast<double>(per_decade));
+}
+
+int HistogramSpec::bucket_index(double v) const {
+  if (!(v > min_upper)) return 0;  // NaN and <= min_upper land in bucket 0
+  const int last = decades * per_decade;
+  int b = static_cast<int>(
+      std::ceil(std::log10(v / min_upper) * static_cast<double>(per_decade)));
+  b = std::clamp(b, 0, last);
+  // std::log10 can land a hair off either side of a boundary; settle it
+  // exactly against the stored boundary values so `le` semantics hold.
+  while (b > 0 && v <= upper_bound(b - 1)) --b;
+  while (b < last && v > upper_bound(b)) ++b;
+  return b;
+}
+
+// ---- HistogramData --------------------------------------------------------
+
+HistogramData::HistogramData(const HistogramSpec& spec)
+    : spec_(spec),
+      buckets_(static_cast<std::size_t>(spec.num_buckets()), 0) {}
+
+void HistogramData::observe(double v) {
+  ++buckets_[static_cast<std::size_t>(spec_.bucket_index(v))];
+  ++count_;
+  sum_ += v;
+  max_ = count_ == 1 ? v : std::max(max_, v);
+}
+
+void HistogramData::recount() {
+  count_ = 0;
+  for (const auto b : buckets_) count_ += b;
+}
+
+void HistogramData::merge(const HistogramData& other) {
+  GSOUP_CHECK_MSG(spec_ == other.spec_,
+                  "histogram merge: bucket layouts differ");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+}
+
+HistogramData HistogramData::delta_since(const HistogramData& base) const {
+  GSOUP_CHECK_MSG(spec_ == base.spec_,
+                  "histogram delta: bucket layouts differ");
+  HistogramData d(spec_);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    GSOUP_CHECK_MSG(buckets_[i] >= base.buckets_[i],
+                    "histogram delta: base is not an earlier snapshot");
+    d.buckets_[i] = buckets_[i] - base.buckets_[i];
+  }
+  d.recount();
+  d.sum_ = sum_ - base.sum_;
+  d.max_ = max_;  // not subtractable; documented
+  return d;
+}
+
+double HistogramData::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank, the same index convention as percentile_sorted:
+  // rank q*(n-1), 0-based.
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    if (rank < cum + buckets_[b]) {
+      const double hi = spec_.upper_bound(static_cast<int>(b));
+      if (std::isinf(hi)) return max_;  // overflow bucket
+      const double lo =
+          b == 0 ? 0.0 : spec_.upper_bound(static_cast<int>(b) - 1);
+      // Linear interpolation by rank position inside the bucket.
+      const double pos = (static_cast<double>(rank - cum) + 0.5) /
+                         static_cast<double>(buckets_[b]);
+      return std::min(lo + pos * (hi - lo), max_);
+    }
+    cum += buckets_[b];
+  }
+  return max_;
+}
+
+// ---- Histogram ------------------------------------------------------------
+
+Histogram::Histogram(const HistogramSpec& spec)
+    : spec_(spec),
+      buckets_(static_cast<std::size_t>(spec.num_buckets())) {}
+
+void Histogram::observe(double v) noexcept {
+  buckets_[static_cast<std::size_t>(spec_.bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  auto& sum = sums_[detail::this_thread_stripe()].v;
+  double cur = sum.load(std::memory_order_relaxed);
+  while (!sum.compare_exchange_weak(cur, cur + v,
+                                    std::memory_order_relaxed)) {
+  }
+  double m = max_.load(std::memory_order_relaxed);
+  while (v > m &&
+         !max_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramData Histogram::snapshot() const {
+  HistogramData d(spec_);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    d.buckets_[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  // count is DEFINED as the bucket sum, so a concurrent snapshot can lag
+  // but never tear (no separately-updated count to disagree with).
+  d.recount();
+  double sum = 0.0;
+  for (const auto& s : sums_) sum += s.v.load(std::memory_order_relaxed);
+  d.sum_ = sum;
+  d.max_ = max_.load(std::memory_order_relaxed);
+  return d;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  for (auto& s : sums_) s.v.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---- Registry -------------------------------------------------------------
+
+namespace {
+
+/// (name, labels) — ordered by name first so export groups families.
+using MetricKey = std::pair<std::string, std::string>;
+
+template <typename M>
+struct Entry {
+  std::unique_ptr<M> metric;
+  std::string help;
+};
+
+void check_metric_name(const std::string& name) {
+  GSOUP_CHECK_MSG(!name.empty(), "metric name must be non-empty");
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '.';
+    GSOUP_CHECK_MSG(ok, "metric name '" << name
+                                        << "' must be [a-z0-9_.] only");
+  }
+}
+
+/// gsoup_ prefix, dots to underscores: the exported family name.
+std::string family_name(const std::string& name) {
+  std::string out = "gsoup_";
+  for (const char c : name) out.push_back(c == '.' ? '_' : c);
+  return out;
+}
+
+std::string fmt_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void emit_header(std::ostream& out, const std::string& family,
+                 const char* type, const std::string& help,
+                 std::string& last_family) {
+  if (family == last_family) return;
+  last_family = family;
+  if (!help.empty()) out << "# HELP " << family << " " << help << "\n";
+  out << "# TYPE " << family << " " << type << "\n";
+}
+
+/// `{labels}` or `{labels,extra}` — empty when both are empty.
+std::string label_body(const std::string& labels, const std::string& extra) {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ",";
+  out += extra;
+  out += "}";
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<MetricKey, Entry<Counter>> counters;
+  std::map<MetricKey, Entry<Gauge>> gauges;
+  std::map<MetricKey, Entry<Histogram>> histograms;
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  // Never destroyed: metric handles are resolved once and cached by hot
+  // paths that may outlive static destruction order.
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& labels,
+                                  const std::string& help) {
+  check_metric_name(name);
+  Impl& im = impl();
+  std::lock_guard lock(im.mutex);
+  auto& entry = im.counters[{name, labels}];
+  if (entry.metric == nullptr) {
+    entry.metric = std::unique_ptr<Counter>(new Counter());
+    entry.help = help;
+  }
+  return *entry.metric;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& labels,
+                              const std::string& help) {
+  check_metric_name(name);
+  Impl& im = impl();
+  std::lock_guard lock(im.mutex);
+  auto& entry = im.gauges[{name, labels}];
+  if (entry.metric == nullptr) {
+    entry.metric = std::unique_ptr<Gauge>(new Gauge());
+    entry.help = help;
+  }
+  return *entry.metric;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& labels,
+                                      const HistogramSpec& spec,
+                                      const std::string& help) {
+  check_metric_name(name);
+  GSOUP_CHECK_MSG(spec.min_upper > 0.0 && spec.decades >= 1 &&
+                      spec.per_decade >= 1,
+                  "bad histogram spec for '" << name << "'");
+  Impl& im = impl();
+  std::lock_guard lock(im.mutex);
+  auto& entry = im.histograms[{name, labels}];
+  if (entry.metric == nullptr) {
+    entry.metric = std::unique_ptr<Histogram>(new Histogram(spec));
+    entry.help = help;
+  } else {
+    GSOUP_CHECK_MSG(entry.metric->spec() == spec,
+                    "histogram '" << name
+                                  << "' re-registered with a different spec");
+  }
+  return *entry.metric;
+}
+
+void MetricsRegistry::export_prometheus(std::ostream& out) const {
+  Impl& im = impl();
+  std::lock_guard lock(im.mutex);
+  std::string last_family;
+  for (const auto& [key, entry] : im.counters) {
+    const std::string family = family_name(key.first) + "_total";
+    emit_header(out, family, "counter", entry.help, last_family);
+    out << family << label_body(key.second, "") << " "
+        << entry.metric->value() << "\n";
+  }
+  last_family.clear();
+  for (const auto& [key, entry] : im.gauges) {
+    const std::string family = family_name(key.first);
+    emit_header(out, family, "gauge", entry.help, last_family);
+    out << family << label_body(key.second, "") << " "
+        << fmt_double(entry.metric->value()) << "\n";
+  }
+  last_family.clear();
+  for (const auto& [key, entry] : im.histograms) {
+    const std::string family = family_name(key.first);
+    emit_header(out, family, "histogram", entry.help, last_family);
+    const HistogramData d = entry.metric->snapshot();
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < d.buckets().size(); ++b) {
+      cum += d.buckets()[b];
+      const std::string le =
+          "le=\"" + fmt_double(d.spec().upper_bound(static_cast<int>(b))) +
+          "\"";
+      out << family << "_bucket" << label_body(key.second, le) << " " << cum
+          << "\n";
+    }
+    out << family << "_sum" << label_body(key.second, "") << " "
+        << fmt_double(d.sum()) << "\n";
+    out << family << "_count" << label_body(key.second, "") << " "
+        << d.count() << "\n";
+  }
+  // Histogram max values: not part of the Prometheus histogram type, so
+  // they export as a parallel gauge family.
+  last_family.clear();
+  for (const auto& [key, entry] : im.histograms) {
+    const std::string family = family_name(key.first) + "_max";
+    emit_header(out, family, "gauge", "", last_family);
+    out << family << label_body(key.second, "") << " "
+        << fmt_double(entry.metric->snapshot().max()) << "\n";
+  }
+  // Failpoint hit/fire counters ride along automatically — fault-injection
+  // observability without a separate scrape path. The families are always
+  // emitted (zero-entry families are just TYPE lines) so dashboards can
+  // rely on their presence.
+  out << "# TYPE gsoup_failpoint_hits_total counter\n";
+  for (const auto& c : failpoint::counters_snapshot()) {
+    out << "gsoup_failpoint_hits_total{name=\"" << c.name << "\"} " << c.hits
+        << "\n";
+  }
+  out << "# TYPE gsoup_failpoint_fires_total counter\n";
+  for (const auto& c : failpoint::counters_snapshot()) {
+    out << "gsoup_failpoint_fires_total{name=\"" << c.name << "\"} "
+        << c.fires << "\n";
+  }
+}
+
+void MetricsRegistry::export_json(std::ostream& out) const {
+  Impl& im = impl();
+  std::lock_guard lock(im.mutex);
+  out << "{\n  \"schema\": \"gsoup-metrics/v1\",\n  \"counters\": [";
+  bool first = true;
+  for (const auto& [key, entry] : im.counters) {
+    out << (first ? "" : ",") << "\n    {\"name\": \""
+        << json_escape(key.first) << "\", \"labels\": \""
+        << json_escape(key.second) << "\", \"value\": "
+        << entry.metric->value() << "}";
+    first = false;
+  }
+  out << "\n  ],\n  \"gauges\": [";
+  first = true;
+  for (const auto& [key, entry] : im.gauges) {
+    out << (first ? "" : ",") << "\n    {\"name\": \""
+        << json_escape(key.first) << "\", \"labels\": \""
+        << json_escape(key.second) << "\", \"value\": "
+        << fmt_double(entry.metric->value()) << "}";
+    first = false;
+  }
+  out << "\n  ],\n  \"histograms\": [";
+  first = true;
+  for (const auto& [key, entry] : im.histograms) {
+    const HistogramData d = entry.metric->snapshot();
+    out << (first ? "" : ",") << "\n    {\"name\": \""
+        << json_escape(key.first) << "\", \"labels\": \""
+        << json_escape(key.second) << "\", \"count\": " << d.count()
+        << ", \"sum\": " << fmt_double(d.sum())
+        << ", \"mean\": " << fmt_double(d.mean())
+        << ", \"max\": " << fmt_double(d.max())
+        << ", \"p50\": " << fmt_double(d.quantile(0.50))
+        << ", \"p99\": " << fmt_double(d.quantile(0.99)) << "}";
+    first = false;
+  }
+  out << "\n  ],\n  \"failpoints\": [";
+  first = true;
+  for (const auto& c : failpoint::counters_snapshot()) {
+    out << (first ? "" : ",") << "\n    {\"name\": \"" << json_escape(c.name)
+        << "\", \"hits\": " << c.hits << ", \"fires\": " << c.fires << "}";
+    first = false;
+  }
+  out << "\n  ]\n}\n";
+}
+
+void MetricsRegistry::reset_all_for_testing() {
+  Impl& im = impl();
+  std::lock_guard lock(im.mutex);
+  for (auto& [key, entry] : im.counters) entry.metric->reset();
+  for (auto& [key, entry] : im.gauges) entry.metric->reset();
+  for (auto& [key, entry] : im.histograms) entry.metric->reset();
+}
+
+Counter& counter(const std::string& name, const std::string& labels,
+                 const std::string& help) {
+  return MetricsRegistry::instance().counter(name, labels, help);
+}
+
+Gauge& gauge(const std::string& name, const std::string& labels,
+             const std::string& help) {
+  return MetricsRegistry::instance().gauge(name, labels, help);
+}
+
+Histogram& histogram(const std::string& name, const std::string& labels,
+                     const HistogramSpec& spec, const std::string& help) {
+  return MetricsRegistry::instance().histogram(name, labels, spec, help);
+}
+
+std::string export_prometheus_text() {
+  std::ostringstream out;
+  MetricsRegistry::instance().export_prometheus(out);
+  return out.str();
+}
+
+std::string export_json_text() {
+  std::ostringstream out;
+  MetricsRegistry::instance().export_json(out);
+  return out.str();
+}
+
+}  // namespace gsoup::obs

@@ -1,0 +1,246 @@
+// Process-global metrics registry: named counters, gauges, and fixed-bucket
+// log-scale histograms with lock-free hot-path updates and snapshot export
+// in Prometheus text format and JSON.
+//
+// Design (the same overhead discipline as util/failpoint):
+//  - Registration (`obs::counter("serve.queries")`) takes the registry
+//    mutex once and returns a stable reference; handles live for the
+//    process lifetime, so hot paths resolve their metrics at construction
+//    and never look anything up per event.
+//  - Updates are relaxed atomics. Counters shard their cell across
+//    kStripes cache-line-padded stripes (threads pick a stripe round-robin
+//    at first touch), so concurrent submitters never bounce one line.
+//    Histogram buckets are per-bucket atomics; the observation count is
+//    *defined* as the sum of the buckets, which is what makes a snapshot
+//    self-consistent (count == Σ buckets by construction, never torn).
+//  - Export walks every registered metric under the registry mutex (which
+//    only blocks *registration*, never updates) and appends the armed
+//    failpoint hit/fire counters automatically.
+//
+// Naming scheme (docs/ARCHITECTURE.md "Observability"): internal names are
+// dotted lower-case paths with the unit as a suffix ("serve.latency_ms");
+// labels are a pre-rendered Prometheus label body (`arch="gcn"`). The
+// exporter prefixes `gsoup_`, maps dots to underscores, and appends
+// `_total` to counters — `gsoup_serve_latency_ms_bucket{le="..."}`.
+//
+// Per-stage exec profiling rides on the same flag discipline: when
+// `obs::profiling_enabled()` is false (the default) an instrumented stage
+// costs one relaxed atomic load; when on, two steady_clock reads and one
+// histogram observe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gsoup::obs {
+
+/// Stripe count for sharded counters (power of two).
+inline constexpr std::size_t kStripes = 8;
+
+namespace detail {
+/// Round-robin stripe assignment, fixed per thread at first use.
+std::size_t this_thread_stripe() noexcept;
+extern std::atomic<bool> g_profiling;
+}  // namespace detail
+
+/// Per-stage exec profiling toggle: near-zero when off (one relaxed load
+/// per instrumented stage).
+inline bool profiling_enabled() noexcept {
+  return detail::g_profiling.load(std::memory_order_relaxed);
+}
+void set_profiling(bool on) noexcept;
+
+// ---- Counter --------------------------------------------------------------
+
+/// Monotonic counter, sharded across cache-line-padded atomic stripes.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    stripes_[detail::this_thread_stripe()].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : stripes_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  void reset() noexcept {
+    for (auto& s : stripes_) s.v.store(0, std::memory_order_relaxed);
+  }
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Stripe stripes_[kStripes];
+};
+
+// ---- Gauge ----------------------------------------------------------------
+
+/// Last-value gauge (double). set() is a relaxed store; add() a CAS loop.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+  std::atomic<double> value_{0.0};
+};
+
+// ---- Histogram ------------------------------------------------------------
+
+/// Log-scale bucket layout: `per_decade` buckets per power of ten starting
+/// at upper bound `min_upper`, spanning `decades` decades, plus one
+/// overflow bucket. The default covers 1 µs .. 10 s of milliseconds at
+/// ~21% resolution — wide enough for every latency in the system, small
+/// enough (85 buckets) that snapshots are a handful of cache lines.
+struct HistogramSpec {
+  double min_upper = 1e-3;  ///< upper bound of the first bucket
+  int decades = 7;
+  int per_decade = 12;
+
+  int num_buckets() const { return decades * per_decade + 1; }
+  /// Upper bound of bucket b (inclusive, `le` semantics); the last bucket
+  /// is +inf.
+  double upper_bound(int b) const;
+  /// Bucket index for a value: smallest b with v <= upper_bound(b).
+  int bucket_index(double v) const;
+  bool operator==(const HistogramSpec& o) const {
+    return min_upper == o.min_upper && decades == o.decades &&
+           per_decade == o.per_decade;
+  }
+};
+
+/// Plain (non-atomic) histogram data: the snapshot/merge/quantile half of
+/// the histogram, shared by registry snapshots, the load generator's
+/// client-side aggregation, and tests. Mergeable across instances of the
+/// same spec.
+class HistogramData {
+ public:
+  explicit HistogramData(const HistogramSpec& spec = {});
+
+  void observe(double v);
+  /// Add `other`'s population into this one (same spec required).
+  void merge(const HistogramData& other);
+  /// The population observed here but not in `base` (same spec; `base`
+  /// must be an earlier snapshot of the same underlying histogram, so
+  /// every bucket count is >= base's). max/min cannot be subtracted and
+  /// are kept from *this.
+  HistogramData delta_since(const HistogramData& base) const;
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Nearest-rank quantile (q in [0,1]) with linear interpolation inside
+  /// the bucket — the histogram twin of util/stats percentile_sorted, and
+  /// the ONE definition of p50/p99 across server stats, loadgen reports
+  /// and bench records. Overflow-bucket ranks return the observed max.
+  double quantile(double q) const;
+
+  const HistogramSpec& spec() const { return spec_; }
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  friend class Histogram;
+  HistogramSpec spec_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+
+  void recount();
+};
+
+/// Registry-backed histogram: atomic buckets, sharded sum stripes, CAS
+/// max. observe() is lock-free and allocation-free.
+class Histogram {
+ public:
+  void observe(double v) noexcept;
+  HistogramData snapshot() const;
+  const HistogramSpec& spec() const { return spec_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(const HistogramSpec& spec);
+  void reset() noexcept;
+
+  HistogramSpec spec_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  struct alignas(64) SumStripe {
+    std::atomic<double> v{0.0};
+  };
+  SumStripe sums_[kStripes];
+  std::atomic<double> max_{0.0};
+};
+
+// ---- Registry -------------------------------------------------------------
+
+/// Process-global metric registry. `labels`, when non-empty, is a
+/// pre-rendered Prometheus label body without braces (`stage="gemm"`);
+/// (name, labels) identifies the metric, name alone the family.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(const std::string& name, const std::string& labels = "",
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& labels = "",
+               const std::string& help = "");
+  Histogram& histogram(const std::string& name,
+                       const std::string& labels = "",
+                       const HistogramSpec& spec = {},
+                       const std::string& help = "");
+
+  /// Prometheus text exposition format (§ text format v0.0.4), including
+  /// the failpoint hit/fire counter families.
+  void export_prometheus(std::ostream& out) const;
+  /// JSON snapshot (schema gsoup-metrics/v1): counters, gauges, and
+  /// histograms with count/sum/max/mean/p50/p99.
+  void export_json(std::ostream& out) const;
+
+  /// Zero every registered metric's value. Handles stay valid; intended
+  /// for test isolation only (values are normally monotonic for scrapers).
+  void reset_all_for_testing();
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Convenience forwarders to the process-global registry.
+Counter& counter(const std::string& name, const std::string& labels = "",
+                 const std::string& help = "");
+Gauge& gauge(const std::string& name, const std::string& labels = "",
+             const std::string& help = "");
+Histogram& histogram(const std::string& name, const std::string& labels = "",
+                     const HistogramSpec& spec = {},
+                     const std::string& help = "");
+
+/// Render helpers shared by serve_cli and the benches.
+std::string export_prometheus_text();
+std::string export_json_text();
+
+}  // namespace gsoup::obs

@@ -78,6 +78,10 @@ LoadReport drive_load(BatchServer& server, const LoadgenOptions& options) {
     return false;
   };
 
+  // Latency comes from the server's own histogram (delta over this run),
+  // not a second client-side sample set — one population, one p99.
+  const obs::HistogramData latency_base = server.latency_snapshot();
+
   Timer wall;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(options.clients));
@@ -140,6 +144,14 @@ LoadReport drive_load(BatchServer& server, const LoadgenOptions& options) {
   report.shutdown = shutdown.load();
   report.first_error = std::move(first_error);
   if (report.retries > 0) server.record_retries(report.retries);
+  const obs::HistogramData latency =
+      server.latency_snapshot().delta_since(latency_base);
+  if (latency.count() > 0) {
+    report.p50_ms = latency.quantile(0.50);
+    report.p99_ms = latency.quantile(0.99);
+    report.mean_ms = latency.mean();
+    report.max_ms = latency.max();
+  }
   return report;
 }
 

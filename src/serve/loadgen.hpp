@@ -57,6 +57,15 @@ struct LoadReport {
   std::uint64_t exec_failed = 0;
   std::uint64_t shutdown = 0;
   std::string first_error;  ///< first failure message seen (diagnostics)
+  /// Latency of the run's answered queries, taken from the server's own
+  /// histogram-backed stats as the delta over this drive_load call — ONE
+  /// definition of p50/p99 (obs::HistogramData::quantile, the histogram
+  /// twin of util/stats percentile_sorted) shared by server stats,
+  /// loadgen reports, serve_cli output and bench records.
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
 };
 
 /// Drive `server` with options.clients concurrent threads submitting

@@ -4,12 +4,18 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
 #include "util/failpoint.hpp"
-#include "util/stats.hpp"
 
 namespace gsoup::serve {
+
+namespace {
+/// Trace-phase span names, indexed by Pending::phase.
+constexpr const char* kQueryPhaseNames[] = {"serve.pending",
+                                            "serve.queue_wait", "serve.exec"};
+}  // namespace
 
 const char* serve_error_name(ServeErrorCode code) {
   switch (code) {
@@ -53,6 +59,34 @@ BatchServer::BatchServer(const Snapshot& snapshot,
           << snapshot.graph.num_nodes << "-node/" << snapshot.graph.num_edges
           << "-edge graph; the serving graph has " << ctx_->raw().num_nodes
           << " nodes/" << ctx_->raw().num_edges() << " edges");
+
+  // Registry handles, resolved once so the serving hot paths never touch
+  // the registry mutex. These aggregate across every BatchServer in the
+  // process; per-server exact counts stay in the local atomics.
+  m_submitted_ = &obs::counter("serve.submitted",
+                               "", "Queries admitted to the pending queue");
+  m_queries_ = &obs::counter("serve.queries",
+                             "", "Queries answered with a prediction");
+  m_batches_ = &obs::counter("serve.batches", "", "Batches executed");
+  m_rejected_ = &obs::counter("serve.rejected",
+                              "", "Queries shed by admission control");
+  m_deadline_expired_ = &obs::counter(
+      "serve.deadline_expired", "", "Queries expired before execution");
+  m_failed_batches_ = &obs::counter("serve.failed_batches",
+                                    "", "Batches whose execution threw");
+  m_failed_queries_ = &obs::counter("serve.failed_queries",
+                                    "", "Queries resolved ExecFailed");
+  m_shutdown_failed_ = &obs::counter("serve.shutdown_failed",
+                                     "", "Queries resolved Shutdown");
+  m_retries_ = &obs::counter("serve.retries_observed",
+                             "", "Client-side retries reported to the server");
+  m_pending_depth_ =
+      &obs::gauge("serve.pending_depth", "", "Current pending-queue depth");
+  m_latency_hist_ = &obs::histogram(
+      "serve.latency_ms", "", {},
+      "End-to-end latency of answered queries in milliseconds");
+  m_batch_size_ =
+      &obs::histogram("serve.batch_size", "", {}, "Executed batch sizes");
 
   if (config_.mode == QueryMode::kCachedFull) {
     // One full-graph pass, one shared read-only answer table. The engine
@@ -120,6 +154,7 @@ std::future<QueryResult> BatchServer::submit(std::int64_t node,
                                  << ")");
   Pending p;
   p.node = node;
+  p.qid = next_qid_.fetch_add(1, std::memory_order_relaxed);
   p.enqueued = Clock::now();
   if (deadline_ms > 0.0) {
     p.has_deadline = true;
@@ -128,6 +163,9 @@ std::future<QueryResult> BatchServer::submit(std::int64_t node,
                                       deadline_ms));
   }
   std::future<QueryResult> fut = p.promise.get_future();
+  // The lifecycle span opens at submit for every query — including ones
+  // refused at the door, whose timeline is just a short serve.pending.
+  trace_begin(p);
 
   Pending shed;       // kShedOldest victim, resolved outside the lock
   bool have_shed = false;
@@ -151,9 +189,12 @@ std::future<QueryResult> BatchServer::submit(std::int64_t node,
       pending_.push_back(std::move(p));
       ++submitted_;
     }
+    m_pending_depth_->set(static_cast<double>(pending_.size()));
   }
   if (shutdown) {
     shutdown_failed_.fetch_add(1, std::memory_order_relaxed);
+    m_shutdown_failed_->inc();
+    trace_end(p);
     p.promise.set_value(QueryResult::failure(ServeErrorCode::kShutdown,
                                              "server is shutting down"));
     return fut;
@@ -162,17 +203,21 @@ std::future<QueryResult> BatchServer::submit(std::int64_t node,
     // Refused at the door: never admitted, so it is NOT in submitted_ and
     // needs no completion accounting — only the rejected counter.
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    m_rejected_->inc();
+    trace_end(p);
     p.promise.set_value(QueryResult::failure(
         ServeErrorCode::kOverloaded,
         "pending queue full (max_pending=" +
             std::to_string(config_.max_pending) + ")"));
     return fut;
   }
+  m_submitted_->inc();
   if (have_shed) {
     // The evicted query WAS admitted earlier, so resolve it through the
     // normal completion path to keep drain()'s submitted==completed
     // invariant exact.
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    m_rejected_->inc();
     finish_query(shed, QueryResult::failure(ServeErrorCode::kOverloaded,
                                             "shed by a newer query "
                                             "(kShedOldest)"));
@@ -183,10 +228,32 @@ std::future<QueryResult> BatchServer::submit(std::int64_t node,
 
 void BatchServer::record_retries(std::uint64_t n) {
   retries_observed_.fetch_add(n, std::memory_order_relaxed);
+  m_retries_->inc(n);
+}
+
+void BatchServer::trace_begin(Pending& p) {
+  if (!obs::trace::enabled()) return;
+  obs::trace::async_begin("serve.query", p.qid);
+  obs::trace::async_begin(kQueryPhaseNames[0], p.qid);
+}
+
+void BatchServer::trace_advance(Pending& p, std::uint8_t next_phase) {
+  const std::uint8_t prev = p.phase;
+  p.phase = next_phase;
+  if (!obs::trace::enabled()) return;
+  obs::trace::async_end(kQueryPhaseNames[prev], p.qid);
+  obs::trace::async_begin(kQueryPhaseNames[next_phase], p.qid);
+}
+
+void BatchServer::trace_end(Pending& p) {
+  if (!obs::trace::enabled()) return;
+  obs::trace::async_end(kQueryPhaseNames[p.phase], p.qid);
+  obs::trace::async_end("serve.query", p.qid);
 }
 
 void BatchServer::finish_query(Pending& p, QueryResult result) {
   p.resolved = true;
+  trace_end(p);
   p.promise.set_value(std::move(result));
   {
     std::lock_guard lock(mutex_);
@@ -201,16 +268,20 @@ void BatchServer::fail_queries(std::vector<Pending>& batch,
   for (auto& p : batch) {
     if (p.resolved) continue;
     p.resolved = true;
+    trace_end(p);
     p.promise.set_value(QueryResult::failure(code, message));
     ++n;
   }
   if (n == 0) return;
   if (code == ServeErrorCode::kShutdown) {
     shutdown_failed_.fetch_add(n, std::memory_order_relaxed);
+    m_shutdown_failed_->inc(n);
   } else if (code == ServeErrorCode::kDeadlineExceeded) {
     deadline_expired_.fetch_add(n, std::memory_order_relaxed);
+    m_deadline_expired_->inc(n);
   } else {
     failed_queries_.fetch_add(n, std::memory_order_relaxed);
+    m_failed_queries_->inc(n);
   }
   {
     std::lock_guard lock(mutex_);
@@ -234,6 +305,7 @@ void BatchServer::dispatcher_loop() {
       doomed.reserve(pending_.size());
       std::move(pending_.begin(), pending_.end(), std::back_inserter(doomed));
       pending_.clear();
+      m_pending_depth_->set(0.0);
       lock.unlock();
       fail_queries(doomed, ServeErrorCode::kShutdown,
                    "server shut down before dispatch");
@@ -262,22 +334,29 @@ void BatchServer::dispatcher_loop() {
     std::vector<Pending> batch;
     std::vector<Pending> expired;
     batch.reserve(static_cast<std::size_t>(config_.max_batch));
-    while (!pending_.empty() &&
-           static_cast<std::int64_t>(batch.size()) < config_.max_batch) {
-      Pending p = std::move(pending_.front());
-      pending_.pop_front();
-      if (p.has_deadline && now >= p.deadline) {
-        expired.push_back(std::move(p));
-      } else {
-        batch.push_back(std::move(p));
+    {
+      OBS_SPAN("serve.batch_form");
+      while (!pending_.empty() &&
+             static_cast<std::int64_t>(batch.size()) < config_.max_batch) {
+        Pending p = std::move(pending_.front());
+        pending_.pop_front();
+        if (p.has_deadline && now >= p.deadline) {
+          expired.push_back(std::move(p));
+        } else {
+          batch.push_back(std::move(p));
+        }
       }
     }
+    m_pending_depth_->set(static_cast<double>(pending_.size()));
     lock.unlock();
     if (!expired.empty()) {
       fail_queries(expired, ServeErrorCode::kDeadlineExceeded,
                    "deadline expired before dispatch");
     }
     if (!batch.empty()) {
+      // Dispatched: each query leaves serve.pending and starts waiting
+      // for an in-flight slot + worker.
+      for (auto& p : batch) trace_advance(p, 1);
       // Bound in-flight batches to the worker count before handing the
       // batch to the pool: its task queue is unbounded, and parking the
       // whole backlog there would empty pending_ and blind admission
@@ -372,12 +451,14 @@ void BatchServer::run_batch(std::vector<Pending>& batch) {
   }
   const auto n = static_cast<std::int64_t>(batch.size());
   const bool cached = config_.mode == QueryMode::kCachedFull;
+  for (auto& p : batch) trace_advance(p, 2);
 
   Worker* w = nullptr;
   const float* batch_rows = nullptr;  // subgraph mode: worker output
   bool failed = false;
   std::string error;
   try {
+    OBS_SPAN("serve.batch_exec");
     FAILPOINT("serve.batch_exec");
     if (!cached) {
       w = acquire_worker();
@@ -416,6 +497,7 @@ void BatchServer::run_batch(std::vector<Pending>& batch) {
     // throws the old engine is kept: the worker stays in rotation and the
     // next batch gets its own isolated verdict.
     failed_batches_.fetch_add(1, std::memory_order_relaxed);
+    m_failed_batches_->inc();
     if (w != nullptr) {
       try {
         w->engine = build_worker_engine();
@@ -441,15 +523,13 @@ void BatchServer::run_batch(std::vector<Pending>& batch) {
           std::chrono::duration<double, std::milli>(done - p.enqueued)
               .count();
       ++queries_answered_;
-      max_latency_ms_ = std::max(max_latency_ms_, ms);
-      if (latencies_ms_.size() < kLatencyWindow) {
-        latencies_ms_.push_back(ms);
-      } else {
-        latencies_ms_[latency_next_] = ms;
-        latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-      }
+      latency_data_.observe(ms);
+      m_latency_hist_->observe(ms);
     }
   }
+  m_batches_->inc();
+  m_queries_->inc(static_cast<std::uint64_t>(n));
+  m_batch_size_->observe(static_cast<double>(n));
   for (std::int64_t i = 0; i < n; ++i) {
     Pending& p = batch[static_cast<std::size_t>(i)];
     const float* row = cached ? cached_logits_.data() + p.node * out_dim_
@@ -459,6 +539,7 @@ void BatchServer::run_batch(std::vector<Pending>& batch) {
     pred.label = static_cast<std::int32_t>(ops::argmax_row(row, out_dim_));
     pred.score = row[pred.label];
     p.resolved = true;
+    trace_end(p);
     p.promise.set_value(QueryResult::success(pred));
   }
   if (w != nullptr) release_worker(w);
@@ -481,6 +562,11 @@ void BatchServer::drain() {
   flush_ = false;
 }
 
+obs::HistogramData BatchServer::latency_snapshot() const {
+  std::lock_guard lock(stats_mutex_);
+  return latency_data_;
+}
+
 ServerStats BatchServer::stats() const {
   ServerStats s;
   {
@@ -501,12 +587,13 @@ ServerStats BatchServer::stats() const {
       s.mean_batch =
           static_cast<double>(s.queries) / static_cast<double>(s.batches);
     }
-    if (!latencies_ms_.empty()) {
-      std::vector<double> sorted = latencies_ms_;  // ≤ kLatencyWindow samples
-      std::sort(sorted.begin(), sorted.end());
-      s.p50_latency_ms = percentile_sorted(sorted, 0.50);
-      s.p99_latency_ms = percentile_sorted(sorted, 0.99);
-      s.max_latency_ms = max_latency_ms_;
+    // Full-lifetime distribution — percentiles, mean and max all describe
+    // the same population as the counts (no sampling window).
+    if (latency_data_.count() > 0) {
+      s.p50_latency_ms = latency_data_.quantile(0.50);
+      s.p99_latency_ms = latency_data_.quantile(0.99);
+      s.mean_latency_ms = latency_data_.mean();
+      s.max_latency_ms = latency_data_.max();
     }
   }
   {

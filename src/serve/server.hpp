@@ -44,6 +44,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/engine.hpp"
 #include "serve/snapshot.hpp"
 #include "util/thread_pool.hpp"
@@ -143,10 +144,14 @@ class QueryResult {
   ServeError error_{ServeErrorCode::kShutdown, "unresolved"};
 };
 
-/// Aggregate serving statistics. Counts and max latency cover the
-/// server's whole lifetime; the percentiles are computed over a bounded
-/// window of the most recent queries (kLatencyWindow) so a long-lived
-/// server's stats stay O(1) in memory and stats() stays cheap.
+/// Aggregate serving statistics. Everything — counts, mean, max AND the
+/// percentiles — covers the server's whole lifetime: latency lives in an
+/// obs::HistogramData (fixed log-scale buckets, O(1) memory), so the
+/// percentiles describe the same full population as the counts instead
+/// of a recent-samples window, at bucket resolution (~10% with the
+/// default 12-buckets-per-decade spec). The same observations are
+/// mirrored into the process-global metrics registry ("serve.latency_ms"
+/// etc.), so exported metrics and stats() agree by construction.
 ///
 /// Accounting: every query admitted to the queue (`submitted`) resolves
 /// into exactly one of queries / deadline_expired / failed_queries /
@@ -159,6 +164,7 @@ struct ServerStats {
   double mean_batch = 0.0;
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
+  double mean_latency_ms = 0.0;
   double max_latency_ms = 0.0;
   /// Queries shed by admission control (rejected at the door or evicted
   /// by kShedOldest) — all resolved kOverloaded.
@@ -215,6 +221,11 @@ class BatchServer {
   /// Client-side retry telemetry (see ServerStats::retries_observed).
   void record_retries(std::uint64_t n);
 
+  /// Copy of the server's full-lifetime latency distribution (answered
+  /// queries only). Callers wanting per-run percentiles (serve::loadgen)
+  /// diff two snapshots with obs::HistogramData::delta_since.
+  obs::HistogramData latency_snapshot() const;
+
   ServerStats stats() const;
   const ServerConfig& config() const { return config_; }
 
@@ -226,6 +237,8 @@ class BatchServer {
     std::promise<QueryResult> promise;
     Clock::time_point enqueued;
     Clock::time_point deadline;  ///< meaningful iff has_deadline
+    std::uint64_t qid = 0;       ///< trace-timeline id (unique per submit)
+    std::uint8_t phase = 0;      ///< open trace phase (index into names)
     bool has_deadline = false;
     bool resolved = false;  ///< promise satisfied (exactly-once guard)
   };
@@ -270,6 +283,14 @@ class BatchServer {
   /// fail-fast-shutdown path; counts per code).
   void fail_queries(std::vector<Pending>& batch, ServeErrorCode code,
                     const char* message);
+
+  /// Per-query trace timeline: async spans keyed by qid, one
+  /// whole-lifecycle "serve.query" span plus the phase chain
+  /// serve.pending -> serve.queue_wait -> serve.exec. All three are
+  /// no-ops (one relaxed load) unless obs::trace is enabled.
+  void trace_begin(Pending& p);
+  void trace_advance(Pending& p, std::uint8_t next_phase);
+  void trace_end(Pending& p);
 
   /// LRU lookup for a batch's node sequence; counts a hit or miss.
   /// Returns nullptr on miss (the caller compiles and store_plan()s).
@@ -327,6 +348,7 @@ class BatchServer {
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::condition_variable drained_cv_;
+  std::atomic<std::uint64_t> next_qid_{1};
 
   /// Degradation counters: atomics, not stats_mutex_, so admission and
   /// failure paths never contend with the latency bookkeeping.
@@ -337,16 +359,31 @@ class BatchServer {
   std::atomic<std::uint64_t> shutdown_failed_{0};
   std::atomic<std::uint64_t> retries_observed_{0};
 
-  /// Latency samples kept for the percentile window (~512 KiB at 8 B
-  /// each); older samples are overwritten ring-buffer style.
-  static constexpr std::size_t kLatencyWindow = 1 << 16;
-
   mutable std::mutex stats_mutex_;
   std::uint64_t batches_ = 0;
   std::uint64_t queries_answered_ = 0;
-  double max_latency_ms_ = 0.0;
-  std::vector<double> latencies_ms_;  ///< ring buffer, ≤ kLatencyWindow
-  std::size_t latency_next_ = 0;      ///< overwrite cursor once full
+  /// Full-lifetime latency distribution of THIS server's answered
+  /// queries (plain buckets, guarded by stats_mutex_): the source of
+  /// stats()'s percentiles/mean/max. The same observations are mirrored
+  /// into the process-global "serve.latency_ms" registry histogram,
+  /// which aggregates across servers for export.
+  obs::HistogramData latency_data_;
+
+  /// Registry handles, resolved once at construction (the exported
+  /// mirrors of the local counters above; full metric catalogue in
+  /// docs/ARCHITECTURE.md "Observability").
+  obs::Counter* m_submitted_ = nullptr;
+  obs::Counter* m_queries_ = nullptr;
+  obs::Counter* m_batches_ = nullptr;
+  obs::Counter* m_rejected_ = nullptr;
+  obs::Counter* m_deadline_expired_ = nullptr;
+  obs::Counter* m_failed_batches_ = nullptr;
+  obs::Counter* m_failed_queries_ = nullptr;
+  obs::Counter* m_shutdown_failed_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Gauge* m_pending_depth_ = nullptr;
+  obs::Histogram* m_latency_hist_ = nullptr;
+  obs::Histogram* m_batch_size_ = nullptr;
 
   /// Subgraph-plan LRU (plan_cache_capacity > 0, kSubgraph mode):
   /// most-recent at the list front, keyed by the exact node-id sequence

@@ -11,6 +11,7 @@
 
 #include "exec/layer_plan.hpp"
 #include "io/serialize.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/failpoint.hpp"
 
@@ -273,6 +274,7 @@ Snapshot read_snapshot(std::istream& is) {
 }
 
 void save_snapshot(const std::string& path, const Snapshot& snap) {
+  OBS_SPAN("snapshot.save");
   // Serialise fully in memory first: if write_snapshot throws (validation,
   // failpoint), no file — not even a temp — is touched.
   std::ostringstream buf(std::ios::binary);
@@ -306,6 +308,7 @@ void save_snapshot(const std::string& path, const Snapshot& snap) {
 }
 
 Snapshot load_snapshot(const std::string& path) {
+  OBS_SPAN("snapshot.load");
   std::ifstream is(path, std::ios::binary);
   GSOUP_CHECK_MSG(is.good(), "cannot open " << path);
   return read_snapshot(is);

@@ -5,6 +5,7 @@
 
 #include "ag/graph_ops.hpp"
 #include "ag/loss.hpp"
+#include "obs/trace.hpp"
 #include "train/metrics.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -44,6 +45,7 @@ TrainResult train_minibatch(const GnnModel& model, const GraphContext& ctx,
   std::int64_t since_best = 0;
 
   for (std::int64_t epoch = 0; epoch < config.train.epochs; ++epoch) {
+    OBS_SPAN("train.epoch");
     optimizer->set_lr(
         scheduled_lr(config.train.schedule, epoch, config.train.epochs));
 

@@ -2,6 +2,7 @@
 
 #include "ag/loss.hpp"
 #include "ag/ops.hpp"
+#include "obs/trace.hpp"
 #include "train/metrics.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -36,6 +37,7 @@ TrainResult train_full_batch(const GnnModel& model, const GraphContext& ctx,
   std::int64_t since_best = 0;
 
   for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    OBS_SPAN("train.epoch");
     optimizer->set_lr(scheduled_lr(config.schedule, epoch, config.epochs));
 
     const ag::Value logits =

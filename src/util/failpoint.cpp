@@ -1,5 +1,6 @@
 #include "util/failpoint.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -219,6 +220,21 @@ std::uint64_t fire_count(const std::string& name) {
   std::lock_guard lock(reg.mutex);
   const auto it = reg.counters.find(name);
   return it == reg.counters.end() ? 0 : it->second.fires;
+}
+
+std::vector<CounterEntry> counters_snapshot() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  std::vector<CounterEntry> out;
+  out.reserve(reg.counters.size());
+  for (const auto& [name, c] : reg.counters) {
+    out.push_back({name, c.hits, c.fires});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CounterEntry& a, const CounterEntry& b) {
+              return a.name < b.name;
+            });
+  return out;
 }
 
 void arm_from_string(const std::string& config) {

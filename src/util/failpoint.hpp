@@ -40,6 +40,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace gsoup::failpoint {
 
@@ -70,6 +71,18 @@ std::uint64_t hit_count(const std::string& name);
 
 /// Times `name` actually fired (threw or delayed).
 std::uint64_t fire_count(const std::string& name);
+
+/// One failpoint's counter history (survives disarm; see hit_count).
+struct CounterEntry {
+  std::string name;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+/// Every failpoint that has been evaluated while armed, sorted by name —
+/// the obs metrics exporter publishes these as
+/// gsoup_failpoint_{hits,fires}_total{name="..."}.
+std::vector<CounterEntry> counters_snapshot();
 
 /// Parse a GSOUP_FAILPOINTS-style config string and arm every entry.
 /// Throws CheckError on a malformed entry (entries before the bad one

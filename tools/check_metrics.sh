@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Prometheus exposition-format validator for serve_cli --metrics-out
+# (CI metrics smoke step).
+#
+# Checks structural well-formedness line by line — every non-comment line
+# must be `name{labels} value` or `name value` with a finite numeric
+# value, every series must sit under a # TYPE comment, histogram families
+# must carry a `le="+Inf"` bucket whose value equals `_count` — and then
+# requires the metric families the serving path is expected to export.
+# Exits 1 listing each violation.
+#
+# Usage: tools/check_metrics.sh <metrics-file> [required-family ...]
+# Default required families: the serve counters/latency histogram, the
+# per-stage exec histogram, and the failpoint counters.
+set -u
+
+file="${1:-}"
+if [ -z "$file" ] || [ ! -f "$file" ]; then
+  echo "check_metrics: metrics file not found: '$file'" >&2
+  exit 2
+fi
+shift || true
+
+required=("$@")
+if [ "${#required[@]}" -eq 0 ]; then
+  required=(
+    gsoup_serve_queries_total
+    gsoup_serve_submitted_total
+    gsoup_serve_pending_depth
+    gsoup_serve_latency_ms_bucket
+    gsoup_serve_latency_ms_count
+    gsoup_exec_stage_ms_bucket
+    gsoup_failpoint_hits_total
+  )
+fi
+
+errors=0
+fail() {
+  echo "BAD: $1"
+  errors=$((errors + 1))
+}
+
+# ---- Line-level format ----------------------------------------------------
+# name ::= [a-zA-Z_:][a-zA-Z0-9_:]*
+# line ::= name ('{' labels '}')? ' ' value
+lineno=0
+declare -A typed_families=()
+while IFS= read -r line; do
+  lineno=$((lineno + 1))
+  [ -z "$line" ] && continue
+  case "$line" in
+    "# HELP "*) continue ;;
+    "# TYPE "*)
+      # "# TYPE <name> <counter|gauge|histogram|summary|untyped>"
+      if [[ "$line" =~ ^#\ TYPE\ ([a-zA-Z_:][a-zA-Z0-9_:]*)\ (counter|gauge|histogram|summary|untyped)$ ]]; then
+        typed_families["${BASH_REMATCH[1]}"]=1
+      else
+        fail "line $lineno: malformed TYPE comment: $line"
+      fi
+      continue
+      ;;
+    "#"*) fail "line $lineno: unknown comment form: $line"; continue ;;
+  esac
+  if [[ ! "$line" =~ ^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\ (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$ ]]; then
+    fail "line $lineno: malformed sample line: $line"
+    continue
+  fi
+  name="${BASH_REMATCH[1]}"
+  # Histogram series export under their family's TYPE line.
+  family="$name"
+  case "$name" in
+    *_bucket) family="${name%_bucket}" ;;
+    *_sum) family="${name%_sum}" ;;
+    *_count) family="${name%_count}" ;;
+  esac
+  if [ -z "${typed_families[$family]:-}" ] && [ -z "${typed_families[$name]:-}" ]; then
+    fail "line $lineno: sample without TYPE comment: $name"
+  fi
+done < "$file"
+
+# ---- Histogram invariants -------------------------------------------------
+# Every *_count series must have a matching le="+Inf" bucket with the same
+# value (cumulative buckets end at the observation count).
+while IFS= read -r count_line; do
+  name="${count_line%%[\{ ]*}"
+  family="${name%_count}"
+  labels=""
+  if [[ "$count_line" =~ ^[a-zA-Z_:][a-zA-Z0-9_:]*\{([^}]*)\} ]]; then
+    labels="${BASH_REMATCH[1]}"
+  fi
+  value="${count_line##* }"
+  if [ -n "$labels" ]; then
+    inf_line="$(grep -F "${family}_bucket{${labels},le=\"+Inf\"}" "$file" || true)"
+  else
+    inf_line="$(grep -F "${family}_bucket{le=\"+Inf\"}" "$file" || true)"
+  fi
+  if [ -z "$inf_line" ]; then
+    fail "histogram $family{$labels}: no le=\"+Inf\" bucket"
+  elif [ "${inf_line##* }" != "$value" ]; then
+    fail "histogram $family{$labels}: +Inf bucket ${inf_line##* } != count $value"
+  fi
+done < <(grep -E '^[a-zA-Z_:][a-zA-Z0-9_:]*_count[{ ]' "$file")
+
+# ---- Required families ----------------------------------------------------
+for want in "${required[@]}"; do
+  if ! grep -qE "^${want}([{ ])" "$file"; then
+    fail "required metric family missing: $want"
+  fi
+done
+
+count_lines="$(grep -cEv '^(#|$)' "$file")"
+echo "check_metrics: $count_lines sample line(s) checked, $errors problem(s)"
+[ "$errors" -eq 0 ] || exit 1
+exit 0

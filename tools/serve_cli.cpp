@@ -27,14 +27,30 @@
 //       retried). Overload and fault experiments pass --allow-failures;
 //       without it any failed query makes the run exit non-zero.
 //
+//   serve_cli metrics --snapshot soup.gsnp --data graph.gds
+//                     [bench load flags] [--metrics-out metrics.prom]
+//       Drive the batch server exactly like `bench` with per-stage exec
+//       profiling enabled, then dump the metrics registry in Prometheus
+//       text format to stdout (or --metrics-out). Failures don't fail
+//       the run — scraping a degraded server is the point.
+//
 //   Any command accepts --failpoints "name=error[:p]|delay:ms[:once],..."
-//   to arm fault injection (see util/failpoint.hpp) before it runs.
+//   to arm fault injection (see util/failpoint.hpp) before it runs, and
+//   the observability outputs:
+//     --metrics-out <path>   write the registry as Prometheus text at exit
+//                            (also enables per-stage exec profiling)
+//     --stats-json <path>    write the registry as JSON at exit
+//     --trace-out <path>     enable trace spans and write the run's
+//                            Chrome trace-event JSON at exit
+//   The outputs are written on failure exits too: a fault-injected bench
+//   that exits 4 still leaves its metrics/trace artifacts behind.
 //
 // Exit codes: 0 success; 2 bad arguments/usage; 3 unreadable or corrupt
 // snapshot/dataset input; 4 query or load-test failure; 1 anything else.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <sstream>
@@ -48,6 +64,8 @@
 #include "graph/generator.hpp"
 #include "io/serialize.hpp"
 #include "nn/model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/engine.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/server.hpp"
@@ -87,6 +105,9 @@ struct Args {
   std::string nodes;
   std::string admission = "reject";
   std::string failpoints;
+  std::string metrics_out;
+  std::string trace_out;
+  std::string stats_json;
   double scale = 0.25;
   double delay_ms = 2.0;
   double deadline_ms = 0.0;
@@ -105,7 +126,7 @@ struct Args {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s save|info|query|bench [options]\n"
+               "usage: %s save|info|query|bench|metrics [options]\n"
                "see the header of tools/serve_cli.cpp for details\n",
                argv0);
   return 2;
@@ -143,6 +164,9 @@ bool parse_args(int argc, char** argv, Args& args) {
     else if (flag == "--retry-budget" && (v = next())) args.retry_budget = std::atoll(v);
     else if (flag == "--backoff-ms" && (v = next())) args.backoff_ms = std::atof(v);
     else if (flag == "--failpoints" && (v = next())) args.failpoints = v;
+    else if (flag == "--metrics-out" && (v = next())) args.metrics_out = v;
+    else if (flag == "--trace-out" && (v = next())) args.trace_out = v;
+    else if (flag == "--stats-json" && (v = next())) args.stats_json = v;
     else if (flag == "--allow-failures") args.allow_failures = true;
     else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
@@ -340,6 +364,50 @@ int cmd_query(const Args& args) {
   return 0;
 }
 
+/// Shared server load run for `bench` and `metrics`: validates the load
+/// flags, builds the server, drives it, and returns the loadgen report
+/// plus the server's final stats.
+struct LoadRunResult {
+  serve::LoadReport report;
+  serve::ServerStats stats;
+};
+
+LoadRunResult run_server_load(const Args& args, const serve::Snapshot& snap,
+                              std::shared_ptr<const GraphContext> ctx,
+                              const Dataset& data) {
+  serve::ServerConfig cfg;
+  require(args.clients >= 1, "--clients must be >= 1");
+  require(args.requests >= 1, "--requests must be >= 1");
+  require(args.workers >= 1 && args.workers <= 256,
+          "--workers must be in [1, 256]");
+  require(args.max_pending >= 1, "--max-pending must be >= 1");
+  require(args.admission == "reject" || args.admission == "shed",
+          "--admission must be reject or shed");
+  cfg.workers = static_cast<std::size_t>(args.workers);
+  cfg.max_batch = args.batch;
+  cfg.max_delay_ms = args.delay_ms;
+  cfg.mode = parse_mode(args.mode);
+  cfg.max_pending = static_cast<std::size_t>(args.max_pending);
+  cfg.admission = args.admission == "shed"
+                      ? serve::AdmissionPolicy::kShedOldest
+                      : serve::AdmissionPolicy::kRejectNew;
+  serve::BatchServer server(snap, std::move(ctx), data.features, cfg);
+
+  serve::LoadgenOptions load;
+  load.requests = args.requests;
+  load.clients = args.clients;
+  load.num_nodes = data.num_nodes();
+  load.deadline_ms = args.deadline_ms;
+  load.max_retries = static_cast<int>(args.retries);
+  load.retry_budget = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, args.retry_budget));
+  load.retry_backoff_ms = args.backoff_ms;
+  LoadRunResult r;
+  r.report = serve::drive_load(server, load);
+  r.stats = server.stats();
+  return r;
+}
+
 int cmd_bench(const Args& args) {
   require(!args.snapshot_path.empty() && !args.data_path.empty(),
           "bench needs --snapshot and --data");
@@ -373,35 +441,9 @@ int cmd_bench(const Args& args) {
                 probes / t.seconds(), t.milliseconds() / probes);
   }
 
-  serve::ServerConfig cfg;
-  require(args.clients >= 1, "--clients must be >= 1");
-  require(args.requests >= 1, "--requests must be >= 1");
-  require(args.workers >= 1 && args.workers <= 256,
-          "--workers must be in [1, 256]");
-  require(args.max_pending >= 1, "--max-pending must be >= 1");
-  require(args.admission == "reject" || args.admission == "shed",
-          "--admission must be reject or shed");
-  cfg.workers = static_cast<std::size_t>(args.workers);
-  cfg.max_batch = args.batch;
-  cfg.max_delay_ms = args.delay_ms;
-  cfg.mode = parse_mode(args.mode);
-  cfg.max_pending = static_cast<std::size_t>(args.max_pending);
-  cfg.admission = args.admission == "shed"
-                      ? serve::AdmissionPolicy::kShedOldest
-                      : serve::AdmissionPolicy::kRejectNew;
-  serve::BatchServer server(snap, ctx, data.features, cfg);
-
-  serve::LoadgenOptions load;
-  load.requests = args.requests;
-  load.clients = args.clients;
-  load.num_nodes = data.num_nodes();
-  load.deadline_ms = args.deadline_ms;
-  load.max_retries = static_cast<int>(args.retries);
-  load.retry_budget = static_cast<std::uint64_t>(
-      std::max<std::int64_t>(0, args.retry_budget));
-  load.retry_backoff_ms = args.backoff_ms;
-  const serve::LoadReport report = serve::drive_load(server, load);
-  const serve::ServerStats stats = server.stats();
+  const LoadRunResult run = run_server_load(args, snap, ctx, data);
+  const serve::LoadReport& report = run.report;
+  const serve::ServerStats& stats = run.stats;
   std::printf(
       "server: %llu queries in %.2fs -> %.0f QPS | batches %llu (mean %.1f) "
       "| latency p50 %.3f ms, p99 %.3f ms, max %.3f ms\n",
@@ -431,11 +473,69 @@ int cmd_bench(const Args& args) {
   return kExitOk;
 }
 
+int cmd_metrics(const Args& args) {
+  require(!args.snapshot_path.empty() && !args.data_path.empty(),
+          "metrics needs --snapshot and --data");
+  const serve::Snapshot snap = load_snapshot_checked(args.snapshot_path);
+  const Dataset data = load_dataset_checked(args.data_path);
+  check_snapshot_graph(snap, data);
+  auto ctx =
+      std::make_shared<const GraphContext>(data.graph, snap.config.arch);
+  const LoadRunResult run = run_server_load(args, snap, ctx, data);
+  std::fprintf(stderr,
+               "metrics: drove %llu queries (%llu failures); registry "
+               "snapshot follows\n",
+               static_cast<unsigned long long>(run.stats.queries),
+               static_cast<unsigned long long>(run.report.failures));
+  // With --metrics-out the snapshot goes to the file (written by main's
+  // output pass); without it, to stdout for piping into a scraper check.
+  if (args.metrics_out.empty()) {
+    const std::string text = obs::export_prometheus_text();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+  }
+  return kExitOk;
+}
+
+/// Write whichever observability outputs were requested. Called on both
+/// success and failure exits — a fault-injected bench that exits 4 must
+/// still leave its metrics/trace/stats artifacts behind.
+void write_obs_outputs(const Args& args) {
+  if (!args.metrics_out.empty()) {
+    std::ofstream out(args.metrics_out);
+    if (out) out << obs::export_prometheus_text();
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write --metrics-out %s\n",
+                   args.metrics_out.c_str());
+    }
+  }
+  if (!args.stats_json.empty()) {
+    std::ofstream out(args.stats_json);
+    if (out) out << obs::export_json_text();
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write --stats-json %s\n",
+                   args.stats_json.c_str());
+    }
+  }
+  if (!args.trace_out.empty() &&
+      !obs::trace::export_chrome_file(args.trace_out)) {
+    std::fprintf(stderr, "warning: cannot write --trace-out %s\n",
+                 args.trace_out.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, args)) return usage(argv[0]);
+  // Enable instrumentation up front so the whole command is covered:
+  // per-stage exec profiling whenever a metrics snapshot was requested,
+  // trace recording whenever a trace file was.
+  if (args.cmd == "metrics" || !args.metrics_out.empty() ||
+      !args.stats_json.empty()) {
+    gsoup::obs::set_profiling(true);
+  }
+  if (!args.trace_out.empty()) gsoup::obs::trace::set_enabled(true);
   try {
     if (!args.failpoints.empty()) {
       // Malformed specs are usage errors; arm_from_string throws.
@@ -446,14 +546,22 @@ int main(int argc, char** argv) {
                         std::string("bad --failpoints: ") + e.what());
       }
     }
-    if (args.cmd == "save") return cmd_save(args);
-    if (args.cmd == "info") return cmd_info(args);
-    if (args.cmd == "query") return cmd_query(args);
-    if (args.cmd == "bench") return cmd_bench(args);
+    int code = -1;
+    if (args.cmd == "save") code = cmd_save(args);
+    else if (args.cmd == "info") code = cmd_info(args);
+    else if (args.cmd == "query") code = cmd_query(args);
+    else if (args.cmd == "bench") code = cmd_bench(args);
+    else if (args.cmd == "metrics") code = cmd_metrics(args);
+    if (code >= 0) {
+      write_obs_outputs(args);
+      return code;
+    }
   } catch (const ExitError& e) {
+    write_obs_outputs(args);
     std::fprintf(stderr, "error: %s\n", e.what());
     return e.code;
   } catch (const std::exception& e) {
+    write_obs_outputs(args);
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
