@@ -36,6 +36,7 @@
 #include "serve/engine.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/server.hpp"
+#include "serve/shard_server.hpp"
 #include "serve/snapshot.hpp"
 #include "util/failpoint.hpp"
 #include "util/rng.hpp"
@@ -65,6 +66,11 @@ struct Record {
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   double batching_speedup = 0.0;
+  /// server_sharded_K only: qps relative to the same-run single-engine
+  /// "server" record. Run-relative like the kernel artifact's
+  /// speedup_vs_naive, so the CI gate survives hardware differences
+  /// between the baseline box and hosted runners.
+  double vs_single = 0.0;
 };
 
 
@@ -230,6 +236,64 @@ void bench_arch(const BenchConfig& cfg, Arch arch, const Dataset& data,
         "%-6s server w=2 b=64 %9.0f QPS (p50 %.3f ms, p99 %.3f ms, mean "
         "batch %.1f)\n",
         arch_name(arch), r.qps, r.p50_ms, r.p99_ms, stats.mean_batch);
+  }
+}
+
+// ---- Sharded server throughput. -------------------------------------------
+//
+// The single-process stand-in for the scale-out deployment: the graph is
+// partitioned (multilevel, halo = num_layers), each shard gets its own
+// engine over a shard-local CSR, and the router splits client batches by
+// owner shard. Same client harness and batch knobs as the "server" bench,
+// so server vs server_sharded_K is the sharding overhead (routing, halo
+// replication in the working set, per-shard batch fragmentation) at a
+// glance. Answers are bit-identical to the single engine — tests/test_shard
+// proves that — so this record is pure throughput.
+void bench_sharded(const BenchConfig& cfg, const Dataset& data,
+                   std::vector<Record>& records) {
+  const ModelConfig mcfg = bench_model_config(Arch::kGcn, data);
+  const GnnModel model(mcfg);
+  Rng rng(53);
+  const ParamStore params = model.init_params(rng);
+  const serve::Snapshot snap =
+      serve::make_snapshot(mcfg, params, data, "bench-sharded");
+  const std::string shape = "n=" + std::to_string(data.num_nodes()) +
+                            ",nnz=" + std::to_string(data.num_edges());
+  double single_qps = 0.0;
+  for (const auto& rec : records) {
+    if (rec.bench == "server" && rec.arch == arch_name(Arch::kGcn)) {
+      single_qps = rec.qps;
+    }
+  }
+
+  for (const std::int64_t num_shards : {2, 4}) {
+    serve::ShardServerOptions sopt;
+    sopt.num_shards = num_shards;
+    sopt.partitioner = "multilevel";
+    sopt.server.workers = 2;
+    sopt.server.max_batch = 64;
+    sopt.server.max_delay_ms = 2.0;
+    const ShardSet shards = serve::make_serving_shards(data.graph, mcfg, sopt);
+    serve::ShardedServer server(snap, shards, data.features, sopt);
+
+    constexpr std::int64_t kClients = 4;
+    const double seconds = serve::drive_clients(
+        server, cfg.server_requests, kClients, data.num_nodes());
+    const serve::ShardedStats stats = server.stats();
+    Record r{"server_sharded_" + std::to_string(num_shards), "gcn", shape};
+    r.batch = sopt.server.max_batch;
+    r.workers = static_cast<std::int64_t>(sopt.server.workers) * num_shards;
+    r.qps = static_cast<double>(stats.total.queries) / seconds;
+    r.p50_ms = stats.total.p50_latency_ms;
+    r.p99_ms = stats.total.p99_latency_ms;
+    r.vs_single = single_qps > 0.0 ? r.qps / single_qps : 0.0;
+    records.push_back(r);
+    const ShardStats sstats = shard_stats(shards);
+    std::printf(
+        "gcn    sharded k=%lld    %9.0f QPS (p50 %.3f ms, %.2fx of single, "
+        "repl %.2fx)\n",
+        static_cast<long long>(num_shards), r.qps, r.p50_ms, r.vs_single,
+        sstats.replication_factor);
   }
 }
 
@@ -426,10 +490,11 @@ bool write_json(const std::string& path, const std::string& mode,
         buf, sizeof(buf),
         "    {\"bench\": \"%s\", \"arch\": \"%s\", \"shape\": \"%s\", "
         "\"batch\": %lld, \"workers\": %lld, \"qps\": %.3f, "
-        "\"p50_ms\": %.6f, \"p99_ms\": %.6f, \"batching_speedup\": %.3f}",
+        "\"p50_ms\": %.6f, \"p99_ms\": %.6f, \"batching_speedup\": %.3f, "
+        "\"vs_single\": %.3f}",
         r.bench.c_str(), r.arch.c_str(), r.shape.c_str(),
         static_cast<long long>(r.batch), static_cast<long long>(r.workers),
-        r.qps, r.p50_ms, r.p99_ms, r.batching_speedup);
+        r.qps, r.p50_ms, r.p99_ms, r.batching_speedup, r.vs_single);
     out << buf << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -465,6 +530,7 @@ int main(int argc, char** argv) {
   for (const Arch arch : {Arch::kGcn, Arch::kSage, Arch::kGat}) {
     bench_arch(cfg, arch, data, records);
   }
+  bench_sharded(cfg, data, records);
   bench_overload(cfg, data, records);
   bench_obs_overhead(cfg, data, records);
   if (!write_json(cfg.out, cfg.smoke ? "smoke" : "full", records)) return 1;

@@ -74,6 +74,12 @@ void SubgraphPlanBuilder::build(const Csr& g,
     P.indptr.push_back(0);
     for (std::int64_t i = 0; i < P.num_dst; ++i) {
       const std::int64_t dst = P.src_nodes[static_cast<std::size_t>(i)];
+      // Sharded serving's halo-sufficiency invariant: every row the
+      // expansion walks must be a complete copy of the full graph's.
+      GSOUP_CHECK_MSG(row_guard_.empty() ||
+                          row_guard_[static_cast<std::size_t>(dst)] != 0,
+                      "subgraph expansion walked incomplete row "
+                          << dst << " — query escaped the shard halo");
       for (std::int64_t e = g.indptr[dst]; e < g.indptr[dst + 1]; ++e) {
         const std::int32_t src = g.indices[static_cast<std::size_t>(e)];
         const auto s = static_cast<std::size_t>(src);

@@ -70,12 +70,24 @@ class SubgraphPlanBuilder {
   void build(const Csr& g, std::span<const std::int64_t> nodes,
              SubgraphPlan& out);
 
+  /// Install a row-completeness guard for sharded serving: `complete`
+  /// flags (size num_nodes, same numbering as the graphs passed to
+  /// `build`) mark rows that are faithful copies of the full graph's.
+  /// Once set, `build` throws CheckError if the expansion ever walks a
+  /// flagged-incomplete row — i.e. a query's L-hop neighbourhood escaped
+  /// the shard's replicated halo. The span is not owned; the caller keeps
+  /// it alive. An empty span clears the guard.
+  void set_row_guard(std::span<const std::uint8_t> complete) {
+    row_guard_ = complete;
+  }
+
  private:
   std::int64_t num_nodes_ = 0;
   std::int64_t num_layers_ = 0;
   std::vector<std::int64_t> visit_epoch_;
   std::vector<std::int32_t> local_id_;
   std::int64_t epoch_ = 0;
+  std::span<const std::uint8_t> row_guard_;
 };
 
 }  // namespace gsoup::exec

@@ -454,4 +454,21 @@ std::string export_json_text() {
   return out.str();
 }
 
+std::string format_label(const std::string& key, const std::string& value) {
+  std::string out;
+  out.reserve(key.size() + value.size() + 3);
+  out += key;
+  out += "=\"";
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
 }  // namespace gsoup::obs

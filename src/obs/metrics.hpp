@@ -243,4 +243,9 @@ Histogram& histogram(const std::string& name, const std::string& labels = "",
 std::string export_prometheus_text();
 std::string export_json_text();
 
+/// Render one `key="value"` Prometheus label body for the registry's
+/// `labels` argument. `value` is escaped per the exposition format
+/// (backslash, double-quote, newline).
+std::string format_label(const std::string& key, const std::string& value);
+
 }  // namespace gsoup::obs

@@ -1,0 +1,241 @@
+#include "partition/sharding.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gsoup {
+
+ShardSet build_shard_set(const Csr& graph, const Partitioning& parts,
+                         std::int64_t halo_hops) {
+  parts.validate(graph.num_nodes);
+  GSOUP_CHECK_MSG(halo_hops >= 1, "halo_hops must be >= 1 (one hop per "
+                                  "GNN layer)");
+  const std::int64_t n = graph.num_nodes;
+  const bool weighted = graph.weighted();
+
+  ShardSet set;
+  set.num_shards = parts.num_parts;
+  set.halo_hops = halo_hops;
+  set.owner = parts.assignment;
+  set.local_id.assign(static_cast<std::size_t>(n), -1);
+  set.shards.resize(static_cast<std::size_t>(parts.num_parts));
+
+  // Per-shard scratch reused across shards: global -> shard-local id
+  // (epoch-free; reset via the shard's own node list) and the BFS ring
+  // distance of each local node.
+  std::vector<std::int32_t> local(static_cast<std::size_t>(n), -1);
+
+  for (std::int64_t s = 0; s < parts.num_parts; ++s) {
+    ShardGraph& shard = set.shards[static_cast<std::size_t>(s)];
+    shard.index = s;
+    shard.nodes = parts.part_nodes(s);  // ring 0, ascending
+    shard.num_owned = static_cast<std::int64_t>(shard.nodes.size());
+    for (std::int64_t i = 0; i < shard.num_owned; ++i) {
+      const std::int64_t g = shard.nodes[static_cast<std::size_t>(i)];
+      local[static_cast<std::size_t>(g)] = static_cast<std::int32_t>(i);
+      set.local_id[static_cast<std::size_t>(g)] =
+          static_cast<std::int32_t>(i);
+    }
+
+    // Multi-source BFS over in-edges to distance halo_hops + 1. Each ring
+    // is collected, sorted ascending (deterministic local numbering,
+    // independent of row traversal order), then assigned local ids.
+    std::int64_t complete_end = shard.num_owned;
+    std::int64_t frontier_lo = 0;
+    std::int64_t frontier_hi = shard.num_owned;
+    std::vector<std::int64_t> ring;
+    for (std::int64_t d = 1; d <= halo_hops + 1; ++d) {
+      // Everything before this ring sits at distance <= halo_hops and
+      // gets a complete row; the final (d == halo_hops + 1) ring does not.
+      complete_end = static_cast<std::int64_t>(shard.nodes.size());
+      ring.clear();
+      for (std::int64_t i = frontier_lo; i < frontier_hi; ++i) {
+        const std::int64_t dst = shard.nodes[static_cast<std::size_t>(i)];
+        for (const std::int32_t src : graph.neighbors(dst)) {
+          if (local[static_cast<std::size_t>(src)] < 0) {
+            // Mark now (dedup within the ring); renumber after the sort.
+            local[static_cast<std::size_t>(src)] = 0;
+            ring.push_back(src);
+          }
+        }
+      }
+      std::sort(ring.begin(), ring.end());
+      for (const std::int64_t g : ring) {
+        local[static_cast<std::size_t>(g)] =
+            static_cast<std::int32_t>(shard.nodes.size());
+        shard.nodes.push_back(g);
+      }
+      frontier_lo = frontier_hi;
+      frontier_hi = static_cast<std::int64_t>(shard.nodes.size());
+    }
+
+    // Rows: verbatim copies (sources remapped to local ids) for every
+    // node at distance <= halo_hops; empty for the outermost ring.
+    const std::int64_t num_local =
+        static_cast<std::int64_t>(shard.nodes.size());
+    shard.row_complete.assign(static_cast<std::size_t>(num_local), 0);
+    shard.graph.num_nodes = num_local;
+    shard.graph.indptr.clear();
+    shard.graph.indptr.reserve(static_cast<std::size_t>(num_local) + 1);
+    shard.graph.indptr.push_back(0);
+    shard.graph.indices.clear();
+    shard.graph.values.clear();
+    for (std::int64_t i = 0; i < num_local; ++i) {
+      if (i < complete_end) {
+        shard.row_complete[static_cast<std::size_t>(i)] = 1;
+        const std::int64_t g = shard.nodes[static_cast<std::size_t>(i)];
+        for (std::int64_t e = graph.indptr[g]; e < graph.indptr[g + 1];
+             ++e) {
+          const std::int32_t src =
+              graph.indices[static_cast<std::size_t>(e)];
+          const std::int32_t src_local =
+              local[static_cast<std::size_t>(src)];
+          GSOUP_CHECK_MSG(src_local >= 0, "shard " << s << ": source "
+                          << src << " of complete row " << g
+                          << " missing from the halo");
+          shard.graph.indices.push_back(src_local);
+          if (weighted) {
+            shard.graph.values.push_back(
+                graph.values[static_cast<std::size_t>(e)]);
+          }
+        }
+      }
+      shard.graph.indptr.push_back(
+          static_cast<std::int64_t>(shard.graph.indices.size()));
+    }
+
+    // Reset the scratch map for the next shard.
+    for (const std::int64_t g : shard.nodes) {
+      local[static_cast<std::size_t>(g)] = -1;
+    }
+  }
+  return set;
+}
+
+void validate_shard_set_structure(const ShardSet& set,
+                                  std::int64_t num_nodes) {
+  const std::int64_t n = num_nodes;
+  GSOUP_CHECK_MSG(set.num_shards >= 1, "shard set has no shards");
+  GSOUP_CHECK_MSG(set.halo_hops >= 1, "shard set halo_hops must be >= 1");
+  GSOUP_CHECK_MSG(static_cast<std::int64_t>(set.owner.size()) == n &&
+                      static_cast<std::int64_t>(set.local_id.size()) == n,
+                  "shard routing tables do not match the graph");
+  GSOUP_CHECK_MSG(static_cast<std::int64_t>(set.shards.size()) ==
+                      set.num_shards,
+                  "shard count does not match shard list");
+
+  std::int64_t owned_total = 0;
+  std::vector<std::int32_t> local(static_cast<std::size_t>(n), -1);
+  for (std::int64_t s = 0; s < set.num_shards; ++s) {
+    const ShardGraph& shard = set.shards[static_cast<std::size_t>(s)];
+    GSOUP_CHECK_MSG(shard.index == s, "shard " << s << " mislabeled");
+    const std::int64_t num_local = shard.num_local();
+    GSOUP_CHECK_MSG(shard.num_owned >= 0 && shard.num_owned <= num_local,
+                    "shard " << s << " owned count out of range");
+    GSOUP_CHECK_MSG(static_cast<std::int64_t>(shard.row_complete.size()) ==
+                            num_local &&
+                        shard.graph.num_nodes == num_local &&
+                        static_cast<std::int64_t>(
+                            shard.graph.indptr.size()) == num_local + 1,
+                    "shard " << s << " structure sizes inconsistent");
+    owned_total += shard.num_owned;
+
+    for (std::int64_t i = 0; i < num_local; ++i) {
+      const std::int64_t g = shard.nodes[static_cast<std::size_t>(i)];
+      GSOUP_CHECK_MSG(g >= 0 && g < n,
+                      "shard " << s << " local " << i << " maps to "
+                               << g << ", out of range");
+      GSOUP_CHECK_MSG(local[static_cast<std::size_t>(g)] < 0,
+                      "shard " << s << " replicates node " << g
+                               << " twice");
+      local[static_cast<std::size_t>(g)] = static_cast<std::int32_t>(i);
+      if (i < shard.num_owned) {
+        GSOUP_CHECK_MSG(set.owner[static_cast<std::size_t>(g)] == s,
+                        "node " << g << " listed as owned by shard " << s
+                                << " but routed to shard "
+                                << set.owner[static_cast<std::size_t>(g)]);
+        GSOUP_CHECK_MSG(set.local_id[static_cast<std::size_t>(g)] ==
+                            static_cast<std::int32_t>(i),
+                        "node " << g << " local_id routing entry stale");
+        if (i > 0) {
+          GSOUP_CHECK_MSG(shard.nodes[static_cast<std::size_t>(i - 1)] < g,
+                          "shard " << s << " owned ids not ascending");
+        }
+      }
+    }
+
+    // Incomplete rows must be non-owned and empty (owned rows always sit
+    // within distance halo_hops, so the contract promises them complete).
+    for (std::int64_t i = 0; i < num_local; ++i) {
+      if (shard.row_complete[static_cast<std::size_t>(i)] != 0) continue;
+      GSOUP_CHECK_MSG(i >= shard.num_owned,
+                      "shard " << s << ": owned row " << i
+                               << " not complete");
+      GSOUP_CHECK_MSG(shard.graph.indptr[i] == shard.graph.indptr[i + 1],
+                      "shard " << s << ": incomplete row " << i
+                               << " is not empty");
+    }
+    shard.graph.validate();
+    for (const std::int64_t g : shard.nodes) {
+      local[static_cast<std::size_t>(g)] = -1;
+    }
+  }
+  GSOUP_CHECK_MSG(owned_total == n, "shards own " << owned_total << " of "
+                                                  << n << " nodes");
+}
+
+void validate_shard_set(const ShardSet& set, const Csr& graph) {
+  validate_shard_set_structure(set, graph.num_nodes);
+  for (std::int64_t s = 0; s < set.num_shards; ++s) {
+    const ShardGraph& shard = set.shards[static_cast<std::size_t>(s)];
+    const std::int64_t num_local = shard.num_local();
+    // Row contract: complete rows verbatim-equal to the global rows —
+    // same degree, same source order, same values.
+    for (std::int64_t i = 0; i < num_local; ++i) {
+      if (shard.row_complete[static_cast<std::size_t>(i)] == 0) continue;
+      const std::int64_t g = shard.nodes[static_cast<std::size_t>(i)];
+      const std::int64_t lo = shard.graph.indptr[i];
+      const std::int64_t hi = shard.graph.indptr[i + 1];
+      GSOUP_CHECK_MSG(hi - lo == graph.degree(g),
+                      "shard " << s << ": row " << i << " (global " << g
+                               << ") degree mismatch");
+      for (std::int64_t e = lo; e < hi; ++e) {
+        const std::int32_t src_local =
+            shard.graph.indices[static_cast<std::size_t>(e)];
+        const std::int64_t src_global =
+            shard.nodes[static_cast<std::size_t>(src_local)];
+        const std::int64_t ge = graph.indptr[g] + (e - lo);
+        GSOUP_CHECK_MSG(src_global ==
+                            graph.indices[static_cast<std::size_t>(ge)],
+                        "shard " << s << ": row " << i
+                                 << " source order not verbatim");
+        if (graph.weighted()) {
+          GSOUP_CHECK_MSG(shard.graph.values[static_cast<std::size_t>(e)] ==
+                              graph.values[static_cast<std::size_t>(ge)],
+                          "shard " << s << ": row " << i
+                                   << " edge value drifted");
+        }
+      }
+    }
+  }
+}
+
+ShardStats shard_stats(const ShardSet& set) {
+  ShardStats stats;
+  stats.num_nodes = set.num_nodes();
+  for (const ShardGraph& shard : set.shards) {
+    stats.total_local += shard.num_local();
+    stats.max_shard_local = std::max(stats.max_shard_local,
+                                     shard.num_local());
+  }
+  stats.total_halo = stats.total_local - stats.num_nodes;
+  stats.replication_factor =
+      stats.num_nodes > 0
+          ? static_cast<double>(stats.total_local) /
+                static_cast<double>(stats.num_nodes)
+          : 1.0;
+  return stats;
+}
+
+}  // namespace gsoup

@@ -1,0 +1,117 @@
+// Shard construction on top of the partition layer: the data structures
+// that let serving run one engine set per partition instead of one engine
+// over the whole graph.
+//
+// A `ShardSet` is a partitioning made executable. Each shard owns the
+// nodes its partition assigned to it and additionally *replicates* a halo
+// of nearby nodes so that every L-hop query on an owned node resolves
+// entirely inside the shard-local CSR — no cross-shard reads at query
+// time, which is what makes the shard boundary promotable to a network
+// boundary later.
+//
+// Halo-depth contract (the bit-exactness core — see tests/test_shard.cpp):
+// for `halo_hops = H`, a shard stores
+//   - every node within in-edge BFS distance <= H+1 of its owned set
+//     (local ids assigned ring by ring, ascending global id within a
+//     ring; owned nodes are ring 0, so locals [0, num_owned) are owned);
+//   - COMPLETE rows — verbatim copies of the global in-edge row, same
+//     source order, same values — for every node at distance <= H, and
+//     EMPTY rows (row_complete = 0) for the outermost distance-(H+1) ring.
+//
+// Why one ring beyond H with complete rows *to* H rather than H-1: GCN's
+// symmetric normalisation weights each edge by the *source's* degree, and
+// degrees are recomputed from the shard-local CSR. An L-layer query on an
+// owned node walks rows at distance <= L-1 and reads edges whose sources
+// sit at distance <= L; with H = L, every such source has a complete row,
+// so its local degree — and therefore every normalisation weight the
+// query touches — is bit-identical to the global graph's. The distance-
+// (H+1) ring exists only so the distance-H rows' source ids resolve to
+// valid local ids; its rows are never walked and its features never
+// gathered by an in-budget query (asserted at runtime by the exec layer's
+// row-completeness guard).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "partition/partitioner.hpp"
+
+namespace gsoup {
+
+/// One shard: the owned + halo node set and its shard-local CSR.
+struct ShardGraph {
+  std::int64_t index = 0;      ///< shard id in [0, num_shards)
+  std::int64_t num_owned = 0;  ///< locals [0, num_owned) are owned nodes
+
+  /// Local -> global id map, size graph.num_nodes. Ring-ordered: owned
+  /// nodes ascending, then each halo ring ascending.
+  std::vector<std::int64_t> nodes;
+  /// Per local node: 1 iff the local row is a verbatim copy of the global
+  /// row (all sources replicated locally); 0 for the outermost ring's
+  /// empty rows. Feeds the exec layer's row-completeness guard.
+  std::vector<std::uint8_t> row_complete;
+  /// Shard-local in-edge CSR. Weighted iff the global graph is weighted
+  /// (values copied verbatim for complete rows).
+  Csr graph;
+
+  std::int64_t num_local() const {
+    return static_cast<std::int64_t>(nodes.size());
+  }
+  std::int64_t num_halo() const { return num_local() - num_owned; }
+};
+
+/// A full sharding of one graph: global routing tables plus the per-shard
+/// graphs. `owner`/`local_id` answer "which shard serves node g, and under
+/// which local id" in O(1) — the router's entire lookup state.
+struct ShardSet {
+  std::int64_t num_shards = 0;
+  std::int64_t halo_hops = 0;  ///< H in the contract above
+  /// Global -> owning shard, size num_nodes.
+  std::vector<std::int32_t> owner;
+  /// Global -> local id within the owning shard (always < num_owned
+  /// there). Halo replicas are not indexed here; they are a shard-private
+  /// implementation detail.
+  std::vector<std::int32_t> local_id;
+  std::vector<ShardGraph> shards;
+
+  std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(owner.size());
+  }
+};
+
+/// Replication cost summary for reporting (serve_cli, benches, tests).
+struct ShardStats {
+  std::int64_t num_nodes = 0;       ///< global nodes
+  std::int64_t total_local = 0;     ///< sum of shard-local node counts
+  std::int64_t total_halo = 0;      ///< total_local - num_nodes
+  std::int64_t max_shard_local = 0; ///< largest shard (memory high-water)
+  double replication_factor = 1.0;  ///< total_local / num_nodes
+};
+
+/// Build the shard set for `parts` over `graph` with the halo-depth
+/// contract above. `halo_hops` must be >= 1 and should equal the model's
+/// layer count (deeper is correct but replicates more). `parts` must be a
+/// valid partitioning of `graph`; empty parts yield empty shards (the
+/// router never routes to them). Throws CheckError on malformed input.
+ShardSet build_shard_set(const Csr& graph, const Partitioning& parts,
+                         std::int64_t halo_hops);
+
+/// Graph-free structural half of validate_shard_set: routing tables sized
+/// and in range, every node owned exactly once, no node replicated twice
+/// within a shard, owned ids ascending, incomplete rows empty, shard CSRs
+/// well-formed. Throws CheckError on violation. This is what a sharded
+/// snapshot can check at load time, when the global graph is not at hand.
+void validate_shard_set_structure(const ShardSet& set, std::int64_t num_nodes);
+
+/// Full cross-check against the graph the set was built from: the
+/// structural half plus the row contract — complete rows verbatim-equal
+/// to the global rows (source order and values), with locally-resolvable
+/// sources. Throws CheckError on any violation. O(total replicated
+/// edges); meant for tests and load-time validation, not the query path.
+void validate_shard_set(const ShardSet& set, const Csr& graph);
+
+ShardStats shard_stats(const ShardSet& set);
+
+}  // namespace gsoup

@@ -1,5 +1,6 @@
 #include "serve/engine.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "tensor/ops.hpp"
@@ -163,6 +164,30 @@ void InferenceEngine::query(const exec::SubgraphPlan& plan, Tensor& out) {
                                   << " does not match the plan");
   const Tensor& rows = exec_->run_subgraph(plan, features_);
   scatter_rows(plan, rows, out);
+}
+
+void InferenceEngine::set_row_guard(std::span<const std::uint8_t> complete) {
+  if (complete.empty()) {
+    row_guard_.clear();
+    builder_.set_row_guard({});
+    return;
+  }
+  GSOUP_CHECK_MSG(static_cast<std::int64_t>(complete.size()) == num_nodes_,
+                  "row guard size " << complete.size()
+                                    << " does not match graph ("
+                                    << num_nodes_ << " nodes)");
+  // The builder walks the context's graph, which is plan-ordered when the
+  // plan is active: permute the guard into the same numbering.
+  row_guard_.resize(complete.size());
+  if (ctx_->plan() != nullptr && ctx_->plan()->active()) {
+    for (std::int64_t p = 0; p < num_nodes_; ++p) {
+      row_guard_[static_cast<std::size_t>(p)] =
+          complete[static_cast<std::size_t>(ctx_->plan()->to_original(p))];
+    }
+  } else {
+    std::copy(complete.begin(), complete.end(), row_guard_.begin());
+  }
+  builder_.set_row_guard(row_guard_);
 }
 
 std::int32_t InferenceEngine::predict(std::int64_t node) {

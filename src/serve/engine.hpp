@@ -109,6 +109,16 @@ class InferenceEngine {
   /// Argmax class of one node (single-query convenience).
   std::int32_t predict(std::int64_t node);
 
+  /// Install a row-completeness guard (sharded serving). `complete` is in
+  /// the caller's numbering, size num_nodes(): 1 flags rows of this
+  /// engine's graph that are faithful copies of the full graph's. The
+  /// engine keeps a private copy (permuted into plan space when the
+  /// context reorders vertices) and every subsequent subgraph expansion —
+  /// query() and compile_query_plan() alike — throws CheckError if it
+  /// walks an incomplete row, i.e. if a query's neighbourhood escapes the
+  /// shard's replicated halo. An empty span clears the guard.
+  void set_row_guard(std::span<const std::uint8_t> complete);
+
   /// Total bytes of preallocated workspace (capacity planning).
   std::size_t workspace_bytes() const;
 
@@ -143,6 +153,11 @@ class InferenceEngine {
   Tensor plan_space_logits_;
   Tensor single_out_;
   bool full_valid_ = false;
+
+  // Row-completeness guard (plan space when the context reorders; empty
+  // when unset). The builder holds a span into this vector — safe across
+  // engine moves (the heap buffer travels with the vector).
+  std::vector<std::uint8_t> row_guard_;
 
   // Steady-state query scratch (reused across queries, cleared but never
   // shrunk): translated ids, the expansion builder, and the plan object.

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/shard_server.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -23,9 +24,10 @@ bool retryable(ServeErrorCode code) {
   return code != ServeErrorCode::kShutdown;
 }
 
-}  // namespace
-
-LoadReport drive_load(BatchServer& server, const LoadgenOptions& options) {
+// One body for both server kinds: the sharded router deliberately mirrors
+// the BatchServer's submit/record_retries/latency_snapshot surface.
+template <typename Server>
+LoadReport drive_load_impl(Server& server, const LoadgenOptions& options) {
   GSOUP_CHECK_MSG(
       options.requests >= 1 && options.clients >= 1 && options.num_nodes >= 1,
       "drive_load: requests (" << options.requests << "), clients ("
@@ -155,20 +157,43 @@ LoadReport drive_load(BatchServer& server, const LoadgenOptions& options) {
   return report;
 }
 
-double drive_clients(BatchServer& server, std::int64_t requests,
-                     std::int64_t clients, std::int64_t num_nodes,
-                     std::uint64_t seed) {
+template <typename Server>
+double drive_clients_impl(Server& server, std::int64_t requests,
+                          std::int64_t clients, std::int64_t num_nodes,
+                          std::uint64_t seed) {
   LoadgenOptions options;
   options.requests = requests;
   options.clients = clients;
   options.num_nodes = num_nodes;
   options.seed = seed;
-  const LoadReport report = drive_load(server, options);
+  const LoadReport report = drive_load_impl(server, options);
   GSOUP_CHECK_MSG(report.failures == 0,
                   report.failures << " of " << requests
                                   << " queries failed; first error: "
                                   << report.first_error);
   return report.seconds;
+}
+
+}  // namespace
+
+LoadReport drive_load(BatchServer& server, const LoadgenOptions& options) {
+  return drive_load_impl(server, options);
+}
+
+LoadReport drive_load(ShardedServer& server, const LoadgenOptions& options) {
+  return drive_load_impl(server, options);
+}
+
+double drive_clients(BatchServer& server, std::int64_t requests,
+                     std::int64_t clients, std::int64_t num_nodes,
+                     std::uint64_t seed) {
+  return drive_clients_impl(server, requests, clients, num_nodes, seed);
+}
+
+double drive_clients(ShardedServer& server, std::int64_t requests,
+                     std::int64_t clients, std::int64_t num_nodes,
+                     std::uint64_t seed) {
+  return drive_clients_impl(server, requests, clients, num_nodes, seed);
 }
 
 }  // namespace gsoup::serve

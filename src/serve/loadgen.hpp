@@ -68,18 +68,27 @@ struct LoadReport {
   double max_ms = 0.0;
 };
 
+class ShardedServer;
+
 /// Drive `server` with options.clients concurrent threads submitting
 /// options.requests queries in total (the remainder of requests/clients is
 /// spread over the first threads, so exactly `requests` queries are
 /// issued). Blocks until every query has either succeeded or exhausted its
 /// retries. Retries performed are reported to the server via
 /// record_retries(). Never throws on query failure — read the report.
+/// Both overloads share one implementation (the ShardedServer mirrors the
+/// BatchServer's submit/record_retries/latency_snapshot surface), so the
+/// request mix can never drift between single-engine and sharded runs.
 LoadReport drive_load(BatchServer& server, const LoadgenOptions& options);
+LoadReport drive_load(ShardedServer& server, const LoadgenOptions& options);
 
 /// Legacy strict driver: uniform load, no deadlines, no retries; throws
 /// CheckError if ANY query fails. Returns wall-clock seconds. Steady-state
 /// benchmarks use this so a fault can never silently deflate a QPS number.
 double drive_clients(BatchServer& server, std::int64_t requests,
+                     std::int64_t clients, std::int64_t num_nodes,
+                     std::uint64_t seed = 100);
+double drive_clients(ShardedServer& server, std::int64_t requests,
                      std::int64_t clients, std::int64_t num_nodes,
                      std::uint64_t seed = 100);
 

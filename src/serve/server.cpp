@@ -60,33 +60,43 @@ BatchServer::BatchServer(const Snapshot& snapshot,
           << "-edge graph; the serving graph has " << ctx_->raw().num_nodes
           << " nodes/" << ctx_->raw().num_edges() << " edges");
 
+  if (config_.report_ids != nullptr) {
+    GSOUP_CHECK_MSG(static_cast<std::int64_t>(config_.report_ids->size()) >=
+                        num_nodes_,
+                    "report_ids map smaller than the serving graph");
+  }
+
   // Registry handles, resolved once so the serving hot paths never touch
   // the registry mutex. These aggregate across every BatchServer in the
-  // process; per-server exact counts stay in the local atomics.
-  m_submitted_ = &obs::counter("serve.submitted",
-                               "", "Queries admitted to the pending queue");
-  m_queries_ = &obs::counter("serve.queries",
-                             "", "Queries answered with a prediction");
-  m_batches_ = &obs::counter("serve.batches", "", "Batches executed");
-  m_rejected_ = &obs::counter("serve.rejected",
-                              "", "Queries shed by admission control");
+  // process sharing the same (prefix, labels); shard servers register
+  // their own `serve.shard.*{shard="i"}` families instead. Per-server
+  // exact counts stay in the local atomics.
+  const std::string& pre = config_.metric_prefix;
+  const std::string& lbl = config_.metric_labels;
+  m_submitted_ = &obs::counter(pre + "submitted", lbl,
+                               "Queries admitted to the pending queue");
+  m_queries_ = &obs::counter(pre + "queries", lbl,
+                             "Queries answered with a prediction");
+  m_batches_ = &obs::counter(pre + "batches", lbl, "Batches executed");
+  m_rejected_ = &obs::counter(pre + "rejected", lbl,
+                              "Queries shed by admission control");
   m_deadline_expired_ = &obs::counter(
-      "serve.deadline_expired", "", "Queries expired before execution");
-  m_failed_batches_ = &obs::counter("serve.failed_batches",
-                                    "", "Batches whose execution threw");
-  m_failed_queries_ = &obs::counter("serve.failed_queries",
-                                    "", "Queries resolved ExecFailed");
-  m_shutdown_failed_ = &obs::counter("serve.shutdown_failed",
-                                     "", "Queries resolved Shutdown");
-  m_retries_ = &obs::counter("serve.retries_observed",
-                             "", "Client-side retries reported to the server");
+      pre + "deadline_expired", lbl, "Queries expired before execution");
+  m_failed_batches_ = &obs::counter(pre + "failed_batches", lbl,
+                                    "Batches whose execution threw");
+  m_failed_queries_ = &obs::counter(pre + "failed_queries", lbl,
+                                    "Queries resolved ExecFailed");
+  m_shutdown_failed_ = &obs::counter(pre + "shutdown_failed", lbl,
+                                     "Queries resolved Shutdown");
+  m_retries_ = &obs::counter(pre + "retries_observed", lbl,
+                             "Client-side retries reported to the server");
   m_pending_depth_ =
-      &obs::gauge("serve.pending_depth", "", "Current pending-queue depth");
+      &obs::gauge(pre + "pending_depth", lbl, "Current pending-queue depth");
   m_latency_hist_ = &obs::histogram(
-      "serve.latency_ms", "", {},
+      pre + "latency_ms", lbl, {},
       "End-to-end latency of answered queries in milliseconds");
   m_batch_size_ =
-      &obs::histogram("serve.batch_size", "", {}, "Executed batch sizes");
+      &obs::histogram(pre + "batch_size", lbl, {}, "Executed batch sizes");
 
   if (config_.mode == QueryMode::kCachedFull) {
     // One full-graph pass, one shared read-only answer table. The engine
@@ -134,9 +144,15 @@ BatchServer::~BatchServer() {
 }
 
 std::unique_ptr<InferenceEngine> BatchServer::build_worker_engine() const {
-  return std::make_unique<InferenceEngine>(snap_config_, snap_params_, ctx_,
-                                           worker_features_, config_.mode,
-                                           feature_space_);
+  auto engine = std::make_unique<InferenceEngine>(
+      snap_config_, snap_params_, ctx_, worker_features_, config_.mode,
+      feature_space_);
+  // Sharded serving: the guard rides through isolation rebuilds too — a
+  // fresh engine must enforce the same halo-sufficiency invariant.
+  if (config_.row_guard != nullptr) {
+    engine->set_row_guard(*config_.row_guard);
+  }
+  return engine;
 }
 
 std::future<QueryResult> BatchServer::submit(std::int64_t node) {
@@ -535,7 +551,10 @@ void BatchServer::run_batch(std::vector<Pending>& batch) {
     const float* row = cached ? cached_logits_.data() + p.node * out_dim_
                               : batch_rows + i * out_dim_;
     Prediction pred;
-    pred.node = p.node;
+    // The shard id-translation boundary: a shard server is submitted
+    // shard-local ids but answers in the caller's global numbering.
+    pred.node = config_.report_ids != nullptr ? (*config_.report_ids)[p.node]
+                                              : p.node;
     pred.label = static_cast<std::int32_t>(ops::argmax_row(row, out_dim_));
     pred.score = row[pred.label];
     p.resolved = true;

@@ -85,6 +85,30 @@ struct ServerConfig {
   /// Destructor behaviour for queries still queued when intake closes:
   /// true drains them through the engines, false fails them kShutdown.
   bool drain_on_shutdown = true;
+
+  // --- Sharded-serving hooks (set by serve::ShardedServer for its
+  // per-shard inner servers; the defaults are plain single-server
+  // behaviour) ---
+
+  /// Registry metric-name prefix: this server registers
+  /// `<metric_prefix>submitted` and friends. Shard servers use
+  /// "serve.shard." so per-shard series never pollute the aggregate
+  /// single-server families.
+  std::string metric_prefix = "serve.";
+  /// Pre-rendered Prometheus label body attached to every metric this
+  /// server registers (e.g. `shard="3"`). Empty = unlabelled.
+  std::string metric_labels;
+  /// When set, Prediction::node reports `(*report_ids)[node]` instead of
+  /// the submitted id — the id-translation boundary that lets a shard
+  /// server accept shard-local ids yet answer in the caller's global
+  /// numbering. Size must cover [0, num_nodes).
+  std::shared_ptr<const std::vector<std::int64_t>> report_ids;
+  /// When set, installed on every worker engine (including isolation
+  /// rebuilds) via InferenceEngine::set_row_guard: flags (caller
+  /// numbering) marking rows that are faithful copies of the full
+  /// graph's. Queries whose expansion walks an unflagged row fail their
+  /// batch instead of silently aggregating over a truncated row.
+  std::shared_ptr<const std::vector<std::uint8_t>> row_guard;
 };
 
 /// One answered query.

@@ -1,0 +1,277 @@
+#include "serve/shard_server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+#include "util/failpoint.hpp"
+
+namespace gsoup::serve {
+
+ShardSet make_serving_shards(const Csr& graph, const ModelConfig& config,
+                             const ShardServerOptions& opt) {
+  // The partitioners refuse num_parts > num_nodes; a caller asking for
+  // more shards than nodes still gets the shard count it asked for —
+  // partition what exists, pad with empty shards (never routed to).
+  GSOUP_CHECK_MSG(opt.num_shards >= 1, "need >= 1 shard");
+  const std::int64_t effective =
+      std::min<std::int64_t>(opt.num_shards, graph.num_nodes);
+  GSOUP_CHECK_MSG(effective >= 1, "cannot shard an empty graph");
+  PartitionOptions popt;
+  popt.num_parts = effective;
+  popt.seed = opt.seed;
+  // Serving has no validation split: balance node counts only.
+  const std::vector<std::uint8_t> no_mask(
+      static_cast<std::size_t>(graph.num_nodes), 0);
+  Partitioning parts;
+  if (opt.partitioner == "random") {
+    parts = random_partition(graph, popt);
+  } else if (opt.partitioner == "ldg") {
+    parts = ldg_partition(graph, popt, no_mask);
+  } else if (opt.partitioner == "multilevel") {
+    parts = multilevel_partition(graph, popt, no_mask);
+  } else {
+    GSOUP_CHECK_MSG(false, "unknown partitioner '"
+                               << opt.partitioner
+                               << "' (random | ldg | multilevel)");
+  }
+  // halo = layer count: the minimal depth that keeps an L-layer query —
+  // including the source degrees its normalisation weights read —
+  // entirely shard-local (see partition/sharding.hpp).
+  ShardSet set = build_shard_set(graph, parts,
+                                 std::max<std::int64_t>(1, config.num_layers));
+  for (std::int64_t s = effective; s < opt.num_shards; ++s) {
+    ShardGraph empty;
+    empty.index = s;
+    empty.graph.num_nodes = 0;
+    empty.graph.indptr = {0};
+    set.shards.push_back(std::move(empty));
+  }
+  set.num_shards = opt.num_shards;
+  return set;
+}
+
+ShardedServer::ShardedServer(const Snapshot& snapshot, const ShardSet& shards,
+                             const Tensor& features, ShardServerOptions opt)
+    : opt_(std::move(opt)),
+      num_shards_(shards.num_shards),
+      owner_(shards.owner),
+      local_id_(shards.local_id) {
+  snapshot.validate();
+  GSOUP_CHECK_MSG(num_shards_ >= 1, "sharded server needs >= 1 shard");
+  GSOUP_CHECK_MSG(snapshot.graph.num_nodes == shards.num_nodes(),
+                  "snapshot was souped on " << snapshot.graph.num_nodes
+                                            << " nodes; the shard set covers "
+                                            << shards.num_nodes());
+  GSOUP_CHECK_MSG(shards.halo_hops >= snapshot.config.num_layers,
+                  "shard halo depth " << shards.halo_hops
+                                      << " cannot serve a "
+                                      << snapshot.config.num_layers
+                                      << "-layer model shard-locally");
+  GSOUP_CHECK_MSG(features.rank() == 2 &&
+                      features.shape(0) == shards.num_nodes() &&
+                      features.shape(1) == snapshot.config.in_dim,
+                  "feature matrix " << features.shape_str()
+                                    << " does not match graph/model");
+
+  m_router_failed_ = &obs::counter(
+      "serve.shard.router_failed", "",
+      "Queries failed at shard dispatch (serve.shard_dispatch faults)");
+  m_retries_ = &obs::counter(
+      "serve.shard.retries_observed", "",
+      "Client-side retries reported to the shard router");
+
+  servers_.resize(static_cast<std::size_t>(num_shards_));
+  owned_counts_.assign(static_cast<std::size_t>(num_shards_), 0);
+  for (std::int64_t s = 0; s < num_shards_; ++s) {
+    const ShardGraph& shard = shards.shards[static_cast<std::size_t>(s)];
+    owned_counts_[static_cast<std::size_t>(s)] = shard.num_owned;
+    if (shard.num_local() == 0) continue;  // empty shard: never routed to
+
+    // Per-shard engine stack: local GraphPlan (optional reordering of the
+    // shard-local numbering), context with cached layouts, and the
+    // feature slice in shard-local row order.
+    auto plan =
+        std::make_shared<graph::GraphPlan>(shard.graph, opt_.reorder);
+    auto ctx = std::make_shared<GraphContext>(std::move(plan),
+                                              snapshot.config.arch);
+    Tensor local_features =
+        Tensor::empty({shard.num_local(), features.shape(1)});
+    ops::gather_rows_into(features, shard.nodes, local_features);
+
+    // The inner server validates its snapshot against the shard-local
+    // graph: rewrite the counts (parameters stay storage-shared with the
+    // caller's snapshot — a shard is a view, not a copy, of the model).
+    Snapshot local_snap = snapshot;
+    local_snap.graph.num_nodes = shard.num_local();
+    local_snap.graph.num_edges = shard.graph.num_edges();
+
+    ServerConfig cfg = opt_.server;
+    cfg.metric_prefix = "serve.shard.";
+    cfg.metric_labels = obs::format_label("shard", std::to_string(s));
+    cfg.report_ids =
+        std::make_shared<const std::vector<std::int64_t>>(shard.nodes);
+    cfg.row_guard = std::make_shared<const std::vector<std::uint8_t>>(
+        shard.row_complete);
+    servers_[static_cast<std::size_t>(s)] = std::make_unique<BatchServer>(
+        local_snap, std::move(ctx), std::move(local_features), cfg);
+  }
+}
+
+std::int32_t ShardedServer::shard_of(std::int64_t node) const {
+  GSOUP_CHECK_MSG(node >= 0 && node < num_nodes(),
+                  "node " << node << " out of range [0, " << num_nodes()
+                          << ")");
+  return owner_[static_cast<std::size_t>(node)];
+}
+
+bool ShardedServer::dispatch_allowed(std::int64_t shard) {
+  try {
+    FAILPOINT("serve.shard_dispatch");
+  } catch (const std::exception&) {
+    return false;
+  }
+  (void)shard;
+  return true;
+}
+
+std::future<QueryResult> ShardedServer::submit(std::int64_t node) {
+  return submit(node, opt_.server.default_deadline_ms);
+}
+
+std::future<QueryResult> ShardedServer::submit(std::int64_t node,
+                                               double deadline_ms) {
+  const std::int32_t s = shard_of(node);
+  BatchServer* srv = servers_[static_cast<std::size_t>(s)].get();
+  GSOUP_CHECK_MSG(srv != nullptr,
+                  "node " << node << " routed to empty shard " << s);
+  if (!dispatch_allowed(s)) {
+    router_failed_.fetch_add(1, std::memory_order_relaxed);
+    m_router_failed_->inc();
+    std::promise<QueryResult> pr;
+    pr.set_value(QueryResult::failure(
+        ServeErrorCode::kExecFailed,
+        "shard dispatch fault (shard " + std::to_string(s) + ")"));
+    return pr.get_future();
+  }
+  return srv->submit(local_id_[static_cast<std::size_t>(node)], deadline_ms);
+}
+
+std::vector<QueryResult> ShardedServer::query(
+    std::span<const std::int64_t> nodes) {
+  const std::size_t n = nodes.size();
+  std::vector<QueryResult> results(n);
+  std::vector<std::future<QueryResult>> futures(n);
+  std::vector<std::vector<std::size_t>> by_shard(
+      static_cast<std::size_t>(num_shards_));
+  for (std::size_t i = 0; i < n; ++i) {
+    by_shard[static_cast<std::size_t>(shard_of(nodes[i]))].push_back(i);
+  }
+
+  // Dispatch every shard's sub-batch first (submits are non-blocking, so
+  // shards execute concurrently), then collect shard by shard. A
+  // serve.shard_dispatch fault fails exactly that shard's slots; with a
+  // `once` spec the first non-empty shard (ascending id) faults
+  // deterministically.
+  std::vector<std::uint64_t> span_ids(static_cast<std::size_t>(num_shards_),
+                                      0);
+  std::vector<std::uint8_t> dispatched(static_cast<std::size_t>(num_shards_),
+                                       0);
+  for (std::int64_t s = 0; s < num_shards_; ++s) {
+    const auto& slots = by_shard[static_cast<std::size_t>(s)];
+    if (slots.empty()) continue;
+    if (!dispatch_allowed(s)) {
+      router_failed_.fetch_add(slots.size(), std::memory_order_relaxed);
+      m_router_failed_->inc(static_cast<std::uint64_t>(slots.size()));
+      for (const std::size_t i : slots) {
+        results[i] = QueryResult::failure(
+            ServeErrorCode::kExecFailed,
+            "shard dispatch fault (shard " + std::to_string(s) + ")");
+      }
+      continue;
+    }
+    dispatched[static_cast<std::size_t>(s)] = 1;
+    if (obs::trace::enabled()) {
+      const std::uint64_t id =
+          next_span_id_.fetch_add(1, std::memory_order_relaxed);
+      span_ids[static_cast<std::size_t>(s)] = id;
+      obs::trace::async_begin("serve.shard_exec", id);
+    }
+    BatchServer* srv = servers_[static_cast<std::size_t>(s)].get();
+    for (const std::size_t i : slots) {
+      futures[i] = srv->submit(
+          local_id_[static_cast<std::size_t>(nodes[i])]);
+    }
+  }
+  for (std::int64_t s = 0; s < num_shards_; ++s) {
+    if (dispatched[static_cast<std::size_t>(s)] == 0) continue;
+    for (const std::size_t i : by_shard[static_cast<std::size_t>(s)]) {
+      results[i] = futures[i].get();
+    }
+    if (span_ids[static_cast<std::size_t>(s)] != 0) {
+      obs::trace::async_end("serve.shard_exec",
+                            span_ids[static_cast<std::size_t>(s)]);
+    }
+  }
+  return results;
+}
+
+void ShardedServer::drain() {
+  for (auto& srv : servers_) {
+    if (srv != nullptr) srv->drain();
+  }
+}
+
+void ShardedServer::record_retries(std::uint64_t n) {
+  retries_observed_.fetch_add(n, std::memory_order_relaxed);
+  m_retries_->inc(n);
+}
+
+obs::HistogramData ShardedServer::latency_snapshot() const {
+  obs::HistogramData merged;
+  for (const auto& srv : servers_) {
+    if (srv != nullptr) merged.merge(srv->latency_snapshot());
+  }
+  return merged;
+}
+
+ShardedStats ShardedServer::stats() const {
+  ShardedStats out;
+  out.shards.resize(static_cast<std::size_t>(num_shards_));
+  obs::HistogramData merged;
+  for (std::int64_t s = 0; s < num_shards_; ++s) {
+    const auto& srv = servers_[static_cast<std::size_t>(s)];
+    if (srv == nullptr) continue;
+    ServerStats st = srv->stats();
+    out.shards[static_cast<std::size_t>(s)] = st;
+    out.total.submitted += st.submitted;
+    out.total.queries += st.queries;
+    out.total.batches += st.batches;
+    out.total.rejected += st.rejected;
+    out.total.deadline_expired += st.deadline_expired;
+    out.total.failed_batches += st.failed_batches;
+    out.total.failed_queries += st.failed_queries;
+    out.total.shutdown_failed += st.shutdown_failed;
+    out.total.plan_cache_hits += st.plan_cache_hits;
+    out.total.plan_cache_misses += st.plan_cache_misses;
+    merged.merge(srv->latency_snapshot());
+  }
+  if (out.total.batches > 0) {
+    out.total.mean_batch = static_cast<double>(out.total.queries) /
+                           static_cast<double>(out.total.batches);
+  }
+  if (merged.count() > 0) {
+    out.total.p50_latency_ms = merged.quantile(0.50);
+    out.total.p99_latency_ms = merged.quantile(0.99);
+    out.total.mean_latency_ms = merged.mean();
+    out.total.max_latency_ms = merged.max();
+  }
+  out.total.retries_observed =
+      retries_observed_.load(std::memory_order_relaxed);
+  out.router_failed = router_failed_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace gsoup::serve

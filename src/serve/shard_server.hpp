@@ -1,0 +1,148 @@
+// Sharded serving: one BatchServer per partition behind a shard router.
+//
+// The partition layer (src/partition/) splits the serving graph into
+// owned node sets; partition/sharding.hpp replicates each shard's L-hop
+// halo so every query on an owned node resolves entirely inside the
+// shard-local CSR. This file is the serving half: each shard gets its own
+// GraphPlan (optional per-shard reordering), GraphContext (cached
+// layouts), feature slice and a full BatchServer — admission control,
+// deadlines, worker isolation and the plan LRU all apply per shard — and
+// a ShardedServer router in front owns the three id-translation
+// boundaries:
+//
+//  1. submit/query take GLOBAL node ids; the router maps them to
+//     (owner shard, shard-local id) via the ShardSet routing tables;
+//  2. each shard's engines run over the shard-local (possibly reordered)
+//     numbering — the inner BatchServer's report_ids config maps answers
+//     back so every Prediction carries the global id;
+//  3. batch queries are split by owner shard, dispatched shard by shard
+//     (each sub-batch wrapped in a serve.shard_exec trace span and a
+//     serve.shard_dispatch failpoint), and merged in submission order.
+//
+// Fault containment follows the shard boundary: a serve.shard_dispatch
+// fault — and any fault inside one shard's server — fails only that
+// shard's queries; answers from other shards stay bit-identical to the
+// unfaulted single-engine oracle (tests/test_shard.cpp).
+//
+// Observability: every inner server registers the full serving metric
+// family under "serve.shard.*" with a `shard="<i>"` label (counters,
+// pending-depth gauge, latency/batch-size histograms), so per-shard
+// health is visible in the Prometheus export next to the aggregate
+// single-server families.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/locality.hpp"
+#include "partition/sharding.hpp"
+#include "serve/server.hpp"
+#include "serve/snapshot.hpp"
+
+namespace gsoup::serve {
+
+struct ShardServerOptions {
+  std::int64_t num_shards = 2;
+  /// Partitioner name for make_serving_shards: "random" | "ldg" |
+  /// "multilevel".
+  std::string partitioner = "multilevel";
+  std::uint64_t seed = 7;
+  /// Per-shard GraphPlan vertex reordering (each shard reorders its own
+  /// local graph; bit-exactness is preserved per the locality layer's
+  /// contract).
+  graph::Reorder reorder = graph::Reorder::kNone;
+  /// Inner per-shard BatchServer configuration. The sharding hooks
+  /// (metric_prefix/metric_labels/report_ids/row_guard) are overwritten
+  /// per shard; everything else applies to every shard server.
+  ServerConfig server;
+};
+
+/// Aggregate + per-shard serving statistics.
+struct ShardedStats {
+  /// Sum over shards; latency percentiles/mean/max come from the merged
+  /// per-shard histograms (same full population).
+  ServerStats total;
+  /// Queries failed by the router itself (serve.shard_dispatch faults):
+  /// these never reached an inner server and are NOT in total.submitted.
+  std::uint64_t router_failed = 0;
+  std::vector<ServerStats> shards;  ///< index = shard id; empty shards {}
+};
+
+/// Run the named partitioner over the serving graph and build the halo
+/// shard set with `halo_hops = config.num_layers` (the minimal depth that
+/// keeps L-layer queries shard-local and bit-exact). Throws CheckError on
+/// an unknown partitioner name.
+ShardSet make_serving_shards(const Csr& graph, const ModelConfig& config,
+                             const ShardServerOptions& opt);
+
+class ShardedServer {
+ public:
+  /// `snapshot` is the souped model for the GLOBAL graph the shard set
+  /// was built from; `features` the global [num_nodes, in_dim] feature
+  /// matrix (sliced per shard at construction); `shards` a ShardSet with
+  /// halo_hops >= snapshot.config.num_layers. Empty shards get no server
+  /// and are never routed to.
+  ShardedServer(const Snapshot& snapshot, const ShardSet& shards,
+                const Tensor& features, ShardServerOptions opt = {});
+
+  ShardedServer(const ShardedServer&) = delete;
+  ShardedServer& operator=(const ShardedServer&) = delete;
+
+  /// Enqueue one GLOBAL node id on its owner shard (inner default
+  /// deadline applies). The returned Prediction carries the global id.
+  std::future<QueryResult> submit(std::int64_t node);
+  std::future<QueryResult> submit(std::int64_t node, double deadline_ms);
+
+  /// Batch query: split by owner shard, dispatch shard by shard
+  /// (ascending shard id), block until every answer resolves, and return
+  /// results in submission order. A serve.shard_dispatch fault fails
+  /// exactly the faulted shard's queries (kExecFailed).
+  std::vector<QueryResult> query(std::span<const std::int64_t> nodes);
+
+  /// Block until every shard has resolved its admitted queries.
+  void drain();
+
+  /// Client-side retry telemetry (router level).
+  void record_retries(std::uint64_t n);
+
+  /// Merged full-lifetime latency distribution across all shards.
+  obs::HistogramData latency_snapshot() const;
+
+  ShardedStats stats() const;
+
+  std::int64_t num_shards() const { return num_shards_; }
+  std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(owner_.size());
+  }
+  std::int32_t shard_of(std::int64_t node) const;
+  /// Owned node count per shard (router-side view, for reporting).
+  const std::vector<std::int64_t>& owned_counts() const {
+    return owned_counts_;
+  }
+  const ShardServerOptions& options() const { return opt_; }
+
+ private:
+  /// The serve.shard_dispatch boundary: returns true if dispatch to
+  /// `shard` may proceed, false if a fault was injected (counted).
+  bool dispatch_allowed(std::int64_t shard);
+
+  ShardServerOptions opt_;
+  std::int64_t num_shards_ = 0;
+  std::vector<std::int32_t> owner_;     ///< global -> shard
+  std::vector<std::int32_t> local_id_;  ///< global -> local in owner
+  std::vector<std::int64_t> owned_counts_;
+  std::vector<std::unique_ptr<BatchServer>> servers_;  ///< null if empty
+
+  std::atomic<std::uint64_t> router_failed_{0};
+  std::atomic<std::uint64_t> retries_observed_{0};
+  std::atomic<std::uint64_t> next_span_id_{1};
+  obs::Counter* m_router_failed_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+};
+
+}  // namespace gsoup::serve

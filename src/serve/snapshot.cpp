@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 #include <string_view>
+#include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -24,13 +25,22 @@ using namespace io::detail;
 constexpr std::uint32_t kSnapshotMagic = 0x47534E50;  // "GSNP"
 constexpr std::uint32_t kSnapshotVersionV1 = 1;
 constexpr std::uint32_t kSnapshotVersion = 2;
+constexpr std::uint32_t kSnapshotVersionV3 = 3;  // sharded layout
 
 // v2 framing: each section is `magic, u64 length, u32 crc, payload`; the
 // file ends with `footer magic, u32 crc` over the per-section CRCs, so a
-// complete-looking prefix of a torn file still fails the read.
-constexpr std::uint32_t kMetaSectionMagic = 0x47534D31;    // "GSM1"
-constexpr std::uint32_t kParamsSectionMagic = 0x47535031;  // "GSP1"
-constexpr std::uint32_t kFooterMagic = 0x47534654;         // "GSFT"
+// complete-looking prefix of a torn file still fails the read. v3 reuses
+// the framing with two more section kinds (manifest + one per shard) and
+// a footer CRC over however many sections the file carries.
+constexpr std::uint32_t kMetaSectionMagic = 0x47534D31;     // "GSM1"
+constexpr std::uint32_t kParamsSectionMagic = 0x47535031;   // "GSP1"
+constexpr std::uint32_t kShardManifestMagic = 0x47534831;   // "GSH1"
+constexpr std::uint32_t kShardSectionMagic = 0x47535331;    // "GSS1"
+constexpr std::uint32_t kFooterMagic = 0x47534654;          // "GSFT"
+
+/// Routing-table sanity bound: a manifest claiming more shards than this
+/// is rejected before the reader loops over shard sections.
+constexpr std::int64_t kMaxShards = 1 << 20;
 
 /// Largest plausible section payload. A corrupted length field beyond
 /// this is rejected before any allocation happens.
@@ -157,6 +167,168 @@ Snapshot read_snapshot_v2(std::istream& is) {
   return snap;
 }
 
+// ---- v3 sharded bodies ----------------------------------------------------
+
+/// Shard manifest: routing and provenance. `local_id` is NOT stored — it
+/// is derived data (the rank of each node inside its owner's owned list)
+/// and is rebuilt at load, so the two tables can never disagree on disk.
+void write_manifest_body(std::ostream& os, const ShardedSnapshot& snap) {
+  write_pod<std::int64_t>(os, snap.shards.num_shards);
+  write_pod<std::int64_t>(os, snap.shards.halo_hops);
+  write_string(os, snap.partitioner);
+  write_vector(os, snap.shards.owner);
+}
+
+void read_manifest_body(std::istream& is, ShardedSnapshot& snap) {
+  snap.shards.num_shards = read_pod<std::int64_t>(is);
+  GSOUP_CHECK_MSG(snap.shards.num_shards >= 1 &&
+                      snap.shards.num_shards <= kMaxShards,
+                  "snapshot manifest claims " << snap.shards.num_shards
+                                              << " shards");
+  snap.shards.halo_hops = read_pod<std::int64_t>(is);
+  snap.partitioner = read_string(is);
+  snap.shards.owner = read_vector<std::int32_t>(is);
+}
+
+void write_shard_body(std::ostream& os, const ShardGraph& shard) {
+  write_pod<std::int64_t>(os, shard.index);
+  write_pod<std::int64_t>(os, shard.num_owned);
+  write_vector(os, shard.nodes);
+  write_vector(os, shard.row_complete);
+  write_pod<std::int64_t>(os, shard.graph.num_nodes);
+  write_vector(os, shard.graph.indptr);
+  write_vector(os, shard.graph.indices);
+  write_vector(os, shard.graph.values);
+}
+
+void read_shard_body(std::istream& is, ShardGraph& shard) {
+  shard.index = read_pod<std::int64_t>(is);
+  shard.num_owned = read_pod<std::int64_t>(is);
+  shard.nodes = read_vector<std::int64_t>(is);
+  shard.row_complete = read_vector<std::uint8_t>(is);
+  shard.graph.num_nodes = read_pod<std::int64_t>(is);
+  shard.graph.indptr = read_vector<std::int64_t>(is);
+  shard.graph.indices = read_vector<std::int32_t>(is);
+  shard.graph.values = read_vector<float>(is);
+}
+
+ShardedSnapshot read_snapshot_v3(std::istream& is) {
+  ShardedSnapshot out;
+  std::vector<std::uint32_t> crcs;
+  {
+    const auto [bytes, crc] = read_section(is, kMetaSectionMagic, "meta");
+    crcs.push_back(crc);
+    std::istringstream body(bytes);
+    read_meta_body(body, out.snapshot);
+  }
+  {
+    const auto [bytes, crc] = read_section(is, kParamsSectionMagic,
+                                           "params");
+    crcs.push_back(crc);
+    std::istringstream body(bytes);
+    out.snapshot.params = io::read_params(body);
+  }
+  {
+    const auto [bytes, crc] = read_section(is, kShardManifestMagic,
+                                           "shard manifest");
+    crcs.push_back(crc);
+    std::istringstream body(bytes);
+    read_manifest_body(body, out);
+  }
+  out.shards.shards.resize(
+      static_cast<std::size_t>(out.shards.num_shards));
+  for (std::int64_t s = 0; s < out.shards.num_shards; ++s) {
+    FAILPOINT("snapshot.shard_section");
+    const auto [bytes, crc] = read_section(is, kShardSectionMagic, "shard");
+    crcs.push_back(crc);
+    std::istringstream body(bytes);
+    ShardGraph& shard = out.shards.shards[static_cast<std::size_t>(s)];
+    read_shard_body(body, shard);
+    GSOUP_CHECK_MSG(shard.index == s,
+                    "shard section " << s << " carries index "
+                                     << shard.index);
+  }
+  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == kFooterMagic,
+                  "snapshot footer missing (truncated file?)");
+  GSOUP_CHECK_MSG(
+      read_pod<std::uint32_t>(is) ==
+          crc32(crcs.data(), crcs.size() * sizeof(std::uint32_t)),
+      "snapshot footer failed its CRC check");
+
+  // Rebuild the derived local-id routing table from the owned prefixes.
+  // Bounds-checked here because a well-CRC'd but hand-crafted file could
+  // still carry out-of-range ids; full structural validation follows in
+  // ShardedSnapshot::validate().
+  const std::int64_t n =
+      static_cast<std::int64_t>(out.shards.owner.size());
+  out.shards.local_id.assign(static_cast<std::size_t>(n), -1);
+  for (const ShardGraph& shard : out.shards.shards) {
+    GSOUP_CHECK_MSG(shard.num_owned >= 0 &&
+                        shard.num_owned <= shard.num_local(),
+                    "shard " << shard.index << " owned count out of range");
+    for (std::int64_t i = 0; i < shard.num_owned; ++i) {
+      const std::int64_t g = shard.nodes[static_cast<std::size_t>(i)];
+      GSOUP_CHECK_MSG(g >= 0 && g < n, "shard " << shard.index
+                                                << " owns out-of-range node "
+                                                << g);
+      out.shards.local_id[static_cast<std::size_t>(g)] =
+          static_cast<std::int32_t>(i);
+    }
+  }
+  return out;
+}
+
+/// Shared version-dispatch core: every `.gsnp` read goes through here, so
+/// the v1/v2/v3 paths can never drift on magic, validation, or failpoint
+/// behaviour. Unsharded files come back with zero shards.
+ShardedSnapshot read_any_snapshot(std::istream& is) {
+  FAILPOINT("snapshot.read");
+  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == kSnapshotMagic,
+                  "bad snapshot magic");
+  const auto version = read_pod<std::uint32_t>(is);
+  ShardedSnapshot snap;
+  if (version == kSnapshotVersionV1) {
+    snap.snapshot = read_snapshot_v1(is);
+  } else if (version == kSnapshotVersion) {
+    snap.snapshot = read_snapshot_v2(is);
+  } else if (version == kSnapshotVersionV3) {
+    snap = read_snapshot_v3(is);
+  } else {
+    GSOUP_CHECK_MSG(false, "unsupported snapshot version " << version);
+  }
+  snap.validate();
+  return snap;
+}
+
+/// Crash-safe publish shared by save_snapshot and save_sharded_snapshot:
+/// temp file in the target directory (rename() must not cross
+/// filesystems, and the name is salted with the pid so concurrent savers
+/// never share it), fwrite + fflush + fsync, then atomic rename.
+void atomic_write_file(const std::string& path, const std::string& bytes) {
+  std::string tmp = path + ".tmp";
+#if defined(__unix__) || defined(__APPLE__)
+  tmp += "." + std::to_string(::getpid());
+#endif
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  GSOUP_CHECK_MSG(f != nullptr, "cannot open " << tmp << " for writing");
+  bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
+            std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  // Data must be durable BEFORE the rename publishes it: a crash after
+  // rename but before writeback would otherwise leave a torn "new" file.
+  if (ok) ok = ::fsync(::fileno(f)) == 0;
+#endif
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    GSOUP_CHECK_MSG(false, "write to " << tmp << " failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    GSOUP_CHECK_MSG(false, "cannot rename " << tmp << " over " << path);
+  }
+}
+
 }  // namespace
 
 const char* Snapshot::arch_normalization(Arch arch) {
@@ -257,20 +429,7 @@ void write_snapshot_v1(std::ostream& os, const Snapshot& snap) {
 }
 
 Snapshot read_snapshot(std::istream& is) {
-  FAILPOINT("snapshot.read");
-  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == kSnapshotMagic,
-                  "bad snapshot magic");
-  const auto version = read_pod<std::uint32_t>(is);
-  Snapshot snap;
-  if (version == kSnapshotVersionV1) {
-    snap = read_snapshot_v1(is);
-  } else if (version == kSnapshotVersion) {
-    snap = read_snapshot_v2(is);
-  } else {
-    GSOUP_CHECK_MSG(false, "unsupported snapshot version " << version);
-  }
-  snap.validate();
-  return snap;
+  return read_any_snapshot(is).snapshot;
 }
 
 void save_snapshot(const std::string& path, const Snapshot& snap) {
@@ -279,32 +438,7 @@ void save_snapshot(const std::string& path, const Snapshot& snap) {
   // failpoint), no file — not even a temp — is touched.
   std::ostringstream buf(std::ios::binary);
   write_snapshot(buf, snap);
-  const std::string bytes = buf.str();
-
-  // Temp file in the same directory (rename() must not cross filesystems),
-  // name salted with the pid so concurrent savers never share it.
-  std::string tmp = path + ".tmp";
-#if defined(__unix__) || defined(__APPLE__)
-  tmp += "." + std::to_string(::getpid());
-#endif
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  GSOUP_CHECK_MSG(f != nullptr, "cannot open " << tmp << " for writing");
-  bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
-            std::fflush(f) == 0;
-#if defined(__unix__) || defined(__APPLE__)
-  // Data must be durable BEFORE the rename publishes it: a crash after
-  // rename but before writeback would otherwise leave a torn "new" file.
-  if (ok) ok = ::fsync(::fileno(f)) == 0;
-#endif
-  ok = (std::fclose(f) == 0) && ok;
-  if (!ok) {
-    std::remove(tmp.c_str());
-    GSOUP_CHECK_MSG(false, "write to " << tmp << " failed");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    GSOUP_CHECK_MSG(false, "cannot rename " << tmp << " over " << path);
-  }
+  atomic_write_file(path, buf.str());
 }
 
 Snapshot load_snapshot(const std::string& path) {
@@ -312,6 +446,76 @@ Snapshot load_snapshot(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   GSOUP_CHECK_MSG(is.good(), "cannot open " << path);
   return read_snapshot(is);
+}
+
+// ---- Sharded snapshots (v3) -----------------------------------------------
+
+void ShardedSnapshot::validate() const {
+  snapshot.validate();
+  if (!sharded()) return;
+  GSOUP_CHECK_MSG(shards.num_nodes() == snapshot.graph.num_nodes,
+                  "shard manifest covers " << shards.num_nodes()
+                                           << " nodes; the snapshot graph has "
+                                           << snapshot.graph.num_nodes);
+  GSOUP_CHECK_MSG(shards.halo_hops >= snapshot.config.num_layers,
+                  "shard halo depth " << shards.halo_hops
+                                      << " cannot serve the snapshot's "
+                                      << snapshot.config.num_layers
+                                      << "-layer model shard-locally");
+  validate_shard_set_structure(shards, snapshot.graph.num_nodes);
+}
+
+void write_sharded_snapshot(std::ostream& os, const ShardedSnapshot& snap) {
+  FAILPOINT("snapshot.write");
+  GSOUP_CHECK_MSG(snap.sharded(),
+                  "write_sharded_snapshot needs a sharded snapshot; use "
+                  "write_snapshot for unsharded models");
+  snap.validate();
+  write_header(os, kSnapshotMagic, kSnapshotVersionV3);
+  std::vector<std::uint32_t> crcs;
+  {
+    std::ostringstream body(std::ios::binary);
+    write_meta_body(body, snap.snapshot);
+    crcs.push_back(write_section(os, kMetaSectionMagic, body.str()));
+  }
+  {
+    std::ostringstream body(std::ios::binary);
+    io::write_params(body, snap.snapshot.params);
+    crcs.push_back(write_section(os, kParamsSectionMagic, body.str()));
+  }
+  {
+    std::ostringstream body(std::ios::binary);
+    write_manifest_body(body, snap);
+    crcs.push_back(write_section(os, kShardManifestMagic, body.str()));
+  }
+  for (const ShardGraph& shard : snap.shards.shards) {
+    FAILPOINT("snapshot.shard_section");
+    std::ostringstream body(std::ios::binary);
+    write_shard_body(body, shard);
+    crcs.push_back(write_section(os, kShardSectionMagic, body.str()));
+  }
+  write_pod<std::uint32_t>(os, kFooterMagic);
+  write_pod<std::uint32_t>(
+      os, crc32(crcs.data(), crcs.size() * sizeof(std::uint32_t)));
+}
+
+ShardedSnapshot read_sharded_snapshot(std::istream& is) {
+  return read_any_snapshot(is);
+}
+
+void save_sharded_snapshot(const std::string& path,
+                           const ShardedSnapshot& snap) {
+  OBS_SPAN("snapshot.save");
+  std::ostringstream buf(std::ios::binary);
+  write_sharded_snapshot(buf, snap);
+  atomic_write_file(path, buf.str());
+}
+
+ShardedSnapshot load_sharded_snapshot(const std::string& path) {
+  OBS_SPAN("snapshot.load");
+  std::ifstream is(path, std::ios::binary);
+  GSOUP_CHECK_MSG(is.good(), "cannot open " << path);
+  return read_sharded_snapshot(is);
 }
 
 }  // namespace gsoup::serve

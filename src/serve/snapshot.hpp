@@ -13,6 +13,14 @@
 // garbage weights.
 //
 // On-disk format (.gsnp): magic + version, then version-specific body.
+//  - v3 (sharded, written by write_sharded_snapshot): the v2 meta and
+//    params sections, then a shard-manifest section (shard count, halo
+//    depth, partitioner provenance, global owner/local-id routing tables)
+//    and one section per shard (owned count, node list, row-completeness
+//    table, shard-local CSR), closed by a footer whose CRC covers every
+//    section CRC. Same framing, same failure guarantees as v2; the
+//    per-shard sections additionally honour the snapshot.shard_section
+//    failpoint (fault-injection tests).
 //  - v2 (written by write_snapshot): two CRC32-framed sections — config/
 //    graph metadata, then the parameter store — each stored as
 //    `section-magic, u64 length, u32 crc, payload`, closed by a footer
@@ -33,6 +41,7 @@
 #include "graph/dataset.hpp"
 #include "nn/model.hpp"
 #include "nn/param.hpp"
+#include "partition/sharding.hpp"
 
 namespace gsoup::serve {
 
@@ -87,5 +96,41 @@ Snapshot read_snapshot(std::istream& is);
 /// save_snapshot writes tmp-file → flush+fsync → atomic rename.
 void save_snapshot(const std::string& path, const Snapshot& snap);
 Snapshot load_snapshot(const std::string& path);
+
+// ---- Sharded snapshots (v3) -----------------------------------------------
+
+/// A snapshot plus the shard layout it should be served with. Loading an
+/// unsharded (v1/v2) file yields `shards.num_shards == 0` — the caller
+/// decides whether to serve single-engine or re-shard.
+struct ShardedSnapshot {
+  Snapshot snapshot;
+  ShardSet shards;
+  std::string partitioner;  ///< manifest provenance ("random"|"ldg"|...)
+
+  bool sharded() const { return shards.num_shards > 0; }
+
+  /// snapshot.validate() plus, when sharded, the graph-free structural
+  /// half of the shard contract (validate_shard_set_structure) and the
+  /// halo-depth check against the model's layer count. Throws CheckError.
+  /// The row contract vs the global graph cannot be checked here — the
+  /// snapshot does not carry the global CSR — which is exactly why every
+  /// shard engine also runs under the exec row-completeness guard.
+  void validate() const;
+};
+
+/// Write the v3 sharded format (meta + params + manifest + per-shard
+/// sections + footer). `snap.validate()` must hold.
+void write_sharded_snapshot(std::ostream& os, const ShardedSnapshot& snap);
+
+/// Read any .gsnp version: v3 yields the full sharded layout, v1/v2 yield
+/// the snapshot with zero shards. Corrupt or truncated input throws
+/// CheckError — a bad manifest or shard section never mis-loads.
+ShardedSnapshot read_sharded_snapshot(std::istream& is);
+
+/// File-level sharded helpers; save is tmp-file → fsync → atomic rename,
+/// exactly like save_snapshot.
+void save_sharded_snapshot(const std::string& path,
+                           const ShardedSnapshot& snap);
+ShardedSnapshot load_sharded_snapshot(const std::string& path);
 
 }  // namespace gsoup::serve

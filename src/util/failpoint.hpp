@@ -31,9 +31,13 @@
 // Registered failpoint catalog (kept current in docs/ARCHITECTURE.md):
 //   snapshot.write     serve/snapshot.cpp  before serialising a snapshot
 //   snapshot.read      serve/snapshot.cpp  before parsing a snapshot
+//   snapshot.shard_section  serve/snapshot.cpp  per shard section, on both
+//                                          the v3 write and read paths
 //   engine.query       serve/engine.cpp    per engine batch execution
 //   serve.batch_exec   serve/server.cpp    per server batch, inside the
 //                                          isolation try-block
+//   serve.shard_dispatch  serve/shard_server.cpp  per shard dispatch in
+//                                          the router (submit and query)
 //   pool.task          util/thread_pool    inside every pooled task
 #pragma once
 

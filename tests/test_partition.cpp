@@ -207,6 +207,135 @@ TEST(MultilevelPartition, NoEmptyPartsOnPaperPresets) {
   }
 }
 
+// ---- Partition invariants (the contract sharded serving stands on) -------
+//
+// build_shard_set trusts the partitioning for exactly three things: every
+// node is assigned exactly once, parts stay within a balance tolerance,
+// and the structure-aware partitioners don't do worse than random hashing
+// on the edge cut (cut edges become halo replication — a worse cut is a
+// strictly larger serving memory bill).
+
+Dataset invariant_power_law(std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.num_nodes = 700;
+  spec.num_classes = 6;
+  spec.avg_degree = 8;
+  spec.degree_sigma = 1.3;  // heavy tail: hubs stress greedy placement
+  spec.homophily = 0.6;
+  spec.seed = seed;
+  return generate_dataset(spec);
+}
+
+TEST(PartitionInvariants, EveryNodeAssignedExactlyOnce) {
+  for (const std::uint64_t seed : {3u, 17u, 91u}) {
+    const Dataset data = invariant_power_law(seed);
+    PartitionOptions opt;
+    opt.num_parts = 7;
+    opt.seed = seed;
+    const Partitioning variants[] = {
+        random_partition(data.graph, opt),
+        ldg_partition(data.graph, opt, data.val_mask),
+        multilevel_partition(data.graph, opt, data.val_mask),
+    };
+    for (const Partitioning& parts : variants) {
+      ASSERT_EQ(static_cast<std::int64_t>(parts.assignment.size()),
+                data.num_nodes());
+      // Ownership is a function: part_nodes lists partition the id space.
+      std::vector<int> owned(static_cast<std::size_t>(data.num_nodes()), 0);
+      for (std::int32_t p = 0; p < parts.num_parts; ++p) {
+        for (const std::int64_t g : parts.part_nodes(p)) {
+          ASSERT_GE(g, 0);
+          ASSERT_LT(g, data.num_nodes());
+          ASSERT_EQ(parts.assignment[static_cast<std::size_t>(g)], p);
+          owned[static_cast<std::size_t>(g)]++;
+        }
+      }
+      for (const int c : owned) EXPECT_EQ(c, 1);
+    }
+  }
+}
+
+TEST(PartitionInvariants, BalanceWithinTolerance) {
+  for (const std::uint64_t seed : {5u, 23u}) {
+    const Dataset data = invariant_power_law(seed);
+    PartitionOptions opt;
+    opt.num_parts = 6;
+    opt.epsilon = 0.1;
+    opt.seed = seed;
+    const auto q_ldg = evaluate_partitioning(
+        data.graph, ldg_partition(data.graph, opt, data.val_mask),
+        data.val_mask);
+    EXPECT_LE(q_ldg.node_imbalance, 1.0 + opt.epsilon + 0.05);
+    const auto q_ml = evaluate_partitioning(
+        data.graph, multilevel_partition(data.graph, opt, data.val_mask),
+        data.val_mask);
+    EXPECT_LE(q_ml.node_imbalance, 1.3);
+  }
+}
+
+TEST(PartitionInvariants, StructuredCutNeverWorseThanRandom) {
+  for (const std::uint64_t seed : {7u, 29u, 101u}) {
+    const Dataset data = invariant_power_law(seed);
+    PartitionOptions opt;
+    opt.num_parts = 5;
+    opt.seed = seed;
+    const double random_cut =
+        evaluate_partitioning(data.graph, random_partition(data.graph, opt),
+                              data.val_mask)
+            .edge_cut_fraction;
+    const double ldg_cut = evaluate_partitioning(
+                               data.graph,
+                               ldg_partition(data.graph, opt, data.val_mask),
+                               data.val_mask)
+                               .edge_cut_fraction;
+    const double ml_cut =
+        evaluate_partitioning(
+            data.graph, multilevel_partition(data.graph, opt, data.val_mask),
+            data.val_mask)
+            .edge_cut_fraction;
+    EXPECT_LE(ldg_cut, random_cut) << "seed " << seed;
+    EXPECT_LE(ml_cut, random_cut) << "seed " << seed;
+  }
+}
+
+TEST(PartitionInvariants, DegenerateInputs) {
+  PartitionOptions opt;
+  opt.num_parts = 1;
+  const std::vector<std::uint8_t> no_val_1(1, 0);
+
+  // Empty graph: build_csr refuses to make one, and a hand-built empty
+  // CSR is refused by the partitioners — no valid 1-part partitioning.
+  EXPECT_THROW(build_csr(0, {}), CheckError);
+  Csr empty;
+  empty.num_nodes = 0;
+  empty.indptr = {0};
+  EXPECT_THROW(random_partition(empty, opt), CheckError);
+
+  // Single node: the only partitioning is {0}; all three agree.
+  const Csr one = build_csr(1, {}, {.symmetrize = false,
+                                    .add_self_loops = true});
+  for (int algo = 0; algo < 3; ++algo) {
+    Partitioning parts;
+    switch (algo) {
+      case 0: parts = random_partition(one, opt); break;
+      case 1: parts = ldg_partition(one, opt, no_val_1); break;
+      case 2: parts = multilevel_partition(one, opt, no_val_1); break;
+    }
+    parts.validate(1);
+    EXPECT_EQ(parts.assignment[0], 0);
+  }
+
+  // More parts than nodes is refused at the partition layer (the serving
+  // layer clamps and pads with empty shards instead — test_shard.cpp).
+  const Dataset tiny = invariant_power_law(1);
+  PartitionOptions over;
+  over.num_parts = tiny.num_nodes() + 1;
+  EXPECT_THROW(random_partition(tiny.graph, over), CheckError);
+  EXPECT_THROW(ldg_partition(tiny.graph, over, tiny.val_mask), CheckError);
+  EXPECT_THROW(multilevel_partition(tiny.graph, over, tiny.val_mask),
+               CheckError);
+}
+
 TEST(PartitionQuality, PerfectPartitionOfDisconnectedCliques) {
   // Two disconnected triangles: 2-way partition along components is
   // discoverable with zero cut.

@@ -1,0 +1,711 @@
+// Sharded-serving test suite: the proof that partition-sharded serving is
+// BIT-exact against the single-engine oracle.
+//
+// The argument under test (partition/sharding.hpp): each shard's local CSR
+// stores verbatim copies of every global row an L-hop query can walk, plus
+// the source degrees its normalisation weights read, so every per-row
+// float operation sequence — SpMM accumulation order, GAT softmax, GEMM
+// k-loops — is identical to the full-graph engine's, and the answers match
+// to the last bit. Covered here:
+//  - parity matrix: GCN/SAGE/GAT x shard counts {1,2,4,7} x shard-local
+//    reorderings {none,degree,rcm}, owned nodes compared bit-exactly;
+//  - cross-boundary queries: owned nodes whose L-hop neighbourhood spans
+//    other shards' territory;
+//  - randomized fuzz over power-law graphs with the exec row-completeness
+//    guard armed: halo sufficiency means the guard NEVER fires in-budget,
+//    and an under-provisioned halo (deeper model than halo) is caught by
+//    the guard as CheckError, never silently answered;
+//  - the ShardedServer router: submission-order merge, per-shard fault
+//    containment under the serve.shard_dispatch failpoint, empty shards;
+//  - the sharded snapshot (v3): round-trip including served answers,
+//    v2 compatibility, snapshot.shard_section fault injection, and a
+//    randomized corruption fuzz (every flip/truncation throws CheckError).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+#include "graph/locality.hpp"
+#include "nn/model.hpp"
+#include "obs/metrics.hpp"
+#include "partition/sharding.hpp"
+#include "serve/engine.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/shard_server.hpp"
+#include "serve/snapshot.hpp"
+#include "tensor/ops.hpp"
+#include "util/failpoint.hpp"
+#include "util/rng.hpp"
+
+namespace gsoup {
+namespace {
+
+using failpoint::ScopedFailpoint;
+
+/// RAII teardown so a failing assertion can't leave a failpoint armed for
+/// the rest of the binary.
+struct FailpointCleanup {
+  ~FailpointCleanup() { failpoint::disarm_all(); }
+};
+
+Dataset power_law_dataset(std::uint64_t seed = 7, std::int64_t nodes = 260,
+                          double sigma = 1.2) {
+  SyntheticSpec spec;
+  spec.num_nodes = nodes;
+  spec.avg_degree = std::min(6.0, static_cast<double>(nodes) / 2.0);
+  spec.num_classes = 5;
+  spec.feature_dim = 12;
+  spec.degree_sigma = sigma;  // heavy-tailed degrees: hubs cross shards
+  spec.seed = seed;
+  return generate_dataset(spec);
+}
+
+ModelConfig test_config(Arch arch, const Dataset& data,
+                        std::int64_t layers = 2) {
+  ModelConfig cfg;
+  cfg.arch = arch;
+  cfg.in_dim = data.feature_dim();
+  cfg.out_dim = data.num_classes;
+  cfg.num_layers = layers;
+  cfg.hidden_dim = arch == Arch::kGat ? 6 : 16;
+  cfg.heads = 3;
+  return cfg;
+}
+
+serve::Snapshot quick_snapshot(const Dataset& data, const ModelConfig& cfg,
+                               std::uint64_t seed) {
+  const GnnModel model(cfg);
+  Rng rng(seed);
+  return serve::make_snapshot(cfg, model.init_params(rng), data, "uniform");
+}
+
+std::vector<Arch> all_archs() {
+  return {Arch::kGcn, Arch::kSage, Arch::kGat};
+}
+
+/// Oracle: one engine over the full graph, all nodes answered in one call.
+Tensor oracle_logits(const serve::Snapshot& snap, const Dataset& data,
+                     serve::QueryMode mode = serve::QueryMode::kSubgraph) {
+  auto ctx = std::make_shared<const GraphContext>(data.graph,
+                                                  snap.config.arch);
+  serve::InferenceEngine engine(snap.config, snap.params, ctx, data.features,
+                                mode);
+  std::vector<std::int64_t> nodes(
+      static_cast<std::size_t>(data.num_nodes()));
+  std::iota(nodes.begin(), nodes.end(), 0);
+  Tensor out = Tensor::empty({data.num_nodes(), snap.config.out_dim});
+  engine.query(nodes, out);
+  return out;
+}
+
+/// One shard-local engine, guard armed, exactly as ShardedServer builds it.
+serve::InferenceEngine make_shard_engine(
+    const serve::Snapshot& snap, const ShardGraph& shard,
+    const Tensor& features, graph::Reorder reorder,
+    serve::QueryMode mode = serve::QueryMode::kSubgraph) {
+  auto plan = std::make_shared<graph::GraphPlan>(shard.graph, reorder);
+  auto ctx = std::make_shared<const GraphContext>(std::move(plan),
+                                                  snap.config.arch);
+  Tensor local_features =
+      Tensor::empty({shard.num_local(), features.shape(1)});
+  ops::gather_rows_into(features, shard.nodes, local_features);
+  serve::InferenceEngine engine(snap.config, snap.params, std::move(ctx),
+                                std::move(local_features), mode);
+  engine.set_row_guard(shard.row_complete);
+  return engine;
+}
+
+/// Bit-exact row comparison: shard-engine answer for local row `i` against
+/// the oracle row of the global node it maps to.
+void expect_rows_bit_equal(const Tensor& oracle, std::int64_t global,
+                           const Tensor& got, std::int64_t row,
+                           const std::string& what) {
+  const std::int64_t width = oracle.shape(1);
+  const float* want = oracle.data() + global * width;
+  const float* have = got.data() + row * width;
+  for (std::int64_t c = 0; c < width; ++c) {
+    ASSERT_EQ(want[c], have[c])
+        << what << ": node " << global << " logit " << c << " differs ("
+        << want[c] << " vs " << have[c] << ")";
+  }
+}
+
+ShardSet build_shards(const Dataset& data, const ModelConfig& cfg,
+                      std::int64_t num_shards,
+                      const std::string& partitioner = "multilevel") {
+  serve::ShardServerOptions opt;
+  opt.num_shards = num_shards;
+  opt.partitioner = partitioner;
+  return serve::make_serving_shards(data.graph, cfg, opt);
+}
+
+// ---- Bit-exact parity matrix ---------------------------------------------
+
+TEST(ShardParity, AllArchsAllShardCountsAllReorders) {
+  const Dataset data = power_law_dataset();
+  const std::vector<std::int64_t> shard_counts = {1, 2, 4, 7};
+  const std::vector<graph::Reorder> reorders = {
+      graph::Reorder::kNone, graph::Reorder::kDegree, graph::Reorder::kRcm};
+  for (const Arch arch : all_archs()) {
+    const ModelConfig cfg = test_config(arch, data);
+    const serve::Snapshot snap = quick_snapshot(data, cfg, 21);
+    const Tensor oracle = oracle_logits(snap, data);
+    for (const std::int64_t k : shard_counts) {
+      const ShardSet set = build_shards(data, cfg, k);
+      validate_shard_set(set, data.graph);
+      for (const graph::Reorder reorder : reorders) {
+        for (const ShardGraph& shard : set.shards) {
+          if (shard.num_local() == 0) continue;
+          serve::InferenceEngine engine =
+              make_shard_engine(snap, shard, data.features, reorder);
+          std::vector<std::int64_t> locals(
+              static_cast<std::size_t>(shard.num_owned));
+          std::iota(locals.begin(), locals.end(), 0);
+          Tensor out = Tensor::empty({shard.num_owned, cfg.out_dim});
+          engine.query(locals, out);
+          for (std::int64_t i = 0; i < shard.num_owned; ++i) {
+            expect_rows_bit_equal(
+                oracle, shard.nodes[static_cast<std::size_t>(i)], out, i,
+                std::string(arch_name(arch)) + " shards=" +
+                    std::to_string(k) + " shard=" +
+                    std::to_string(shard.index));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardParity, CachedFullModeMatchesOracleOnOwnedNodes) {
+  // kCachedFull runs a full forward over the shard-local graph; owned
+  // rows sit at halo distance 0, so their cached logits are bit-exact too.
+  const Dataset data = power_law_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const serve::Snapshot snap = quick_snapshot(data, cfg, 23);
+  const Tensor oracle =
+      oracle_logits(snap, data, serve::QueryMode::kCachedFull);
+  const ShardSet set = build_shards(data, cfg, 4);
+  for (const ShardGraph& shard : set.shards) {
+    if (shard.num_local() == 0) continue;
+    serve::InferenceEngine engine =
+        make_shard_engine(snap, shard, data.features, graph::Reorder::kNone,
+                          serve::QueryMode::kCachedFull);
+    std::vector<std::int64_t> locals(
+        static_cast<std::size_t>(shard.num_owned));
+    std::iota(locals.begin(), locals.end(), 0);
+    Tensor out = Tensor::empty({shard.num_owned, cfg.out_dim});
+    engine.query(locals, out);
+    for (std::int64_t i = 0; i < shard.num_owned; ++i) {
+      expect_rows_bit_equal(oracle,
+                            shard.nodes[static_cast<std::size_t>(i)], out, i,
+                            "cached-full");
+    }
+  }
+}
+
+TEST(ShardParity, CrossBoundaryQueriesAreExact) {
+  // The interesting nodes are the ones whose L-hop neighbourhood leaves
+  // their shard's owned territory: their answers depend entirely on the
+  // halo replicas. Find them explicitly and batch-query only those.
+  const Dataset data = power_law_dataset();
+  const ModelConfig cfg = test_config(Arch::kSage, data);
+  const serve::Snapshot snap = quick_snapshot(data, cfg, 29);
+  const Tensor oracle = oracle_logits(snap, data);
+  const ShardSet set = build_shards(data, cfg, 4);
+
+  std::int64_t crossing_total = 0;
+  for (const ShardGraph& shard : set.shards) {
+    if (shard.num_local() == 0) continue;
+    std::vector<std::int64_t> crossing;
+    for (std::int64_t i = 0; i < shard.num_owned; ++i) {
+      const std::int64_t g = shard.nodes[static_cast<std::size_t>(i)];
+      for (const std::int32_t src : data.graph.neighbors(g)) {
+        if (set.owner[static_cast<std::size_t>(src)] != shard.index) {
+          crossing.push_back(i);
+          break;
+        }
+      }
+    }
+    if (crossing.empty()) continue;
+    crossing_total += static_cast<std::int64_t>(crossing.size());
+    serve::InferenceEngine engine =
+        make_shard_engine(snap, shard, data.features, graph::Reorder::kNone);
+    Tensor out = Tensor::empty(
+        {static_cast<std::int64_t>(crossing.size()), cfg.out_dim});
+    engine.query(crossing, out);
+    for (std::size_t i = 0; i < crossing.size(); ++i) {
+      expect_rows_bit_equal(
+          oracle,
+          shard.nodes[static_cast<std::size_t>(crossing[i])], out,
+          static_cast<std::int64_t>(i), "cross-boundary");
+    }
+  }
+  // A 4-way cut of a connected power-law graph must have boundary nodes;
+  // zero would mean this test silently stopped testing anything.
+  EXPECT_GT(crossing_total, 0);
+}
+
+TEST(ShardParity, FuzzHaloSufficiencyOverPowerLawGraphs) {
+  // Randomized sweep: different graphs, partitioners and shard counts.
+  // With halo depth = num_layers the row guard must never fire (no query
+  // escapes its shard) and every answer must stay bit-exact.
+  const std::vector<std::string> partitioners = {"random", "ldg",
+                                                 "multilevel"};
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Dataset data =
+        power_law_dataset(seed * 31, 180 + static_cast<std::int64_t>(seed) * 40,
+                          1.0 + 0.2 * static_cast<double>(seed));
+    const ModelConfig cfg = test_config(Arch::kGcn, data);
+    const serve::Snapshot snap = quick_snapshot(data, cfg, seed);
+    const Tensor oracle = oracle_logits(snap, data);
+    const std::string& partitioner =
+        partitioners[static_cast<std::size_t>(seed) % partitioners.size()];
+    const std::int64_t k = 2 + static_cast<std::int64_t>(seed % 3);
+    const ShardSet set = build_shards(data, cfg, k, partitioner);
+    validate_shard_set(set, data.graph);
+
+    Rng pick(seed * 97);
+    for (const ShardGraph& shard : set.shards) {
+      if (shard.num_owned == 0) continue;
+      serve::InferenceEngine engine =
+          make_shard_engine(snap, shard, data.features,
+                            graph::Reorder::kNone);
+      // Random subset of owned nodes, random batch composition.
+      std::vector<std::int64_t> locals;
+      for (std::int64_t i = 0; i < shard.num_owned; ++i) {
+        if (pick.uniform_int(2) == 0) locals.push_back(i);
+      }
+      if (locals.empty()) locals.push_back(0);
+      Tensor out = Tensor::empty(
+          {static_cast<std::int64_t>(locals.size()), cfg.out_dim});
+      ASSERT_NO_THROW(engine.query(locals, out))
+          << "row guard fired: halo insufficient (seed " << seed << ")";
+      for (std::size_t i = 0; i < locals.size(); ++i) {
+        expect_rows_bit_equal(
+            oracle, shard.nodes[static_cast<std::size_t>(locals[i])], out,
+            static_cast<std::int64_t>(i), "fuzz seed " + std::to_string(seed));
+      }
+    }
+  }
+}
+
+TEST(ShardGuard, UnderProvisionedHaloIsCaughtNeverSilentlyAnswered) {
+  // Build shards with halo depth 1 but serve a 3-layer model: the query
+  // expansion must walk distance-2 rows, which the halo stored empty. The
+  // row guard turns that out-of-shard read into CheckError.
+  const Dataset data = power_law_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data, /*layers=*/3);
+  const serve::Snapshot snap = quick_snapshot(data, cfg, 31);
+  PartitionOptions popt;
+  popt.num_parts = 3;
+  const std::vector<std::uint8_t> no_mask(
+      static_cast<std::size_t>(data.num_nodes()), 0);
+  const Partitioning parts = ldg_partition(data.graph, popt, no_mask);
+  const ShardSet set = build_shard_set(data.graph, parts, /*halo_hops=*/1);
+
+  bool guard_fired = false;
+  for (const ShardGraph& shard : set.shards) {
+    if (shard.num_owned == 0) continue;
+    serve::InferenceEngine engine =
+        make_shard_engine(snap, shard, data.features, graph::Reorder::kNone);
+    std::vector<std::int64_t> locals(
+        static_cast<std::size_t>(shard.num_owned));
+    std::iota(locals.begin(), locals.end(), 0);
+    Tensor out = Tensor::empty({shard.num_owned, cfg.out_dim});
+    try {
+      engine.query(locals, out);
+    } catch (const CheckError&) {
+      guard_fired = true;
+    }
+  }
+  EXPECT_TRUE(guard_fired)
+      << "a 3-layer query over a 1-hop halo never hit the row guard";
+}
+
+// ---- Shard-set construction and validation -------------------------------
+
+TEST(ShardSet, BuildRejectsBadInputs) {
+  const Dataset data = power_law_dataset();
+  PartitionOptions popt;
+  popt.num_parts = 2;
+  const Partitioning parts = random_partition(data.graph, popt);
+  EXPECT_THROW(build_shard_set(data.graph, parts, 0), CheckError);
+  Partitioning broken = parts;
+  broken.assignment[0] = 99;  // out of range
+  EXPECT_THROW(build_shard_set(data.graph, broken, 2), CheckError);
+}
+
+TEST(ShardSet, ValidateCatchesTamperedSets) {
+  const Dataset data = power_law_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  {
+    ShardSet set = build_shards(data, cfg, 3);
+    set.owner[0] = (set.owner[0] + 1) % 3;  // routing no longer matches
+    EXPECT_THROW(validate_shard_set(set, data.graph), CheckError);
+  }
+  {
+    ShardSet set = build_shards(data, cfg, 3);
+    // Drop one edge from the first complete non-empty row: degree drifts.
+    for (ShardGraph& shard : set.shards) {
+      if (shard.graph.num_edges() == 0) continue;
+      shard.graph.indices.pop_back();
+      shard.graph.values.clear();
+      shard.graph.indptr.back()--;
+      break;
+    }
+    EXPECT_THROW(validate_shard_set(set, data.graph), CheckError);
+  }
+  {
+    ShardSet set = build_shards(data, cfg, 3);
+    set.shards[0].row_complete[0] = 0;  // owned row claimed incomplete
+    EXPECT_THROW(validate_shard_set(set, data.graph), CheckError);
+  }
+}
+
+TEST(ShardSet, MoreShardsThanNodesLeavesEmptyShards) {
+  const Dataset data = power_law_dataset(99, /*nodes=*/5, /*sigma=*/0.5);
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const ShardSet set = build_shards(data, cfg, 7, "random");
+  validate_shard_set(set, data.graph);
+  std::int64_t owned = 0;
+  for (const ShardGraph& shard : set.shards) owned += shard.num_owned;
+  EXPECT_EQ(owned, 5);
+
+  // The router must still answer every node and never touch empty shards.
+  const serve::Snapshot snap = quick_snapshot(data, cfg, 41);
+  serve::ShardServerOptions opt;
+  opt.num_shards = 7;
+  opt.partitioner = "random";
+  serve::ShardedServer server(snap, set, data.features, opt);
+  const std::vector<std::int64_t> nodes = {0, 1, 2, 3, 4};
+  const std::vector<serve::QueryResult> results = server.query(nodes);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    EXPECT_EQ(results[i].value().node, nodes[i]);
+  }
+}
+
+// ---- ShardedServer router ------------------------------------------------
+
+TEST(ShardedServer, AnswersMatchOracleInSubmissionOrder) {
+  const Dataset data = power_law_dataset();
+  for (const Arch arch : all_archs()) {
+    const ModelConfig cfg = test_config(arch, data);
+    const serve::Snapshot snap = quick_snapshot(data, cfg, 43);
+    const Tensor oracle = oracle_logits(snap, data);
+    for (const std::int64_t k : {2, 4}) {
+      const ShardSet set = build_shards(data, cfg, k);
+      serve::ShardServerOptions opt;
+      opt.num_shards = k;
+      serve::ShardedServer server(snap, set, data.features, opt);
+
+      // Shuffled batch spanning all shards; answers must come back in
+      // submission order carrying GLOBAL node ids.
+      std::vector<std::int64_t> nodes(
+          static_cast<std::size_t>(data.num_nodes()));
+      std::iota(nodes.begin(), nodes.end(), 0);
+      Rng rng(7 + static_cast<std::uint64_t>(k));
+      for (std::size_t i = nodes.size(); i > 1; --i) {
+        std::swap(nodes[i - 1],
+                  nodes[static_cast<std::size_t>(rng.uniform_int(
+                      static_cast<std::int64_t>(i)))]);
+      }
+      const std::vector<serve::QueryResult> results = server.query(nodes);
+      ASSERT_EQ(results.size(), nodes.size());
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        ASSERT_TRUE(results[i].ok());
+        const serve::Prediction& p = results[i].value();
+        EXPECT_EQ(p.node, nodes[i]);  // global id restored by report_ids
+        const float* row = oracle.data() + nodes[i] * cfg.out_dim;
+        const std::int64_t best = ops::argmax_row(row, cfg.out_dim);
+        EXPECT_EQ(p.label, static_cast<std::int32_t>(best));
+        EXPECT_EQ(p.score, row[best]);  // bit-exact argmax logit
+      }
+      const serve::ShardedStats stats = server.stats();
+      EXPECT_EQ(stats.total.queries,
+                static_cast<std::uint64_t>(data.num_nodes()));
+      EXPECT_EQ(stats.router_failed, 0u);
+    }
+  }
+}
+
+TEST(ShardedServer, RejectsMismatchedInputs) {
+  const Dataset data = power_law_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const serve::Snapshot snap = quick_snapshot(data, cfg, 47);
+  const ShardSet set = build_shards(data, cfg, 2);
+  serve::ShardServerOptions opt;
+  opt.num_shards = 2;
+
+  {
+    // Halo shallower than the model is refused up front.
+    PartitionOptions popt;
+    popt.num_parts = 2;
+    const Partitioning parts = random_partition(data.graph, popt);
+    const ShardSet shallow = build_shard_set(data.graph, parts, 1);
+    EXPECT_THROW(serve::ShardedServer(snap, shallow, data.features, opt),
+                 CheckError);
+  }
+  {
+    Tensor bad_features = Tensor::empty({data.num_nodes(), 3});
+    EXPECT_THROW(serve::ShardedServer(snap, set, bad_features, opt),
+                 CheckError);
+  }
+  serve::ShardedServer server(snap, set, data.features, opt);
+  EXPECT_THROW(server.submit(-1), CheckError);
+  EXPECT_THROW(server.submit(data.num_nodes()), CheckError);
+}
+
+TEST(ShardedServer, DispatchFaultFailsOnlyThatShard) {
+  FailpointCleanup cleanup;
+  const Dataset data = power_law_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const serve::Snapshot snap = quick_snapshot(data, cfg, 53);
+  const Tensor oracle = oracle_logits(snap, data);
+  const ShardSet set = build_shards(data, cfg, 4);
+  serve::ShardServerOptions opt;
+  opt.num_shards = 4;
+  serve::ShardedServer server(snap, set, data.features, opt);
+
+  std::vector<std::int64_t> nodes(static_cast<std::size_t>(data.num_nodes()));
+  std::iota(nodes.begin(), nodes.end(), 0);
+
+  // `once`: exactly the first dispatched shard (lowest non-empty id with
+  // queries — shard 0 here) faults; everything else must be untouched.
+  failpoint::Spec once;
+  once.once = true;
+  failpoint::arm("serve.shard_dispatch", once);
+  const std::vector<serve::QueryResult> results = server.query(nodes);
+
+  // The router dispatches shards in ascending id order, so `once` faults
+  // the lowest shard id that owns any queried node.
+  std::int32_t faulted = std::numeric_limits<std::int32_t>::max();
+  for (const std::int64_t node : nodes) {
+    faulted = std::min(faulted, server.shard_of(node));
+  }
+  std::uint64_t failed = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const std::int32_t s = server.shard_of(nodes[i]);
+    if (s == faulted) {
+      ASSERT_FALSE(results[i].ok());
+      EXPECT_EQ(results[i].error().code, serve::ServeErrorCode::kExecFailed);
+      ++failed;
+    } else {
+      ASSERT_TRUE(results[i].ok()) << "healthy shard " << s << " affected";
+      const serve::Prediction& p = results[i].value();
+      const float* row = oracle.data() + nodes[i] * cfg.out_dim;
+      const std::int64_t best = ops::argmax_row(row, cfg.out_dim);
+      EXPECT_EQ(p.label, static_cast<std::int32_t>(best));
+      EXPECT_EQ(p.score, row[best]);  // still bit-identical under fault
+    }
+  }
+  EXPECT_GT(failed, 0u);
+
+  // Accounting is exact: the router counted every faulted slot, healthy
+  // shards answered everything else.
+  const serve::ShardedStats stats = server.stats();
+  EXPECT_EQ(stats.router_failed, failed);
+  EXPECT_EQ(stats.total.queries,
+            static_cast<std::uint64_t>(nodes.size()) - failed);
+  EXPECT_EQ(stats.shards[static_cast<std::size_t>(faulted)].queries, 0u);
+}
+
+TEST(ShardedServer, SingleSubmitDispatchFaultIsAFailedFuture) {
+  FailpointCleanup cleanup;
+  const Dataset data = power_law_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const serve::Snapshot snap = quick_snapshot(data, cfg, 59);
+  const ShardSet set = build_shards(data, cfg, 2);
+  serve::ShardServerOptions opt;
+  opt.num_shards = 2;
+  serve::ShardedServer server(snap, set, data.features, opt);
+
+  failpoint::Spec once;
+  once.once = true;
+  failpoint::arm("serve.shard_dispatch", once);
+  serve::QueryResult faulted = server.submit(0).get();
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.error().code, serve::ServeErrorCode::kExecFailed);
+
+  // Disarmed now: the same node answers fine, and the drop is accounted.
+  serve::QueryResult retried = server.submit(0).get();
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(retried.value().node, 0);
+  EXPECT_EQ(server.stats().router_failed, 1u);
+}
+
+TEST(ShardedServer, LoadgenDrivesShardedLikeSingleEngine) {
+  const Dataset data = power_law_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const serve::Snapshot snap = quick_snapshot(data, cfg, 61);
+  const ShardSet set = build_shards(data, cfg, 2);
+  serve::ShardServerOptions opt;
+  opt.num_shards = 2;
+  serve::ShardedServer server(snap, set, data.features, opt);
+
+  serve::LoadgenOptions load;
+  load.requests = 300;
+  load.clients = 3;
+  load.num_nodes = data.num_nodes();
+  const serve::LoadReport report = serve::drive_load(server, load);
+  EXPECT_EQ(report.ok, 300u);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_EQ(server.stats().total.queries, 300u);
+  EXPECT_GT(server.latency_snapshot().count(), 0u);
+
+  // Per-shard metric families exist in the registry with a shard label.
+  const std::string prom = obs::export_prometheus_text();
+  EXPECT_NE(prom.find("gsoup_serve_shard_submitted_total"),
+            std::string::npos);
+  EXPECT_NE(prom.find("shard=\"0\""), std::string::npos);
+  EXPECT_NE(prom.find("gsoup_serve_shard_router_failed_total"),
+            std::string::npos);
+}
+
+// ---- Sharded snapshots (v3) ----------------------------------------------
+
+serve::ShardedSnapshot make_sharded_snapshot(const Dataset& data,
+                                             const ModelConfig& cfg,
+                                             std::int64_t shards,
+                                             std::uint64_t seed) {
+  serve::ShardedSnapshot ss;
+  ss.snapshot = quick_snapshot(data, cfg, seed);
+  ss.shards = build_shards(data, cfg, shards);
+  ss.partitioner = "multilevel";
+  return ss;
+}
+
+TEST(ShardedSnapshot, RoundTripPreservesEverythingAndServesIdentically) {
+  const Dataset data = power_law_dataset();
+  const ModelConfig cfg = test_config(Arch::kSage, data);
+  const serve::ShardedSnapshot ss = make_sharded_snapshot(data, cfg, 3, 67);
+
+  std::stringstream buf;
+  serve::write_sharded_snapshot(buf, ss);
+  const serve::ShardedSnapshot back = serve::read_sharded_snapshot(buf);
+
+  ASSERT_TRUE(back.sharded());
+  EXPECT_EQ(back.partitioner, "multilevel");
+  EXPECT_EQ(back.shards.num_shards, 3);
+  EXPECT_EQ(back.shards.halo_hops, ss.shards.halo_hops);
+  EXPECT_EQ(back.shards.owner, ss.shards.owner);
+  EXPECT_EQ(back.shards.local_id, ss.shards.local_id);  // rebuilt at load
+  for (std::size_t s = 0; s < 3; ++s) {
+    const ShardGraph& a = ss.shards.shards[s];
+    const ShardGraph& b = back.shards.shards[s];
+    EXPECT_EQ(a.num_owned, b.num_owned);
+    EXPECT_EQ(a.nodes, b.nodes);
+    EXPECT_EQ(a.row_complete, b.row_complete);
+    EXPECT_EQ(a.graph.indptr, b.graph.indptr);
+    EXPECT_EQ(a.graph.indices, b.graph.indices);
+    EXPECT_EQ(a.graph.values, b.graph.values);
+  }
+  // The loaded shard set must pass the FULL row contract vs the graph.
+  validate_shard_set(back.shards, data.graph);
+  for (const auto& e : ss.snapshot.params.entries()) {
+    EXPECT_FLOAT_EQ(
+        ops::max_abs_diff(e.tensor, back.snapshot.params.get(e.name)), 0.0f);
+  }
+
+  // Served answers from the loaded snapshot are bit-identical.
+  const Tensor oracle = oracle_logits(ss.snapshot, data);
+  serve::ShardServerOptions opt;
+  opt.num_shards = 3;
+  serve::ShardedServer server(back.snapshot, back.shards, data.features,
+                              opt);
+  const std::vector<std::int64_t> nodes = {0, 7, 42, 133, 259};
+  const std::vector<serve::QueryResult> results = server.query(nodes);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    const float* row = oracle.data() + nodes[i] * cfg.out_dim;
+    EXPECT_EQ(results[i].value().score,
+              row[ops::argmax_row(row, cfg.out_dim)]);
+  }
+}
+
+TEST(ShardedSnapshot, FileRoundTripAndV2Compat) {
+  const Dataset data = power_law_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const serve::ShardedSnapshot ss = make_sharded_snapshot(data, cfg, 2, 71);
+  const std::string path = "test_shard_snapshot.gsnp";
+  serve::save_sharded_snapshot(path, ss);
+  const serve::ShardedSnapshot back = serve::load_sharded_snapshot(path);
+  EXPECT_TRUE(back.sharded());
+  EXPECT_EQ(back.shards.num_shards, 2);
+
+  // read_snapshot on a v3 file yields the model (shards dropped)...
+  const serve::Snapshot flat = serve::load_snapshot(path);
+  EXPECT_EQ(flat.graph.num_nodes, data.num_nodes());
+  std::remove(path.c_str());
+
+  // ...and a v2 file loads through the sharded API with zero shards.
+  std::stringstream v2;
+  serve::write_snapshot(v2, ss.snapshot);
+  const serve::ShardedSnapshot unsharded = serve::read_sharded_snapshot(v2);
+  EXPECT_FALSE(unsharded.sharded());
+  EXPECT_EQ(unsharded.snapshot.graph.num_nodes, data.num_nodes());
+}
+
+TEST(ShardedSnapshot, ShardSectionFailpointFaultsWriteAndRead) {
+  FailpointCleanup cleanup;
+  const Dataset data = power_law_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const serve::ShardedSnapshot ss = make_sharded_snapshot(data, cfg, 2, 73);
+
+  {
+    ScopedFailpoint guard("snapshot.shard_section", failpoint::Spec{});
+    std::stringstream buf;
+    EXPECT_THROW(serve::write_sharded_snapshot(buf, ss), CheckError);
+    // save never publishes a file for a failed serialisation.
+    const std::string path = "test_shard_faulted.gsnp";
+    EXPECT_THROW(serve::save_sharded_snapshot(path, ss), CheckError);
+    std::ifstream probe(path);
+    EXPECT_FALSE(probe.good());
+  }
+  std::stringstream buf;
+  serve::write_sharded_snapshot(buf, ss);
+  {
+    ScopedFailpoint guard("snapshot.shard_section", failpoint::Spec{});
+    EXPECT_THROW(serve::read_sharded_snapshot(buf), CheckError);
+  }
+}
+
+TEST(ShardedSnapshot, FuzzedCorruptionAlwaysThrowsCheckError) {
+  // Same acceptance bar as the v2 fuzz in test_serve: ANY single-byte
+  // flip or truncation of a sharded snapshot — manifest, shard sections,
+  // footer, anywhere — raises CheckError; it never mis-loads.
+  const Dataset data = power_law_dataset();
+  const ModelConfig cfg = test_config(Arch::kGcn, data);
+  const serve::ShardedSnapshot ss = make_sharded_snapshot(data, cfg, 3, 79);
+  std::stringstream buf;
+  serve::write_sharded_snapshot(buf, ss);
+  const std::string bytes = buf.str();
+  ASSERT_GT(bytes.size(), 64u);
+
+  Rng rng(1234);
+  constexpr int kRounds = 1200;
+  for (int round = 0; round < kRounds; ++round) {
+    std::string bad = bytes;
+    if (round % 3 == 0) {
+      bad.resize(static_cast<std::size_t>(rng.uniform_int(bytes.size())));
+    } else {
+      const auto pos =
+          static_cast<std::size_t>(rng.uniform_int(bytes.size()));
+      const auto mask = static_cast<char>(1 + rng.uniform_int(255));
+      bad[pos] = static_cast<char>(bad[pos] ^ mask);
+    }
+    std::stringstream is(bad);
+    EXPECT_THROW(serve::read_sharded_snapshot(is), CheckError)
+        << "corruption round " << round << " was not detected";
+  }
+}
+
+}  // namespace
+}  // namespace gsoup

@@ -254,8 +254,13 @@ bool load_artifact(const std::string& path, Artifact& out,
   } else if (out.schema == "gsoup-bench-serving/v1") {
     list_key = "results";
     // workers is part of the identity: the same bench at different worker
-    // counts must not collide into one record.
-    key_fields = {"bench", "arch", "shape", "batch", "workers"};
+    // counts must not collide into one record. shape is deliberately NOT
+    // part of it: CI gates its smoke artifact against the committed
+    // full-mode baseline on run-relative metrics (e.g. the sharded
+    // records' vs_single), and the graph size differs by mode. Each
+    // artifact holds a single run over a single graph, so dropping shape
+    // cannot merge distinct records within one file.
+    key_fields = {"bench", "arch", "batch", "workers"};
   } else {
     error = path + ": unknown schema '" + out.schema + "'";
     return false;

@@ -5,15 +5,22 @@
 //                   [--preset flickr|arxiv|reddit|products] [--scale 0.25]
 //                   [--ingredients 4] [--epochs 30] [--workers 2]
 //                   [--method uniform|learned]
+//                   [--shards N [--partitioner random|ldg|multilevel]]
 //       Generate a dataset, train ingredients, soup them, and write both
-//       the dataset and the model snapshot.
+//       the dataset and the model snapshot. With --shards N the snapshot
+//       is written in the sharded (v3) layout: the serving graph is
+//       partitioned, halo-replicated to the model's layer depth, and
+//       stored per shard alongside the owner routing table.
 //
 //   serve_cli info  --snapshot soup.gsnp
-//       Print a snapshot's architecture, graph metadata and parameters.
+//       Print a snapshot's architecture, graph metadata and parameters;
+//       for a sharded snapshot, also the shard manifest and replication.
 //
 //   serve_cli query --snapshot soup.gsnp --data graph.gds --nodes 0,5,17
 //                   [--mode subgraph|full]
 //       Answer node-classification queries through the inference engine.
+//       A sharded snapshot is answered through the shard router (each
+//       query runs on the shard owning its node).
 //
 //   serve_cli bench --snapshot soup.gsnp --data graph.gds [--requests 2000]
 //                   [--batch 64] [--workers 2] [--clients 4]
@@ -25,7 +32,9 @@
 //       p50/p99 latency and QPS, plus the unbatched single-query baseline,
 //       plus the failure/degradation counters (rejected, expired, failed,
 //       retried). Overload and fault experiments pass --allow-failures;
-//       without it any failed query makes the run exit non-zero.
+//       without it any failed query makes the run exit non-zero. A
+//       sharded snapshot is driven through the shard router instead of a
+//       single server, with a per-shard stats line each.
 //
 //   serve_cli metrics --snapshot soup.gsnp --data graph.gds
 //                     [bench load flags] [--metrics-out metrics.prom]
@@ -69,6 +78,7 @@
 #include "serve/engine.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/server.hpp"
+#include "serve/shard_server.hpp"
 #include "serve/snapshot.hpp"
 #include "tensor/ops.hpp"
 #include "train/ingredient_farm.hpp"
@@ -104,6 +114,7 @@ struct Args {
   std::string mode = "subgraph";
   std::string nodes;
   std::string admission = "reject";
+  std::string partitioner = "multilevel";
   std::string failpoints;
   std::string metrics_out;
   std::string trace_out;
@@ -121,6 +132,7 @@ struct Args {
   std::int64_t max_pending = 4096;
   std::int64_t retries = 0;
   std::int64_t retry_budget = 0;
+  std::int64_t shards = 0;  ///< save: 0 = unsharded (v2), N >= 1 = v3
   bool allow_failures = false;
 };
 
@@ -163,6 +175,8 @@ bool parse_args(int argc, char** argv, Args& args) {
     else if (flag == "--retries" && (v = next())) args.retries = std::atoll(v);
     else if (flag == "--retry-budget" && (v = next())) args.retry_budget = std::atoll(v);
     else if (flag == "--backoff-ms" && (v = next())) args.backoff_ms = std::atof(v);
+    else if (flag == "--shards" && (v = next())) args.shards = std::atoll(v);
+    else if (flag == "--partitioner" && (v = next())) args.partitioner = v;
     else if (flag == "--failpoints" && (v = next())) args.failpoints = v;
     else if (flag == "--metrics-out" && (v = next())) args.metrics_out = v;
     else if (flag == "--trace-out" && (v = next())) args.trace_out = v;
@@ -217,6 +231,17 @@ serve::Snapshot load_snapshot_checked(const std::string& path) {
   }
 }
 
+/// Version-agnostic load: v3 files come back sharded, v1/v2 with zero
+/// shards — the serving commands branch on `.sharded()`.
+serve::ShardedSnapshot load_sharded_snapshot_checked(const std::string& path) {
+  try {
+    return serve::load_sharded_snapshot(path);
+  } catch (const std::exception& e) {
+    throw ExitError(kExitBadInput,
+                    std::string("bad snapshot ") + path + ": " + e.what());
+  }
+}
+
 Dataset load_dataset_checked(const std::string& path) {
   try {
     return io::load_dataset(path);
@@ -256,6 +281,10 @@ std::vector<std::int64_t> parse_node_list(const std::string& csv) {
 int cmd_save(const Args& args) {
   require(!args.out_path.empty() && !args.data_path.empty(),
           "save needs --out and --data");
+  require(args.shards >= 0, "--shards must be >= 0");
+  require(args.partitioner == "random" || args.partitioner == "ldg" ||
+              args.partitioner == "multilevel",
+          "--partitioner must be random, ldg or multilevel");
   const Dataset data = generate_dataset(preset_spec(args.preset, args.scale));
   std::printf("dataset: %s\n", dataset_summary(data).c_str());
   io::save_dataset(args.data_path, data);
@@ -300,7 +329,26 @@ int cmd_save(const Args& args) {
 
   const serve::Snapshot snap =
       serve::make_snapshot(cfg, report.soup, data, report.method);
-  serve::save_snapshot(args.out_path, snap);
+  if (args.shards > 0) {
+    serve::ShardServerOptions sopt;
+    sopt.num_shards = args.shards;
+    sopt.partitioner = args.partitioner;
+    serve::ShardedSnapshot ss;
+    ss.snapshot = snap;
+    ss.shards = serve::make_serving_shards(data.graph, cfg, sopt);
+    ss.partitioner = args.partitioner;
+    serve::save_sharded_snapshot(args.out_path, ss);
+    const ShardStats sstats = shard_stats(ss.shards);
+    std::printf(
+        "sharded: %lld shards (%s), halo %lld hops, replication %.2fx "
+        "(%lld halo nodes, largest shard %lld locals)\n",
+        static_cast<long long>(ss.shards.num_shards), args.partitioner.c_str(),
+        static_cast<long long>(ss.shards.halo_hops),
+        sstats.replication_factor, static_cast<long long>(sstats.total_halo),
+        static_cast<long long>(sstats.max_shard_local));
+  } else {
+    serve::save_snapshot(args.out_path, snap);
+  }
   std::printf("wrote snapshot %s (%zu params, %lld weights) and dataset %s\n",
               args.out_path.c_str(), snap.params.size(),
               static_cast<long long>(snap.params.total_params()),
@@ -310,7 +358,9 @@ int cmd_save(const Args& args) {
 
 int cmd_info(const Args& args) {
   require(!args.snapshot_path.empty(), "info needs --snapshot");
-  const serve::Snapshot snap = load_snapshot_checked(args.snapshot_path);
+  const serve::ShardedSnapshot ss =
+      load_sharded_snapshot_checked(args.snapshot_path);
+  const serve::Snapshot& snap = ss.snapshot;
   std::printf("model:    %s\n", snap.config.describe().c_str());
   std::printf("method:   %s\n", snap.method.c_str());
   std::printf("graph:    %s (%lld nodes, %lld edges, norm=%s, self_loops=%d)\n",
@@ -323,17 +373,67 @@ int cmd_info(const Args& args) {
               snap.params.size(),
               static_cast<long long>(snap.params.total_params()),
               static_cast<double>(snap.params.bytes()) / (1024.0 * 1024.0));
+  if (ss.sharded()) {
+    const ShardStats sstats = shard_stats(ss.shards);
+    std::printf("sharding: %lld shards (%s), halo %lld hops, "
+                "replication %.2fx\n",
+                static_cast<long long>(ss.shards.num_shards),
+                ss.partitioner.c_str(),
+                static_cast<long long>(ss.shards.halo_hops),
+                sstats.replication_factor);
+    for (const ShardGraph& shard : ss.shards.shards) {
+      std::printf("  shard %lld: %lld owned + %lld halo = %lld locals, "
+                  "%lld edges\n",
+                  static_cast<long long>(shard.index),
+                  static_cast<long long>(shard.num_owned),
+                  static_cast<long long>(shard.num_halo()),
+                  static_cast<long long>(shard.num_local()),
+                  static_cast<long long>(shard.graph.num_edges()));
+    }
+  }
   return 0;
 }
 
 int cmd_query(const Args& args) {
   require(!args.snapshot_path.empty() && !args.data_path.empty(),
           "query needs --snapshot and --data");
-  const serve::Snapshot snap = load_snapshot_checked(args.snapshot_path);
+  const serve::ShardedSnapshot ss =
+      load_sharded_snapshot_checked(args.snapshot_path);
+  const serve::Snapshot& snap = ss.snapshot;
   const Dataset data = load_dataset_checked(args.data_path);
   check_snapshot_graph(snap, data);
   const std::vector<std::int64_t> nodes = parse_node_list(args.nodes);
   require(!nodes.empty(), "query needs --nodes id[,id...]");
+
+  if (ss.sharded()) {
+    serve::ShardServerOptions sopt;
+    sopt.num_shards = ss.shards.num_shards;
+    sopt.partitioner = ss.partitioner;
+    sopt.server.mode = parse_mode(args.mode);
+    serve::ShardedServer server(snap, ss.shards, data.features, sopt);
+    Timer t;
+    const std::vector<serve::QueryResult> results = server.query(nodes);
+    const double ms = t.milliseconds();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (!results[i].ok()) {
+        throw ExitError(kExitQueryFailed, "query for node " +
+                                              std::to_string(nodes[i]) +
+                                              " failed: " +
+                                              results[i].error().message);
+      }
+      const serve::Prediction& p = results[i].value();
+      std::printf("node %lld -> class %d (logit %.4f, true %d) [shard %d]\n",
+                  static_cast<long long>(p.node), p.label, p.score,
+                  data.labels[static_cast<std::size_t>(p.node)],
+                  server.shard_of(nodes[i]));
+    }
+    std::printf("batch of %zu answered in %.3f ms across %lld shards "
+                "(%s mode)\n",
+                nodes.size(), ms,
+                static_cast<long long>(server.num_shards()),
+                args.mode.c_str());
+    return 0;
+  }
 
   auto ctx =
       std::make_shared<const GraphContext>(data.graph, snap.config.arch);
@@ -366,16 +466,16 @@ int cmd_query(const Args& args) {
 
 /// Shared server load run for `bench` and `metrics`: validates the load
 /// flags, builds the server, drives it, and returns the loadgen report
-/// plus the server's final stats.
+/// plus the server's final stats. The sharded variant also reports the
+/// per-shard breakdown and router failure count.
 struct LoadRunResult {
   serve::LoadReport report;
   serve::ServerStats stats;
+  std::vector<serve::ServerStats> shard_stats;  ///< empty if unsharded
+  std::uint64_t router_failed = 0;
 };
 
-LoadRunResult run_server_load(const Args& args, const serve::Snapshot& snap,
-                              std::shared_ptr<const GraphContext> ctx,
-                              const Dataset& data) {
-  serve::ServerConfig cfg;
+serve::ServerConfig server_config_from_args(const Args& args) {
   require(args.clients >= 1, "--clients must be >= 1");
   require(args.requests >= 1, "--requests must be >= 1");
   require(args.workers >= 1 && args.workers <= 256,
@@ -383,6 +483,7 @@ LoadRunResult run_server_load(const Args& args, const serve::Snapshot& snap,
   require(args.max_pending >= 1, "--max-pending must be >= 1");
   require(args.admission == "reject" || args.admission == "shed",
           "--admission must be reject or shed");
+  serve::ServerConfig cfg;
   cfg.workers = static_cast<std::size_t>(args.workers);
   cfg.max_batch = args.batch;
   cfg.max_delay_ms = args.delay_ms;
@@ -391,27 +492,59 @@ LoadRunResult run_server_load(const Args& args, const serve::Snapshot& snap,
   cfg.admission = args.admission == "shed"
                       ? serve::AdmissionPolicy::kShedOldest
                       : serve::AdmissionPolicy::kRejectNew;
-  serve::BatchServer server(snap, std::move(ctx), data.features, cfg);
+  return cfg;
+}
 
+serve::LoadgenOptions loadgen_from_args(const Args& args,
+                                        std::int64_t num_nodes) {
   serve::LoadgenOptions load;
   load.requests = args.requests;
   load.clients = args.clients;
-  load.num_nodes = data.num_nodes();
+  load.num_nodes = num_nodes;
   load.deadline_ms = args.deadline_ms;
   load.max_retries = static_cast<int>(args.retries);
   load.retry_budget = static_cast<std::uint64_t>(
       std::max<std::int64_t>(0, args.retry_budget));
   load.retry_backoff_ms = args.backoff_ms;
+  return load;
+}
+
+LoadRunResult run_server_load(const Args& args, const serve::Snapshot& snap,
+                              std::shared_ptr<const GraphContext> ctx,
+                              const Dataset& data) {
+  const serve::ServerConfig cfg = server_config_from_args(args);
+  serve::BatchServer server(snap, std::move(ctx), data.features, cfg);
   LoadRunResult r;
-  r.report = serve::drive_load(server, load);
+  r.report = serve::drive_load(server, loadgen_from_args(args,
+                                                         data.num_nodes()));
   r.stats = server.stats();
+  return r;
+}
+
+LoadRunResult run_sharded_server_load(const Args& args,
+                                      const serve::ShardedSnapshot& ss,
+                                      const Dataset& data) {
+  serve::ShardServerOptions sopt;
+  sopt.num_shards = ss.shards.num_shards;
+  sopt.partitioner = ss.partitioner;
+  sopt.server = server_config_from_args(args);
+  serve::ShardedServer server(ss.snapshot, ss.shards, data.features, sopt);
+  LoadRunResult r;
+  r.report = serve::drive_load(server, loadgen_from_args(args,
+                                                         data.num_nodes()));
+  serve::ShardedStats st = server.stats();
+  r.stats = st.total;
+  r.shard_stats = std::move(st.shards);
+  r.router_failed = st.router_failed;
   return r;
 }
 
 int cmd_bench(const Args& args) {
   require(!args.snapshot_path.empty() && !args.data_path.empty(),
           "bench needs --snapshot and --data");
-  const serve::Snapshot snap = load_snapshot_checked(args.snapshot_path);
+  const serve::ShardedSnapshot ss =
+      load_sharded_snapshot_checked(args.snapshot_path);
+  const serve::Snapshot& snap = ss.snapshot;
   const Dataset data = load_dataset_checked(args.data_path);
   check_snapshot_graph(snap, data);
   auto ctx =
@@ -441,7 +574,9 @@ int cmd_bench(const Args& args) {
                 probes / t.seconds(), t.milliseconds() / probes);
   }
 
-  const LoadRunResult run = run_server_load(args, snap, ctx, data);
+  const LoadRunResult run = ss.sharded()
+                                ? run_sharded_server_load(args, ss, data)
+                                : run_server_load(args, snap, ctx, data);
   const serve::LoadReport& report = run.report;
   const serve::ServerStats& stats = run.stats;
   std::printf(
@@ -451,6 +586,19 @@ int cmd_bench(const Args& args) {
       static_cast<double>(stats.queries) / report.seconds,
       static_cast<unsigned long long>(stats.batches), stats.mean_batch,
       stats.p50_latency_ms, stats.p99_latency_ms, stats.max_latency_ms);
+  for (std::size_t s = 0; s < run.shard_stats.size(); ++s) {
+    const serve::ServerStats& sh = run.shard_stats[s];
+    std::printf("  shard %zu: %llu queries, %llu batches (mean %.1f), "
+                "p99 %.3f ms, failed %llu\n",
+                s, static_cast<unsigned long long>(sh.queries),
+                static_cast<unsigned long long>(sh.batches), sh.mean_batch,
+                sh.p99_latency_ms,
+                static_cast<unsigned long long>(sh.failed_queries));
+  }
+  if (ss.sharded()) {
+    std::printf("  router: %llu dispatch failures\n",
+                static_cast<unsigned long long>(run.router_failed));
+  }
   std::printf(
       "failures: %llu of %lld (retries %llu) | rejected %llu, "
       "deadline-expired %llu, exec-failed %llu (batches %llu), shutdown "
@@ -476,12 +624,19 @@ int cmd_bench(const Args& args) {
 int cmd_metrics(const Args& args) {
   require(!args.snapshot_path.empty() && !args.data_path.empty(),
           "metrics needs --snapshot and --data");
-  const serve::Snapshot snap = load_snapshot_checked(args.snapshot_path);
+  const serve::ShardedSnapshot ss =
+      load_sharded_snapshot_checked(args.snapshot_path);
+  const serve::Snapshot& snap = ss.snapshot;
   const Dataset data = load_dataset_checked(args.data_path);
   check_snapshot_graph(snap, data);
-  auto ctx =
-      std::make_shared<const GraphContext>(data.graph, snap.config.arch);
-  const LoadRunResult run = run_server_load(args, snap, ctx, data);
+  LoadRunResult run;
+  if (ss.sharded()) {
+    run = run_sharded_server_load(args, ss, data);
+  } else {
+    auto ctx =
+        std::make_shared<const GraphContext>(data.graph, snap.config.arch);
+    run = run_server_load(args, snap, ctx, data);
+  }
   std::fprintf(stderr,
                "metrics: drove %llu queries (%llu failures); registry "
                "snapshot follows\n",
