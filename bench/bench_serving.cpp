@@ -297,6 +297,92 @@ void bench_sharded(const BenchConfig& cfg, const Dataset& data,
   }
 }
 
+// ---- Replicated serving. --------------------------------------------------
+//
+// Two records for the replication layer, both on 2 shards x R=2:
+//  - server_replicated_r2: healthy replicated serving. vs_single against
+//    the same-run single-engine record shows what doubling the engine
+//    count per shard buys (more workers on the same shared shard state,
+//    minus router/collector overhead).
+//  - server_failover_goodput: the same server with one replica of shard 0
+//    killed (p=1 exec failpoint) for the WHOLE run. Every query that
+//    lands on the dead replica fails over to its sibling; the client sees
+//    zero failures (drive_clients throws otherwise, so a regression that
+//    loses queries fails the bench, not just the gate). qps is goodput
+//    with half of one shard's capacity gone plus the failover detour —
+//    the number bench_compare holds steady-state serving degradation to.
+void bench_replicated(const BenchConfig& cfg, const Dataset& data,
+                      std::vector<Record>& records) {
+  const ModelConfig mcfg = bench_model_config(Arch::kGcn, data);
+  const GnnModel model(mcfg);
+  Rng rng(59);
+  const ParamStore params = model.init_params(rng);
+  const serve::Snapshot snap =
+      serve::make_snapshot(mcfg, params, data, "bench-replicated");
+  const std::string shape = "n=" + std::to_string(data.num_nodes()) +
+                            ",nnz=" + std::to_string(data.num_edges());
+  double single_qps = 0.0;
+  for (const auto& rec : records) {
+    if (rec.bench == "server" && rec.arch == arch_name(Arch::kGcn)) {
+      single_qps = rec.qps;
+    }
+  }
+
+  serve::ShardServerOptions sopt;
+  sopt.num_shards = 2;
+  sopt.partitioner = "multilevel";
+  sopt.replication_factor = 2;
+  sopt.server.workers = 2;
+  sopt.server.max_batch = 64;
+  sopt.server.max_delay_ms = 2.0;
+  const ShardSet shards = serve::make_serving_shards(data.graph, mcfg, sopt);
+  constexpr std::int64_t kClients = 4;
+
+  {
+    serve::ShardedServer server(snap, shards, data.features, sopt);
+    const double seconds = serve::drive_clients(
+        server, cfg.server_requests, kClients, data.num_nodes());
+    const serve::ShardedStats stats = server.stats();
+    Record r{"server_replicated_r2", "gcn", shape};
+    r.batch = sopt.server.max_batch;
+    r.workers = static_cast<std::int64_t>(sopt.server.workers) *
+                sopt.num_shards * sopt.replication_factor;
+    r.qps = static_cast<double>(stats.total.queries) / seconds;
+    r.p50_ms = stats.total.p50_latency_ms;
+    r.p99_ms = stats.total.p99_latency_ms;
+    r.vs_single = single_qps > 0.0 ? r.qps / single_qps : 0.0;
+    records.push_back(r);
+    std::printf("gcn    replicated r=2   %9.0f QPS (p50 %.3f ms, %.2fx of "
+                "single)\n",
+                r.qps, r.p50_ms, r.vs_single);
+  }
+
+  {
+    serve::ShardedServer server(snap, shards, data.features, sopt);
+    failpoint::arm_from_string(serve::replica_exec_failpoint(0, 0) +
+                               "=error");
+    const double seconds = serve::drive_clients(
+        server, cfg.server_requests, kClients, data.num_nodes());
+    failpoint::disarm(serve::replica_exec_failpoint(0, 0));
+    const serve::ShardedStats stats = server.stats();
+    Record r{"server_failover_goodput", "gcn", shape};
+    r.batch = sopt.server.max_batch;
+    r.workers = static_cast<std::int64_t>(sopt.server.workers) *
+                sopt.num_shards * sopt.replication_factor;
+    // Goodput: answers delivered per second (answered == accepted here —
+    // drive_clients throws on any failure).
+    r.qps = static_cast<double>(stats.answered) / seconds;
+    r.p50_ms = stats.total.p50_latency_ms;
+    r.p99_ms = stats.total.p99_latency_ms;
+    r.vs_single = single_qps > 0.0 ? r.qps / single_qps : 0.0;
+    records.push_back(r);
+    std::printf("gcn    failover goodput %9.0f QPS (p50 %.3f ms, %.2fx of "
+                "single, %llu failovers)\n",
+                r.qps, r.p50_ms, r.vs_single,
+                static_cast<unsigned long long>(stats.failovers));
+  }
+}
+
 // ---- Overload goodput under both admission policies. ---------------------
 //
 // A delay failpoint pins batch service time, so the 16-client pipelined
@@ -510,7 +596,11 @@ int main(int argc, char** argv) {
       cfg.smoke = true;
       cfg.single_probes = 64;
       cfg.batch_rounds = 8;
-      cfg.server_requests = 512;
+      // Enough requests that thread spin-up does not dominate the sharded
+      // and replicated records — vs_single is gated in CI from the smoke
+      // artifact, and at 512 requests the 8-12-thread configurations spend
+      // most of the run starting up, deflating the ratio by 2-3x.
+      cfg.server_requests = 4096;
       cfg.min_seconds = 0.0;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       cfg.out = argv[++i];
@@ -531,6 +621,7 @@ int main(int argc, char** argv) {
     bench_arch(cfg, arch, data, records);
   }
   bench_sharded(cfg, data, records);
+  bench_replicated(cfg, data, records);
   bench_overload(cfg, data, records);
   bench_obs_overhead(cfg, data, records);
   if (!write_json(cfg.out, cfg.smoke ? "smoke" : "full", records)) return 1;

@@ -20,7 +20,9 @@ namespace {
 bool retryable(ServeErrorCode code) {
   // Shutdown is terminal by definition; everything else is transient —
   // overload clears, deadlines were load-induced, a failed batch's worker
-  // has been rebuilt by the time the backoff elapses.
+  // has been rebuilt by the time the backoff elapses. ReplicasExhausted
+  // is retryable too: the canary probe may readmit a replica between
+  // waves.
   return code != ServeErrorCode::kShutdown;
 }
 
@@ -39,11 +41,13 @@ LoadReport drive_load_impl(Server& server, const LoadgenOptions& options) {
   const std::int64_t rem = options.requests % options.clients;
 
   std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> stale_served{0};
   std::atomic<std::uint64_t> failures{0};
   std::atomic<std::uint64_t> retries{0};
   std::atomic<std::uint64_t> overloaded{0};
   std::atomic<std::uint64_t> deadline_expired{0};
   std::atomic<std::uint64_t> exec_failed{0};
+  std::atomic<std::uint64_t> replicas_exhausted{0};
   std::atomic<std::uint64_t> shutdown{0};
   // Budget is drawn down with a CAS loop so concurrent clients can never
   // overspend it; 0 from the caller means unlimited.
@@ -61,6 +65,7 @@ LoadReport drive_load_impl(Server& server, const LoadgenOptions& options) {
       case ServeErrorCode::kOverloaded: ++overloaded; break;
       case ServeErrorCode::kDeadlineExceeded: ++deadline_expired; break;
       case ServeErrorCode::kExecFailed: ++exec_failed; break;
+      case ServeErrorCode::kReplicasExhausted: ++replicas_exhausted; break;
       case ServeErrorCode::kShutdown: ++shutdown; break;
     }
     std::lock_guard lock(error_mutex);
@@ -117,6 +122,7 @@ LoadReport drive_load_impl(Server& server, const LoadgenOptions& options) {
           const QueryResult r = futures[i].get();
           if (r.ok()) {
             ++ok;
+            if (r.value().stale) ++stale_served;
             continue;
           }
           record_error(r.error());
@@ -138,11 +144,13 @@ LoadReport drive_load_impl(Server& server, const LoadgenOptions& options) {
   report.seconds = wall.seconds();
   report.requests = options.requests;
   report.ok = ok.load();
+  report.stale_served = stale_served.load();
   report.failures = failures.load();
   report.retries = retries.load();
   report.overloaded = overloaded.load();
   report.deadline_expired = deadline_expired.load();
   report.exec_failed = exec_failed.load();
+  report.replicas_exhausted = replicas_exhausted.load();
   report.shutdown = shutdown.load();
   report.first_error = std::move(first_error);
   if (report.retries > 0) server.record_retries(report.retries);

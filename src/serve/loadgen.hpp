@@ -48,6 +48,11 @@ struct LoadReport {
   double seconds = 0.0;      ///< wall clock, submit of first to last answer
   std::int64_t requests = 0;
   std::uint64_t ok = 0;
+  /// Of `ok`: answered from a degraded shard's stale logits table
+  /// (Prediction::stale) — correct for the frozen model, but not served
+  /// by a live replica. Callers deciding pass/fail should treat a nonzero
+  /// count as "completed in degraded mode".
+  std::uint64_t stale_served = 0;
   std::uint64_t failures = 0;  ///< queries still failed after all retries
   std::uint64_t retries = 0;   ///< resubmissions performed
   /// Error observations by code, INCLUDING ones later retried to success
@@ -55,6 +60,10 @@ struct LoadReport {
   std::uint64_t overloaded = 0;
   std::uint64_t deadline_expired = 0;
   std::uint64_t exec_failed = 0;
+  /// Replicated-router verdict: failover ran out of live replicas (or the
+  /// whole shard was down under kFailShardQueries). Distinct from
+  /// exec_failed so a dead replica SET is tellable from one bad batch.
+  std::uint64_t replicas_exhausted = 0;
   std::uint64_t shutdown = 0;
   std::string first_error;  ///< first failure message seen (diagnostics)
   /// Latency of the run's answered queries, taken from the server's own

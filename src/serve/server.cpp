@@ -23,6 +23,7 @@ const char* serve_error_name(ServeErrorCode code) {
     case ServeErrorCode::kDeadlineExceeded: return "DeadlineExceeded";
     case ServeErrorCode::kExecFailed: return "ExecFailed";
     case ServeErrorCode::kShutdown: return "Shutdown";
+    case ServeErrorCode::kReplicasExhausted: return "ReplicasExhausted";
   }
   return "Unknown";
 }
@@ -476,6 +477,9 @@ void BatchServer::run_batch(std::vector<Pending>& batch) {
   try {
     OBS_SPAN("serve.batch_exec");
     FAILPOINT("serve.batch_exec");
+    if (!config_.exec_failpoint.empty()) {
+      failpoint::eval(config_.exec_failpoint.c_str());
+    }
     if (!cached) {
       w = acquire_worker();
       w->node_ids.clear();

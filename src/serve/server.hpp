@@ -109,6 +109,11 @@ struct ServerConfig {
   /// graph's. Queries whose expansion walks an unflagged row fail their
   /// batch instead of silently aggregating over a truncated row.
   std::shared_ptr<const std::vector<std::uint8_t>> row_guard;
+  /// When non-empty, an EXTRA failpoint evaluated per batch right next to
+  /// "serve.batch_exec", under this name. The replicated router names one
+  /// per replica ("serve.replica_exec.s<K>.r<J>") so a chaos schedule can
+  /// kill and revive a single replica while its siblings keep serving.
+  std::string exec_failpoint;
 };
 
 /// One answered query.
@@ -116,14 +121,22 @@ struct Prediction {
   std::int64_t node = -1;
   std::int32_t label = -1;  ///< argmax class
   float score = 0.0f;       ///< logit of the argmax class
+  /// Served from the router's precomputed stale-fallback table
+  /// (DegradedPolicy::kServeStale with every replica of the owner shard
+  /// down) instead of a live engine. The answer is still bit-exact for a
+  /// frozen model, but it did not observe the live serving path.
+  bool stale = false;
 };
 
 /// Why a query did NOT produce a Prediction.
 enum class ServeErrorCode : std::uint8_t {
-  kOverloaded,        ///< admission control shed it (queue full)
-  kDeadlineExceeded,  ///< its deadline passed before dispatch
-  kExecFailed,        ///< its batch's engine threw; batch isolated
-  kShutdown,          ///< server stopped before it could be answered
+  kOverloaded,         ///< admission control shed it (queue full)
+  kDeadlineExceeded,   ///< its deadline passed before dispatch
+  kExecFailed,         ///< its batch's engine threw; batch isolated
+  kShutdown,           ///< server stopped before it could be answered
+  kReplicasExhausted,  ///< replicated router: failover ran out of live
+                       ///< replicas (or the whole shard is down under
+                       ///< DegradedPolicy::kFailShardQueries)
 };
 
 const char* serve_error_name(ServeErrorCode code);

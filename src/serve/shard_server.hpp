@@ -1,14 +1,15 @@
-// Sharded serving: one BatchServer per partition behind a shard router.
+// Sharded serving: replicated BatchServers per partition behind a
+// fault-aware shard router.
 //
 // The partition layer (src/partition/) splits the serving graph into
 // owned node sets; partition/sharding.hpp replicates each shard's L-hop
 // halo so every query on an owned node resolves entirely inside the
 // shard-local CSR. This file is the serving half: each shard gets its own
 // GraphPlan (optional per-shard reordering), GraphContext (cached
-// layouts), feature slice and a full BatchServer — admission control,
-// deadlines, worker isolation and the plan LRU all apply per shard — and
-// a ShardedServer router in front owns the three id-translation
-// boundaries:
+// layouts), feature slice and `replication_factor` full BatchServers —
+// admission control, deadlines, worker isolation and the plan LRU all
+// apply per replica — and a ShardedServer router in front owns the three
+// id-translation boundaries:
 //
 //  1. submit/query take GLOBAL node ids; the router maps them to
 //     (owner shard, shard-local id) via the ShardSet routing tables;
@@ -19,24 +20,54 @@
 //     (each sub-batch wrapped in a serve.shard_exec trace span and a
 //     serve.shard_dispatch failpoint), and merged in submission order.
 //
+// Replication & failover (replication_factor R > 1): the R replicas of a
+// shard share the snapshot parameter storage, the shard's GraphContext
+// and its feature slice — replication duplicates engine workspaces, not
+// graph or model state. The router runs a per-replica health state
+// machine
+//
+//     healthy -> suspect -> down -> recovering -> healthy
+//
+// driven by consecutive ExecFailed/DeadlineExceeded results; a
+// background canary-probe thread re-runs a known-good owned-node query
+// against each down replica and readmits it (kRecovering) only after the
+// probe answers. Routing prefers healthy/recovering replicas
+// (round-robin), falls back to suspect ones, and never dispatches to a
+// down replica. On a replica failure the router re-dispatches the query
+// to the next live replica within its remaining deadline budget
+// (failover); optionally it hedges — fires a second replica once the
+// first is slower than the shard's observed latency quantile, first
+// result wins, the loser is cancelled at the accounting layer (its
+// result feeds health state but never the client). When EVERY replica of
+// a shard is down, the degraded-mode policy decides: fail fast
+// (kFailShardQueries -> kReplicasExhausted) or answer from a stale
+// cached-full logits table computed at construction (kServeStale,
+// Prediction::stale = true, bit-exact for the frozen model).
+//
 // Fault containment follows the shard boundary: a serve.shard_dispatch
-// fault — and any fault inside one shard's server — fails only that
+// fault — and any fault inside one shard's replica set — fails only that
 // shard's queries; answers from other shards stay bit-identical to the
-// unfaulted single-engine oracle (tests/test_shard.cpp).
+// unfaulted single-engine oracle (tests/test_shard.cpp,
+// tests/test_chaos.cpp).
 //
 // Observability: every inner server registers the full serving metric
-// family under "serve.shard.*" with a `shard="<i>"` label (counters,
-// pending-depth gauge, latency/batch-size histograms), so per-shard
-// health is visible in the Prometheus export next to the aggregate
-// single-server families.
+// family under "serve.shard.*" with `shard="<i>",replica="<j>"` labels;
+// the router adds `serve.replica.health` gauges (one per replica, value
+// = ReplicaHealth), `serve.replica.{failover,hedge,probe,...}` counters
+// and `serve.replica_probe` trace spans.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/locality.hpp"
@@ -45,6 +76,30 @@
 #include "serve/snapshot.hpp"
 
 namespace gsoup::serve {
+
+/// Router-side view of one replica's liveness.
+enum class ReplicaHealth : std::uint8_t {
+  kHealthy = 0,     ///< in rotation
+  kSuspect = 1,     ///< recent failures; routed only when nothing better
+  kDown = 2,        ///< out of rotation; only the canary probe touches it
+  kRecovering = 3,  ///< probe answered; readmitted, one strike re-downs it
+};
+
+const char* replica_health_name(ReplicaHealth h);
+
+/// What the router does with a query whose owner shard has NO live
+/// replica (every replica kDown).
+enum class DegradedPolicy : std::uint8_t {
+  kFailShardQueries,  ///< fail fast with kReplicasExhausted
+  kServeStale,        ///< answer from the construction-time cached-full
+                      ///< logits table (Prediction::stale = true)
+};
+
+/// The per-replica kill hook: the name the router configures as
+/// ServerConfig::exec_failpoint for (shard, replica) —
+/// "serve.replica_exec.s<shard>.r<replica>". Chaos schedules arm/disarm
+/// these to down and revive individual replicas.
+std::string replica_exec_failpoint(std::int64_t shard, std::int64_t replica);
 
 struct ShardServerOptions {
   std::int64_t num_shards = 2;
@@ -57,20 +112,68 @@ struct ShardServerOptions {
   /// contract).
   graph::Reorder reorder = graph::Reorder::kNone;
   /// Inner per-shard BatchServer configuration. The sharding hooks
-  /// (metric_prefix/metric_labels/report_ids/row_guard) are overwritten
-  /// per shard; everything else applies to every shard server.
+  /// (metric_prefix/metric_labels/report_ids/row_guard/exec_failpoint)
+  /// are overwritten per replica; everything else applies to every one.
   ServerConfig server;
+
+  // --- Replication (R = 1 keeps exactly the PR 8 behaviour: one server
+  // per shard, but now health-tracked and probe-readmitted) ---
+
+  /// Inner BatchServers per non-empty shard. Replicas share the shard's
+  /// snapshot storage, context and feature slice.
+  std::int64_t replication_factor = 1;
+  DegradedPolicy degraded = DegradedPolicy::kFailShardQueries;
+  /// Consecutive ExecFailed/DeadlineExceeded results that turn a healthy
+  /// replica suspect, and suspect down. A success resets the streak.
+  int suspect_after = 1;
+  int down_after = 3;
+  /// Canary probe cadence and the deadline on each probe query.
+  double probe_interval_ms = 20.0;
+  double probe_deadline_ms = 1000.0;
+  /// Hedged dispatch: once a query has waited `hedge_quantile` of the
+  /// shard's observed latency distribution (refreshed by the probe
+  /// thread, never below hedge_min_delay_ms), fire it on a second live
+  /// replica; first answer wins.
+  bool hedge = false;
+  double hedge_quantile = 0.99;
+  double hedge_min_delay_ms = 1.0;
 };
 
-/// Aggregate + per-shard serving statistics.
+/// One replica's stats + the router's health verdict on it.
+struct ReplicaStats {
+  ServerStats server;
+  ReplicaHealth health = ReplicaHealth::kHealthy;
+};
+
+/// Aggregate + per-shard + per-replica serving statistics.
 struct ShardedStats {
-  /// Sum over shards; latency percentiles/mean/max come from the merged
-  /// per-shard histograms (same full population).
+  /// Sum over every inner server; latency percentiles/mean/max come from
+  /// the merged per-replica histograms (same full population). NOTE:
+  /// with replication, `total.submitted` counts inner submissions —
+  /// failover re-dispatches, hedges and canary probes included — so it
+  /// can exceed the number of client queries (see `accepted`).
   ServerStats total;
   /// Queries failed by the router itself (serve.shard_dispatch faults):
   /// these never reached an inner server and are NOT in total.submitted.
   std::uint64_t router_failed = 0;
-  std::vector<ServerStats> shards;  ///< index = shard id; empty shards {}
+  /// Per-shard stats merged over the shard's replicas; empty shards {}.
+  std::vector<ServerStats> shards;
+  /// Per-replica breakdown: replicas[shard][replica]. Empty shards {}.
+  std::vector<std::vector<ReplicaStats>> replicas;
+
+  // --- Router-level accounting: every client query the router accepted
+  // (admitted past the dispatch failpoint) resolves into exactly one of
+  // answered / failed; answered includes stale_served. ---
+  std::uint64_t accepted = 0;
+  std::uint64_t answered = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t stale_served = 0;        ///< answered from the stale table
+  std::uint64_t replicas_exhausted = 0;  ///< failed kReplicasExhausted
+  std::uint64_t failovers = 0;           ///< re-dispatches to a live sibling
+  std::uint64_t hedges = 0;              ///< hedge dispatches fired
+  std::uint64_t hedge_wins = 0;          ///< hedge answered before primary
+  std::uint64_t probes = 0;              ///< canary probes issued
+  std::uint64_t readmissions = 0;        ///< down -> recovering transitions
 };
 
 /// Run the named partitioner over the serving graph and build the halo
@@ -89,12 +192,15 @@ class ShardedServer {
   /// and are never routed to.
   ShardedServer(const Snapshot& snapshot, const ShardSet& shards,
                 const Tensor& features, ShardServerOptions opt = {});
+  ~ShardedServer();
 
   ShardedServer(const ShardedServer&) = delete;
   ShardedServer& operator=(const ShardedServer&) = delete;
 
-  /// Enqueue one GLOBAL node id on its owner shard (inner default
-  /// deadline applies). The returned Prediction carries the global id.
+  /// Enqueue one GLOBAL node id on a live replica of its owner shard
+  /// (inner default deadline applies). The returned Prediction carries
+  /// the global id. The future resolves after any failover/hedging the
+  /// router performs — a client sees one result per submit, always.
   std::future<QueryResult> submit(std::int64_t node);
   std::future<QueryResult> submit(std::int64_t node, double deadline_ms);
 
@@ -104,18 +210,25 @@ class ShardedServer {
   /// exactly the faulted shard's queries (kExecFailed).
   std::vector<QueryResult> query(std::span<const std::int64_t> nodes);
 
-  /// Block until every shard has resolved its admitted queries.
+  /// Block until every accepted query has fully resolved — including
+  /// failover re-dispatches still in flight and hedge losers still owed
+  /// to the accounting layer. Safe to call while the probe thread is
+  /// readmitting a replica.
   void drain();
 
   /// Client-side retry telemetry (router level).
   void record_retries(std::uint64_t n);
 
-  /// Merged full-lifetime latency distribution across all shards.
+  /// Merged full-lifetime latency distribution across all replicas.
   obs::HistogramData latency_snapshot() const;
 
   ShardedStats stats() const;
 
+  /// Current health of every replica: [shard][replica] (empty shards {}).
+  std::vector<std::vector<ReplicaHealth>> replica_health() const;
+
   std::int64_t num_shards() const { return num_shards_; }
+  std::int64_t replication_factor() const { return replicas_; }
   std::int64_t num_nodes() const {
     return static_cast<std::int64_t>(owner_.size());
   }
@@ -127,22 +240,154 @@ class ShardedServer {
   const ShardServerOptions& options() const { return opt_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Replica {
+    std::unique_ptr<BatchServer> server;
+    // Guarded by health_mutex_.
+    ReplicaHealth health = ReplicaHealth::kHealthy;
+    int failure_streak = 0;
+    obs::Gauge* m_health = nullptr;
+  };
+
+  struct Shard {
+    std::vector<Replica> replicas;  ///< empty for an empty shard
+    std::uint64_t rr = 0;           ///< round-robin cursor (health_mutex_)
+    std::int64_t probe_local = -1;  ///< known-good owned node (local id)
+    std::atomic<double> hedge_delay_ms{1.0};
+
+    Shard() = default;
+    // The atomic blocks the defaults; moves happen only during the
+    // construction-time shards_.resize(), before any thread runs.
+    Shard(Shard&& o) noexcept
+        : replicas(std::move(o.replicas)),
+          rr(o.rr),
+          probe_local(o.probe_local),
+          hedge_delay_ms(o.hedge_delay_ms.load(std::memory_order_relaxed)) {}
+    Shard& operator=(Shard&&) = delete;
+  };
+
+  /// One client query the router has accepted and not yet resolved.
+  /// Owned by inflight_ and serviced by the collector thread.
+  struct InFlight {
+    std::int64_t local = 0;
+    std::int32_t shard = 0;
+    std::promise<QueryResult> out;
+    std::future<QueryResult> attempt;  ///< current primary dispatch
+    int attempt_replica = -1;
+    std::future<QueryResult> hedge;  ///< racing dispatch (valid iff fired)
+    int hedge_replica = -1;
+    Clock::time_point hedge_at;
+    bool hedge_fired = false;
+    bool has_deadline = false;
+    Clock::time_point deadline;
+    std::uint32_t tried = 0;  ///< bitmask of replicas dispatched to
+    int failovers = 0;
+    ServeError first_error;  ///< first replica failure (diagnostics)
+    bool failed_before = false;
+  };
+
+  /// A hedge loser: its future must still be drained so its verdict
+  /// reaches the health machine — cancelled at the accounting layer, not
+  /// abandoned mid-air.
+  struct Zombie {
+    std::future<QueryResult> fut;
+    std::int32_t shard = 0;
+    int replica = -1;
+  };
+
   /// The serve.shard_dispatch boundary: returns true if dispatch to
   /// `shard` may proceed, false if a fault was injected (counted).
   bool dispatch_allowed(std::int64_t shard);
 
+  /// Post-dispatch-check submit: route `node` to a live replica (or the
+  /// degraded path) and hand the entry to the collector. Requires
+  /// inflight_mutex_ NOT held.
+  std::future<QueryResult> routed_submit(std::int64_t node,
+                                         double deadline_ms);
+
+  /// Pick a live replica of `shard` not in `exclude` (bitmask):
+  /// healthy/recovering round-robin first, suspect as a last resort,
+  /// down never. Returns -1 if none. Takes health_mutex_.
+  int pick_replica(std::int64_t shard, std::uint32_t exclude);
+  bool shard_all_down(std::int64_t shard) const;
+
+  /// Feed one replica verdict into the health state machine.
+  void note_result(std::int64_t shard, int replica, bool ok,
+                   ServeErrorCode code);
+  /// health_mutex_ held.
+  void set_health_locked(std::int64_t shard, int replica, ReplicaHealth h);
+
+  /// Resolve `q` as a failure — or a stale answer if the shard is fully
+  /// down under kServeStale. Counts router accounting.
+  void resolve_failure(InFlight& q, const ServeError& err);
+  void resolve_ok(InFlight& q, QueryResult result);
+  /// The stale-table answer for a global node (kServeStale only).
+  QueryResult stale_answer(std::int64_t global_node) const;
+
+  void collector_loop();
+  /// One collector pass over inflight_ + zombies_ (inflight_mutex_
+  /// held). Returns true if anything progressed.
+  bool collector_pass();
+  void probe_loop();
+  void probe_down_replicas();
+  void refresh_hedge_delays();
+
+  double remaining_deadline_ms(const InFlight& q, Clock::time_point now,
+                               double fallback) const;
+
   ShardServerOptions opt_;
   std::int64_t num_shards_ = 0;
+  std::int64_t replicas_ = 1;
+  std::int64_t out_dim_ = 0;
   std::vector<std::int32_t> owner_;     ///< global -> shard
   std::vector<std::int32_t> local_id_;  ///< global -> local in owner
   std::vector<std::int64_t> owned_counts_;
-  std::vector<std::unique_ptr<BatchServer>> servers_;  ///< null if empty
+  std::vector<Shard> shards_;
+
+  /// kServeStale: [num_nodes, out_dim] logits assembled at construction
+  /// from per-shard cached-full passes (owned rows only — bit-exact to
+  /// the cached-full oracle by the halo contract).
+  Tensor stale_logits_;
+
+  mutable std::mutex health_mutex_;
+
+  mutable std::mutex inflight_mutex_;
+  std::condition_variable inflight_cv_;  ///< collector wake + drain wait
+  std::list<InFlight> inflight_;
+  std::list<Zombie> zombies_;
+  bool closed_ = false;          ///< intake closed (destructor phase 1)
+  bool collector_stop_ = false;  ///< finish inflight_, no new dispatches
+  std::thread collector_;
+
+  std::mutex probe_mutex_;
+  std::condition_variable probe_cv_;
+  bool probe_stop_ = false;
+  std::thread probe_;
 
   std::atomic<std::uint64_t> router_failed_{0};
   std::atomic<std::uint64_t> retries_observed_{0};
   std::atomic<std::uint64_t> next_span_id_{1};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> answered_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> stale_served_{0};
+  std::atomic<std::uint64_t> replicas_exhausted_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> hedges_{0};
+  std::atomic<std::uint64_t> hedge_wins_{0};
+  std::atomic<std::uint64_t> probes_{0};
+  std::atomic<std::uint64_t> readmissions_{0};
+
   obs::Counter* m_router_failed_ = nullptr;
   obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_failover_ = nullptr;
+  obs::Counter* m_hedge_ = nullptr;
+  obs::Counter* m_hedge_wins_ = nullptr;
+  obs::Counter* m_probe_ = nullptr;
+  obs::Counter* m_readmit_ = nullptr;
+  obs::Counter* m_stale_ = nullptr;
+  obs::Counter* m_exhausted_ = nullptr;
 };
 
 }  // namespace gsoup::serve

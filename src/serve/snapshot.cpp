@@ -518,4 +518,23 @@ ShardedSnapshot load_sharded_snapshot(const std::string& path) {
   return read_sharded_snapshot(is);
 }
 
+std::vector<ShardSectionReport> manifest_report(const ShardedSnapshot& snap) {
+  std::vector<ShardSectionReport> out;
+  out.reserve(snap.shards.shards.size());
+  for (const ShardGraph& shard : snap.shards.shards) {
+    ShardSectionReport rep;
+    rep.shard = shard.index;
+    rep.owned = shard.num_owned;
+    rep.halo = shard.num_halo();
+    rep.edges = shard.graph.num_edges();
+    // Serialise through the writer's own body function; the framing adds
+    // section magic (u32) + length (u64) + CRC (u32) = 16 bytes.
+    std::ostringstream body(std::ios::binary);
+    write_shard_body(body, shard);
+    rep.section_bytes = static_cast<std::uint64_t>(body.str().size()) + 16;
+    out.push_back(rep);
+  }
+  return out;
+}
+
 }  // namespace gsoup::serve

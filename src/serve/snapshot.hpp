@@ -37,6 +37,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "graph/dataset.hpp"
 #include "nn/model.hpp"
@@ -132,5 +133,24 @@ ShardedSnapshot read_sharded_snapshot(std::istream& is);
 void save_sharded_snapshot(const std::string& path,
                            const ShardedSnapshot& snap);
 ShardedSnapshot load_sharded_snapshot(const std::string& path);
+
+/// One shard's manifest line: the structural numbers a replicated serving
+/// process sizes itself by. `section_bytes` is the EXACT on-disk cost of
+/// the shard's v3 section (body + 16-byte magic/length/CRC framing) —
+/// with replication_factor R, each replica re-reads none of it (replicas
+/// share the shard's storage) but duplicates the engine workspace the
+/// section implies, so the report is the honest input to capacity math.
+struct ShardSectionReport {
+  std::int64_t shard = 0;
+  std::int64_t owned = 0;
+  std::int64_t halo = 0;
+  std::int64_t edges = 0;
+  std::uint64_t section_bytes = 0;
+};
+
+/// Per-shard section reports for a sharded snapshot (empty if unsharded).
+/// Computed by re-serialising each shard body — the same code path the
+/// writer uses, so the byte counts cannot drift from the format.
+std::vector<ShardSectionReport> manifest_report(const ShardedSnapshot& snap);
 
 }  // namespace gsoup::serve

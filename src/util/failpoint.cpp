@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -242,6 +243,127 @@ void arm_from_string(const std::string& config) {
     auto [name, spec] = parse_entry(entry);
     arm(name, spec);
   });
+}
+
+// ---- Fault schedules ------------------------------------------------------
+
+std::vector<ScheduleStep> parse_schedule(const std::string& text) {
+  std::vector<ScheduleStep> steps;
+  std::size_t lineno = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    ++lineno;
+    // Strip comments and surrounding whitespace.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    line = line.substr(first, line.find_last_not_of(" \t\r") - first + 1);
+
+    // <at_ms> <arm|disarm> <operand>
+    std::string fields[3];
+    std::size_t nf = 0;
+    std::size_t pos = 0;
+    while (nf < 3 && pos < line.size()) {
+      const auto sp = nf == 2 ? std::string::npos
+                              : line.find_first_of(" \t", pos);
+      fields[nf++] = line.substr(pos, sp - pos);
+      if (sp == std::string::npos) break;
+      pos = line.find_first_not_of(" \t", sp);
+      if (pos == std::string::npos) break;
+    }
+    GSOUP_CHECK_MSG(nf == 3, "schedule line " << lineno
+                                              << ": want '<ms> arm name=spec'"
+                                                 " or '<ms> disarm name', got '"
+                                              << line << "'");
+    ScheduleStep step;
+    char* endp = nullptr;
+    step.at_ms = std::strtod(fields[0].c_str(), &endp);
+    GSOUP_CHECK_MSG(endp != fields[0].c_str() && *endp == '\0' &&
+                        step.at_ms >= 0.0,
+                    "schedule line " << lineno << ": bad offset '" << fields[0]
+                                     << "'");
+    if (fields[1] == "arm") {
+      step.is_arm = true;
+      auto [name, spec] = parse_entry(fields[2]);  // throws on malformed
+      step.name = std::move(name);
+      step.spec = spec;
+    } else if (fields[1] == "disarm") {
+      step.is_arm = false;
+      step.name = fields[2];
+      GSOUP_CHECK_MSG(!step.name.empty() &&
+                          step.name.find('=') == std::string::npos,
+                      "schedule line " << lineno
+                                       << ": disarm takes a bare name, got '"
+                                       << step.name << "'");
+    } else {
+      GSOUP_CHECK_MSG(false, "schedule line "
+                                 << lineno << ": unknown verb '" << fields[1]
+                                 << "' (arm | disarm)");
+    }
+    steps.push_back(std::move(step));
+  }
+  std::stable_sort(steps.begin(), steps.end(),
+                   [](const ScheduleStep& a, const ScheduleStep& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+  return steps;
+}
+
+struct ScheduleRunner::Impl {
+  std::vector<ScheduleStep> steps;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool stop = false;
+  std::size_t fired = 0;
+  std::thread thread;
+};
+
+ScheduleRunner::ScheduleRunner(std::vector<ScheduleStep> steps)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->steps = std::move(steps);
+  impl_->thread = std::thread([impl = impl_.get()] {
+    const auto start = std::chrono::steady_clock::now();
+    std::unique_lock lock(impl->mutex);
+    for (const ScheduleStep& step : impl->steps) {
+      const auto due =
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(step.at_ms));
+      impl->cv.wait_until(lock, due, [&] { return impl->stop; });
+      if (impl->stop) return;
+      if (step.is_arm) {
+        arm(step.name, step.spec);
+      } else {
+        disarm(step.name);
+      }
+      ++impl->fired;
+    }
+  });
+}
+
+ScheduleRunner::~ScheduleRunner() { stop(); }
+
+void ScheduleRunner::stop() {
+  {
+    std::lock_guard lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  if (impl_->thread.joinable()) impl_->thread.join();
+}
+
+std::size_t ScheduleRunner::steps_fired() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->fired;
+}
+
+bool ScheduleRunner::done() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->fired == impl_->steps.size();
 }
 
 }  // namespace gsoup::failpoint

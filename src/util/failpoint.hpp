@@ -38,11 +38,18 @@
 //                                          isolation try-block
 //   serve.shard_dispatch  serve/shard_server.cpp  per shard dispatch in
 //                                          the router (submit and query)
+//   serve.replica_exec.s<K>.r<J>  serve/server.cpp  per-batch replica kill
+//                                          hook: the sharded router names one
+//                                          per replica via
+//                                          ServerConfig::exec_failpoint, so a
+//                                          chaos schedule can down a single
+//                                          replica of a single shard
 //   pool.task          util/thread_pool    inside every pooled task
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -92,6 +99,61 @@ std::vector<CounterEntry> counters_snapshot();
 /// Throws CheckError on a malformed entry (entries before the bad one
 /// stay armed).
 void arm_from_string(const std::string& config);
+
+// ---- Fault schedules ------------------------------------------------------
+//
+// A schedule is a deterministic timed script of arm/disarm steps — the
+// chaos-testing driver that kills and revives failpoint-guarded components
+// mid-run. Text format, one step per line (blank lines and `#` comments
+// ignored):
+//
+//   <at_ms> arm <name>=<action>     # action grammar = GSOUP_FAILPOINTS entry
+//   <at_ms> disarm <name>
+//
+// e.g.
+//   # kill shard 0 replica 0 at t=50ms, revive it at t=250ms
+//   50  arm    serve.replica_exec.s0.r0=error
+//   250 disarm serve.replica_exec.s0.r0
+//
+// Steps fire at their offsets from ScheduleRunner start, in `at_ms` order
+// (ties fire in file order). Determinism: the *schedule* is wall-clock
+// driven, but each armed spec draws from the same GSOUP_FAILPOINT_SEED RNG
+// as every other failpoint, so probabilistic specs stay reproducible.
+
+/// One timed arm/disarm step.
+struct ScheduleStep {
+  double at_ms = 0.0;
+  bool is_arm = false;
+  std::string name;
+  Spec spec;  ///< meaningful iff is_arm
+};
+
+/// Parse the schedule text format above. Throws CheckError on a malformed
+/// line (reported with its line number).
+std::vector<ScheduleStep> parse_schedule(const std::string& text);
+
+/// Background thread that replays a schedule against the failpoint
+/// registry: step k fires once `at_ms` has elapsed since construction.
+/// stop() (or destruction) halts the replay; steps already fired stay
+/// armed/disarmed — callers wanting a clean slate pair with disarm_all().
+class ScheduleRunner {
+ public:
+  explicit ScheduleRunner(std::vector<ScheduleStep> steps);
+  ~ScheduleRunner();
+  ScheduleRunner(const ScheduleRunner&) = delete;
+  ScheduleRunner& operator=(const ScheduleRunner&) = delete;
+
+  /// Halt the replay (idempotent); blocks until the thread exits.
+  void stop();
+  /// Steps executed so far.
+  std::size_t steps_fired() const;
+  /// True once every step has been executed.
+  bool done() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 namespace detail {
 /// Number of currently armed failpoints; the macro's fast path.

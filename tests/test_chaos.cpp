@@ -1,0 +1,585 @@
+// Chaos suite for replicated shard serving: replicas are killed and
+// revived mid-load while a parity checker holds the router to the
+// bit-exactness and accounting contracts.
+//
+// The proof obligations (ISSUE: replicated serving tentpole):
+//  - zero queries fail while ANY replica of their shard is live — the
+//    router fails work over to a sibling within the query's budget;
+//  - every SUCCESSFUL answer is bit-identical to the single-engine
+//    oracle, chaos or not (stale answers to the cached-full oracle);
+//  - accounting is exact: per inner replica, submitted resolves into
+//    exactly queries + deadline_expired + failed_queries +
+//    shutdown_failed (reject admission); at the router, every accepted
+//    query resolves into exactly one of answered / failed;
+//  - a downed replica is readmitted by the canary probe after its fault
+//    clears, and one probation strike re-downs it;
+//  - teardown is safe mid-chaos: destructor during in-flight failover,
+//    drain() racing probe readmission, shutdown with a whole shard down.
+//
+// Determinism: every fault here is a p=1 failpoint (or a timed schedule
+// of p=1 arms/disarms), so GSOUP_FAILPOINT_SEED does not change which
+// queries fault — reruns see the same faults in the same places. The
+// only timing-dependent quantities (when the probe readmits, how many
+// probes fire) are asserted as eventualities with deadlines, never as
+// exact counts.
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+#include "nn/model.hpp"
+#include "serve/engine.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/shard_server.hpp"
+#include "serve/snapshot.hpp"
+#include "tensor/ops.hpp"
+#include "util/failpoint.hpp"
+#include "util/rng.hpp"
+
+namespace gsoup {
+namespace {
+
+/// RAII teardown so a failing assertion can't leave a failpoint armed for
+/// the rest of the binary.
+struct FailpointCleanup {
+  ~FailpointCleanup() { failpoint::disarm_all(); }
+};
+
+Dataset chaos_dataset(std::uint64_t seed = 11, std::int64_t nodes = 180) {
+  SyntheticSpec spec;
+  spec.num_nodes = nodes;
+  spec.avg_degree = 5.0;
+  spec.num_classes = 4;
+  spec.feature_dim = 10;
+  spec.degree_sigma = 1.1;
+  spec.seed = seed;
+  return generate_dataset(spec);
+}
+
+ModelConfig chaos_config(const Dataset& data) {
+  ModelConfig cfg;
+  cfg.arch = Arch::kGcn;
+  cfg.in_dim = data.feature_dim();
+  cfg.out_dim = data.num_classes;
+  cfg.num_layers = 2;
+  cfg.hidden_dim = 12;
+  return cfg;
+}
+
+serve::Snapshot quick_snapshot(const Dataset& data, const ModelConfig& cfg,
+                               std::uint64_t seed) {
+  const GnnModel model(cfg);
+  Rng rng(seed);
+  return serve::make_snapshot(cfg, model.init_params(rng), data, "uniform");
+}
+
+Tensor oracle_logits(const serve::Snapshot& snap, const Dataset& data,
+                     serve::QueryMode mode = serve::QueryMode::kSubgraph) {
+  auto ctx = std::make_shared<const GraphContext>(data.graph,
+                                                  snap.config.arch);
+  serve::InferenceEngine engine(snap.config, snap.params, ctx, data.features,
+                                mode);
+  std::vector<std::int64_t> nodes(
+      static_cast<std::size_t>(data.num_nodes()));
+  std::iota(nodes.begin(), nodes.end(), 0);
+  Tensor out = Tensor::empty({data.num_nodes(), snap.config.out_dim});
+  engine.query(nodes, out);
+  return out;
+}
+
+/// A successful Prediction must be the oracle's row, to the last bit:
+/// same argmax label and the bit-identical winning logit.
+void expect_pred_matches_oracle(const Tensor& oracle,
+                                const serve::Prediction& p,
+                                const std::string& what) {
+  const std::int64_t width = oracle.shape(1);
+  const float* row = oracle.data() + p.node * width;
+  const std::int64_t want = ops::argmax_row(row, width);
+  ASSERT_EQ(static_cast<std::int64_t>(p.label), want)
+      << what << ": node " << p.node << " label mismatch";
+  ASSERT_EQ(p.score, row[want])
+      << what << ": node " << p.node << " winning logit differs";
+}
+
+/// reject-admission replica invariant: everything admitted resolved.
+void expect_replica_accounting(const serve::ServerStats& s,
+                               const std::string& what) {
+  EXPECT_EQ(s.submitted, s.queries + s.deadline_expired + s.failed_queries +
+                             s.shutdown_failed)
+      << what << ": replica accounting leak (submitted " << s.submitted
+      << ")";
+}
+
+/// Router + every replica, after drain: exact accounting, no leaks.
+void expect_exact_accounting(const serve::ShardedStats& st,
+                             const std::string& what) {
+  EXPECT_EQ(st.accepted, st.answered + st.failed)
+      << what << ": router accounting leak";
+  for (std::size_t s = 0; s < st.replicas.size(); ++s) {
+    for (std::size_t r = 0; r < st.replicas[s].size(); ++r) {
+      expect_replica_accounting(
+          st.replicas[s][r].server,
+          what + " shard " + std::to_string(s) + " replica " +
+              std::to_string(r));
+    }
+  }
+  expect_replica_accounting(st.total, what + " aggregate");
+}
+
+struct ChaosRig {
+  Dataset data;
+  ModelConfig cfg;
+  serve::Snapshot snap;
+  ShardSet shards;
+  Tensor oracle;
+
+  explicit ChaosRig(std::int64_t num_shards = 2, std::uint64_t seed = 11)
+      : data(chaos_dataset(seed)),
+        cfg(chaos_config(data)),
+        snap(quick_snapshot(data, cfg, seed + 1)),
+        oracle(Tensor::empty({0, 0})) {
+    serve::ShardServerOptions sopt;
+    sopt.num_shards = num_shards;
+    shards = serve::make_serving_shards(data.graph, cfg, sopt);
+    oracle = oracle_logits(snap, data);
+  }
+
+  serve::ShardServerOptions options(std::int64_t replicas,
+                                    int down_after = 1) const {
+    serve::ShardServerOptions sopt;
+    sopt.num_shards = shards.num_shards;
+    sopt.replication_factor = replicas;
+    sopt.suspect_after = 1;
+    sopt.down_after = down_after;
+    sopt.probe_interval_ms = 5.0;  // fast readmission for test deadlines
+    sopt.server.max_delay_ms = 1.0;
+    return sopt;
+  }
+
+  /// First global node owned by `shard` (for shard-targeted queries).
+  std::int64_t owned_node(std::int64_t shard) const {
+    return shards.shards[static_cast<std::size_t>(shard)].nodes[0];
+  }
+};
+
+/// Poll until `pred` is true or ~5s elapse. Chaos eventualities (probe
+/// readmission, collector drain) are asserted through this, never as
+/// exact timings.
+template <typename Pred>
+bool eventually(Pred pred, int timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+// ---- Failover -------------------------------------------------------------
+
+TEST(ChaosFailover, KilledReplicaLosesNoQueriesAndProbeReadmitsIt) {
+  FailpointCleanup cleanup;
+  const ChaosRig rig;
+  serve::ShardedServer server(rig.snap, rig.shards, rig.data.features,
+                              rig.options(/*replicas=*/2));
+
+  // Kill shard 0 replica 0: every batch it executes fails, p = 1.
+  failpoint::arm_from_string(serve::replica_exec_failpoint(0, 0) + "=error");
+
+  // Submit EVERY node with no deadline and no client retries: the
+  // failover contract alone must keep the failure count at zero.
+  std::vector<std::future<serve::QueryResult>> futures;
+  for (std::int64_t n = 0; n < rig.data.num_nodes(); ++n) {
+    futures.push_back(server.submit(n));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const serve::QueryResult r = futures[i].get();
+    ASSERT_TRUE(r.ok()) << "node " << i << " failed with a live sibling: "
+                        << r.error().message;
+    expect_pred_matches_oracle(rig.oracle, r.value(), "failover");
+    EXPECT_FALSE(r.value().stale);
+  }
+  server.drain();
+
+  serve::ShardedStats st = server.stats();
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_EQ(st.answered, static_cast<std::uint64_t>(rig.data.num_nodes()));
+  EXPECT_GE(st.failovers, 1u) << "router never failed over";
+  expect_exact_accounting(st, "failover");
+  // The kill was noted: replica (0,0) is out of rotation. (It may read
+  // kDown or already kRecovering if an in-flight probe also faulted and
+  // cleared — but while armed every probe fails, so it stays kDown.)
+  EXPECT_EQ(server.replica_health()[0][0], serve::ReplicaHealth::kDown);
+  EXPECT_EQ(server.replica_health()[0][1], serve::ReplicaHealth::kHealthy);
+
+  // Revive: once the fault clears, the canary probe must readmit the
+  // replica without any client traffic.
+  failpoint::disarm("serve.replica_exec.s0.r0");
+  ASSERT_TRUE(eventually([&] {
+    return server.replica_health()[0][0] != serve::ReplicaHealth::kDown;
+  })) << "probe never readmitted the revived replica";
+  st = server.stats();
+  EXPECT_GE(st.probes, 1u);
+  EXPECT_GE(st.readmissions, 1u);
+
+  // Post-revival traffic heals it to kHealthy and stays bit-exact.
+  for (int round = 0; round < 4; ++round) {
+    const serve::QueryResult r = server.submit(rig.owned_node(0)).get();
+    ASSERT_TRUE(r.ok());
+    expect_pred_matches_oracle(rig.oracle, r.value(), "post-revival");
+  }
+  ASSERT_TRUE(eventually([&] {
+    return server.replica_health()[0][0] == serve::ReplicaHealth::kHealthy;
+  })) << "readmitted replica never returned to healthy";
+}
+
+TEST(ChaosFailover, SuspectReplicaIsRoutedAroundWhileSiblingIsHealthy) {
+  FailpointCleanup cleanup;
+  const ChaosRig rig;
+  // down_after = 2: the first failure leaves the replica kSuspect.
+  serve::ShardedServer server(rig.snap, rig.shards, rig.data.features,
+                              rig.options(2, /*down_after=*/2));
+  failpoint::arm_from_string(serve::replica_exec_failpoint(0, 0) + "=error");
+
+  // Round-robin starts at replica 0, so the first shard-0 query faults on
+  // r0, fails over to r1, succeeds — and leaves r0 suspect.
+  const serve::QueryResult first = server.submit(rig.owned_node(0)).get();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(server.replica_health()[0][0], serve::ReplicaHealth::kSuspect);
+
+  // Suspect is only a last resort: with the sibling healthy, subsequent
+  // shard-0 queries all land on r1 (r0's query count freezes).
+  const std::uint64_t r0_before =
+      server.stats().replicas[0][0].server.submitted;
+  for (int i = 0; i < 6; ++i) {
+    const serve::QueryResult r = server.submit(rig.owned_node(0)).get();
+    ASSERT_TRUE(r.ok());
+    expect_pred_matches_oracle(rig.oracle, r.value(), "suspect-routing");
+  }
+  server.drain();
+  EXPECT_EQ(server.stats().replicas[0][0].server.submitted, r0_before)
+      << "router dispatched to a suspect replica with a healthy sibling";
+}
+
+// ---- Timed schedule (the chaos_schedule driver) ---------------------------
+
+TEST(ChaosSchedule, KillAndReviveUnderLoadKeepsAnswersExact) {
+  FailpointCleanup cleanup;
+  const ChaosRig rig;
+  serve::ShardedServer server(rig.snap, rig.shards, rig.data.features,
+                              rig.options(2));
+
+  // The same format serve_cli --chaos-schedule replays: kill (0,0) almost
+  // immediately, revive it 250 ms in, kill (1,1) for a stretch after.
+  const std::vector<failpoint::ScheduleStep> steps =
+      failpoint::parse_schedule(
+          "  5 arm    serve.replica_exec.s0.r0=error\n"
+          "250 disarm serve.replica_exec.s0.r0\n"
+          "300 arm    serve.replica_exec.s1.r1=error\n"
+          "450 disarm serve.replica_exec.s1.r1\n");
+  failpoint::ScheduleRunner runner(steps);
+
+  // Load for the schedule's whole lifetime: round-robin over every node,
+  // a few requests in flight at a time.
+  std::uint64_t ok = 0;
+  std::uint64_t sent = 0;
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(550);
+  std::int64_t next_node = 0;
+  while (std::chrono::steady_clock::now() < until || !runner.done()) {
+    std::vector<std::future<serve::QueryResult>> burst;
+    for (int i = 0; i < 8; ++i) {
+      burst.push_back(server.submit(next_node));
+      next_node = (next_node + 1) % rig.data.num_nodes();
+      ++sent;
+    }
+    for (auto& f : burst) {
+      const serve::QueryResult r = f.get();
+      ASSERT_TRUE(r.ok()) << "query failed mid-schedule: "
+                          << r.error().message;
+      expect_pred_matches_oracle(rig.oracle, r.value(), "schedule");
+      ++ok;
+    }
+  }
+  runner.stop();
+  EXPECT_EQ(runner.steps_fired(), steps.size());
+  server.drain();
+
+  const serve::ShardedStats st = server.stats();
+  EXPECT_EQ(st.failed, 0u) << "schedule chaos lost queries";
+  EXPECT_EQ(st.answered, ok);
+  EXPECT_EQ(st.accepted, sent);
+  EXPECT_GE(st.failovers, 1u);
+  expect_exact_accounting(st, "schedule");
+
+  // Both revived replicas find their way back into rotation.
+  ASSERT_TRUE(eventually([&] {
+    const auto h = server.replica_health();
+    return h[0][0] != serve::ReplicaHealth::kDown &&
+           h[1][1] != serve::ReplicaHealth::kDown;
+  })) << "a revived replica was never readmitted";
+}
+
+// ---- Hedged dispatch ------------------------------------------------------
+
+TEST(ChaosHedge, HedgeBeatsDelayedReplicaWithoutLosingAccounting) {
+  FailpointCleanup cleanup;
+  const ChaosRig rig;
+  serve::ShardServerOptions sopt = rig.options(2);
+  sopt.hedge = true;
+  sopt.hedge_min_delay_ms = 2.0;
+  serve::ShardedServer server(rig.snap, rig.shards, rig.data.features,
+                              sopt);
+
+  // Replica (0,0) answers, but only after 60 ms — far past the hedge
+  // delay, so shard-0 queries dispatched to it are hedged onto r1 and the
+  // hedge wins. The loser still resolves and is drained as a zombie.
+  failpoint::arm_from_string(serve::replica_exec_failpoint(0, 0) +
+                             "=delay:60");
+  std::vector<std::future<serve::QueryResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(server.submit(rig.owned_node(0)));
+    // Sequential waves so round-robin keeps landing primaries on r0.
+    const serve::QueryResult r = futures.back().get();
+    ASSERT_TRUE(r.ok());
+    expect_pred_matches_oracle(rig.oracle, r.value(), "hedge");
+  }
+  server.drain();
+
+  const serve::ShardedStats st = server.stats();
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_GE(st.hedges, 1u) << "hedge never fired against a slow replica";
+  EXPECT_GE(st.hedge_wins, 1u) << "hedge never beat the delayed primary";
+  expect_exact_accounting(st, "hedge");
+  // A slow replica is not an unhealthy one: delay is not a failure.
+  EXPECT_EQ(server.replica_health()[0][0], serve::ReplicaHealth::kHealthy);
+}
+
+// ---- Degraded modes -------------------------------------------------------
+
+TEST(ChaosDegraded, ServeStaleAnswersBitExactWhenWholeShardIsDown) {
+  FailpointCleanup cleanup;
+  const ChaosRig rig;
+  serve::ShardServerOptions sopt = rig.options(2);
+  sopt.degraded = serve::DegradedPolicy::kServeStale;
+  serve::ShardedServer server(rig.snap, rig.shards, rig.data.features,
+                              sopt);
+  const Tensor cached_oracle =
+      oracle_logits(rig.snap, rig.data, serve::QueryMode::kCachedFull);
+
+  // Kill the ENTIRE shard-0 replica set.
+  failpoint::arm_from_string(serve::replica_exec_failpoint(0, 0) + "=error");
+  failpoint::arm_from_string(serve::replica_exec_failpoint(0, 1) + "=error");
+
+  // Every shard-0 query — the first one downs both replicas through the
+  // failover cascade, later ones find the shard already dark — must
+  // come back OK, flagged stale, bit-exact to the cached-full oracle.
+  std::uint64_t stale_seen = 0;
+  for (std::int64_t n = 0; n < rig.data.num_nodes(); ++n) {
+    const serve::QueryResult r = server.submit(n).get();
+    ASSERT_TRUE(r.ok()) << "node " << n << ": " << r.error().message;
+    if (server.shard_of(n) == 0) {
+      EXPECT_TRUE(r.value().stale) << "dark-shard answer not flagged stale";
+      expect_pred_matches_oracle(cached_oracle, r.value(), "stale");
+      ++stale_seen;
+    } else {
+      // Fault containment: the healthy shard serves live, exact answers.
+      EXPECT_FALSE(r.value().stale);
+      expect_pred_matches_oracle(rig.oracle, r.value(), "live-shard");
+    }
+  }
+  server.drain();
+  const serve::ShardedStats st = server.stats();
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_EQ(st.stale_served, stale_seen);
+  EXPECT_GT(stale_seen, 0u);
+  expect_exact_accounting(st, "serve-stale");
+}
+
+TEST(ChaosDegraded, FailPolicyReportsReplicasExhaustedAndContainsFault) {
+  FailpointCleanup cleanup;
+  const ChaosRig rig;
+  serve::ShardedServer server(rig.snap, rig.shards, rig.data.features,
+                              rig.options(2));  // kFailShardQueries default
+  failpoint::arm_from_string(serve::replica_exec_failpoint(0, 0) + "=error");
+  failpoint::arm_from_string(serve::replica_exec_failpoint(0, 1) + "=error");
+
+  std::uint64_t exhausted = 0;
+  for (std::int64_t n = 0; n < rig.data.num_nodes(); ++n) {
+    const serve::QueryResult r = server.submit(n).get();
+    if (server.shard_of(n) == 0) {
+      ASSERT_FALSE(r.ok()) << "dark shard answered without stale policy";
+      EXPECT_EQ(r.error().code, serve::ServeErrorCode::kReplicasExhausted);
+      ++exhausted;
+    } else {
+      ASSERT_TRUE(r.ok()) << r.error().message;
+      expect_pred_matches_oracle(rig.oracle, r.value(), "contained");
+    }
+  }
+  server.drain();
+  const serve::ShardedStats st = server.stats();
+  EXPECT_EQ(st.replicas_exhausted, exhausted);
+  EXPECT_GT(exhausted, 0u);
+  EXPECT_EQ(st.failed, exhausted);
+  expect_exact_accounting(st, "fail-policy");
+
+  // Loadgen classifies the verdict in its own bucket (satellite: distinct
+  // LoadReport buckets for failover-exhausted results).
+  serve::LoadgenOptions load;
+  load.requests = 60;
+  load.clients = 2;
+  load.num_nodes = rig.data.num_nodes();
+  const serve::LoadReport report = serve::drive_load(server, load);
+  EXPECT_EQ(report.failures, report.replicas_exhausted);
+  EXPECT_EQ(report.ok + report.failures,
+            static_cast<std::uint64_t>(report.requests));
+  EXPECT_EQ(report.stale_served, 0u);
+}
+
+TEST(ChaosDegraded, LoadgenCountsStaleServedBucket) {
+  FailpointCleanup cleanup;
+  const ChaosRig rig;
+  serve::ShardServerOptions sopt = rig.options(2);
+  sopt.degraded = serve::DegradedPolicy::kServeStale;
+  serve::ShardedServer server(rig.snap, rig.shards, rig.data.features,
+                              sopt);
+  failpoint::arm_from_string(serve::replica_exec_failpoint(0, 0) + "=error");
+  failpoint::arm_from_string(serve::replica_exec_failpoint(0, 1) + "=error");
+
+  serve::LoadgenOptions load;
+  load.requests = 80;
+  load.clients = 2;
+  load.num_nodes = rig.data.num_nodes();
+  const serve::LoadReport report = serve::drive_load(server, load);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_GT(report.stale_served, 0u) << "no request hit the dark shard";
+  EXPECT_LT(report.stale_served, report.ok)
+      << "the healthy shard should have served live answers";
+}
+
+// ---- Teardown races -------------------------------------------------------
+
+TEST(ChaosTeardown, DestructorResolvesInFlightFailoverRetries) {
+  FailpointCleanup cleanup;
+  const ChaosRig rig;
+  std::vector<std::future<serve::QueryResult>> futures;
+  {
+    serve::ShardedServer server(rig.snap, rig.shards, rig.data.features,
+                                rig.options(2));
+    // Failures on r0 keep the collector re-dispatching; the delay keeps
+    // retries in flight when the destructor runs.
+    failpoint::arm_from_string(serve::replica_exec_failpoint(0, 0) +
+                               "=error");
+    failpoint::arm_from_string(serve::replica_exec_failpoint(0, 1) +
+                               "=delay:10");
+    for (std::int64_t n = 0; n < rig.data.num_nodes(); ++n) {
+      futures.push_back(server.submit(n));
+    }
+    // Destructor runs here, mid-failover.
+  }
+  // Every accepted promise must have been fulfilled — a broken promise
+  // would throw std::future_error, an unresolved one would hang.
+  for (auto& f : futures) {
+    const serve::QueryResult r = f.get();
+    if (!r.ok()) {
+      EXPECT_NE(r.error().message, "") << "failure without a diagnostic";
+    }
+  }
+}
+
+TEST(ChaosTeardown, DrainRacesProbeReadmission) {
+  FailpointCleanup cleanup;
+  const ChaosRig rig;
+  serve::ShardedServer server(rig.snap, rig.shards, rig.data.features,
+                              rig.options(2));
+  failpoint::arm_from_string(serve::replica_exec_failpoint(0, 0) + "=error");
+  ASSERT_TRUE(server.submit(rig.owned_node(0)).get().ok());
+  ASSERT_EQ(server.replica_health()[0][0], serve::ReplicaHealth::kDown);
+  failpoint::disarm("serve.replica_exec.s0.r0");
+
+  // Hammer drain() while the probe thread readmits: drain must neither
+  // deadlock against the probe's inner submission nor miss router work.
+  const bool readmitted = eventually([&] {
+    server.drain();
+    return server.replica_health()[0][0] != serve::ReplicaHealth::kDown;
+  });
+  ASSERT_TRUE(readmitted);
+  const serve::QueryResult r = server.submit(rig.owned_node(0)).get();
+  ASSERT_TRUE(r.ok());
+  expect_pred_matches_oracle(rig.oracle, r.value(), "post-drain");
+}
+
+TEST(ChaosTeardown, ShutdownWithWholeShardDownResolvesEverything) {
+  FailpointCleanup cleanup;
+  const ChaosRig rig;
+  std::vector<std::future<serve::QueryResult>> futures;
+  {
+    serve::ShardedServer server(rig.snap, rig.shards, rig.data.features,
+                                rig.options(2));
+    failpoint::arm_from_string(serve::replica_exec_failpoint(0, 0) +
+                               "=error");
+    failpoint::arm_from_string(serve::replica_exec_failpoint(0, 1) +
+                               "=error");
+    for (std::int64_t n = 0; n < rig.data.num_nodes(); ++n) {
+      futures.push_back(server.submit(n));
+    }
+  }
+  std::uint64_t failed = 0;
+  for (auto& f : futures) {
+    if (!f.get().ok()) ++failed;
+  }
+  EXPECT_GT(failed, 0u) << "a fully-down shard cannot answer everything";
+}
+
+TEST(ChaosTeardown, SubmitAfterDestructionWindowResolvesShutdown) {
+  // Intake closes in destructor phase 1: a submit that squeezes in after
+  // close resolves kShutdown instead of racing dead inner servers. Here
+  // we exercise the closed_ path directly via drain+destroy ordering.
+  const ChaosRig rig;
+  auto server = std::make_unique<serve::ShardedServer>(
+      rig.snap, rig.shards, rig.data.features, rig.options(2));
+  auto fut = server->submit(rig.owned_node(1));
+  ASSERT_TRUE(fut.get().ok());
+  server->drain();
+  server.reset();  // clean teardown with an idle router
+}
+
+// ---- Replication parity (R > 1 changes nothing for healthy serving) -------
+
+TEST(ChaosParity, ReplicatedHealthyServingIsBitExactAndBalanced) {
+  const ChaosRig rig;
+  serve::ShardedServer server(rig.snap, rig.shards, rig.data.features,
+                              rig.options(/*replicas=*/3));
+  std::vector<std::int64_t> nodes(
+      static_cast<std::size_t>(rig.data.num_nodes()));
+  std::iota(nodes.begin(), nodes.end(), 0);
+  const std::vector<serve::QueryResult> results = server.query(nodes);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    EXPECT_EQ(results[i].value().node, nodes[i]);
+    expect_pred_matches_oracle(rig.oracle, results[i].value(), "healthy-r3");
+  }
+  server.drain();
+  const serve::ShardedStats st = server.stats();
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_EQ(st.failovers, 0u);
+  expect_exact_accounting(st, "healthy-r3");
+  // Round-robin spreads work: every replica of a non-empty shard served
+  // something.
+  for (std::size_t s = 0; s < st.replicas.size(); ++s) {
+    for (std::size_t r = 0; r < st.replicas[s].size(); ++r) {
+      EXPECT_GT(st.replicas[s][r].server.queries, 0u)
+          << "shard " << s << " replica " << r << " idle under round-robin";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gsoup

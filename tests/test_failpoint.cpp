@@ -4,6 +4,7 @@
 #include <chrono>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -132,6 +133,86 @@ TEST_F(FailpointTest, ScopedFailpointDisarmsOnExit) {
     EXPECT_THROW(FAILPOINT("test.scoped"), CheckError);
   }
   EXPECT_NO_THROW(FAILPOINT("test.scoped"));
+}
+
+TEST_F(FailpointTest, ParseScheduleOrdersStepsAndKeepsTieFileOrder) {
+  const auto steps = failpoint::parse_schedule(
+      "# comment line\n"
+      "100 arm    b=error:0.5\n"
+      "\n"
+      "50 arm a=delay:3:once\n"
+      "100 disarm a   # trailing comment\n"
+      "100 arm c=error\n");
+  ASSERT_EQ(steps.size(), 4u);
+  EXPECT_DOUBLE_EQ(steps[0].at_ms, 50.0);
+  EXPECT_EQ(steps[0].name, "a");
+  EXPECT_TRUE(steps[0].is_arm);
+  EXPECT_EQ(steps[0].spec.action, Action::kDelay);
+  EXPECT_TRUE(steps[0].spec.once);
+  // The three t=100 steps keep their file order (stable sort).
+  EXPECT_EQ(steps[1].name, "b");
+  EXPECT_DOUBLE_EQ(steps[1].spec.probability, 0.5);
+  EXPECT_EQ(steps[2].name, "a");
+  EXPECT_FALSE(steps[2].is_arm);
+  EXPECT_EQ(steps[3].name, "c");
+}
+
+TEST_F(FailpointTest, ParseScheduleRejectsMalformedLinesWithLineNumbers) {
+  const std::vector<std::string> bad = {
+      "abc arm x=error",      // non-numeric time
+      "-5 arm x=error",       // negative time
+      "10 frobnicate x",      // unknown verb
+      "10 arm x",             // arm without a spec
+      "10 arm =error",        // empty name
+      "10 disarm x=error",    // disarm with a spec
+      "10 arm x=explode",     // unknown action (parse_entry)
+  };
+  for (const std::string& text : bad) {
+    EXPECT_THROW(failpoint::parse_schedule(text), CheckError) << text;
+  }
+  EXPECT_TRUE(failpoint::parse_schedule("").empty());
+  EXPECT_TRUE(failpoint::parse_schedule("# only comments\n\n").empty());
+}
+
+TEST_F(FailpointTest, ScheduleRunnerFiresArmAndDisarmOnTime) {
+  // Generous spacing: the assertion is the ORDER (armed -> disarmed),
+  // never the exact firing instant.
+  failpoint::ScheduleRunner runner(failpoint::parse_schedule(
+      " 0 arm test.sched=error\n"
+      "60 disarm test.sched\n"));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  bool saw_armed = false;
+  while (std::chrono::steady_clock::now() < deadline && !runner.done()) {
+    try {
+      FAILPOINT("test.sched");
+    } catch (const CheckError&) {
+      saw_armed = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(runner.done()) << "schedule never completed";
+  EXPECT_EQ(runner.steps_fired(), 2u);
+  EXPECT_TRUE(saw_armed) << "armed window never observed";
+  EXPECT_NO_THROW(FAILPOINT("test.sched"));  // final state: disarmed
+  runner.stop();  // idempotent after done
+}
+
+TEST_F(FailpointTest, ScheduleRunnerStopHaltsBeforeLaterSteps) {
+  failpoint::ScheduleRunner runner(failpoint::parse_schedule(
+      "0 arm test.halt=error\n"
+      "60000 disarm test.halt\n"));
+  // Wait for the first step, then stop long before the second could fire.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline &&
+         runner.steps_fired() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  runner.stop();
+  EXPECT_EQ(runner.steps_fired(), 1u);
+  EXPECT_FALSE(runner.done());
+  EXPECT_THROW(FAILPOINT("test.halt"), CheckError);  // still armed
 }
 
 TEST_F(FailpointTest, PoolTaskFailpointParksInFutureNotInWorker) {

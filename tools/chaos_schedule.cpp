@@ -1,0 +1,108 @@
+// Chaos-schedule linter and dry-runner for the timed failpoint schedules
+// that serve_cli --chaos-schedule (and the chaos tests) replay.
+//
+//   chaos_schedule lint <file>
+//       Parse the schedule and print each step in firing order. Exit 0 on
+//       a well-formed schedule, 2 on usage errors, 3 on a malformed file
+//       (with the parser's line-numbered diagnostic). CI lints the
+//       checked-in schedules before any job replays them.
+//
+//   chaos_schedule run <file> [--speed X]
+//       Actually replay the schedule against this process's failpoint
+//       registry (a dry run: nothing is serving, but the arm/disarm calls
+//       are real) and report the wall time and steps fired. --speed 10
+//       divides every at_ms by 10 — a quick way to smoke a long schedule.
+//
+// Schedule format (see util/failpoint.hpp):
+//   # comment
+//   <at_ms> arm <name>=<error[:p][:once] | delay:MS[:once]>
+//   <at_ms> disarm <name>
+// Steps sharing an at_ms fire in file order. The replica kill hooks are
+// named serve.replica_exec.s<shard>.r<replica>.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "util/failpoint.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: chaos_schedule lint <file>\n"
+               "       chaos_schedule run <file> [--speed X]\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    std::exit(3);
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  const std::string path = argv[2];
+  double speed = 1.0;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--speed") == 0 && i + 1 < argc) {
+      speed = std::atof(argv[++i]);
+      if (speed <= 0.0) {
+        std::fprintf(stderr, "error: --speed must be > 0\n");
+        return 2;
+      }
+    } else {
+      return usage();
+    }
+  }
+
+  std::vector<gsoup::failpoint::ScheduleStep> steps;
+  try {
+    steps = gsoup::failpoint::parse_schedule(read_file(path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  }
+
+  if (cmd == "lint") {
+    for (const auto& step : steps) {
+      std::printf("%10.3f ms  %-6s %s\n", step.at_ms,
+                  step.is_arm ? "arm" : "disarm", step.name.c_str());
+    }
+    std::printf("%zu steps, last at %.3f ms\n", steps.size(),
+                steps.empty() ? 0.0 : steps.back().at_ms);
+    return 0;
+  }
+
+  if (cmd == "run") {
+    for (auto& step : steps) step.at_ms /= speed;
+    const double last_ms = steps.empty() ? 0.0 : steps.back().at_ms;
+    gsoup::Timer wall;
+    gsoup::failpoint::ScheduleRunner runner(std::move(steps));
+    // Sleep past the final step, then poll done() — the runner fires on
+    // its own thread, stop() joins it.
+    while (!runner.done() && wall.milliseconds() < last_ms + 1000.0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    runner.stop();
+    std::printf("fired %zu steps in %.3f ms (speed %.1fx)\n",
+                runner.steps_fired(), wall.milliseconds(), speed);
+    gsoup::failpoint::disarm_all();
+    return runner.done() ? 0 : 1;
+  }
+
+  return usage();
+}

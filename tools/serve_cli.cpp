@@ -28,13 +28,24 @@
 //                   [--max-pending 4096] [--admission reject|shed]
 //                   [--deadline-ms 0] [--retries 0] [--retry-budget 0]
 //                   [--backoff-ms 1.0] [--allow-failures]
+//                   [--replicas R] [--degraded-policy fail|stale] [--hedge]
+//                   [--chaos-schedule FILE]
 //       Drive the batch server from concurrent clients and report
 //       p50/p99 latency and QPS, plus the unbatched single-query baseline,
 //       plus the failure/degradation counters (rejected, expired, failed,
 //       retried). Overload and fault experiments pass --allow-failures;
 //       without it any failed query makes the run exit non-zero. A
 //       sharded snapshot is driven through the shard router instead of a
-//       single server, with a per-shard stats line each.
+//       single server, with a per-shard stats line each. With --replicas R
+//       each shard runs R health-tracked BatchServers behind the fault-
+//       aware router (failover, canary readmission; --hedge adds hedged
+//       dispatch), reported per replica with its health state. A run whose
+//       queries all succeeded but where some answers came from the stale
+//       table (--degraded-policy stale, shard fully down) exits 5 —
+//       "completed in degraded mode" — so scripts can tell it from a
+//       clean 0. --chaos-schedule replays a timed failpoint arm/disarm
+//       schedule (see util/failpoint.hpp) against the run's serving
+//       clock: replicas are killed and revived mid-load.
 //
 //   serve_cli metrics --snapshot soup.gsnp --data graph.gds
 //                     [bench load flags] [--metrics-out metrics.prom]
@@ -55,7 +66,9 @@
 //   that exits 4 still leaves its metrics/trace artifacts behind.
 //
 // Exit codes: 0 success; 2 bad arguments/usage; 3 unreadable or corrupt
-// snapshot/dataset input; 4 query or load-test failure; 1 anything else.
+// snapshot/dataset input; 4 query or load-test failure; 5 load test
+// completed but some answers were served stale (degraded mode); 1
+// anything else.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -95,6 +108,7 @@ constexpr int kExitOk = 0;
 constexpr int kExitUsage = 2;
 constexpr int kExitBadInput = 3;    // unreadable/corrupt snapshot or dataset
 constexpr int kExitQueryFailed = 4;
+constexpr int kExitDegraded = 5;    // all answered, some from the stale table
 
 /// Thrown by commands to request a specific exit code; main() prints the
 /// message to stderr as a one-line diagnostic and returns the code.
@@ -115,6 +129,8 @@ struct Args {
   std::string nodes;
   std::string admission = "reject";
   std::string partitioner = "multilevel";
+  std::string degraded_policy = "fail";  ///< "fail" | "stale"
+  std::string chaos_schedule;            ///< timed failpoint schedule file
   std::string failpoints;
   std::string metrics_out;
   std::string trace_out;
@@ -133,6 +149,8 @@ struct Args {
   std::int64_t retries = 0;
   std::int64_t retry_budget = 0;
   std::int64_t shards = 0;  ///< save: 0 = unsharded (v2), N >= 1 = v3
+  std::int64_t replicas = 1;  ///< serving replicas per shard
+  bool hedge = false;
   bool allow_failures = false;
 };
 
@@ -176,6 +194,10 @@ bool parse_args(int argc, char** argv, Args& args) {
     else if (flag == "--retry-budget" && (v = next())) args.retry_budget = std::atoll(v);
     else if (flag == "--backoff-ms" && (v = next())) args.backoff_ms = std::atof(v);
     else if (flag == "--shards" && (v = next())) args.shards = std::atoll(v);
+    else if (flag == "--replicas" && (v = next())) args.replicas = std::atoll(v);
+    else if (flag == "--degraded-policy" && (v = next())) args.degraded_policy = v;
+    else if (flag == "--chaos-schedule" && (v = next())) args.chaos_schedule = v;
+    else if (flag == "--hedge") args.hedge = true;
     else if (flag == "--partitioner" && (v = next())) args.partitioner = v;
     else if (flag == "--failpoints" && (v = next())) args.failpoints = v;
     else if (flag == "--metrics-out" && (v = next())) args.metrics_out = v;
@@ -381,15 +403,23 @@ int cmd_info(const Args& args) {
                 ss.partitioner.c_str(),
                 static_cast<long long>(ss.shards.halo_hops),
                 sstats.replication_factor);
-    for (const ShardGraph& shard : ss.shards.shards) {
-      std::printf("  shard %lld: %lld owned + %lld halo = %lld locals, "
-                  "%lld edges\n",
-                  static_cast<long long>(shard.index),
-                  static_cast<long long>(shard.num_owned),
-                  static_cast<long long>(shard.num_halo()),
-                  static_cast<long long>(shard.num_local()),
-                  static_cast<long long>(shard.graph.num_edges()));
+    std::uint64_t total_bytes = 0;
+    for (const serve::ShardSectionReport& rep : serve::manifest_report(ss)) {
+      std::printf("  shard %lld: %lld owned + %lld halo locals, "
+                  "%lld edges, %llu section bytes\n",
+                  static_cast<long long>(rep.shard),
+                  static_cast<long long>(rep.owned),
+                  static_cast<long long>(rep.halo),
+                  static_cast<long long>(rep.edges),
+                  static_cast<unsigned long long>(rep.section_bytes));
+      total_bytes += rep.section_bytes;
     }
+    // The capacity note replica operators actually need: the per-shard
+    // graph state is shared across replicas, so serving at R multiplies
+    // engine workspaces, never the section bytes below.
+    std::printf("  shard sections: %llu bytes total (shared per shard "
+                "across any --replicas R)\n",
+                static_cast<unsigned long long>(total_bytes));
   }
   return 0;
 }
@@ -473,7 +503,34 @@ struct LoadRunResult {
   serve::ServerStats stats;
   std::vector<serve::ServerStats> shard_stats;  ///< empty if unsharded
   std::uint64_t router_failed = 0;
+  /// Per-replica stats + final health, [shard][replica] (sharded only).
+  std::vector<std::vector<serve::ReplicaStats>> replica_stats;
+  /// Router-level failover/hedge/probe accounting (sharded only).
+  serve::ShardedStats router;
+  std::uint64_t chaos_steps_fired = 0;
 };
+
+/// Arm a timed failpoint schedule for the duration of a load run. The
+/// clock starts when the runner is built — construct it immediately
+/// before drive_load so `at_ms` offsets mean "ms into the load".
+std::unique_ptr<failpoint::ScheduleRunner> make_chaos_runner(
+    const Args& args) {
+  if (args.chaos_schedule.empty()) return nullptr;
+  std::ifstream in(args.chaos_schedule);
+  if (!in) {
+    throw ExitError(kExitBadInput, "cannot open --chaos-schedule " +
+                                       args.chaos_schedule);
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  try {
+    return std::make_unique<failpoint::ScheduleRunner>(
+        failpoint::parse_schedule(buf.str()));
+  } catch (const std::exception& e) {
+    throw ExitError(kExitBadInput, std::string("bad --chaos-schedule: ") +
+                                       e.what());
+  }
+}
 
 serve::ServerConfig server_config_from_args(const Args& args) {
   require(args.clients >= 1, "--clients must be >= 1");
@@ -515,8 +572,13 @@ LoadRunResult run_server_load(const Args& args, const serve::Snapshot& snap,
   const serve::ServerConfig cfg = server_config_from_args(args);
   serve::BatchServer server(snap, std::move(ctx), data.features, cfg);
   LoadRunResult r;
+  auto chaos = make_chaos_runner(args);
   r.report = serve::drive_load(server, loadgen_from_args(args,
                                                          data.num_nodes()));
+  if (chaos) {
+    chaos->stop();
+    r.chaos_steps_fired = chaos->steps_fired();
+  }
   r.stats = server.stats();
   return r;
 }
@@ -524,18 +586,34 @@ LoadRunResult run_server_load(const Args& args, const serve::Snapshot& snap,
 LoadRunResult run_sharded_server_load(const Args& args,
                                       const serve::ShardedSnapshot& ss,
                                       const Dataset& data) {
+  require(args.replicas >= 1 && args.replicas <= 32,
+          "--replicas must be in [1, 32]");
+  require(args.degraded_policy == "fail" || args.degraded_policy == "stale",
+          "--degraded-policy must be fail or stale");
   serve::ShardServerOptions sopt;
   sopt.num_shards = ss.shards.num_shards;
   sopt.partitioner = ss.partitioner;
   sopt.server = server_config_from_args(args);
+  sopt.replication_factor = args.replicas;
+  sopt.degraded = args.degraded_policy == "stale"
+                      ? serve::DegradedPolicy::kServeStale
+                      : serve::DegradedPolicy::kFailShardQueries;
+  sopt.hedge = args.hedge;
   serve::ShardedServer server(ss.snapshot, ss.shards, data.features, sopt);
   LoadRunResult r;
+  auto chaos = make_chaos_runner(args);
   r.report = serve::drive_load(server, loadgen_from_args(args,
                                                          data.num_nodes()));
+  if (chaos) {
+    chaos->stop();
+    r.chaos_steps_fired = chaos->steps_fired();
+  }
   serve::ShardedStats st = server.stats();
   r.stats = st.total;
-  r.shard_stats = std::move(st.shards);
+  r.shard_stats = st.shards;
   r.router_failed = st.router_failed;
+  r.replica_stats = st.replicas;
+  r.router = std::move(st);
   return r;
 }
 
@@ -594,15 +672,40 @@ int cmd_bench(const Args& args) {
                 static_cast<unsigned long long>(sh.batches), sh.mean_batch,
                 sh.p99_latency_ms,
                 static_cast<unsigned long long>(sh.failed_queries));
+    if (s < run.replica_stats.size() && args.replicas > 1) {
+      for (std::size_t r = 0; r < run.replica_stats[s].size(); ++r) {
+        const serve::ReplicaStats& rep = run.replica_stats[s][r];
+        std::printf("    replica %zu: %llu queries, failed %llu, "
+                    "health %s\n",
+                    r, static_cast<unsigned long long>(rep.server.queries),
+                    static_cast<unsigned long long>(
+                        rep.server.failed_queries),
+                    serve::replica_health_name(rep.health));
+      }
+    }
   }
   if (ss.sharded()) {
-    std::printf("  router: %llu dispatch failures\n",
-                static_cast<unsigned long long>(run.router_failed));
+    std::printf("  router: %llu dispatch failures | failovers %llu, "
+                "hedges %llu (wins %llu), probes %llu, readmissions %llu, "
+                "stale-served %llu, replicas-exhausted %llu\n",
+                static_cast<unsigned long long>(run.router_failed),
+                static_cast<unsigned long long>(run.router.failovers),
+                static_cast<unsigned long long>(run.router.hedges),
+                static_cast<unsigned long long>(run.router.hedge_wins),
+                static_cast<unsigned long long>(run.router.probes),
+                static_cast<unsigned long long>(run.router.readmissions),
+                static_cast<unsigned long long>(run.router.stale_served),
+                static_cast<unsigned long long>(
+                    run.router.replicas_exhausted));
+  }
+  if (!args.chaos_schedule.empty()) {
+    std::printf("  chaos: %llu schedule steps fired\n",
+                static_cast<unsigned long long>(run.chaos_steps_fired));
   }
   std::printf(
       "failures: %llu of %lld (retries %llu) | rejected %llu, "
-      "deadline-expired %llu, exec-failed %llu (batches %llu), shutdown "
-      "%llu\n",
+      "deadline-expired %llu, exec-failed %llu (batches %llu), "
+      "replicas-exhausted %llu, shutdown %llu\n",
       static_cast<unsigned long long>(report.failures),
       static_cast<long long>(report.requests),
       static_cast<unsigned long long>(report.retries),
@@ -610,6 +713,7 @@ int cmd_bench(const Args& args) {
       static_cast<unsigned long long>(stats.deadline_expired),
       static_cast<unsigned long long>(stats.failed_queries),
       static_cast<unsigned long long>(stats.failed_batches),
+      static_cast<unsigned long long>(report.replicas_exhausted),
       static_cast<unsigned long long>(stats.shutdown_failed));
   if (report.failures > 0 && !args.allow_failures) {
     throw ExitError(kExitQueryFailed,
@@ -617,6 +721,15 @@ int cmd_bench(const Args& args) {
                         " queries failed (first: " + report.first_error +
                         "); pass --allow-failures for overload/fault "
                         "experiments");
+  }
+  if (report.stale_served > 0) {
+    // Every query was answered, but not all by a live replica: a distinct
+    // exit code scripts can branch on without parsing stdout.
+    std::printf("completed in DEGRADED mode: %llu of %llu answers served "
+                "stale\n",
+                static_cast<unsigned long long>(report.stale_served),
+                static_cast<unsigned long long>(report.ok));
+    return kExitDegraded;
   }
   return kExitOk;
 }
