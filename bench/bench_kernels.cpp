@@ -25,6 +25,7 @@
 #include "graph/sampling.hpp"
 #include "harness/kernel_report.hpp"
 #include "nn/model.hpp"
+#include "tensor/half.hpp"
 #include "tensor/init.hpp"
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
@@ -86,6 +87,23 @@ void bench_gemm(const BenchConfig& cfg, bench::KernelReport& report) {
         },
         cfg.min_iters, cfg.min_seconds);
     report.add(blocked);
+
+    // Both operands stored fp16 (the serving half-lowering's layer GEMM:
+    // half activations x half weight panels), widened in the pack step,
+    // fp32 accumulate. Same blocked schedule, half the operand traffic.
+    const HalfBuffer ha = HalfBuffer::quantize(a, Precision::kFp16);
+    const HalfBuffer hb = HalfBuffer::quantize(b, Precision::kFp16);
+    bench::KernelResult half{"matmul", "blocked_fp16", dense_shape(n, n, n)};
+    half.flops = flops;
+    half.bytes = 2.0 * n * n * sizeof(std::uint16_t) + n * n * sizeof(float);
+    bench::time_kernel(
+        half,
+        [&] {
+          c.zero_();
+          ops::matmul_acc(ha, hb, c);
+        },
+        cfg.min_iters, cfg.min_seconds);
+    report.add(half);
   }
 
   // Transposed variants (the backward-pass GEMMs) at one mid size.
@@ -206,6 +224,22 @@ void bench_spmm(const BenchConfig& cfg, bench::KernelReport& report) {
         cached, [&] { ag::spmm_blocked_overwrite(cached_layout, x, y); },
         cfg.min_iters, cfg.min_seconds);
     report.add(cached);
+
+    // Cached layout over a half-stored X (the serving half-lowering's
+    // aggregation: rows widened to fp32 in registers inside the gather,
+    // accumulation order unchanged) — half the X gather traffic, which is
+    // most of this kernel's byte budget on a skewed graph.
+    const HalfBuffer hx = HalfBuffer::quantize(x, Precision::kFp16);
+    bench::KernelResult cached_half{"spmm", "cached_fp16", shape};
+    cached_half.flops = flops;
+    cached_half.bytes = e * (sizeof(std::int32_t) + sizeof(float)) +
+                        static_cast<double>(e) * d * sizeof(std::uint16_t) +
+                        2.0 * data.num_nodes() * d * sizeof(float);
+    bench::time_kernel(
+        cached_half,
+        [&] { ag::spmm_blocked_overwrite(cached_layout, hx, y); },
+        cfg.min_iters, cfg.min_seconds);
+    report.add(cached_half);
 
     // Cached layout over the RCM-reordered numbering; X is permuted once
     // outside the timed region, the way a GraphPlan pipeline holds all
@@ -526,7 +560,84 @@ void bench_exec_forward(const BenchConfig& cfg,
         ex, [&] { executor.run_full(data.features, out); }, cfg.min_iters,
         cfg.min_seconds);
     report.add(ex);
+
+    // The same LayerPlan compiled at fp16 storage: half features, half
+    // weight panels and half inter-layer slabs, fp32 accumulate. Gated
+    // through speedup_vs_fused like the exec record (relative to the tape
+    // twin — no absolute floor; the fp16 gain over exec itself is the
+    // serving artifact's speedup_vs_fp32 story).
+    const exec::LayerPlan& plan16 = ctx->layer_plan(mcfg, Precision::kFp16);
+    exec::Executor executor16(plan16, params);
+    const HalfBuffer hfeatures =
+        HalfBuffer::quantize(data.features, Precision::kFp16);
+    bench::KernelResult ex16{"full_forward", "exec_fp16", shape};
+    bench::time_kernel(
+        ex16, [&] { executor16.run_full(hfeatures, out); }, cfg.min_iters,
+        cfg.min_seconds);
+    report.add(ex16);
   }
+}
+
+void bench_gather(const BenchConfig& cfg, bench::KernelReport& report) {
+  // The serving engine's row lookups: gathering scattered rows out of a
+  // resident matrix (cached logits table, feature matrix). fp32 is a row
+  // memcpy; fp16 reads 16-bit rows and widens on the copy (F16C when the
+  // CPU has it) — half the read traffic against an extra convert. No
+  // naive/fused twin, so these records ride ungated in the artifact; the
+  // end-to-end effect is gated via the serving speedup_vs_fp32 records.
+  const std::int64_t rows = cfg.smoke ? 4096 : 262144;
+  const std::int64_t d = 64;
+  const Tensor src = random_tensor({rows, d}, 23);
+  const HalfBuffer hsrc = HalfBuffer::quantize(src, Precision::kFp16);
+  Rng rng(29);
+  std::vector<std::int64_t> ids(cfg.smoke ? 1024 : 65536);
+  for (auto& id : ids) {
+    id = static_cast<std::int64_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(rows)));
+  }
+  Tensor out = Tensor::empty({static_cast<std::int64_t>(ids.size()), d});
+  const std::string shape = "rows=" + std::to_string(rows) +
+                            ",ids=" + std::to_string(ids.size()) +
+                            ",d=" + std::to_string(d);
+  const double out_bytes =
+      static_cast<double>(ids.size()) * d * sizeof(float);
+
+  bench::KernelResult fp32{"gather_rows", "fp32", shape};
+  fp32.bytes = static_cast<double>(ids.size()) * d * sizeof(float) +
+               out_bytes;
+  bench::time_kernel(
+      fp32,
+      [&] {
+        ops::gather_rows_into(src, std::span<const std::int64_t>(ids), out);
+      },
+      cfg.min_iters, cfg.min_seconds);
+  report.add(fp32);
+
+  bench::KernelResult fp16{"gather_rows", "fp16", shape};
+  fp16.bytes =
+      static_cast<double>(ids.size()) * d * sizeof(std::uint16_t) + out_bytes;
+  bench::time_kernel(
+      fp16,
+      [&] {
+        ops::gather_rows_into(hsrc, std::span<const std::int64_t>(ids), out);
+      },
+      cfg.min_iters, cfg.min_seconds);
+  report.add(fp16);
+
+  // Half-to-half (subgraph input-row gather in half mode): 16-bit memcpy.
+  HalfBuffer hout =
+      HalfBuffer::empty({static_cast<std::int64_t>(ids.size()), d},
+                        Precision::kFp16);
+  bench::KernelResult fp16s{"gather_rows", "fp16_store", shape};
+  fp16s.bytes =
+      2.0 * static_cast<double>(ids.size()) * d * sizeof(std::uint16_t);
+  bench::time_kernel(
+      fp16s,
+      [&] {
+        ops::gather_rows_into(hsrc, std::span<const std::int64_t>(ids), hout);
+      },
+      cfg.min_iters, cfg.min_seconds);
+  report.add(fp16s);
 }
 
 void bench_elementwise(const BenchConfig& cfg, bench::KernelReport& report) {
@@ -597,6 +708,7 @@ int main(int argc, char** argv) {
   bench_gat(cfg, report);
   bench_block_spmm_bwd(cfg, report);
   bench_exec_forward(cfg, report);
+  bench_gather(cfg, report);
   bench_elementwise(cfg, report);
   report.compute_speedups();
   report.print_table();

@@ -15,10 +15,12 @@
 //   --smoke   tiny graph + few requests (CI artifact)
 //   --out     artifact path (default BENCH_serving.json in the CWD)
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <future>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -38,6 +40,8 @@
 #include "serve/server.hpp"
 #include "serve/shard_server.hpp"
 #include "serve/snapshot.hpp"
+#include "tensor/half.hpp"
+#include "tensor/ops.hpp"
 #include "util/failpoint.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -60,6 +64,11 @@ struct Record {
   std::string bench;    ///< "full_forward" | "engine_query" | "server"
   std::string arch;
   std::string shape;    ///< "n=...,nnz=..."
+  /// Request batch size for server-style records. The full_forward_* fp32/
+  /// fp16 pair records repurpose it as the hidden dim: unlike the node
+  /// count it is identical in smoke and full mode, so the record key
+  /// (bench|arch|batch|workers) matches between a CI smoke artifact and
+  /// the committed full-mode baseline. The node count stays in `shape`.
   std::int64_t batch = 0;
   std::int64_t workers = 0;
   double qps = 0.0;
@@ -71,7 +80,83 @@ struct Record {
   /// speedup_vs_naive, so the CI gate survives hardware differences
   /// between the baseline box and hosted runners.
   double vs_single = 0.0;
+  /// *_fp16 records only: qps relative to the same-run fp32 twin of the
+  /// same bench (run-relative, so the CI gate survives hardware
+  /// differences between the baseline box and hosted runners).
+  double speedup_vs_fp32 = 0.0;
+  /// *_fp16 full-forward records only: accuracy parity vs the same-run
+  /// fp32 logits. parity_max_delta is max |logit delta| over every
+  /// (node, class); parity_argmax is the argmax-match fraction over the
+  /// decisive nodes (fp32 top-2 margin > 2x the gated delta tolerance —
+  /// a flip inside the tolerance band is numerics, not a bug). Both are
+  /// asserted in-binary (see check_parity) and parity_argmax is gated in
+  /// CI, so a broken half kernel fails the bench run itself.
+  double parity_argmax = 0.0;
+  double parity_max_delta = 0.0;
 };
+
+/// Accuracy parity of a half-precision logit matrix against its fp32 twin.
+struct Parity {
+  double max_delta = 0.0;   ///< max |ref - half| over all (node, class)
+  double tolerance = 0.0;   ///< gated bound: kTolScale * max(1, linf(ref))
+  double argmax_frac = 1.0; ///< argmax match over decisive nodes
+  std::int64_t decisive = 0;
+  std::int64_t flipped = 0;
+};
+
+/// The gated delta tolerance, relative to the fp32 logit magnitude: fp16
+/// storage quantisation contributes ~2^-11 relative error per tensor and
+/// two layers of storage round-trips stack to low-1e-3 relative — 2e-2 is
+/// an order of magnitude of headroom while still catching any kernel that
+/// widens, packs or accumulates wrongly (those miss by 1e1, not 1e-3).
+constexpr double kParityTolScale = 2e-2;
+
+Parity logit_parity(const Tensor& ref, const Tensor& half) {
+  const std::int64_t n = ref.shape()[0];
+  const std::int64_t d = ref.shape()[1];
+  Parity p;
+  double linf = 0.0;
+  for (std::int64_t i = 0; i < n * d; ++i) {
+    linf = std::max(linf, static_cast<double>(std::fabs(ref.data()[i])));
+    p.max_delta = std::max(
+        p.max_delta,
+        static_cast<double>(std::fabs(ref.data()[i] - half.data()[i])));
+  }
+  p.tolerance = kParityTolScale * std::max(1.0, linf);
+  std::int64_t matched = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = ref.data() + i * d;
+    const std::int64_t best = ops::argmax_row(row, d);
+    float second = -std::numeric_limits<float>::infinity();
+    for (std::int64_t j = 0; j < d; ++j) {
+      if (j != best) second = std::max(second, row[j]);
+    }
+    if (static_cast<double>(row[best] - second) <= 2.0 * p.tolerance) continue;
+    ++p.decisive;
+    if (ops::argmax_row(half.data() + i * d, d) == best) ++matched;
+  }
+  p.flipped = p.decisive - matched;
+  p.argmax_frac =
+      p.decisive > 0 ? static_cast<double>(matched) /
+                           static_cast<double>(p.decisive)
+                     : 1.0;
+  return p;
+}
+
+/// In-binary parity gate: every decisive argmax must match and the max
+/// logit delta must sit inside the gated tolerance. Parity is fully
+/// deterministic (fixed seeds, deterministic kernels), so a failure here
+/// is a numerics bug, never noise — it fails the bench run outright.
+bool check_parity(const char* bench, const char* arch, const Parity& p) {
+  if (p.flipped == 0 && p.max_delta <= p.tolerance) return true;
+  std::fprintf(stderr,
+               "bench_serving: %s %s parity FAILED: max delta %.3e "
+               "(tolerance %.3e), %lld of %lld decisive argmax flipped\n",
+               arch, bench, p.max_delta, p.tolerance,
+               static_cast<long long>(p.flipped),
+               static_cast<long long>(p.decisive));
+  return false;
+}
 
 
 ModelConfig bench_model_config(Arch arch, const Dataset& data) {
@@ -237,6 +322,176 @@ void bench_arch(const BenchConfig& cfg, Arch arch, const Dataset& data,
         "batch %.1f)\n",
         arch_name(arch), r.qps, r.p50_ms, r.p99_ms, stats.mean_batch);
   }
+}
+
+// ---- Reduced-precision serving. -------------------------------------------
+//
+// fp16 twins of the full-graph forward (every arch at its default width,
+// plus gcn/sage at hidden=128 where the GEMM panels dominate) and of the
+// end-to-end gcn batch server. The full-forward pairs run on their own
+// dataset — the arxiv-like family at 20x the shared serving graph
+// (n=40000, ~15 MB feature slab, still ~4x smaller than real arxiv) —
+// because halved storage pays exactly when the per-edge row gathers miss
+// cache: on the 2000-node shared graph every slab is L2-resident and the
+// pass is GEMM-compute-bound, which understates the storage-precision
+// gain the records exist to track. The
+// fp32 twin of every pair is measured in the same run on the same data,
+// so speedup_vs_fp32 stays a fair like-for-like ratio at either scale.
+// Each *_fp16 record carries
+//  - speedup_vs_fp32: qps relative to the same-run fp32 twin
+//    (run-relative, so the CI gate survives hardware differences);
+//  - parity_argmax / parity_max_delta: the accuracy-parity harness vs the
+//    same-run fp32 logits (see logit_parity). Parity is also asserted
+//    in-binary, so a half kernel that goes numerically wrong fails the
+//    bench run, not just the offline gate.
+// These records key their `batch` column on the hidden dim rather than
+// the node count: smoke and full runs then produce identical record keys,
+// which is what lets the CI smoke artifact gate speedup_vs_fp32 and
+// parity_argmax against the committed full-mode baseline (the node count
+// still lives in the shape string).
+// Storage is fp16 end to end (features, weight panels, inter-layer
+// activations); accumulation stays fp32, which is why the parity band is
+// 1e-3-scale and not 1e-1. bf16 takes the identical code path (only the
+// codec differs) and is covered by tests/test_half.cpp rather than a
+// third bench column.
+bool bench_half(const BenchConfig& cfg, const Dataset& data,
+                std::vector<Record>& records) {
+  const auto lookup_qps = [&](const char* bench, const char* arch) {
+    for (const auto& r : records) {
+      if (r.bench == bench && r.arch == arch) return r.qps;
+    }
+    return 0.0;
+  };
+  // A full pass on the 40000-node graph runs 50-300 ms, so the global
+  // 0.2 s floor would time only 2-3 iterations — too few for the
+  // speedup_vs_fp32 ratio that gets committed as a baseline and gated.
+  // Hold each side for ~1 s instead, and report the MINIMUM pass time
+  // rather than the mean: these passes are long enough that scheduler /
+  // co-tenant interference lands inside individual iterations, and the
+  // min is the standard interference-robust estimator. Both sides of
+  // every ratio use the same statistic, so the ratio stays fair.
+  const double min_seconds = cfg.smoke ? cfg.min_seconds : 1.0;
+  const auto time_full_pass = [&](serve::InferenceEngine& engine) {
+    engine.full_logits();  // warm-up
+    Timer total;
+    double best = std::numeric_limits<double>::infinity();
+    std::int64_t iters = 0;
+    while (iters < 3 || total.seconds() < min_seconds) {
+      engine.invalidate();
+      Timer t;
+      engine.full_logits();
+      best = std::min(best, t.seconds());
+      ++iters;
+    }
+    return best;
+  };
+  bool parity_ok = true;
+
+  const Dataset hdata =
+      generate_dataset(arxiv_like_spec(cfg.smoke ? 0.1 : 10.0));
+  const std::string shape = "n=" + std::to_string(hdata.num_nodes()) +
+                            ",nnz=" + std::to_string(hdata.num_edges());
+
+  struct HalfCase {
+    Arch arch;
+    std::int64_t hidden;      ///< 0 = the arch's bench default
+    const char* fp32_bench;   ///< same-run fp32 twin record
+    const char* fp16_bench;
+  };
+  const HalfCase cases[] = {
+      {Arch::kGcn, 0, "full_forward_fp32", "full_forward_fp16"},
+      {Arch::kSage, 0, "full_forward_fp32", "full_forward_fp16"},
+      {Arch::kGat, 0, "full_forward_fp32", "full_forward_fp16"},
+      {Arch::kGcn, 128, "full_forward_d128", "full_forward_d128_fp16"},
+      {Arch::kSage, 128, "full_forward_d128", "full_forward_d128_fp16"},
+  };
+  for (const HalfCase& c : cases) {
+    ModelConfig mcfg = bench_model_config(c.arch, hdata);
+    if (c.hidden > 0) mcfg.hidden_dim = c.hidden;
+    const GnnModel model(mcfg);
+    Rng rng(41);
+    const ParamStore params = model.init_params(rng);
+    auto ctx = std::make_shared<const GraphContext>(hdata.graph, c.arch);
+    const std::int64_t n = hdata.num_nodes();
+
+    serve::InferenceEngine engine32(mcfg, params, ctx, hdata.features);
+    const double fp32_pass = time_full_pass(engine32);
+    {
+      Record r{c.fp32_bench, arch_name(c.arch), shape};
+      r.batch = mcfg.hidden_dim;
+      r.qps = static_cast<double>(n) / fp32_pass;
+      r.p50_ms = r.p99_ms = fp32_pass * 1e3;
+      records.push_back(r);
+      std::printf("%-6s fwd d=%-3lld fp32 %9.0f nodes/s (%.2f ms/pass)\n",
+                  arch_name(c.arch), static_cast<long long>(mcfg.hidden_dim),
+                  r.qps, fp32_pass * 1e3);
+    }
+    const double fp32_qps = static_cast<double>(n) / fp32_pass;
+
+    serve::InferenceEngine engine16(mcfg, params, ctx, hdata.features,
+                                    serve::QueryMode::kSubgraph,
+                                    serve::FeatureSpace::kOriginal,
+                                    Precision::kFp16);
+    const double per_pass = time_full_pass(engine16);
+    const Parity parity =
+        logit_parity(engine32.full_logits(), engine16.full_logits());
+    parity_ok &= check_parity(c.fp16_bench, arch_name(c.arch), parity);
+
+    Record r{c.fp16_bench, arch_name(c.arch), shape};
+    r.batch = mcfg.hidden_dim;
+    r.qps = static_cast<double>(n) / per_pass;
+    r.p50_ms = r.p99_ms = per_pass * 1e3;
+    r.speedup_vs_fp32 = fp32_qps > 0.0 ? r.qps / fp32_qps : 0.0;
+    r.parity_argmax = parity.argmax_frac;
+    r.parity_max_delta = parity.max_delta;
+    records.push_back(r);
+    std::printf(
+        "%-6s fwd d=%-3lld fp16 %9.0f nodes/s (%.2fx of fp32, max delta "
+        "%.1e, argmax %lld/%lld)\n",
+        arch_name(c.arch), static_cast<long long>(mcfg.hidden_dim), r.qps,
+        r.speedup_vs_fp32, parity.max_delta,
+        static_cast<long long>(parity.decisive - parity.flipped),
+        static_cast<long long>(parity.decisive));
+  }
+
+  // End-to-end fp16 batch server (gcn): same harness, knobs, and shared
+  // dataset as the bench_arch "server" record, ServerConfig::precision
+  // flipped — so its speedup_vs_fp32 is the dispatch/batching-diluted
+  // number, complementing the kernel-dominated full-forward pairs above.
+  {
+    const std::string srv_shape = "n=" + std::to_string(data.num_nodes()) +
+                                  ",nnz=" + std::to_string(data.num_edges());
+    const ModelConfig mcfg = bench_model_config(Arch::kGcn, data);
+    const GnnModel model(mcfg);
+    Rng rng(41);
+    const ParamStore params = model.init_params(rng);
+    auto ctx = std::make_shared<const GraphContext>(data.graph, Arch::kGcn);
+    const serve::Snapshot snap =
+        serve::make_snapshot(mcfg, params, data, "bench-random");
+    serve::ServerConfig scfg;
+    scfg.workers = 2;
+    scfg.max_batch = 64;
+    scfg.max_delay_ms = 2.0;
+    scfg.precision = Precision::kFp16;
+    serve::BatchServer server(snap, ctx, data.features, scfg);
+    constexpr std::int64_t kClients = 4;
+    const double seconds = serve::drive_clients(
+        server, cfg.server_requests, kClients, data.num_nodes());
+    const serve::ServerStats stats = server.stats();
+    Record r{"server_fp16", "gcn", srv_shape};
+    r.batch = scfg.max_batch;
+    r.workers = static_cast<std::int64_t>(scfg.workers);
+    r.qps = static_cast<double>(stats.queries) / seconds;
+    r.p50_ms = stats.p50_latency_ms;
+    r.p99_ms = stats.p99_latency_ms;
+    const double fp32_qps = lookup_qps("server", arch_name(Arch::kGcn));
+    r.speedup_vs_fp32 = fp32_qps > 0.0 ? r.qps / fp32_qps : 0.0;
+    records.push_back(r);
+    std::printf("gcn    server fp16     %9.0f QPS (p50 %.3f ms, %.2fx of "
+                "fp32 server)\n",
+                r.qps, r.p50_ms, r.speedup_vs_fp32);
+  }
+  return parity_ok;
 }
 
 // ---- Sharded server throughput. -------------------------------------------
@@ -571,16 +826,18 @@ bool write_json(const std::string& path, const std::string& mode,
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto& r = records[i];
-    char buf[512];
+    char buf[768];
     std::snprintf(
         buf, sizeof(buf),
         "    {\"bench\": \"%s\", \"arch\": \"%s\", \"shape\": \"%s\", "
         "\"batch\": %lld, \"workers\": %lld, \"qps\": %.3f, "
         "\"p50_ms\": %.6f, \"p99_ms\": %.6f, \"batching_speedup\": %.3f, "
-        "\"vs_single\": %.3f}",
+        "\"vs_single\": %.3f, \"speedup_vs_fp32\": %.3f, "
+        "\"parity_argmax\": %.4f, \"parity_max_delta\": %.3e}",
         r.bench.c_str(), r.arch.c_str(), r.shape.c_str(),
         static_cast<long long>(r.batch), static_cast<long long>(r.workers),
-        r.qps, r.p50_ms, r.p99_ms, r.batching_speedup, r.vs_single);
+        r.qps, r.p50_ms, r.p99_ms, r.batching_speedup, r.vs_single,
+        r.speedup_vs_fp32, r.parity_argmax, r.parity_max_delta);
     out << buf << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -620,12 +877,17 @@ int main(int argc, char** argv) {
   for (const Arch arch : {Arch::kGcn, Arch::kSage, Arch::kGat}) {
     bench_arch(cfg, arch, data, records);
   }
+  const bool parity_ok = bench_half(cfg, data, records);
   bench_sharded(cfg, data, records);
   bench_replicated(cfg, data, records);
   bench_overload(cfg, data, records);
   bench_obs_overhead(cfg, data, records);
   if (!write_json(cfg.out, cfg.smoke ? "smoke" : "full", records)) return 1;
   std::printf("wrote %s\n", cfg.out.c_str());
+
+  // Parity is deterministic in both modes — enforce it even for smoke
+  // (the artifact is written first so a failure leaves the evidence).
+  if (!parity_ok) return 1;
 
   // The batching acceptance bar: 64-way batching must at least double
   // single-query throughput on every architecture. Enforced only for the

@@ -4,11 +4,13 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <type_traits>
 
 #ifdef _OPENMP
 #include <omp.h>
 #endif
 
+#include "ag/spmm_half_simd.hpp"
 #include "graph/locality.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
@@ -34,30 +36,50 @@ namespace {
 
 constexpr std::int64_t kSpmmPrefetchDist = 12;
 
-template <int D>
-inline void spmm_prefetch_row(const float* p) {
+/// Touch every cache line of a D-element row. Templated on the element
+/// type so half-stored X rows (2-byte elements, 32 per line) issue half
+/// the prefetches of fp32 rows — for float this expands to exactly the
+/// original +0/+16/+32/+48/+64/+96 pattern.
+template <int D, typename T = float>
+inline void spmm_prefetch_row(const T* p) {
+  constexpr int kPerLine = static_cast<int>(64 / sizeof(T));
   __builtin_prefetch(p, 0, 3);
-  if constexpr (D > 16) __builtin_prefetch(p + 16, 0, 3);
-  if constexpr (D > 32) {
-    __builtin_prefetch(p + 32, 0, 3);
-    __builtin_prefetch(p + 48, 0, 3);
+  if constexpr (D > kPerLine) __builtin_prefetch(p + kPerLine, 0, 3);
+  if constexpr (D > 2 * kPerLine) {
+    __builtin_prefetch(p + 2 * kPerLine, 0, 3);
+    __builtin_prefetch(p + 3 * kPerLine, 0, 3);
   }
-  if constexpr (D > 64) {
-    __builtin_prefetch(p + 64, 0, 3);
-    __builtin_prefetch(p + 96, 0, 3);
+  if constexpr (D > 4 * kPerLine) {
+    __builtin_prefetch(p + 4 * kPerLine, 0, 3);
+    __builtin_prefetch(p + 6 * kPerLine, 0, 3);
   }
 }
+
+/// Identity widen for the fp32 X path: the templated kernels below inline
+/// this away, leaving the original float loads.
+inline float spmm_widen_f32(float v) { return v; }
 
 // The kernel bodies are additionally templated on the column-index type
 // Idx: int32 for raw CSR spans, uint16 for cached graph::BlockedCsr
 // layouts on graphs whose source-id domain fits 16 bits (half the index
 // traffic per edge). The float operations are identical for every Idx, so
 // layout and span paths agree bit-for-bit.
-template <int D, bool Overwrite, typename Idx>
+//
+// They are also templated on the X element type TX with a per-element
+// WidenX: float X uses the identity (compiled away), half-stored X widens
+// each element to fp32 in registers right before the FMA. Accumulation
+// stays fp32 in the exact same order, so half-X results are bit-equal to
+// running the float kernel over a widened copy of X. On half X the
+// dispatch drivers below first try the AVX2/F16C kernels in
+// spmm_half_simd.cpp (hardware converters, same accumulation order and
+// contraction — see that header for the bit-exactness argument); these
+// scalar-codec instantiations are the fallback for CPUs without F16C.
+template <int D, bool Overwrite, typename Idx, typename TX,
+          float (*WidenX)(TX)>
 void spmm_rows_fixed(const std::int64_t* __restrict__ indptr,
                      const Idx* __restrict__ indices,
                      const float* __restrict__ values,
-                     const float* __restrict__ px, float* __restrict__ py,
+                     const TX* __restrict__ px, float* __restrict__ py,
                      std::int64_t num_edges, std::int64_t lo,
                      std::int64_t hi) {
   for (std::int64_t i = lo; i < hi; ++i) {
@@ -81,10 +103,10 @@ void spmm_rows_fixed(const std::int64_t* __restrict__ indptr,
                     D);
           }
           const float w = values[e];
-          const float* __restrict__ xrow =
+          const TX* __restrict__ xrow =
               px + static_cast<std::int64_t>(indices[e]) * D;
 #pragma omp simd
-          for (int j = 0; j < D; ++j) acc[j] += w * xrow[j];
+          for (int j = 0; j < D; ++j) acc[j] += w * WidenX(xrow[j]);
         }
 #pragma omp simd
         for (int j = 0; j < D; ++j) yrow[j] = acc[j];
@@ -113,22 +135,22 @@ void spmm_rows_fixed(const std::int64_t* __restrict__ indptr,
                 D);
       }
       const float w0 = values[e], w1 = values[e + 1];
-      const float* __restrict__ x0 =
+      const TX* __restrict__ x0 =
           px + static_cast<std::int64_t>(indices[e]) * D;
-      const float* __restrict__ x1 =
+      const TX* __restrict__ x1 =
           px + static_cast<std::int64_t>(indices[e + 1]) * D;
 #pragma omp simd
       for (int j = 0; j < D; ++j) {
-        acc0[j] += w0 * x0[j];
-        acc1[j] += w1 * x1[j];
+        acc0[j] += w0 * WidenX(x0[j]);
+        acc1[j] += w1 * WidenX(x1[j]);
       }
     }
     if (e < end) {
       const float w = values[e];
-      const float* __restrict__ xrow =
+      const TX* __restrict__ xrow =
           px + static_cast<std::int64_t>(indices[e]) * D;
 #pragma omp simd
-      for (int j = 0; j < D; ++j) acc0[j] += w * xrow[j];
+      for (int j = 0; j < D; ++j) acc0[j] += w * WidenX(xrow[j]);
     }
 #pragma omp simd
     for (int j = 0; j < D; ++j) yrow[j] = acc0[j] + acc1[j];
@@ -136,11 +158,11 @@ void spmm_rows_fixed(const std::int64_t* __restrict__ indptr,
 }
 
 /// Fallback for feature widths without a fixed instantiation.
-template <bool Overwrite, typename Idx>
+template <bool Overwrite, typename Idx, typename TX, float (*WidenX)(TX)>
 void spmm_rows_generic(const std::int64_t* __restrict__ indptr,
                        const Idx* __restrict__ indices,
                        const float* __restrict__ values,
-                       const float* __restrict__ px, float* __restrict__ py,
+                       const TX* __restrict__ px, float* __restrict__ py,
                        std::int64_t d, std::int64_t lo, std::int64_t hi) {
   for (std::int64_t i = lo; i < hi; ++i) {
     float* __restrict__ yrow = py + i * d;
@@ -150,58 +172,57 @@ void spmm_rows_generic(const std::int64_t* __restrict__ indptr,
     }
     for (std::int64_t e = indptr[i]; e < indptr[i + 1]; ++e) {
       const float w = values[e];
-      const float* __restrict__ xrow =
+      const TX* __restrict__ xrow =
           px + static_cast<std::int64_t>(indices[e]) * d;
 #pragma omp simd
-      for (std::int64_t j = 0; j < d; ++j) yrow[j] += w * xrow[j];
+      for (std::int64_t j = 0; j < d; ++j) yrow[j] += w * WidenX(xrow[j]);
     }
   }
 }
 
-template <bool Overwrite, typename Idx>
+template <bool Overwrite, typename Idx, typename TX, float (*WidenX)(TX)>
 void spmm_rows(const std::int64_t* __restrict__ indptr,
                const Idx* __restrict__ indices,
                const float* __restrict__ values,
-               const float* __restrict__ px, float* __restrict__ py,
+               const TX* __restrict__ px, float* __restrict__ py,
                std::int64_t d, std::int64_t num_edges, std::int64_t lo,
                std::int64_t hi) {
   switch (d) {
     case 8:
-      spmm_rows_fixed<8, Overwrite>(indptr, indices, values, px, py,
-                                    num_edges, lo, hi);
+      spmm_rows_fixed<8, Overwrite, Idx, TX, WidenX>(
+          indptr, indices, values, px, py, num_edges, lo, hi);
       return;
     case 16:
-      spmm_rows_fixed<16, Overwrite>(indptr, indices, values, px, py,
-                                     num_edges, lo, hi);
+      spmm_rows_fixed<16, Overwrite, Idx, TX, WidenX>(
+          indptr, indices, values, px, py, num_edges, lo, hi);
       return;
     case 32:
-      spmm_rows_fixed<32, Overwrite>(indptr, indices, values, px, py,
-                                     num_edges, lo, hi);
+      spmm_rows_fixed<32, Overwrite, Idx, TX, WidenX>(
+          indptr, indices, values, px, py, num_edges, lo, hi);
       return;
     case 64:
-      spmm_rows_fixed<64, Overwrite>(indptr, indices, values, px, py,
-                                     num_edges, lo, hi);
+      spmm_rows_fixed<64, Overwrite, Idx, TX, WidenX>(
+          indptr, indices, values, px, py, num_edges, lo, hi);
       return;
     case 128:
-      spmm_rows_fixed<128, Overwrite>(indptr, indices, values, px, py,
-                                      num_edges, lo, hi);
+      spmm_rows_fixed<128, Overwrite, Idx, TX, WidenX>(
+          indptr, indices, values, px, py, num_edges, lo, hi);
       return;
     default:
-      spmm_rows_generic<Overwrite>(indptr, indices, values, px, py, d, lo,
-                                   hi);
+      spmm_rows_generic<Overwrite, Idx, TX, WidenX>(indptr, indices, values,
+                                                    px, py, d, lo, hi);
   }
 }
 
 /// Shared driver: edge-balanced chunks over rows, then the width-dispatched
 /// body per chunk. Spans rather than a Csr so bipartite block-local
 /// structures (serving engine, minibatch blocks) run the same code path.
-template <bool Overwrite>
-void spmm_dispatch(std::span<const std::int64_t> sp_indptr,
-                   std::span<const std::int32_t> sp_indices,
-                   std::span<const float> sp_values, const Tensor& x,
-                   Tensor& y) {
-  const std::int64_t d = x.shape(1);
-  const float* __restrict__ px = x.data();
+template <bool Overwrite, typename TX, float (*WidenX)(TX)>
+void spmm_dispatch_t(std::span<const std::int64_t> sp_indptr,
+                     std::span<const std::int32_t> sp_indices,
+                     std::span<const float> sp_values,
+                     const TX* __restrict__ px, std::int64_t d, Tensor& y,
+                     Precision prec) {
   float* __restrict__ py = y.data();
   const auto* __restrict__ indptr = sp_indptr.data();
   const auto* __restrict__ indices = sp_indices.data();
@@ -211,34 +232,56 @@ void spmm_dispatch(std::span<const std::int64_t> sp_indptr,
   // thread, so hub rows of power-law graphs spread across the team without
   // per-row dynamic-scheduling overhead.
   for_each_balanced_row(sp_indptr, [&](std::int64_t lo, std::int64_t hi) {
-    spmm_rows<Overwrite>(indptr, indices, values, px, py, d, e, lo, hi);
+    if constexpr (std::is_same_v<TX, std::uint16_t>) {
+      if (halfsimd::available()) {
+        halfsimd::spmm_rows_half(indptr, indices, values, px, py, d, e, lo,
+                                 hi, prec, Overwrite);
+        return;
+      }
+    }
+    spmm_rows<Overwrite, std::int32_t, TX, WidenX>(indptr, indices, values,
+                                                   px, py, d, e, lo, hi);
   });
+}
+
+template <bool Overwrite>
+void spmm_dispatch(std::span<const std::int64_t> sp_indptr,
+                   std::span<const std::int32_t> sp_indices,
+                   std::span<const float> sp_values, const Tensor& x,
+                   Tensor& y) {
+  spmm_dispatch_t<Overwrite, float, spmm_widen_f32>(
+      sp_indptr, sp_indices, sp_values, x.data(), x.shape(1), y,
+      Precision::kFp32);
 }
 
 /// Driver for cached graph::BlockedCsr layouts: the edge-balanced row
 /// blocks were pre-computed at layout build time (no binary search per
 /// launch) and the gather loop runs at the layout's index width.
-template <bool Overwrite>
-void spmm_blocked_dispatch(const graph::BlockedCsr& a, const Tensor& x,
-                           Tensor& y) {
-  GSOUP_CHECK_MSG(x.rank() == 2 && y.rank() == 2 &&
-                      y.shape(0) == a.num_rows && y.shape(1) == x.shape(1),
-                  "blocked spmm: bad shapes " << x.shape_str() << " -> "
-                                              << y.shape_str());
+template <bool Overwrite, typename TX, float (*WidenX)(TX)>
+void spmm_blocked_dispatch_t(const graph::BlockedCsr& a,
+                             const TX* __restrict__ px, std::int64_t d,
+                             Tensor& y, Precision prec) {
   GSOUP_CHECK_MSG(a.weighted() || a.num_edges() == 0,
                   "blocked spmm needs a weighted layout (SpMM operand), "
                   "not a structure-only attention layout");
-  const std::int64_t d = x.shape(1);
   const std::int64_t e = a.num_edges();
-  const float* __restrict__ px = x.data();
   float* __restrict__ py = y.data();
   const auto* __restrict__ indptr = a.indptr.data();
   const auto* __restrict__ values = a.values.data();
   const auto run = [&](const auto* indices) {
+    using Idx = std::remove_cvref_t<decltype(indices[0])>;
     for_each_row_block(a.row_blocks, a.num_rows,
                        [&](std::int64_t lo, std::int64_t hi) {
-                         spmm_rows<Overwrite>(indptr, indices, values, px,
-                                              py, d, e, lo, hi);
+                         if constexpr (std::is_same_v<TX, std::uint16_t>) {
+                           if (halfsimd::available()) {
+                             halfsimd::spmm_rows_half(indptr, indices, values,
+                                                      px, py, d, e, lo, hi,
+                                                      prec, Overwrite);
+                             return;
+                           }
+                         }
+                         spmm_rows<Overwrite, Idx, TX, WidenX>(
+                             indptr, indices, values, px, py, d, e, lo, hi);
                        });
   };
   if (a.narrow()) {
@@ -246,6 +289,17 @@ void spmm_blocked_dispatch(const graph::BlockedCsr& a, const Tensor& x,
   } else {
     run(a.idx32.data());
   }
+}
+
+template <bool Overwrite>
+void spmm_blocked_dispatch(const graph::BlockedCsr& a, const Tensor& x,
+                           Tensor& y) {
+  GSOUP_CHECK_MSG(x.rank() == 2 && y.rank() == 2 &&
+                      y.shape(0) == a.num_rows && y.shape(1) == x.shape(1),
+                  "blocked spmm: bad shapes " << x.shape_str() << " -> "
+                                              << y.shape_str());
+  spmm_blocked_dispatch_t<Overwrite, float, spmm_widen_f32>(
+      a, x.data(), x.shape(1), y, Precision::kFp32);
 }
 
 // ---- GAT attention kernels ------------------------------------------------
@@ -976,6 +1030,41 @@ void spmm_spans_overwrite(std::span<const std::int64_t> indptr,
   spmm_dispatch<true>(indptr, indices, values, x, y);
 }
 
+void spmm_blocked_overwrite(const graph::BlockedCsr& a, const HalfBuffer& x,
+                            Tensor& y) {
+  GSOUP_CHECK_MSG(x.rank() == 2 && y.rank() == 2 &&
+                      y.shape(0) == a.num_rows && y.shape(1) == x.shape(1),
+                  "blocked spmm(half): bad shapes " << x.shape_str() << " -> "
+                                                    << y.shape_str());
+  if (x.precision() == Precision::kFp16) {
+    spmm_blocked_dispatch_t<true, std::uint16_t, half::widen_fp16>(
+        a, x.data(), x.shape(1), y, x.precision());
+  } else {
+    spmm_blocked_dispatch_t<true, std::uint16_t, half::widen_bf16>(
+        a, x.data(), x.shape(1), y, x.precision());
+  }
+}
+
+void spmm_spans_overwrite(std::span<const std::int64_t> indptr,
+                          std::span<const std::int32_t> indices,
+                          std::span<const float> values, const HalfBuffer& x,
+                          Tensor& y) {
+  GSOUP_CHECK_MSG(!indptr.empty() && values.size() == indices.size(),
+                  "spmm_spans_overwrite: malformed CSR spans");
+  GSOUP_CHECK_MSG(x.rank() == 2 &&
+                      y.shape(0) + 1 == static_cast<std::int64_t>(indptr.size()) &&
+                      y.shape(1) == x.shape(1),
+                  "spmm_spans_overwrite(half): bad output shape "
+                      << y.shape_str());
+  if (x.precision() == Precision::kFp16) {
+    spmm_dispatch_t<true, std::uint16_t, half::widen_fp16>(
+        indptr, indices, values, x.data(), x.shape(1), y, x.precision());
+  } else {
+    spmm_dispatch_t<true, std::uint16_t, half::widen_bf16>(
+        indptr, indices, values, x.data(), x.shape(1), y, x.precision());
+  }
+}
+
 Value spmm(const Csr& a, const Csr& a_transpose, const Value& x) {
   return spmm(a, a_transpose, x, nullptr, nullptr);
 }
@@ -1454,8 +1543,10 @@ Value block_spmm(const Block& block, const Value& x) {
     const std::int64_t e = block.num_edges();
     for_each_balanced_row(block.indptr,
                           [&](std::int64_t lo, std::int64_t hi) {
-                            spmm_rows<true>(indptr, indices, values, px, po,
-                                            d, e, lo, hi);
+                            spmm_rows<true, std::int32_t, float,
+                                      spmm_widen_f32>(indptr, indices,
+                                                      values, px, po, d, e,
+                                                      lo, hi);
                           });
   }
   // The backward dX = Bᵀ·dY runs as an edge-balanced SpMM gather over the

@@ -13,6 +13,7 @@
 #include "ag/value.hpp"
 #include "graph/csr.hpp"
 #include "graph/sampling.hpp"
+#include "tensor/half.hpp"
 
 namespace gsoup::graph {
 struct BlockedCsr;
@@ -59,6 +60,17 @@ void spmm_blocked_overwrite(const graph::BlockedCsr& a, const Tensor& x,
                             Tensor& y);
 void spmm_blocked_accumulate(const graph::BlockedCsr& a, const Tensor& x,
                              Tensor& y);
+
+// Half-stored-X twins for the reduced-precision infer path. Each X
+// element widens to fp32 in registers right before its FMA; accumulation
+// order is identical to the float kernels, so the result is bit-equal to
+// running the fp32 SpMM over a widened copy of X. Output is fp32.
+void spmm_spans_overwrite(std::span<const std::int64_t> indptr,
+                          std::span<const std::int32_t> indices,
+                          std::span<const float> values, const HalfBuffer& x,
+                          Tensor& y);
+void spmm_blocked_overwrite(const graph::BlockedCsr& a, const HalfBuffer& x,
+                            Tensor& y);
 
 /// Autograd-free multi-head GAT attention forward over a raw CSR
 /// (num_dst = indptr.size() - 1; indices address rows of h_src /

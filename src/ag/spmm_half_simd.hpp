@@ -1,0 +1,50 @@
+// AVX2/F16C row kernels for SpMM over half-stored X, runtime-dispatched.
+//
+// The scalar half codec is ~10 integer/FP ops per element; inlined into
+// the SpMM gather loops it turns a bandwidth-bound kernel into a
+// conversion-bound one (measured ~10x slower than the fp32 kernel).
+// The hardware converters do the same job in one instruction, so this TU
+// carries the half-X row kernels built with AVX2+F16C enabled — in
+// portable builds CMake compiles just this file with `-mavx2 -mf16c`,
+// and callers gate on `available()` (a cached CPUID check), so the
+// binary still runs everywhere.
+//
+// Numerics contract (the same one the scalar path keeps): conversion is
+// vcvtph2ps, bit-exact to the scalar fp16 codec (asserted exhaustively
+// in tests/test_half.cpp), bf16 widening is an integer shift; the fp32
+// accumulation mirrors the scalar kernels' per-element order exactly,
+// including the dual-accumulator schedule, the short-row accumulate fast
+// path, and the build's mul+add-vs-FMA contraction (`__FMA__` both here
+// and in the autovectorized fp32 loops). Half-X results therefore stay
+// bit-equal to running the fp32 kernel over a widened copy of X,
+// whichever path dispatch picks.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/half.hpp"
+
+namespace gsoup::ag::halfsimd {
+
+/// True when this binary was built with the AVX2+F16C kernels AND the
+/// CPU executing it has both features. Checked once.
+bool available();
+
+/// Row-range SpMM body over half-stored X, mirroring the scalar
+/// spmm_rows<> dispatch: y[lo:hi] (?)= A[lo:hi] · widen(X). `overwrite`
+/// selects overwrite-vs-accumulate exactly like the Overwrite template
+/// flag; `num_edges` bounds the prefetch lookahead. Call only when
+/// available() is true.
+void spmm_rows_half(const std::int64_t* indptr, const std::int32_t* indices,
+                    const float* values, const std::uint16_t* px, float* py,
+                    std::int64_t d, std::int64_t num_edges, std::int64_t lo,
+                    std::int64_t hi, Precision prec, bool overwrite);
+
+/// Same body at the cached BlockedCsr layouts' narrow (16-bit) index
+/// width.
+void spmm_rows_half(const std::int64_t* indptr, const std::uint16_t* indices,
+                    const float* values, const std::uint16_t* px, float* py,
+                    std::int64_t d, std::int64_t num_edges, std::int64_t lo,
+                    std::int64_t hi, Precision prec, bool overwrite);
+
+}  // namespace gsoup::ag::halfsimd

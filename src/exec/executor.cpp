@@ -96,8 +96,30 @@ const char* arch_label(Arch arch) {
 
 // ---- Train mode -----------------------------------------------------------
 
+TapeBindings::TapeBindings(const LayerPlan& plan, const ParamMap& params) {
+  steps_.reserve(plan.steps().size());
+  for (const LayerStep& step : plan.steps()) {
+    Bound b;
+    const auto resolve = [&](const std::string& name) -> ag::Value {
+      return name.empty() ? ag::Value{} : params.at(name);
+    };
+    b.weight = resolve(step.weight);
+    b.weight_self = resolve(step.weight_self);
+    b.weight_neigh = resolve(step.weight_neigh);
+    b.bias = resolve(step.bias);
+    b.attn_dst = resolve(step.attn_dst);
+    b.attn_src = resolve(step.attn_src);
+    steps_.push_back(std::move(b));
+  }
+}
+
 ag::Value run_train(const LayerPlan& plan, const ag::Value& features,
                     const ParamMap& params, bool training, Rng* rng) {
+  return run_train(plan, features, TapeBindings(plan, params), training, rng);
+}
+
+ag::Value run_train(const LayerPlan& plan, const ag::Value& features,
+                    const TapeBindings& bindings, bool training, Rng* rng) {
   const ModelConfig& cfg = plan.config();
   const GraphContext& ctx = plan.ctx();
   GSOUP_CHECK_MSG(!training || rng != nullptr,
@@ -105,9 +127,14 @@ ag::Value run_train(const LayerPlan& plan, const ag::Value& features,
   GSOUP_CHECK_MSG(features->value.shape(1) == cfg.in_dim,
                   "feature dim " << features->value.shape_str()
                                  << " != model in_dim " << cfg.in_dim);
+  GSOUP_CHECK_MSG(
+      bindings.steps().size() == plan.steps().size(),
+      "tape bindings were built from a plan with a different depth");
 
   ag::Value h = features;
-  for (const LayerStep& step : plan.steps()) {
+  for (std::size_t l = 0; l < plan.steps().size(); ++l) {
+    const LayerStep& step = plan.steps()[l];
+    const TapeBindings::Bound& p = bindings.steps()[l];
     if (training && cfg.dropout > 0.0f) {
       h = ag::dropout(h, cfg.dropout, *rng, true);
     }
@@ -116,32 +143,29 @@ ag::Value run_train(const LayerPlan& plan, const ag::Value& features,
         // H' = Â (H W) + b over the context's cached layout when one was
         // compiled in. The transpose layout only feeds the backward, so
         // no-grad passes never trigger its lazy build.
-        ag::Value hw = ag::matmul(h, params.at(step.weight));
+        ag::Value hw = ag::matmul(h, p.weight);
         ag::Value agg = ag::spmm(
             ctx.gcn(), ctx.gcn_t(), hw, step.spmm_layout,
             ag::grad_enabled() ? ctx.spmm_layout_t() : nullptr);
-        h = ag::add_bias(agg, params.at(step.bias));
+        h = ag::add_bias(agg, p.bias);
         if (!step.last) h = ag::relu(h);
         break;
       }
       case Arch::kSage: {
         // H' = H W_self + (D⁻¹A H) W_neigh + b
-        ag::Value self_part = ag::matmul(h, params.at(step.weight_self));
+        ag::Value self_part = ag::matmul(h, p.weight_self);
         ag::Value agg = ag::spmm(
             ctx.mean(), ctx.mean_t(), h, step.spmm_layout,
             ag::grad_enabled() ? ctx.spmm_layout_t() : nullptr);
-        ag::Value neigh_part = ag::matmul(agg, params.at(step.weight_neigh));
-        h = ag::add_bias(ag::add(self_part, neigh_part),
-                         params.at(step.bias));
+        ag::Value neigh_part = ag::matmul(agg, p.weight_neigh);
+        h = ag::add_bias(ag::add(self_part, neigh_part), p.bias);
         if (!step.last) h = ag::relu(h);
         break;
       }
       case Arch::kGat: {
-        ag::Value hw = ag::matmul(h, params.at(step.weight));
-        ag::Value s_dst =
-            ag::per_head_dot(hw, params.at(step.attn_dst), step.heads);
-        ag::Value s_src =
-            ag::per_head_dot(hw, params.at(step.attn_src), step.heads);
+        ag::Value hw = ag::matmul(h, p.weight);
+        ag::Value s_dst = ag::per_head_dot(hw, p.attn_dst, step.heads);
+        ag::Value s_src = ag::per_head_dot(hw, p.attn_src, step.heads);
         // Backward routing was decided at compile time
         // (step.attn_layout_backward): single-head steps keep the span
         // kernels, and forward-only passes never force the lazy
@@ -153,7 +177,7 @@ ag::Value run_train(const LayerPlan& plan, const ag::Value& features,
         ag::Value agg = ag::gat_attention(ctx.raw(), ctx.raw_t(), hw, s_dst,
                                           s_src, step.heads, cfg.attn_slope,
                                           step.attn_layout, layout_t);
-        h = ag::add_bias(agg, params.at(step.bias));
+        h = ag::add_bias(agg, p.bias);
         if (!step.last) h = ag::elu(h);
         break;
       }
@@ -234,15 +258,44 @@ Executor::Executor(const LayerPlan& plan, const ParamStore& params)
     score_dst_ws_ = Tensor::empty({plan.score_slab_numel()});
     score_src_ws_ = Tensor::empty({plan.score_slab_numel()});
   }
+
+  // Half plans: 16-bit inter-layer slabs plus per-step quantized weight
+  // panels, both fixed at construction — the half run_* paths allocate
+  // nothing either. Bias and attention vectors stay fp32 (they feed fp32
+  // epilogues, and at O(width) bytes there is nothing to save).
+  const Precision prec = plan.precision();
+  if (prec != Precision::kFp32) {
+    for (auto& buf : hbuf_) {
+      buf = HalfBuffer::empty({plan.layer_slab_numel()}, prec);
+    }
+    step_half_.reserve(plan.steps().size());
+    for (const StepParams& p : step_params_) {
+      StepHalfParams hp;
+      const auto quant = [&](const Tensor* t) -> HalfBuffer {
+        return t == nullptr ? HalfBuffer{} : HalfBuffer::quantize(*t, prec);
+      };
+      hp.weight = quant(p.weight);
+      hp.weight_self = quant(p.weight_self);
+      hp.weight_neigh = quant(p.weight_neigh);
+      step_half_.push_back(std::move(hp));
+    }
+  }
 }
 
 Tensor Executor::ws(int idx, std::int64_t rows, std::int64_t cols) {
   return buf_[idx].view_prefix({rows, cols});
 }
 
+HalfBuffer Executor::hws(int idx, std::int64_t rows, std::int64_t cols) {
+  return hbuf_[idx].view_prefix({rows, cols});
+}
+
 std::size_t Executor::workspace_bytes() const {
   std::size_t total = 0;
   for (const auto& buf : buf_) total += buf.bytes();
+  for (const auto& buf : hbuf_) {
+    if (buf.defined()) total += buf.bytes();
+  }
   if (score_dst_ws_.defined()) {
     total += score_dst_ws_.bytes() + score_src_ws_.bytes();
   }
@@ -295,14 +348,21 @@ Tensor Executor::run_layer(const LayerStep& step, const StepParams& p,
     }
     case Arch::kSage: {
       // H' = H_dst W_self + (D⁻¹A H) W_neigh + b; destinations are a
-      // prefix of sources, so H_dst is a leading-rows view of H. The two
-      // GEMMs land in separate buffers and are combined elementwise as
-      // (self + neigh) + bias — the tape's exact operation order
-      // (matmul, matmul, add, add_bias) — rather than accumulating the
-      // second GEMM into the first's output, whose different partial-sum
-      // order would break the bit-exact train/infer parity contract.
-      // After agg and self are computed h_in is dead, so its buffer (or
-      // the third buffer when the input is external) holds neigh.
+      // prefix of sources, so H_dst is a leading-rows view of H. The
+      // combine keeps the tape's exact float order — (self + neigh) +
+      // bias, with `self` the complete self GEMM product — in one of two
+      // ways. When the whole contraction fits one blocked k-panel
+      // (gemm_can_combine_bias), the neigh GEMM lands in `out` first and
+      // the self GEMM's register-tile store applies (acc + out) + bias
+      // directly: each output element's `acc` is the full self product,
+      // so the fused store computes the identical expression without the
+      // extra slab write+read+combine pass. Otherwise the two GEMMs land
+      // in separate buffers and an elementwise epilogue combines them —
+      // never accumulating one GEMM into the other's output, whose
+      // different partial-sum order would break the bit-exact
+      // train/infer parity contract. After agg and self are computed
+      // h_in is dead, so its buffer (or the third buffer when the input
+      // is external) holds neigh on the fallback path.
       Tensor h_dst = h_in.view_prefix({num_dst, step.in_dim});
       Tensor agg = ws(scratch_idx, num_dst, step.in_dim);
       {
@@ -313,15 +373,19 @@ Tensor Executor::run_layer(const LayerStep& step, const StepParams& p,
           ag::spmm_spans_overwrite(indptr, indices, values, h_in, agg);
         }
       }
-      const int neigh_idx = in_idx >= 0 ? in_idx : 2;
-      Tensor neigh = ws(neigh_idx, num_dst, step.out_width);
-      {
+      if (ops::gemm_can_combine_bias(num_dst, step.out_width, step.in_dim)) {
         StageTimer t(stage_hist_, Stage::kGemm);
-        linear_into(h_dst, *p.weight_self, out);
-        linear_into(agg, *p.weight_neigh, neigh);
-      }
-      StageTimer epilogue_timer(stage_hist_, Stage::kEpilogue);
-      {
+        linear_into(agg, *p.weight_neigh, out);
+        ops::matmul_combine_bias(h_dst, *p.weight_self, *p.bias, out);
+      } else {
+        const int neigh_idx = in_idx >= 0 ? in_idx : 2;
+        Tensor neigh = ws(neigh_idx, num_dst, step.out_width);
+        {
+          StageTimer t(stage_hist_, Stage::kGemm);
+          linear_into(h_dst, *p.weight_self, out);
+          linear_into(agg, *p.weight_neigh, neigh);
+        }
+        StageTimer epilogue_timer(stage_hist_, Stage::kEpilogue);
         const std::int64_t m = out.shape(0), w = out.shape(1);
         float* __restrict__ po = out.data();
         const float* __restrict__ pn = neigh.data();
@@ -336,7 +400,10 @@ Tensor Executor::run_layer(const LayerStep& step, const StepParams& p,
           }
         }
       }
-      if (!step.last) relu_inplace(out);
+      if (!step.last) {
+        StageTimer t(stage_hist_, Stage::kEpilogue);
+        relu_inplace(out);
+      }
       break;
     }
     case Arch::kGat: {
@@ -371,6 +438,150 @@ Tensor Executor::run_layer(const LayerStep& step, const StepParams& p,
   return out;
 }
 
+HalfBuffer Executor::run_layer_half(
+    const LayerStep& step, const StepParams& p, const StepHalfParams& hp,
+    std::span<const std::int64_t> indptr,
+    std::span<const std::int32_t> indices, std::span<const float> values,
+    const HalfBuffer& h_in, std::int64_t num_dst, Tensor* final_out,
+    const graph::BlockedCsr* spmm_layout,
+    const graph::BlockedCsr* attn_layout) {
+  const ModelConfig& cfg = plan_.config();
+  const std::int64_t num_src = h_in.shape(0);
+  GSOUP_CHECK_MSG(!step.last || final_out != nullptr,
+                  "half lowering needs an fp32 destination for the last "
+                  "layer's logits");
+
+  // Buffer discipline, half edition: the 16-bit slabs carry inter-layer
+  // activations (h_in occupies one, the quantized output another, GCN's
+  // quantized H·W a third), while the fp32 slabs are pure intra-layer
+  // scratch — no value crosses a layer boundary at fp32, so their
+  // indices are fixed: 0 scratch, 1 layer output, 2 fallback-combine.
+  int in_idx = -1;
+  for (int b = 0; b < 3; ++b) {
+    if (h_in.shares_storage_with(hbuf_[b])) in_idx = b;
+  }
+  const int out_idx = (in_idx + 1) % 3;
+  const int extra_idx = (out_idx + 1) % 3;
+  Tensor out_f =
+      step.last ? *final_out : ws(1, num_dst, step.out_width);
+
+  switch (cfg.arch) {
+    case Arch::kGcn: {
+      // H' = Â (H W) + b: GEMM at half A and half W panels into fp32,
+      // then the product quantizes so the SpMM — which re-reads each row
+      // once per incident edge — gathers 16-bit rows.
+      Tensor hw = ws(0, num_src, step.out_width);
+      {
+        StageTimer t(stage_hist_, Stage::kGemm);
+        hw.zero_();
+        ops::matmul_acc(h_in, hp.weight, hw);
+      }
+      HalfBuffer hw16 = hws(extra_idx, num_src, step.out_width);
+      {
+        StageTimer t(stage_hist_, Stage::kSpmm);
+        hw16.quantize_from(hw);
+        if (spmm_layout != nullptr) {
+          ag::spmm_blocked_overwrite(*spmm_layout, hw16, out_f);
+        } else {
+          ag::spmm_spans_overwrite(indptr, indices, values, hw16, out_f);
+        }
+      }
+      StageTimer t(stage_hist_, Stage::kEpilogue);
+      add_bias_inplace(out_f, *p.bias);
+      if (!step.last) relu_inplace(out_f);
+      break;
+    }
+    case Arch::kSage: {
+      // Same structure and float order as the fp32 lowering: the SpMM
+      // gathers 16-bit H rows into an fp32 aggregate, the neigh GEMM
+      // runs fp32 A x half W, and the self GEMM reads half A and half W
+      // — fused with the (self + neigh) + bias store when the
+      // contraction fits one k-panel.
+      HalfBuffer h_dst = h_in.view_prefix({num_dst, step.in_dim});
+      Tensor agg = ws(0, num_dst, step.in_dim);
+      {
+        StageTimer t(stage_hist_, Stage::kSpmm);
+        if (spmm_layout != nullptr) {
+          ag::spmm_blocked_overwrite(*spmm_layout, h_in, agg);
+        } else {
+          ag::spmm_spans_overwrite(indptr, indices, values, h_in, agg);
+        }
+      }
+      if (ops::gemm_can_combine_bias(num_dst, step.out_width, step.in_dim)) {
+        StageTimer t(stage_hist_, Stage::kGemm);
+        out_f.zero_();
+        ops::matmul_acc(agg, hp.weight_neigh, out_f);
+        ops::matmul_combine_bias(h_dst, hp.weight_self, *p.bias, out_f);
+      } else {
+        Tensor neigh = ws(2, num_dst, step.out_width);
+        {
+          StageTimer t(stage_hist_, Stage::kGemm);
+          out_f.zero_();
+          ops::matmul_acc(h_dst, hp.weight_self, out_f);
+          neigh.zero_();
+          ops::matmul_acc(agg, hp.weight_neigh, neigh);
+        }
+        StageTimer epilogue_timer(stage_hist_, Stage::kEpilogue);
+        const std::int64_t m = out_f.shape(0), w = out_f.shape(1);
+        float* __restrict__ po = out_f.data();
+        const float* __restrict__ pn = neigh.data();
+        const float* __restrict__ pb = p.bias->data();
+#pragma omp parallel for schedule(static) if (m * w >= (1 << 15))
+        for (std::int64_t i = 0; i < m; ++i) {
+          float* __restrict__ orow = po + i * w;
+          const float* __restrict__ nrow = pn + i * w;
+#pragma omp simd
+          for (std::int64_t j = 0; j < w; ++j) {
+            orow[j] = (orow[j] + nrow[j]) + pb[j];
+          }
+        }
+      }
+      if (!step.last) {
+        StageTimer t(stage_hist_, Stage::kEpilogue);
+        relu_inplace(out_f);
+      }
+      break;
+    }
+    case Arch::kGat: {
+      // Only the GEMM operands go half: the attention kernels re-read
+      // the fp32 H·W product and per-head scores exactly as the fp32
+      // lowering does, so attention numerics are untouched by precision.
+      Tensor hw = ws(0, num_src, step.out_width);
+      Tensor s_src = score_src_ws_.view_prefix({num_src, step.heads});
+      Tensor s_dst = score_dst_ws_.view_prefix({num_dst, step.heads});
+      {
+        StageTimer t(stage_hist_, Stage::kGemm);
+        hw.zero_();
+        ops::matmul_acc(h_in, hp.weight, hw);
+        ops::per_head_dot_into(hw, *p.attn_src, step.heads, s_src);
+        Tensor hw_dst = hw.view_prefix({num_dst, step.out_width});
+        ops::per_head_dot_into(hw_dst, *p.attn_dst, step.heads, s_dst);
+      }
+      {
+        StageTimer t(stage_hist_, Stage::kAttention);
+        if (attn_layout != nullptr) {
+          ag::gat_attention_infer(*attn_layout, hw, s_dst, s_src, step.heads,
+                                  cfg.attn_slope, out_f);
+        } else {
+          ag::gat_attention_infer(indptr, indices, hw, s_dst, s_src,
+                                  step.heads, cfg.attn_slope, out_f);
+        }
+      }
+      StageTimer t(stage_hist_, Stage::kEpilogue);
+      add_bias_inplace(out_f, *p.bias);
+      if (!step.last) elu_inplace(out_f);
+      break;
+    }
+  }
+  if (step.last) return HalfBuffer{};
+  HalfBuffer out16 = hws(out_idx, num_dst, step.out_width);
+  {
+    StageTimer t(stage_hist_, Stage::kEpilogue);
+    out16.quantize_from(out_f);
+  }
+  return out16;
+}
+
 void Executor::run_full(const Tensor& features, Tensor& out) {
   const std::int64_t n = plan_.num_nodes();
   GSOUP_CHECK_MSG(features.rank() == 2 && features.shape(0) == n &&
@@ -387,6 +598,30 @@ void Executor::run_full(const Tensor& features, Tensor& out) {
     Tensor* final_out = step.last ? &out : nullptr;
     h = run_layer(step, step_params_[l], g.indptr, g.indices, g.values, h, n,
                   final_out, step.spmm_layout, step.attn_layout);
+  }
+}
+
+void Executor::run_full(const HalfBuffer& features, Tensor& out) {
+  const std::int64_t n = plan_.num_nodes();
+  GSOUP_CHECK_MSG(plan_.precision() != Precision::kFp32 &&
+                      features.precision() == plan_.precision(),
+                  "run_full(half): feature precision does not match the "
+                  "plan's storage precision");
+  GSOUP_CHECK_MSG(features.rank() == 2 && features.shape(0) == n &&
+                      features.shape(1) == plan_.config().in_dim,
+                  "run_full: feature matrix " << features.shape_str()
+                                              << " does not match the plan");
+  GSOUP_CHECK_MSG(out.rank() == 2 && out.shape(0) == n &&
+                      out.shape(1) == plan_.config().out_dim,
+                  "run_full: bad output shape " << out.shape_str());
+  const Csr& g = plan_.message_graph();
+  HalfBuffer h = features;
+  for (std::size_t l = 0; l < plan_.steps().size(); ++l) {
+    const LayerStep& step = plan_.steps()[l];
+    Tensor* final_out = step.last ? &out : nullptr;
+    h = run_layer_half(step, step_params_[l], step_half_[l], g.indptr,
+                       g.indices, g.values, h, n, final_out,
+                       step.spmm_layout, step.attn_layout);
   }
 }
 
@@ -409,6 +644,38 @@ const Tensor& Executor::run_subgraph(const SubgraphPlan& sp,
                   P.num_dst, nullptr, nullptr, nullptr);
   }
   subgraph_out_ = h;
+  return subgraph_out_;
+}
+
+const Tensor& Executor::run_subgraph(const SubgraphPlan& sp,
+                                     const HalfBuffer& features) {
+  GSOUP_CHECK_MSG(
+      static_cast<std::int64_t>(sp.layers.size()) == plan_.num_layers(),
+      "run_subgraph: plan has " << sp.layers.size() << " layers, model "
+                                << plan_.num_layers());
+  GSOUP_CHECK_MSG(plan_.precision() != Precision::kFp32 &&
+                      features.precision() == plan_.precision(),
+                  "run_subgraph(half): feature precision does not match "
+                  "the plan's storage precision");
+  const SubgraphLayer& input = sp.layers.front();
+  // The gathered input rows stay 16-bit (a u16 memcpy per row — half the
+  // gather traffic of the fp32 path); the first layer's kernels widen
+  // them in registers like any other half activation slab.
+  HalfBuffer h = hws(0, input.num_src(), plan_.config().in_dim);
+  {
+    StageTimer t(stage_hist_, Stage::kGather);
+    ops::gather_rows_into(features, input.src_nodes, h);
+  }
+  const SubgraphLayer& last_layer = sp.layers.back();
+  Tensor fin = ws(1, last_layer.num_dst, plan_.config().out_dim);
+  for (std::size_t l = 0; l < plan_.steps().size(); ++l) {
+    const LayerStep& step = plan_.steps()[l];
+    const SubgraphLayer& P = sp.layers[l];
+    h = run_layer_half(step, step_params_[l], step_half_[l], P.indptr,
+                       P.indices, P.values, h, P.num_dst,
+                       step.last ? &fin : nullptr, nullptr, nullptr);
+  }
+  subgraph_out_ = fin;
   return subgraph_out_;
 }
 

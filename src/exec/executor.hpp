@@ -39,11 +39,43 @@ class Histogram;
 
 namespace gsoup::exec {
 
+/// Per-step tape parameter bindings resolved once per (plan, store) pair:
+/// the train-mode counterpart of the Executor's StepParams. run_train
+/// with a ParamMap walks the name→Value map for every parameter of every
+/// layer on every forward; a trainer running thousands of epochs over the
+/// same leaves builds one of these instead and the per-forward lookup
+/// cost disappears. The bound Values share nodes with the source map, so
+/// gradients accumulate into the same leaves the optimizer steps.
+class TapeBindings {
+ public:
+  TapeBindings(const LayerPlan& plan, const ParamMap& params);
+
+  /// Parameters of one step; entries the arch lacks stay null Values.
+  struct Bound {
+    ag::Value weight;
+    ag::Value weight_self;
+    ag::Value weight_neigh;
+    ag::Value bias;
+    ag::Value attn_dst;
+    ag::Value attn_src;
+  };
+
+  std::span<const Bound> steps() const { return steps_; }
+
+ private:
+  std::vector<Bound> steps_;
+};
+
 /// Train mode: the tape-recorded full-graph forward. `features` rows are
 /// in the plan's (context's) vertex numbering; returns class logits
 /// [n, out_dim] on the tape. `training` enables dropout (needs rng).
 ag::Value run_train(const LayerPlan& plan, const ag::Value& features,
                     const ParamMap& params, bool training, Rng* rng);
+
+/// Pre-bound twin: same tape, no per-forward map lookups. `bindings`
+/// must have been built from this plan.
+ag::Value run_train(const LayerPlan& plan, const ag::Value& features,
+                    const TapeBindings& bindings, bool training, Rng* rng);
 
 /// Minibatch mode: tape forward over sampled blocks (GraphSAGE only) —
 /// features are rows for blocks[0].src_nodes, output rows are the seeds.
@@ -71,11 +103,22 @@ class Executor {
   /// a caller-owned [n, out_dim]. No allocation.
   void run_full(const Tensor& features, Tensor& out);
 
+  /// Half-storage twin for plans compiled at kFp16/kBf16: features are
+  /// the pre-quantized half matrix, inter-layer activations live in the
+  /// half slabs, and the final logits land in fp32 `out`. No allocation.
+  void run_full(const HalfBuffer& features, Tensor& out);
+
   /// Forward over a subgraph plan's block sequence; gathers the input
   /// rows from `features` itself. Returns a view (into a workspace or
   /// directly into a layer output) of the final layer, valid until the
   /// next run_* call. No allocation.
   const Tensor& run_subgraph(const SubgraphPlan& sp, const Tensor& features);
+
+  /// Half-storage twin: the input-row gather copies 16-bit rows
+  /// (half the gather traffic), layers run the half lowering, and the
+  /// returned final-layer view is fp32 as always. No allocation.
+  const Tensor& run_subgraph(const SubgraphPlan& sp,
+                             const HalfBuffer& features);
 
   /// Total bytes of preallocated workspace (capacity planning).
   std::size_t workspace_bytes() const;
@@ -91,6 +134,15 @@ class Executor {
     const Tensor* attn_src = nullptr;
   };
 
+  /// Half-stored parameter panels of one step, quantized once at
+  /// construction for half-precision plans (bias and attention vectors
+  /// stay fp32 — they feed fp32 epilogues).
+  struct StepHalfParams {
+    HalfBuffer weight;
+    HalfBuffer weight_self;
+    HalfBuffer weight_neigh;
+  };
+
   /// One layer over an explicit CSR (spans) or, when `spmm_layout` /
   /// `attn_layout` is non-null, the step's cached layout. h_in rows are
   /// sources; the written view covers destinations. Returns the output
@@ -103,11 +155,28 @@ class Executor {
                    const graph::BlockedCsr* spmm_layout,
                    const graph::BlockedCsr* attn_layout);
 
+  /// Half-storage layer body: h_in is 16-bit, all accumulation runs in
+  /// the fp32 scratch slabs, and the activated output quantizes into a
+  /// half slab — except the last layer, which stores fp32 into
+  /// *final_out (never null here) and returns an undefined buffer.
+  HalfBuffer run_layer_half(const LayerStep& step, const StepParams& p,
+                            const StepHalfParams& hp,
+                            std::span<const std::int64_t> indptr,
+                            std::span<const std::int32_t> indices,
+                            std::span<const float> values,
+                            const HalfBuffer& h_in, std::int64_t num_dst,
+                            Tensor* final_out,
+                            const graph::BlockedCsr* spmm_layout,
+                            const graph::BlockedCsr* attn_layout);
+
   /// Carve a [rows, cols] view out of workspace buffer `idx`.
   Tensor ws(int idx, std::int64_t rows, std::int64_t cols);
+  /// Carve a [rows, cols] view out of half slab `idx` (half plans only).
+  HalfBuffer hws(int idx, std::int64_t rows, std::int64_t cols);
 
   const LayerPlan& plan_;
   std::vector<StepParams> step_params_;
+  std::vector<StepHalfParams> step_half_;  ///< empty for fp32 plans
 
   // Per-stage duration histograms ("exec.stage_ms", labelled with this
   // plan's arch and the stage name), resolved once here so the hot path
@@ -121,6 +190,9 @@ class Executor {
   // carried is replaced by the infer kernel's reusable thread-local
   // scratch (shared with the backward's dz workspace).
   Tensor buf_[3];
+  // Half plans add three 16-bit inter-layer slabs (the ping-pong
+  // activation storage); the fp32 slabs above become per-layer scratch.
+  HalfBuffer hbuf_[3];
   Tensor score_dst_ws_;
   Tensor score_src_ws_;
   Tensor subgraph_out_;  ///< final-layer view of the last run_subgraph

@@ -21,8 +21,9 @@ const char* stage_name(Stage stage) {
   return "unknown";
 }
 
-LayerPlan::LayerPlan(const ModelConfig& config, const GraphContext& ctx)
-    : config_(config), ctx_(&ctx) {
+LayerPlan::LayerPlan(const ModelConfig& config, const GraphContext& ctx,
+                     ExecOptions options)
+    : config_(config), options_(options), ctx_(&ctx) {
   GSOUP_CHECK_MSG(ctx.arch() == config.arch,
                   "layer plan: graph context built for a different "
                   "architecture");
@@ -37,6 +38,7 @@ LayerPlan::LayerPlan(const ModelConfig& config, const GraphContext& ctx)
     step.in_dim = model.layer_in_dim(l);
     step.out_width = model.layer_out_width(l);
     step.heads = model.layer_heads(l);
+    step.storage_precision = options_.precision;
     step.bias = layer_param_name(l, "bias");
     switch (config.arch) {
       case Arch::kGcn:

@@ -29,8 +29,18 @@
 
 #include "nn/graph_context.hpp"
 #include "nn/model.hpp"
+#include "tensor/half.hpp"
 
 namespace gsoup::exec {
+
+/// Compile-time knobs for plan lowering. `precision` selects the STORAGE
+/// width of the infer path's inter-layer activation slabs, gathered
+/// feature rows and GEMM weight panels; accumulation is always fp32 and
+/// the tape (train/minibatch) lowering ignores it entirely — training is
+/// always fp32.
+struct ExecOptions {
+  Precision precision = Precision::kFp32;
+};
 
 /// Canonical parameter name for (layer, suffix): "layers.<l>.<suffix>".
 /// The single naming authority — snapshots, plans and stores must agree.
@@ -90,6 +100,13 @@ struct LayerStep {
   /// (gcn: gemm,spmm,epilogue; sage: spmm,gemm,epilogue; gat:
   /// gemm,attention,epilogue).
   std::vector<Stage> stages;
+
+  /// Storage precision of this step's infer lowering (activation slabs,
+  /// gathered inputs, weight panels), decided at plan compile from
+  /// ExecOptions::precision. kFp32 is the classic path; kFp16/kBf16
+  /// store 16 bits and widen to fp32 in kernel registers. Tape lowering
+  /// never reads this.
+  Precision storage_precision = Precision::kFp32;
 };
 
 /// A per-(ModelConfig, GraphContext) lowered op sequence plus the
@@ -100,10 +117,13 @@ class LayerPlan {
  public:
   /// `ctx` must outlive the plan (GraphContext-owned plans satisfy this
   /// by construction) and match `config.arch`.
-  LayerPlan(const ModelConfig& config, const GraphContext& ctx);
+  LayerPlan(const ModelConfig& config, const GraphContext& ctx,
+            ExecOptions options = {});
 
   const ModelConfig& config() const { return config_; }
   const GraphContext& ctx() const { return *ctx_; }
+  /// The storage precision every step was lowered at.
+  Precision precision() const { return options_.precision; }
   std::span<const LayerStep> steps() const { return steps_; }
   std::int64_t num_layers() const {
     return static_cast<std::int64_t>(steps_.size());
@@ -126,6 +146,7 @@ class LayerPlan {
 
  private:
   ModelConfig config_;
+  ExecOptions options_;
   const GraphContext* ctx_;
   std::vector<LayerStep> steps_;
   std::int64_t num_nodes_ = 0;

@@ -70,7 +70,7 @@ const graph::BlockedCsr* GraphContext::attn_layout_t() const {
 }
 
 const exec::LayerPlan& GraphContext::layer_plan(
-    const ModelConfig& config) const {
+    const ModelConfig& config, Precision precision) const {
   // Every field the lowering *or* plan-stored execution config reads is
   // part of the key — two models differing only in dropout or attention
   // slope must not share a plan. The floats go in by bit pattern:
@@ -82,11 +82,13 @@ const exec::LayerPlan& GraphContext::layer_plan(
       << config.hidden_dim << '|' << config.out_dim << '|'
       << config.num_layers << '|' << config.heads << '|'
       << std::bit_cast<std::uint32_t>(config.dropout) << '|'
-      << std::bit_cast<std::uint32_t>(config.attn_slope);
+      << std::bit_cast<std::uint32_t>(config.attn_slope) << '|'
+      << static_cast<int>(precision);
   std::lock_guard lock(plan_mutex_);
   auto& slot = plan_cache_[key.str()];
   if (slot == nullptr) {
-    slot = std::make_shared<const exec::LayerPlan>(config, *this);
+    slot = std::make_shared<const exec::LayerPlan>(
+        config, *this, exec::ExecOptions{precision});
   }
   return *slot;
 }

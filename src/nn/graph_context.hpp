@@ -13,6 +13,7 @@
 
 #include "graph/csr.hpp"
 #include "graph/locality.hpp"
+#include "tensor/half.hpp"
 
 namespace gsoup {
 
@@ -88,7 +89,12 @@ class GraphContext {
   /// then shared: trainers, evaluation sweeps and serving engines on the
   /// same context all execute the same plan. Thread-safe; the returned
   /// reference lives as long as this context. `config.arch` must match.
-  const exec::LayerPlan& layer_plan(const ModelConfig& config) const;
+  /// `precision` is the storage precision the plan lowers the infer path
+  /// at (exec::ExecOptions::precision) and is part of the memo key —
+  /// fp32 and half plans for the same geometry coexist.
+  const exec::LayerPlan& layer_plan(
+      const ModelConfig& config,
+      Precision precision = Precision::kFp32) const;
 
   // GCN: symmetric-normalised adjacency and transpose.
   const Csr& gcn() const;

@@ -9,58 +9,95 @@
 
 namespace gsoup::serve {
 
-InferenceEngine::InferenceEngine(const ModelConfig& config,
-                                 const ParamStore& params,
-                                 std::shared_ptr<const GraphContext> ctx,
-                                 Tensor features, QueryMode mode,
-                                 FeatureSpace feature_space)
+InferenceEngine::InferenceEngine(
+    const ModelConfig& config, const ParamStore& params,
+    std::shared_ptr<const GraphContext> ctx, Tensor features, QueryMode mode,
+    FeatureSpace feature_space, Precision precision,
+    std::shared_ptr<const HalfBuffer> shared_half_features)
     : params_(params),
       ctx_(std::move(ctx)),
       features_(std::move(features)),
       mode_(mode),
+      precision_(precision),
       builder_(ctx_ != nullptr ? ctx_->raw().num_nodes : 0,
                config.num_layers) {
   GSOUP_CHECK_MSG(ctx_ != nullptr, "engine needs a graph context");
   GSOUP_CHECK_MSG(ctx_->arch() == config.arch,
                   "graph context built for a different architecture");
   num_nodes_ = ctx_->raw().num_nodes;
-  GSOUP_CHECK_MSG(features_.rank() == 2 &&
-                      features_.shape(0) == num_nodes_ &&
-                      features_.shape(1) == config.in_dim,
-                  "feature matrix " << features_.shape_str()
-                                    << " does not match graph/model");
-  // Active GraphPlan: the graph in ctx is vertex-reordered, so the
-  // forward needs plan-ordered feature rows — permute a private copy
-  // once unless the caller already shares a plan-space tensor. Queries
-  // and results keep the caller's numbering either way (ids are
-  // translated per query, logits unpermuted per full pass).
-  if (ctx_->plan() != nullptr && ctx_->plan()->active()) {
-    if (feature_space == FeatureSpace::kOriginal) {
-      features_ = ctx_->plan()->permute_rows(features_);
-    }
-    // plan_space_logits_ is allocated lazily by the first full_logits()
-    // call: kSubgraph engines never run a full pass and should not hold
-    // a whole-graph buffer.
+  const bool reordered = ctx_->plan() != nullptr && ctx_->plan()->active();
+  if (shared_half_features != nullptr) {
+    // Pre-quantized matrix handed in by a server: share its storage (one
+    // half-width slice per server/shard, not per engine). Its rows must
+    // already be in the space the forward runs in.
+    GSOUP_CHECK_MSG(precision_ != Precision::kFp32 &&
+                        shared_half_features->precision() == precision_,
+                    "shared half features are "
+                        << precision_name(shared_half_features->precision())
+                        << " but the engine was asked for "
+                        << precision_name(precision_));
+    GSOUP_CHECK_MSG(shared_half_features->rank() == 2 &&
+                        shared_half_features->shape(0) == num_nodes_ &&
+                        shared_half_features->shape(1) == config.in_dim,
+                    "shared half feature matrix "
+                        << shared_half_features->shape_str()
+                        << " does not match graph/model");
+    GSOUP_CHECK_MSG(!reordered || feature_space == FeatureSpace::kPlan,
+                    "a reordered context needs the shared half features "
+                    "quantized from plan-space rows");
+    features_half_ = *shared_half_features;
+    features_ = Tensor{};
   } else {
-    GSOUP_CHECK_MSG(feature_space == FeatureSpace::kOriginal,
-                    "plan-space features need a context with an active "
-                    "GraphPlan");
+    GSOUP_CHECK_MSG(features_.rank() == 2 &&
+                        features_.shape(0) == num_nodes_ &&
+                        features_.shape(1) == config.in_dim,
+                    "feature matrix " << features_.shape_str()
+                                      << " does not match graph/model");
+    // Active GraphPlan: the graph in ctx is vertex-reordered, so the
+    // forward needs plan-ordered feature rows — permute a private copy
+    // once unless the caller already shares a plan-space tensor. Queries
+    // and results keep the caller's numbering either way (ids are
+    // translated per query, logits unpermuted per full pass).
+    if (reordered) {
+      if (feature_space == FeatureSpace::kOriginal) {
+        features_ = ctx_->plan()->permute_rows(features_);
+      }
+      // plan_space_logits_ is allocated lazily by the first full_logits()
+      // call: kSubgraph engines never run a full pass and should not hold
+      // a whole-graph buffer.
+    } else {
+      GSOUP_CHECK_MSG(feature_space == FeatureSpace::kOriginal,
+                      "plan-space features need a context with an active "
+                      "GraphPlan");
+    }
+    if (precision_ != Precision::kFp32) {
+      // Quantize once, then drop the fp32 handle: every forward reads the
+      // half matrix, so the engine holds no full-width feature copy.
+      features_half_ = HalfBuffer::quantize(features_, precision_);
+      features_ = Tensor{};
+    }
   }
 
   // The compiled forward: the same LayerPlan the tape records through
-  // (bit-identical logits), executed here autograd-free with infer-mode
-  // kernel lowering into plan-declared workspace slabs.
-  plan_ = &ctx_->layer_plan(config);
+  // (bit-identical logits at fp32; the half plans lower storage width
+  // only — accumulation order is unchanged), executed here autograd-free
+  // with infer-mode kernel lowering into plan-declared workspace slabs.
+  plan_ = &ctx_->layer_plan(config, precision_);
   exec_ = std::make_unique<exec::Executor>(*plan_, params_);
 
   logits_ = Tensor::empty({num_nodes_, config.out_dim});
   single_out_ = Tensor::empty({1, config.out_dim});
+  if (precision_ != Precision::kFp32 && mode_ == QueryMode::kCachedFull) {
+    logits_half_ =
+        HalfBuffer::empty({num_nodes_, config.out_dim}, precision_);
+  }
 }
 
 std::size_t InferenceEngine::workspace_bytes() const {
   std::size_t total =
       exec_->workspace_bytes() + logits_.bytes() + single_out_.bytes();
   if (plan_space_logits_.defined()) total += plan_space_logits_.bytes();
+  if (logits_half_.defined()) total += logits_half_.bytes();
   return total;
 }
 
@@ -74,15 +111,31 @@ const Tensor& InferenceEngine::full_logits() {
       plan_space_logits_ =
           Tensor::empty({num_nodes_, plan_->config().out_dim});
     }
-    exec_->run_full(features_, reordered ? plan_space_logits_ : logits_);
+    Tensor& target = reordered ? plan_space_logits_ : logits_;
+    if (precision_ != Precision::kFp32) {
+      exec_->run_full(features_half_, target);
+    } else {
+      exec_->run_full(features_, target);
+    }
     // Plan-space rows back to the caller's numbering, once per cache
     // fill; row lookups stay free afterwards.
     if (reordered) {
       ctx_->plan()->unpermute_rows_into(plan_space_logits_, logits_);
     }
+    // Half kCachedFull: refresh the quantized answer table the query
+    // path gathers from (caller numbering, like logits_).
+    if (logits_half_.defined()) logits_half_.quantize_from(logits_);
     full_valid_ = true;
   }
   return logits_;
+}
+
+const HalfBuffer& InferenceEngine::full_logits_half() {
+  GSOUP_CHECK_MSG(logits_half_.defined(),
+                  "full_logits_half() needs a half-precision kCachedFull "
+                  "engine");
+  full_logits();  // ensure the cache fill (quantizes logits_half_ too)
+  return logits_half_;
 }
 
 std::span<const std::int64_t> InferenceEngine::translate_ids(
@@ -136,13 +189,21 @@ void InferenceEngine::query(std::span<const std::int64_t> nodes,
                                     << num_nodes_ << ")");
     }
     const Tensor& logits = full_logits();
-    ops::gather_rows_into(logits, nodes, out);
+    if (logits_half_.defined()) {
+      // The half answer table: rows widen to fp32 on gather, so the
+      // steady-state table costs half the memory and gather traffic.
+      ops::gather_rows_into(logits_half_, nodes, out);
+    } else {
+      ops::gather_rows_into(logits, nodes, out);
+    }
     return;
   }
 
   builder_.build(plan_->message_graph(), translate_ids(nodes),
                  scratch_plan_);
-  const Tensor& rows = exec_->run_subgraph(scratch_plan_, features_);
+  const Tensor& rows = precision_ != Precision::kFp32
+                           ? exec_->run_subgraph(scratch_plan_, features_half_)
+                           : exec_->run_subgraph(scratch_plan_, features_);
   scatter_rows(scratch_plan_, rows, out);
 }
 
@@ -162,7 +223,9 @@ void InferenceEngine::query(const exec::SubgraphPlan& plan, Tensor& out) {
                       out.shape(1) == plan_->config().out_dim,
                   "query output " << out.shape_str()
                                   << " does not match the plan");
-  const Tensor& rows = exec_->run_subgraph(plan, features_);
+  const Tensor& rows = precision_ != Precision::kFp32
+                           ? exec_->run_subgraph(plan, features_half_)
+                           : exec_->run_subgraph(plan, features_);
   scatter_rows(plan, rows, out);
 }
 

@@ -73,13 +73,30 @@ class InferenceEngine {
   /// numbering. The engine permutes a private feature copy once at
   /// construction, runs every forward in plan space over the context's
   /// cached layouts, and maps ids/rows at the edges.
+  ///
+  /// Precision: kFp16/kBf16 fetches the half-lowered LayerPlan instead —
+  /// the engine quantizes a private half copy of the (possibly permuted)
+  /// features, the executor stores weight panels and inter-layer
+  /// activations at half width, and all query/logit interfaces stay fp32
+  /// (accumulation is fp32 throughout; see docs/ARCHITECTURE.md
+  /// "Precision lowering"). Alternatively `shared_half_features` hands in
+  /// a pre-quantized matrix (matching `precision`, plan-space rows when
+  /// the context reorders): the engine shares its storage instead of
+  /// quantizing a copy — the BatchServer quantizes once per server and
+  /// the sharded router once per shard, so W workers x R replicas hold
+  /// ONE half-width feature slice. With a shared buffer `features` may be
+  /// an undefined Tensor.
   InferenceEngine(const ModelConfig& config, const ParamStore& params,
                   std::shared_ptr<const GraphContext> ctx, Tensor features,
                   QueryMode mode = QueryMode::kSubgraph,
-                  FeatureSpace feature_space = FeatureSpace::kOriginal);
+                  FeatureSpace feature_space = FeatureSpace::kOriginal,
+                  Precision precision = Precision::kFp32,
+                  std::shared_ptr<const HalfBuffer> shared_half_features =
+                      nullptr);
 
   const ModelConfig& config() const { return plan_->config(); }
   QueryMode mode() const { return mode_; }
+  Precision precision() const { return precision_; }
   std::int64_t num_nodes() const { return num_nodes_; }
 
   /// Class logits for every node, [num_nodes, out_dim]. Computed on first
@@ -87,6 +104,13 @@ class InferenceEngine {
   /// shared feature storage was mutated in place).
   const Tensor& full_logits();
   void invalidate() { full_valid_ = false; }
+
+  /// Half-precision kCachedFull engines only: the cached answer table at
+  /// storage width (quantized from the fp32 full pass; row lookups widen
+  /// on gather). Shares storage — the BatchServer keeps this buffer
+  /// alive after the construction-time engine is gone, halving the
+  /// steady-state table footprint.
+  const HalfBuffer& full_logits_half();
 
   /// Logits for a batch of node ids, written to the corresponding rows of
   /// `out` ([nodes.size(), out_dim], caller-allocated). Duplicate ids are
@@ -135,8 +159,13 @@ class InferenceEngine {
 
   ParamStore params_;
   std::shared_ptr<const GraphContext> ctx_;
-  Tensor features_;
+  Tensor features_;  ///< undefined in half mode (features_half_ serves)
+  /// Half plans: the plan-space feature matrix at storage width — either
+  /// a private quantized copy or storage shared with the server-owned
+  /// slice every sibling engine reads.
+  HalfBuffer features_half_;
   QueryMode mode_;
+  Precision precision_ = Precision::kFp32;
   std::int64_t num_nodes_ = 0;
 
   /// The compiled forward (owned by ctx_, memoised there) and its
@@ -151,6 +180,9 @@ class InferenceEngine {
   // (kSubgraph engines never pay for it).
   Tensor logits_;
   Tensor plan_space_logits_;
+  /// Half kCachedFull: the quantized answer table query() gathers from
+  /// (convert-on-gather). Refilled alongside logits_ per cache fill.
+  HalfBuffer logits_half_;
   Tensor single_out_;
   bool full_valid_ = false;
 

@@ -99,21 +99,46 @@ BatchServer::BatchServer(const Snapshot& snapshot,
   m_batch_size_ =
       &obs::histogram(pre + "batch_size", lbl, {}, "Executed batch sizes");
 
+  const bool reordered = ctx_->plan() != nullptr && ctx_->plan()->active();
+  const bool half = config_.precision != Precision::kFp32;
+  GSOUP_CHECK_MSG(config_.half_features == nullptr || half,
+                  "half_features set but precision is fp32");
+  if (config_.half_features != nullptr) {
+    // Pre-quantized (plan-space) slice from the sharded router: all R
+    // replicas x W workers serve from this one buffer.
+    half_features_ = config_.half_features;
+    feature_space_ = reordered ? FeatureSpace::kPlan : FeatureSpace::kOriginal;
+    worker_features_ = Tensor{};
+  }
   if (config_.mode == QueryMode::kCachedFull) {
     // One full-graph pass, one shared read-only answer table. The engine
     // and its workspaces are scoped to this block — workers only ever
-    // read cached_logits_, so W workers cost no extra workspace at all.
+    // read the cached table, so W workers cost no extra workspace at all.
+    // Half precision keeps the table quantized (half the steady-state
+    // footprint); answers widen the row at lookup.
     InferenceEngine engine(snap_config_, snap_params_, ctx_, features,
-                           QueryMode::kCachedFull);
-    cached_logits_ = engine.full_logits();  // shares storage, outlives engine
+                           QueryMode::kCachedFull, feature_space_,
+                           config_.precision, half_features_);
+    if (half) {
+      cached_logits_half_ = engine.full_logits_half();  // shares storage
+    } else {
+      cached_logits_ = engine.full_logits();  // shares storage
+    }
   } else {
     // On a reordered (GraphPlan) context, permute the feature rows ONCE
     // here and share the plan-space tensor read-only across every
     // worker's engine — W private permuted copies would defeat the
     // "features shared, never copied per engine" contract.
-    if (ctx_->plan() != nullptr && ctx_->plan()->active()) {
+    if (reordered && half_features_ == nullptr) {
       worker_features_ = ctx_->plan()->permute_rows(features);
       feature_space_ = FeatureSpace::kPlan;
+    }
+    if (half && half_features_ == nullptr) {
+      // Quantize the (possibly permuted) features once; every worker
+      // engine shares this slice and the fp32 handle is dropped.
+      half_features_ = std::make_shared<const HalfBuffer>(
+          HalfBuffer::quantize(worker_features_, config_.precision));
+      worker_features_ = Tensor{};
     }
     workers_.reserve(config_.workers);
     for (std::size_t i = 0; i < config_.workers; ++i) {
@@ -147,7 +172,7 @@ BatchServer::~BatchServer() {
 std::unique_ptr<InferenceEngine> BatchServer::build_worker_engine() const {
   auto engine = std::make_unique<InferenceEngine>(
       snap_config_, snap_params_, ctx_, worker_features_, config_.mode,
-      feature_space_);
+      feature_space_, config_.precision, half_features_);
   // Sharded serving: the guard rides through isolation rebuilds too — a
   // fresh engine must enforce the same halo-sufficiency invariant.
   if (config_.row_guard != nullptr) {
@@ -550,10 +575,24 @@ void BatchServer::run_batch(std::vector<Pending>& batch) {
   m_batches_->inc();
   m_queries_->inc(static_cast<std::uint64_t>(n));
   m_batch_size_->observe(static_cast<double>(n));
+  // Half cached table: widen the answered row into a small per-batch
+  // buffer (untracked; the tracked-allocation contract covers tensor
+  // workspaces).
+  std::vector<float> wide_row;
+  const bool cached_half = cached && cached_logits_half_.defined();
+  if (cached_half) wide_row.resize(static_cast<std::size_t>(out_dim_));
   for (std::int64_t i = 0; i < n; ++i) {
     Pending& p = batch[static_cast<std::size_t>(i)];
-    const float* row = cached ? cached_logits_.data() + p.node * out_dim_
-                              : batch_rows + i * out_dim_;
+    const float* row;
+    if (cached_half) {
+      half::widen(cached_logits_half_.data() + p.node * out_dim_,
+                  wide_row.data(), out_dim_, cached_logits_half_.precision());
+      row = wide_row.data();
+    } else if (cached) {
+      row = cached_logits_.data() + p.node * out_dim_;
+    } else {
+      row = batch_rows + i * out_dim_;
+    }
     Prediction pred;
     // The shard id-translation boundary: a shard server is submitted
     // shard-local ids but answers in the caller's global numbering.

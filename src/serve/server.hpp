@@ -85,6 +85,19 @@ struct ServerConfig {
   /// Destructor behaviour for queries still queued when intake closes:
   /// true drains them through the engines, false fails them kShutdown.
   bool drain_on_shutdown = true;
+  /// Storage precision of the serving stack (docs/ARCHITECTURE.md
+  /// "Precision lowering"): kFp16/kBf16 stores the feature matrix, the
+  /// executor weight panels and inter-layer activations — and in
+  /// kCachedFull mode the shared answer table — at half width, with fp32
+  /// accumulation everywhere. The query/prediction interface is
+  /// unchanged.
+  Precision precision = Precision::kFp32;
+  /// Optional pre-quantized feature matrix (must match `precision`;
+  /// plan-space rows when the context reorders vertices). When set, the
+  /// server and every worker engine share its storage instead of
+  /// quantizing a private copy — the sharded router quantizes each
+  /// shard's slice ONCE and its R replicas all serve from it.
+  std::shared_ptr<const HalfBuffer> half_features;
 
   // --- Sharded-serving hooks (set by serve::ShardedServer for its
   // per-shard inner servers; the defaults are plain single-server
@@ -349,13 +362,20 @@ class BatchServer {
   ParamStore snap_params_;
   std::shared_ptr<const GraphContext> ctx_;
   Tensor worker_features_;
+  /// Half precision: the one half-width feature slice every worker
+  /// engine shares (config-provided or quantized here once); the fp32
+  /// worker_features_ handle is dropped after quantization.
+  std::shared_ptr<const HalfBuffer> half_features_;
   FeatureSpace feature_space_ = FeatureSpace::kOriginal;
 
   /// kCachedFull mode: the full-graph logits, computed ONCE at
   /// construction by a throwaway engine and shared immutably by every
   /// batch worker (a query is then a row lookup). Per-worker engines —
   /// and their duplicated workspaces — exist only in kSubgraph mode.
+  /// Half precision stores the table quantized instead (rows widen at
+  /// answer time), so only one of the two is ever defined.
   Tensor cached_logits_;
+  HalfBuffer cached_logits_half_;
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::deque<Worker*> free_workers_;

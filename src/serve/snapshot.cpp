@@ -1,5 +1,7 @@
 #include "serve/snapshot.hpp"
 
+#include <bit>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -34,6 +36,7 @@ constexpr std::uint32_t kSnapshotVersionV3 = 3;  // sharded layout
 // a footer CRC over however many sections the file carries.
 constexpr std::uint32_t kMetaSectionMagic = 0x47534D31;     // "GSM1"
 constexpr std::uint32_t kParamsSectionMagic = 0x47535031;   // "GSP1"
+constexpr std::uint32_t kQuantSectionMagic = 0x47535131;    // "GSQ1"
 constexpr std::uint32_t kShardManifestMagic = 0x47534831;   // "GSH1"
 constexpr std::uint32_t kShardSectionMagic = 0x47535331;    // "GSS1"
 constexpr std::uint32_t kFooterMagic = 0x47534654;          // "GSFT"
@@ -111,14 +114,12 @@ std::uint32_t write_section(std::ostream& os, std::uint32_t magic,
   return crc;
 }
 
-/// Read and verify one v2 section; returns (payload, crc). The payload is
-/// read in bounded chunks so a corrupted length field stops at the first
-/// short read instead of allocating terabytes.
-std::pair<std::string, std::uint32_t> read_section(std::istream& is,
-                                                   std::uint32_t magic,
-                                                   const char* what) {
-  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == magic,
-                  "bad snapshot " << what << " section magic");
+/// Read and verify one v2 section AFTER its magic has been consumed;
+/// returns (payload, crc). The payload is read in bounded chunks so a
+/// corrupted length field stops at the first short read instead of
+/// allocating terabytes.
+std::pair<std::string, std::uint32_t> read_section_body(std::istream& is,
+                                                        const char* what) {
   const auto len = read_pod<std::uint64_t>(is);
   GSOUP_CHECK_MSG(len < kMaxSectionBytes,
                   "implausible snapshot " << what << " section length "
@@ -138,6 +139,124 @@ std::pair<std::string, std::uint32_t> read_section(std::istream& is,
   return {std::move(payload), stored_crc};
 }
 
+std::pair<std::string, std::uint32_t> read_section(std::istream& is,
+                                                   std::uint32_t magic,
+                                                   const char* what) {
+  GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == magic,
+                  "bad snapshot " << what << " section magic");
+  return read_section_body(is, what);
+}
+
+// ---- Quantized parameter section (GSQ1) -----------------------------------
+
+/// Max-abs over the WIDENED quantized values — writer and reader compute
+/// it with the same loop, so the metadata check is exact (bit-compared)
+/// and never fails a legitimate round-trip. NaN payloads (hand-crafted
+/// files; real parameters are finite) compare false and are ignored by
+/// both sides identically.
+float quantized_max_abs(const std::uint16_t* q, std::int64_t n,
+                        Precision precision) {
+  float max_abs = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = std::fabs(half::widen_one(q[i], precision));
+    if (v > max_abs) max_abs = v;
+  }
+  return max_abs;
+}
+
+void write_quantized_params_body(std::ostream& os, const ParamStore& params,
+                                 Precision precision) {
+  GSOUP_CHECK_MSG(precision != Precision::kFp32,
+                  "quantized snapshots need kFp16 or kBf16");
+  write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(precision));
+  write_pod<std::uint64_t>(os, params.size());
+  std::vector<std::uint16_t> q;
+  for (const auto& e : params.entries()) {
+    write_string(os, e.name);
+    write_pod<std::int32_t>(os, e.layer);
+    const Tensor& t = e.tensor;
+    write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(t.rank()));
+    for (int d = 0; d < t.rank(); ++d) {
+      write_pod<std::int64_t>(os, t.shape(d));
+    }
+    q.resize(static_cast<std::size_t>(t.numel()));
+    half::quantize(t.data(), q.data(), t.numel(), precision);
+    write_pod<float>(os, quantized_max_abs(q.data(), t.numel(), precision));
+    write_vector(os, q);
+  }
+}
+
+ParamStore read_quantized_params_body(std::istream& is) {
+  const auto prec_id = read_pod<std::uint8_t>(is);
+  GSOUP_CHECK_MSG(prec_id == static_cast<std::uint8_t>(Precision::kFp16) ||
+                      prec_id == static_cast<std::uint8_t>(Precision::kBf16),
+                  "quantized section has unknown precision id "
+                      << static_cast<int>(prec_id));
+  const auto precision = static_cast<Precision>(prec_id);
+  const auto count = read_pod<std::uint64_t>(is);
+  GSOUP_CHECK_MSG(count < (1ULL << 20), "implausible parameter count");
+  ParamStore store;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string name = read_string(is);
+    const auto layer = read_pod<std::int32_t>(is);
+    const auto rank = read_pod<std::uint8_t>(is);
+    GSOUP_CHECK_MSG(rank >= 1 && rank <= 4,
+                    "quantized parameter " << name << " has implausible rank "
+                                           << static_cast<int>(rank));
+    Shape shape;
+    std::int64_t numel = 1;
+    for (int d = 0; d < rank; ++d) {
+      const auto dim = read_pod<std::int64_t>(is);
+      GSOUP_CHECK_MSG(dim >= 0 && dim < (1LL << 32),
+                      "quantized parameter " << name
+                                             << " has implausible dimension "
+                                             << dim);
+      shape.push_back(dim);
+      numel *= dim;
+      GSOUP_CHECK_MSG(numel < (1LL << 33),
+                      "quantized parameter " << name << " is implausibly "
+                                                        "large");
+    }
+    const auto stored_max_abs = read_pod<float>(is);
+    const std::vector<std::uint16_t> q = read_vector<std::uint16_t>(is);
+    GSOUP_CHECK_MSG(static_cast<std::int64_t>(q.size()) == numel,
+                    "quantized parameter "
+                        << name << " payload has " << q.size()
+                        << " values, shape implies " << numel);
+    // Integrity metadata: the stored max-abs must bit-match the payload's
+    // (CRC covers random corruption; this catches consistent hand-edits
+    // and format drift).
+    const float max_abs = quantized_max_abs(q.data(), numel, precision);
+    GSOUP_CHECK_MSG(std::bit_cast<std::uint32_t>(max_abs) ==
+                        std::bit_cast<std::uint32_t>(stored_max_abs),
+                    "quantized parameter "
+                        << name << " max-abs metadata (" << stored_max_abs
+                        << ") does not match its payload (" << max_abs
+                        << ")");
+    Tensor t = Tensor::empty(std::move(shape));
+    half::widen(q.data(), t.data(), numel, precision);
+    store.add(std::move(name), std::move(t), layer);
+  }
+  return store;
+}
+
+/// The params section of a v2/v3 body: full-precision (GSP1) or quantized
+/// (GSQ1) — the reader peeks the magic and dispatches, so both kinds of
+/// file load through every .gsnp entry point. Returns the section CRC.
+std::uint32_t read_params_section(std::istream& is, ParamStore& params) {
+  const auto magic = read_pod<std::uint32_t>(is);
+  GSOUP_CHECK_MSG(
+      magic == kParamsSectionMagic || magic == kQuantSectionMagic,
+      "bad snapshot params section magic");
+  const bool quantized = magic == kQuantSectionMagic;
+  auto [bytes, crc] =
+      read_section_body(is, quantized ? "quantized params" : "params");
+  std::istringstream body(bytes);
+  params = quantized ? read_quantized_params_body(body)
+                     : io::read_params(body);
+  return crc;
+}
+
 Snapshot read_snapshot_v1(std::istream& is) {
   Snapshot snap;
   read_meta_body(is, snap);
@@ -153,12 +272,7 @@ Snapshot read_snapshot_v2(std::istream& is) {
     std::istringstream meta(meta_bytes);
     read_meta_body(meta, snap);
   }
-  const auto [param_bytes, param_crc] = read_section(is, kParamsSectionMagic,
-                                                     "params");
-  {
-    std::istringstream params(param_bytes);
-    snap.params = io::read_params(params);
-  }
+  const std::uint32_t param_crc = read_params_section(is, snap.params);
   GSOUP_CHECK_MSG(read_pod<std::uint32_t>(is) == kFooterMagic,
                   "snapshot footer missing (truncated file?)");
   const std::uint32_t crcs[2] = {meta_crc, param_crc};
@@ -221,13 +335,7 @@ ShardedSnapshot read_snapshot_v3(std::istream& is) {
     std::istringstream body(bytes);
     read_meta_body(body, out.snapshot);
   }
-  {
-    const auto [bytes, crc] = read_section(is, kParamsSectionMagic,
-                                           "params");
-    crcs.push_back(crc);
-    std::istringstream body(bytes);
-    out.snapshot.params = io::read_params(body);
-  }
+  crcs.push_back(read_params_section(is, out.snapshot.params));
   {
     const auto [bytes, crc] = read_section(is, kShardManifestMagic,
                                            "shard manifest");
@@ -426,6 +534,33 @@ void write_snapshot_v1(std::ostream& os, const Snapshot& snap) {
   write_header(os, kSnapshotMagic, kSnapshotVersionV1);
   write_meta_body(os, snap);
   io::write_params(os, snap.params);
+}
+
+void write_quantized_snapshot(std::ostream& os, const Snapshot& snap,
+                              Precision precision) {
+  FAILPOINT("snapshot.write");
+  GSOUP_CHECK_MSG(precision != Precision::kFp32,
+                  "quantized snapshots need kFp16 or kBf16; use "
+                  "write_snapshot for full precision");
+  write_header(os, kSnapshotMagic, kSnapshotVersion);
+  std::ostringstream meta(std::ios::binary);
+  write_meta_body(meta, snap);
+  std::ostringstream params(std::ios::binary);
+  write_quantized_params_body(params, snap.params, precision);
+  const std::uint32_t crcs[2] = {
+      write_section(os, kMetaSectionMagic, meta.str()),
+      write_section(os, kQuantSectionMagic, params.str()),
+  };
+  write_pod<std::uint32_t>(os, kFooterMagic);
+  write_pod<std::uint32_t>(os, crc32(crcs, sizeof(crcs)));
+}
+
+void save_quantized_snapshot(const std::string& path, const Snapshot& snap,
+                             Precision precision) {
+  OBS_SPAN("snapshot.save");
+  std::ostringstream buf(std::ios::binary);
+  write_quantized_snapshot(buf, snap, precision);
+  atomic_write_file(path, buf.str());
 }
 
 Snapshot read_snapshot(std::istream& is) {

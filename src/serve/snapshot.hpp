@@ -43,6 +43,7 @@
 #include "nn/model.hpp"
 #include "nn/param.hpp"
 #include "partition/sharding.hpp"
+#include "tensor/half.hpp"
 
 namespace gsoup::serve {
 
@@ -88,6 +89,25 @@ void write_snapshot(std::ostream& os, const Snapshot& snap);
 /// Write the legacy v1 (unframed) format. Kept only so tests can pin the
 /// v1 compatibility path of read_snapshot; new code writes v2.
 void write_snapshot_v1(std::ostream& os, const Snapshot& snap);
+
+/// Write the v2 framed format with the parameter section stored QUANTIZED
+/// (GSQ1 instead of GSP1): a `precision` tag, then per tensor its shape,
+/// the max-abs of the quantized values (integrity metadata, re-checked at
+/// load) and the 16-bit payload — roughly half the file. Same CRC32
+/// framing, footer and atomic-rename machinery as write_snapshot; every
+/// reader (read_snapshot/load_snapshot/read_sharded_snapshot) dispatches
+/// on the section magic, so quantized and full-precision files load
+/// through the same code path. Loading widens the parameters back to an
+/// fp32 ParamStore; a half-precision serving stack then re-quantizes its
+/// weight panels bit-identically (quantize∘widen is the identity on
+/// representable values). `precision` must be kFp16 or kBf16.
+void write_quantized_snapshot(std::ostream& os, const Snapshot& snap,
+                              Precision precision);
+
+/// Crash-safe file twin of write_quantized_snapshot (tmp file → fsync →
+/// atomic rename, exactly like save_snapshot).
+void save_quantized_snapshot(const std::string& path, const Snapshot& snap,
+                             Precision precision);
 
 /// Read either format (dispatches on the version field). Corrupt or
 /// truncated input throws CheckError — never returns garbage weights.

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+
+// Blocked-GEMM tile geometry and the register-tiled micro-kernel, shared
+// between the baseline TU (ops.cpp, built at the project's default ISA)
+// and the AVX2 twin (gemm_micro_avx2.cpp, built with -mavx2 in portable
+// builds and selected at runtime). The kernel is a plain scalar loop nest
+// on purpose: the autovectorizer emits SSE2 or AVX2 from the same source,
+// and because neither build enables FMA for it the per-element
+// multiply-then-add order is identical at every vector width — the two
+// TUs produce bit-identical C, so runtime dispatch never changes results.
+
+namespace gsoup::ops::detail {
+
+// The micro-kernel holds an MR×NR accumulator block in registers (4×16
+// floats = 8 YMM / 4 ZMM registers, leaving room for the broadcast A
+// value and the B row). KC×NC is the packed B panel: 256×128 floats =
+// 128 KiB, sized to sit in L2 while an MR×KC strip of A streams through
+// L1.
+constexpr std::int64_t kMR = 4;
+constexpr std::int64_t kNR = 16;
+constexpr std::int64_t kKC = 256;
+constexpr std::int64_t kNC = 128;
+
+/// Full MR×NR register tile: C[0:MR, 0:NR] ?= A[0:MR, 0:kc] · Bp[0:kc, 0:NR]
+/// where Bp rows are `ldb` apart (the packed panel width). The operands are
+/// always fp32 here — half-stored A/B widen during packing (PackA16 /
+/// PackB16 in ops.cpp), so the contraction itself is fp32 for every storage
+/// precision, in the same order, which is the reduced-precision numerics
+/// contract. kCombineBias selects the fused store c = (acc + c) + bias
+/// (the SAGE combine); it is only correct when `acc` is the COMPLETE
+/// product, i.e. a single k-panel.
+template <bool kCombineBias>
+inline void micro_kernel_full(std::int64_t kc, const float* __restrict__ a,
+                              std::int64_t lda, const float* __restrict__ bp,
+                              std::int64_t ldb, float* __restrict__ c,
+                              std::int64_t ldc,
+                              const float* __restrict__ bias) {
+  float acc[kMR][kNR] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* __restrict__ brow = bp + p * ldb;
+    for (std::int64_t r = 0; r < kMR; ++r) {
+      const float av = a[r * lda + p];
+#pragma omp simd
+      for (std::int64_t j = 0; j < kNR; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (std::int64_t r = 0; r < kMR; ++r) {
+#pragma omp simd
+    for (std::int64_t j = 0; j < kNR; ++j) {
+      if constexpr (kCombineBias) {
+        c[r * ldc + j] = (acc[r][j] + c[r * ldc + j]) + bias[j];
+      } else {
+        c[r * ldc + j] += acc[r][j];
+      }
+    }
+  }
+}
+
+}  // namespace gsoup::ops::detail

@@ -7,6 +7,9 @@
 #include <memory>
 #include <new>
 
+#include "tensor/gemm_micro.hpp"
+#include "tensor/gemm_micro_avx2.hpp"
+
 namespace gsoup::ops {
 
 namespace {
@@ -20,15 +23,14 @@ constexpr std::int64_t kParallelRowThreshold = 64;
 // tiles.
 constexpr std::int64_t kBlockedGemmMinFlops = 2ll * 48 * 48 * 48;
 
-// Blocked-GEMM tile geometry. The micro-kernel holds an MR×NR accumulator
-// block in registers (4×16 floats = 8 YMM / 4 ZMM registers, leaving room
-// for the broadcast A value and the B row). KC×NC is the packed B panel:
-// 256×128 floats = 128 KiB, sized to sit in L2 while an MR×KC strip of A
-// streams through L1.
-constexpr std::int64_t kMR = 4;
-constexpr std::int64_t kNR = 16;
-constexpr std::int64_t kKC = 256;
-constexpr std::int64_t kNC = 128;
+// Blocked-GEMM tile geometry and the full-tile micro-kernel live in
+// tensor/gemm_micro.hpp, shared with the AVX2 twin TU
+// (gemm_micro_avx2.cpp) that portable builds dispatch to at runtime.
+using detail::kKC;
+using detail::kMR;
+using detail::kNC;
+using detail::kNR;
+using detail::micro_kernel_full;
 
 // Transpose is done in square tiles so both source rows and destination
 // rows stay cache-resident.
@@ -56,33 +58,17 @@ struct AlignedBuffer {
   float* ptr;
 };
 
-/// Full MR×NR register tile: C[0:MR, 0:NR] += A[0:MR, 0:kc] · Bp[0:kc, 0:NR]
-/// where Bp rows are `ldb` apart (the packed panel width).
-void micro_kernel_full(std::int64_t kc, const float* __restrict__ a,
-                       std::int64_t lda, const float* __restrict__ bp,
-                       std::int64_t ldb, float* __restrict__ c,
-                       std::int64_t ldc) {
-  float acc[kMR][kNR] = {};
-  for (std::int64_t p = 0; p < kc; ++p) {
-    const float* __restrict__ brow = bp + p * ldb;
-    for (std::int64_t r = 0; r < kMR; ++r) {
-      const float av = a[r * lda + p];
-#pragma omp simd
-      for (std::int64_t j = 0; j < kNR; ++j) acc[r][j] += av * brow[j];
-    }
-  }
-  for (std::int64_t r = 0; r < kMR; ++r) {
-#pragma omp simd
-    for (std::int64_t j = 0; j < kNR; ++j) c[r * ldc + j] += acc[r][j];
-  }
-}
+/// Identity "widen" for fp32-stored A elements (the template's base case).
+inline float widen_f32(float x) { return x; }
 
 /// Edge tile (mr < MR and/or nr < NR): same contraction with runtime
 /// bounds.
+template <bool kCombineBias>
 void micro_kernel_edge(std::int64_t mr, std::int64_t nr, std::int64_t kc,
                        const float* __restrict__ a, std::int64_t lda,
                        const float* __restrict__ bp, std::int64_t ldb,
-                       float* __restrict__ c, std::int64_t ldc) {
+                       float* __restrict__ c, std::int64_t ldc,
+                       const float* __restrict__ bias) {
   float acc[kMR][kNR] = {};
   for (std::int64_t p = 0; p < kc; ++p) {
     const float* __restrict__ brow = bp + p * ldb;
@@ -91,39 +77,131 @@ void micro_kernel_edge(std::int64_t mr, std::int64_t nr, std::int64_t kc,
       for (std::int64_t j = 0; j < nr; ++j) acc[r][j] += av * brow[j];
     }
   }
-  for (std::int64_t r = 0; r < mr; ++r)
-    for (std::int64_t j = 0; j < nr; ++j) c[r * ldc + j] += acc[r][j];
+  for (std::int64_t r = 0; r < mr; ++r) {
+    for (std::int64_t j = 0; j < nr; ++j) {
+      if constexpr (kCombineBias) {
+        c[r * ldc + j] = (acc[r][j] + c[r * ldc + j]) + bias[j];
+      } else {
+        c[r * ldc + j] += acc[r][j];
+      }
+    }
+  }
 }
 
-/// C += A · B with A [m,k] row-major, B [k,n] row-major, C [m,n] row-major.
+/// Packs an fp32 B row range into the panel: plain row memcpy.
+struct PackB32 {
+  const float* __restrict__ pb;
+  std::int64_t n;
+  void operator()(float* __restrict__ bp, std::int64_t kk, std::int64_t jc,
+                  std::int64_t kc, std::int64_t nc) const {
+    for (std::int64_t p = 0; p < kc; ++p) {
+      std::memcpy(bp + p * nc, pb + (kk + p) * n + jc,
+                  static_cast<std::size_t>(nc) * sizeof(float));
+    }
+  }
+};
+
+/// Packs a half-stored B row range: the memcpy becomes a bulk widen, so
+/// the half weight panel converts ONCE per (kk, jc) tile and the
+/// micro-kernels run unchanged over the fp32 panel.
+struct PackB16 {
+  const std::uint16_t* __restrict__ pb;
+  std::int64_t n;
+  Precision prec;
+  void operator()(float* __restrict__ bp, std::int64_t kk, std::int64_t jc,
+                  std::int64_t kc, std::int64_t nc) const {
+    for (std::int64_t p = 0; p < kc; ++p) {
+      half::widen(pb + (kk + p) * n + jc, bp + p * nc, nc, prec);
+    }
+  }
+};
+
+/// A-strip access for fp32 A: no copy, the micro-kernel reads A in place at
+/// the matrix's own row stride.
+struct PackA32 {
+  const float* __restrict__ pa;
+  std::int64_t k;
+  const float* operator()(float* /*scratch*/, std::int64_t i0,
+                          std::int64_t kk, std::int64_t /*mr*/,
+                          std::int64_t kc_unused, std::int64_t& lda) const {
+    (void)kc_unused;
+    lda = k;
+    return pa + i0 * k + kk;
+  }
+};
+
+/// A-strip access for half-stored A: bulk-widens the mr×kc strip into
+/// per-iteration stack scratch ONCE per (i0, kk, jc), amortised over the
+/// nc/kNR micro-kernel tiles that reuse it. Keeping the scalar codec out
+/// of the contraction loop is what lets the bulk converter's F16C path
+/// carry the conversion cost (a per-element in-loop widen is ~10 ops and
+/// dominated the kernel).
+struct PackA16 {
+  const std::uint16_t* __restrict__ pa;
+  std::int64_t k;
+  Precision prec;
+  const float* operator()(float* __restrict__ scratch, std::int64_t i0,
+                          std::int64_t kk, std::int64_t mr, std::int64_t kc,
+                          std::int64_t& lda) const {
+    for (std::int64_t r = 0; r < mr; ++r) {
+      half::widen(pa + (i0 + r) * k + kk, scratch + r * kc, kc, prec);
+    }
+    lda = kc;
+    return scratch;
+  }
+};
+
+/// C ?= A · B with A [m,k] row-major, B [k,n] row-major, C [m,n] row-major.
 /// Packs B into KC×NC panels and contracts them against MR-row strips of A
 /// with a register-tiled micro-kernel. Threads split the M dimension, so
-/// the packed panel is shared read-only.
-void gemm_blocked_acc(std::int64_t m, std::int64_t n, std::int64_t k,
-                      const float* __restrict__ pa,
-                      const float* __restrict__ pb, float* __restrict__ pc) {
+/// the packed panel is shared read-only. The kCombineBias instantiation
+/// requires k <= kKC (single k-panel; see gemm_can_combine_bias).
+template <bool kCombineBias, typename PackA, typename PackB>
+void gemm_blocked_acc_t(std::int64_t m, std::int64_t n, std::int64_t k,
+                        const PackA& pack_a, const PackB& pack_b,
+                        float* __restrict__ pc,
+                        const float* __restrict__ bias) {
+  // Full tiles go to the AVX2 build of the micro-kernel when the CPU has
+  // it — bit-exact with the baseline build (see gemm_micro.hpp), just
+  // wider vectors, which roughly doubles portable-build GEMM throughput.
+  // Edge tiles are a vanishing fraction of the work and stay baseline.
+  const bool simd = gemmsimd::available();
   AlignedBuffer panel(kKC * kNC);
   float* __restrict__ bp = panel.ptr;
   for (std::int64_t jc = 0; jc < n; jc += kNC) {
     const std::int64_t nc = std::min(kNC, n - jc);
     for (std::int64_t kk = 0; kk < k; kk += kKC) {
       const std::int64_t kc = std::min(kKC, k - kk);
-      for (std::int64_t p = 0; p < kc; ++p) {
-        std::memcpy(bp + p * nc, pb + (kk + p) * n + jc,
-                    static_cast<std::size_t>(nc) * sizeof(float));
-      }
+      pack_b(bp, kk, jc, kc, nc);
 #pragma omp parallel for schedule(static) if (m >= kParallelRowThreshold)
       for (std::int64_t i0 = 0; i0 < m; i0 += kMR) {
         const std::int64_t mr = std::min(kMR, m - i0);
-        const float* __restrict__ astrip = pa + i0 * k + kk;
+        // Loop-private scratch for PackA16's widened strip (kMR×kKC floats
+        // = 4 KiB of stack); PackA32 ignores it and aliases A directly.
+        float apack[kMR * kKC];
+        std::int64_t lda;
+        const float* __restrict__ astrip =
+            pack_a(apack, i0, kk, mr, kc, lda);
         float* __restrict__ cstrip = pc + i0 * n + jc;
         for (std::int64_t j0 = 0; j0 < nc; j0 += kNR) {
           const std::int64_t nr = std::min(kNR, nc - j0);
+          const float* __restrict__ btile =
+              bias == nullptr ? nullptr : bias + jc + j0;
           if (mr == kMR && nr == kNR) {
-            micro_kernel_full(kc, astrip, k, bp + j0, nc, cstrip + j0, n);
+            if (simd) {
+              if constexpr (kCombineBias) {
+                gemmsimd::full_bias(kc, astrip, lda, bp + j0, nc, cstrip + j0,
+                                    n, btile);
+              } else {
+                gemmsimd::full(kc, astrip, lda, bp + j0, nc, cstrip + j0, n);
+              }
+            } else {
+              micro_kernel_full<kCombineBias>(kc, astrip, lda, bp + j0, nc,
+                                              cstrip + j0, n, btile);
+            }
           } else {
-            micro_kernel_edge(mr, nr, kc, astrip, k, bp + j0, nc,
-                              cstrip + j0, n);
+            micro_kernel_edge<kCombineBias>(mr, nr, kc, astrip, lda, bp + j0,
+                                            nc, cstrip + j0, n, btile);
           }
         }
       }
@@ -131,8 +209,43 @@ void gemm_blocked_acc(std::int64_t m, std::int64_t n, std::int64_t k,
   }
 }
 
+void gemm_blocked_acc(std::int64_t m, std::int64_t n, std::int64_t k,
+                      const float* __restrict__ pa,
+                      const float* __restrict__ pb, float* __restrict__ pc) {
+  gemm_blocked_acc_t<false>(m, n, k, PackA32{pa, k}, PackB32{pb, n}, pc,
+                            nullptr);
+}
+
 bool use_blocked_gemm(std::int64_t m, std::int64_t n, std::int64_t k) {
   return 2 * m * n * k >= kBlockedGemmMinFlops;
+}
+
+/// Naive i-k-j accumulate generalised over stored element types; the
+/// below-threshold fallback for the half GEMM overloads, mirroring
+/// matmul_naive_acc's loop order exactly.
+template <typename TA, float (*WidenA)(TA), typename TB, float (*WidenB)(TB)>
+void naive_acc_t(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const TA* __restrict__ pa, const TB* __restrict__ pb,
+                 float* __restrict__ pc) {
+#pragma omp parallel for schedule(static) if (m >= kParallelRowThreshold)
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* __restrict__ crow = pc + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aval = WidenA(pa[i * k + kk]);
+      const TB* __restrict__ brow = pb + kk * n;
+#pragma omp simd
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * WidenB(brow[j]);
+    }
+  }
+}
+
+void check_matmul_half(std::int64_t am, std::int64_t ak, std::int64_t bk,
+                       std::int64_t bn, const Tensor& c) {
+  GSOUP_CHECK_MSG(ak == bk, "matmul inner-dimension mismatch: ["
+                                << am << ", " << ak << "] vs [" << bk << ", "
+                                << bn << "]");
+  GSOUP_CHECK_MSG(c.rank() == 2 && c.shape(0) == am && c.shape(1) == bn,
+                  "matmul_acc output shape mismatch");
 }
 
 }  // namespace
@@ -177,6 +290,112 @@ void matmul_naive_acc(const Tensor& a, const Tensor& b, Tensor& c) {
       for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
     }
   }
+}
+
+void matmul_acc(const HalfBuffer& a, const Tensor& b, Tensor& c) {
+  GSOUP_CHECK_MSG(a.rank() == 2 && b.rank() == 2,
+                  "matmul requires rank-2 operands, got "
+                      << a.shape_str() << " and " << b.shape_str());
+  const std::int64_t m = a.shape(0), k = a.shape(1), n = b.shape(1);
+  check_matmul_half(m, k, b.shape(0), n, c);
+  if (use_blocked_gemm(m, n, k)) {
+    gemm_blocked_acc_t<false>(m, n, k, PackA16{a.data(), k, a.precision()},
+                              PackB32{b.data(), n}, c.data(), nullptr);
+    return;
+  }
+  if (a.precision() == Precision::kFp16) {
+    naive_acc_t<std::uint16_t, half::widen_fp16, float, widen_f32>(
+        m, n, k, a.data(), b.data(), c.data());
+  } else {
+    naive_acc_t<std::uint16_t, half::widen_bf16, float, widen_f32>(
+        m, n, k, a.data(), b.data(), c.data());
+  }
+}
+
+void matmul_acc(const Tensor& a, const HalfBuffer& b, Tensor& c) {
+  GSOUP_CHECK_MSG(a.rank() == 2 && b.rank() == 2,
+                  "matmul requires rank-2 operands, got "
+                      << a.shape_str() << " and " << b.shape_str());
+  const std::int64_t m = a.shape(0), k = a.shape(1), n = b.shape(1);
+  check_matmul_half(m, k, b.shape(0), n, c);
+  if (use_blocked_gemm(m, n, k)) {
+    gemm_blocked_acc_t<false>(m, n, k, PackA32{a.data(), k},
+                              PackB16{b.data(), n, b.precision()}, c.data(),
+                              nullptr);
+    return;
+  }
+  if (b.precision() == Precision::kFp16) {
+    naive_acc_t<float, widen_f32, std::uint16_t, half::widen_fp16>(
+        m, n, k, a.data(), b.data(), c.data());
+  } else {
+    naive_acc_t<float, widen_f32, std::uint16_t, half::widen_bf16>(
+        m, n, k, a.data(), b.data(), c.data());
+  }
+}
+
+void matmul_acc(const HalfBuffer& a, const HalfBuffer& b, Tensor& c) {
+  GSOUP_CHECK_MSG(a.rank() == 2 && b.rank() == 2,
+                  "matmul requires rank-2 operands, got "
+                      << a.shape_str() << " and " << b.shape_str());
+  GSOUP_CHECK_MSG(a.precision() == b.precision(),
+                  "mixed half precisions in matmul_acc: "
+                      << precision_name(a.precision()) << " vs "
+                      << precision_name(b.precision()));
+  const std::int64_t m = a.shape(0), k = a.shape(1), n = b.shape(1);
+  check_matmul_half(m, k, b.shape(0), n, c);
+  if (use_blocked_gemm(m, n, k)) {
+    gemm_blocked_acc_t<false>(m, n, k, PackA16{a.data(), k, a.precision()},
+                              PackB16{b.data(), n, b.precision()}, c.data(),
+                              nullptr);
+    return;
+  }
+  if (a.precision() == Precision::kFp16) {
+    naive_acc_t<std::uint16_t, half::widen_fp16, std::uint16_t,
+                half::widen_fp16>(m, n, k, a.data(), b.data(), c.data());
+  } else {
+    naive_acc_t<std::uint16_t, half::widen_bf16, std::uint16_t,
+                half::widen_bf16>(m, n, k, a.data(), b.data(), c.data());
+  }
+}
+
+bool gemm_can_combine_bias(std::int64_t m, std::int64_t n, std::int64_t k) {
+  // One k-panel keeps the whole contraction in the register accumulators,
+  // so the fused store consumes the COMPLETE product — the exact bits a
+  // zero-initialised separate GEMM would have produced. Multi-panel
+  // contractions store partial sums and would change the summation order.
+  return use_blocked_gemm(m, n, k) && k <= kKC;
+}
+
+void matmul_combine_bias(const Tensor& a, const Tensor& b,
+                         const Tensor& bias, Tensor& c) {
+  check_matmul(a, b, a.shape(1), b.shape(0));
+  const std::int64_t m = a.shape(0), k = a.shape(1), n = b.shape(1);
+  check_matmul_half(m, k, b.shape(0), n, c);
+  GSOUP_CHECK_MSG(bias.rank() == 1 && bias.shape(0) == n,
+                  "matmul_combine_bias: bias " << bias.shape_str()
+                                               << " vs n=" << n);
+  GSOUP_CHECK_MSG(gemm_can_combine_bias(m, n, k),
+                  "matmul_combine_bias outside its fusable regime (m=" << m
+                      << ", n=" << n << ", k=" << k << ")");
+  gemm_blocked_acc_t<true>(m, n, k, PackA32{a.data(), k},
+                           PackB32{b.data(), n}, c.data(), bias.data());
+}
+
+void matmul_combine_bias(const HalfBuffer& a, const HalfBuffer& b,
+                         const Tensor& bias, Tensor& c) {
+  GSOUP_CHECK_MSG(a.precision() == b.precision(),
+                  "mixed half precisions in matmul_combine_bias");
+  const std::int64_t m = a.shape(0), k = a.shape(1), n = b.shape(1);
+  check_matmul_half(m, k, b.shape(0), n, c);
+  GSOUP_CHECK_MSG(bias.rank() == 1 && bias.shape(0) == n,
+                  "matmul_combine_bias: bias " << bias.shape_str()
+                                               << " vs n=" << n);
+  GSOUP_CHECK_MSG(gemm_can_combine_bias(m, n, k),
+                  "matmul_combine_bias outside its fusable regime (m=" << m
+                      << ", n=" << n << ", k=" << k << ")");
+  gemm_blocked_acc_t<true>(m, n, k, PackA16{a.data(), k, a.precision()},
+                           PackB16{b.data(), n, b.precision()}, c.data(),
+                           bias.data());
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
@@ -557,6 +776,62 @@ void gather_rows_into_impl(const Tensor& src, std::span<const Idx> row_ids,
   }
 }
 
+template <typename Idx>
+void gather_rows_into_half_impl(const HalfBuffer& src,
+                                std::span<const Idx> row_ids, Tensor& out) {
+  GSOUP_CHECK_MSG(src.rank() == 2 && out.rank() == 2 &&
+                      out.shape(1) == src.shape(1) &&
+                      out.shape(0) ==
+                          static_cast<std::int64_t>(row_ids.size()),
+                  "gather_rows_into: bad shapes " << src.shape_str() << " / "
+                                                  << out.shape_str());
+  const std::int64_t d = src.shape(1);
+  const std::int64_t m = out.shape(0);
+  const std::uint16_t* __restrict__ ps = src.data();
+  float* __restrict__ pd = out.data();
+  const Precision prec = src.precision();
+  // The memcpy of the fp32 gather becomes a bulk row widen — same traffic
+  // shape, half the bytes read.
+#pragma omp parallel for schedule(static) \
+    if (m * d >= kParallelNumelThreshold)
+  for (std::int64_t i = 0; i < m; ++i) {
+    GSOUP_DCHECK(row_ids[static_cast<std::size_t>(i)] >= 0 &&
+                 row_ids[static_cast<std::size_t>(i)] < src.shape(0));
+    half::widen(ps + static_cast<std::int64_t>(
+                         row_ids[static_cast<std::size_t>(i)]) *
+                         d,
+                pd + i * d, d, prec);
+  }
+}
+
+template <typename Idx>
+void gather_rows_into_h2h_impl(const HalfBuffer& src,
+                               std::span<const Idx> row_ids,
+                               HalfBuffer& out) {
+  GSOUP_CHECK_MSG(src.rank() == 2 && out.rank() == 2 &&
+                      out.shape(1) == src.shape(1) &&
+                      out.shape(0) ==
+                          static_cast<std::int64_t>(row_ids.size()) &&
+                      out.precision() == src.precision(),
+                  "gather_rows_into: bad shapes " << src.shape_str() << " / "
+                                                  << out.shape_str());
+  const std::int64_t d = src.shape(1);
+  const std::int64_t m = out.shape(0);
+  const std::uint16_t* __restrict__ ps = src.data();
+  std::uint16_t* __restrict__ pd = out.data();
+#pragma omp parallel for schedule(static) \
+    if (m * d >= kParallelNumelThreshold)
+  for (std::int64_t i = 0; i < m; ++i) {
+    GSOUP_DCHECK(row_ids[static_cast<std::size_t>(i)] >= 0 &&
+                 row_ids[static_cast<std::size_t>(i)] < src.shape(0));
+    std::memcpy(pd + i * d,
+                ps + static_cast<std::int64_t>(
+                         row_ids[static_cast<std::size_t>(i)]) *
+                         d,
+                static_cast<std::size_t>(d) * sizeof(std::uint16_t));
+  }
+}
+
 }  // namespace
 
 void gather_rows_into(const Tensor& src,
@@ -567,6 +842,28 @@ void gather_rows_into(const Tensor& src,
 void gather_rows_into(const Tensor& src,
                       std::span<const std::int64_t> row_ids, Tensor& out) {
   gather_rows_into_impl(src, row_ids, out);
+}
+
+void gather_rows_into(const HalfBuffer& src,
+                      std::span<const std::int32_t> row_ids, Tensor& out) {
+  gather_rows_into_half_impl(src, row_ids, out);
+}
+
+void gather_rows_into(const HalfBuffer& src,
+                      std::span<const std::int64_t> row_ids, Tensor& out) {
+  gather_rows_into_half_impl(src, row_ids, out);
+}
+
+void gather_rows_into(const HalfBuffer& src,
+                      std::span<const std::int32_t> row_ids,
+                      HalfBuffer& out) {
+  gather_rows_into_h2h_impl(src, row_ids, out);
+}
+
+void gather_rows_into(const HalfBuffer& src,
+                      std::span<const std::int64_t> row_ids,
+                      HalfBuffer& out) {
+  gather_rows_into_h2h_impl(src, row_ids, out);
 }
 
 float max_abs_diff(const Tensor& a, const Tensor& b) {

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <span>
 
+#include "tensor/half.hpp"
 #include "tensor/tensor.hpp"
 
 namespace gsoup::ops {
@@ -22,6 +23,37 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b);
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
 /// In-place accumulate: c += A · B.
 void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c);
+
+// ---- Reduced-precision GEMM ---------------------------------------------
+// Half-stored operands, fp32 accumulation. The A elements widen to fp32 in
+// the micro-kernel registers and the B panel widens during packing, so the
+// blocked schedule and accumulation order are IDENTICAL to the fp32 kernel:
+// results are bit-equal to running the fp32 GEMM over quantize-widened
+// copies of the inputs. Output is always fp32.
+
+/// c += A · B with half-stored A and fp32 B.
+void matmul_acc(const HalfBuffer& a, const Tensor& b, Tensor& c);
+/// c += A · B with fp32 A and half-stored B (half weight panels).
+void matmul_acc(const Tensor& a, const HalfBuffer& b, Tensor& c);
+/// c += A · B with both operands half-stored (same precision required).
+void matmul_acc(const HalfBuffer& a, const HalfBuffer& b, Tensor& c);
+
+// ---- Fused GEMM + combine + bias ----------------------------------------
+// c = (A·B + c) + bias, the SAGE (self + neigh) + bias combine folded into
+// the GEMM's register-tile store. Bit-equal to "tmp = A·B; c = (tmp + c) +
+// bias" in exactly the regime gemm_can_combine_bias admits: the blocked
+// path with the whole contraction in ONE k-panel, so each output element
+// is completed in registers and stored once — the fused store sees the
+// same `tmp` bits the separate epilogue would have read back.
+
+/// True if matmul_combine_bias may be used for an [m,k]x[k,n] product.
+bool gemm_can_combine_bias(std::int64_t m, std::int64_t n, std::int64_t k);
+/// c = (A·B + c) + bias. Requires gemm_can_combine_bias(m, n, k).
+void matmul_combine_bias(const Tensor& a, const Tensor& b,
+                         const Tensor& bias, Tensor& c);
+/// Half-stored-operand twin (same eligibility rule).
+void matmul_combine_bias(const HalfBuffer& a, const HalfBuffer& b,
+                         const Tensor& bias, Tensor& c);
 
 // ---- Naive GEMM references ----------------------------------------------
 // The simple row-parallel loops the packed/blocked kernels above fall back
@@ -94,6 +126,23 @@ void gather_rows_into(const Tensor& src,
                       std::span<const std::int32_t> row_ids, Tensor& out);
 void gather_rows_into(const Tensor& src,
                       std::span<const std::int64_t> row_ids, Tensor& out);
+
+/// Convert-on-gather: rows of a half-stored matrix widened to fp32 as they
+/// are copied out. One bulk widen per row (F16C when the CPU has it), so a
+/// half feature matrix or cached logits table halves the gather traffic at
+/// no extra pass.
+void gather_rows_into(const HalfBuffer& src,
+                      std::span<const std::int32_t> row_ids, Tensor& out);
+void gather_rows_into(const HalfBuffer& src,
+                      std::span<const std::int64_t> row_ids, Tensor& out);
+
+/// Half-to-half row gather (16-bit memcpy per row): keeps gathered
+/// subgraph input rows at storage width for kernels that read half
+/// directly. Precisions must match.
+void gather_rows_into(const HalfBuffer& src,
+                      std::span<const std::int32_t> row_ids, HalfBuffer& out);
+void gather_rows_into(const HalfBuffer& src,
+                      std::span<const std::int64_t> row_ids, HalfBuffer& out);
 
 // ---- Comparison helpers (tests) -----------------------------------------
 

@@ -2,6 +2,7 @@
 
 #include "ag/loss.hpp"
 #include "ag/ops.hpp"
+#include "exec/executor.hpp"
 #include "obs/trace.hpp"
 #include "train/metrics.hpp"
 #include "util/check.hpp"
@@ -33,6 +34,13 @@ TrainResult train_full_batch(const GnnModel& model, const GraphContext& ctx,
   const auto train_nodes = data.split_nodes(Split::kTrain);
   GSOUP_CHECK_MSG(!train_nodes.empty(), "dataset has no training nodes");
 
+  // Parameter Values bound to the plan's steps once, outside the epoch
+  // loop: every forward below walks an indexed vector instead of doing
+  // per-layer name→Value map lookups. The bound handles alias the same
+  // leaves the optimizer steps, so no refresh is ever needed.
+  const exec::LayerPlan& plan = ctx.layer_plan(model.config());
+  const exec::TapeBindings bound(plan, leaves);
+
   ParamStore best;
   std::int64_t since_best = 0;
 
@@ -40,8 +48,8 @@ TrainResult train_full_batch(const GnnModel& model, const GraphContext& ctx,
     OBS_SPAN("train.epoch");
     optimizer->set_lr(scheduled_lr(config.schedule, epoch, config.epochs));
 
-    const ag::Value logits =
-        model.forward(ctx, features, leaves, /*training=*/true, &dropout_rng);
+    const ag::Value logits = exec::run_train(plan, features, bound,
+                                             /*training=*/true, &dropout_rng);
     const ag::Value loss = ag::cross_entropy(logits, data.labels, train_nodes);
     result.train_loss.push_back(static_cast<double>(loss->value.at(0)));
 

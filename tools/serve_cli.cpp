@@ -6,21 +6,28 @@
 //                   [--ingredients 4] [--epochs 30] [--workers 2]
 //                   [--method uniform|learned]
 //                   [--shards N [--partitioner random|ldg|multilevel]]
+//                   [--quantized fp16|bf16]
 //       Generate a dataset, train ingredients, soup them, and write both
 //       the dataset and the model snapshot. With --shards N the snapshot
 //       is written in the sharded (v3) layout: the serving graph is
 //       partitioned, halo-replicated to the model's layer depth, and
-//       stored per shard alongside the owner routing table.
+//       stored per shard alongside the owner routing table. With
+//       --quantized the (unsharded) snapshot stores its parameters in the
+//       16-bit GSQ1 section — roughly half the file; every reader loads
+//       it transparently.
 //
 //   serve_cli info  --snapshot soup.gsnp
 //       Print a snapshot's architecture, graph metadata and parameters;
 //       for a sharded snapshot, also the shard manifest and replication.
 //
 //   serve_cli query --snapshot soup.gsnp --data graph.gds --nodes 0,5,17
-//                   [--mode subgraph|full]
+//                   [--mode subgraph|full] [--precision fp32|fp16|bf16]
 //       Answer node-classification queries through the inference engine.
 //       A sharded snapshot is answered through the shard router (each
-//       query runs on the shard owning its node).
+//       query runs on the shard owning its node). --precision selects the
+//       serving storage precision (features, weight panels, cached
+//       logits); accumulation stays fp32 (docs/ARCHITECTURE.md,
+//       "Precision lowering").
 //
 //   serve_cli bench --snapshot soup.gsnp --data graph.gds [--requests 2000]
 //                   [--batch 64] [--workers 2] [--clients 4]
@@ -28,6 +35,7 @@
 //                   [--max-pending 4096] [--admission reject|shed]
 //                   [--deadline-ms 0] [--retries 0] [--retry-budget 0]
 //                   [--backoff-ms 1.0] [--allow-failures]
+//                   [--precision fp32|fp16|bf16]
 //                   [--replicas R] [--degraded-policy fail|stale] [--hedge]
 //                   [--chaos-schedule FILE]
 //       Drive the batch server from concurrent clients and report
@@ -128,6 +136,8 @@ struct Args {
   std::string mode = "subgraph";
   std::string nodes;
   std::string admission = "reject";
+  std::string precision = "fp32";  ///< serving storage precision
+  std::string quantized;           ///< save: non-empty = GSQ1 params section
   std::string partitioner = "multilevel";
   std::string degraded_policy = "fail";  ///< "fail" | "stale"
   std::string chaos_schedule;            ///< timed failpoint schedule file
@@ -189,6 +199,8 @@ bool parse_args(int argc, char** argv, Args& args) {
     else if (flag == "--clients" && (v = next())) args.clients = std::atoll(v);
     else if (flag == "--max-pending" && (v = next())) args.max_pending = std::atoll(v);
     else if (flag == "--admission" && (v = next())) args.admission = v;
+    else if (flag == "--precision" && (v = next())) args.precision = v;
+    else if (flag == "--quantized" && (v = next())) args.quantized = v;
     else if (flag == "--deadline-ms" && (v = next())) args.deadline_ms = std::atof(v);
     else if (flag == "--retries" && (v = next())) args.retries = std::atoll(v);
     else if (flag == "--retry-budget" && (v = next())) args.retry_budget = std::atoll(v);
@@ -225,6 +237,16 @@ serve::QueryMode parse_mode(const std::string& name) {
   if (name == "full") return serve::QueryMode::kCachedFull;
   GSOUP_CHECK_MSG(false, "unknown query mode '" << name << "'");
   return serve::QueryMode::kSubgraph;
+}
+
+/// Bad --precision/--quantized values are usage errors (exit 2), like any
+/// other malformed flag, not internal errors.
+Precision parse_precision_arg(const std::string& name) {
+  try {
+    return parse_precision(name);
+  } catch (const std::exception& e) {
+    throw ExitError(kExitUsage, e.what());
+  }
 }
 
 SyntheticSpec preset_spec(const std::string& preset, double scale) {
@@ -307,6 +329,13 @@ int cmd_save(const Args& args) {
   require(args.partitioner == "random" || args.partitioner == "ldg" ||
               args.partitioner == "multilevel",
           "--partitioner must be random, ldg or multilevel");
+  Precision quantized = Precision::kFp32;
+  if (!args.quantized.empty()) {
+    quantized = parse_precision_arg(args.quantized);
+    require(quantized != Precision::kFp32, "--quantized must be fp16 or bf16");
+    require(args.shards == 0,
+            "--quantized applies to unsharded (v2) snapshots only");
+  }
   const Dataset data = generate_dataset(preset_spec(args.preset, args.scale));
   std::printf("dataset: %s\n", dataset_summary(data).c_str());
   io::save_dataset(args.data_path, data);
@@ -368,6 +397,10 @@ int cmd_save(const Args& args) {
         static_cast<long long>(ss.shards.halo_hops),
         sstats.replication_factor, static_cast<long long>(sstats.total_halo),
         static_cast<long long>(sstats.max_shard_local));
+  } else if (quantized != Precision::kFp32) {
+    serve::save_quantized_snapshot(args.out_path, snap, quantized);
+    std::printf("quantized: %s parameter section\n",
+                precision_name(quantized));
   } else {
     serve::save_snapshot(args.out_path, snap);
   }
@@ -440,6 +473,7 @@ int cmd_query(const Args& args) {
     sopt.num_shards = ss.shards.num_shards;
     sopt.partitioner = ss.partitioner;
     sopt.server.mode = parse_mode(args.mode);
+    sopt.server.precision = parse_precision_arg(args.precision);
     serve::ShardedServer server(snap, ss.shards, data.features, sopt);
     Timer t;
     const std::vector<serve::QueryResult> results = server.query(nodes);
@@ -468,7 +502,9 @@ int cmd_query(const Args& args) {
   auto ctx =
       std::make_shared<const GraphContext>(data.graph, snap.config.arch);
   serve::InferenceEngine engine(snap.config, snap.params, ctx, data.features,
-                                parse_mode(args.mode));
+                                parse_mode(args.mode),
+                                serve::FeatureSpace::kOriginal,
+                                parse_precision_arg(args.precision));
   Tensor out = Tensor::empty(
       {static_cast<std::int64_t>(nodes.size()), snap.config.out_dim});
   Timer t;
@@ -549,6 +585,7 @@ serve::ServerConfig server_config_from_args(const Args& args) {
   cfg.admission = args.admission == "shed"
                       ? serve::AdmissionPolicy::kShedOldest
                       : serve::AdmissionPolicy::kRejectNew;
+  cfg.precision = parse_precision_arg(args.precision);
   return cfg;
 }
 
@@ -631,7 +668,9 @@ int cmd_bench(const Args& args) {
   // Unbatched baseline: one engine, one query at a time.
   {
     serve::InferenceEngine engine(snap.config, snap.params, ctx,
-                                  data.features, parse_mode(args.mode));
+                                  data.features, parse_mode(args.mode),
+                                  serve::FeatureSpace::kOriginal,
+                                  parse_precision_arg(args.precision));
     Tensor out = Tensor::empty({1, snap.config.out_dim});
     Rng rng(1);
     const std::int64_t probes = std::min<std::int64_t>(args.requests, 256);
